@@ -1,0 +1,99 @@
+//! The baking configuration pair θ = (g, p).
+
+use serde::{Deserialize, Serialize};
+
+/// The two controlling knobs of the baked representation (paper §III-B):
+/// the voxel-grid granularity per axis `g` and the one-dimensional texture
+/// patch size `p` allocated to each quad face.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BakeConfig {
+    /// Voxel grid cells per axis (mesh granularity level).
+    pub grid: u32,
+    /// Texture patch side length in texels.
+    pub patch: u32,
+}
+
+impl BakeConfig {
+    /// Smallest mesh granularity considered by the paper's configuration space.
+    pub const MIN_GRID: u32 = 16;
+    /// Largest mesh granularity (the MobileNeRF default).
+    pub const MAX_GRID: u32 = 128;
+    /// Smallest texture patch side.
+    pub const MIN_PATCH: u32 = 3;
+    /// Largest texture patch side evaluated in the paper (Fig. 3 sweeps to ~45).
+    pub const MAX_PATCH: u32 = 45;
+
+    /// The configuration recommended by the MobileNeRF paper and used for the
+    /// Single-NeRF and Block-NeRF baselines: `(g, p) = (128, 17)`.
+    pub const MOBILENERF_DEFAULT: BakeConfig = BakeConfig { grid: 128, patch: 17 };
+
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either knob is zero.
+    pub fn new(grid: u32, patch: u32) -> Self {
+        assert!(grid > 0 && patch > 0, "configuration knobs must be positive");
+        Self { grid, patch }
+    }
+
+    /// Clamps both knobs into the supported range
+    /// (`[MIN_GRID, MAX_GRID] × [MIN_PATCH, MAX_PATCH]`).
+    pub fn clamped(self) -> Self {
+        Self {
+            grid: self.grid.clamp(Self::MIN_GRID, Self::MAX_GRID),
+            patch: self.patch.clamp(Self::MIN_PATCH, Self::MAX_PATCH),
+        }
+    }
+
+    /// `true` when both knobs lie within the supported range.
+    pub fn is_in_range(&self) -> bool {
+        (Self::MIN_GRID..=Self::MAX_GRID).contains(&self.grid)
+            && (Self::MIN_PATCH..=Self::MAX_PATCH).contains(&self.patch)
+    }
+}
+
+impl Default for BakeConfig {
+    fn default() -> Self {
+        Self::MOBILENERF_DEFAULT
+    }
+}
+
+impl std::fmt::Display for BakeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(g={}, p={})", self.grid, self.patch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_mobilenerf_recommendation() {
+        let c = BakeConfig::default();
+        assert_eq!(c.grid, 128);
+        assert_eq!(c.patch, 17);
+        assert!(c.is_in_range());
+    }
+
+    #[test]
+    fn clamping_enforces_bounds() {
+        let c = BakeConfig::new(1000, 1).clamped();
+        assert_eq!(c.grid, BakeConfig::MAX_GRID);
+        assert_eq!(c.patch, BakeConfig::MIN_PATCH);
+        assert!(c.is_in_range());
+        assert!(!BakeConfig::new(4, 100).is_in_range());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(BakeConfig::new(64, 9).to_string(), "(g=64, p=9)");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_knob_panics() {
+        let _ = BakeConfig::new(0, 17);
+    }
+}

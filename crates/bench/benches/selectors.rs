@@ -1,0 +1,120 @@
+//! Criterion benchmarks of the configuration selectors (paper §III-C): the
+//! DP (Algorithm 1) against Fairness, SLSQP, greedy and exhaustive search on
+//! synthetic multi-object instances, plus the DP's scaling in the budget `H`
+//! and the configuration-space size (its O(n·h·c) complexity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nerflex_bake::BakeConfig;
+use nerflex_profile::model::{ProfileModels, QualityModel, SizeModel};
+use nerflex_solve::selector::{CandidateConfig, ObjectChoices};
+use nerflex_solve::{
+    ConfigSelector, ConfigSpace, DpSelector, ExhaustiveSelector, FairnessSelector, GreedySelector,
+    SelectionProblem, SlsqpSelector,
+};
+
+/// Builds a synthetic selection problem with `objects` objects of varying
+/// complexity over the paper's configuration space.
+fn synthetic_problem(objects: usize, budget_mb: f64, space: &ConfigSpace) -> SelectionProblem {
+    let choices = (0..objects)
+        .map(|id| {
+            let c = id as f64 / objects.max(1) as f64;
+            let models = ProfileModels {
+                size: SizeModel { k: 1.2e-8 * (0.5 + c), a: 2.0, b: 1.0, m: 0.4 },
+                quality: QualityModel { q_inf: 0.88 + 0.08 * c, k: 4.0e4 * (0.4 + 1.6 * c), a: 1.0, b: 0.5 },
+            };
+            let options: Vec<CandidateConfig> = space
+                .configurations()
+                .into_iter()
+                .map(|config| CandidateConfig {
+                    config,
+                    size_mb: models.size.predict(config.grid, config.patch),
+                    quality: models.quality.predict(config.grid, config.patch),
+                })
+                .collect();
+            ObjectChoices { object_id: id, name: format!("object-{id}"), options, models: Some(models) }
+        })
+        .collect();
+    SelectionProblem { objects: choices, budget_mb }
+}
+
+fn bench_selectors(c: &mut Criterion) {
+    let space = ConfigSpace::paper_default();
+    let problem = synthetic_problem(5, 240.0, &space);
+    let mut group = c.benchmark_group("selector_comparison_5objects_240mb");
+    group.sample_size(20);
+    group.bench_function("dp_algorithm1", |b| {
+        let selector = DpSelector::default();
+        b.iter(|| selector.select(&problem))
+    });
+    group.bench_function("fairness", |b| {
+        b.iter(|| FairnessSelector.select(&problem))
+    });
+    group.bench_function("greedy", |b| {
+        b.iter(|| GreedySelector.select(&problem))
+    });
+    group.bench_function("slsqp", |b| {
+        let selector = SlsqpSelector::new(space.clone());
+        b.iter(|| selector.select(&problem))
+    });
+    group.finish();
+
+    // Exhaustive search is only tractable on a reduced space; benchmark it
+    // separately so the comparison group stays fast.
+    let small_space = ConfigSpace::new(vec![16, 48, 96, 128], vec![3, 17, 33]);
+    let small_problem = synthetic_problem(4, 240.0, &small_space);
+    let mut brute = c.benchmark_group("exhaustive_small_instance");
+    brute.sample_size(10);
+    brute.bench_function("exhaustive_4objects_12configs", |b| {
+        let selector = ExhaustiveSelector::default();
+        b.iter(|| selector.select(&small_problem))
+    });
+    brute.bench_function("dp_same_instance", |b| {
+        let selector = DpSelector::default();
+        b.iter(|| selector.select(&small_problem))
+    });
+    brute.finish();
+}
+
+fn bench_dp_scaling(c: &mut Criterion) {
+    let space = ConfigSpace::paper_default();
+    let mut group = c.benchmark_group("dp_scaling");
+    group.sample_size(10);
+    // Scaling in the number of objects n.
+    for &objects in &[2usize, 5, 10, 20] {
+        let problem = synthetic_problem(objects, 240.0, &space);
+        group.bench_with_input(BenchmarkId::new("objects", objects), &problem, |b, p| {
+            let selector = DpSelector::default();
+            b.iter(|| selector.select(p))
+        });
+    }
+    // Scaling in the budget h (capacity units).
+    for &budget in &[150.0f64, 240.0, 480.0, 960.0] {
+        let problem = synthetic_problem(5, budget, &space);
+        group.bench_with_input(BenchmarkId::new("budget_mb", budget as u64), &problem, |b, p| {
+            let selector = DpSelector::default();
+            b.iter(|| selector.select(p))
+        });
+    }
+    group.finish();
+}
+
+fn bench_problem_construction(c: &mut Criterion) {
+    // Building the candidate lists from profiles is part of the solver's
+    // input cost; verify it stays negligible.
+    let space = ConfigSpace::paper_default();
+    c.bench_function("problem_construction_5objects", |b| {
+        b.iter(|| synthetic_problem(5, 240.0, &space))
+    });
+    // Sanity check in bench context: the DP must dominate Fairness on the
+    // synthetic instance (quality), otherwise the benchmark is measuring a
+    // broken configuration.
+    let problem = synthetic_problem(5, 240.0, &space);
+    let dp = DpSelector::default().select(&problem);
+    let fair = FairnessSelector.select(&problem);
+    assert!(dp.total_quality + 1e-9 >= fair.total_quality);
+    assert!(dp.total_size_mb <= 240.0 + 1e-6);
+    let _ = BakeConfig::MOBILENERF_DEFAULT;
+}
+
+criterion_group!(benches, bench_selectors, bench_dp_scaling, bench_problem_construction);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Fig. 7 — configuration-selector ablation: rendered SSIM of NeRFlex with
+//! the DP selector ("Ours"), Fairness and SLSQP across Scenes 1–4 on both
+//! devices.
+//!
+//! Profiles are fitted once per scene and shared by all selectors and
+//! devices (they depend only on the objects), exactly as in the real system
+//! where the profiler runs once on the cloud.
+//!
+//! ```bash
+//! cargo run --release -p nerflex-bench --bin fig7 [-- --full]
+//! ```
+
+use nerflex_bake::bake_placed;
+use nerflex_bench::{print_header, seed_from_args, ExperimentMode};
+use nerflex_core::baselines::{bake_block_nerf, bake_single_nerf};
+use nerflex_core::evaluation::quality_against_dataset;
+use nerflex_core::experiments::EvaluationScene;
+use nerflex_core::report::{fmt_f64, Table};
+use nerflex_profile::build_profile;
+use nerflex_solve::{
+    ConfigSelector, DpSelector, FairnessSelector, SelectionProblem, SlsqpSelector,
+};
+
+fn main() {
+    let mode = ExperimentMode::from_args();
+    let seed = seed_from_args();
+    print_header("Fig. 7 — selector ablation (Ours vs Fairness vs SLSQP)", mode, seed);
+
+    let quantisation = if mode == ExperimentMode::Full { 1.0 } else { 0.05 };
+    let selectors: Vec<(&str, Box<dyn ConfigSelector>)> = vec![
+        ("Ours", Box::new(DpSelector::with_quantization(quantisation))),
+        ("Fairness", Box::new(FairnessSelector)),
+        ("SLSQP", Box::new(SlsqpSelector::new(mode.config_space()))),
+    ];
+
+    let mut iphone_table = Table::new("Fig. 7(a): SSIM on iPhone 13", &["scene", "Ours", "Fairness", "SLSQP"]);
+    let mut pixel_table = Table::new("Fig. 7(b): SSIM on Pixel 4", &["scene", "Ours", "Fairness", "SLSQP"]);
+
+    for kind in EvaluationScene::SIMULATED {
+        let built = kind.build(seed);
+        let (train, test) = mode.views();
+        let dataset = built.dataset(train, test, mode.resolution());
+        let single = bake_single_nerf(&built.scene, mode.baseline_config());
+        let block = bake_block_nerf(&built.scene, mode.baseline_config());
+        let (iphone, pixel) = mode.devices(&single, &block);
+
+        // Profile every object once; reuse across devices and selectors.
+        let options = mode.profiler_options();
+        let profiles: Vec<_> = built
+            .scene
+            .objects()
+            .iter()
+            .map(|obj| build_profile(&obj.model, obj.id, &options))
+            .collect();
+
+        for (device, table) in [(&iphone, &mut iphone_table), (&pixel, &mut pixel_table)] {
+            let problem =
+                SelectionProblem::from_profiles(&profiles, &mode.config_space(), device.recommended_budget_mb);
+            let mut row = vec![kind.name().to_string()];
+            for (_, selector) in &selectors {
+                let outcome = selector.select(&problem);
+                // Bake the selected configurations and measure real SSIM.
+                let assets: Vec<_> = built
+                    .scene
+                    .objects()
+                    .iter()
+                    .map(|obj| {
+                        let config = outcome
+                            .assignment_for(obj.id)
+                            .map(|a| a.config)
+                            .unwrap_or(mode.baseline_config());
+                        bake_placed(obj, config)
+                    })
+                    .collect();
+                let (ssim, _, _) = quality_against_dataset(&assets, &built.scene, &dataset);
+                row.push(fmt_f64(ssim, 4));
+            }
+            table.push_row(row);
+        }
+        println!("[{}] done", kind.name());
+    }
+
+    println!();
+    println!("{iphone_table}");
+    println!("{pixel_table}");
+    println!(
+        "expected shape (paper): the DP selector matches or beats the other two everywhere,\n\
+         with the largest margins on the mixed-complexity scenes (Scene 3 and Scene 4);\n\
+         SLSQP lags the most on the high-complexity scene, especially on the weaker device."
+    );
+}

@@ -1,0 +1,211 @@
+//! # nerflex-bench
+//!
+//! The benchmark harness: one binary per table / figure of the paper's
+//! evaluation (run with `cargo run --release -p nerflex-bench --bin figN`)
+//! plus Criterion micro-benchmarks for the cloud-side components
+//! (`cargo bench -p nerflex-bench`).
+//!
+//! Every binary supports two scales:
+//!
+//! * **quick** (default) — reduced configuration space, probe resolution and
+//!   view counts; device ceilings are derived from the measured baseline
+//!   sizes so the *relative* story (what loads, who wins, by roughly what
+//!   factor) matches the paper. Finishes in minutes on a laptop.
+//! * **full** (`--full`) — the paper's configuration space (g ≤ 128,
+//!   p ≤ 45, MobileNeRF baseline at (128, 17)) and the real 240 MB / 150 MB
+//!   budgets. Slower; intended for regenerating EXPERIMENTS.md at full scale.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use nerflex_bake::BakeConfig;
+use nerflex_core::baselines::BaselineResult;
+use nerflex_device::DeviceSpec;
+use nerflex_profile::measurement::MeasurementSettings;
+use nerflex_profile::sampling::SampleRange;
+use nerflex_profile::ProfilerOptions;
+use nerflex_solve::{ConfigSpace, DpSelector};
+use std::sync::Arc;
+
+/// Which scale an experiment binary runs at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentMode {
+    /// Reduced scale (default): finishes in minutes, preserves the shape.
+    Quick,
+    /// Paper scale: the full configuration space and real device budgets.
+    Full,
+}
+
+impl ExperimentMode {
+    /// Parses the mode from the process arguments (`--full` switches to
+    /// [`ExperimentMode::Full`]).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            ExperimentMode::Full
+        } else {
+            ExperimentMode::Quick
+        }
+    }
+
+    /// Human-readable label printed in every report.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExperimentMode::Quick => "quick (reduced scale)",
+            ExperimentMode::Full => "full (paper scale)",
+        }
+    }
+
+    /// The baseline configuration standing in for MobileNeRF's (128, 17).
+    pub fn baseline_config(&self) -> BakeConfig {
+        match self {
+            ExperimentMode::Quick => BakeConfig::new(40, 9),
+            ExperimentMode::Full => BakeConfig::MOBILENERF_DEFAULT,
+        }
+    }
+
+    /// The configuration space handed to the selectors.
+    pub fn config_space(&self) -> ConfigSpace {
+        match self {
+            ExperimentMode::Quick => ConfigSpace::quick(),
+            ExperimentMode::Full => ConfigSpace::paper_default(),
+        }
+    }
+
+    /// Profiler options (sample range + probe settings).
+    pub fn profiler_options(&self) -> ProfilerOptions {
+        match self {
+            ExperimentMode::Quick => ProfilerOptions::quick(),
+            ExperimentMode::Full => ProfilerOptions {
+                range: SampleRange { g_min: 16, g_max: 128, p_min: 3, p_max: 33 },
+                measurement: MeasurementSettings { views: 3, resolution: 96 },
+            },
+        }
+    }
+
+    /// Dataset resolution for training/test views.
+    pub fn resolution(&self) -> usize {
+        match self {
+            ExperimentMode::Quick => 72,
+            ExperimentMode::Full => 128,
+        }
+    }
+
+    /// Number of training / test views.
+    pub fn views(&self) -> (usize, usize) {
+        match self {
+            ExperimentMode::Quick => (4, 2),
+            ExperimentMode::Full => (8, 3),
+        }
+    }
+
+    /// Pipeline options for NeRFlex runs at this scale.
+    pub fn pipeline_options(&self) -> nerflex_core::pipeline::PipelineOptions {
+        let quantization = match self {
+            ExperimentMode::Quick => 0.05,
+            ExperimentMode::Full => 1.0,
+        };
+        nerflex_core::pipeline::PipelineOptions {
+            profiler: self.profiler_options(),
+            space: self.config_space(),
+            selector: Arc::new(DpSelector::with_quantization(quantization)),
+            ..nerflex_core::pipeline::PipelineOptions::default()
+        }
+    }
+
+    /// The two evaluation devices at this scale.
+    ///
+    /// In full mode these are the paper's iPhone 13 and Pixel 4. In quick
+    /// mode the memory ceilings are re-derived from the measured Single /
+    /// Block baseline sizes so the loading behaviour (Single fails on the
+    /// iPhone, Block fails everywhere, NeRFlex fits) is preserved at the
+    /// reduced asset sizes.
+    pub fn devices(&self, single: &BaselineResult, block: &BaselineResult) -> (DeviceSpec, DeviceSpec) {
+        match self {
+            ExperimentMode::Full => (DeviceSpec::iphone_13(), DeviceSpec::pixel_4()),
+            ExperimentMode::Quick => {
+                let single_mb = single.workload.data_size_mb;
+                let block_mb = block.workload.data_size_mb;
+                let mut iphone = DeviceSpec::iphone_13();
+                iphone.hard_memory_limit_mb = single_mb * 0.9;
+                iphone.recommended_budget_mb = single_mb * 0.9;
+                iphone.soft_memory_limit_mb = single_mb * 0.9;
+                iphone.fps_drop_per_100k_quads = 0.0;
+                let mut pixel = DeviceSpec::pixel_4();
+                pixel.hard_memory_limit_mb = (single_mb * 1.5).min(block_mb * 0.9).max(single_mb * 1.05);
+                pixel.recommended_budget_mb = single_mb * 0.6;
+                pixel.soft_memory_limit_mb = single_mb * 0.6;
+                pixel.fps_drop_per_mb_over_soft = 15.0 / (single_mb - pixel.soft_memory_limit_mb).max(0.5);
+                pixel.fps_drop_per_100k_quads = 0.0;
+                (iphone, pixel)
+            }
+        }
+    }
+
+    /// Number of frames simulated for FPS traces (paper: 2000).
+    pub fn frames(&self) -> usize {
+        match self {
+            ExperimentMode::Quick => 600,
+            ExperimentMode::Full => 2000,
+        }
+    }
+}
+
+/// The fixed seed every experiment binary uses by default, overridable with
+/// `--seed <n>`.
+pub fn seed_from_args() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Prints the standard experiment header.
+pub fn print_header(figure: &str, mode: ExperimentMode, seed: u64) {
+    println!("NeRFlex reproduction — {figure}");
+    println!("mode: {}   seed: {seed}", mode.label());
+    println!("{}", "=".repeat(72));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nerflex_core::baselines::{bake_block_nerf, bake_single_nerf};
+    use nerflex_scene::object::CanonicalObject;
+    use nerflex_scene::scene::Scene;
+
+    #[test]
+    fn quick_mode_is_the_default_and_scales_everything_down() {
+        let quick = ExperimentMode::Quick;
+        let full = ExperimentMode::Full;
+        assert!(quick.resolution() < full.resolution());
+        assert!(quick.frames() < full.frames());
+        assert!(quick.config_space().len() < full.config_space().len());
+        assert_eq!(full.baseline_config(), BakeConfig::MOBILENERF_DEFAULT);
+    }
+
+    #[test]
+    fn quick_devices_preserve_the_loading_story() {
+        let scene = Scene::with_objects(&[CanonicalObject::Hotdog, CanonicalObject::Chair], 3);
+        let config = ExperimentMode::Quick.baseline_config();
+        let single = bake_single_nerf(&scene, config);
+        let block = bake_block_nerf(&scene, config);
+        let (iphone, pixel) = ExperimentMode::Quick.devices(&single, &block);
+        // Single exceeds the iPhone ceiling but not the Pixel's; Block exceeds both.
+        assert!(single.workload.data_size_mb > iphone.hard_memory_limit_mb);
+        assert!(single.workload.data_size_mb <= pixel.hard_memory_limit_mb);
+        assert!(block.workload.data_size_mb > pixel.hard_memory_limit_mb);
+    }
+
+    #[test]
+    fn full_devices_are_the_paper_presets() {
+        let scene = Scene::with_objects(&[CanonicalObject::Hotdog], 3);
+        let config = ExperimentMode::Quick.baseline_config();
+        let single = bake_single_nerf(&scene, config);
+        let block = bake_block_nerf(&scene, config);
+        let (iphone, pixel) = ExperimentMode::Full.devices(&single, &block);
+        assert_eq!(iphone.recommended_budget_mb, 240.0);
+        assert_eq!(pixel.recommended_budget_mb, 150.0);
+    }
+}

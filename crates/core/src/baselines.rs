@@ -1,0 +1,249 @@
+//! The baselines NeRFlex is compared against.
+//!
+//! * **Single NeRF (MobileNeRF)** — the whole scene represented by one
+//!   mesh-baked network at the MobileNeRF default configuration (128, 17).
+//!   Because the voxel grid must span the entire scene, each object receives
+//!   only a small fraction of the grid cells and texels, which is exactly why
+//!   the paper finds its quality lowest.
+//! * **Block-NeRF** — one MobileNeRF per object, each at (128, 17): the
+//!   highest quality and by far the largest memory footprint (400–800 MB),
+//!   which fails to load on both phones.
+//! * **MipNeRF-360 / Instant-NGP references** — full-scale server-rendered
+//!   NeRFs used as quality references in Table I / Fig. 4. They are not
+//!   mobile-renderable; we model their output as the ground truth degraded by
+//!   a method-specific blur/noise operator calibrated so the relative
+//!   ordering of Table I holds (see DESIGN.md, substitution table).
+
+use nerflex_bake::{bake_scene, BakeConfig, BakedAsset, Placement, QuadMesh, TextureAtlas, VoxelGrid};
+use nerflex_device::Workload;
+use nerflex_image::{Color, Image};
+use nerflex_math::sampling::hash_u32;
+use nerflex_scene::camera_path::CameraPose;
+use nerflex_scene::raymarch::render_view;
+use nerflex_scene::scene::Scene;
+use nerflex_scene::sdf::Sdf;
+
+/// The rendering methods compared in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineMethod {
+    /// Whole-scene MobileNeRF at (128, 17) — "Single" in Figs. 5/6.
+    SingleNerf,
+    /// Per-object MobileNeRF at (128, 17) — Block-NeRF.
+    BlockNerf,
+    /// Instant-NGP quality reference (server-side).
+    Ngp,
+    /// MipNeRF-360 quality reference (server-side).
+    MipNerf360,
+}
+
+impl BaselineMethod {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BaselineMethod::SingleNerf => "MobileNeRF (Single)",
+            BaselineMethod::BlockNerf => "Block-NeRF",
+            BaselineMethod::Ngp => "NGP",
+            BaselineMethod::MipNerf360 => "MipNeRF 360",
+        }
+    }
+
+    /// `true` when the method produces baked assets renderable on-device
+    /// (the NGP / MipNeRF references are server-side only).
+    pub fn is_mobile(&self) -> bool {
+        matches!(self, BaselineMethod::SingleNerf | BaselineMethod::BlockNerf)
+    }
+}
+
+/// The baked representation of a mobile baseline: its assets and workload.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// Which baseline produced this result.
+    pub method: BaselineMethod,
+    /// Baked assets (a single asset for Single-NeRF, one per object for
+    /// Block-NeRF).
+    pub assets: Vec<BakedAsset>,
+    /// The implied on-device workload.
+    pub workload: Workload,
+}
+
+/// Bakes the Single-NeRF baseline: one scene-level mesh at the MobileNeRF
+/// default configuration. The voxel grid spans the whole scene's bounding
+/// box, so per-object resolution is much lower than NeRFlex's dedicated
+/// sub-scenes — the source of its quality gap.
+pub fn bake_single_nerf(scene: &Scene, config: BakeConfig) -> BaselineResult {
+    assert!(!scene.is_empty(), "cannot bake an empty scene");
+    // Union of all objects' world-space SDFs.
+    let union = Sdf::Union(scene.objects().iter().map(|o| o.world_sdf()).collect());
+    let grid = VoxelGrid::from_sdf(&union, config.grid);
+    let mesh = QuadMesh::extract(&grid, &union);
+    let cell = grid.cell_size().max_component().max(1e-6);
+    let cutoff = 0.5 * config.patch as f32 / cell;
+    // Texels are sampled from whichever object is nearest to the texel centre.
+    let atlas = TextureAtlas::bake_with(&mesh, config.patch, |pos, normal| {
+        match scene.distance(pos).1 {
+            Some(id) => {
+                let obj = scene.object(id).expect("distance returned a valid id");
+                let local = obj.to_local(pos);
+                obj.appearance().albedo_band_limited(local, normal, cutoff)
+            }
+            None => Color::gray(0.5),
+        }
+    });
+    let asset = BakedAsset {
+        name: "single-nerf-scene".to_string(),
+        object_id: 0,
+        config,
+        mesh,
+        atlas,
+        mlp: None,
+        placement: Placement::default(),
+    };
+    let workload = Workload {
+        data_size_mb: asset.size_mb(),
+        total_quads: asset.mesh.quad_count(),
+    };
+    BaselineResult { method: BaselineMethod::SingleNerf, assets: vec![asset], workload }
+}
+
+/// Bakes the Block-NeRF baseline: every object at the MobileNeRF default
+/// configuration, independently.
+pub fn bake_block_nerf(scene: &Scene, config: BakeConfig) -> BaselineResult {
+    assert!(!scene.is_empty(), "cannot bake an empty scene");
+    let configs = vec![config; scene.len()];
+    let assets = bake_scene(scene, &configs);
+    let workload = Workload {
+        data_size_mb: assets.iter().map(BakedAsset::size_mb).sum(),
+        total_quads: assets.iter().map(|a| a.mesh.quad_count()).sum(),
+    };
+    BaselineResult { method: BaselineMethod::BlockNerf, assets, workload }
+}
+
+/// Renders the server-side quality references (NGP, MipNeRF-360) for a pose:
+/// the ground-truth view degraded by a method-specific operator.
+///
+/// # Panics
+///
+/// Panics when called with a mobile method (use the baked assets instead).
+pub fn render_reference(scene: &Scene, method: BaselineMethod, pose: &CameraPose, width: usize, height: usize) -> Image {
+    assert!(!method.is_mobile(), "mobile baselines are rendered from their baked assets");
+    let (ground_truth, _) = render_view(scene, pose, width, height);
+    match method {
+        // Instant-NGP: very close to ground truth; slight high-frequency noise
+        // from the hash-grid encoding.
+        BaselineMethod::Ngp => degrade(&ground_truth, 1, 0.02),
+        // MipNeRF-360: smoother (anti-aliased cone tracing) but with more
+        // low-frequency error on thin structures.
+        BaselineMethod::MipNerf360 => degrade(&ground_truth, 2, 0.03),
+        _ => unreachable!("guarded by the assertion above"),
+    }
+}
+
+/// Box blur of the given radius followed by deterministic per-pixel noise.
+fn degrade(image: &Image, blur_radius: isize, noise_amplitude: f32) -> Image {
+    Image::from_fn(image.width(), image.height(), |x, y| {
+        let mut acc = Color::BLACK;
+        let mut n = 0.0;
+        for dy in -blur_radius..=blur_radius {
+            for dx in -blur_radius..=blur_radius {
+                acc = acc.add(image.get_clamped(x as isize + dx, y as isize + dy));
+                n += 1.0;
+            }
+        }
+        let blurred = acc.scale(1.0 / n);
+        let noise = (hash_u32((x * 7919 + y * 104729) as u32) - 0.5) * noise_amplitude;
+        Color::new(blurred.r + noise, blurred.g + noise, blurred.b + noise).clamped()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nerflex_image::metrics;
+    use nerflex_scene::camera_path::orbit_path;
+    use nerflex_scene::object::CanonicalObject;
+
+    fn test_scene() -> Scene {
+        Scene::with_objects(&[CanonicalObject::Hotdog, CanonicalObject::Chair], 17)
+    }
+
+    #[test]
+    fn single_nerf_produces_one_asset_spanning_the_scene() {
+        let scene = test_scene();
+        let result = bake_single_nerf(&scene, BakeConfig::new(24, 5));
+        assert_eq!(result.method, BaselineMethod::SingleNerf);
+        assert_eq!(result.assets.len(), 1);
+        assert!(result.workload.data_size_mb > 0.0);
+        // The scene-level mesh covers both objects' regions.
+        let bb = result.assets[0].mesh.bounding_box();
+        assert!(bb.diagonal() > scene.bounding_box().diagonal() * 0.5);
+    }
+
+    #[test]
+    fn block_nerf_produces_one_asset_per_object_and_uses_more_memory() {
+        let scene = test_scene();
+        let config = BakeConfig::new(24, 5);
+        let single = bake_single_nerf(&scene, config);
+        let block = bake_block_nerf(&scene, config);
+        assert_eq!(block.assets.len(), scene.len());
+        // Per-object grids resolve each object at full granularity, so the
+        // block representation is (much) larger than the single one.
+        assert!(
+            block.workload.data_size_mb > single.workload.data_size_mb,
+            "block {} MB vs single {} MB",
+            block.workload.data_size_mb,
+            single.workload.data_size_mb
+        );
+    }
+
+    #[test]
+    fn block_nerf_quality_exceeds_single_nerf_quality() {
+        // The paper's central quality comparison at small scale: per-object
+        // grids beat a shared scene-level grid.
+        let scene = test_scene();
+        let config = BakeConfig::new(28, 7);
+        let pose = orbit_path(scene.bounding_box().center(), scene.bounding_box().diagonal(), 0.4, 8)[0];
+        let (gt, _) = render_view(&scene, &pose, 72, 72);
+        let render = |assets: &[BakedAsset]| {
+            nerflex_render::render_assets(assets, &pose, 72, 72, &nerflex_render::RenderOptions::default()).0
+        };
+        let single_img = render(&bake_single_nerf(&scene, config).assets);
+        let block_img = render(&bake_block_nerf(&scene, config).assets);
+        let ssim_single = metrics::ssim(&gt, &single_img);
+        let ssim_block = metrics::ssim(&gt, &block_img);
+        assert!(
+            ssim_block > ssim_single,
+            "block {ssim_block} should beat single {ssim_single}"
+        );
+    }
+
+    #[test]
+    fn reference_methods_rank_as_in_table_one() {
+        // NGP is closer to ground truth than MipNeRF-360 in the paper's
+        // Table I; the degradation operators preserve that ordering.
+        let scene = test_scene();
+        let pose = orbit_path(scene.bounding_box().center(), scene.bounding_box().diagonal(), 0.4, 8)[2];
+        let (gt, _) = render_view(&scene, &pose, 64, 64);
+        let ngp = render_reference(&scene, BaselineMethod::Ngp, &pose, 64, 64);
+        let mip = render_reference(&scene, BaselineMethod::MipNerf360, &pose, 64, 64);
+        let ssim_ngp = metrics::ssim(&gt, &ngp);
+        let ssim_mip = metrics::ssim(&gt, &mip);
+        assert!(ssim_ngp > ssim_mip, "NGP {ssim_ngp} vs MipNeRF {ssim_mip}");
+        assert!(ssim_mip > 0.5);
+    }
+
+    #[test]
+    fn method_metadata_is_consistent() {
+        assert!(BaselineMethod::SingleNerf.is_mobile());
+        assert!(BaselineMethod::BlockNerf.is_mobile());
+        assert!(!BaselineMethod::Ngp.is_mobile());
+        assert_eq!(BaselineMethod::MipNerf360.name(), "MipNeRF 360");
+    }
+
+    #[test]
+    #[should_panic(expected = "baked assets")]
+    fn mobile_method_cannot_be_rendered_as_reference() {
+        let scene = test_scene();
+        let pose = orbit_path(scene.bounding_box().center(), 3.0, 0.4, 4)[0];
+        let _ = render_reference(&scene, BaselineMethod::SingleNerf, &pose, 32, 32);
+    }
+}

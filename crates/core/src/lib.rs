@@ -1,0 +1,33 @@
+//! # nerflex-core
+//!
+//! The NeRFlex system: the end-to-end pipeline (detail-based segmentation →
+//! lightweight profiling → DP configuration selection → parallel baking →
+//! on-device rendering), the baselines it is evaluated against (Single
+//! NeRF / MobileNeRF, Block-NeRF, and the MipNeRF-360 / Instant-NGP quality
+//! references), the evaluation harness that measures quality, size and FPS,
+//! and the scene constructions used by every experiment in the paper.
+//!
+//! ```no_run
+//! use nerflex_core::experiments::EvaluationScene;
+//! use nerflex_core::pipeline::{NerflexPipeline, PipelineOptions};
+//! use nerflex_device::DeviceSpec;
+//!
+//! let scene = EvaluationScene::Scene4.build(42);
+//! let dataset = scene.dataset(6, 2, 96);
+//! let pipeline = NerflexPipeline::new(PipelineOptions::quick());
+//! let deployment = pipeline.run(&scene.scene, &dataset, &DeviceSpec::iphone_13());
+//! println!("deployed {} MB", deployment.workload().data_size_mb);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baselines;
+pub mod evaluation;
+pub mod experiments;
+pub mod pipeline;
+pub mod report;
+
+pub use baselines::{BaselineMethod, BaselineResult};
+pub use evaluation::{evaluate_deployment, DeploymentEvaluation};
+pub use pipeline::{NerflexDeployment, NerflexPipeline, PipelineOptions, StageTimings};

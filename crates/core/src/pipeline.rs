@@ -1,0 +1,317 @@
+//! The end-to-end NeRFlex pipeline.
+//!
+//! Cloud side (Fig. 1): the training images flow through the segmentation
+//! module, a lightweight profile is fitted per sub-scene, the DP selector
+//! picks one configuration per sub-scene under the device budget, and the
+//! sub-scenes are baked in parallel. The resulting multi-modal data plus the
+//! device model form a deployment whose quality, size and smoothness the
+//! evaluation harness measures.
+
+use crate::report::format_duration;
+use nerflex_bake::{bake_placed, BakeConfig, BakedAsset};
+use nerflex_device::{DeviceSpec, Workload};
+use nerflex_profile::{build_profile, ObjectProfile, ProfilerOptions};
+use nerflex_scene::dataset::Dataset;
+use nerflex_scene::scene::Scene;
+use nerflex_seg::{segment, SegmentationPolicy, SegmentationResult};
+use nerflex_solve::{ConfigSelector, ConfigSpace, DpSelector, SelectionOutcome, SelectionProblem};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Options controlling a pipeline run.
+#[derive(Clone)]
+pub struct PipelineOptions {
+    /// Segmentation policy (threshold rule, statistic, interpolation).
+    pub segmentation: SegmentationPolicy,
+    /// Profiler options (sample range, probe views).
+    pub profiler: ProfilerOptions,
+    /// Configuration space handed to the selector.
+    pub space: ConfigSpace,
+    /// The configuration selector (Algorithm 1 by default).
+    pub selector: Arc<dyn ConfigSelector + Send + Sync>,
+    /// Override for the memory budget in MB; `None` uses the device's
+    /// recommended budget (240 MB iPhone / 150 MB Pixel).
+    pub budget_override_mb: Option<f64>,
+}
+
+impl std::fmt::Debug for PipelineOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineOptions")
+            .field("segmentation", &self.segmentation)
+            .field("space", &self.space)
+            .field("selector", &self.selector.name())
+            .field("budget_override_mb", &self.budget_override_mb)
+            .finish()
+    }
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        Self {
+            segmentation: SegmentationPolicy::default(),
+            profiler: ProfilerOptions::default(),
+            space: ConfigSpace::paper_default(),
+            selector: Arc::new(DpSelector::default()),
+            budget_override_mb: None,
+        }
+    }
+}
+
+impl PipelineOptions {
+    /// Reduced-cost options for tests and quick examples: small profiling
+    /// probes, a compact configuration space, and a finer DP quantisation
+    /// (asset sizes are only a few MB at this scale, so the paper's 1 MB
+    /// capacity units would be too coarse).
+    pub fn quick() -> Self {
+        Self {
+            profiler: ProfilerOptions::quick(),
+            space: ConfigSpace::quick(),
+            selector: Arc::new(DpSelector::with_quantization(0.05)),
+            ..Self::default()
+        }
+    }
+
+    /// Replaces the selector (used by the Fig. 7 / Fig. 8 ablations).
+    pub fn with_selector(mut self, selector: Arc<dyn ConfigSelector + Send + Sync>) -> Self {
+        self.selector = selector;
+        self
+    }
+}
+
+/// Wall-clock duration of each cloud-side stage (the Fig. 9 overhead
+/// breakdown).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// Detail-based segmentation (detection, frequency analysis, cropping).
+    pub segmentation: Duration,
+    /// Lightweight profiling (sample bakes + curve fitting).
+    pub profiling: Duration,
+    /// Configuration selection (the DP solver).
+    pub selection: Duration,
+    /// Multi-NeRF baking of the selected configurations.
+    pub baking: Duration,
+}
+
+impl StageTimings {
+    /// Total cloud-side preparation time excluding baking (the paper's
+    /// "overhead cost ... excluding neural network training").
+    pub fn overhead(&self) -> Duration {
+        self.segmentation + self.profiling + self.selection
+    }
+
+    /// Formats the breakdown as a one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "segmentation {} | profiler {} | solver {} | total overhead {}",
+            format_duration(self.segmentation),
+            format_duration(self.profiling),
+            format_duration(self.selection),
+            format_duration(self.overhead()),
+        )
+    }
+}
+
+/// The output of a pipeline run: everything needed to render on the device
+/// and to analyse the decision the system made.
+#[derive(Debug, Clone)]
+pub struct NerflexDeployment {
+    /// Device the deployment was prepared for.
+    pub device: DeviceSpec,
+    /// The memory budget that was enforced (MB).
+    pub budget_mb: f64,
+    /// Segmentation output (decision + per-object records).
+    pub segmentation: SegmentationResult,
+    /// Fitted per-object profiles (index-aligned with the scene objects).
+    pub profiles: Vec<ObjectProfile>,
+    /// The configuration selection outcome.
+    pub selection: SelectionOutcome,
+    /// Baked assets, one per scene object.
+    pub assets: Vec<BakedAsset>,
+    /// Cloud-side stage timings.
+    pub timings: StageTimings,
+}
+
+impl NerflexDeployment {
+    /// The on-device workload implied by the baked assets.
+    pub fn workload(&self) -> Workload {
+        Workload {
+            data_size_mb: self.assets.iter().map(BakedAsset::size_mb).sum(),
+            total_quads: self.assets.iter().map(|a| a.mesh.quad_count()).sum(),
+        }
+    }
+
+    /// The configuration selected for a given object id (when it received one).
+    pub fn config_for(&self, object_id: usize) -> Option<BakeConfig> {
+        self.selection.assignment_for(object_id).map(|a| a.config)
+    }
+}
+
+/// The NeRFlex cloud-side pipeline.
+#[derive(Debug, Clone)]
+pub struct NerflexPipeline {
+    options: PipelineOptions,
+}
+
+impl NerflexPipeline {
+    /// Creates a pipeline with the given options.
+    pub fn new(options: PipelineOptions) -> Self {
+        Self { options }
+    }
+
+    /// The options this pipeline runs with.
+    pub fn options(&self) -> &PipelineOptions {
+        &self.options
+    }
+
+    /// Runs segmentation → profiling → selection → baking for one scene and
+    /// device, returning the deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scene or dataset is empty.
+    pub fn run(&self, scene: &Scene, dataset: &Dataset, device: &DeviceSpec) -> NerflexDeployment {
+        assert!(!scene.is_empty(), "cannot deploy an empty scene");
+        assert!(!dataset.train.is_empty(), "need training views");
+        let budget_mb = self
+            .options
+            .budget_override_mb
+            .unwrap_or(device.recommended_budget_mb);
+
+        // Stage 1: detail-based segmentation.
+        let t0 = Instant::now();
+        let segmentation = segment(dataset, &self.options.segmentation);
+        let segmentation_time = t0.elapsed();
+
+        // Stage 2: lightweight profiling, one profile per scene object.
+        let t1 = Instant::now();
+        let profiles: Vec<ObjectProfile> = scene
+            .objects()
+            .iter()
+            .map(|obj| build_profile(&obj.model, obj.id, &self.options.profiler))
+            .collect();
+        let profiling_time = t1.elapsed();
+
+        // Stage 3: configuration selection under the device budget.
+        let t2 = Instant::now();
+        let problem = SelectionProblem::from_profiles(&profiles, &self.options.space, budget_mb);
+        let selection = self.options.selector.select(&problem);
+        let selection_time = t2.elapsed();
+
+        // Stage 4: bake every object with its selected configuration.
+        let t3 = Instant::now();
+        let assets: Vec<BakedAsset> = scene
+            .objects()
+            .iter()
+            .map(|obj| {
+                let config = selection
+                    .assignment_for(obj.id)
+                    .map(|a| a.config)
+                    .unwrap_or(BakeConfig::MOBILENERF_DEFAULT)
+                    .clamped();
+                bake_placed(obj, config)
+            })
+            .collect();
+        let baking_time = t3.elapsed();
+
+        NerflexDeployment {
+            device: device.clone(),
+            budget_mb,
+            segmentation,
+            profiles,
+            selection,
+            assets,
+            timings: StageTimings {
+                segmentation: segmentation_time,
+                profiling: profiling_time,
+                selection: selection_time,
+                baking: baking_time,
+            },
+        }
+    }
+}
+
+impl Default for NerflexPipeline {
+    fn default() -> Self {
+        Self::new(PipelineOptions::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nerflex_scene::object::CanonicalObject;
+    use nerflex_solve::FairnessSelector;
+
+    fn small_scene_and_dataset() -> (Scene, Dataset) {
+        let scene = Scene::with_objects(&[CanonicalObject::Hotdog, CanonicalObject::Chair], 21);
+        let dataset = Dataset::generate(&scene, 3, 1, 48, 48);
+        (scene, dataset)
+    }
+
+    #[test]
+    fn quick_pipeline_produces_a_deployable_bundle() {
+        let (scene, dataset) = small_scene_and_dataset();
+        let pipeline = NerflexPipeline::new(PipelineOptions::quick());
+        let deployment = pipeline.run(&scene, &dataset, &DeviceSpec::iphone_13());
+
+        assert_eq!(deployment.assets.len(), 2);
+        assert_eq!(deployment.profiles.len(), 2);
+        assert_eq!(deployment.selection.assignments.len(), 2);
+        assert!(deployment.selection.feasible);
+        // The deployment respects the device budget (predicted sizes).
+        assert!(deployment.selection.total_size_mb <= deployment.budget_mb + 1e-6);
+        // Every object got a configuration from the quick space.
+        for obj in scene.objects() {
+            let config = deployment.config_for(obj.id).expect("assigned");
+            assert!(config.grid >= 10 && config.grid <= 40);
+        }
+        // Timings were recorded.
+        assert!(deployment.timings.segmentation > Duration::ZERO);
+        assert!(deployment.timings.profiling > Duration::ZERO);
+        assert!(deployment.timings.overhead() > Duration::ZERO);
+        assert!(!deployment.timings.summary().is_empty());
+        // The workload reflects the baked assets.
+        let workload = deployment.workload();
+        assert!(workload.data_size_mb > 0.0);
+        assert!(workload.total_quads > 0);
+    }
+
+    #[test]
+    fn budget_override_constrains_the_selection() {
+        let (scene, dataset) = small_scene_and_dataset();
+        let tight = NerflexPipeline::new(PipelineOptions {
+            budget_override_mb: Some(6.0),
+            ..PipelineOptions::quick()
+        });
+        let generous = NerflexPipeline::new(PipelineOptions {
+            budget_override_mb: Some(200.0),
+            ..PipelineOptions::quick()
+        });
+        let device = DeviceSpec::pixel_4();
+        let d_tight = tight.run(&scene, &dataset, &device);
+        let d_generous = generous.run(&scene, &dataset, &device);
+        assert!(d_tight.selection.total_size_mb <= 6.0 + 1e-6 || !d_tight.selection.feasible);
+        assert!(d_generous.selection.total_size_mb >= d_tight.selection.total_size_mb);
+        assert!(d_generous.selection.total_quality >= d_tight.selection.total_quality - 1e-9);
+    }
+
+    #[test]
+    fn alternative_selectors_plug_in() {
+        let (scene, dataset) = small_scene_and_dataset();
+        let pipeline = NerflexPipeline::new(
+            PipelineOptions::quick().with_selector(Arc::new(FairnessSelector)),
+        );
+        let deployment = pipeline.run(&scene, &dataset, &DeviceSpec::pixel_4());
+        assert_eq!(deployment.selection.selector, "Fairness");
+        assert_eq!(deployment.assets.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty scene")]
+    fn empty_scene_panics() {
+        let scene = Scene::new();
+        let other = Scene::with_objects(&[CanonicalObject::Hotdog], 1);
+        let dataset = Dataset::generate(&other, 1, 1, 32, 32);
+        let _ = NerflexPipeline::default().run(&scene, &dataset, &DeviceSpec::iphone_13());
+    }
+}

@@ -1,0 +1,150 @@
+//! Plain-text table / series formatting for the benchmark binaries.
+//!
+//! Every figure and table of the paper is regenerated as text output (rows
+//! and series); these helpers keep that output aligned and consistent across
+//! the benchmark binaries.
+
+use std::time::Duration;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row width differs from the header width.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width must match the header");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a float with the given precision, rendering NaN as "n/a".
+pub fn fmt_f64(value: f64, precision: usize) -> String {
+    if value.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{value:.precision$}")
+    }
+}
+
+/// Formats a duration as seconds with millisecond precision.
+pub fn format_duration(d: Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+/// Renders a numeric series (e.g. an FPS trace) as a compact sparkline-style
+/// summary: min / mean / max plus a down-sampled list of values.
+pub fn summarize_series(name: &str, values: &[f64], samples: usize) -> String {
+    if values.is_empty() {
+        return format!("{name}: (empty)");
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let step = (values.len() / samples.max(1)).max(1);
+    let sampled: Vec<String> = values.iter().step_by(step).map(|v| format!("{v:.1}")).collect();
+    format!(
+        "{name}: mean {mean:.1}  min {min:.1}  max {max:.1}  [{}]",
+        sampled.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["method", "ssim"]);
+        t.push_row(vec!["NeRFlex".into(), "0.904".into()]);
+        t.push_row(vec!["Block-NeRF".into(), "0.943".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("== Demo =="));
+        assert!(rendered.contains("NeRFlex"));
+        assert_eq!(t.row_count(), 2);
+        // Columns are aligned: both data lines have the ssim value starting at
+        // the same character offset.
+        let lines: Vec<&str> = rendered.lines().skip(3).collect();
+        assert_eq!(lines[0].find("0.904"), lines[1].find("0.943"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new("Bad", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn float_and_duration_formatting() {
+        assert_eq!(fmt_f64(0.98765, 3), "0.988");
+        assert_eq!(fmt_f64(f64::NAN, 2), "n/a");
+        assert_eq!(format_duration(Duration::from_millis(1234)), "1.234s");
+    }
+
+    #[test]
+    fn series_summary_reports_extremes() {
+        let s = summarize_series("fps", &[10.0, 20.0, 30.0, 40.0], 2);
+        assert!(s.contains("mean 25.0"));
+        assert!(s.contains("min 10.0"));
+        assert!(s.contains("max 40.0"));
+        assert_eq!(summarize_series("fps", &[], 4), "fps: (empty)");
+    }
+}

@@ -1,0 +1,158 @@
+//! Frame-rate modelling.
+//!
+//! The paper reports FPS traces over 2000 frames (Fig. 6): initial
+//! fluctuations caused by loading the multi-modal NeRF files, then a steady
+//! rate whose level depends on the device and on the workload size. The
+//! model below reproduces those dynamics: a warm-up phase whose length grows
+//! with the data size, multiplicative dips while files stream in, and a
+//! steady state with small jitter around the calibrated average.
+
+use crate::spec::{DeviceSpec, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic FPS model for a device.
+#[derive(Debug, Clone)]
+pub struct FpsModel {
+    spec: DeviceSpec,
+}
+
+impl FpsModel {
+    /// Creates the model for a device.
+    pub fn new(spec: DeviceSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The underlying device specification.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Steady-state average FPS for a workload that successfully loaded.
+    pub fn steady_state_fps(&self, workload: &Workload) -> f64 {
+        let spec = &self.spec;
+        let size_penalty =
+            (workload.data_size_mb - spec.soft_memory_limit_mb).max(0.0) * spec.fps_drop_per_mb_over_soft;
+        let quad_penalty = workload.total_quads as f64 / 100_000.0 * spec.fps_drop_per_100k_quads;
+        (spec.base_fps - size_penalty - quad_penalty).max(spec.min_fps)
+    }
+
+    /// Number of warm-up frames (loading phase) for a workload: larger files
+    /// take longer to stream in and parse.
+    pub fn warmup_frames(&self, workload: &Workload) -> usize {
+        (40.0 + workload.data_size_mb * 0.6) as usize
+    }
+
+    /// Simulates a per-frame FPS trace of `frames` frames.
+    ///
+    /// The trace is deterministic for a given `seed`.
+    pub fn frame_trace(&self, workload: &Workload, frames: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let steady = self.steady_state_fps(workload);
+        let warmup = self.warmup_frames(workload);
+        (0..frames)
+            .map(|i| {
+                if i < warmup {
+                    // Loading phase: FPS oscillates between stalls and bursts.
+                    let progress = i as f64 / warmup.max(1) as f64;
+                    let stall = rng.gen_range(0.0..1.0) < 0.3;
+                    let level = if stall {
+                        steady * rng.gen_range(0.05..0.4)
+                    } else {
+                        steady * (0.4 + 0.6 * progress) * rng.gen_range(0.8..1.15)
+                    };
+                    level.clamp(0.0, self.spec.base_fps * 1.2)
+                } else {
+                    // Steady phase: small jitter around the calibrated average.
+                    (steady * rng.gen_range(0.93..1.07)).clamp(self.spec.min_fps * 0.5, self.spec.base_fps * 1.2)
+                }
+            })
+            .collect()
+    }
+
+    /// Mean of a frame trace (convenience).
+    pub fn average_of_trace(trace: &[f64]) -> f64 {
+        if trace.is_empty() {
+            return 0.0;
+        }
+        trace.iter().sum::<f64>() / trace.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nerflex_iphone_workload() -> Workload {
+        Workload { data_size_mb: 238.0, total_quads: 220_000 }
+    }
+
+    fn nerflex_pixel_workload() -> Workload {
+        Workload { data_size_mb: 148.0, total_quads: 160_000 }
+    }
+
+    #[test]
+    fn calibration_matches_paper_averages() {
+        // NeRFlex: ≈35 FPS on iPhone, ≈25 FPS on Pixel.
+        let iphone = FpsModel::new(DeviceSpec::iphone_13());
+        let fps_i = iphone.steady_state_fps(&nerflex_iphone_workload());
+        assert!((fps_i - 35.0).abs() < 4.0, "iPhone steady FPS {fps_i}");
+        let pixel = FpsModel::new(DeviceSpec::pixel_4());
+        let fps_p = pixel.steady_state_fps(&nerflex_pixel_workload());
+        assert!((fps_p - 25.0).abs() < 3.0, "Pixel steady FPS {fps_p}");
+    }
+
+    #[test]
+    fn single_nerf_on_pixel_is_roughly_half_of_nerflex() {
+        // The paper: "our system improves the FPS by 2 times compared to the
+        // single NeRF" on the Pixel (Single-NeRF data is ≈250 MB+).
+        let pixel = FpsModel::new(DeviceSpec::pixel_4());
+        let nerflex = pixel.steady_state_fps(&nerflex_pixel_workload());
+        let single = pixel.steady_state_fps(&Workload { data_size_mb: 260.0, total_quads: 260_000 });
+        let ratio = nerflex / single;
+        assert!(ratio > 1.6 && ratio < 3.0, "NeRFlex/Single FPS ratio {ratio}");
+    }
+
+    #[test]
+    fn exceeding_soft_limit_costs_about_fifteen_fps_on_pixel() {
+        let pixel = FpsModel::new(DeviceSpec::pixel_4());
+        let within = pixel.steady_state_fps(&Workload { data_size_mb: 150.0, total_quads: 100_000 });
+        let beyond = pixel.steady_state_fps(&Workload { data_size_mb: 265.0, total_quads: 100_000 });
+        let drop = within - beyond;
+        assert!((drop - 15.0).abs() < 3.0, "FPS drop past the soft limit: {drop}");
+    }
+
+    #[test]
+    fn trace_has_warmup_then_steady_phase() {
+        let model = FpsModel::new(DeviceSpec::iphone_13());
+        let workload = nerflex_iphone_workload();
+        let trace = model.frame_trace(&workload, 2000, 7);
+        assert_eq!(trace.len(), 2000);
+        let warmup = model.warmup_frames(&workload);
+        let steady = model.steady_state_fps(&workload);
+        // Warm-up phase is more volatile than the steady phase.
+        let variance = |xs: &[f64]| {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+        };
+        assert!(variance(&trace[..warmup]) > variance(&trace[warmup..]));
+        // Steady-phase mean is close to the calibrated steady-state value.
+        let steady_mean = FpsModel::average_of_trace(&trace[warmup..]);
+        assert!((steady_mean - steady).abs() < 2.0, "steady mean {steady_mean} vs {steady}");
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let model = FpsModel::new(DeviceSpec::pixel_4());
+        let w = nerflex_pixel_workload();
+        assert_eq!(model.frame_trace(&w, 200, 3), model.frame_trace(&w, 200, 3));
+        assert_ne!(model.frame_trace(&w, 200, 3), model.frame_trace(&w, 200, 4));
+    }
+
+    #[test]
+    fn fps_never_drops_below_minimum_while_rendering() {
+        let model = FpsModel::new(DeviceSpec::pixel_4());
+        let heavy = Workload { data_size_mb: 395.0, total_quads: 900_000 };
+        assert!(model.steady_state_fps(&heavy) >= model.spec().min_fps);
+    }
+}

@@ -1,0 +1,34 @@
+//! # nerflex-device
+//!
+//! Analytic mobile-device models: memory ceilings, loading behaviour and
+//! frame-rate simulation for the two commercial devices the paper evaluates
+//! on (iPhone 13 and Pixel 4).
+//!
+//! The paper measures these properties empirically on real hardware; this
+//! crate encodes the measured operating points as a calibrated model (see
+//! DESIGN.md, substitution table): the iPhone's WebGL engine fails to load
+//! multi-modal data above ~240 MB, the Pixel loses roughly 15 FPS once data
+//! exceeds ~150 MB, NeRFlex sustains ≈35 FPS on the iPhone and ≈25 FPS on
+//! the Pixel, and Block-NeRF's 400–800 MB bundles fail to render on either
+//! device.
+//!
+//! ```
+//! use nerflex_device::{DeviceSpec, Workload};
+//!
+//! let iphone = DeviceSpec::iphone_13();
+//! let ok = Workload { data_size_mb: 200.0, total_quads: 150_000 };
+//! assert!(iphone.try_load(&ok).is_ok());
+//! let too_big = Workload { data_size_mb: 300.0, total_quads: 150_000 };
+//! assert!(iphone.try_load(&too_big).is_err());
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fps;
+pub mod session;
+pub mod spec;
+
+pub use fps::FpsModel;
+pub use session::{simulate_session, SessionReport};
+pub use spec::{DeviceSpec, LoadError, Workload};

@@ -1,0 +1,140 @@
+//! End-to-end rendering-session simulation (load → render N frames).
+
+use crate::fps::FpsModel;
+use crate::spec::{DeviceSpec, LoadError, Workload};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of simulating a viewing session on a device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Device name.
+    pub device: String,
+    /// Whether the multi-modal data loaded at all.
+    pub loaded: bool,
+    /// Reason for a load failure, when any.
+    pub load_error: Option<String>,
+    /// Average FPS over the whole session (0 when loading failed).
+    pub average_fps: f64,
+    /// Average FPS after the warm-up/loading phase.
+    pub steady_fps: f64,
+    /// Per-frame FPS trace (empty when loading failed).
+    pub trace: Vec<f64>,
+    /// Fraction of frames below 15 FPS — a stutter measure ("noticeable
+    /// stuttering" in the paper's words).
+    pub stutter_ratio: f64,
+}
+
+impl SessionReport {
+    /// `true` when the session rendered and kept a smooth frame rate
+    /// (average at or above 24 FPS and less than 10 % stuttered frames).
+    pub fn is_smooth(&self) -> bool {
+        self.loaded && self.average_fps >= 24.0 && self.stutter_ratio < 0.10
+    }
+}
+
+/// Simulates rendering `frames` frames of the workload on the device.
+///
+/// When loading fails (hard memory ceiling) the report carries an FPS of 0
+/// and an empty trace — matching the paper's "resulting in an FPS of 0".
+pub fn simulate_session(spec: &DeviceSpec, workload: &Workload, frames: usize, seed: u64) -> SessionReport {
+    match spec.try_load(workload) {
+        Err(err @ LoadError::OutOfMemory { .. }) => SessionReport {
+            device: spec.name.clone(),
+            loaded: false,
+            load_error: Some(err.to_string()),
+            average_fps: 0.0,
+            steady_fps: 0.0,
+            trace: Vec::new(),
+            stutter_ratio: 1.0,
+        },
+        Ok(()) => {
+            let model = FpsModel::new(spec.clone());
+            let trace = model.frame_trace(workload, frames, seed);
+            let average_fps = FpsModel::average_of_trace(&trace);
+            let warmup = model.warmup_frames(workload).min(frames);
+            let steady_fps = if warmup < frames {
+                FpsModel::average_of_trace(&trace[warmup..])
+            } else {
+                average_fps
+            };
+            let stutter_ratio = if trace.is_empty() {
+                0.0
+            } else {
+                trace.iter().filter(|&&f| f < 15.0).count() as f64 / trace.len() as f64
+            };
+            SessionReport {
+                device: spec.name.clone(),
+                loaded: true,
+                load_error: None,
+                average_fps,
+                steady_fps,
+                trace,
+                stutter_ratio,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nerflex_sized_workload_is_smooth_on_both_devices() {
+        let iphone = simulate_session(
+            &DeviceSpec::iphone_13(),
+            &Workload { data_size_mb: 238.0, total_quads: 220_000 },
+            2000,
+            1,
+        );
+        assert!(iphone.loaded);
+        assert!(iphone.is_smooth(), "iPhone report: avg {}", iphone.average_fps);
+        let pixel = simulate_session(
+            &DeviceSpec::pixel_4(),
+            &Workload { data_size_mb: 148.0, total_quads: 160_000 },
+            2000,
+            1,
+        );
+        assert!(pixel.loaded);
+        assert!(pixel.steady_fps > 22.0, "Pixel steady FPS {}", pixel.steady_fps);
+    }
+
+    #[test]
+    fn block_nerf_sized_workload_fails_on_both_devices() {
+        // Block-NeRF scenes exceed 400 MB and "cannot complete rendering on
+        // either device".
+        let workload = Workload { data_size_mb: 513.0, total_quads: 900_000 };
+        for spec in DeviceSpec::evaluation_devices() {
+            let report = simulate_session(&spec, &workload, 500, 2);
+            assert!(!report.loaded, "{} should fail to load", spec.name);
+            assert_eq!(report.average_fps, 0.0);
+            assert!(report.trace.is_empty());
+            assert!(!report.is_smooth());
+            assert!(report.load_error.as_deref().unwrap_or("").contains("failed to load"));
+        }
+    }
+
+    #[test]
+    fn single_nerf_fails_on_iphone_but_runs_on_pixel() {
+        // Single-NeRF data (>250 MB) exceeds the iPhone ceiling but loads on
+        // the Pixel at a degraded frame rate (Fig. 6).
+        let workload = Workload { data_size_mb: 262.0, total_quads: 300_000 };
+        let iphone = simulate_session(&DeviceSpec::iphone_13(), &workload, 500, 3);
+        assert!(!iphone.loaded);
+        let pixel = simulate_session(&DeviceSpec::pixel_4(), &workload, 500, 3);
+        assert!(pixel.loaded);
+        assert!(pixel.steady_fps < 16.0, "degraded Pixel FPS, got {}", pixel.steady_fps);
+    }
+
+    #[test]
+    fn steady_fps_exceeds_average_when_warmup_is_slow() {
+        let report = simulate_session(
+            &DeviceSpec::iphone_13(),
+            &Workload { data_size_mb: 200.0, total_quads: 100_000 },
+            1000,
+            9,
+        );
+        assert!(report.steady_fps >= report.average_fps);
+        assert!(report.stutter_ratio < 0.3);
+    }
+}

@@ -1,0 +1,172 @@
+//! Device specifications and memory/loading behaviour.
+
+use serde::{Deserialize, Serialize};
+
+/// The per-frame rendering workload implied by a set of baked assets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Workload {
+    /// Total multi-modal NeRF representation data size in megabytes.
+    pub data_size_mb: f64,
+    /// Total number of quad faces across all baked assets.
+    pub total_quads: usize,
+}
+
+/// Why a workload failed to load on a device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LoadError {
+    /// The rendering engine refused to load the data (hard memory ceiling).
+    OutOfMemory {
+        /// Workload size that was attempted, in MB.
+        requested_mb: f64,
+        /// The device's hard ceiling in MB.
+        limit_mb: f64,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::OutOfMemory { requested_mb, limit_mb } => write!(
+                f,
+                "rendering engine failed to load {requested_mb:.0} MB of NeRF data (device ceiling {limit_mb:.0} MB)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// An analytic model of one mobile device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Device name ("iPhone 13", "Pixel 4").
+    pub name: String,
+    /// Physical memory in GB (informational; the rendering ceiling below is
+    /// what actually gates loading, as observed in the paper).
+    pub memory_gb: f64,
+    /// Hard ceiling: the rendering engine fails to load data above this size.
+    pub hard_memory_limit_mb: f64,
+    /// The budget NeRFlex should target on this device (the paper sets
+    /// 240 MB for the iPhone and 150 MB for the Pixel).
+    pub recommended_budget_mb: f64,
+    /// Frame rate when the workload fits comfortably.
+    pub base_fps: f64,
+    /// FPS lost per MB of data beyond the soft threshold.
+    pub fps_drop_per_mb_over_soft: f64,
+    /// Soft threshold (MB) beyond which the frame rate starts degrading.
+    pub soft_memory_limit_mb: f64,
+    /// FPS lost per 100k quads of rasterisation workload.
+    pub fps_drop_per_100k_quads: f64,
+    /// Lower bound on the frame rate while something still renders.
+    pub min_fps: f64,
+}
+
+impl DeviceSpec {
+    /// The iPhone 13 model used in the paper (A15, 4 GB RAM, Safari/WebGL).
+    ///
+    /// Calibration: loading fails above 240 MB; NeRFlex-sized workloads
+    /// (≈240 MB) sustain ≈35 FPS.
+    pub fn iphone_13() -> Self {
+        Self {
+            name: "iPhone 13".to_string(),
+            memory_gb: 4.0,
+            hard_memory_limit_mb: 240.0,
+            recommended_budget_mb: 240.0,
+            base_fps: 38.0,
+            fps_drop_per_mb_over_soft: 0.3,
+            soft_memory_limit_mb: 240.0,
+            fps_drop_per_100k_quads: 1.2,
+            min_fps: 2.0,
+        }
+    }
+
+    /// The Pixel 4 model used in the paper (6 GB RAM, Chrome/WebGL).
+    ///
+    /// Calibration: data can load up to ≈400 MB but the average FPS drops by
+    /// roughly 15 beyond 150 MB; NeRFlex-sized workloads (≈150 MB) sustain
+    /// ≈25 FPS, about twice the Single-NeRF baseline.
+    pub fn pixel_4() -> Self {
+        Self {
+            name: "Pixel 4".to_string(),
+            memory_gb: 6.0,
+            hard_memory_limit_mb: 400.0,
+            recommended_budget_mb: 150.0,
+            base_fps: 27.0,
+            fps_drop_per_mb_over_soft: 0.12,
+            soft_memory_limit_mb: 150.0,
+            fps_drop_per_100k_quads: 2.0,
+            min_fps: 2.0,
+        }
+    }
+
+    /// Both evaluation devices, in the order the paper reports them.
+    pub fn evaluation_devices() -> Vec<DeviceSpec> {
+        vec![Self::iphone_13(), Self::pixel_4()]
+    }
+
+    /// Attempts to load a workload: fails when it exceeds the hard ceiling
+    /// (the paper's "local WebGL rendering engine fails to load the data").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError::OutOfMemory`] when the workload exceeds the hard
+    /// memory ceiling.
+    pub fn try_load(&self, workload: &Workload) -> Result<(), LoadError> {
+        if workload.data_size_mb > self.hard_memory_limit_mb {
+            Err(LoadError::OutOfMemory {
+                requested_mb: workload.data_size_mb,
+                limit_mb: self.hard_memory_limit_mb,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} GB RAM, budget {:.0} MB)",
+            self.name, self.memory_gb, self.recommended_budget_mb
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_operating_points() {
+        let iphone = DeviceSpec::iphone_13();
+        assert_eq!(iphone.hard_memory_limit_mb, 240.0);
+        assert_eq!(iphone.recommended_budget_mb, 240.0);
+        let pixel = DeviceSpec::pixel_4();
+        assert_eq!(pixel.recommended_budget_mb, 150.0);
+        assert!(pixel.memory_gb > iphone.memory_gb);
+        assert!(pixel.base_fps < iphone.base_fps, "Pixel is the lower-compute device");
+    }
+
+    #[test]
+    fn loading_respects_the_hard_ceiling() {
+        let iphone = DeviceSpec::iphone_13();
+        assert!(iphone.try_load(&Workload { data_size_mb: 239.0, total_quads: 0 }).is_ok());
+        let err = iphone
+            .try_load(&Workload { data_size_mb: 513.0, total_quads: 0 })
+            .unwrap_err();
+        assert!(err.to_string().contains("failed to load"));
+        // Pixel tolerates larger loads (more RAM) even though it renders slowly.
+        let pixel = DeviceSpec::pixel_4();
+        assert!(pixel.try_load(&Workload { data_size_mb: 300.0, total_quads: 0 }).is_ok());
+        assert!(pixel.try_load(&Workload { data_size_mb: 800.0, total_quads: 0 }).is_err());
+    }
+
+    #[test]
+    fn evaluation_devices_contains_both() {
+        let devices = DeviceSpec::evaluation_devices();
+        assert_eq!(devices.len(), 2);
+        assert_eq!(devices[0].name, "iPhone 13");
+        assert_eq!(devices[1].name, "Pixel 4");
+    }
+}

@@ -1,0 +1,101 @@
+//! Simple raster drawing helpers used by tests, examples and debug output.
+
+use crate::image::{Color, Image};
+use crate::mask::Mask;
+
+/// Fills the axis-aligned rectangle `[x0, x1) × [y0, y1)` (clamped to the
+/// image bounds) with `color`.
+pub fn fill_rect(image: &mut Image, x0: usize, y0: usize, x1: usize, y1: usize, color: Color) {
+    let x1 = x1.min(image.width());
+    let y1 = y1.min(image.height());
+    for y in y0..y1 {
+        for x in x0..x1 {
+            image.set(x, y, color);
+        }
+    }
+}
+
+/// Fills a filled circle of the given centre and radius.
+pub fn fill_circle(image: &mut Image, cx: f32, cy: f32, radius: f32, color: Color) {
+    let r2 = radius * radius;
+    for y in 0..image.height() {
+        for x in 0..image.width() {
+            let dx = x as f32 + 0.5 - cx;
+            let dy = y as f32 + 0.5 - cy;
+            if dx * dx + dy * dy <= r2 {
+                image.set(x, y, color);
+            }
+        }
+    }
+}
+
+/// Draws a checkerboard with cells of `cell` pixels alternating between the
+/// two colours — a convenient high-frequency test pattern.
+pub fn checkerboard(width: usize, height: usize, cell: usize, a: Color, b: Color) -> Image {
+    let cell = cell.max(1);
+    Image::from_fn(width, height, |x, y| {
+        if ((x / cell) + (y / cell)) % 2 == 0 {
+            a
+        } else {
+            b
+        }
+    })
+}
+
+/// Blends `overlay` onto `base` wherever `mask` is set, with opacity `alpha`.
+///
+/// # Panics
+///
+/// Panics when dimensions disagree.
+pub fn blend_masked(base: &Image, overlay: Color, mask: &Mask, alpha: f32) -> Image {
+    assert!(
+        base.width() == mask.width() && base.height() == mask.height(),
+        "mask dimensions must match the image"
+    );
+    Image::from_fn(base.width(), base.height(), |x, y| {
+        let p = base.get(x, y);
+        if mask.get(x, y) {
+            p.lerp(overlay, alpha)
+        } else {
+            p
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_rect_clamps_to_bounds() {
+        let mut img = Image::new(8, 8, Color::BLACK);
+        fill_rect(&mut img, 6, 6, 20, 20, Color::WHITE);
+        assert_eq!(img.get(7, 7), Color::WHITE);
+        assert_eq!(img.get(5, 5), Color::BLACK);
+    }
+
+    #[test]
+    fn circle_covers_center_not_corners() {
+        let mut img = Image::new(16, 16, Color::BLACK);
+        fill_circle(&mut img, 8.0, 8.0, 4.0, Color::WHITE);
+        assert_eq!(img.get(8, 8), Color::WHITE);
+        assert_eq!(img.get(0, 0), Color::BLACK);
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let img = checkerboard(8, 8, 2, Color::BLACK, Color::WHITE);
+        assert_eq!(img.get(0, 0), Color::BLACK);
+        assert_eq!(img.get(2, 0), Color::WHITE);
+        assert_eq!(img.get(2, 2), Color::BLACK);
+    }
+
+    #[test]
+    fn blend_only_touches_masked_pixels() {
+        let base = Image::new(4, 4, Color::BLACK);
+        let mask = Mask::from_fn(4, 4, |x, _| x < 2);
+        let out = blend_masked(&base, Color::WHITE, &mask, 0.5);
+        assert!((out.get(0, 0).r - 0.5).abs() < 1e-6);
+        assert_eq!(out.get(3, 0), Color::BLACK);
+    }
+}

@@ -1,0 +1,266 @@
+//! Spatial-frequency analysis: 2-D DCT and the detail-frequency estimator.
+//!
+//! Paper §III-A decides which objects deserve a dedicated NeRF by computing,
+//! per object per training image, the "detail frequency" of the object and
+//! then thresholding the **maximum** frequency observed across views. We
+//! implement the detail frequency as the energy-weighted mean spatial
+//! frequency of the object's luminance patch under an orthonormal type-II
+//! DCT — high values mean fine, high-contrast detail (text, foliage, Lego
+//! studs), low values mean smooth regions.
+
+use crate::image::Image;
+use crate::mask::Mask;
+
+/// Orthonormal 1-D type-II DCT of `input` (reference O(n²) implementation;
+/// patches are small so this is fast enough and has no dependencies).
+pub fn dct_1d(input: &[f64]) -> Vec<f64> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = vec![0.0; n];
+    let factor = std::f64::consts::PI / n as f64;
+    for (k, out_k) in out.iter_mut().enumerate() {
+        let mut sum = 0.0;
+        for (i, &x) in input.iter().enumerate() {
+            sum += x * ((i as f64 + 0.5) * k as f64 * factor).cos();
+        }
+        let scale = if k == 0 {
+            (1.0 / n as f64).sqrt()
+        } else {
+            (2.0 / n as f64).sqrt()
+        };
+        *out_k = sum * scale;
+    }
+    out
+}
+
+/// Orthonormal 2-D type-II DCT of a row-major `width × height` plane.
+///
+/// # Panics
+///
+/// Panics when `plane.len() != width * height`.
+pub fn dct_2d(plane: &[f64], width: usize, height: usize) -> Vec<f64> {
+    assert_eq!(plane.len(), width * height, "plane size mismatch");
+    // Rows first.
+    let mut rows = vec![0.0; width * height];
+    for y in 0..height {
+        let row: Vec<f64> = plane[y * width..(y + 1) * width].to_vec();
+        let t = dct_1d(&row);
+        rows[y * width..(y + 1) * width].copy_from_slice(&t);
+    }
+    // Then columns.
+    let mut out = vec![0.0; width * height];
+    let mut col = vec![0.0; height];
+    for x in 0..width {
+        for y in 0..height {
+            col[y] = rows[y * width + x];
+        }
+        let t = dct_1d(&col);
+        for y in 0..height {
+            out[y * width + x] = t[y];
+        }
+    }
+    out
+}
+
+/// The result of analysing one image region's spatial-frequency content.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FrequencyProfile {
+    /// Energy-weighted mean normalised spatial frequency in `[0, 1]`
+    /// (0 = DC only, 1 = everything at Nyquist).
+    pub mean_frequency: f64,
+    /// Fraction of AC energy above half the Nyquist frequency.
+    pub high_frequency_energy: f64,
+    /// Total AC energy (contrast) of the region.
+    pub ac_energy: f64,
+}
+
+impl FrequencyProfile {
+    /// The scalar "detail frequency" used by the segmentation threshold: the
+    /// energy-weighted mean frequency, which is what the paper plots per
+    /// object and compares against the user threshold α.
+    pub fn detail_frequency(&self) -> f64 {
+        self.mean_frequency
+    }
+}
+
+/// Analyses the spatial-frequency content of the luminance of `image`.
+pub fn analyze(image: &Image) -> FrequencyProfile {
+    let lum: Vec<f64> = image.to_luminance().iter().map(|&v| v as f64).collect();
+    analyze_plane(&lum, image.width(), image.height())
+}
+
+/// Analyses only the masked region: the crop is taken from the mask's
+/// bounding box and pixels outside the mask are replaced by the region mean
+/// so they contribute no AC energy.
+///
+/// Returns the all-zero profile when the mask is empty.
+///
+/// # Panics
+///
+/// Panics when the mask and image dimensions disagree.
+pub fn analyze_masked(image: &Image, mask: &Mask) -> FrequencyProfile {
+    assert!(
+        mask.width() == image.width() && mask.height() == image.height(),
+        "mask dimensions must match the image"
+    );
+    let Some((x0, y0, x1, y1)) = mask.bounding_box() else {
+        return FrequencyProfile::default();
+    };
+    let (w, h) = (x1 - x0, y1 - y0);
+    // Mean luminance inside the mask.
+    let mut mean = 0.0f64;
+    let mut count = 0usize;
+    for y in y0..y1 {
+        for x in x0..x1 {
+            if mask.get(x, y) {
+                mean += image.get(x, y).luminance() as f64;
+                count += 1;
+            }
+        }
+    }
+    mean /= count.max(1) as f64;
+    let mut plane = vec![0.0f64; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            plane[y * w + x] = if mask.get(x0 + x, y0 + y) {
+                image.get(x0 + x, y0 + y).luminance() as f64
+            } else {
+                mean
+            };
+        }
+    }
+    analyze_plane(&plane, w, h)
+}
+
+/// Analyses a raw luminance plane.
+pub fn analyze_plane(plane: &[f64], width: usize, height: usize) -> FrequencyProfile {
+    if width == 0 || height == 0 {
+        return FrequencyProfile::default();
+    }
+    let coeffs = dct_2d(plane, width, height);
+    let mut weighted_freq = 0.0f64;
+    let mut total_energy = 0.0f64;
+    let mut high_energy = 0.0f64;
+    let nyquist = (((width - 1) * (width - 1) + (height - 1) * (height - 1)) as f64)
+        .sqrt()
+        .max(1.0);
+    for v in 0..height {
+        for u in 0..width {
+            if u == 0 && v == 0 {
+                continue; // Skip DC: brightness carries no detail.
+            }
+            let energy = coeffs[v * width + u] * coeffs[v * width + u];
+            let freq = ((u * u + v * v) as f64).sqrt() / nyquist;
+            weighted_freq += freq * energy;
+            total_energy += energy;
+            if freq > 0.5 {
+                high_energy += energy;
+            }
+        }
+    }
+    if total_energy <= 1e-15 {
+        return FrequencyProfile {
+            mean_frequency: 0.0,
+            high_frequency_energy: 0.0,
+            ac_energy: 0.0,
+        };
+    }
+    FrequencyProfile {
+        mean_frequency: weighted_freq / total_energy,
+        high_frequency_energy: high_energy / total_energy,
+        ac_energy: total_energy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Color;
+
+    fn sine_image(cycles: f32, size: usize) -> Image {
+        Image::from_fn(size, size, |x, _| {
+            let phase = x as f32 / size as f32 * cycles * std::f32::consts::TAU;
+            Color::gray(0.5 + 0.5 * phase.sin())
+        })
+    }
+
+    #[test]
+    fn dct_of_constant_signal_is_dc_only() {
+        let c = dct_1d(&[2.0; 8]);
+        assert!((c[0] - 2.0 * (8.0f64).sqrt()).abs() < 1e-9);
+        for &v in &c[1..] {
+            assert!(v.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dct_preserves_energy() {
+        // Orthonormal DCT is an isometry (Parseval).
+        let signal: Vec<f64> = (0..16).map(|i| ((i * 7 + 3) % 11) as f64 * 0.1).collect();
+        let coeffs = dct_1d(&signal);
+        let e_in: f64 = signal.iter().map(|x| x * x).sum();
+        let e_out: f64 = coeffs.iter().map(|x| x * x).sum();
+        assert!((e_in - e_out).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dct_2d_of_flat_plane() {
+        let plane = vec![1.0; 4 * 4];
+        let c = dct_2d(&plane, 4, 4);
+        assert!((c[0] - 4.0).abs() < 1e-9);
+        assert!(c[1..].iter().all(|v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn higher_spatial_frequency_increases_detail_metric() {
+        let low = analyze(&sine_image(2.0, 64));
+        let high = analyze(&sine_image(16.0, 64));
+        assert!(high.mean_frequency > low.mean_frequency);
+        assert!(high.detail_frequency() > low.detail_frequency());
+    }
+
+    #[test]
+    fn flat_image_has_zero_detail() {
+        let flat = Image::new(32, 32, Color::gray(0.7));
+        let p = analyze(&flat);
+        assert_eq!(p.mean_frequency, 0.0);
+        assert_eq!(p.ac_energy, 0.0);
+    }
+
+    #[test]
+    fn checkerboard_is_mostly_high_frequency() {
+        let checker = Image::from_fn(32, 32, |x, y| Color::gray(((x + y) % 2) as f32));
+        let p = analyze(&checker);
+        assert!(p.high_frequency_energy > 0.5);
+        assert!(p.mean_frequency > 0.5);
+    }
+
+    #[test]
+    fn masked_analysis_ignores_outside_region() {
+        // Busy texture on the left, flat on the right: analysing the right
+        // half through a mask must report near-zero detail even though the
+        // full image is busy.
+        let img = Image::from_fn(64, 64, |x, y| {
+            if x < 32 {
+                Color::gray(((x + y) % 2) as f32)
+            } else {
+                Color::gray(0.5)
+            }
+        });
+        let right = Mask::from_fn(64, 64, |x, _| x >= 32);
+        let left = Mask::from_fn(64, 64, |x, _| x < 32);
+        let p_right = analyze_masked(&img, &right);
+        let p_left = analyze_masked(&img, &left);
+        assert!(p_right.mean_frequency < 0.05);
+        assert!(p_left.mean_frequency > 0.5);
+    }
+
+    #[test]
+    fn empty_mask_gives_default_profile() {
+        let img = Image::new(16, 16, Color::WHITE);
+        let empty = Mask::new(16, 16);
+        assert_eq!(analyze_masked(&img, &empty), FrequencyProfile::default());
+    }
+}

@@ -1,0 +1,31 @@
+//! # nerflex-image
+//!
+//! Image substrate for the NeRFlex reproduction: a float RGB image type,
+//! resampling (nearest / bilinear / bicubic), the quality metrics used by the
+//! paper's evaluation (MSE, PSNR, SSIM and an LPIPS-style perceptual proxy),
+//! binary masks with bounding boxes, and the 2-D DCT frequency analysis that
+//! drives the detail-based segmentation module.
+//!
+//! ```
+//! use nerflex_image::{Image, metrics};
+//!
+//! let a = Image::from_fn(32, 32, |x, y| {
+//!     nerflex_image::Color::gray(((x + y) % 2) as f32)
+//! });
+//! assert_eq!(metrics::ssim(&a, &a), 1.0);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod draw;
+pub mod frequency;
+pub mod image;
+pub mod interp;
+pub mod lpips;
+pub mod mask;
+pub mod metrics;
+
+pub use crate::image::{Color, Image};
+pub use interp::Interpolation;
+pub use mask::Mask;

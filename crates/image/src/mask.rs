@@ -1,0 +1,254 @@
+//! Binary pixel masks with bounding-box queries.
+//!
+//! The segmentation module produces one mask per detected object per training
+//! image ("generate a corresponding mask to cover all the pixels they
+//! occupy", paper §III-A); the crop/enlarge step then uses the mask's
+//! "outermost pixels as boundaries".
+
+use serde::{Deserialize, Serialize};
+
+/// A dense binary mask the size of an image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mask {
+    width: usize,
+    height: usize,
+    bits: Vec<bool>,
+}
+
+impl Mask {
+    /// Creates an all-false mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "mask dimensions must be non-zero");
+        Self {
+            width,
+            height,
+            bits: vec![false; width * height],
+        }
+    }
+
+    /// Creates a mask by evaluating a predicate per pixel.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut m = Self::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                if f(x, y) {
+                    m.set(x, y, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Mask width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mask height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The bit at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinates are out of range.
+    pub fn get(&self, x: usize, y: usize) -> bool {
+        assert!(x < self.width && y < self.height, "mask index ({x},{y}) out of bounds");
+        self.bits[y * self.width + x]
+    }
+
+    /// Sets the bit at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinates are out of range.
+    pub fn set(&mut self, x: usize, y: usize, value: bool) {
+        assert!(x < self.width && y < self.height, "mask index ({x},{y}) out of bounds");
+        self.bits[y * self.width + x] = value;
+    }
+
+    /// Number of set pixels.
+    pub fn count(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Fraction of set pixels in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        self.count() as f64 / (self.width * self.height) as f64
+    }
+
+    /// `true` when no pixel is set.
+    pub fn is_empty(&self) -> bool {
+        !self.bits.iter().any(|&b| b)
+    }
+
+    /// Tight bounding box `(x0, y0, x1, y1)` of the set pixels, inclusive of
+    /// `x0, y0` and exclusive of `x1, y1`; `None` when the mask is empty.
+    pub fn bounding_box(&self) -> Option<(usize, usize, usize, usize)> {
+        let mut min_x = usize::MAX;
+        let mut min_y = usize::MAX;
+        let mut max_x = 0usize;
+        let mut max_y = 0usize;
+        let mut any = false;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                if self.bits[y * self.width + x] {
+                    any = true;
+                    min_x = min_x.min(x);
+                    min_y = min_y.min(y);
+                    max_x = max_x.max(x);
+                    max_y = max_y.max(y);
+                }
+            }
+        }
+        any.then_some((min_x, min_y, max_x + 1, max_y + 1))
+    }
+
+    /// Pixel-wise union.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn union(&self, other: &Self) -> Self {
+        assert!(
+            self.width == other.width && self.height == other.height,
+            "mask dimensions mismatch"
+        );
+        Self {
+            width: self.width,
+            height: self.height,
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(&a, &b)| a || b)
+                .collect(),
+        }
+    }
+
+    /// Pixel-wise intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn intersection(&self, other: &Self) -> Self {
+        assert!(
+            self.width == other.width && self.height == other.height,
+            "mask dimensions mismatch"
+        );
+        Self {
+            width: self.width,
+            height: self.height,
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(&a, &b)| a && b)
+                .collect(),
+        }
+    }
+
+    /// Morphological dilation by a square structuring element of radius
+    /// `radius` (Chebyshev distance).
+    pub fn dilate(&self, radius: usize) -> Self {
+        if radius == 0 {
+            return self.clone();
+        }
+        let r = radius as isize;
+        Self::from_fn(self.width, self.height, |x, y| {
+            let (xi, yi) = (x as isize, y as isize);
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    let nx = xi + dx;
+                    let ny = yi + dy;
+                    if nx >= 0
+                        && ny >= 0
+                        && (nx as usize) < self.width
+                        && (ny as usize) < self.height
+                        && self.bits[ny as usize * self.width + nx as usize]
+                    {
+                        return true;
+                    }
+                }
+            }
+            false
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bounding_box_of_rectangle() {
+        let m = Mask::from_fn(16, 16, |x, y| (3..7).contains(&x) && (5..10).contains(&y));
+        assert_eq!(m.bounding_box(), Some((3, 5, 7, 10)));
+        assert_eq!(m.count(), 4 * 5);
+    }
+
+    #[test]
+    fn empty_mask_has_no_bbox() {
+        let m = Mask::new(8, 8);
+        assert!(m.is_empty());
+        assert_eq!(m.bounding_box(), None);
+        assert_eq!(m.coverage(), 0.0);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = Mask::from_fn(8, 8, |x, _| x < 4);
+        let b = Mask::from_fn(8, 8, |x, _| x >= 2);
+        assert_eq!(a.union(&b).count(), 64);
+        assert_eq!(a.intersection(&b).count(), 16);
+    }
+
+    #[test]
+    fn dilation_grows_by_radius() {
+        let mut m = Mask::new(9, 9);
+        m.set(4, 4, true);
+        let d = m.dilate(2);
+        assert_eq!(d.count(), 25);
+        assert_eq!(d.bounding_box(), Some((2, 2, 7, 7)));
+        assert_eq!(m.dilate(0), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let m = Mask::new(4, 4);
+        let _ = m.get(4, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_union_count_at_least_max(ax in 1usize..8, ay in 1usize..8, bx in 1usize..8, by in 1usize..8) {
+            let a = Mask::from_fn(8, 8, |x, y| x < ax && y < ay);
+            let b = Mask::from_fn(8, 8, |x, y| x < bx && y < by);
+            let u = a.union(&b);
+            prop_assert!(u.count() >= a.count().max(b.count()));
+            prop_assert!(u.count() <= a.count() + b.count());
+        }
+
+        #[test]
+        fn prop_bbox_contains_all_set_pixels(seed in 0u32..1000) {
+            let m = Mask::from_fn(16, 16, |x, y| (x * 31 + y * 17 + seed as usize) % 7 == 0);
+            if let Some((x0, y0, x1, y1)) = m.bounding_box() {
+                for y in 0..16 {
+                    for x in 0..16 {
+                        if m.get(x, y) {
+                            prop_assert!(x >= x0 && x < x1 && y >= y0 && y < y1);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

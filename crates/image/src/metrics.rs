@@ -1,0 +1,289 @@
+//! Full-reference image quality metrics: MSE, PSNR and SSIM.
+//!
+//! These follow the definitions cited by the paper: PSNR from the per-pixel
+//! mean squared error, and SSIM computed with the standard 8×8 sliding window
+//! and the constants of Wang et al. (2004) on the luminance plane.
+
+use crate::image::Image;
+
+/// Mean squared error over all pixels and channels.
+///
+/// # Panics
+///
+/// Panics when the two images have different dimensions.
+pub fn mse(a: &Image, b: &Image) -> f64 {
+    assert_dims(a, b);
+    let mut acc = 0.0f64;
+    for (pa, pb) in a.pixels().iter().zip(b.pixels()) {
+        let dr = (pa.r - pb.r) as f64;
+        let dg = (pa.g - pb.g) as f64;
+        let db = (pa.b - pb.b) as f64;
+        acc += dr * dr + dg * dg + db * db;
+    }
+    acc / (a.pixel_count() as f64 * 3.0)
+}
+
+/// Peak signal-to-noise ratio in decibels, for signals in `[0, 1]`.
+///
+/// Identical images return `f64::INFINITY`.
+///
+/// # Panics
+///
+/// Panics when the two images have different dimensions.
+pub fn psnr(a: &Image, b: &Image) -> f64 {
+    let err = mse(a, b);
+    if err <= 0.0 {
+        return f64::INFINITY;
+    }
+    10.0 * (1.0 / err).log10()
+}
+
+/// Structural similarity index on the luminance plane, averaged over 8×8
+/// windows with stride 4 (a dense sliding-window approximation).
+///
+/// Returns a value in `[-1, 1]`; `1` means identical.
+///
+/// # Panics
+///
+/// Panics when the two images have different dimensions.
+pub fn ssim(a: &Image, b: &Image) -> f64 {
+    ssim_windowed(a, b, 8, 4)
+}
+
+/// SSIM with an explicit window size and stride.
+///
+/// # Panics
+///
+/// Panics when the images differ in size, or when `window` is zero or larger
+/// than either image dimension, or `stride` is zero.
+pub fn ssim_windowed(a: &Image, b: &Image, window: usize, stride: usize) -> f64 {
+    assert_dims(a, b);
+    assert!(window > 0 && stride > 0, "window and stride must be non-zero");
+    assert!(
+        window <= a.width() && window <= a.height(),
+        "SSIM window larger than image"
+    );
+    const C1: f64 = 0.01 * 0.01;
+    const C2: f64 = 0.03 * 0.03;
+
+    let la = a.to_luminance();
+    let lb = b.to_luminance();
+    let width = a.width();
+
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    let mut y = 0;
+    while y + window <= a.height() {
+        let mut x = 0;
+        while x + window <= width {
+            let (mut sum_a, mut sum_b, mut sum_aa, mut sum_bb, mut sum_ab) = (0.0, 0.0, 0.0, 0.0, 0.0);
+            for wy in 0..window {
+                for wx in 0..window {
+                    let va = la[(y + wy) * width + (x + wx)] as f64;
+                    let vb = lb[(y + wy) * width + (x + wx)] as f64;
+                    sum_a += va;
+                    sum_b += vb;
+                    sum_aa += va * va;
+                    sum_bb += vb * vb;
+                    sum_ab += va * vb;
+                }
+            }
+            let n = (window * window) as f64;
+            let mu_a = sum_a / n;
+            let mu_b = sum_b / n;
+            let var_a = (sum_aa / n - mu_a * mu_a).max(0.0);
+            let var_b = (sum_bb / n - mu_b * mu_b).max(0.0);
+            let cov = sum_ab / n - mu_a * mu_b;
+            let numerator = (2.0 * mu_a * mu_b + C1) * (2.0 * cov + C2);
+            let denominator = (mu_a * mu_a + mu_b * mu_b + C1) * (var_a + var_b + C2);
+            total += numerator / denominator;
+            count += 1;
+            x += stride;
+        }
+        y += stride;
+    }
+    if count == 0 {
+        return 1.0;
+    }
+    (total / count as f64).min(1.0)
+}
+
+/// SSIM restricted to the pixels selected by `mask` (windows whose centre is
+/// inside the mask). Used for the paper's "high-frequency detail region"
+/// scores in Fig. 4.
+///
+/// # Panics
+///
+/// Panics when images or mask dimensions disagree.
+pub fn ssim_masked(a: &Image, b: &Image, mask: &crate::mask::Mask) -> f64 {
+    assert_dims(a, b);
+    assert!(
+        mask.width() == a.width() && mask.height() == a.height(),
+        "mask dimensions must match the images"
+    );
+    const C1: f64 = 0.01 * 0.01;
+    const C2: f64 = 0.03 * 0.03;
+    let window = 8usize;
+    let stride = 4usize;
+    if window > a.width() || window > a.height() {
+        return ssim(a, b);
+    }
+
+    let la = a.to_luminance();
+    let lb = b.to_luminance();
+    let width = a.width();
+
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    let mut y = 0;
+    while y + window <= a.height() {
+        let mut x = 0;
+        while x + window <= width {
+            if mask.get(x + window / 2, y + window / 2) {
+                let (mut sum_a, mut sum_b, mut sum_aa, mut sum_bb, mut sum_ab) =
+                    (0.0, 0.0, 0.0, 0.0, 0.0);
+                for wy in 0..window {
+                    for wx in 0..window {
+                        let va = la[(y + wy) * width + (x + wx)] as f64;
+                        let vb = lb[(y + wy) * width + (x + wx)] as f64;
+                        sum_a += va;
+                        sum_b += vb;
+                        sum_aa += va * va;
+                        sum_bb += vb * vb;
+                        sum_ab += va * vb;
+                    }
+                }
+                let n = (window * window) as f64;
+                let mu_a = sum_a / n;
+                let mu_b = sum_b / n;
+                let var_a = (sum_aa / n - mu_a * mu_a).max(0.0);
+                let var_b = (sum_bb / n - mu_b * mu_b).max(0.0);
+                let cov = sum_ab / n - mu_a * mu_b;
+                total += ((2.0 * mu_a * mu_b + C1) * (2.0 * cov + C2))
+                    / ((mu_a * mu_a + mu_b * mu_b + C1) * (var_a + var_b + C2));
+                count += 1;
+            }
+            x += stride;
+        }
+        y += stride;
+    }
+    if count == 0 {
+        // Mask selected no windows: fall back to the whole image.
+        return ssim(a, b);
+    }
+    (total / count as f64).min(1.0)
+}
+
+fn assert_dims(a: &Image, b: &Image) {
+    assert!(
+        a.width() == b.width() && a.height() == b.height(),
+        "image dimensions mismatch: {}x{} vs {}x{}",
+        a.width(),
+        a.height(),
+        b.width(),
+        b.height()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Color;
+    use crate::mask::Mask;
+
+    fn noisy(base: &Image, amplitude: f32) -> Image {
+        // Deterministic "noise" via a hash of the pixel index.
+        Image::from_fn(base.width(), base.height(), |x, y| {
+            let h = ((x * 92821 + y * 68917) % 1000) as f32 / 1000.0 - 0.5;
+            let p = base.get(x, y);
+            Color::new(p.r + h * amplitude, p.g + h * amplitude, p.b + h * amplitude).clamped()
+        })
+    }
+
+    fn test_pattern() -> Image {
+        Image::from_fn(64, 64, |x, y| {
+            Color::gray(0.5 + 0.4 * ((x as f32 * 0.3).sin() * (y as f32 * 0.2).cos()))
+        })
+    }
+
+    #[test]
+    fn identical_images_are_perfect() {
+        let img = test_pattern();
+        assert_eq!(mse(&img, &img), 0.0);
+        assert_eq!(psnr(&img, &img), f64::INFINITY);
+        assert_eq!(ssim(&img, &img), 1.0);
+    }
+
+    #[test]
+    fn metrics_degrade_monotonically_with_noise() {
+        let img = test_pattern();
+        let slightly = noisy(&img, 0.05);
+        let very = noisy(&img, 0.4);
+        assert!(psnr(&img, &slightly) > psnr(&img, &very));
+        assert!(ssim(&img, &slightly) > ssim(&img, &very));
+        assert!(mse(&img, &slightly) < mse(&img, &very));
+    }
+
+    #[test]
+    fn psnr_known_value_for_uniform_error() {
+        let a = Image::new(16, 16, Color::gray(0.5));
+        let b = Image::new(16, 16, Color::gray(0.6));
+        // MSE = 0.01 exactly, so PSNR = 10*log10(1/0.01) = 20 dB.
+        assert!((psnr(&a, &b) - 20.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ssim_is_symmetric_and_bounded() {
+        let a = test_pattern();
+        let b = noisy(&a, 0.2);
+        let s1 = ssim(&a, &b);
+        let s2 = ssim(&b, &a);
+        assert!((s1 - s2).abs() < 1e-9);
+        assert!(s1 > 0.0 && s1 < 1.0);
+    }
+
+    #[test]
+    fn ssim_penalises_structural_change_more_than_brightness_shift() {
+        let a = test_pattern();
+        // Global brightness shift keeps structure.
+        let shifted = Image::from_fn(64, 64, |x, y| {
+            let p = a.get(x, y);
+            Color::new(p.r + 0.1, p.g + 0.1, p.b + 0.1).clamped()
+        });
+        // Scrambled rows destroy structure with a similar per-pixel error scale.
+        let scrambled = Image::from_fn(64, 64, |x, y| a.get(x, (y * 7 + 13) % 64));
+        assert!(ssim(&a, &shifted) > ssim(&a, &scrambled));
+    }
+
+    #[test]
+    fn masked_ssim_targets_degraded_region() {
+        let a = test_pattern();
+        // Degrade only the right half.
+        let b = Image::from_fn(64, 64, |x, y| {
+            if x >= 32 {
+                Color::gray(0.5)
+            } else {
+                a.get(x, y)
+            }
+        });
+        let right = Mask::from_fn(64, 64, |x, _| x >= 32);
+        let left = Mask::from_fn(64, 64, |x, _| x < 32);
+        assert!(ssim_masked(&a, &b, &right) < ssim_masked(&a, &b, &left));
+        assert!(ssim_masked(&a, &b, &left) > 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn dimension_mismatch_panics() {
+        let a = Image::new(8, 8, Color::BLACK);
+        let b = Image::new(9, 8, Color::BLACK);
+        let _ = mse(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "window larger")]
+    fn oversized_window_panics() {
+        let a = Image::new(4, 4, Color::BLACK);
+        let _ = ssim_windowed(&a, &a, 8, 4);
+    }
+}

@@ -1,0 +1,206 @@
+//! Axis-aligned bounding boxes.
+
+use crate::ray::Ray;
+use crate::vec::Vec3;
+
+/// An axis-aligned bounding box described by its minimum and maximum corners.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Default for Aabb {
+    /// The "empty" box: min = +∞, max = −∞, which is the identity for
+    /// [`Aabb::union`] / [`Aabb::expand_point`].
+    fn default() -> Self {
+        Self {
+            min: Vec3::splat(f32::INFINITY),
+            max: Vec3::splat(f32::NEG_INFINITY),
+        }
+    }
+}
+
+impl Aabb {
+    /// Creates a box from two corners (components are sorted per axis).
+    pub fn new(a: Vec3, b: Vec3) -> Self {
+        Self {
+            min: a.min(b),
+            max: a.max(b),
+        }
+    }
+
+    /// The empty box (identity for unions).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// `true` when the box contains no points (any max < min).
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// Geometric centre.
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Per-axis extent (max − min).
+    pub fn extent(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Length of the diagonal.
+    pub fn diagonal(&self) -> f32 {
+        self.extent().length()
+    }
+
+    /// Volume (zero for empty boxes).
+    pub fn volume(&self) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let e = self.extent();
+        e.x * e.y * e.z
+    }
+
+    /// `true` when the point lies inside (inclusive of boundary).
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// Smallest box containing both operands.
+    pub fn union(&self, other: &Self) -> Self {
+        Self {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Grows the box to contain `p`.
+    pub fn expand_point(&mut self, p: Vec3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Returns the box grown by `margin` on every side.
+    pub fn inflate(&self, margin: f32) -> Self {
+        Self {
+            min: self.min - Vec3::splat(margin),
+            max: self.max + Vec3::splat(margin),
+        }
+    }
+
+    /// Slab-test ray intersection.
+    ///
+    /// Returns `(t_near, t_far)` when the ray hits the box with `t_far ≥ 0`,
+    /// clamping `t_near` to zero when the origin is inside.
+    pub fn intersect_ray(&self, ray: &Ray) -> Option<(f32, f32)> {
+        let mut t_near = 0.0f32;
+        let mut t_far = f32::INFINITY;
+        for axis in 0..3 {
+            let origin = ray.origin[axis];
+            let dir = ray.direction[axis];
+            let (lo, hi) = (self.min[axis], self.max[axis]);
+            if dir.abs() < 1e-12 {
+                if origin < lo || origin > hi {
+                    return None;
+                }
+            } else {
+                let inv = 1.0 / dir;
+                let (mut t0, mut t1) = ((lo - origin) * inv, (hi - origin) * inv);
+                if t0 > t1 {
+                    std::mem::swap(&mut t0, &mut t1);
+                }
+                t_near = t_near.max(t0);
+                t_far = t_far.min(t1);
+                if t_near > t_far {
+                    return None;
+                }
+            }
+        }
+        Some((t_near, t_far))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_sorts_corners() {
+        let b = Aabb::new(Vec3::new(1.0, -1.0, 2.0), Vec3::new(-1.0, 1.0, 0.0));
+        assert_eq!(b.min, Vec3::new(-1.0, -1.0, 0.0));
+        assert_eq!(b.max, Vec3::new(1.0, 1.0, 2.0));
+    }
+
+    #[test]
+    fn empty_box_properties() {
+        let e = Aabb::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.volume(), 0.0);
+        let unit = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        assert_eq!(e.union(&unit), unit);
+    }
+
+    #[test]
+    fn contains_and_center() {
+        let b = Aabb::new(Vec3::splat(-2.0), Vec3::splat(2.0));
+        assert!(b.contains(Vec3::ZERO));
+        assert!(b.contains(Vec3::splat(2.0)));
+        assert!(!b.contains(Vec3::splat(2.1)));
+        assert_eq!(b.center(), Vec3::ZERO);
+        assert_eq!(b.volume(), 64.0);
+    }
+
+    #[test]
+    fn ray_hits_from_outside_and_inside() {
+        let b = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+        let outside = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
+        let (tn, tf) = b.intersect_ray(&outside).unwrap();
+        assert!((tn - 4.0).abs() < 1e-5 && (tf - 6.0).abs() < 1e-5);
+
+        let inside = Ray::new(Vec3::ZERO, Vec3::X);
+        let (tn, tf) = b.intersect_ray(&inside).unwrap();
+        assert_eq!(tn, 0.0);
+        assert!((tf - 1.0).abs() < 1e-5);
+
+        let miss = Ray::new(Vec3::new(0.0, 5.0, -5.0), Vec3::Z);
+        assert!(b.intersect_ray(&miss).is_none());
+    }
+
+    #[test]
+    fn axis_parallel_ray_outside_slab_misses() {
+        let b = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+        let r = Ray::new(Vec3::new(2.0, 0.0, -5.0), Vec3::Z);
+        assert!(b.intersect_ray(&r).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_union_contains_both(ax in -5f32..5.0, ay in -5f32..5.0, az in -5f32..5.0,
+                                    bx in -5f32..5.0, by in -5f32..5.0, bz in -5f32..5.0) {
+            let a = Aabb::new(Vec3::ZERO, Vec3::new(ax, ay, az));
+            let b = Aabb::new(Vec3::ZERO, Vec3::new(bx, by, bz));
+            let u = a.union(&b);
+            prop_assert!(u.contains(a.min) && u.contains(a.max));
+            prop_assert!(u.contains(b.min) && u.contains(b.max));
+        }
+
+        #[test]
+        fn prop_expand_point_contains_point(px in -10f32..10.0, py in -10f32..10.0, pz in -10f32..10.0) {
+            let mut b = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+            let p = Vec3::new(px, py, pz);
+            b.expand_point(p);
+            prop_assert!(b.contains(p));
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Small square matrices (`Mat3`, `Mat4`) in column-major order.
+//!
+//! `Mat4` carries the camera view/projection transforms used by the software
+//! rasteriser; `Mat3` is used for normal transforms and 2-D homogeneous image
+//! warps in the segmentation module.
+
+use crate::vec::{Vec3, Vec4};
+use std::ops::Mul;
+
+/// A 3×3 matrix stored column-major (`cols[c]` is column `c`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat3 {
+    /// The three columns.
+    pub cols: [Vec3; 3],
+}
+
+/// A 4×4 matrix stored column-major (`cols[c]` is column `c`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat4 {
+    /// The four columns.
+    pub cols: [Vec4; 4],
+}
+
+impl Default for Mat3 {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+impl Default for Mat4 {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+impl Mat3 {
+    /// The identity matrix.
+    pub const IDENTITY: Self = Self {
+        cols: [
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ],
+    };
+
+    /// Builds a matrix from three columns.
+    pub const fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Self {
+        Self { cols: [c0, c1, c2] }
+    }
+
+    /// Builds a rotation of `angle` radians around the (unit) `axis`
+    /// (Rodrigues' formula).
+    pub fn from_axis_angle(axis: Vec3, angle: f32) -> Self {
+        let a = axis.normalized();
+        let (s, c) = angle.sin_cos();
+        let t = 1.0 - c;
+        Self::from_cols(
+            Vec3::new(t * a.x * a.x + c, t * a.x * a.y + s * a.z, t * a.x * a.z - s * a.y),
+            Vec3::new(t * a.x * a.y - s * a.z, t * a.y * a.y + c, t * a.y * a.z + s * a.x),
+            Vec3::new(t * a.x * a.z + s * a.y, t * a.y * a.z - s * a.x, t * a.z * a.z + c),
+        )
+    }
+
+    /// Multiplies the matrix by a column vector.
+    pub fn mul_vec3(&self, v: Vec3) -> Vec3 {
+        self.cols[0] * v.x + self.cols[1] * v.y + self.cols[2] * v.z
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Self {
+        Self::from_cols(
+            Vec3::new(self.cols[0].x, self.cols[1].x, self.cols[2].x),
+            Vec3::new(self.cols[0].y, self.cols[1].y, self.cols[2].y),
+            Vec3::new(self.cols[0].z, self.cols[1].z, self.cols[2].z),
+        )
+    }
+
+    /// The determinant.
+    pub fn determinant(&self) -> f32 {
+        self.cols[0].dot(self.cols[1].cross(self.cols[2]))
+    }
+
+    /// The inverse, or `None` when the matrix is singular.
+    pub fn inverse(&self) -> Option<Self> {
+        let det = self.determinant();
+        if det.abs() < 1e-12 {
+            return None;
+        }
+        let inv_det = 1.0 / det;
+        let c0 = self.cols[1].cross(self.cols[2]) * inv_det;
+        let c1 = self.cols[2].cross(self.cols[0]) * inv_det;
+        let c2 = self.cols[0].cross(self.cols[1]) * inv_det;
+        // The cross-product columns form the rows of the inverse.
+        Some(Self::from_cols(c0, c1, c2).transpose())
+    }
+}
+
+impl Mul for Mat3 {
+    type Output = Self;
+
+    fn mul(self, rhs: Self) -> Self {
+        Self::from_cols(
+            self.mul_vec3(rhs.cols[0]),
+            self.mul_vec3(rhs.cols[1]),
+            self.mul_vec3(rhs.cols[2]),
+        )
+    }
+}
+
+impl Mat4 {
+    /// The identity matrix.
+    pub const IDENTITY: Self = Self {
+        cols: [
+            Vec4::new(1.0, 0.0, 0.0, 0.0),
+            Vec4::new(0.0, 1.0, 0.0, 0.0),
+            Vec4::new(0.0, 0.0, 1.0, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        ],
+    };
+
+    /// Builds a matrix from four columns.
+    pub const fn from_cols(c0: Vec4, c1: Vec4, c2: Vec4, c3: Vec4) -> Self {
+        Self { cols: [c0, c1, c2, c3] }
+    }
+
+    /// A pure translation.
+    pub fn from_translation(t: Vec3) -> Self {
+        let mut m = Self::IDENTITY;
+        m.cols[3] = t.extend(1.0);
+        m
+    }
+
+    /// A uniform or per-axis scale.
+    pub fn from_scale(s: Vec3) -> Self {
+        Self::from_cols(
+            Vec4::new(s.x, 0.0, 0.0, 0.0),
+            Vec4::new(0.0, s.y, 0.0, 0.0),
+            Vec4::new(0.0, 0.0, s.z, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        )
+    }
+
+    /// Embeds a 3×3 rotation into a 4×4 transform.
+    pub fn from_mat3(m: Mat3) -> Self {
+        Self::from_cols(
+            m.cols[0].extend(0.0),
+            m.cols[1].extend(0.0),
+            m.cols[2].extend(0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        )
+    }
+
+    /// Multiplies the matrix by a homogeneous column vector.
+    pub fn mul_vec4(&self, v: Vec4) -> Vec4 {
+        self.cols[0] * v.x + self.cols[1] * v.y + self.cols[2] * v.z + self.cols[3] * v.w
+    }
+
+    /// Transforms a point (w = 1), returning the perspective-divided result.
+    pub fn transform_point(&self, p: Vec3) -> Vec3 {
+        let h = self.mul_vec4(p.extend(1.0));
+        if (h.w - 1.0).abs() < 1e-7 {
+            h.truncate()
+        } else {
+            h.perspective_divide()
+        }
+    }
+
+    /// Transforms a direction (w = 0); translation is ignored.
+    pub fn transform_direction(&self, d: Vec3) -> Vec3 {
+        self.mul_vec4(d.extend(0.0)).truncate()
+    }
+
+    /// The upper-left 3×3 block.
+    pub fn to_mat3(&self) -> Mat3 {
+        Mat3::from_cols(
+            self.cols[0].truncate(),
+            self.cols[1].truncate(),
+            self.cols[2].truncate(),
+        )
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Self {
+        let c = &self.cols;
+        Self::from_cols(
+            Vec4::new(c[0].x, c[1].x, c[2].x, c[3].x),
+            Vec4::new(c[0].y, c[1].y, c[2].y, c[3].y),
+            Vec4::new(c[0].z, c[1].z, c[2].z, c[3].z),
+            Vec4::new(c[0].w, c[1].w, c[2].w, c[3].w),
+        )
+    }
+
+    /// Inverts a rigid transform (rotation + translation only).
+    ///
+    /// This is exact for the camera poses used in the renderer and avoids a
+    /// general 4×4 inversion. For general matrices use [`Mat4::inverse`].
+    pub fn inverse_rigid(&self) -> Self {
+        let r = self.to_mat3().transpose();
+        let t = self.cols[3].truncate();
+        let new_t = -(r.mul_vec3(t));
+        let mut m = Self::from_mat3(r);
+        m.cols[3] = new_t.extend(1.0);
+        m
+    }
+
+    /// General inverse via Gauss–Jordan elimination, or `None` when singular.
+    pub fn inverse(&self) -> Option<Self> {
+        // Work on a row-major 4x8 augmented matrix for clarity.
+        let mut a = [[0.0f64; 8]; 4];
+        for r in 0..4 {
+            for c in 0..4 {
+                a[r][c] = self.get(r, c) as f64;
+            }
+            a[r][4 + r] = 1.0;
+        }
+        for col in 0..4 {
+            // Partial pivoting.
+            let pivot_row = (col..4)
+                .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+                .unwrap();
+            if a[pivot_row][col].abs() < 1e-12 {
+                return None;
+            }
+            a.swap(col, pivot_row);
+            let pivot = a[col][col];
+            for c in 0..8 {
+                a[col][c] /= pivot;
+            }
+            for r in 0..4 {
+                if r != col {
+                    let factor = a[r][col];
+                    for c in 0..8 {
+                        a[r][c] -= factor * a[col][c];
+                    }
+                }
+            }
+        }
+        let mut out = Self::IDENTITY;
+        for r in 0..4 {
+            for c in 0..4 {
+                out.set(r, c, a[r][4 + c] as f32);
+            }
+        }
+        Some(out)
+    }
+
+    /// Element at `row`, `col`.
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        let v = &self.cols[col];
+        match row {
+            0 => v.x,
+            1 => v.y,
+            2 => v.z,
+            3 => v.w,
+            _ => panic!("Mat4 row out of range: {row}"),
+        }
+    }
+
+    /// Sets the element at `row`, `col`.
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        let v = &mut self.cols[col];
+        match row {
+            0 => v.x = value,
+            1 => v.y = value,
+            2 => v.z = value,
+            3 => v.w = value,
+            _ => panic!("Mat4 row out of range: {row}"),
+        }
+    }
+}
+
+impl Mul for Mat4 {
+    type Output = Self;
+
+    fn mul(self, rhs: Self) -> Self {
+        Self::from_cols(
+            self.mul_vec4(rhs.cols[0]),
+            self.mul_vec4(rhs.cols[1]),
+            self.mul_vec4(rhs.cols[2]),
+            self.mul_vec4(rhs.cols[3]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::FRAC_PI_2;
+
+    fn vec_close(a: Vec3, b: Vec3, eps: f32) -> bool {
+        (a - b).length() < eps
+    }
+
+    #[test]
+    fn mat3_identity_is_neutral() {
+        let v = Vec3::new(1.0, -2.0, 3.0);
+        assert_eq!(Mat3::IDENTITY.mul_vec3(v), v);
+    }
+
+    #[test]
+    fn mat3_rotation_about_z_maps_x_to_y() {
+        let r = Mat3::from_axis_angle(Vec3::Z, FRAC_PI_2);
+        assert!(vec_close(r.mul_vec3(Vec3::X), Vec3::Y, 1e-5));
+    }
+
+    #[test]
+    fn mat3_inverse_roundtrip() {
+        let r = Mat3::from_axis_angle(Vec3::new(1.0, 2.0, -0.5), 0.73);
+        let inv = r.inverse().unwrap();
+        let v = Vec3::new(0.3, -1.1, 2.2);
+        assert!(vec_close(inv.mul_vec3(r.mul_vec3(v)), v, 1e-4));
+    }
+
+    #[test]
+    fn mat3_singular_has_no_inverse() {
+        let m = Mat3::from_cols(Vec3::X, Vec3::X, Vec3::Y);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn mat4_translation_moves_points_not_directions() {
+        let t = Mat4::from_translation(Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(t.transform_point(Vec3::ZERO), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(t.transform_direction(Vec3::X), Vec3::X);
+    }
+
+    #[test]
+    fn mat4_rigid_inverse_roundtrip() {
+        let m = Mat4::from_translation(Vec3::new(0.5, -1.0, 2.0))
+            * Mat4::from_mat3(Mat3::from_axis_angle(Vec3::Y, 1.1));
+        let inv = m.inverse_rigid();
+        let p = Vec3::new(3.0, 4.0, -5.0);
+        assert!(vec_close(inv.transform_point(m.transform_point(p)), p, 1e-4));
+    }
+
+    #[test]
+    fn mat4_general_inverse_roundtrip() {
+        let m = Mat4::from_scale(Vec3::new(2.0, 3.0, 0.5))
+            * Mat4::from_translation(Vec3::new(1.0, 0.0, -4.0));
+        let inv = m.inverse().unwrap();
+        let id = m * inv;
+        for r in 0..4 {
+            for c in 0..4 {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!((id.get(r, c) - expect).abs() < 1e-5, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn mat4_singular_has_no_inverse() {
+        let m = Mat4::from_scale(Vec3::new(1.0, 0.0, 1.0));
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn matrix_multiplication_is_associative() {
+        let a = Mat4::from_translation(Vec3::new(1.0, 2.0, 3.0));
+        let b = Mat4::from_mat3(Mat3::from_axis_angle(Vec3::X, 0.4));
+        let c = Mat4::from_scale(Vec3::splat(2.0));
+        let p = Vec3::new(0.1, 0.2, 0.3);
+        let lhs = ((a * b) * c).transform_point(p);
+        let rhs = (a * (b * c)).transform_point(p);
+        assert!(vec_close(lhs, rhs, 1e-4));
+    }
+}

@@ -1,0 +1,100 @@
+//! Rays and ray–primitive intersection helpers.
+
+use crate::vec::Vec3;
+
+/// A half-line with an origin and a (unit) direction.
+///
+/// Construction normalises the direction so that the parametric distance `t`
+/// returned by intersection routines is a Euclidean distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Ray origin.
+    pub origin: Vec3,
+    /// Unit direction.
+    pub direction: Vec3,
+}
+
+impl Ray {
+    /// Creates a ray; `direction` is normalised.
+    pub fn new(origin: Vec3, direction: Vec3) -> Self {
+        Self {
+            origin,
+            direction: direction.normalized(),
+        }
+    }
+
+    /// The point at parametric distance `t` along the ray.
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.direction * t
+    }
+
+    /// Intersects the ray with the plane through `point` with normal `normal`.
+    ///
+    /// Returns the parametric distance, or `None` when the ray is (nearly)
+    /// parallel to the plane or the intersection lies behind the origin.
+    pub fn intersect_plane(&self, point: Vec3, normal: Vec3) -> Option<f32> {
+        let denom = self.direction.dot(normal);
+        if denom.abs() < 1e-8 {
+            return None;
+        }
+        let t = (point - self.origin).dot(normal) / denom;
+        (t >= 0.0).then_some(t)
+    }
+
+    /// Intersects the ray with a sphere, returning the nearest non-negative
+    /// parametric distance.
+    pub fn intersect_sphere(&self, center: Vec3, radius: f32) -> Option<f32> {
+        let oc = self.origin - center;
+        let b = oc.dot(self.direction);
+        let c = oc.length_squared() - radius * radius;
+        let disc = b * b - c;
+        if disc < 0.0 {
+            return None;
+        }
+        let sqrt_disc = disc.sqrt();
+        let t0 = -b - sqrt_disc;
+        let t1 = -b + sqrt_disc;
+        if t0 >= 0.0 {
+            Some(t0)
+        } else if t1 >= 0.0 {
+            Some(t1)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_walks_along_direction() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 2.0));
+        assert_eq!(r.at(3.0), Vec3::new(0.0, 0.0, 3.0));
+    }
+
+    #[test]
+    fn plane_intersection() {
+        let r = Ray::new(Vec3::new(0.0, 5.0, 0.0), Vec3::new(0.0, -1.0, 0.0));
+        let t = r.intersect_plane(Vec3::ZERO, Vec3::Y).unwrap();
+        assert!((t - 5.0).abs() < 1e-6);
+        // Parallel ray misses.
+        let parallel = Ray::new(Vec3::new(0.0, 5.0, 0.0), Vec3::X);
+        assert!(parallel.intersect_plane(Vec3::ZERO, Vec3::Y).is_none());
+    }
+
+    #[test]
+    fn sphere_intersection_front_and_inside() {
+        let r = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
+        let t = r.intersect_sphere(Vec3::ZERO, 1.0).unwrap();
+        assert!((t - 4.0).abs() < 1e-5);
+        // Origin inside the sphere still reports the exit point.
+        let inside = Ray::new(Vec3::ZERO, Vec3::Z);
+        let t = inside.intersect_sphere(Vec3::ZERO, 1.0).unwrap();
+        assert!((t - 1.0).abs() < 1e-5);
+        // Sphere behind the origin is missed.
+        let behind = Ray::new(Vec3::new(0.0, 0.0, 5.0), Vec3::Z);
+        assert!(behind.intersect_sphere(Vec3::ZERO, 1.0).is_none());
+    }
+}

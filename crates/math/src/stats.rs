@@ -1,0 +1,293 @@
+//! Summary statistics and least-squares helpers (in `f64`).
+//!
+//! The profiler (`nerflex-profile`) fits its white-box models with the
+//! Gauss–Newton routine built on [`solve_normal_equations`]; the evaluation
+//! harness reports means / standard deviations of prediction errors with
+//! [`Summary`].
+
+/// Mean of a slice; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance of a slice; `0.0` for fewer than two samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Pearson correlation coefficient between two equally long slices.
+///
+/// Returns `0.0` when either input has zero variance or the slices are empty
+/// or of different lengths.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.is_empty() {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Five-number style summary (count, mean, standard deviation, min, max) of a
+/// sample — used for the profiler error analysis reported in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `xs` (all fields zero for an empty slice).
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Self::default();
+        }
+        Self {
+            count: xs.len(),
+            mean: mean(xs),
+            std_dev: std_dev(xs),
+            min: xs.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} std={:.4} min={:.4} max={:.4}",
+            self.count, self.mean, self.std_dev, self.min, self.max
+        )
+    }
+}
+
+/// Ordinary least squares for the simple linear model `y = a + b·x`.
+///
+/// Returns `(a, b)`; when `x` has zero variance the slope is `0` and the
+/// intercept is the mean of `y`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "linear_fit requires equal-length inputs");
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        num += (x - mx) * (y - my);
+        den += (x - mx) * (x - mx);
+    }
+    if den.abs() < 1e-15 {
+        return (my, 0.0);
+    }
+    let b = num / den;
+    (my - b * mx, b)
+}
+
+/// Solves the `n×n` linear system `A·x = b` by Gaussian elimination with
+/// partial pivoting. Returns `None` when `A` is singular.
+///
+/// `a` is row-major and is consumed (it is used as scratch space).
+pub fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert!(a.len() == n && a.iter().all(|row| row.len() == n), "matrix shape mismatch");
+    for col in 0..n {
+        let pivot_row = (col..n).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
+        if a[pivot_row][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for k in (row + 1)..n {
+            sum -= a[row][k] * x[k];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Some(x)
+}
+
+/// Solves the least-squares problem `min ‖J·δ − r‖²` through the normal
+/// equations `(JᵀJ + λI)·δ = Jᵀr`.
+///
+/// `jacobian` has one row per residual; `lambda` is an optional
+/// Levenberg–Marquardt damping term (pass `0.0` for plain Gauss–Newton).
+/// Returns `None` when the normal matrix is singular.
+pub fn solve_normal_equations(jacobian: &[Vec<f64>], residuals: &[f64], lambda: f64) -> Option<Vec<f64>> {
+    let rows = jacobian.len();
+    if rows == 0 || rows != residuals.len() {
+        return None;
+    }
+    let cols = jacobian[0].len();
+    let mut jtj = vec![vec![0.0; cols]; cols];
+    let mut jtr = vec![0.0; cols];
+    for (row, &r) in jacobian.iter().zip(residuals) {
+        debug_assert_eq!(row.len(), cols);
+        for i in 0..cols {
+            jtr[i] += row[i] * r;
+            for j in 0..cols {
+                jtj[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for (i, row) in jtj.iter_mut().enumerate() {
+        row[i] += lambda;
+    }
+    solve_linear_system(jtj, jtr)
+}
+
+/// Root-mean-square error between predictions and targets.
+pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "rmse requires equal-length inputs");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum();
+    (sum / predicted.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_variance_basics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn correlation_of_linear_data_is_one() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 7.0).collect();
+        assert!((correlation(&xs, &ys) - 1.0).abs() < 1e-9);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((correlation(&xs, &neg) + 1.0).abs() < 1e-9);
+        assert_eq!(correlation(&xs, &vec![1.0; 50]), 0.0);
+    }
+
+    #[test]
+    fn summary_reports_extrema() {
+        let s = Summary::of(&[1.0, -2.0, 5.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, -2.0);
+        assert_eq!(s.max, 5.0);
+        assert!(format!("{s}").contains("n=3"));
+    }
+
+    #[test]
+    fn linear_fit_recovers_coefficients() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.5 * x + 1.25).collect();
+        let (a, b) = linear_fit(&xs, &ys);
+        assert!((a - 1.25).abs() < 1e-9);
+        assert!((b - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_x() {
+        let (a, b) = linear_fit(&[2.0, 2.0, 2.0], &[1.0, 3.0, 5.0]);
+        assert_eq!(b, 0.0);
+        assert_eq!(a, 3.0);
+    }
+
+    #[test]
+    fn solves_small_linear_system() {
+        // 2x + y = 5; x - y = 1  =>  x = 2, y = 1
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let x = solve_linear_system(a, vec![5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_system_returns_none() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_linear_system(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn normal_equations_solve_overdetermined_fit() {
+        // Fit y = c0 + c1*x to noisy-free data with 5 rows and 2 unknowns.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let jacobian: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x]).collect();
+        let residuals: Vec<f64> = xs.iter().map(|&x| 4.0 - 0.5 * x).collect();
+        let delta = solve_normal_equations(&jacobian, &residuals, 0.0).unwrap();
+        assert!((delta[0] - 4.0).abs() < 1e-9);
+        assert!((delta[1] + 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rmse_zero_for_identical_inputs() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&xs, &xs), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_variance_nonnegative(xs in proptest::collection::vec(-100f64..100.0, 0..40)) {
+            prop_assert!(variance(&xs) >= 0.0);
+        }
+
+        #[test]
+        fn prop_linear_fit_interpolates_two_points(x0 in -10f64..10.0, x1 in -10f64..10.0,
+                                                   y0 in -10f64..10.0, y1 in -10f64..10.0) {
+            prop_assume!((x0 - x1).abs() > 1e-3);
+            let (a, b) = linear_fit(&[x0, x1], &[y0, y1]);
+            prop_assert!((a + b * x0 - y0).abs() < 1e-6);
+            prop_assert!((a + b * x1 - y1).abs() < 1e-6);
+        }
+    }
+}

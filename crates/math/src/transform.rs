@@ -1,0 +1,138 @@
+//! Camera and viewing transforms (look-at, perspective, viewport).
+//!
+//! These mirror the conventions used by WebGL (the paper's rendering engine):
+//! right-handed world space, camera looking down −Z in view space, clip space
+//! in `[-1, 1]³` and a top-left-origin viewport.
+
+use crate::mat::{Mat3, Mat4};
+use crate::vec::{Vec2, Vec3, Vec4};
+
+/// Builds a right-handed look-at *view* matrix (world → view).
+///
+/// `eye` is the camera position, `target` the point looked at and `up` the
+/// approximate up direction (it does not need to be orthogonal to the view
+/// direction).
+pub fn look_at(eye: Vec3, target: Vec3, up: Vec3) -> Mat4 {
+    let forward = (target - eye).normalized();
+    let right = forward.cross(up).normalized();
+    let true_up = right.cross(forward);
+    // Rows of the rotation part are the camera basis vectors.
+    let rotation = Mat3::from_cols(right, true_up, -forward).transpose();
+    let translated_eye = rotation.mul_vec3(eye);
+    let mut view = Mat4::from_mat3(rotation);
+    view.cols[3] = (-translated_eye).extend(1.0);
+    view
+}
+
+/// Builds the camera-to-world matrix for a camera at `eye` looking at
+/// `target` — the inverse of [`look_at`], convenient for generating rays.
+pub fn camera_to_world(eye: Vec3, target: Vec3, up: Vec3) -> Mat4 {
+    look_at(eye, target, up).inverse_rigid()
+}
+
+/// Builds a perspective projection matrix (view → clip).
+///
+/// `fov_y` is the full vertical field of view in radians, `aspect` the
+/// width/height ratio, and `near`/`far` the positive clip distances.
+///
+/// # Panics
+///
+/// Panics if `near <= 0`, `far <= near` or `fov_y` is not in `(0, π)`.
+pub fn perspective(fov_y: f32, aspect: f32, near: f32, far: f32) -> Mat4 {
+    assert!(near > 0.0 && far > near, "invalid near/far planes");
+    assert!(fov_y > 0.0 && fov_y < std::f32::consts::PI, "invalid field of view");
+    let f = 1.0 / (fov_y * 0.5).tan();
+    let range_inv = 1.0 / (near - far);
+    Mat4::from_cols(
+        Vec4::new(f / aspect, 0.0, 0.0, 0.0),
+        Vec4::new(0.0, f, 0.0, 0.0),
+        Vec4::new(0.0, 0.0, (near + far) * range_inv, -1.0),
+        Vec4::new(0.0, 0.0, 2.0 * near * far * range_inv, 0.0),
+    )
+}
+
+/// Maps a clip-space point (after perspective division) to pixel coordinates
+/// in a `width`×`height` viewport with the origin at the top-left corner.
+pub fn ndc_to_viewport(ndc: Vec3, width: usize, height: usize) -> Vec2 {
+    Vec2::new(
+        (ndc.x * 0.5 + 0.5) * width as f32,
+        (1.0 - (ndc.y * 0.5 + 0.5)) * height as f32,
+    )
+}
+
+/// Spherical coordinates helper: a point on the sphere of radius `r` centred
+/// at `center`, at `azimuth` (radians around +Y, from +Z) and `elevation`
+/// (radians above the XZ plane).
+pub fn orbit_position(center: Vec3, r: f32, azimuth: f32, elevation: f32) -> Vec3 {
+    let (sa, ca) = azimuth.sin_cos();
+    let (se, ce) = elevation.sin_cos();
+    center + Vec3::new(r * ce * sa, r * se, r * ce * ca)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::{FRAC_PI_2, FRAC_PI_3};
+
+    fn close(a: f32, b: f32, eps: f32) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn look_at_puts_target_on_negative_z() {
+        let view = look_at(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, Vec3::Y);
+        let t = view.transform_point(Vec3::ZERO);
+        assert!(close(t.x, 0.0, 1e-5) && close(t.y, 0.0, 1e-5));
+        assert!(close(t.z, -5.0, 1e-5));
+        // The eye maps to the view-space origin.
+        let e = view.transform_point(Vec3::new(0.0, 0.0, 5.0));
+        assert!(e.length() < 1e-5);
+    }
+
+    #[test]
+    fn camera_to_world_is_inverse_of_look_at() {
+        let eye = Vec3::new(3.0, 2.0, 1.0);
+        let view = look_at(eye, Vec3::ZERO, Vec3::Y);
+        let cam = camera_to_world(eye, Vec3::ZERO, Vec3::Y);
+        let p = Vec3::new(0.4, -0.2, 0.9);
+        let roundtrip = cam.transform_point(view.transform_point(p));
+        assert!((roundtrip - p).length() < 1e-4);
+    }
+
+    #[test]
+    fn perspective_maps_near_and_far_to_clip_bounds() {
+        let proj = perspective(FRAC_PI_3, 1.0, 0.1, 100.0);
+        let near_clip = proj.mul_vec4(Vec3::new(0.0, 0.0, -0.1).extend(1.0)).perspective_divide();
+        let far_clip = proj.mul_vec4(Vec3::new(0.0, 0.0, -100.0).extend(1.0)).perspective_divide();
+        assert!(close(near_clip.z, -1.0, 1e-4));
+        assert!(close(far_clip.z, 1.0, 1e-4));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid near/far")]
+    fn perspective_rejects_bad_planes() {
+        let _ = perspective(FRAC_PI_2, 1.0, 1.0, 0.5);
+    }
+
+    #[test]
+    fn viewport_mapping_corners() {
+        let top_left = ndc_to_viewport(Vec3::new(-1.0, 1.0, 0.0), 640, 480);
+        assert_eq!(top_left, Vec2::new(0.0, 0.0));
+        let bottom_right = ndc_to_viewport(Vec3::new(1.0, -1.0, 0.0), 640, 480);
+        assert_eq!(bottom_right, Vec2::new(640.0, 480.0));
+        let center = ndc_to_viewport(Vec3::ZERO, 640, 480);
+        assert_eq!(center, Vec2::new(320.0, 240.0));
+    }
+
+    #[test]
+    fn orbit_position_radius_is_preserved() {
+        for i in 0..16 {
+            let az = i as f32 * 0.4;
+            let p = orbit_position(Vec3::ZERO, 3.0, az, 0.5);
+            assert!(close(p.length(), 3.0, 1e-4));
+        }
+        // Zero elevation and azimuth sits on +Z.
+        let p = orbit_position(Vec3::ZERO, 2.0, 0.0, 0.0);
+        assert!((p - Vec3::new(0.0, 0.0, 2.0)).length() < 1e-5);
+    }
+}

@@ -1,0 +1,264 @@
+//! Nonlinear least-squares curve fitting (Levenberg–Marquardt).
+//!
+//! "Due to the simple form of the profiling models, except for g and p, all
+//! the other parameters can be easily determined through curve fitting."
+//! (paper §III-B). The fitter is generic over the model's prediction
+//! function so the same machinery fits both the size and the quality model.
+
+use crate::measurement::Measurement;
+use crate::model::{QualityModel, SizeModel};
+use nerflex_math::stats::solve_normal_equations;
+
+/// A single fitting observation: configuration knobs and target value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Mesh granularity.
+    pub g: u32,
+    /// Patch size.
+    pub p: u32,
+    /// Observed value (size in MB or SSIM).
+    pub target: f64,
+}
+
+/// Fits `params` so that `predict(params, g, p)` matches the observations in
+/// the least-squares sense, using Levenberg–Marquardt with a numerical
+/// Jacobian. Returns the fitted parameters and the final RMSE.
+///
+/// `project` is applied after every step to keep parameters in their valid
+/// ranges (non-negative scale factors, bounded offsets, …).
+///
+/// # Panics
+///
+/// Panics when `observations` is empty or `initial` is empty.
+pub fn fit_least_squares(
+    initial: Vec<f64>,
+    observations: &[Observation],
+    predict: impl Fn(&[f64], u32, u32) -> f64,
+    project: impl Fn(&[f64]) -> Vec<f64>,
+    iterations: usize,
+) -> (Vec<f64>, f64) {
+    assert!(!observations.is_empty(), "need at least one observation");
+    assert!(!initial.is_empty(), "need at least one parameter");
+    let n_params = initial.len();
+    let rmse = |params: &[f64]| -> f64 {
+        let sse: f64 = observations
+            .iter()
+            .map(|o| {
+                let r = o.target - predict(params, o.g, o.p);
+                r * r
+            })
+            .sum();
+        (sse / observations.len() as f64).sqrt()
+    };
+
+    let mut params = project(&initial);
+    let mut lambda = 1e-3;
+    let mut best_err = rmse(&params);
+    for _ in 0..iterations {
+        // Residuals and numerical Jacobian at the current parameters.
+        let residuals: Vec<f64> = observations
+            .iter()
+            .map(|o| o.target - predict(&params, o.g, o.p))
+            .collect();
+        let mut jacobian = Vec::with_capacity(observations.len());
+        for o in observations {
+            let mut row = Vec::with_capacity(n_params);
+            for j in 0..n_params {
+                let h = (params[j].abs() * 1e-4).max(1e-7);
+                let mut bumped = params.clone();
+                bumped[j] += h;
+                let d = (predict(&bumped, o.g, o.p) - predict(&params, o.g, o.p)) / h;
+                row.push(d);
+            }
+            jacobian.push(row);
+        }
+        let Some(delta) = solve_normal_equations(&jacobian, &residuals, lambda) else {
+            lambda *= 10.0;
+            continue;
+        };
+        let candidate: Vec<f64> = params.iter().zip(&delta).map(|(p, d)| p + d).collect();
+        let candidate = project(&candidate);
+        let err = rmse(&candidate);
+        if err < best_err {
+            params = candidate;
+            best_err = err;
+            lambda = (lambda * 0.5).max(1e-9);
+        } else {
+            lambda = (lambda * 4.0).min(1e6);
+        }
+        if best_err < 1e-9 {
+            break;
+        }
+    }
+    (params, best_err)
+}
+
+/// Fits the size model `S(g,p) = k·(g+a)³·(p+b)² + m` to measurements.
+pub fn fit_size_model(measurements: &[Measurement]) -> SizeModel {
+    let observations: Vec<Observation> = measurements
+        .iter()
+        .map(|m| Observation { g: m.config.grid, p: m.config.patch, target: m.size_mb })
+        .collect();
+    // Initialise k from the mean ratio; multi-start over the offsets because
+    // the problem is non-convex in (a, b).
+    let k0 = observations
+        .iter()
+        .map(|o| o.target / ((o.g as f64).powi(3) * (o.p as f64).powi(2)))
+        .sum::<f64>()
+        / observations.len() as f64;
+    let mut best: Option<(Vec<f64>, f64)> = None;
+    for &(a0, b0) in &[(0.0, 0.0), (4.0, 2.0), (-2.0, -1.0), (8.0, 4.0)] {
+        let (params, err) = fit_least_squares(
+            vec![k0, a0, b0, 0.0],
+            &observations,
+            |p, g, pp| SizeModel::from_params(p).predict(g, pp),
+            |p| SizeModel::from_params(p).params(),
+            150,
+        );
+        if best.as_ref().is_none_or(|(_, e)| err < *e) {
+            best = Some((params, err));
+        }
+    }
+    SizeModel::from_params(&best.expect("at least one start").0)
+}
+
+/// Fits the quality model `Q(g,p) = q∞ − k/((g+a)³·(p+b)²)` to measurements.
+pub fn fit_quality_model(measurements: &[Measurement]) -> QualityModel {
+    let observations: Vec<Observation> = measurements
+        .iter()
+        .map(|m| Observation { g: m.config.grid, p: m.config.patch, target: m.ssim })
+        .collect();
+    let q_max = observations.iter().map(|o| o.target).fold(0.0f64, f64::max);
+    let q_min = observations.iter().map(|o| o.target).fold(1.0f64, f64::min);
+    let (g_min, p_min) = observations
+        .iter()
+        .map(|o| (o.g, o.p))
+        .min()
+        .unwrap_or((BakeConfigMin::G, BakeConfigMin::P));
+    let k0 = ((q_max - q_min).max(1e-3)) * (g_min as f64).powi(3) * (p_min as f64).powi(2);
+    let mut best: Option<(Vec<f64>, f64)> = None;
+    for &(a0, b0) in &[(0.0, 0.0), (2.0, 1.0), (6.0, 3.0), (-2.0, -1.0)] {
+        for &k_scale in &[1.0, 2.0, 4.0] {
+            let (params, err) = fit_least_squares(
+                vec![(q_max + 0.02).min(1.0), k0 * k_scale, a0, b0],
+                &observations,
+                |p, g, pp| QualityModel::from_params(p).predict(g, pp),
+                |p| QualityModel::from_params(p).params(),
+                150,
+            );
+            if best.as_ref().is_none_or(|(_, e)| err < *e) {
+                best = Some((params, err));
+            }
+        }
+    }
+    QualityModel::from_params(&best.expect("at least one start").0)
+}
+
+/// Fallback minimum knobs used only when the observation list is empty of
+/// ordering information (never in practice).
+struct BakeConfigMin;
+impl BakeConfigMin {
+    const G: u32 = 16;
+    const P: u32 = 3;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nerflex_bake::BakeConfig;
+
+    fn synthetic_measurements(size: SizeModel, quality: QualityModel, noise: f64) -> Vec<Measurement> {
+        let mut out = Vec::new();
+        let mut wobble: f64 = 0.37;
+        for &g in &[16u32, 48, 128] {
+            for &p in &[3u32, 24, 45] {
+                wobble = (wobble * 1.7 + 0.13).fract();
+                out.push(Measurement {
+                    config: BakeConfig::new(g, p),
+                    size_mb: size.predict(g, p) + (wobble - 0.5) * noise,
+                    ssim: quality.predict(g, p) + (wobble - 0.5) * noise * 0.01,
+                    quad_count: 0,
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn recovers_noiseless_size_model() {
+        let truth = SizeModel { k: 2.5e-8, a: 1.0, b: 2.0, m: 0.8 };
+        let fitted = fit_size_model(&synthetic_measurements(
+            truth,
+            QualityModel { q_inf: 0.9, k: 1e4, a: 0.0, b: 0.0 },
+            0.0,
+        ));
+        // Predictions (not raw parameters) must match: the model is
+        // over-parameterised so different parameters can be equivalent.
+        for &g in &[20u32, 64, 100] {
+            for &p in &[5u32, 17, 40] {
+                let t = truth.predict(g, p);
+                let f = fitted.predict(g, p);
+                assert!((t - f).abs() < 0.05 * t.max(1.0), "({g},{p}): {t} vs {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_noiseless_quality_model() {
+        let truth = QualityModel { q_inf: 0.93, k: 6.0e4, a: 2.0, b: 1.0 };
+        let fitted = fit_quality_model(&synthetic_measurements(
+            SizeModel { k: 2e-8, a: 0.0, b: 0.0, m: 0.0 },
+            truth,
+            0.0,
+        ));
+        for &g in &[20u32, 64, 100] {
+            for &p in &[5u32, 17, 40] {
+                assert!(
+                    (truth.predict(g, p) - fitted.predict(g, p)).abs() < 0.02,
+                    "({g},{p}): {} vs {}",
+                    truth.predict(g, p),
+                    fitted.predict(g, p)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tolerates_measurement_noise() {
+        let truth_size = SizeModel { k: 3.0e-8, a: 0.0, b: 0.0, m: 1.0 };
+        let truth_quality = QualityModel { q_inf: 0.9, k: 5.0e4, a: 0.0, b: 0.0 };
+        let noisy = synthetic_measurements(truth_size, truth_quality, 2.0);
+        let fitted_size = fit_size_model(&noisy);
+        let fitted_quality = fit_quality_model(&noisy);
+        // Interpolated predictions stay close despite ±1 MB noise.
+        let s_err = (truth_size.predict(64, 17) - fitted_size.predict(64, 17)).abs();
+        assert!(s_err < 6.0, "size error {s_err}");
+        let q_err = (truth_quality.predict(64, 17) - fitted_quality.predict(64, 17)).abs();
+        assert!(q_err < 0.05, "quality error {q_err}");
+    }
+
+    #[test]
+    fn fitted_models_remain_monotone() {
+        let truth_size = SizeModel { k: 1.5e-8, a: 3.0, b: 0.5, m: 0.2 };
+        let truth_quality = QualityModel { q_inf: 0.88, k: 3.0e4, a: 1.0, b: 0.0 };
+        let m = synthetic_measurements(truth_size, truth_quality, 0.5);
+        let size = fit_size_model(&m);
+        let quality = fit_quality_model(&m);
+        let mut prev_s = 0.0;
+        let mut prev_q = 0.0;
+        for g in (16..=128).step_by(16) {
+            let s = size.predict(g, 17);
+            let q = quality.predict(g, 17);
+            assert!(s >= prev_s);
+            assert!(q >= prev_q - 1e-9);
+            prev_s = s;
+            prev_q = q;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn empty_observations_panic() {
+        let _ = fit_least_squares(vec![1.0], &[], |p, _, _| p[0], |p| p.to_vec(), 5);
+    }
+}

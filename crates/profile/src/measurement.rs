@@ -1,0 +1,170 @@
+//! Ground-truth measurement of sample configurations.
+//!
+//! For each sample configuration the object is actually baked and rendered,
+//! and its baked-data size and SSIM against the object's ground-truth views
+//! are recorded. This replaces the paper's (much more expensive) NeRF
+//! training runs for the sample points; the profiler then fits its
+//! closed-form models to these measurements.
+
+use nerflex_bake::{bake_object, BakeConfig};
+use nerflex_image::{metrics, Image};
+use nerflex_render::{render_assets, RenderOptions};
+use nerflex_scene::camera_path::{orbit_path, CameraPose};
+use nerflex_scene::object::ObjectModel;
+use nerflex_scene::scene::Scene;
+use serde::{Deserialize, Serialize};
+
+/// One measured sample point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// The configuration that was baked.
+    pub config: BakeConfig,
+    /// Measured baked-data size in MB.
+    pub size_mb: f64,
+    /// Measured SSIM against the ground-truth views.
+    pub ssim: f64,
+    /// Number of quads in the baked mesh (geometric-complexity measure).
+    pub quad_count: usize,
+}
+
+/// How measurements are taken (probe view count and resolution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeasurementSettings {
+    /// Number of probe views on the measurement orbit.
+    pub views: usize,
+    /// Probe image resolution (square).
+    pub resolution: usize,
+}
+
+impl Default for MeasurementSettings {
+    fn default() -> Self {
+        Self { views: 3, resolution: 96 }
+    }
+}
+
+/// The cached ground truth for one standalone object: probe poses and their
+/// ray-marched renderings. Building it is the expensive part of profiling, so
+/// it is computed once per object and reused for every sample configuration.
+#[derive(Debug, Clone)]
+pub struct ObjectGroundTruth {
+    /// The standalone single-object scene used for both ground truth and
+    /// quality evaluation of baked assets.
+    pub scene: Scene,
+    /// Probe camera poses.
+    pub poses: Vec<CameraPose>,
+    /// Ray-marched ground-truth images, index-aligned with `poses`.
+    pub images: Vec<Image>,
+    /// Probe resolution.
+    pub resolution: usize,
+}
+
+impl ObjectGroundTruth {
+    /// Renders the ground truth for a standalone object.
+    pub fn build(model: &ObjectModel, settings: &MeasurementSettings) -> Self {
+        let scene = Scene::from_models(vec![model.clone()], 0);
+        let bounds = scene.bounding_box();
+        let poses = orbit_path(bounds.center(), (bounds.diagonal() * 1.1).max(1.0), 0.45, settings.views);
+        let images = poses
+            .iter()
+            .map(|pose| nerflex_scene::raymarch::render_view(&scene, pose, settings.resolution, settings.resolution).0)
+            .collect();
+        Self { scene, poses, images, resolution: settings.resolution }
+    }
+
+    /// Measures one configuration: bakes the object, renders the probe views
+    /// and compares against the cached ground truth.
+    pub fn measure(&self, config: BakeConfig) -> Measurement {
+        let placed = &self.scene.objects()[0];
+        let asset = nerflex_bake::bake_placed(placed, config);
+        let mut ssim_sum = 0.0;
+        for (pose, gt) in self.poses.iter().zip(&self.images) {
+            let (img, _) = render_assets(
+                std::slice::from_ref(&asset),
+                pose,
+                self.resolution,
+                self.resolution,
+                &RenderOptions::default(),
+            );
+            ssim_sum += metrics::ssim(gt, &img);
+        }
+        Measurement {
+            config,
+            size_mb: asset.size_mb(),
+            ssim: ssim_sum / self.poses.len() as f64,
+            quad_count: asset.mesh.quad_count(),
+        }
+    }
+}
+
+/// Measures every configuration in `configs` for a standalone object.
+///
+/// This is the "ground truth" path used both to build profiles (on the sample
+/// configurations) and to validate them (on a dense grid, Fig. 3).
+pub fn measure_object(
+    model: &ObjectModel,
+    configs: &[BakeConfig],
+    settings: &MeasurementSettings,
+) -> Vec<Measurement> {
+    let ground_truth = ObjectGroundTruth::build(model, settings);
+    configs
+        .iter()
+        .map(|&config| ground_truth.measure(config))
+        .collect()
+}
+
+/// Measures a single standalone bake without reusing ground truth (handy for
+/// one-off comparisons in examples and tests).
+pub fn measure_single(model: &ObjectModel, config: BakeConfig, settings: &MeasurementSettings) -> Measurement {
+    // Standalone size accounting (no placement) sanity-checks the placed bake.
+    let standalone_size = bake_object(model, config).size_mb();
+    let ground_truth = ObjectGroundTruth::build(model, settings);
+    let mut m = ground_truth.measure(config);
+    debug_assert!((m.size_mb - standalone_size).abs() < standalone_size * 0.5 + 1.0);
+    m.size_mb = standalone_size;
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nerflex_scene::object::CanonicalObject;
+
+    fn quick_settings() -> MeasurementSettings {
+        MeasurementSettings { views: 2, resolution: 56 }
+    }
+
+    #[test]
+    fn measurements_grow_in_size_and_quality_with_the_knobs() {
+        let model = CanonicalObject::Hotdog.build();
+        let configs = vec![BakeConfig::new(10, 3), BakeConfig::new(36, 9)];
+        let measurements = measure_object(&model, &configs, &quick_settings());
+        assert_eq!(measurements.len(), 2);
+        assert!(measurements[1].size_mb > measurements[0].size_mb);
+        assert!(measurements[1].ssim > measurements[0].ssim, "{measurements:?}");
+        assert!(measurements[1].quad_count > measurements[0].quad_count);
+        for m in &measurements {
+            assert!(m.ssim > 0.0 && m.ssim <= 1.0);
+            assert!(m.size_mb > 0.0);
+        }
+    }
+
+    #[test]
+    fn ground_truth_cache_is_reused_consistently() {
+        let model = CanonicalObject::Chair.build();
+        let settings = quick_settings();
+        let gt = ObjectGroundTruth::build(&model, &settings);
+        let a = gt.measure(BakeConfig::new(20, 5));
+        let b = gt.measure(BakeConfig::new(20, 5));
+        assert_eq!(a, b, "same config must measure identically");
+    }
+
+    #[test]
+    fn measure_single_matches_measure_object() {
+        let model = CanonicalObject::Hotdog.build();
+        let settings = quick_settings();
+        let single = measure_single(&model, BakeConfig::new(16, 5), &settings);
+        let batch = measure_object(&model, &[BakeConfig::new(16, 5)], &settings);
+        assert!((single.ssim - batch[0].ssim).abs() < 1e-9);
+        assert!((single.size_mb - batch[0].size_mb).abs() < 1e-6);
+    }
+}

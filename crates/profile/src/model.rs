@@ -1,0 +1,197 @@
+//! The closed-form profiling models.
+
+use serde::{Deserialize, Serialize};
+
+/// Anything that can predict baked-data size and rendering quality for a
+/// configuration pair (used by the configuration selectors, which do not care
+/// whether predictions come from a fitted model or a lookup table).
+pub trait SizeQualityModel {
+    /// Predicted baked-data size in MB for configuration `(g, p)`.
+    fn predict_size(&self, g: u32, p: u32) -> f64;
+    /// Predicted rendering quality (SSIM) for configuration `(g, p)`.
+    fn predict_quality(&self, g: u32, p: u32) -> f64;
+}
+
+/// Size model `S(g, p) = k·(g+a)³·(p+b)² + m` (megabytes).
+///
+/// The cubic term counts voxels (and therefore quads) and the quadratic term
+/// counts texels per quad, exactly the argument of paper §III-B.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizeModel {
+    /// Scale factor of the polynomial term.
+    pub k: f64,
+    /// Grid offset.
+    pub a: f64,
+    /// Patch offset.
+    pub b: f64,
+    /// Constant overhead (MLP, headers).
+    pub m: f64,
+}
+
+impl SizeModel {
+    /// Evaluates the model.
+    pub fn predict(&self, g: u32, p: u32) -> f64 {
+        let gg = (g as f64 + self.a).max(0.0);
+        let pp = (p as f64 + self.b).max(0.0);
+        (self.k * gg.powi(3) * pp.powi(2) + self.m).max(0.0)
+    }
+
+    /// The model parameters as a flat vector `[k, a, b, m]` (fitting order).
+    pub fn params(&self) -> Vec<f64> {
+        vec![self.k, self.a, self.b, self.m]
+    }
+
+    /// Rebuilds the model from the flat parameter vector, projecting the
+    /// parameters into their physically valid ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `params.len() != 4`.
+    pub fn from_params(params: &[f64]) -> Self {
+        assert_eq!(params.len(), 4, "size model has 4 parameters");
+        Self {
+            k: params[0].max(0.0),
+            a: params[1].clamp(-8.0, 256.0),
+            b: params[2].clamp(-2.0, 256.0),
+            m: params[3].clamp(0.0, 1024.0),
+        }
+    }
+}
+
+impl SizeQualityModel for SizeModel {
+    fn predict_size(&self, g: u32, p: u32) -> f64 {
+        self.predict(g, p)
+    }
+    fn predict_quality(&self, _g: u32, _p: u32) -> f64 {
+        unimplemented!("SizeModel only predicts size; pair it with a QualityModel")
+    }
+}
+
+/// Quality model `Q(g, p) = q∞ − k / ((g+a)³·(p+b)²)` (SSIM, saturating).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityModel {
+    /// Asymptotic quality as both knobs grow.
+    pub q_inf: f64,
+    /// Scale of the deficit term.
+    pub k: f64,
+    /// Grid offset.
+    pub a: f64,
+    /// Patch offset.
+    pub b: f64,
+}
+
+impl QualityModel {
+    /// Evaluates the model; the result is clamped into `[0, 1]`.
+    pub fn predict(&self, g: u32, p: u32) -> f64 {
+        let gg = (g as f64 + self.a).max(1e-6);
+        let pp = (p as f64 + self.b).max(1e-6);
+        (self.q_inf - self.k / (gg.powi(3) * pp.powi(2))).clamp(0.0, 1.0)
+    }
+
+    /// The model parameters as a flat vector `[q_inf, k, a, b]` (fitting order).
+    pub fn params(&self) -> Vec<f64> {
+        vec![self.q_inf, self.k, self.a, self.b]
+    }
+
+    /// Rebuilds the model from the flat parameter vector, projecting the
+    /// parameters into their physically valid ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `params.len() != 4`.
+    pub fn from_params(params: &[f64]) -> Self {
+        Self {
+            q_inf: params[0].clamp(0.0, 1.0),
+            k: params[1].max(0.0),
+            a: params[2].clamp(-8.0, 256.0),
+            b: params[3].clamp(-2.0, 256.0),
+        }
+    }
+}
+
+/// A paired size + quality model, the full per-object profile the selectors
+/// consume.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfileModels {
+    /// Fitted size model.
+    pub size: SizeModel,
+    /// Fitted quality model.
+    pub quality: QualityModel,
+}
+
+impl SizeQualityModel for ProfileModels {
+    fn predict_size(&self, g: u32, p: u32) -> f64 {
+        self.size.predict(g, p)
+    }
+    fn predict_quality(&self, g: u32, p: u32) -> f64 {
+        self.quality.predict(g, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn size_model() -> SizeModel {
+        SizeModel { k: 3.0e-8, a: 2.0, b: 1.0, m: 0.5 }
+    }
+
+    fn quality_model() -> QualityModel {
+        QualityModel { q_inf: 0.92, k: 8.0e4, a: 1.0, b: 0.5 }
+    }
+
+    #[test]
+    fn size_is_monotone_in_both_knobs() {
+        let m = size_model();
+        assert!(m.predict(64, 17) > m.predict(32, 17));
+        assert!(m.predict(64, 33) > m.predict(64, 17));
+        assert!(m.predict(16, 3) >= m.m * 0.99);
+    }
+
+    #[test]
+    fn quality_is_monotone_and_saturating() {
+        let m = quality_model();
+        assert!(m.predict(64, 17) > m.predict(32, 17));
+        assert!(m.predict(128, 17) > m.predict(64, 17));
+        // Saturation: the gain from 64→128 is smaller than from 16→32.
+        let low_gain = m.predict(32, 17) - m.predict(16, 17);
+        let high_gain = m.predict(128, 17) - m.predict(64, 17);
+        assert!(high_gain < low_gain);
+        // Bounded by the asymptote and by [0, 1].
+        assert!(m.predict(1024, 1024) <= m.q_inf);
+        assert!(m.predict(1, 1) >= 0.0);
+    }
+
+    #[test]
+    fn parameter_roundtrip_preserves_predictions() {
+        let s = size_model();
+        let s2 = SizeModel::from_params(&s.params());
+        assert!((s.predict(77, 13) - s2.predict(77, 13)).abs() < 1e-9);
+        let q = quality_model();
+        let q2 = QualityModel::from_params(&q.params());
+        assert!((q.predict(77, 13) - q2.predict(77, 13)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_params_projects_invalid_values() {
+        let s = SizeModel::from_params(&[-1.0, -100.0, 500.0, -3.0]);
+        assert_eq!(s.k, 0.0);
+        assert!(s.a >= -8.0 && s.b <= 256.0 && s.m >= 0.0);
+        let q = QualityModel::from_params(&[1.5, -2.0, 0.0, 0.0]);
+        assert_eq!(q.q_inf, 1.0);
+        assert_eq!(q.k, 0.0);
+    }
+
+    #[test]
+    fn profile_models_implement_the_selector_trait() {
+        let pm = ProfileModels { size: size_model(), quality: quality_model() };
+        assert!(pm.predict_size(128, 17) > pm.predict_size(16, 3));
+        assert!(pm.predict_quality(128, 17) > pm.predict_quality(16, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "only predicts size")]
+    fn size_model_alone_cannot_predict_quality() {
+        let _ = size_model().predict_quality(10, 10);
+    }
+}

@@ -1,0 +1,163 @@
+//! Per-object profiles: sample, measure, fit.
+
+use crate::fit::{fit_quality_model, fit_size_model};
+use crate::measurement::{measure_object, Measurement, MeasurementSettings};
+use crate::model::{ProfileModels, QualityModel, SizeModel, SizeQualityModel};
+use crate::sampling::{sample_configurations, SampleRange};
+use nerflex_scene::object::ObjectModel;
+use serde::{Deserialize, Serialize};
+
+/// Options controlling profile construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfilerOptions {
+    /// Configuration-space bounds sampled by the variable-step search.
+    pub range: SampleRange,
+    /// Probe-view settings for the sample measurements.
+    pub measurement: MeasurementSettings,
+}
+
+impl Default for ProfilerOptions {
+    fn default() -> Self {
+        Self {
+            range: SampleRange::default(),
+            measurement: MeasurementSettings::default(),
+        }
+    }
+}
+
+impl ProfilerOptions {
+    /// A reduced-cost preset used by tests and quick examples: a smaller
+    /// configuration range and low-resolution probes.
+    pub fn quick() -> Self {
+        Self {
+            range: SampleRange { g_min: 10, g_max: 40, p_min: 3, p_max: 9 },
+            measurement: MeasurementSettings { views: 2, resolution: 56 },
+        }
+    }
+}
+
+/// A fitted per-object profile: the white-box size/quality models plus the
+/// sample measurements they were fitted from.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObjectProfile {
+    /// Instance id of the object within its scene.
+    pub object_id: usize,
+    /// Object name.
+    pub name: String,
+    /// Fitted size model (MB).
+    pub size_model: SizeModel,
+    /// Fitted quality model (SSIM).
+    pub quality_model: QualityModel,
+    /// The sample measurements used for fitting.
+    pub samples: Vec<Measurement>,
+}
+
+impl ObjectProfile {
+    /// Predicted baked-data size (MB) for a configuration.
+    pub fn predict_size(&self, g: u32, p: u32) -> f64 {
+        self.size_model.predict(g, p)
+    }
+
+    /// Predicted rendering quality (SSIM) for a configuration.
+    pub fn predict_quality(&self, g: u32, p: u32) -> f64 {
+        self.quality_model.predict(g, p)
+    }
+
+    /// The paired models (for callers that only need the closed forms).
+    pub fn models(&self) -> ProfileModels {
+        ProfileModels { size: self.size_model, quality: self.quality_model }
+    }
+
+    /// The smallest predicted size over a candidate configuration list —
+    /// the `min_{θ∈C} f_s(θ)` term of the feasibility condition (Eq. 3).
+    pub fn min_size_over(&self, configs: &[(u32, u32)]) -> f64 {
+        configs
+            .iter()
+            .map(|&(g, p)| self.predict_size(g, p))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl SizeQualityModel for ObjectProfile {
+    fn predict_size(&self, g: u32, p: u32) -> f64 {
+        ObjectProfile::predict_size(self, g, p)
+    }
+    fn predict_quality(&self, g: u32, p: u32) -> f64 {
+        ObjectProfile::predict_quality(self, g, p)
+    }
+}
+
+/// Builds the profile of one object: pick sample configurations with the
+/// variable-step strategy, measure them, and fit both models.
+pub fn build_profile(
+    model: &ObjectModel,
+    object_id: usize,
+    options: &ProfilerOptions,
+) -> ObjectProfile {
+    let configs = sample_configurations(&options.range);
+    let samples = measure_object(model, &configs, &options.measurement);
+    build_profile_from_measurements(model, object_id, samples)
+}
+
+/// Builds a profile directly from existing measurements (used when the
+/// caller already has measurements, e.g. the error-analysis benchmark).
+pub fn build_profile_from_measurements(
+    model: &ObjectModel,
+    object_id: usize,
+    samples: Vec<Measurement>,
+) -> ObjectProfile {
+    let size_model = fit_size_model(&samples);
+    let quality_model = fit_quality_model(&samples);
+    ObjectProfile {
+        object_id,
+        name: model.name.clone(),
+        size_model,
+        quality_model,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nerflex_scene::object::CanonicalObject;
+
+    #[test]
+    fn quick_profile_is_sane_and_monotone() {
+        let model = CanonicalObject::Hotdog.build();
+        let profile = build_profile(&model, 0, &ProfilerOptions::quick());
+        assert_eq!(profile.name, "hotdog");
+        assert!(!profile.samples.is_empty());
+        // Predictions are monotone in both knobs over the profiled range.
+        assert!(profile.predict_size(40, 9) > profile.predict_size(10, 3));
+        assert!(profile.predict_quality(40, 9) >= profile.predict_quality(10, 3));
+        // Quality stays a valid SSIM.
+        assert!(profile.predict_quality(40, 9) <= 1.0);
+        assert!(profile.predict_quality(10, 3) >= 0.0);
+    }
+
+    #[test]
+    fn profile_predicts_its_own_samples_reasonably() {
+        let model = CanonicalObject::Chair.build();
+        let profile = build_profile(&model, 2, &ProfilerOptions::quick());
+        for sample in &profile.samples {
+            let ps = profile.predict_size(sample.config.grid, sample.config.patch);
+            let pq = profile.predict_quality(sample.config.grid, sample.config.patch);
+            assert!(
+                (ps - sample.size_mb).abs() < sample.size_mb.max(1.0) * 0.6,
+                "size prediction off: {ps} vs {}",
+                sample.size_mb
+            );
+            assert!((pq - sample.ssim).abs() < 0.15, "quality prediction off: {pq} vs {}", sample.ssim);
+        }
+    }
+
+    #[test]
+    fn min_size_over_picks_the_cheapest_configuration() {
+        let model = CanonicalObject::Hotdog.build();
+        let profile = build_profile(&model, 0, &ProfilerOptions::quick());
+        let configs = vec![(10u32, 3u32), (20, 5), (40, 9)];
+        let min_size = profile.min_size_over(&configs);
+        assert!((min_size - profile.predict_size(10, 3)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,125 @@
+//! Variable-step selection of profiling sample points.
+//!
+//! "To further minimize the number of sampling points for curve fitting, we
+//! design a variable step-size searching strategy within NeRF's configuration
+//! space. Specifically, for selecting the g values of the sample points, the
+//! step size is 2·g′, where g′ represents the value of the previous sample
+//! point. For each g value, we select the maximum, minimum, and midpoint
+//! values of the patch size range as three distinct p values." (paper §III-B)
+
+use nerflex_bake::BakeConfig;
+
+/// The configuration-space bounds used when picking sample points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleRange {
+    /// Minimum mesh granularity.
+    pub g_min: u32,
+    /// Maximum mesh granularity.
+    pub g_max: u32,
+    /// Minimum patch size.
+    pub p_min: u32,
+    /// Maximum patch size.
+    pub p_max: u32,
+}
+
+impl Default for SampleRange {
+    fn default() -> Self {
+        Self {
+            g_min: BakeConfig::MIN_GRID,
+            g_max: BakeConfig::MAX_GRID,
+            p_min: BakeConfig::MIN_PATCH,
+            p_max: BakeConfig::MAX_PATCH,
+        }
+    }
+}
+
+/// The grid-granularity sample values produced by the variable-step search:
+/// starting from `g_min`, each step adds `2·g_prev` (i.e. the next value is
+/// `3·g_prev`), and `g_max` is always included so the fit is anchored at both
+/// ends of the range.
+///
+/// # Panics
+///
+/// Panics when the range is inverted or `g_min` is zero.
+pub fn grid_samples(range: &SampleRange) -> Vec<u32> {
+    assert!(range.g_min > 0 && range.g_min <= range.g_max, "invalid grid range");
+    let mut out = Vec::new();
+    let mut g = range.g_min;
+    while g < range.g_max {
+        out.push(g);
+        // Step size is twice the previous sample value.
+        g += 2 * g;
+    }
+    out.push(range.g_max);
+    out
+}
+
+/// The patch-size sample values: minimum, midpoint and maximum of the range
+/// (deduplicated when the range is degenerate).
+///
+/// # Panics
+///
+/// Panics when the range is inverted or `p_min` is zero.
+pub fn patch_samples(range: &SampleRange) -> Vec<u32> {
+    assert!(range.p_min > 0 && range.p_min <= range.p_max, "invalid patch range");
+    let mut out = vec![range.p_min, (range.p_min + range.p_max) / 2, range.p_max];
+    out.dedup();
+    out
+}
+
+/// The full set of sample configurations: every grid sample paired with the
+/// three patch samples.
+pub fn sample_configurations(range: &SampleRange) -> Vec<BakeConfig> {
+    let gs = grid_samples(range);
+    let ps = patch_samples(range);
+    gs.iter()
+        .flat_map(|&g| ps.iter().map(move |&p| BakeConfig::new(g, p)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_samples_triple_until_the_maximum() {
+        let range = SampleRange { g_min: 16, g_max: 128, p_min: 3, p_max: 45 };
+        assert_eq!(grid_samples(&range), vec![16, 48, 128]);
+        // Far fewer points than an exhaustive sweep of 113 granularities.
+        assert!(grid_samples(&range).len() <= 4);
+    }
+
+    #[test]
+    fn grid_samples_always_include_both_ends() {
+        let range = SampleRange { g_min: 20, g_max: 128, ..SampleRange::default() };
+        let gs = grid_samples(&range);
+        assert_eq!(*gs.first().unwrap(), 20);
+        assert_eq!(*gs.last().unwrap(), 128);
+    }
+
+    #[test]
+    fn patch_samples_are_min_mid_max() {
+        let range = SampleRange { p_min: 3, p_max: 45, ..SampleRange::default() };
+        assert_eq!(patch_samples(&range), vec![3, 24, 45]);
+        let degenerate = SampleRange { p_min: 7, p_max: 7, ..SampleRange::default() };
+        assert_eq!(patch_samples(&degenerate), vec![7]);
+    }
+
+    #[test]
+    fn sample_configurations_form_the_cartesian_product() {
+        let range = SampleRange { g_min: 16, g_max: 128, p_min: 3, p_max: 45 };
+        let configs = sample_configurations(&range);
+        assert_eq!(configs.len(), 3 * 3);
+        assert!(configs.contains(&BakeConfig::new(16, 3)));
+        assert!(configs.contains(&BakeConfig::new(128, 45)));
+        // The sample count stays tiny compared to the full space
+        // (113 × 43 ≈ 4900 configurations), which is the whole point.
+        assert!(configs.len() < 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid grid range")]
+    fn inverted_grid_range_panics() {
+        let _ = grid_samples(&SampleRange { g_min: 64, g_max: 32, p_min: 3, p_max: 5 });
+    }
+}

@@ -1,0 +1,107 @@
+//! Camera matrices for the rasteriser.
+
+use nerflex_math::transform::{look_at, ndc_to_viewport, perspective};
+use nerflex_math::{Mat4, Vec2, Vec3, Vec4};
+use nerflex_scene::camera_path::CameraPose;
+
+/// Near clip plane distance.
+pub const NEAR: f32 = 0.05;
+/// Far clip plane distance.
+pub const FAR: f32 = 100.0;
+
+/// Precomputed view–projection state for one camera pose and viewport.
+#[derive(Debug, Clone, Copy)]
+pub struct RasterCamera {
+    view_proj: Mat4,
+    width: usize,
+    height: usize,
+    /// Camera position (world space), used for view-dependent effects.
+    pub eye: Vec3,
+}
+
+impl RasterCamera {
+    /// Builds the camera for a pose and viewport size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either viewport dimension is zero.
+    pub fn new(pose: &CameraPose, width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "viewport must be non-zero");
+        let view = look_at(pose.eye, pose.target, pose.up);
+        let proj = perspective(pose.fov_y, width as f32 / height as f32, NEAR, FAR);
+        Self {
+            view_proj: proj * view,
+            width,
+            height,
+            eye: pose.eye,
+        }
+    }
+
+    /// Projects a world-space point to clip space (before perspective divide).
+    pub fn to_clip(&self, p: Vec3) -> Vec4 {
+        self.view_proj.mul_vec4(p.extend(1.0))
+    }
+
+    /// Projects a world-space point to viewport pixel coordinates plus depth;
+    /// returns `None` when the point is behind the near plane.
+    pub fn project(&self, p: Vec3) -> Option<(Vec2, f32)> {
+        let clip = self.to_clip(p);
+        if clip.w <= NEAR * 0.5 {
+            return None;
+        }
+        let ndc = clip.perspective_divide();
+        Some((ndc_to_viewport(ndc, self.width, self.height), ndc.z))
+    }
+
+    /// Viewport width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Viewport height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_pose() -> CameraPose {
+        CameraPose::new(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, 60.0f32.to_radians())
+    }
+
+    #[test]
+    fn center_point_projects_to_viewport_center() {
+        let cam = RasterCamera::new(&test_pose(), 200, 100);
+        let (px, depth) = cam.project(Vec3::ZERO).unwrap();
+        assert!((px.x - 100.0).abs() < 1e-3);
+        assert!((px.y - 50.0).abs() < 1e-3);
+        assert!(depth > -1.0 && depth < 1.0);
+    }
+
+    #[test]
+    fn nearer_points_have_smaller_depth() {
+        let cam = RasterCamera::new(&test_pose(), 100, 100);
+        let (_, d_near) = cam.project(Vec3::new(0.0, 0.0, 2.0)).unwrap();
+        let (_, d_far) = cam.project(Vec3::new(0.0, 0.0, -3.0)).unwrap();
+        assert!(d_near < d_far);
+    }
+
+    #[test]
+    fn points_behind_the_camera_are_rejected() {
+        let cam = RasterCamera::new(&test_pose(), 100, 100);
+        assert!(cam.project(Vec3::new(0.0, 0.0, 10.0)).is_none());
+    }
+
+    #[test]
+    fn off_axis_points_move_in_the_expected_direction() {
+        let cam = RasterCamera::new(&test_pose(), 100, 100);
+        let (right, _) = cam.project(Vec3::new(1.0, 0.0, 0.0)).unwrap();
+        let (left, _) = cam.project(Vec3::new(-1.0, 0.0, 0.0)).unwrap();
+        assert!(right.x > 50.0 && left.x < 50.0);
+        let (up, _) = cam.project(Vec3::new(0.0, 1.0, 0.0)).unwrap();
+        assert!(up.y < 50.0, "screen y grows downward");
+    }
+}

@@ -1,0 +1,128 @@
+//! Quality evaluation: baked-asset renders vs ray-marched ground truth.
+//!
+//! The profiler and every experiment measure "rendering quality" as the
+//! similarity between what the device renders from the baked data and the
+//! ground-truth view; this module packages that comparison.
+
+use crate::renderer::{render_assets, RenderOptions};
+use nerflex_bake::BakedAsset;
+use nerflex_image::{lpips::lpips_proxy, metrics, Image};
+use nerflex_scene::camera_path::CameraPose;
+use nerflex_scene::scene::Scene;
+
+/// Aggregated full-reference quality over a set of views.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QualityReport {
+    /// Mean SSIM across views (the paper's primary metric).
+    pub ssim: f64,
+    /// Mean PSNR in dB (finite even for identical images: capped at 99 dB).
+    pub psnr: f64,
+    /// Mean LPIPS-style perceptual distance (lower is better).
+    pub lpips: f64,
+    /// Number of views evaluated.
+    pub views: usize,
+}
+
+/// Renders `assets` at every pose and compares against ground-truth renders
+/// of `scene`, returning the averaged metrics.
+///
+/// # Panics
+///
+/// Panics when `poses` is empty or a render dimension is zero.
+pub fn compare_against_ground_truth(
+    assets: &[BakedAsset],
+    scene: &Scene,
+    poses: &[CameraPose],
+    width: usize,
+    height: usize,
+    options: &RenderOptions,
+) -> QualityReport {
+    assert!(!poses.is_empty(), "at least one pose is required");
+    let mut ssim_sum = 0.0;
+    let mut psnr_sum = 0.0;
+    let mut lpips_sum = 0.0;
+    for pose in poses {
+        let (ground_truth, _) = nerflex_scene::raymarch::render_view(scene, pose, width, height);
+        let (render, _) = render_assets(assets, pose, width, height, options);
+        ssim_sum += metrics::ssim(&ground_truth, &render);
+        psnr_sum += metrics::psnr(&ground_truth, &render).min(99.0);
+        lpips_sum += lpips_proxy(&ground_truth, &render);
+    }
+    let n = poses.len() as f64;
+    QualityReport {
+        ssim: ssim_sum / n,
+        psnr: psnr_sum / n,
+        lpips: lpips_sum / n,
+        views: poses.len(),
+    }
+}
+
+/// Compares two already-rendered image sets (e.g. cached ground truth).
+///
+/// # Panics
+///
+/// Panics when the two sets differ in length or are empty.
+pub fn compare_images(ground_truth: &[Image], rendered: &[Image]) -> QualityReport {
+    assert_eq!(ground_truth.len(), rendered.len(), "image set length mismatch");
+    assert!(!ground_truth.is_empty(), "at least one image pair is required");
+    let mut ssim_sum = 0.0;
+    let mut psnr_sum = 0.0;
+    let mut lpips_sum = 0.0;
+    for (gt, img) in ground_truth.iter().zip(rendered) {
+        ssim_sum += metrics::ssim(gt, img);
+        psnr_sum += metrics::psnr(gt, img).min(99.0);
+        lpips_sum += lpips_proxy(gt, img);
+    }
+    let n = ground_truth.len() as f64;
+    QualityReport {
+        ssim: ssim_sum / n,
+        psnr: psnr_sum / n,
+        lpips: lpips_sum / n,
+        views: ground_truth.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nerflex_bake::{bake_placed, BakeConfig};
+    use nerflex_image::Color;
+    use nerflex_scene::camera_path::orbit_path;
+    use nerflex_scene::object::CanonicalObject;
+
+    #[test]
+    fn identical_image_sets_are_perfect() {
+        let imgs = vec![Image::from_fn(32, 32, |x, y| Color::gray((x * y % 7) as f32 / 7.0))];
+        let report = compare_images(&imgs, &imgs);
+        assert_eq!(report.ssim, 1.0);
+        assert_eq!(report.psnr, 99.0);
+        assert!(report.lpips < 1e-9);
+        assert_eq!(report.views, 1);
+    }
+
+    #[test]
+    fn better_configuration_scores_better_end_to_end() {
+        let scene = Scene::with_objects(&[CanonicalObject::Chair], 6);
+        let poses = &orbit_path(scene.bounding_box().center(), 2.8, 0.4, 6)[0..2];
+        let report_for = |g: u32, p: u32| {
+            let assets: Vec<_> = scene
+                .objects()
+                .iter()
+                .map(|o| bake_placed(o, BakeConfig::new(g, p)))
+                .collect();
+            compare_against_ground_truth(&assets, &scene, poses, 64, 64, &RenderOptions::default())
+        };
+        let coarse = report_for(10, 3);
+        let fine = report_for(36, 9);
+        assert!(fine.ssim > coarse.ssim, "SSIM: {} -> {}", coarse.ssim, fine.ssim);
+        assert!(fine.lpips < coarse.lpips, "LPIPS: {} -> {}", coarse.lpips, fine.lpips);
+        assert_eq!(fine.views, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_sets_panic() {
+        let a = vec![Image::new(8, 8, Color::BLACK)];
+        let _ = compare_images(&a, &[]);
+    }
+}

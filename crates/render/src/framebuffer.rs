@@ -1,0 +1,108 @@
+//! Colour + depth framebuffer.
+
+use nerflex_image::{Color, Image};
+
+/// A colour image with an associated z-buffer.
+#[derive(Debug, Clone)]
+pub struct Framebuffer {
+    color: Image,
+    depth: Vec<f32>,
+}
+
+impl Framebuffer {
+    /// Creates a framebuffer cleared to `clear_color` and maximum depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize, clear_color: Color) -> Self {
+        Self {
+            color: Image::new(width, height, clear_color),
+            depth: vec![f32::INFINITY; width * height],
+        }
+    }
+
+    /// Framebuffer width.
+    pub fn width(&self) -> usize {
+        self.color.width()
+    }
+
+    /// Framebuffer height.
+    pub fn height(&self) -> usize {
+        self.color.height()
+    }
+
+    /// Writes a fragment if it passes the depth test; returns whether it was
+    /// written.
+    pub fn write(&mut self, x: usize, y: usize, depth: f32, color: Color) -> bool {
+        let idx = y * self.width() + x;
+        if depth < self.depth[idx] {
+            self.depth[idx] = depth;
+            self.color.set(x, y, color);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Depth at a pixel (`f32::INFINITY` when nothing was drawn).
+    pub fn depth_at(&self, x: usize, y: usize) -> f32 {
+        self.depth[y * self.width() + x]
+    }
+
+    /// Fills untouched pixels using a background function of pixel coordinates.
+    pub fn fill_background(&mut self, mut f: impl FnMut(usize, usize) -> Color) {
+        for y in 0..self.height() {
+            for x in 0..self.width() {
+                if self.depth[y * self.width() + x].is_infinite() {
+                    let c = f(x, y);
+                    self.color.set(x, y, c);
+                }
+            }
+        }
+    }
+
+    /// Number of pixels covered by geometry.
+    pub fn covered_pixels(&self) -> usize {
+        self.depth.iter().filter(|d| d.is_finite()).count()
+    }
+
+    /// Consumes the framebuffer, returning the colour image.
+    pub fn into_image(self) -> Image {
+        self.color
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_test_keeps_the_nearest_fragment() {
+        let mut fb = Framebuffer::new(4, 4, Color::BLACK);
+        assert!(fb.write(1, 1, 0.5, Color::WHITE));
+        assert!(!fb.write(1, 1, 0.7, Color::gray(0.3)));
+        assert!(fb.write(1, 1, 0.2, Color::gray(0.6)));
+        assert_eq!(fb.into_image().get(1, 1), Color::gray(0.6));
+    }
+
+    #[test]
+    fn background_fills_only_uncovered_pixels() {
+        let mut fb = Framebuffer::new(2, 2, Color::BLACK);
+        fb.write(0, 0, 0.1, Color::WHITE);
+        fb.fill_background(|_, _| Color::gray(0.5));
+        let img = fb.into_image();
+        assert_eq!(img.get(0, 0), Color::WHITE);
+        assert_eq!(img.get(1, 1), Color::gray(0.5));
+    }
+
+    #[test]
+    fn covered_pixels_counts_writes() {
+        let mut fb = Framebuffer::new(3, 3, Color::BLACK);
+        assert_eq!(fb.covered_pixels(), 0);
+        fb.write(0, 0, 0.5, Color::WHITE);
+        fb.write(2, 2, 0.5, Color::WHITE);
+        fb.write(2, 2, 0.9, Color::WHITE); // fails depth test, still covered
+        assert_eq!(fb.covered_pixels(), 2);
+    }
+}

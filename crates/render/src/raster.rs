@@ -1,0 +1,244 @@
+//! Triangle rasterisation with perspective-correct attribute interpolation.
+//!
+//! Each baked quad is split into two triangles whose vertices carry the patch
+//! UV coordinate and the surface normal; fragments are produced with the
+//! perspective-correctly interpolated attributes and handed to a shading
+//! callback, which is how the renderer keeps rasterisation independent of the
+//! texturing / MLP shading policy.
+
+use crate::camera::RasterCamera;
+use crate::framebuffer::Framebuffer;
+use nerflex_image::Color;
+use nerflex_math::{Vec2, Vec3};
+
+/// A vertex submitted to the rasteriser.
+#[derive(Debug, Clone, Copy)]
+pub struct RasterVertex {
+    /// World-space position.
+    pub position: Vec3,
+    /// Texture coordinate within the quad's atlas patch.
+    pub uv: Vec2,
+    /// World-space surface normal.
+    pub normal: Vec3,
+}
+
+/// An interpolated fragment passed to the shading callback.
+#[derive(Debug, Clone, Copy)]
+pub struct Fragment {
+    /// Perspective-correct texture coordinate.
+    pub uv: Vec2,
+    /// Perspective-correct (re-normalised) surface normal.
+    pub normal: Vec3,
+    /// Normalised-device-coordinate depth (smaller is nearer).
+    pub depth: f32,
+}
+
+/// Statistics accumulated while rasterising.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RasterStats {
+    /// Triangles that survived clipping and faced the camera.
+    pub triangles_rasterized: usize,
+    /// Fragments that passed the depth test and were shaded.
+    pub fragments_shaded: usize,
+}
+
+/// Rasterises one triangle, calling `shade` for every fragment that passes
+/// the depth test.
+pub fn draw_triangle(
+    camera: &RasterCamera,
+    framebuffer: &mut Framebuffer,
+    vertices: &[RasterVertex; 3],
+    stats: &mut RasterStats,
+    shade: &mut dyn FnMut(Fragment) -> Color,
+) {
+    // Project all three vertices; reject triangles crossing the near plane
+    // (scene scale makes these negligible — objects sit well inside the view).
+    let clips = [
+        camera.to_clip(vertices[0].position),
+        camera.to_clip(vertices[1].position),
+        camera.to_clip(vertices[2].position),
+    ];
+    if clips.iter().any(|c| c.w <= crate::camera::NEAR * 0.5) {
+        return;
+    }
+    let inv_w = [1.0 / clips[0].w, 1.0 / clips[1].w, 1.0 / clips[2].w];
+    let screen: Vec<Vec2> = clips
+        .iter()
+        .map(|c| {
+            let ndc = c.perspective_divide();
+            nerflex_math::transform::ndc_to_viewport(ndc, framebuffer.width(), framebuffer.height())
+        })
+        .collect();
+    let depth_ndc = [
+        clips[0].z * inv_w[0],
+        clips[1].z * inv_w[1],
+        clips[2].z * inv_w[2],
+    ];
+
+    // Signed area (negative = back-facing in our winding); keep both windings
+    // because baked quads are viewed from either side after projection.
+    let area = (screen[1] - screen[0]).perp_dot(screen[2] - screen[0]);
+    if area.abs() < 1e-6 {
+        return;
+    }
+    stats.triangles_rasterized += 1;
+    let inv_area = 1.0 / area;
+
+    let min_x = screen.iter().map(|p| p.x).fold(f32::INFINITY, f32::min).floor().max(0.0) as usize;
+    let max_x = (screen.iter().map(|p| p.x).fold(f32::NEG_INFINITY, f32::max).ceil() as isize)
+        .clamp(0, framebuffer.width() as isize - 1) as usize;
+    let min_y = screen.iter().map(|p| p.y).fold(f32::INFINITY, f32::min).floor().max(0.0) as usize;
+    let max_y = (screen.iter().map(|p| p.y).fold(f32::NEG_INFINITY, f32::max).ceil() as isize)
+        .clamp(0, framebuffer.height() as isize - 1) as usize;
+    if min_x > max_x || min_y > max_y {
+        return;
+    }
+
+    for y in min_y..=max_y {
+        for x in min_x..=max_x {
+            let p = Vec2::new(x as f32 + 0.5, y as f32 + 0.5);
+            // Barycentric coordinates (consistent sign handling for both windings).
+            let w0 = (screen[1] - p).perp_dot(screen[2] - p) * inv_area;
+            let w1 = (screen[2] - p).perp_dot(screen[0] - p) * inv_area;
+            let w2 = 1.0 - w0 - w1;
+            if w0 < 0.0 || w1 < 0.0 || w2 < 0.0 {
+                continue;
+            }
+            let depth = w0 * depth_ndc[0] + w1 * depth_ndc[1] + w2 * depth_ndc[2];
+            if depth < -1.0 || depth > 1.0 {
+                continue;
+            }
+            // Perspective-correct interpolation: weight attributes by 1/w.
+            let denom = w0 * inv_w[0] + w1 * inv_w[1] + w2 * inv_w[2];
+            if denom <= 0.0 {
+                continue;
+            }
+            let persp = |a0: f32, a1: f32, a2: f32| {
+                (a0 * w0 * inv_w[0] + a1 * w1 * inv_w[1] + a2 * w2 * inv_w[2]) / denom
+            };
+            let uv = Vec2::new(
+                persp(vertices[0].uv.x, vertices[1].uv.x, vertices[2].uv.x),
+                persp(vertices[0].uv.y, vertices[1].uv.y, vertices[2].uv.y),
+            );
+            let normal = Vec3::new(
+                persp(vertices[0].normal.x, vertices[1].normal.x, vertices[2].normal.x),
+                persp(vertices[0].normal.y, vertices[1].normal.y, vertices[2].normal.y),
+                persp(vertices[0].normal.z, vertices[1].normal.z, vertices[2].normal.z),
+            )
+            .normalized();
+            let fragment = Fragment { uv, normal, depth };
+            // Depth test first so the shade callback only runs for visible fragments.
+            let idx_depth = framebuffer.depth_at(x, y);
+            if depth < idx_depth {
+                let color = shade(fragment);
+                if framebuffer.write(x, y, depth, color) {
+                    stats.fragments_shaded += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nerflex_scene::camera_path::CameraPose;
+
+    fn camera(width: usize, height: usize) -> RasterCamera {
+        let pose = CameraPose::new(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, 60.0f32.to_radians());
+        RasterCamera::new(&pose, width, height)
+    }
+
+    fn vertex(p: Vec3, uv: Vec2) -> RasterVertex {
+        RasterVertex { position: p, uv, normal: Vec3::Z }
+    }
+
+    #[test]
+    fn triangle_covers_expected_pixels() {
+        let cam = camera(64, 64);
+        let mut fb = Framebuffer::new(64, 64, Color::BLACK);
+        let mut stats = RasterStats::default();
+        let tri = [
+            vertex(Vec3::new(-1.0, -1.0, 0.0), Vec2::new(0.0, 0.0)),
+            vertex(Vec3::new(1.0, -1.0, 0.0), Vec2::new(1.0, 0.0)),
+            vertex(Vec3::new(0.0, 1.0, 0.0), Vec2::new(0.5, 1.0)),
+        ];
+        draw_triangle(&cam, &mut fb, &tri, &mut stats, &mut |_| Color::WHITE);
+        assert_eq!(stats.triangles_rasterized, 1);
+        assert!(stats.fragments_shaded > 50);
+        // The triangle centroid projects near the viewport centre.
+        assert_eq!(fb.into_image().get(32, 32), Color::WHITE);
+    }
+
+    #[test]
+    fn nearer_triangle_occludes_farther_one() {
+        let cam = camera(48, 48);
+        let mut fb = Framebuffer::new(48, 48, Color::BLACK);
+        let mut stats = RasterStats::default();
+        let far = [
+            vertex(Vec3::new(-1.0, -1.0, -1.0), Vec2::ZERO),
+            vertex(Vec3::new(1.0, -1.0, -1.0), Vec2::ZERO),
+            vertex(Vec3::new(0.0, 1.0, -1.0), Vec2::ZERO),
+        ];
+        let near = [
+            vertex(Vec3::new(-1.0, -1.0, 1.0), Vec2::ZERO),
+            vertex(Vec3::new(1.0, -1.0, 1.0), Vec2::ZERO),
+            vertex(Vec3::new(0.0, 1.0, 1.0), Vec2::ZERO),
+        ];
+        draw_triangle(&cam, &mut fb, &far, &mut stats, &mut |_| Color::gray(0.2));
+        draw_triangle(&cam, &mut fb, &near, &mut stats, &mut |_| Color::WHITE);
+        assert_eq!(fb.into_image().get(24, 24), Color::WHITE);
+
+        // Drawing in the opposite order must give the same result.
+        let mut fb2 = Framebuffer::new(48, 48, Color::BLACK);
+        draw_triangle(&cam, &mut fb2, &near, &mut stats, &mut |_| Color::WHITE);
+        draw_triangle(&cam, &mut fb2, &far, &mut stats, &mut |_| Color::gray(0.2));
+        assert_eq!(fb2.into_image().get(24, 24), Color::WHITE);
+    }
+
+    #[test]
+    fn uv_interpolation_spans_the_triangle() {
+        let cam = camera(64, 64);
+        let mut fb = Framebuffer::new(64, 64, Color::BLACK);
+        let mut stats = RasterStats::default();
+        let tri = [
+            vertex(Vec3::new(-1.5, -1.5, 0.0), Vec2::new(0.0, 0.0)),
+            vertex(Vec3::new(1.5, -1.5, 0.0), Vec2::new(1.0, 0.0)),
+            vertex(Vec3::new(-1.5, 1.5, 0.0), Vec2::new(0.0, 1.0)),
+        ];
+        let mut min_u = f32::INFINITY;
+        let mut max_u = f32::NEG_INFINITY;
+        draw_triangle(&cam, &mut fb, &tri, &mut stats, &mut |f| {
+            min_u = min_u.min(f.uv.x);
+            max_u = max_u.max(f.uv.x);
+            Color::WHITE
+        });
+        assert!(min_u < 0.1 && max_u > 0.8, "u range [{min_u}, {max_u}]");
+    }
+
+    #[test]
+    fn behind_camera_triangles_are_skipped() {
+        let cam = camera(32, 32);
+        let mut fb = Framebuffer::new(32, 32, Color::BLACK);
+        let mut stats = RasterStats::default();
+        let tri = [
+            vertex(Vec3::new(-1.0, -1.0, 10.0), Vec2::ZERO),
+            vertex(Vec3::new(1.0, -1.0, 10.0), Vec2::ZERO),
+            vertex(Vec3::new(0.0, 1.0, 10.0), Vec2::ZERO),
+        ];
+        draw_triangle(&cam, &mut fb, &tri, &mut stats, &mut |_| Color::WHITE);
+        assert_eq!(stats.triangles_rasterized, 0);
+        assert_eq!(fb.covered_pixels(), 0);
+    }
+
+    #[test]
+    fn degenerate_triangle_is_skipped() {
+        let cam = camera(32, 32);
+        let mut fb = Framebuffer::new(32, 32, Color::BLACK);
+        let mut stats = RasterStats::default();
+        let p = Vec3::new(0.0, 0.0, 0.0);
+        let tri = [vertex(p, Vec2::ZERO), vertex(p, Vec2::ZERO), vertex(p, Vec2::ZERO)];
+        draw_triangle(&cam, &mut fb, &tri, &mut stats, &mut |_| Color::WHITE);
+        assert_eq!(stats.triangles_rasterized, 0);
+    }
+}

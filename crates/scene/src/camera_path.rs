@@ -1,0 +1,158 @@
+//! Camera poses and orbit trajectories.
+//!
+//! The evaluation rotates the scene "at a fixed speed (7.5 seconds per 360
+//! degrees)" while rendering 2000 frames; training/test views are taken on
+//! orbits at a few elevations, matching the synthetic 360° datasets.
+
+use nerflex_math::transform::orbit_position;
+use nerflex_math::{Aabb, Vec3};
+
+/// A pinhole camera pose.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CameraPose {
+    /// Camera position.
+    pub eye: Vec3,
+    /// Point looked at.
+    pub target: Vec3,
+    /// Up direction.
+    pub up: Vec3,
+    /// Full vertical field of view in radians.
+    pub fov_y: f32,
+}
+
+impl CameraPose {
+    /// Creates a pose looking at `target` from `eye` with the given vertical
+    /// field of view.
+    pub fn new(eye: Vec3, target: Vec3, fov_y: f32) -> Self {
+        Self { eye, target, up: Vec3::Y, fov_y }
+    }
+}
+
+/// Generates `count` poses on an orbit of the given radius and elevation
+/// angle (radians above the horizontal plane) around `center`.
+///
+/// # Panics
+///
+/// Panics when `count` is zero or `radius` is not positive.
+pub fn orbit_path(center: Vec3, radius: f32, elevation: f32, count: usize) -> Vec<CameraPose> {
+    assert!(count > 0, "orbit path needs at least one pose");
+    assert!(radius > 0.0, "orbit radius must be positive");
+    (0..count)
+        .map(|i| {
+            let azimuth = i as f32 / count as f32 * std::f32::consts::TAU;
+            CameraPose::new(
+                orbit_position(center, radius, azimuth, elevation),
+                center,
+                50.0f32.to_radians(),
+            )
+        })
+        .collect()
+}
+
+/// Standard training trajectory around a scene: two interleaved orbits at
+/// different elevations (mimicking the spread of the synthetic datasets'
+/// training views), sized from the scene bounding box.
+pub fn training_orbits(scene_bounds: &Aabb, views: usize) -> Vec<CameraPose> {
+    let center = scene_bounds.center();
+    let radius = (scene_bounds.diagonal() * 0.9).max(1.0);
+    let low = orbit_path(center, radius, 0.35, views.div_ceil(2));
+    let high = if views / 2 > 0 {
+        orbit_path(center, radius, 0.8, views / 2)
+    } else {
+        Vec::new()
+    };
+    let mut all = Vec::with_capacity(views);
+    let mut li = low.into_iter();
+    let mut hi = high.into_iter();
+    loop {
+        match (li.next(), hi.next()) {
+            (None, None) => break,
+            (a, b) => {
+                if let Some(a) = a {
+                    all.push(a);
+                }
+                if let Some(b) = b {
+                    all.push(b);
+                }
+            }
+        }
+    }
+    all
+}
+
+/// The evaluation trajectory: `frames` poses completing a full revolution
+/// every `seconds_per_rev` at `fps` frames per second (the paper uses 7.5 s
+/// per revolution over 2000 frames).
+pub fn rotation_frames(
+    scene_bounds: &Aabb,
+    frames: usize,
+    seconds_per_rev: f32,
+    fps: f32,
+) -> Vec<CameraPose> {
+    assert!(seconds_per_rev > 0.0 && fps > 0.0, "rotation speed must be positive");
+    let center = scene_bounds.center();
+    let radius = (scene_bounds.diagonal() * 0.9).max(1.0);
+    (0..frames)
+        .map(|i| {
+            let t = i as f32 / fps;
+            let azimuth = t / seconds_per_rev * std::f32::consts::TAU;
+            CameraPose::new(
+                orbit_position(center, radius, azimuth, 0.4),
+                center,
+                50.0f32.to_radians(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_box() -> Aabb {
+        Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0))
+    }
+
+    #[test]
+    fn orbit_keeps_constant_radius_and_target() {
+        let poses = orbit_path(Vec3::new(1.0, 0.0, 0.0), 3.0, 0.3, 16);
+        assert_eq!(poses.len(), 16);
+        for p in &poses {
+            assert!((p.eye.distance(p.target) - 3.0).abs() < 1e-4);
+            assert_eq!(p.target, Vec3::new(1.0, 0.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn orbit_poses_are_distinct() {
+        let poses = orbit_path(Vec3::ZERO, 2.0, 0.0, 8);
+        for i in 1..poses.len() {
+            assert!(poses[i].eye.distance(poses[i - 1].eye) > 1e-3);
+        }
+    }
+
+    #[test]
+    fn training_orbits_produce_requested_count() {
+        for n in [1usize, 2, 7, 20] {
+            let poses = training_orbits(&unit_box(), n);
+            assert_eq!(poses.len(), n, "requested {n}");
+        }
+    }
+
+    #[test]
+    fn rotation_frames_complete_revolution() {
+        // 7.5 s per revolution at 20 fps = 150 frames per revolution.
+        let frames = rotation_frames(&unit_box(), 150, 7.5, 20.0);
+        assert_eq!(frames.len(), 150);
+        // First and last+1 frame coincide (modulo the full circle).
+        let first = frames[0].eye;
+        let wrap = orbit_position(Vec3::ZERO, (unit_box().diagonal() * 0.9).max(1.0), std::f32::consts::TAU, 0.4);
+        assert!((first - wrap).length() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pose")]
+    fn empty_orbit_panics() {
+        let _ = orbit_path(Vec3::ZERO, 1.0, 0.0, 0);
+    }
+}

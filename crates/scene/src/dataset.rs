@@ -1,0 +1,167 @@
+//! Training / test datasets: posed ground-truth views with instance maps.
+//!
+//! A [`Dataset`] is the stand-in for the paper's "training images" (the
+//! synthetic 360° image sets and LLFF captures): a set of posed views, each
+//! with an exact ground-truth rendering and a per-pixel instance map that the
+//! segmentation module uses as its (perfect) object detector.
+
+use crate::camera_path::{training_orbits, CameraPose};
+use crate::raymarch::render_view;
+use crate::scene::Scene;
+use nerflex_image::{Image, Mask};
+
+/// One posed view: camera, ground-truth image and per-pixel instance map.
+#[derive(Debug, Clone)]
+pub struct View {
+    /// Camera pose of this view.
+    pub pose: CameraPose,
+    /// Ground-truth rendering.
+    pub image: Image,
+    /// Which object (if any) covers each pixel, row-major.
+    pub instances: Vec<Option<usize>>,
+}
+
+impl View {
+    /// Renders a view of `scene` from `pose` at the given resolution.
+    pub fn render(scene: &Scene, pose: CameraPose, width: usize, height: usize) -> Self {
+        let (image, instances) = render_view(scene, &pose, width, height);
+        Self { pose, image, instances }
+    }
+
+    /// The binary mask of pixels covered by object `id`.
+    pub fn object_mask(&self, id: usize) -> Mask {
+        let w = self.image.width();
+        let h = self.image.height();
+        Mask::from_fn(w, h, |x, y| self.instances[y * w + x] == Some(id))
+    }
+
+    /// Number of pixels covered by object `id`.
+    pub fn object_pixel_count(&self, id: usize) -> usize {
+        self.instances.iter().filter(|&&i| i == Some(id)).count()
+    }
+
+    /// IDs of all objects visible in this view.
+    pub fn visible_objects(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.instances.iter().flatten().copied().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+/// A set of training and test views of a single scene.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Views used for "training" (profiling and segmentation).
+    pub train: Vec<View>,
+    /// Held-out views used for quality evaluation.
+    pub test: Vec<View>,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+}
+
+impl Dataset {
+    /// Generates a dataset of `train_views` training and `test_views` test
+    /// views at `width × height`, on orbits derived from the scene bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene is empty or a view count is zero.
+    pub fn generate(
+        scene: &Scene,
+        train_views: usize,
+        test_views: usize,
+        width: usize,
+        height: usize,
+    ) -> Self {
+        assert!(!scene.is_empty(), "cannot build a dataset of an empty scene");
+        assert!(train_views > 0 && test_views > 0, "view counts must be non-zero");
+        let bounds = scene.bounding_box();
+        let train_poses = training_orbits(&bounds, train_views);
+        // Test poses use a distinct elevation and a slightly larger radius so
+        // they are never identical to a training view.
+        let radius = (bounds.diagonal() * 0.93).max(1.05);
+        let test_poses: Vec<CameraPose> =
+            crate::camera_path::orbit_path(bounds.center(), radius, 0.55, test_views);
+        let train = train_poses
+            .into_iter()
+            .map(|p| View::render(scene, p, width, height))
+            .collect();
+        let test = test_poses
+            .into_iter()
+            .map(|p| View::render(scene, p, width, height))
+            .collect();
+        Self { train, test, width, height }
+    }
+
+    /// Total number of views.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.test.len()
+    }
+
+    /// `true` when the dataset holds no views.
+    pub fn is_empty(&self) -> bool {
+        self.train.is_empty() && self.test.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::CanonicalObject;
+
+    #[test]
+    fn dataset_generation_produces_requested_views() {
+        let scene = Scene::with_objects(&[CanonicalObject::Hotdog, CanonicalObject::Chair], 9);
+        let ds = Dataset::generate(&scene, 4, 2, 40, 40);
+        assert_eq!(ds.train.len(), 4);
+        assert_eq!(ds.test.len(), 2);
+        assert_eq!(ds.len(), 6);
+        assert!(!ds.is_empty());
+        for v in ds.train.iter().chain(&ds.test) {
+            assert_eq!(v.image.width(), 40);
+            assert_eq!(v.image.height(), 40);
+            assert_eq!(v.instances.len(), 40 * 40);
+        }
+    }
+
+    #[test]
+    fn every_object_is_visible_somewhere_in_training_set() {
+        let scene = Scene::with_objects(&[CanonicalObject::Hotdog, CanonicalObject::Lego], 2);
+        let ds = Dataset::generate(&scene, 6, 1, 56, 56);
+        let mut seen = std::collections::HashSet::new();
+        for v in &ds.train {
+            seen.extend(v.visible_objects());
+        }
+        assert!(seen.contains(&0) && seen.contains(&1), "visible: {seen:?}");
+    }
+
+    #[test]
+    fn object_mask_matches_pixel_count() {
+        let scene = Scene::with_objects(&[CanonicalObject::Chair], 1);
+        let ds = Dataset::generate(&scene, 1, 1, 48, 48);
+        let view = &ds.train[0];
+        let mask = view.object_mask(0);
+        assert_eq!(mask.count(), view.object_pixel_count(0));
+        assert!(mask.count() > 0);
+    }
+
+    #[test]
+    fn test_poses_differ_from_train_poses() {
+        let scene = Scene::with_objects(&[CanonicalObject::Hotdog], 7);
+        let ds = Dataset::generate(&scene, 3, 3, 32, 32);
+        for test_view in &ds.test {
+            for train_view in &ds.train {
+                assert!(test_view.pose.eye.distance(train_view.pose.eye) > 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty scene")]
+    fn empty_scene_panics() {
+        let _ = Dataset::generate(&Scene::new(), 2, 1, 16, 16);
+    }
+}

@@ -1,0 +1,46 @@
+//! # nerflex-scene
+//!
+//! Procedural scene substrate for the NeRFlex reproduction.
+//!
+//! The paper evaluates on synthetic 360° objects (lego, ship, chair, ficus,
+//! hotdog from the original NeRF dataset) and LLFF real-world scenes. Neither
+//! dataset is available offline, so this crate provides *procedural
+//! signed-distance-field analogues* with the same relative geometric
+//! complexity ordering and controllable appearance detail, plus exact
+//! ground-truth renderings obtained by sphere-traced ray marching
+//! (see DESIGN.md, substitution table).
+//!
+//! Main entry points:
+//!
+//! * [`object::CanonicalObject`] — the five canonical objects and their
+//!   procedural generators.
+//! * [`scene::Scene`] — a set of placed objects with instance IDs.
+//! * [`camera_path::orbit_path`] — the rotating camera trajectories used by
+//!   the evaluation ("objects rotate at a fixed speed, 7.5 s per 360°").
+//! * [`dataset::Dataset`] — train/test view sets with ground-truth images and
+//!   per-pixel instance maps.
+//!
+//! ```
+//! use nerflex_scene::object::CanonicalObject;
+//! use nerflex_scene::scene::Scene;
+//!
+//! let scene = Scene::with_objects(&[CanonicalObject::Hotdog, CanonicalObject::Lego], 42);
+//! assert_eq!(scene.objects().len(), 2);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod appearance;
+pub mod camera_path;
+pub mod dataset;
+pub mod object;
+pub mod raymarch;
+pub mod scene;
+pub mod sdf;
+
+pub use camera_path::CameraPose;
+pub use dataset::{Dataset, View};
+pub use object::CanonicalObject;
+pub use scene::{PlacedObject, Scene};
+pub use sdf::Sdf;

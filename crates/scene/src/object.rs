@@ -1,0 +1,377 @@
+//! The canonical object catalogue.
+//!
+//! The paper composes its simulated scenes from five synthetic 360° objects
+//! of the original NeRF dataset — hotdog, ficus, chair, ship and lego — whose
+//! 3-D geometric complexity is ordered hotdog < ficus < chair < ship < lego
+//! (Fig. 8 sorts the x-axis that way). We provide procedural SDF analogues
+//! with the same ordering, plus randomised "filler" objects used when a
+//! scene needs more variety (Scene 3 of the evaluation picks objects at
+//! random).
+
+use crate::appearance::Appearance;
+use crate::sdf::Sdf;
+use nerflex_image::Color;
+use nerflex_math::Vec3;
+use rand::Rng;
+
+/// The five canonical objects used throughout the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CanonicalObject {
+    /// Lowest geometric complexity: sausage + bun, smooth appearance.
+    Hotdog,
+    /// A potted plant: trunk + blobby canopy with high-frequency foliage noise.
+    Ficus,
+    /// A chair: seat, backrest and four legs.
+    Chair,
+    /// A ship: hull, masts, sails and striped planking.
+    Ship,
+    /// Highest geometric complexity: studded brick assembly.
+    Lego,
+}
+
+impl CanonicalObject {
+    /// All five canonical objects in ascending order of geometric complexity.
+    pub const ALL: [CanonicalObject; 5] = [
+        CanonicalObject::Hotdog,
+        CanonicalObject::Ficus,
+        CanonicalObject::Chair,
+        CanonicalObject::Ship,
+        CanonicalObject::Lego,
+    ];
+
+    /// Human-readable lower-case name (matches the paper's Fig. 8 labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CanonicalObject::Hotdog => "hotdog",
+            CanonicalObject::Ficus => "ficus",
+            CanonicalObject::Chair => "chair",
+            CanonicalObject::Ship => "ship",
+            CanonicalObject::Lego => "lego",
+        }
+    }
+
+    /// A nominal geometric-complexity rank (0 = simplest). The *measured*
+    /// complexity — quad faces produced at a reference mesh granularity — is
+    /// computed by the baking crate; tests assert the two agree in ordering.
+    pub fn complexity_rank(&self) -> usize {
+        match self {
+            CanonicalObject::Hotdog => 0,
+            CanonicalObject::Ficus => 1,
+            CanonicalObject::Chair => 2,
+            CanonicalObject::Ship => 3,
+            CanonicalObject::Lego => 4,
+        }
+    }
+
+    /// Builds the object's geometry and appearance.
+    pub fn build(&self) -> ObjectModel {
+        match self {
+            CanonicalObject::Hotdog => hotdog(),
+            CanonicalObject::Ficus => ficus(),
+            CanonicalObject::Chair => chair(),
+            CanonicalObject::Ship => ship(),
+            CanonicalObject::Lego => lego(),
+        }
+    }
+
+    /// Parses a canonical object from its name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|o| o.name() == name)
+    }
+}
+
+impl std::fmt::Display for CanonicalObject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Geometry + appearance of one object, in its local frame (roughly unit
+/// scale, sitting on the origin).
+#[derive(Debug, Clone)]
+pub struct ObjectModel {
+    /// Object name.
+    pub name: String,
+    /// Signed distance field of the geometry.
+    pub sdf: Sdf,
+    /// Procedural surface appearance.
+    pub appearance: Appearance,
+}
+
+fn hotdog() -> ObjectModel {
+    let sausage = Sdf::Capsule {
+        a: Vec3::new(-0.45, 0.22, 0.0),
+        b: Vec3::new(0.45, 0.22, 0.0),
+        radius: 0.12,
+    };
+    let bun = Sdf::Ellipsoid { radii: Vec3::new(0.6, 0.18, 0.28) }.translated(Vec3::new(0.0, 0.08, 0.0));
+    let plate = Sdf::Cylinder { half_height: 0.02, radius: 0.75 }.translated(Vec3::new(0.0, -0.06, 0.0));
+    ObjectModel {
+        name: "hotdog".to_string(),
+        sdf: sausage.smooth_union(bun, 0.05).union(plate),
+        appearance: Appearance::Noise {
+            base: Color::new(0.75, 0.45, 0.2),
+            accent: Color::new(0.9, 0.75, 0.5),
+            frequency: 2.0,
+            octaves: 2,
+        },
+    }
+}
+
+fn ficus() -> ObjectModel {
+    let pot = Sdf::Cylinder { half_height: 0.15, radius: 0.22 }.translated(Vec3::new(0.0, 0.15, 0.0));
+    let trunk = Sdf::Capsule {
+        a: Vec3::new(0.0, 0.2, 0.0),
+        b: Vec3::new(0.05, 0.75, 0.02),
+        radius: 0.04,
+    };
+    // Canopy: three overlapping displaced spheres — foliage carries dense
+    // high-frequency appearance detail even though the geometry is simple.
+    let canopy = Sdf::Sphere { radius: 0.32 }
+        .displaced(0.03, 18.0)
+        .translated(Vec3::new(0.0, 0.95, 0.0))
+        .union(
+            Sdf::Sphere { radius: 0.24 }
+                .displaced(0.03, 18.0)
+                .translated(Vec3::new(0.22, 0.8, 0.08)),
+        )
+        .union(
+            Sdf::Sphere { radius: 0.22 }
+                .displaced(0.03, 18.0)
+                .translated(Vec3::new(-0.2, 0.78, -0.1)),
+        );
+    ObjectModel {
+        name: "ficus".to_string(),
+        sdf: pot.union(trunk).union(canopy),
+        appearance: Appearance::Noise {
+            base: Color::new(0.1, 0.35, 0.12),
+            accent: Color::new(0.5, 0.8, 0.3),
+            frequency: 14.0,
+            octaves: 4,
+        },
+    }
+}
+
+fn chair() -> ObjectModel {
+    let seat = Sdf::RoundedBox {
+        half_extent: Vec3::new(0.35, 0.035, 0.35),
+        radius: 0.02,
+    }
+    .translated(Vec3::new(0.0, 0.45, 0.0));
+    let back = Sdf::RoundedBox {
+        half_extent: Vec3::new(0.35, 0.4, 0.03),
+        radius: 0.02,
+    }
+    .translated(Vec3::new(0.0, 0.85, -0.32));
+    let mut parts = vec![seat, back];
+    for (sx, sz) in [(-1.0f32, -1.0f32), (-1.0, 1.0), (1.0, -1.0), (1.0, 1.0)] {
+        parts.push(
+            Sdf::Box { half_extent: Vec3::new(0.03, 0.225, 0.03) }
+                .translated(Vec3::new(0.3 * sx, 0.225, 0.3 * sz)),
+        );
+    }
+    // Backrest slats add mid-frequency geometric detail.
+    for i in 0..4 {
+        parts.push(
+            Sdf::Box { half_extent: Vec3::new(0.33, 0.025, 0.015) }
+                .translated(Vec3::new(0.0, 0.6 + 0.15 * i as f32, -0.3)),
+        );
+    }
+    ObjectModel {
+        name: "chair".to_string(),
+        sdf: Sdf::Union(parts),
+        appearance: Appearance::Stripes {
+            a: Color::new(0.45, 0.28, 0.14),
+            b: Color::new(0.6, 0.4, 0.22),
+            frequency: 7.0,
+        },
+    }
+}
+
+fn ship() -> ObjectModel {
+    let hull = Sdf::Ellipsoid { radii: Vec3::new(0.75, 0.22, 0.26) }
+        .subtract(Sdf::Ellipsoid { radii: Vec3::new(0.68, 0.18, 0.2) }.translated(Vec3::new(0.0, 0.1, 0.0)))
+        .translated(Vec3::new(0.0, 0.25, 0.0));
+    let keel = Sdf::Box { half_extent: Vec3::new(0.7, 0.04, 0.03) }.translated(Vec3::new(0.0, 0.08, 0.0));
+    let mut parts = vec![hull, keel];
+    // Two masts with yards and sails.
+    for (x, h) in [(-0.25f32, 0.75f32), (0.2, 0.9)] {
+        parts.push(
+            Sdf::Cylinder { half_height: h / 2.0, radius: 0.025 }
+                .translated(Vec3::new(x, 0.35 + h / 2.0, 0.0)),
+        );
+        parts.push(
+            Sdf::Box { half_extent: Vec3::new(0.02, 0.02, 0.3) }
+                .translated(Vec3::new(x, 0.35 + h * 0.8, 0.0)),
+        );
+        parts.push(
+            Sdf::Box { half_extent: Vec3::new(0.015, h * 0.3, 0.26) }
+                .displaced(0.012, 25.0)
+                .translated(Vec3::new(x, 0.35 + h * 0.5, 0.0)),
+        );
+    }
+    // Railing posts: many small features raise the surface complexity.
+    for i in 0..8 {
+        let t = i as f32 / 7.0 * 1.2 - 0.6;
+        parts.push(
+            Sdf::Box { half_extent: Vec3::new(0.012, 0.05, 0.012) }
+                .translated(Vec3::new(t, 0.5, 0.24)),
+        );
+        parts.push(
+            Sdf::Box { half_extent: Vec3::new(0.012, 0.05, 0.012) }
+                .translated(Vec3::new(t, 0.5, -0.24)),
+        );
+    }
+    ObjectModel {
+        name: "ship".to_string(),
+        sdf: Sdf::Union(parts),
+        appearance: Appearance::Stripes {
+            a: Color::new(0.35, 0.22, 0.12),
+            b: Color::new(0.72, 0.68, 0.6),
+            frequency: 18.0,
+        },
+    }
+}
+
+fn lego() -> ObjectModel {
+    // A stepped assembly of studded bricks — dense small features give the
+    // highest quad count at any mesh granularity.
+    let mut parts = Vec::new();
+    let brick_specs: [(Vec3, Vec3); 4] = [
+        (Vec3::new(0.45, 0.09, 0.3), Vec3::new(0.0, 0.09, 0.0)),
+        (Vec3::new(0.3, 0.09, 0.3), Vec3::new(-0.15, 0.27, 0.0)),
+        (Vec3::new(0.22, 0.09, 0.22), Vec3::new(0.2, 0.27, 0.05)),
+        (Vec3::new(0.15, 0.09, 0.15), Vec3::new(-0.1, 0.45, 0.05)),
+    ];
+    for (half, at) in brick_specs {
+        parts.push(Sdf::Box { half_extent: half }.translated(at));
+        // Stud grid on top of each brick.
+        let nx = ((half.x * 2.0) / 0.14).floor().max(1.0) as i32;
+        let nz = ((half.z * 2.0) / 0.14).floor().max(1.0) as i32;
+        for ix in 0..nx {
+            for iz in 0..nz {
+                let sx = at.x - half.x + 0.07 + ix as f32 * 0.14;
+                let sz = at.z - half.z + 0.07 + iz as f32 * 0.14;
+                parts.push(
+                    Sdf::Cylinder { half_height: 0.025, radius: 0.04 }
+                        .translated(Vec3::new(sx, at.y + half.y + 0.025, sz)),
+                );
+            }
+        }
+    }
+    ObjectModel {
+        name: "lego".to_string(),
+        sdf: Sdf::Union(parts),
+        appearance: Appearance::Studs {
+            base: Color::new(0.78, 0.1, 0.08),
+            highlight: Color::new(0.95, 0.85, 0.2),
+            frequency: 7.0,
+        },
+    }
+}
+
+/// Generates a randomised filler object (used by the "random scene"
+/// constructions) whose complexity interpolates between the canonical
+/// extremes. The same `rng` state always produces the same object.
+pub fn random_object(rng: &mut impl Rng, index: usize) -> ObjectModel {
+    let complexity: f32 = rng.gen_range(0.0..1.0);
+    let base: Sdf = match rng.gen_range(0..3) {
+        0 => Sdf::Sphere { radius: 0.4 },
+        1 => Sdf::RoundedBox { half_extent: Vec3::new(0.35, 0.3, 0.3), radius: 0.05 },
+        _ => Sdf::Torus { major_radius: 0.3, minor_radius: 0.12 },
+    };
+    let mut sdf = base.translated(Vec3::new(0.0, 0.4, 0.0));
+    // Higher complexity adds displacement and satellite features.
+    if complexity > 0.3 {
+        sdf = sdf.displaced(0.02 + 0.03 * complexity, 10.0 + 30.0 * complexity);
+    }
+    let satellites = (complexity * 6.0) as usize;
+    for s in 0..satellites {
+        let angle = s as f32 / satellites.max(1) as f32 * std::f32::consts::TAU;
+        sdf = sdf.union(
+            Sdf::Sphere { radius: 0.07 }.translated(Vec3::new(
+                0.45 * angle.cos(),
+                0.25 + 0.1 * (s % 3) as f32,
+                0.45 * angle.sin(),
+            )),
+        );
+    }
+    let appearance = Appearance::Noise {
+        base: Color::new(rng.gen_range(0.1..0.9), rng.gen_range(0.1..0.9), rng.gen_range(0.1..0.9)),
+        accent: Color::new(rng.gen_range(0.1..0.9), rng.gen_range(0.1..0.9), rng.gen_range(0.1..0.9)),
+        frequency: 2.0 + complexity * 20.0,
+        octaves: 2 + (complexity * 3.0) as u32,
+    };
+    ObjectModel {
+        name: format!("random-{index}"),
+        sdf,
+        appearance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_objects_build_and_have_geometry_near_origin() {
+        for obj in CanonicalObject::ALL {
+            let model = obj.build();
+            assert_eq!(model.name, obj.name());
+            let bb = model.sdf.bounding_box();
+            assert!(!bb.is_empty(), "{obj}: empty bounding box");
+            assert!(bb.diagonal() > 0.3 && bb.diagonal() < 5.0, "{obj}: odd size {bb:?}");
+            // The surface exists: some probe point near the box centre is inside.
+            let mut inside = 0;
+            let c = bb.center();
+            for i in 0..1000 {
+                let p = c + Vec3::new(
+                    ((i % 10) as f32 / 10.0 - 0.5) * bb.extent().x,
+                    (((i / 10) % 10) as f32 / 10.0 - 0.5) * bb.extent().y,
+                    (((i / 100) % 10) as f32 / 10.0 - 0.5) * bb.extent().z,
+                );
+                if model.sdf.contains(p) {
+                    inside += 1;
+                }
+            }
+            assert!(inside > 0, "{obj}: no interior points found");
+        }
+    }
+
+    #[test]
+    fn complexity_ranks_are_distinct_and_ordered() {
+        let ranks: Vec<usize> = CanonicalObject::ALL.iter().map(|o| o.complexity_rank()).collect();
+        assert_eq!(ranks, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for obj in CanonicalObject::ALL {
+            assert_eq!(CanonicalObject::from_name(obj.name()), Some(obj));
+        }
+        assert_eq!(CanonicalObject::from_name("teapot"), None);
+    }
+
+    #[test]
+    fn lego_appearance_is_more_detailed_than_hotdog() {
+        let lego = CanonicalObject::Lego.build();
+        let hotdog = CanonicalObject::Hotdog.build();
+        assert!(lego.appearance.nominal_detail() > hotdog.appearance.nominal_detail());
+    }
+
+    #[test]
+    fn random_objects_are_deterministic_per_seed() {
+        let mut rng1 = StdRng::seed_from_u64(7);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let a = random_object(&mut rng1, 0);
+        let b = random_object(&mut rng2, 0);
+        assert_eq!(a.name, b.name);
+        // Same SDF tree ⇒ same distances at probe points.
+        for i in 0..20 {
+            let p = Vec3::new(i as f32 * 0.1 - 1.0, 0.3, 0.2);
+            assert_eq!(a.sdf.distance(p), b.sdf.distance(p));
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Ground-truth rendering by sphere-traced ray marching.
+//!
+//! The paper's ground truth is the photograph / the full NeRF render; ours is
+//! an exact render of the procedural scene. The same shading model (two
+//! directional lights + ambient over the procedural albedo) is shared with
+//! the baked-mesh renderer so that quality differences measured between the
+//! two come only from the baked representation (mesh granularity `g`,
+//! texture patch size `p`) — exactly the degradation the NeRFlex profiler
+//! models.
+
+use crate::camera_path::CameraPose;
+use crate::scene::Scene;
+use nerflex_image::{Color, Image};
+use nerflex_math::transform::camera_to_world;
+use nerflex_math::{Aabb, Ray, Vec3};
+
+/// Maximum sphere-tracing steps per ray.
+const MAX_STEPS: usize = 96;
+/// Surface hit tolerance.
+const HIT_EPS: f32 = 2e-3;
+
+/// A ray/scene intersection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Distance along the ray.
+    pub t: f32,
+    /// World-space hit point.
+    pub point: Vec3,
+    /// World-space surface normal.
+    pub normal: Vec3,
+    /// Instance id of the hit object.
+    pub object_id: usize,
+}
+
+/// Shared shading model: simple two-light Lambertian over the albedo.
+pub fn shade(albedo: Color, normal: Vec3) -> Color {
+    let key = Vec3::new(0.5, 0.8, 0.3).normalized();
+    let fill = Vec3::new(-0.6, 0.4, -0.5).normalized();
+    let diffuse = 0.75 * normal.dot(key).max(0.0) + 0.35 * normal.dot(fill).max(0.0);
+    let light = 0.25 + diffuse;
+    albedo.scale(light).clamped()
+}
+
+/// Background colour for a ray direction (vertical gradient).
+pub fn background(direction: Vec3) -> Color {
+    let t = 0.5 * (direction.y + 1.0);
+    Color::new(0.85, 0.9, 0.95).lerp(Color::new(0.55, 0.65, 0.8), t)
+}
+
+/// Sphere-traces the scene and returns the first hit, if any.
+///
+/// `boxes` are the per-object world bounding boxes (pass
+/// [`object_boxes`] output); they let the marcher skip objects that cannot be
+/// the nearest surface.
+pub fn trace(scene: &Scene, boxes: &[Aabb], ray: &Ray, max_distance: f32) -> Option<Hit> {
+    let mut t = 0.0f32;
+    for _ in 0..MAX_STEPS {
+        let p = ray.at(t);
+        let (d, id) = scene.distance_bounded(p, boxes, f32::INFINITY);
+        if d < HIT_EPS {
+            let id = id?;
+            let obj = scene.object(id)?;
+            let normal = obj.world_sdf().normal(p);
+            return Some(Hit { t, point: p, normal, object_id: id });
+        }
+        t += d.max(HIT_EPS * 0.5);
+        if t > max_distance {
+            break;
+        }
+    }
+    None
+}
+
+/// Computes the per-object world bounding boxes used by [`trace`].
+pub fn object_boxes(scene: &Scene) -> Vec<Aabb> {
+    scene
+        .objects()
+        .iter()
+        .map(|o| o.world_bounding_box().inflate(1e-3))
+        .collect()
+}
+
+/// Generates the primary ray through pixel `(x, y)` of a `width × height`
+/// image for the given pose.
+pub fn primary_ray(pose: &CameraPose, x: usize, y: usize, width: usize, height: usize) -> Ray {
+    let cam = camera_to_world(pose.eye, pose.target, pose.up);
+    let aspect = width as f32 / height as f32;
+    let tan_half = (pose.fov_y * 0.5).tan();
+    // Pixel centre in NDC, then into camera space on the z = -1 plane.
+    let ndc_x = (x as f32 + 0.5) / width as f32 * 2.0 - 1.0;
+    let ndc_y = 1.0 - (y as f32 + 0.5) / height as f32 * 2.0;
+    let dir_cam = Vec3::new(ndc_x * tan_half * aspect, ndc_y * tan_half, -1.0);
+    let dir_world = cam.transform_direction(dir_cam).normalized();
+    Ray::new(pose.eye, dir_world)
+}
+
+/// Renders a ground-truth view of the scene, returning the image and the
+/// per-pixel instance map (which object, if any, covers each pixel).
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn render_view(scene: &Scene, pose: &CameraPose, width: usize, height: usize) -> (Image, Vec<Option<usize>>) {
+    assert!(width > 0 && height > 0, "render target must be non-zero");
+    let boxes = object_boxes(scene);
+    let scene_box = scene.bounding_box();
+    let max_distance = if scene_box.is_empty() {
+        20.0
+    } else {
+        pose.eye.distance(scene_box.center()) + scene_box.diagonal() + 1.0
+    };
+    let mut instance_map = vec![None; width * height];
+    let image = Image::from_fn(width, height, |x, y| {
+        let ray = primary_ray(pose, x, y, width, height);
+        match trace(scene, &boxes, &ray, max_distance) {
+            Some(hit) => {
+                instance_map[y * width + x] = Some(hit.object_id);
+                let obj = scene.object(hit.object_id).expect("hit references a valid object");
+                shade(obj.albedo(hit.point, hit.normal), hit.normal)
+            }
+            None => background(ray.direction),
+        }
+    });
+    (image, instance_map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::camera_path::orbit_path;
+    use crate::object::CanonicalObject;
+
+    fn small_scene() -> Scene {
+        Scene::with_objects(&[CanonicalObject::Hotdog], 1)
+    }
+
+    #[test]
+    fn trace_hits_object_in_front_of_camera() {
+        let scene = small_scene();
+        let boxes = object_boxes(&scene);
+        let center = scene.bounding_box().center();
+        let eye = center + Vec3::new(0.0, 0.2, 3.0);
+        let ray = Ray::new(eye, center - eye);
+        let hit = trace(&scene, &boxes, &ray, 50.0).expect("should hit the hotdog");
+        assert_eq!(hit.object_id, 0);
+        assert!(hit.t > 1.0 && hit.t < 5.0);
+        assert!((hit.normal.length() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn trace_misses_empty_direction() {
+        let scene = small_scene();
+        let boxes = object_boxes(&scene);
+        let ray = Ray::new(Vec3::new(0.0, 5.0, 5.0), Vec3::Y);
+        assert!(trace(&scene, &boxes, &ray, 50.0).is_none());
+    }
+
+    #[test]
+    fn rendered_view_contains_object_and_background() {
+        let scene = small_scene();
+        let pose = orbit_path(scene.bounding_box().center(), 2.5, 0.4, 8)[0];
+        let (img, instances) = render_view(&scene, &pose, 48, 48);
+        assert_eq!(img.width(), 48);
+        let covered = instances.iter().filter(|i| i.is_some()).count();
+        assert!(covered > 50, "object not visible: {covered} pixels");
+        assert!(covered < 48 * 48, "object fills the whole frame");
+        // All covered pixels reference object 0.
+        assert!(instances.iter().flatten().all(|&id| id == 0));
+    }
+
+    #[test]
+    fn instance_map_separates_two_objects() {
+        let scene = Scene::with_objects(&[CanonicalObject::Hotdog, CanonicalObject::Chair], 4);
+        let pose = CameraPose::new(
+            scene.bounding_box().center() + Vec3::new(0.0, 2.2, 4.5),
+            scene.bounding_box().center(),
+            60.0f32.to_radians(),
+        );
+        let (_, instances) = render_view(&scene, &pose, 64, 64);
+        let mut seen = std::collections::HashSet::new();
+        for id in instances.iter().flatten() {
+            seen.insert(*id);
+        }
+        assert!(seen.contains(&0) && seen.contains(&1), "both objects visible: {seen:?}");
+    }
+
+    #[test]
+    fn shading_is_brighter_for_light_facing_normals() {
+        let albedo = Color::gray(0.8);
+        let lit = shade(albedo, Vec3::new(0.5, 0.8, 0.3).normalized());
+        let unlit = shade(albedo, Vec3::new(-0.5, -0.8, -0.3).normalized());
+        assert!(lit.luminance() > unlit.luminance());
+    }
+
+    #[test]
+    fn background_varies_with_elevation() {
+        let up = background(Vec3::Y);
+        let down = background(-Vec3::Y);
+        assert_ne!(up, down);
+    }
+}

@@ -1,0 +1,140 @@
+//! Mask-bounded cropping and interpolation enlargement.
+//!
+//! "We extract these objects from each image based on the mask, using its
+//! outermost pixels as boundaries. We then appropriately scale these
+//! segmented parts using interpolation scaling to create a new image ...
+//! we keep the same image size (the same number of pixels) but retain and
+//! enlarge the target object, reducing the frequency of details the network
+//! needs to learn." (paper §III-A)
+
+use nerflex_image::interp::{resize, Interpolation};
+use nerflex_image::{frequency, Image, Mask};
+
+/// An object crop enlarged to the training resolution.
+#[derive(Debug, Clone)]
+pub struct EnlargedCrop {
+    /// The enlarged image (same size as the original training image).
+    pub image: Image,
+    /// The enlargement factor that was applied (≥ 1).
+    pub scale_factor: f32,
+    /// Bounding box of the object in the source image `(x0, y0, x1, y1)`.
+    pub source_bbox: (usize, usize, usize, usize),
+}
+
+/// Crops the object selected by `mask` out of `image` (using the mask's
+/// outermost pixels as boundaries, with a small margin) and enlarges it back
+/// to the original image size with the given interpolation kernel.
+///
+/// Returns `None` when the mask is empty.
+pub fn crop_and_enlarge(image: &Image, mask: &Mask, interpolation: Interpolation) -> Option<EnlargedCrop> {
+    let (x0, y0, x1, y1) = mask.bounding_box()?;
+    // A one-pixel margin keeps silhouette gradients inside the crop.
+    let x0 = x0.saturating_sub(1);
+    let y0 = y0.saturating_sub(1);
+    let x1 = (x1 + 1).min(image.width());
+    let y1 = (y1 + 1).min(image.height());
+    let crop = image.crop(x0, y0, x1 - x0, y1 - y0);
+
+    // Enlarge back to the original frame size, preserving aspect ratio by
+    // fitting the larger crop dimension (the paper keeps the pixel count of
+    // the training image unchanged).
+    let scale_x = image.width() as f32 / crop.width() as f32;
+    let scale_y = image.height() as f32 / crop.height() as f32;
+    let scale_factor = scale_x.min(scale_y).max(1.0);
+    let new_w = ((crop.width() as f32 * scale_factor) as usize).clamp(1, image.width());
+    let new_h = ((crop.height() as f32 * scale_factor) as usize).clamp(1, image.height());
+    let enlarged = resize(&crop, new_w, new_h, interpolation);
+
+    // Letterbox into the full frame with the crop's mean colour so frame
+    // statistics are not polluted by an arbitrary background.
+    let fill = crop.mean_color();
+    let mut framed = Image::new(image.width(), image.height(), fill);
+    let off_x = (image.width() - new_w) / 2;
+    let off_y = (image.height() - new_h) / 2;
+    for y in 0..new_h {
+        for x in 0..new_w {
+            framed.set(off_x + x, off_y + y, enlarged.get(x, y));
+        }
+    }
+    Some(EnlargedCrop {
+        image: framed,
+        scale_factor,
+        source_bbox: (x0, y0, x1, y1),
+    })
+}
+
+/// Measures how much the enlargement reduced the detail frequency the network
+/// must learn: returns `(frequency_before, frequency_after)` where "before"
+/// is measured on the masked object in the original image and "after" on the
+/// enlarged crop.
+pub fn frequency_reduction(image: &Image, mask: &Mask, crop: &EnlargedCrop) -> (f64, f64) {
+    let before = frequency::analyze_masked(image, mask).detail_frequency();
+    let after = frequency::analyze(&crop.image).detail_frequency();
+    (before, after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nerflex_image::draw::checkerboard;
+    use nerflex_image::Color;
+
+    /// A busy checkered square occupying a small part of an otherwise flat image.
+    fn small_busy_object() -> (Image, Mask) {
+        let mut image = Image::new(96, 96, Color::gray(0.5));
+        let tex = checkerboard(24, 24, 1, Color::BLACK, Color::WHITE);
+        for y in 0..24 {
+            for x in 0..24 {
+                image.set(36 + x, 36 + y, tex.get(x, y));
+            }
+        }
+        let mask = Mask::from_fn(96, 96, |x, y| (36..60).contains(&x) && (36..60).contains(&y));
+        (image, mask)
+    }
+
+    #[test]
+    fn crop_covers_the_object_and_fills_the_frame() {
+        let (image, mask) = small_busy_object();
+        let crop = crop_and_enlarge(&image, &mask, Interpolation::Bilinear).unwrap();
+        assert_eq!(crop.image.width(), 96);
+        assert_eq!(crop.image.height(), 96);
+        assert!(crop.scale_factor > 3.0, "24px object in a 96px frame should enlarge ~4x");
+        let (x0, y0, x1, y1) = crop.source_bbox;
+        assert!(x0 <= 36 && y0 <= 36 && x1 >= 60 && y1 >= 60);
+    }
+
+    #[test]
+    fn enlargement_reduces_detail_frequency() {
+        // The core claim of the segmentation design: enlarging the object
+        // lowers the spatial frequency of the detail the dedicated NeRF must
+        // learn.
+        let (image, mask) = small_busy_object();
+        let crop = crop_and_enlarge(&image, &mask, Interpolation::Bilinear).unwrap();
+        let (before, after) = frequency_reduction(&image, &mask, &crop);
+        assert!(after < before, "frequency should drop: {before} -> {after}");
+        assert!(before > 0.3, "source object is genuinely high-frequency: {before}");
+    }
+
+    #[test]
+    fn empty_mask_returns_none() {
+        let image = Image::new(32, 32, Color::WHITE);
+        assert!(crop_and_enlarge(&image, &Mask::new(32, 32), Interpolation::Bilinear).is_none());
+    }
+
+    #[test]
+    fn object_already_filling_the_frame_is_not_shrunk() {
+        let image = checkerboard(64, 64, 2, Color::BLACK, Color::WHITE);
+        let mask = Mask::from_fn(64, 64, |_, _| true);
+        let crop = crop_and_enlarge(&image, &mask, Interpolation::Nearest).unwrap();
+        assert!((crop.scale_factor - 1.0).abs() < 1e-6);
+        assert_eq!(crop.image.width(), 64);
+    }
+
+    #[test]
+    fn different_kernels_produce_different_enlargements() {
+        let (image, mask) = small_busy_object();
+        let bilinear = crop_and_enlarge(&image, &mask, Interpolation::Bilinear).unwrap();
+        let nearest = crop_and_enlarge(&image, &mask, Interpolation::Nearest).unwrap();
+        assert!(nerflex_image::metrics::mse(&bilinear.image, &nearest.image) > 1e-6);
+    }
+}

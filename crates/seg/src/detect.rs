@@ -1,0 +1,184 @@
+//! Object detection over the training images.
+//!
+//! "Object detection is first applied to all the original training images to
+//! detect objects in these images ... and generate a corresponding mask to
+//! cover all the pixels they occupy" (paper §III-A). Our detector reads the
+//! dataset's per-pixel instance maps — the substitution for the paper's
+//! neural detector — and additionally provides a connected-component utility
+//! used to reject spurious single-pixel detections, mimicking the
+//! post-processing a real detector needs.
+
+use nerflex_image::Mask;
+use nerflex_scene::dataset::Dataset;
+
+/// One detected object: its instance id and a mask per training view (the
+/// mask is `None` for views where the object is not visible).
+#[derive(Debug, Clone)]
+pub struct DetectedObject {
+    /// Instance id of the object within the scene.
+    pub object_id: usize,
+    /// Per-training-view masks (index-aligned with `dataset.train`).
+    pub masks: Vec<Option<Mask>>,
+}
+
+impl DetectedObject {
+    /// Number of training views in which the object is visible.
+    pub fn visible_view_count(&self) -> usize {
+        self.masks.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// The largest pixel coverage of the object over all views.
+    pub fn max_pixel_count(&self) -> usize {
+        self.masks
+            .iter()
+            .flatten()
+            .map(Mask::count)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Minimum number of pixels for a per-view detection to be kept; smaller
+/// blobs are treated as detector noise.
+pub const MIN_DETECTION_PIXELS: usize = 9;
+
+/// Detects every object appearing in the dataset's training views.
+pub fn detect_objects(dataset: &Dataset) -> Vec<DetectedObject> {
+    // Collect the set of object ids seen anywhere in the training views.
+    let mut ids: Vec<usize> = dataset
+        .train
+        .iter()
+        .flat_map(|v| v.visible_objects())
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+
+    ids.into_iter()
+        .map(|object_id| {
+            let masks = dataset
+                .train
+                .iter()
+                .map(|view| {
+                    let mask = view.object_mask(object_id);
+                    (mask.count() >= MIN_DETECTION_PIXELS).then_some(mask)
+                })
+                .collect();
+            DetectedObject { object_id, masks }
+        })
+        .collect()
+}
+
+/// Splits a binary mask into 4-connected components, largest first. Used to
+/// discard stray pixels from noisy detections and by the ablation that runs
+/// detection without instance maps.
+pub fn connected_components(mask: &Mask) -> Vec<Mask> {
+    let (w, h) = (mask.width(), mask.height());
+    let mut visited = vec![false; w * h];
+    let mut components: Vec<Mask> = Vec::new();
+    for start_y in 0..h {
+        for start_x in 0..w {
+            if !mask.get(start_x, start_y) || visited[start_y * w + start_x] {
+                continue;
+            }
+            // Flood fill from this seed.
+            let mut component = Mask::new(w, h);
+            let mut stack = vec![(start_x, start_y)];
+            visited[start_y * w + start_x] = true;
+            while let Some((x, y)) = stack.pop() {
+                component.set(x, y, true);
+                let mut push = |nx: usize, ny: usize, stack: &mut Vec<(usize, usize)>| {
+                    if mask.get(nx, ny) && !visited[ny * w + nx] {
+                        visited[ny * w + nx] = true;
+                        stack.push((nx, ny));
+                    }
+                };
+                if x > 0 {
+                    push(x - 1, y, &mut stack);
+                }
+                if x + 1 < w {
+                    push(x + 1, y, &mut stack);
+                }
+                if y > 0 {
+                    push(x, y - 1, &mut stack);
+                }
+                if y + 1 < h {
+                    push(x, y + 1, &mut stack);
+                }
+            }
+            components.push(component);
+        }
+    }
+    components.sort_by_key(|c| std::cmp::Reverse(c.count()));
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nerflex_scene::object::CanonicalObject;
+    use nerflex_scene::scene::Scene;
+
+    fn two_object_dataset() -> Dataset {
+        let scene = Scene::with_objects(&[CanonicalObject::Hotdog, CanonicalObject::Chair], 3);
+        Dataset::generate(&scene, 4, 1, 56, 56)
+    }
+
+    #[test]
+    fn detects_every_scene_object() {
+        let ds = two_object_dataset();
+        let detections = detect_objects(&ds);
+        assert_eq!(detections.len(), 2);
+        let ids: Vec<usize> = detections.iter().map(|d| d.object_id).collect();
+        assert_eq!(ids, vec![0, 1]);
+        for d in &detections {
+            assert!(d.visible_view_count() > 0, "object {} never visible", d.object_id);
+            assert!(d.max_pixel_count() >= MIN_DETECTION_PIXELS);
+            assert_eq!(d.masks.len(), ds.train.len());
+        }
+    }
+
+    #[test]
+    fn masks_are_disjoint_between_objects_in_a_view() {
+        let ds = two_object_dataset();
+        let detections = detect_objects(&ds);
+        for v in 0..ds.train.len() {
+            if let (Some(a), Some(b)) = (&detections[0].masks[v], &detections[1].masks[v]) {
+                assert_eq!(a.intersection(b).count(), 0, "view {v} masks overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn connected_components_split_and_order_by_size() {
+        let mut mask = Mask::new(16, 16);
+        // Large blob (3x4) and small blob (2x2), not touching.
+        for y in 1..5 {
+            for x in 1..4 {
+                mask.set(x, y, true);
+            }
+        }
+        for y in 10..12 {
+            for x in 10..12 {
+                mask.set(x, y, true);
+            }
+        }
+        let comps = connected_components(&mask);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].count(), 12);
+        assert_eq!(comps[1].count(), 4);
+        assert_eq!(comps[0].union(&comps[1]).count(), mask.count());
+    }
+
+    #[test]
+    fn connected_components_of_empty_mask_is_empty() {
+        assert!(connected_components(&Mask::new(8, 8)).is_empty());
+    }
+
+    #[test]
+    fn diagonal_pixels_are_separate_components() {
+        let mut mask = Mask::new(4, 4);
+        mask.set(0, 0, true);
+        mask.set(1, 1, true);
+        assert_eq!(connected_components(&mask).len(), 2);
+    }
+}

@@ -1,0 +1,47 @@
+//! # nerflex-seg
+//!
+//! The detail-based segmentation module (paper §III-A): object detection over
+//! the training images, per-object detail-frequency analysis, thresholding on
+//! the **maximum** frequency across views, and mask-bounded crop + enlarge of
+//! the selected objects to build their dedicated training sets.
+//!
+//! The paper uses a neural object detector on photographs; here detection
+//! reads the per-pixel instance maps of the procedural dataset (a perfect
+//! detector — see DESIGN.md). Everything downstream — frequency computation,
+//! the max-frequency decision rule, crop enlargement by interpolation — is
+//! implemented exactly as described.
+//!
+//! ```
+//! use nerflex_scene::{scene::Scene, object::CanonicalObject, dataset::Dataset};
+//! use nerflex_seg::{segment, SegmentationPolicy};
+//!
+//! let scene = Scene::with_objects(&[CanonicalObject::Hotdog, CanonicalObject::Lego], 7);
+//! let dataset = Dataset::generate(&scene, 4, 1, 48, 48);
+//! let result = segment(&dataset, &SegmentationPolicy::default());
+//! assert_eq!(result.records.len(), 2);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod crop;
+pub mod detect;
+pub mod frequency;
+pub mod partition;
+pub mod threshold;
+
+pub use detect::{detect_objects, DetectedObject};
+pub use frequency::{analyze_objects, FrequencyRecord};
+pub use partition::{SegmentationResult, SubSceneDataset};
+pub use threshold::{SegmentationDecision, SegmentationPolicy, ThresholdRule};
+
+use nerflex_scene::dataset::Dataset;
+
+/// Runs the full segmentation module on a dataset: detection → frequency
+/// analysis → thresholding → per-object training-set construction.
+pub fn segment(dataset: &Dataset, policy: &SegmentationPolicy) -> SegmentationResult {
+    let detections = detect_objects(dataset);
+    let records = analyze_objects(dataset, &detections);
+    let decision = policy.decide(&records);
+    partition::build_partition(dataset, &detections, &records, &decision, policy)
+}

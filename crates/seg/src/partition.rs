@@ -1,0 +1,173 @@
+//! Building per-sub-scene training sets from the segmentation decision.
+//!
+//! Objects assigned a dedicated NeRF receive a training set of enlarged
+//! crops (one per view where they are visible); objects below the threshold
+//! are grouped into a single "joint NeRF" trained on the original frames.
+
+use crate::crop::{crop_and_enlarge, EnlargedCrop};
+use crate::detect::DetectedObject;
+use crate::frequency::FrequencyRecord;
+use crate::threshold::{SegmentationDecision, SegmentationPolicy};
+use nerflex_image::Image;
+use nerflex_scene::dataset::Dataset;
+
+/// The training set prepared for one NeRF network (a dedicated object or the
+/// joint group).
+#[derive(Debug, Clone)]
+pub struct SubSceneDataset {
+    /// Instance ids covered by this network.
+    pub object_ids: Vec<usize>,
+    /// `true` for a dedicated single-object network, `false` for the joint one.
+    pub dedicated: bool,
+    /// Training images for this network.
+    pub images: Vec<Image>,
+    /// Mean enlargement factor applied to the crops (1.0 for the joint set).
+    pub mean_scale_factor: f32,
+}
+
+/// Output of the full segmentation module.
+#[derive(Debug, Clone)]
+pub struct SegmentationResult {
+    /// Per-object frequency records (detection + analysis output).
+    pub records: Vec<FrequencyRecord>,
+    /// The thresholding decision.
+    pub decision: SegmentationDecision,
+    /// One training set per NeRF network implied by the decision.
+    pub sub_scenes: Vec<SubSceneDataset>,
+}
+
+impl SegmentationResult {
+    /// The sub-scene dataset dedicated to `object_id`, if it has one.
+    pub fn dedicated_for(&self, object_id: usize) -> Option<&SubSceneDataset> {
+        self.sub_scenes
+            .iter()
+            .find(|s| s.dedicated && s.object_ids == [object_id])
+    }
+
+    /// Total number of prepared training images across all sub-scenes.
+    pub fn total_training_images(&self) -> usize {
+        self.sub_scenes.iter().map(|s| s.images.len()).sum()
+    }
+}
+
+/// Builds the per-network training sets from the detection and decision.
+pub fn build_partition(
+    dataset: &Dataset,
+    detections: &[DetectedObject],
+    records: &[FrequencyRecord],
+    decision: &SegmentationDecision,
+    policy: &SegmentationPolicy,
+) -> SegmentationResult {
+    let mut sub_scenes = Vec::new();
+
+    for &object_id in &decision.individual {
+        let Some(detection) = detections.iter().find(|d| d.object_id == object_id) else {
+            continue;
+        };
+        let mut images = Vec::new();
+        let mut scale_sum = 0.0f32;
+        for (view, mask) in dataset.train.iter().zip(&detection.masks) {
+            if let Some(mask) = mask {
+                if let Some(EnlargedCrop { image, scale_factor, .. }) =
+                    crop_and_enlarge(&view.image, mask, policy.interpolation)
+                {
+                    scale_sum += scale_factor;
+                    images.push(image);
+                }
+            }
+        }
+        let count = images.len().max(1) as f32;
+        sub_scenes.push(SubSceneDataset {
+            object_ids: vec![object_id],
+            dedicated: true,
+            mean_scale_factor: scale_sum / count,
+            images,
+        });
+    }
+
+    if !decision.joint.is_empty() {
+        sub_scenes.push(SubSceneDataset {
+            object_ids: decision.joint.clone(),
+            dedicated: false,
+            images: dataset.train.iter().map(|v| v.image.clone()).collect(),
+            mean_scale_factor: 1.0,
+        });
+    }
+
+    SegmentationResult {
+        records: records.to_vec(),
+        decision: decision.clone(),
+        sub_scenes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threshold::ThresholdRule;
+    use crate::segment;
+    use nerflex_scene::object::CanonicalObject;
+    use nerflex_scene::scene::Scene;
+
+    fn dataset(objects: &[CanonicalObject]) -> Dataset {
+        let scene = Scene::with_objects(objects, 13);
+        Dataset::generate(&scene, 4, 1, 56, 56)
+    }
+
+    #[test]
+    fn default_policy_dedicates_every_object() {
+        let ds = dataset(&[CanonicalObject::Hotdog, CanonicalObject::Lego]);
+        let result = segment(&ds, &SegmentationPolicy::default());
+        assert_eq!(result.decision.individual.len(), 2);
+        assert!(result.decision.joint.is_empty());
+        assert_eq!(result.sub_scenes.len(), 2);
+        for sub in &result.sub_scenes {
+            assert!(sub.dedicated);
+            assert!(!sub.images.is_empty());
+            assert!(sub.mean_scale_factor >= 1.0);
+            // Training images keep the dataset resolution.
+            assert_eq!(sub.images[0].width(), 56);
+        }
+        assert!(result.total_training_images() > 0);
+    }
+
+    #[test]
+    fn fixed_high_threshold_creates_a_joint_group() {
+        let ds = dataset(&[CanonicalObject::Hotdog, CanonicalObject::Lego]);
+        let policy = SegmentationPolicy {
+            rule: ThresholdRule::Fixed(10.0), // impossible to exceed
+            ..SegmentationPolicy::default()
+        };
+        let result = segment(&ds, &policy);
+        assert!(result.decision.individual.is_empty());
+        assert_eq!(result.decision.joint.len(), 2);
+        assert_eq!(result.sub_scenes.len(), 1);
+        let joint = &result.sub_scenes[0];
+        assert!(!joint.dedicated);
+        assert_eq!(joint.images.len(), ds.train.len());
+        assert_eq!(joint.mean_scale_factor, 1.0);
+    }
+
+    #[test]
+    fn dedicated_lookup_finds_the_right_subscene() {
+        let ds = dataset(&[CanonicalObject::Chair, CanonicalObject::Ship]);
+        let result = segment(&ds, &SegmentationPolicy::default());
+        let sub = result.dedicated_for(1).expect("object 1 has a dedicated sub-scene");
+        assert_eq!(sub.object_ids, vec![1]);
+        assert!(result.dedicated_for(99).is_none());
+    }
+
+    #[test]
+    fn dedicated_training_images_magnify_the_object() {
+        // At least one dedicated sub-scene should have a mean scale factor
+        // noticeably above 1: the objects occupy only part of each frame.
+        let ds = dataset(&[CanonicalObject::Hotdog, CanonicalObject::Chair]);
+        let result = segment(&ds, &SegmentationPolicy::default());
+        let max_scale = result
+            .sub_scenes
+            .iter()
+            .map(|s| s.mean_scale_factor)
+            .fold(0.0f32, f32::max);
+        assert!(max_scale > 1.3, "expected real enlargement, got {max_scale}");
+    }
+}

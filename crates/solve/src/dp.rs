@@ -1,0 +1,265 @@
+//! Algorithm 1: dynamic-programming-based configuration selection.
+//!
+//! The selection problem is a multiple-choice knapsack: exactly one
+//! configuration per object, total predicted size at most `H`, total
+//! predicted quality maximised. Algorithm 1 solves it in pseudo-polynomial
+//! time `O(n · h · c)` where `h` is the (quantised) budget and `c` the
+//! configuration-space size, after pruning configurations that violate the
+//! per-object feasibility condition (Eq. 3):
+//!
+//! `fₛᵢ(θ) + Σ_{h≠i} min_θ fₛₕ(θ) ≤ H`.
+//!
+//! Implementation note (documented in DESIGN.md): the paper's pseudo-code
+//! updates a single flat `q[j]` array in place across objects; we keep the
+//! same loop structure but maintain one DP layer per object so that the
+//! backtracking over `choices[i][j]` always reconstructs a consistent
+//! assignment (exactly one configuration per object). An exhaustive search
+//! verifies optimality on small instances in the tests.
+
+use crate::selector::{
+    cheapest_assignment, CandidateConfig, ConfigSelector, SelectionOutcome, SelectionProblem,
+};
+
+/// The paper's DP selector (Algorithm 1).
+#[derive(Debug, Clone, Copy)]
+pub struct DpSelector {
+    /// Size quantisation in MB per DP capacity unit (smaller = more accurate,
+    /// larger = faster). The default of 1 MB matches the paper's whole-MB
+    /// budgets (240 MB / 150 MB).
+    pub quantization_mb: f64,
+}
+
+impl Default for DpSelector {
+    fn default() -> Self {
+        Self { quantization_mb: 1.0 }
+    }
+}
+
+impl DpSelector {
+    /// Creates a selector with an explicit capacity quantisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the quantisation is not strictly positive.
+    pub fn with_quantization(quantization_mb: f64) -> Self {
+        assert!(quantization_mb > 0.0, "quantisation must be positive");
+        Self { quantization_mb }
+    }
+}
+
+impl ConfigSelector for DpSelector {
+    fn name(&self) -> &'static str {
+        "DP (ours)"
+    }
+
+    fn select(&self, problem: &SelectionProblem) -> SelectionOutcome {
+        if problem.objects.is_empty() {
+            return SelectionOutcome { selector: self.name().to_string(), feasible: true, ..Default::default() };
+        }
+        if !problem.is_feasible() {
+            // Not even the cheapest assignment fits: report it, marked infeasible.
+            return cheapest_assignment(self.name(), problem);
+        }
+
+        let capacity = (problem.budget_mb / self.quantization_mb).floor() as usize;
+        let n = problem.objects.len();
+        // Quantised (ceil) sizes so a "fits" decision never underestimates.
+        let sizes: Vec<Vec<usize>> = problem
+            .objects
+            .iter()
+            .map(|obj| {
+                obj.options
+                    .iter()
+                    .map(|c| (c.size_mb / self.quantization_mb).ceil() as usize)
+                    .collect()
+            })
+            .collect();
+        let min_sizes: Vec<usize> = sizes
+            .iter()
+            .map(|s| *s.iter().min().expect("non-empty candidate list"))
+            .collect();
+        let total_min: usize = min_sizes.iter().sum();
+
+        // DP layers: value[j] = best total quality of the objects processed so
+        // far using at most j units; usize::MAX marks "unreachable".
+        const UNREACHED: f64 = f64::NEG_INFINITY;
+        let mut value = vec![0.0f64; capacity + 1];
+        let mut reachable = vec![true; capacity + 1];
+        // choices[i][j] = index of the option picked for object i when the
+        // DP ends layer i at exactly capacity j.
+        let mut choices: Vec<Vec<Option<usize>>> = Vec::with_capacity(n);
+
+        for (i, obj) in problem.objects.iter().enumerate() {
+            // Eq. 3 pruning: configurations that cannot coexist with the other
+            // objects' cheapest configurations can never appear in a feasible
+            // assignment and are removed up front (line 8–11 of Algorithm 1).
+            let others_min: usize = total_min - min_sizes[i];
+            let r_i = capacity.saturating_sub(others_min);
+
+            let mut next_value = vec![UNREACHED; capacity + 1];
+            let mut next_reachable = vec![false; capacity + 1];
+            let mut layer_choice = vec![None; capacity + 1];
+            // Iterate capacities from H down to 0 as in the paper's pseudo-code.
+            for j in (0..=capacity).rev() {
+                for (t, option) in obj.options.iter().enumerate() {
+                    let s = sizes[i][t];
+                    if s > r_i {
+                        continue; // prune: violates Eq. 3
+                    }
+                    if j >= s && reachable[j - s] {
+                        let candidate = value[j - s] + option.quality;
+                        if !next_reachable[j] || candidate > next_value[j] {
+                            next_value[j] = candidate;
+                            next_reachable[j] = true;
+                            layer_choice[j] = Some(t);
+                        }
+                    }
+                }
+            }
+            value = next_value;
+            reachable = next_reachable;
+            choices.push(layer_choice);
+        }
+
+        // Best reachable capacity after the last object.
+        let Some(best_j) = (0..=capacity)
+            .filter(|&j| reachable[j])
+            .max_by(|&a, &b| value[a].partial_cmp(&value[b]).expect("finite quality"))
+        else {
+            return cheapest_assignment(self.name(), problem);
+        };
+
+        // Backtrack: recover each object's choice, walking the layers in
+        // reverse (line 21–25 of Algorithm 1, per-layer variant).
+        let mut picks: Vec<CandidateConfig> = vec![
+            CandidateConfig {
+                config: nerflex_bake::BakeConfig::new(1, 1),
+                size_mb: 0.0,
+                quality: 0.0,
+            };
+            n
+        ];
+        let mut j = best_j;
+        for i in (0..n).rev() {
+            let t = choices[i][j].expect("reachable state has a recorded choice");
+            picks[i] = problem.objects[i].options[t];
+            j -= sizes[i][t];
+        }
+
+        SelectionOutcome::from_picks(self.name(), problem, &picks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::ExhaustiveSelector;
+    use crate::selector::{ObjectChoices, SelectionProblem};
+    use nerflex_bake::BakeConfig;
+    use proptest::prelude::*;
+
+    fn tiny_problem(budget: f64) -> SelectionProblem {
+        crate::selector::tests::tiny_problem(budget)
+    }
+
+    #[test]
+    fn picks_the_optimal_pair_within_budget() {
+        // Budget 100: best is a@30 (0.85) + b@55 (0.88) = 1.73 using 85 MB.
+        let outcome = DpSelector::default().select(&tiny_problem(100.0));
+        assert!(outcome.feasible);
+        assert_eq!(outcome.assignments[0].config, BakeConfig::new(32, 9));
+        assert_eq!(outcome.assignments[1].config, BakeConfig::new(32, 9));
+        assert!((outcome.total_quality - 1.73).abs() < 1e-9);
+        assert!(outcome.total_size_mb <= 100.0);
+    }
+
+    #[test]
+    fn spends_more_budget_when_available() {
+        // Budget 220: a@80 (0.92) + b@120 (0.95) = 1.87 fits exactly at 200.
+        let outcome = DpSelector::default().select(&tiny_problem(220.0));
+        assert_eq!(outcome.assignments[0].config, BakeConfig::new(64, 17));
+        assert_eq!(outcome.assignments[1].config, BakeConfig::new(64, 17));
+        assert!(outcome.feasible);
+    }
+
+    #[test]
+    fn infeasible_budget_falls_back_to_cheapest() {
+        let outcome = DpSelector::default().select(&tiny_problem(25.0));
+        assert!(!outcome.feasible);
+        assert_eq!(outcome.total_size_mb, 30.0);
+    }
+
+    #[test]
+    fn empty_problem_is_trivially_feasible() {
+        let outcome = DpSelector::default().select(&SelectionProblem { objects: vec![], budget_mb: 100.0 });
+        assert!(outcome.feasible);
+        assert!(outcome.assignments.is_empty());
+    }
+
+    #[test]
+    fn matches_exhaustive_search_on_small_instances() {
+        for budget in [40.0, 70.0, 100.0, 150.0, 200.0, 500.0] {
+            let problem = tiny_problem(budget);
+            let dp = DpSelector::default().select(&problem);
+            let brute = ExhaustiveSelector::default().select(&problem);
+            assert!(
+                (dp.total_quality - brute.total_quality).abs() < 1e-9,
+                "budget {budget}: DP {} vs exhaustive {}",
+                dp.total_quality,
+                brute.total_quality
+            );
+        }
+    }
+
+    #[test]
+    fn quantisation_never_overflows_budget() {
+        let problem = tiny_problem(86.0);
+        let outcome = DpSelector::with_quantization(5.0).select(&problem);
+        assert!(outcome.total_size_mb <= 86.0 + 1e-9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        #[test]
+        fn prop_dp_is_optimal_and_budget_respecting(
+            budget in 30f64..400.0,
+            seed in 0u64..1000,
+        ) {
+            // Random 3-object, 4-option instances; DP must match brute force.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64) / (u32::MAX as f64)
+            };
+            let objects: Vec<ObjectChoices> = (0..3)
+                .map(|id| {
+                    let mut size = 5.0 + next() * 20.0;
+                    let mut quality = 0.4 + next() * 0.2;
+                    let options = (0..4)
+                        .map(|k| {
+                            size += 10.0 + next() * 30.0;
+                            quality += next() * 0.12;
+                            CandidateConfig {
+                                config: BakeConfig::new(16 * (k + 1), 3 + 2 * k),
+                                size_mb: size,
+                                quality: quality.min(1.0),
+                            }
+                        })
+                        .collect();
+                    ObjectChoices { object_id: id, name: format!("o{id}"), options, models: None }
+                })
+                .collect();
+            let problem = SelectionProblem { objects, budget_mb: budget };
+            let dp = DpSelector::default().select(&problem);
+            let brute = ExhaustiveSelector::default().select(&problem);
+            prop_assert_eq!(dp.feasible, brute.feasible);
+            if dp.feasible {
+                prop_assert!(dp.total_size_mb <= budget + 1e-6);
+                // Quantisation to 1 MB may cost a sliver of quality relative to
+                // the unquantised brute force, never gain.
+                prop_assert!(dp.total_quality <= brute.total_quality + 1e-9);
+                prop_assert!(dp.total_quality >= brute.total_quality - 0.15);
+            }
+        }
+    }
+}

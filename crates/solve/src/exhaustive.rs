@@ -1,0 +1,135 @@
+//! Brute-force configuration selection (optimality oracle for tests).
+
+use crate::selector::{
+    cheapest_assignment, CandidateConfig, ConfigSelector, SelectionOutcome, SelectionProblem,
+};
+
+/// Exhaustive search over the full cross product of per-object options.
+///
+/// Exponential in the number of objects — usable only for verification on
+/// small instances, which is exactly what the tests and the ablation bench
+/// use it for.
+#[derive(Debug, Clone, Copy)]
+pub struct ExhaustiveSelector {
+    /// Upper bound on the number of combinations the search will enumerate.
+    pub max_combinations: u64,
+}
+
+impl Default for ExhaustiveSelector {
+    fn default() -> Self {
+        Self { max_combinations: 5_000_000 }
+    }
+}
+
+impl ConfigSelector for ExhaustiveSelector {
+    fn name(&self) -> &'static str {
+        "Exhaustive"
+    }
+
+    /// # Panics
+    ///
+    /// Panics when the instance exceeds `max_combinations` combinations.
+    fn select(&self, problem: &SelectionProblem) -> SelectionOutcome {
+        if problem.objects.is_empty() {
+            return SelectionOutcome { selector: self.name().to_string(), feasible: true, ..Default::default() };
+        }
+        let combos: u64 = problem
+            .objects
+            .iter()
+            .map(|o| o.options.len() as u64)
+            .product();
+        assert!(
+            combos <= self.max_combinations,
+            "exhaustive search over {combos} combinations exceeds the configured limit"
+        );
+        if !problem.is_feasible() {
+            return cheapest_assignment(self.name(), problem);
+        }
+
+        let n = problem.objects.len();
+        let mut indices = vec![0usize; n];
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        loop {
+            let total_size: f64 = indices
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| problem.objects[i].options[t].size_mb)
+                .sum();
+            if total_size <= problem.budget_mb + 1e-9 {
+                let total_quality: f64 = indices
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &t)| problem.objects[i].options[t].quality)
+                    .sum();
+                if best.as_ref().is_none_or(|(q, _)| total_quality > *q) {
+                    best = Some((total_quality, indices.clone()));
+                }
+            }
+            // Advance the mixed-radix counter.
+            let mut carry = 0;
+            loop {
+                indices[carry] += 1;
+                if indices[carry] < problem.objects[carry].options.len() {
+                    break;
+                }
+                indices[carry] = 0;
+                carry += 1;
+                if carry == n {
+                    break;
+                }
+            }
+            if carry == n {
+                break;
+            }
+        }
+
+        match best {
+            Some((_, indices)) => {
+                let picks: Vec<CandidateConfig> = indices
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &t)| problem.objects[i].options[t])
+                    .collect();
+                SelectionOutcome::from_picks(self.name(), problem, &picks)
+            }
+            None => cheapest_assignment(self.name(), problem),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nerflex_bake::BakeConfig;
+
+    #[test]
+    fn finds_the_known_optimum() {
+        let problem = crate::selector::tests::tiny_problem(100.0);
+        let outcome = ExhaustiveSelector::default().select(&problem);
+        assert!((outcome.total_quality - 1.73).abs() < 1e-9);
+        assert_eq!(outcome.assignments[0].config, BakeConfig::new(32, 9));
+        assert!(outcome.feasible);
+    }
+
+    #[test]
+    fn respects_budget_strictly() {
+        let problem = crate::selector::tests::tiny_problem(95.0);
+        let outcome = ExhaustiveSelector::default().select(&problem);
+        assert!(outcome.total_size_mb <= 95.0);
+    }
+
+    #[test]
+    fn infeasible_instances_fall_back_to_cheapest() {
+        let outcome = ExhaustiveSelector::default().select(&crate::selector::tests::tiny_problem(10.0));
+        assert!(!outcome.feasible);
+        assert_eq!(outcome.total_size_mb, 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the configured limit")]
+    fn oversized_instances_panic() {
+        let problem = crate::selector::tests::tiny_problem(100.0);
+        let selector = ExhaustiveSelector { max_combinations: 2 };
+        let _ = selector.select(&problem);
+    }
+}

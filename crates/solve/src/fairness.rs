@@ -1,0 +1,118 @@
+//! The Fairness baseline: equal memory split across objects.
+//!
+//! "Rather than using our proposed DP algorithm to determine the
+//! configuration, this baseline divides the total size limit equally and
+//! allocates the same memory budget among the segmented objects. It then
+//! uses performance profilers to select the optimal configuration pair for
+//! each object, maximizing rendering quality within the allocated memory
+//! budget." (paper §IV-C)
+
+use crate::selector::{
+    cheapest_assignment, CandidateConfig, ConfigSelector, SelectionOutcome, SelectionProblem,
+};
+
+/// Equal-share configuration selector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FairnessSelector;
+
+impl ConfigSelector for FairnessSelector {
+    fn name(&self) -> &'static str {
+        "Fairness"
+    }
+
+    fn select(&self, problem: &SelectionProblem) -> SelectionOutcome {
+        if problem.objects.is_empty() {
+            return SelectionOutcome { selector: self.name().to_string(), feasible: true, ..Default::default() };
+        }
+        let share = problem.budget_mb / problem.objects.len() as f64;
+        let picks: Vec<CandidateConfig> = problem
+            .objects
+            .iter()
+            .map(|obj| {
+                obj.options
+                    .iter()
+                    .filter(|c| c.size_mb <= share)
+                    .max_by(|a, b| a.quality.partial_cmp(&b.quality).expect("finite quality"))
+                    .copied()
+                    // Nothing fits in the share: the best this baseline can do
+                    // is the object's cheapest configuration.
+                    .unwrap_or_else(|| *obj.cheapest().expect("non-empty candidate list"))
+            })
+            .collect();
+        let outcome = SelectionOutcome::from_picks(self.name(), problem, &picks);
+        if outcome.feasible {
+            outcome
+        } else {
+            cheapest_assignment(self.name(), problem)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::DpSelector;
+    use crate::selector::{ObjectChoices, SelectionProblem};
+    use nerflex_bake::BakeConfig;
+
+    #[test]
+    fn each_object_stays_within_its_share() {
+        let problem = crate::selector::tests::tiny_problem(120.0);
+        let outcome = FairnessSelector.select(&problem);
+        // Share = 60 MB: object a picks the 30 MB option, object b the 55 MB one.
+        assert_eq!(outcome.assignments[0].predicted_size_mb, 30.0);
+        assert_eq!(outcome.assignments[1].predicted_size_mb, 55.0);
+        assert!(outcome.feasible);
+    }
+
+    #[test]
+    fn fairness_is_suboptimal_for_heterogeneous_objects() {
+        // A complex object (steep quality gains from more memory) next to a
+        // simple one (already saturated): the DP reallocates the simple
+        // object's slack to the complex one, Fairness cannot — this is the
+        // core claim of the paper's Fig. 8 analysis.
+        let simple = ObjectChoices {
+            object_id: 0,
+            name: "hotdog".into(),
+            options: vec![
+                CandidateConfig { config: BakeConfig::new(16, 3), size_mb: 20.0, quality: 0.95 },
+                CandidateConfig { config: BakeConfig::new(64, 17), size_mb: 70.0, quality: 0.96 },
+            ],
+            models: None,
+        };
+        let complex = ObjectChoices {
+            object_id: 1,
+            name: "lego".into(),
+            options: vec![
+                CandidateConfig { config: BakeConfig::new(16, 3), size_mb: 20.0, quality: 0.70 },
+                CandidateConfig { config: BakeConfig::new(64, 17), size_mb: 65.0, quality: 0.85 },
+                CandidateConfig { config: BakeConfig::new(128, 17), size_mb: 110.0, quality: 0.93 },
+            ],
+            models: None,
+        };
+        let problem = SelectionProblem { objects: vec![simple, complex], budget_mb: 140.0 };
+        let fairness = FairnessSelector.select(&problem);
+        let dp = DpSelector::default().select(&problem);
+        assert!(dp.total_quality > fairness.total_quality);
+        // Fairness gives each 70 MB, so the complex object is stuck at 0.85 ...
+        assert_eq!(fairness.assignment_for(1).unwrap().predicted_quality, 0.85);
+        // ... while the DP funds its 110 MB configuration.
+        assert_eq!(dp.assignment_for(1).unwrap().predicted_quality, 0.93);
+    }
+
+    #[test]
+    fn over_share_objects_fall_back_to_cheapest() {
+        let problem = crate::selector::tests::tiny_problem(30.0);
+        let outcome = FairnessSelector.select(&problem);
+        // Share = 15 MB: object a picks 10 MB, object b has nothing ≤ 15 MB so
+        // it falls back to its 20 MB cheapest option; the total (30) still fits.
+        assert_eq!(outcome.total_size_mb, 30.0);
+        assert!(outcome.feasible);
+    }
+
+    #[test]
+    fn infeasible_budget_reports_infeasible() {
+        let outcome = FairnessSelector.select(&crate::selector::tests::tiny_problem(12.0));
+        assert!(!outcome.feasible);
+    }
+}

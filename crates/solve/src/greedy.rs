@@ -1,0 +1,101 @@
+//! Greedy MCK baseline (incremental-efficiency upgrades).
+//!
+//! The classic greedy approach the paper cites as the common way to solve
+//! MCK problems: start every object at its cheapest configuration and
+//! repeatedly apply the upgrade with the best quality-per-MB ratio that still
+//! fits the budget. Provided as an extension baseline for the ablation bench
+//! (the paper argues greedy-style methods need the Eq. 3 precondition that
+//! our DP enforces by construction).
+
+use crate::selector::{
+    cheapest_assignment, CandidateConfig, ConfigSelector, SelectionOutcome, SelectionProblem,
+};
+
+/// Greedy incremental-efficiency selector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedySelector;
+
+impl ConfigSelector for GreedySelector {
+    fn name(&self) -> &'static str {
+        "Greedy"
+    }
+
+    fn select(&self, problem: &SelectionProblem) -> SelectionOutcome {
+        if problem.objects.is_empty() {
+            return SelectionOutcome { selector: self.name().to_string(), feasible: true, ..Default::default() };
+        }
+        if !problem.is_feasible() {
+            return cheapest_assignment(self.name(), problem);
+        }
+        // Start from the cheapest configuration of every object.
+        let mut picks: Vec<CandidateConfig> = problem
+            .objects
+            .iter()
+            .map(|o| *o.cheapest().expect("non-empty candidate list"))
+            .collect();
+        let mut used: f64 = picks.iter().map(|p| p.size_mb).sum();
+
+        loop {
+            // Best upgrade across all objects by Δquality / Δsize.
+            let mut best: Option<(usize, CandidateConfig, f64)> = None;
+            for (i, obj) in problem.objects.iter().enumerate() {
+                for option in &obj.options {
+                    let d_quality = option.quality - picks[i].quality;
+                    let d_size = option.size_mb - picks[i].size_mb;
+                    if d_quality <= 0.0 || d_size <= 0.0 {
+                        continue;
+                    }
+                    if used - picks[i].size_mb + option.size_mb > problem.budget_mb {
+                        continue;
+                    }
+                    let ratio = d_quality / d_size;
+                    if best.as_ref().is_none_or(|(_, _, r)| ratio > *r) {
+                        best = Some((i, *option, ratio));
+                    }
+                }
+            }
+            match best {
+                Some((i, option, _)) => {
+                    used = used - picks[i].size_mb + option.size_mb;
+                    picks[i] = option;
+                }
+                None => break,
+            }
+        }
+        SelectionOutcome::from_picks(self.name(), problem, &picks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::DpSelector;
+
+    #[test]
+    fn greedy_is_feasible_and_reasonable() {
+        for budget in [50.0, 100.0, 150.0, 250.0] {
+            let problem = crate::selector::tests::tiny_problem(budget);
+            let outcome = GreedySelector.select(&problem);
+            assert!(outcome.total_size_mb <= budget + 1e-9, "budget {budget}");
+            let dp = DpSelector::default().select(&problem);
+            // Greedy never beats the DP and stays within 20 % of it on these instances.
+            assert!(outcome.total_quality <= dp.total_quality + 1e-9);
+            assert!(outcome.total_quality >= dp.total_quality * 0.8, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn greedy_upgrades_from_the_cheapest_assignment() {
+        let problem = crate::selector::tests::tiny_problem(200.0);
+        let outcome = GreedySelector.select(&problem);
+        // With 200 MB it should have upgraded beyond the all-cheapest 30 MB.
+        assert!(outcome.total_size_mb > 30.0);
+        assert!(outcome.feasible);
+    }
+
+    #[test]
+    fn infeasible_budget_falls_back() {
+        let outcome = GreedySelector.select(&crate::selector::tests::tiny_problem(5.0));
+        assert!(!outcome.feasible);
+    }
+}

@@ -1,0 +1,55 @@
+//! # nerflex-solve
+//!
+//! The configuration selector (paper §III-C): choosing the baking
+//! configuration θᵢ = (gᵢ, pᵢ) for every sub-scene NeRF so that total
+//! predicted quality is maximised under the device memory budget `H` — a
+//! multiple-choice knapsack (MCK) problem, NP-hard in general.
+//!
+//! Selectors provided:
+//!
+//! * [`DpSelector`] — the paper's Algorithm 1: a pseudo-polynomial dynamic
+//!   program with per-configuration feasibility pruning (Eq. 3).
+//! * [`FairnessSelector`] — equal memory split across objects (baseline).
+//! * [`SlsqpSelector`] — sequential quadratic programming on the continuous
+//!   relaxation, then rounding (baseline).
+//! * [`GreedySelector`] — classic incremental-efficiency MCK greedy
+//!   (extension baseline).
+//! * [`ExhaustiveSelector`] — brute force, used to verify DP optimality on
+//!   small instances.
+//!
+//! ```
+//! use nerflex_solve::{ConfigSpace, DpSelector, ConfigSelector, SelectionProblem};
+//! use nerflex_solve::selector::{CandidateConfig, ObjectChoices};
+//! use nerflex_bake::BakeConfig;
+//!
+//! let options = vec![
+//!     CandidateConfig { config: BakeConfig::new(16, 3), size_mb: 10.0, quality: 0.7 },
+//!     CandidateConfig { config: BakeConfig::new(64, 17), size_mb: 60.0, quality: 0.9 },
+//! ];
+//! let problem = SelectionProblem {
+//!     objects: vec![ObjectChoices { object_id: 0, name: "lego".into(), options, models: None }],
+//!     budget_mb: 100.0,
+//! };
+//! let outcome = DpSelector::default().select(&problem);
+//! assert!(outcome.feasible);
+//! assert_eq!(outcome.assignments[0].config, BakeConfig::new(64, 17));
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dp;
+pub mod exhaustive;
+pub mod fairness;
+pub mod greedy;
+pub mod selector;
+pub mod slsqp;
+pub mod space;
+
+pub use dp::DpSelector;
+pub use exhaustive::ExhaustiveSelector;
+pub use fairness::FairnessSelector;
+pub use greedy::GreedySelector;
+pub use selector::{Assignment, ConfigSelector, SelectionOutcome, SelectionProblem};
+pub use slsqp::SlsqpSelector;
+pub use space::ConfigSpace;

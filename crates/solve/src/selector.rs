@@ -1,0 +1,248 @@
+//! Common types and the selector trait.
+
+use crate::space::ConfigSpace;
+use nerflex_bake::BakeConfig;
+use nerflex_profile::model::ProfileModels;
+use nerflex_profile::ObjectProfile;
+use serde::{Deserialize, Serialize};
+
+/// One candidate configuration for one object, with its predicted cost and
+/// value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CandidateConfig {
+    /// The configuration pair θ = (g, p).
+    pub config: BakeConfig,
+    /// Predicted baked-data size in MB (fₛ(θ)).
+    pub size_mb: f64,
+    /// Predicted rendering quality (f_q(θ)).
+    pub quality: f64,
+}
+
+/// The per-object choice set Cᵢ with predictions attached.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectChoices {
+    /// Instance id of the object.
+    pub object_id: usize,
+    /// Object name (for reporting).
+    pub name: String,
+    /// Candidate configurations with predicted size/quality.
+    pub options: Vec<CandidateConfig>,
+    /// The continuous profile models, when available (required by the
+    /// continuous-relaxation selectors such as SLSQP).
+    pub models: Option<ProfileModels>,
+}
+
+impl ObjectChoices {
+    /// The smallest predicted size over the candidate set.
+    pub fn min_size(&self) -> f64 {
+        self.options.iter().map(|o| o.size_mb).fold(f64::INFINITY, f64::min)
+    }
+
+    /// The candidate with the smallest predicted size.
+    pub fn cheapest(&self) -> Option<&CandidateConfig> {
+        self.options
+            .iter()
+            .min_by(|a, b| a.size_mb.partial_cmp(&b.size_mb).expect("finite sizes"))
+    }
+}
+
+/// A configuration-selection problem instance (Eq. 2 of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectionProblem {
+    /// One choice set per sub-scene / object.
+    pub objects: Vec<ObjectChoices>,
+    /// The device memory budget H in MB.
+    pub budget_mb: f64,
+}
+
+impl SelectionProblem {
+    /// Builds the problem from fitted profiles and a configuration space: the
+    /// candidate list of every object is the whole space with that object's
+    /// predicted size and quality attached.
+    pub fn from_profiles(profiles: &[ObjectProfile], space: &ConfigSpace, budget_mb: f64) -> Self {
+        let objects = profiles
+            .iter()
+            .map(|profile| {
+                let options = space
+                    .configurations()
+                    .into_iter()
+                    .map(|config| CandidateConfig {
+                        config,
+                        size_mb: profile.predict_size(config.grid, config.patch),
+                        quality: profile.predict_quality(config.grid, config.patch),
+                    })
+                    .collect();
+                ObjectChoices {
+                    object_id: profile.object_id,
+                    name: profile.name.clone(),
+                    options,
+                    models: Some(profile.models()),
+                }
+            })
+            .collect();
+        Self { objects, budget_mb }
+    }
+
+    /// Sum of per-object minimum sizes — the smallest memory any assignment
+    /// can use. When this exceeds the budget the instance is infeasible.
+    pub fn min_total_size(&self) -> f64 {
+        self.objects.iter().map(ObjectChoices::min_size).sum()
+    }
+
+    /// `true` when at least one assignment fits in the budget.
+    pub fn is_feasible(&self) -> bool {
+        !self.objects.is_empty() && self.min_total_size() <= self.budget_mb + 1e-9
+    }
+}
+
+/// One object's selected configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Instance id of the object.
+    pub object_id: usize,
+    /// Object name.
+    pub name: String,
+    /// The selected configuration.
+    pub config: BakeConfig,
+    /// Predicted size of the selection (MB).
+    pub predicted_size_mb: f64,
+    /// Predicted quality of the selection.
+    pub predicted_quality: f64,
+}
+
+/// The result of running a selector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SelectionOutcome {
+    /// Selector name that produced this outcome.
+    pub selector: String,
+    /// Per-object assignments (one per object, in problem order).
+    pub assignments: Vec<Assignment>,
+    /// Total predicted size (MB).
+    pub total_size_mb: f64,
+    /// Total predicted quality (the MCK objective ∑ f_qᵢ).
+    pub total_quality: f64,
+    /// Whether the assignment respects the budget.
+    pub feasible: bool,
+}
+
+impl SelectionOutcome {
+    /// Builds an outcome from per-object candidate picks.
+    pub fn from_picks(selector: &str, problem: &SelectionProblem, picks: &[CandidateConfig]) -> Self {
+        assert_eq!(picks.len(), problem.objects.len(), "one pick per object required");
+        let assignments: Vec<Assignment> = problem
+            .objects
+            .iter()
+            .zip(picks)
+            .map(|(obj, pick)| Assignment {
+                object_id: obj.object_id,
+                name: obj.name.clone(),
+                config: pick.config,
+                predicted_size_mb: pick.size_mb,
+                predicted_quality: pick.quality,
+            })
+            .collect();
+        let total_size_mb: f64 = assignments.iter().map(|a| a.predicted_size_mb).sum();
+        let total_quality: f64 = assignments.iter().map(|a| a.predicted_quality).sum();
+        Self {
+            selector: selector.to_string(),
+            feasible: total_size_mb <= problem.budget_mb + 1e-6,
+            assignments,
+            total_size_mb,
+            total_quality,
+        }
+    }
+
+    /// The assignment for a given object id.
+    pub fn assignment_for(&self, object_id: usize) -> Option<&Assignment> {
+        self.assignments.iter().find(|a| a.object_id == object_id)
+    }
+
+    /// Mean predicted quality per object (what Fig. 7 plots as scene SSIM).
+    pub fn mean_quality(&self) -> f64 {
+        if self.assignments.is_empty() {
+            return 0.0;
+        }
+        self.total_quality / self.assignments.len() as f64
+    }
+}
+
+/// A configuration-selection algorithm.
+pub trait ConfigSelector {
+    /// Short human-readable name ("DP", "Fairness", "SLSQP", …).
+    fn name(&self) -> &'static str;
+
+    /// Solves the selection problem.
+    fn select(&self, problem: &SelectionProblem) -> SelectionOutcome;
+}
+
+/// Helper shared by baselines: the fallback assignment that picks every
+/// object's cheapest configuration (used when a strategy cannot find a
+/// feasible answer; it is the least-memory assignment possible).
+pub fn cheapest_assignment(selector: &str, problem: &SelectionProblem) -> SelectionOutcome {
+    let picks: Vec<CandidateConfig> = problem
+        .objects
+        .iter()
+        .map(|obj| *obj.cheapest().expect("non-empty candidate list"))
+        .collect();
+    SelectionOutcome::from_picks(selector, problem, &picks)
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// Shared two-object fixture reused by the other selectors' tests.
+    pub(crate) fn tiny_problem(budget: f64) -> SelectionProblem {
+        let options_a = vec![
+            CandidateConfig { config: BakeConfig::new(16, 3), size_mb: 10.0, quality: 0.70 },
+            CandidateConfig { config: BakeConfig::new(32, 9), size_mb: 30.0, quality: 0.85 },
+            CandidateConfig { config: BakeConfig::new(64, 17), size_mb: 80.0, quality: 0.92 },
+        ];
+        let options_b = vec![
+            CandidateConfig { config: BakeConfig::new(16, 3), size_mb: 20.0, quality: 0.60 },
+            CandidateConfig { config: BakeConfig::new(32, 9), size_mb: 55.0, quality: 0.88 },
+            CandidateConfig { config: BakeConfig::new(64, 17), size_mb: 120.0, quality: 0.95 },
+        ];
+        SelectionProblem {
+            objects: vec![
+                ObjectChoices { object_id: 0, name: "a".into(), options: options_a, models: None },
+                ObjectChoices { object_id: 1, name: "b".into(), options: options_b, models: None },
+            ],
+            budget_mb: budget,
+        }
+    }
+
+    #[test]
+    fn feasibility_depends_on_cheapest_total() {
+        assert!(tiny_problem(100.0).is_feasible());
+        assert!(!tiny_problem(25.0).is_feasible());
+        assert_eq!(tiny_problem(100.0).min_total_size(), 30.0);
+    }
+
+    #[test]
+    fn outcome_totals_are_consistent() {
+        let problem = tiny_problem(100.0);
+        let picks = vec![problem.objects[0].options[1], problem.objects[1].options[1]];
+        let outcome = SelectionOutcome::from_picks("test", &problem, &picks);
+        assert_eq!(outcome.total_size_mb, 85.0);
+        assert!((outcome.total_quality - 1.73).abs() < 1e-9);
+        assert!(outcome.feasible);
+        assert!((outcome.mean_quality() - 0.865).abs() < 1e-9);
+        assert_eq!(outcome.assignment_for(1).unwrap().config, BakeConfig::new(32, 9));
+    }
+
+    #[test]
+    fn cheapest_assignment_uses_min_sizes() {
+        let problem = tiny_problem(100.0);
+        let outcome = cheapest_assignment("fallback", &problem);
+        assert_eq!(outcome.total_size_mb, 30.0);
+        assert!(outcome.feasible);
+    }
+
+    #[test]
+    #[should_panic(expected = "one pick per object")]
+    fn wrong_pick_count_panics() {
+        let problem = tiny_problem(100.0);
+        let _ = SelectionOutcome::from_picks("bad", &problem, &[]);
+    }
+}

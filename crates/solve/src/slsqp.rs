@@ -1,0 +1,338 @@
+//! SLSQP baseline: sequential quadratic programming on the continuous
+//! relaxation of the selection problem (Eq. 2), then rounding onto the grid.
+//!
+//! "The key concept of this algorithm is to approximate the gradient and
+//! Hessian matrix of the objective function using least squares, generating
+//! a search direction. It then solves a system of linear equations to update
+//! the optimization variables." (paper §IV-C)
+//!
+//! The optimizer below is a from-scratch small SQP: numerical gradients of
+//! the profile models, a damped BFGS approximation of the Hessian of the
+//! Lagrangian, a KKT linear system for the search direction when the memory
+//! constraint is active, a merit-function line search, and box projection
+//! onto the configuration bounds. As the paper observes, the method is
+//! sensitive to its initial values and to approximation error, which is why
+//! it can produce "unreasonable resource allocation schemes" relative to the
+//! DP — that behaviour is exactly what the Fig. 7/8 comparisons exercise.
+
+use crate::selector::{
+    cheapest_assignment, CandidateConfig, ConfigSelector, SelectionOutcome, SelectionProblem,
+};
+use crate::space::ConfigSpace;
+use nerflex_math::stats::solve_linear_system;
+use nerflex_profile::model::SizeQualityModel;
+
+/// SQP-based continuous-relaxation selector.
+#[derive(Debug, Clone)]
+pub struct SlsqpSelector {
+    /// The discrete space onto which the continuous solution is rounded.
+    pub space: ConfigSpace,
+    /// Maximum number of SQP iterations.
+    pub iterations: usize,
+}
+
+impl SlsqpSelector {
+    /// Creates the selector with the given rounding space.
+    pub fn new(space: ConfigSpace) -> Self {
+        Self { space, iterations: 60 }
+    }
+}
+
+impl Default for SlsqpSelector {
+    fn default() -> Self {
+        Self::new(ConfigSpace::paper_default())
+    }
+}
+
+/// Continuous objective/constraint evaluation helpers.
+struct Relaxation<'a> {
+    problem: &'a SelectionProblem,
+    bounds: (f64, f64, f64, f64),
+}
+
+impl Relaxation<'_> {
+    fn quality(&self, x: &[f64]) -> f64 {
+        self.problem
+            .objects
+            .iter()
+            .enumerate()
+            .map(|(i, obj)| {
+                let models = obj.models.as_ref().expect("SLSQP requires continuous models");
+                models.predict_quality(x[2 * i].round() as u32, x[2 * i + 1].round() as u32)
+            })
+            .sum()
+    }
+
+    fn size(&self, x: &[f64]) -> f64 {
+        self.problem
+            .objects
+            .iter()
+            .enumerate()
+            .map(|(i, obj)| {
+                let models = obj.models.as_ref().expect("SLSQP requires continuous models");
+                models.predict_size(x[2 * i].round() as u32, x[2 * i + 1].round() as u32)
+            })
+            .sum()
+    }
+
+    /// Negative total quality (the minimised objective).
+    fn objective(&self, x: &[f64]) -> f64 {
+        -self.quality(x)
+    }
+
+    /// Constraint value c(x) = Σ size − H (feasible when ≤ 0).
+    fn constraint(&self, x: &[f64]) -> f64 {
+        self.size(x) - self.problem.budget_mb
+    }
+
+    fn gradient(&self, f: impl Fn(&[f64]) -> f64, x: &[f64]) -> Vec<f64> {
+        let fx = f(x);
+        (0..x.len())
+            .map(|j| {
+                let h = 1.0; // knob units are integers; a unit step is the natural scale
+                let mut bumped = x.to_vec();
+                bumped[j] += h;
+                (f(&bumped) - fx) / h
+            })
+            .collect()
+    }
+
+    fn project(&self, x: &mut [f64]) {
+        let (g_min, g_max, p_min, p_max) = self.bounds;
+        for i in 0..x.len() / 2 {
+            x[2 * i] = x[2 * i].clamp(g_min, g_max);
+            x[2 * i + 1] = x[2 * i + 1].clamp(p_min, p_max);
+        }
+    }
+}
+
+impl ConfigSelector for SlsqpSelector {
+    fn name(&self) -> &'static str {
+        "SLSQP"
+    }
+
+    /// # Panics
+    ///
+    /// Panics when an object in the problem carries no continuous models
+    /// (SLSQP operates on the relaxation, not on the discrete candidates).
+    fn select(&self, problem: &SelectionProblem) -> SelectionOutcome {
+        if problem.objects.is_empty() {
+            return SelectionOutcome { selector: self.name().to_string(), feasible: true, ..Default::default() };
+        }
+        if !problem.is_feasible() {
+            return cheapest_assignment(self.name(), problem);
+        }
+        let (g_min, g_max, p_min, p_max) = self.space.bounds();
+        let relax = Relaxation {
+            problem,
+            bounds: (g_min as f64, g_max as f64, p_min as f64, p_max as f64),
+        };
+        let n = problem.objects.len() * 2;
+
+        // Initial iterate: the midpoint of the box (the "initial assumption
+        // values" whose quality the paper calls out as a weakness).
+        let mut x: Vec<f64> = (0..n)
+            .map(|j| {
+                if j % 2 == 0 {
+                    (g_min as f64 + g_max as f64) / 2.0
+                } else {
+                    (p_min as f64 + p_max as f64) / 2.0
+                }
+            })
+            .collect();
+        // BFGS approximation of the Lagrangian Hessian, started at identity.
+        let mut hessian = vec![vec![0.0f64; n]; n];
+        for (j, row) in hessian.iter_mut().enumerate() {
+            row[j] = 1.0;
+        }
+        let mut prev: Option<(Vec<f64>, Vec<f64>)> = None; // (x, grad_lagrangian)
+        let mu = 10.0; // merit-function penalty weight
+
+        for _ in 0..self.iterations {
+            let grad_f = relax.gradient(|v| relax.objective(v), &x);
+            let grad_c = relax.gradient(|v| relax.constraint(v), &x);
+            let c_val = relax.constraint(&x);
+
+            // Search direction: Newton/KKT step when the constraint is active
+            // or violated, plain quasi-Newton descent otherwise.
+            let active = c_val > -1e-6;
+            let direction = if active {
+                // [B  ∇c][d]   [-∇f]
+                // [∇cᵀ 0][λ] = [-c]
+                let mut kkt = vec![vec![0.0f64; n + 1]; n + 1];
+                let mut rhs = vec![0.0f64; n + 1];
+                for r in 0..n {
+                    for col in 0..n {
+                        kkt[r][col] = hessian[r][col];
+                    }
+                    kkt[r][n] = grad_c[r];
+                    kkt[n][r] = grad_c[r];
+                    rhs[r] = -grad_f[r];
+                }
+                rhs[n] = -c_val;
+                solve_linear_system(kkt, rhs).map(|mut sol| {
+                    sol.truncate(n);
+                    sol
+                })
+            } else {
+                solve_linear_system(hessian.clone(), grad_f.iter().map(|g| -g).collect())
+            };
+            let Some(direction) = direction else { break };
+
+            // Merit-function line search.
+            let merit = |v: &[f64]| relax.objective(v) + mu * relax.constraint(v).max(0.0);
+            let base_merit = merit(&x);
+            let mut step = 1.0;
+            let mut next_x = x.clone();
+            let mut improved = false;
+            for _ in 0..12 {
+                let mut candidate: Vec<f64> = x.iter().zip(&direction).map(|(xi, di)| xi + step * di).collect();
+                relax.project(&mut candidate);
+                if merit(&candidate) < base_merit - 1e-9 {
+                    next_x = candidate;
+                    improved = true;
+                    break;
+                }
+                step *= 0.5;
+            }
+            if !improved {
+                break;
+            }
+
+            // Damped BFGS update of the Lagrangian Hessian approximation.
+            let lambda = if active { 1.0 } else { 0.0 };
+            let grad_l: Vec<f64> = grad_f.iter().zip(&grad_c).map(|(f, c)| f + lambda * c).collect();
+            if let Some((px, pg)) = prev.replace((next_x.clone(), grad_l.clone())) {
+                let s: Vec<f64> = next_x.iter().zip(&px).map(|(a, b)| a - b).collect();
+                let y: Vec<f64> = grad_l.iter().zip(&pg).map(|(a, b)| a - b).collect();
+                let sy: f64 = s.iter().zip(&y).map(|(a, b)| a * b).sum();
+                if sy > 1e-8 {
+                    // Bs and sᵀBs.
+                    let bs: Vec<f64> = hessian.iter().map(|row| row.iter().zip(&s).map(|(h, si)| h * si).sum()).collect();
+                    let sbs: f64 = s.iter().zip(&bs).map(|(a, b)| a * b).sum();
+                    for r in 0..n {
+                        for c in 0..n {
+                            hessian[r][c] += y[r] * y[c] / sy - bs[r] * bs[c] / sbs.max(1e-8);
+                        }
+                    }
+                }
+            }
+            x = next_x;
+        }
+
+        // Round the continuous solution back onto the grid and restore
+        // feasibility by downgrading the largest objects if needed.
+        let mut picks: Vec<CandidateConfig> = problem
+            .objects
+            .iter()
+            .enumerate()
+            .map(|(i, obj)| {
+                let rounded = self.space.nearest(x[2 * i], x[2 * i + 1]);
+                obj.options
+                    .iter()
+                    .min_by(|a, b| {
+                        let da = (a.config.grid as i64 - rounded.grid as i64).abs()
+                            + (a.config.patch as i64 - rounded.patch as i64).abs();
+                        let db = (b.config.grid as i64 - rounded.grid as i64).abs()
+                            + (b.config.patch as i64 - rounded.patch as i64).abs();
+                        da.cmp(&db)
+                    })
+                    .copied()
+                    .expect("non-empty candidate list")
+            })
+            .collect();
+        let mut total: f64 = picks.iter().map(|p| p.size_mb).sum();
+        while total > problem.budget_mb {
+            // Downgrade the object currently using the most memory to its next
+            // cheaper option; stop when nothing can be downgraded further.
+            let Some((worst, _)) = picks
+                .iter()
+                .enumerate()
+                .filter(|(i, pick)| {
+                    problem.objects[*i].options.iter().any(|o| o.size_mb < pick.size_mb)
+                })
+                .max_by(|a, b| a.1.size_mb.partial_cmp(&b.1.size_mb).expect("finite"))
+            else {
+                break;
+            };
+            let current = picks[worst];
+            let next_cheaper = problem.objects[worst]
+                .options
+                .iter()
+                .filter(|o| o.size_mb < current.size_mb)
+                .max_by(|a, b| a.size_mb.partial_cmp(&b.size_mb).expect("finite"))
+                .copied()
+                .expect("filter guarantees a cheaper option");
+            total = total - current.size_mb + next_cheaper.size_mb;
+            picks[worst] = next_cheaper;
+        }
+        SelectionOutcome::from_picks(self.name(), problem, &picks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::DpSelector;
+    use crate::selector::{ObjectChoices, SelectionProblem};
+    
+    use nerflex_profile::model::{ProfileModels, QualityModel, SizeModel};
+
+    /// Builds a problem whose candidates come from analytic profile models so
+    /// SLSQP has a continuous relaxation to work on.
+    fn model_problem(budget: f64, complexity: &[f64]) -> SelectionProblem {
+        let space = ConfigSpace::quick();
+        let objects = complexity
+            .iter()
+            .enumerate()
+            .map(|(id, &c)| {
+                let size = SizeModel { k: 2.0e-6 * (0.5 + c), a: 0.0, b: 0.0, m: 0.5 };
+                let quality = QualityModel { q_inf: 0.9 + 0.05 * c, k: 2.0e3 * (0.5 + 2.0 * c), a: 0.0, b: 0.0 };
+                let models = ProfileModels { size, quality };
+                let options = space
+                    .configurations()
+                    .into_iter()
+                    .map(|config| CandidateConfig {
+                        config,
+                        size_mb: models.predict_size(config.grid, config.patch),
+                        quality: models.predict_quality(config.grid, config.patch),
+                    })
+                    .collect();
+                ObjectChoices { object_id: id, name: format!("o{id}"), options, models: Some(models) }
+            })
+            .collect();
+        SelectionProblem { objects, budget_mb: budget }
+    }
+
+    #[test]
+    fn slsqp_produces_a_feasible_assignment() {
+        let problem = model_problem(60.0, &[0.2, 0.8, 0.5]);
+        let outcome = SlsqpSelector::new(ConfigSpace::quick()).select(&problem);
+        assert_eq!(outcome.assignments.len(), 3);
+        assert!(outcome.feasible, "SLSQP must return a feasible rounded solution");
+        assert!(outcome.total_size_mb <= 60.0 + 1e-6);
+    }
+
+    #[test]
+    fn slsqp_never_beats_the_dp_but_is_competitive_here() {
+        let problem = model_problem(80.0, &[0.3, 0.9]);
+        let dp = DpSelector::default().select(&problem);
+        let slsqp = SlsqpSelector::new(ConfigSpace::quick()).select(&problem);
+        assert!(slsqp.total_quality <= dp.total_quality + 1e-9);
+        assert!(slsqp.total_quality > dp.total_quality * 0.7, "SLSQP collapsed: {} vs {}", slsqp.total_quality, dp.total_quality);
+    }
+
+    #[test]
+    fn infeasible_budget_falls_back_to_cheapest() {
+        let problem = model_problem(0.5, &[0.5, 0.5]);
+        let outcome = SlsqpSelector::new(ConfigSpace::quick()).select(&problem);
+        assert!(!outcome.feasible);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires continuous models")]
+    fn missing_models_panic() {
+        let problem = crate::selector::tests::tiny_problem(100.0);
+        let _ = SlsqpSelector::new(ConfigSpace::quick()).select(&problem);
+    }
+}

@@ -1,0 +1,136 @@
+//! The per-object configuration space Cᵢ.
+
+use nerflex_bake::BakeConfig;
+use serde::{Deserialize, Serialize};
+
+/// A discrete configuration space: the cross product of candidate mesh
+/// granularities and patch sizes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigSpace {
+    /// Candidate mesh granularities.
+    pub g_values: Vec<u32>,
+    /// Candidate patch sizes.
+    pub p_values: Vec<u32>,
+}
+
+impl ConfigSpace {
+    /// Creates a space from explicit candidate lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either list is empty or contains zero.
+    pub fn new(g_values: Vec<u32>, p_values: Vec<u32>) -> Self {
+        assert!(!g_values.is_empty() && !p_values.is_empty(), "configuration space must be non-empty");
+        assert!(
+            g_values.iter().chain(&p_values).all(|&v| v > 0),
+            "configuration knobs must be positive"
+        );
+        Self { g_values, p_values }
+    }
+
+    /// The space used by the full-scale experiments: granularities 16…128 in
+    /// steps of 16 and patch sizes 3…45 in steps of 7 (the MobileNeRF default
+    /// (128, 17) is included).
+    pub fn paper_default() -> Self {
+        Self::new(
+            (1..=8).map(|i| i * 16).collect(),
+            (0..=6).map(|i| 3 + i * 7).collect(),
+        )
+    }
+
+    /// A reduced space for tests and quick examples.
+    pub fn quick() -> Self {
+        Self::new(vec![10, 20, 30, 40], vec![3, 6, 9])
+    }
+
+    /// All configurations in the space (row-major over g then p).
+    pub fn configurations(&self) -> Vec<BakeConfig> {
+        self.g_values
+            .iter()
+            .flat_map(|&g| self.p_values.iter().map(move |&p| BakeConfig::new(g, p)))
+            .collect()
+    }
+
+    /// Number of configurations.
+    pub fn len(&self) -> usize {
+        self.g_values.len() * self.p_values.len()
+    }
+
+    /// `true` when the space is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configuration in the space nearest to the continuous point
+    /// `(g, p)` (Euclidean distance in knob space) — used when rounding the
+    /// SLSQP relaxation back onto the grid.
+    pub fn nearest(&self, g: f64, p: f64) -> BakeConfig {
+        let nearest_g = *self
+            .g_values
+            .iter()
+            .min_by(|&&a, &&b| {
+                (a as f64 - g).abs().partial_cmp(&(b as f64 - g).abs()).expect("finite")
+            })
+            .expect("non-empty");
+        let nearest_p = *self
+            .p_values
+            .iter()
+            .min_by(|&&a, &&b| {
+                (a as f64 - p).abs().partial_cmp(&(b as f64 - p).abs()).expect("finite")
+            })
+            .expect("non-empty");
+        BakeConfig::new(nearest_g, nearest_p)
+    }
+
+    /// Bounds of the space as `(g_min, g_max, p_min, p_max)`.
+    pub fn bounds(&self) -> (u32, u32, u32, u32) {
+        (
+            *self.g_values.iter().min().expect("non-empty"),
+            *self.g_values.iter().max().expect("non-empty"),
+            *self.p_values.iter().min().expect("non-empty"),
+            *self.p_values.iter().max().expect("non-empty"),
+        )
+    }
+}
+
+impl Default for ConfigSpace {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_contains_the_mobilenerf_config() {
+        let space = ConfigSpace::paper_default();
+        assert!(space.configurations().contains(&BakeConfig::MOBILENERF_DEFAULT));
+        assert_eq!(space.len(), 8 * 7);
+        assert!(!space.is_empty());
+    }
+
+    #[test]
+    fn bounds_and_nearest() {
+        let space = ConfigSpace::quick();
+        assert_eq!(space.bounds(), (10, 40, 3, 9));
+        assert_eq!(space.nearest(22.0, 7.2), BakeConfig::new(20, 6));
+        assert_eq!(space.nearest(1000.0, -5.0), BakeConfig::new(40, 3));
+    }
+
+    #[test]
+    fn configurations_enumerate_the_cross_product() {
+        let space = ConfigSpace::new(vec![8, 16], vec![3, 5, 7]);
+        let configs = space.configurations();
+        assert_eq!(configs.len(), 6);
+        assert_eq!(configs[0], BakeConfig::new(8, 3));
+        assert_eq!(configs[5], BakeConfig::new(16, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_space_panics() {
+        let _ = ConfigSpace::new(vec![], vec![3]);
+    }
+}

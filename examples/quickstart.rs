@@ -1,0 +1,63 @@
+//! Quickstart: deploy a complex five-object scene to an iPhone 13 with
+//! NeRFlex and report quality, size and frame rate.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use nerflex::core::evaluation::evaluate_deployment;
+use nerflex::core::experiments::EvaluationScene;
+use nerflex::core::pipeline::{NerflexPipeline, PipelineOptions};
+use nerflex::device::DeviceSpec;
+
+fn main() {
+    let seed = 42;
+    println!("NeRFlex quickstart — Scene 4 (five distinct objects) on an iPhone 13\n");
+
+    // 1. Build the scene and render its training/test views (the stand-in for
+    //    the paper's captured image sets).
+    let built = EvaluationScene::Scene4.build(seed);
+    let dataset = built.dataset(6, 2, 96);
+    println!(
+        "scene: {} objects, {} training views, {} test views at {}x{}",
+        built.scene.len(),
+        dataset.train.len(),
+        dataset.test.len(),
+        dataset.width,
+        dataset.height
+    );
+
+    // 2. Run the cloud-side pipeline: segmentation → profiling → DP selection
+    //    → parallel baking. `quick()` keeps the example fast; use
+    //    `PipelineOptions::default()` for paper-scale configuration spaces.
+    let device = DeviceSpec::iphone_13();
+    let pipeline = NerflexPipeline::new(PipelineOptions::quick());
+    let deployment = pipeline.run(&built.scene, &dataset, &device);
+
+    println!("\nsegmentation decision:");
+    println!(
+        "  threshold α = {:.4}, {} dedicated sub-NeRFs, {} objects in the joint NeRF",
+        deployment.segmentation.decision.threshold,
+        deployment.segmentation.decision.individual.len(),
+        deployment.segmentation.decision.joint.len()
+    );
+    println!("\nper-object configuration selected by the DP (budget {:.0} MB):", deployment.budget_mb);
+    for assignment in &deployment.selection.assignments {
+        println!(
+            "  {:<10} θ = {}  predicted {:>6.1} MB  predicted SSIM {:.3}",
+            assignment.name, assignment.config, assignment.predicted_size_mb, assignment.predicted_quality
+        );
+    }
+    println!("\ncloud-side overhead: {}", deployment.timings.summary());
+
+    // 3. Evaluate on the device: quality on held-out views, memory, FPS.
+    let eval = evaluate_deployment(&deployment, &built.scene, &dataset, 500, seed);
+    println!("\non-device result ({}):", eval.device);
+    println!("  data size    {:.1} MB", eval.size_mb);
+    println!("  SSIM         {:.3}", eval.ssim);
+    println!("  PSNR         {:.2} dB", eval.psnr);
+    println!("  LPIPS*       {:.3} (perceptual proxy, lower is better)", eval.lpips);
+    println!("  loads on device: {}", eval.renders());
+    println!("  average FPS  {:.1}", eval.session.average_fps);
+    println!("  smooth       {}", eval.session.is_smooth());
+}

@@ -1,0 +1,53 @@
+//! # nerflex
+//!
+//! Full-system reproduction of **"NeRFlex: Resource-aware Real-time
+//! High-quality Rendering of Complex Scenes on Mobile Devices"**
+//! (Wang & Zhu, ICDCS 2025).
+//!
+//! This meta-crate re-exports the workspace crates under one roof:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`math`] | `nerflex-math` | vectors, matrices, rays, AABBs, sampling, statistics |
+//! | [`image`] | `nerflex-image` | float images, SSIM/PSNR/LPIPS-proxy, DCT frequency analysis |
+//! | [`scene`] | `nerflex-scene` | procedural SDF objects, scenes, datasets, ray-marched ground truth |
+//! | [`bake`] | `nerflex-bake` | MobileNeRF-style baking: voxel grid, quad mesh, texture atlas, tiny MLP |
+//! | [`render`] | `nerflex-render` | software rasteriser and quality comparison |
+//! | [`device`] | `nerflex-device` | iPhone 13 / Pixel 4 models, memory ceilings, FPS simulation |
+//! | [`seg`] | `nerflex-seg` | detail-based segmentation (paper §III-A) |
+//! | [`profile`] | `nerflex-profile` | lightweight white-box profiler (paper §III-B) |
+//! | [`solve`] | `nerflex-solve` | DP / Fairness / SLSQP / greedy configuration selectors (paper §III-C) |
+//! | [`core`] | `nerflex-core` | the end-to-end pipeline, baselines, experiments, evaluation |
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use nerflex::core::experiments::EvaluationScene;
+//! use nerflex::core::pipeline::{NerflexPipeline, PipelineOptions};
+//! use nerflex::device::DeviceSpec;
+//!
+//! let built = EvaluationScene::Scene4.build(42);
+//! let dataset = built.dataset(6, 2, 96);
+//! let deployment = NerflexPipeline::new(PipelineOptions::quick())
+//!     .run(&built.scene, &dataset, &DeviceSpec::iphone_13());
+//! println!("deployed {:.1} MB across {} sub-NeRFs",
+//!          deployment.workload().data_size_mb,
+//!          deployment.assets.len());
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
+//! the binaries that regenerate every table and figure of the paper.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use nerflex_bake as bake;
+pub use nerflex_core as core;
+pub use nerflex_device as device;
+pub use nerflex_image as image;
+pub use nerflex_math as math;
+pub use nerflex_profile as profile;
+pub use nerflex_render as render;
+pub use nerflex_scene as scene;
+pub use nerflex_seg as seg;
+pub use nerflex_solve as solve;

@@ -1,0 +1,114 @@
+//! Cross-crate integration tests: the full cloud-side pipeline feeding the
+//! on-device renderer and device simulator.
+
+use nerflex::core::evaluation::{evaluate_deployment, per_object_quality};
+use nerflex::core::experiments::EvaluationScene;
+use nerflex::core::pipeline::{NerflexPipeline, PipelineOptions};
+use nerflex::device::DeviceSpec;
+use nerflex::render::{render_assets, RenderOptions};
+use nerflex::scene::dataset::Dataset;
+use nerflex::scene::object::CanonicalObject;
+use nerflex::scene::scene::Scene;
+
+fn small_setup() -> (Scene, Dataset) {
+    let scene = Scene::with_objects(&[CanonicalObject::Hotdog, CanonicalObject::Lego], 3);
+    let dataset = Dataset::generate(&scene, 3, 2, 56, 56);
+    (scene, dataset)
+}
+
+#[test]
+fn end_to_end_deployment_renders_and_fits_the_budget() {
+    let (scene, dataset) = small_setup();
+    let device = DeviceSpec::iphone_13();
+    let deployment = NerflexPipeline::new(PipelineOptions::quick()).run(&scene, &dataset, &device);
+
+    // Selection stays within the (default) device budget.
+    assert!(deployment.selection.feasible);
+    assert!(deployment.selection.total_size_mb <= device.recommended_budget_mb + 1e-6);
+
+    // The baked assets render on every test pose without panicking and cover
+    // a reasonable number of pixels.
+    for view in &dataset.test {
+        let (img, stats) = render_assets(&deployment.assets, &view.pose, 56, 56, &RenderOptions::default());
+        assert_eq!(img.width(), 56);
+        assert!(stats.fragments_shaded > 50, "assets barely visible: {stats:?}");
+    }
+
+    // The evaluation harness agrees the deployment loads and runs smoothly.
+    let eval = evaluate_deployment(&deployment, &scene, &dataset, 300, 11);
+    assert!(eval.renders());
+    assert!(eval.ssim > 0.4, "end-to-end SSIM suspiciously low: {}", eval.ssim);
+    assert!(eval.session.average_fps > 10.0);
+}
+
+#[test]
+fn deployment_is_deterministic_for_a_fixed_seed() {
+    let (scene, dataset) = small_setup();
+    let device = DeviceSpec::pixel_4();
+    let run = || NerflexPipeline::new(PipelineOptions::quick()).run(&scene, &dataset, &device);
+    let a = run();
+    let b = run();
+    assert_eq!(a.selection.assignments.len(), b.selection.assignments.len());
+    for (x, y) in a.selection.assignments.iter().zip(&b.selection.assignments) {
+        assert_eq!(x.config, y.config, "selection must be deterministic");
+    }
+    assert_eq!(a.workload().total_quads, b.workload().total_quads);
+}
+
+#[test]
+fn tighter_budgets_never_increase_predicted_quality() {
+    let (scene, dataset) = small_setup();
+    let device = DeviceSpec::pixel_4();
+    let quality_at = |budget: f64| {
+        let options = PipelineOptions {
+            budget_override_mb: Some(budget),
+            ..PipelineOptions::quick()
+        };
+        NerflexPipeline::new(options)
+            .run(&scene, &dataset, &device)
+            .selection
+            .total_quality
+    };
+    let generous = quality_at(120.0);
+    let medium = quality_at(30.0);
+    let tight = quality_at(8.0);
+    assert!(generous >= medium - 1e-9);
+    assert!(medium >= tight - 1e-9);
+}
+
+#[test]
+fn per_object_quality_reflects_object_complexity_budgeting() {
+    // With every object given its own sub-NeRF and the DP allocating memory,
+    // each object's masked SSIM must be a valid score and the deployment's
+    // per-object reports must cover the whole scene.
+    let built = EvaluationScene::Scene4.build(5);
+    let dataset = built.dataset(4, 2, 64);
+    let deployment = NerflexPipeline::new(PipelineOptions::quick()).run(
+        &built.scene,
+        &dataset,
+        &DeviceSpec::iphone_13(),
+    );
+    let per_object = per_object_quality(&deployment, &dataset, &built.scene);
+    assert_eq!(per_object.len(), built.scene.len());
+    for (id, name, ssim) in per_object {
+        assert!(ssim > 0.2 && ssim <= 1.0, "object {id} ({name}) SSIM {ssim}");
+    }
+}
+
+#[test]
+fn segmentation_feeds_selection_with_one_network_per_object() {
+    let (scene, dataset) = small_setup();
+    let deployment = NerflexPipeline::new(PipelineOptions::quick()).run(
+        &scene,
+        &dataset,
+        &DeviceSpec::iphone_13(),
+    );
+    // Default policy: every detected object gets its own NeRF.
+    assert_eq!(
+        deployment.segmentation.decision.network_count(),
+        scene.len(),
+        "lowest-max-frequency threshold assigns every object a dedicated network"
+    );
+    // And the selector assigned a configuration to each.
+    assert_eq!(deployment.selection.assignments.len(), scene.len());
+}
