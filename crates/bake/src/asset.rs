@@ -9,7 +9,6 @@ use crate::voxel::VoxelGrid;
 use nerflex_math::{Aabb, Vec3};
 use nerflex_scene::object::ObjectModel;
 use nerflex_scene::scene::{PlacedObject, Scene};
-use parking_lot::Mutex;
 
 /// Rigid placement of a baked asset in the scene (the asset itself is baked
 /// in the object's local frame).
@@ -143,15 +142,7 @@ fn bake_with_placement(
     let cell = grid.cell_size().max_component().max(1e-6);
     let cutoff = 0.5 * config.patch as f32 / cell;
     let atlas = TextureAtlas::bake(&mesh, &model.appearance, config.patch, cutoff);
-    BakedAsset {
-        name: model.name.clone(),
-        object_id,
-        config,
-        mesh,
-        atlas,
-        mlp: None,
-        placement,
-    }
+    BakedAsset { name: model.name.clone(), object_id, config, mesh, atlas, mlp: None, placement }
 }
 
 /// Bakes every object of a scene with its own configuration, in parallel
@@ -167,32 +158,9 @@ pub fn bake_scene(scene: &Scene, configs: &[BakeConfig]) -> Vec<BakedAsset> {
         scene.objects().len(),
         "one configuration per scene object is required"
     );
-    let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(scene.len().max(1));
-    let results: Mutex<Vec<Option<BakedAsset>>> = Mutex::new(vec![None; scene.len()]);
-    let next: Mutex<usize> = Mutex::new(0);
-    crossbeam::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
-                let idx = {
-                    let mut guard = next.lock();
-                    let idx = *guard;
-                    *guard += 1;
-                    idx
-                };
-                if idx >= scene.len() {
-                    break;
-                }
-                let asset = bake_placed(&scene.objects()[idx], configs[idx]);
-                results.lock()[idx] = Some(asset);
-            });
-        }
+    crate::pool::parallel_map(scene.len(), crate::pool::default_workers(scene.len()), |idx| {
+        bake_placed(&scene.objects()[idx], configs[idx])
     })
-    .expect("baking worker panicked");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|a| a.expect("every object was baked"))
-        .collect()
 }
 
 #[cfg(test)]

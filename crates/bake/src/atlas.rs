@@ -31,7 +31,12 @@ impl TextureAtlas {
     /// # Panics
     ///
     /// Panics when `patch` is zero.
-    pub fn bake(mesh: &QuadMesh, appearance: &Appearance, patch: u32, texel_density_cutoff: f32) -> Self {
+    pub fn bake(
+        mesh: &QuadMesh,
+        appearance: &Appearance,
+        patch: u32,
+        texel_density_cutoff: f32,
+    ) -> Self {
         Self::bake_with(mesh, patch, |pos, normal| {
             appearance.albedo_band_limited(pos, normal, texel_density_cutoff)
         })
@@ -180,7 +185,8 @@ mod tests {
                     for tx in 0..patch {
                         let u = (tx as f32 + 0.5) / patch as f32;
                         let v = (ty as f32 + 0.5) / patch as f32;
-                        let reference = app.albedo(mesh.quad_point(q, u, v), mesh.quad_normal(q, u, v));
+                        let reference =
+                            app.albedo(mesh.quad_point(q, u, v), mesh.quad_normal(q, u, v));
                         err += atlas.texel(q, tx, ty).max_channel_diff(reference) as f64;
                         count += 1.0;
                     }

@@ -1,0 +1,303 @@
+//! Content-addressed cache of baked assets.
+//!
+//! The cloud-side pipeline bakes the same (object, configuration) pair in two
+//! places: the profiler measures a handful of sample configurations per
+//! object, and the final baking stage bakes whatever the selector picked.
+//! Whenever the selection lands on a configuration that was already probed —
+//! which the variable-step sampling makes likely at the corners of the space —
+//! the second bake is pure waste. A [`BakeCache`] shared between the two
+//! stages eliminates it, which is a large part of the paper's "cloud
+//! preparation stays cheap relative to baking" story (Fig. 9).
+//!
+//! Assets are baked in the object's local frame; the placement is only
+//! stamped on afterwards (see [`crate::asset`]). The cache therefore stores
+//! placement-free assets keyed by *content*: a fingerprint of the object's
+//! geometry and appearance plus the [`BakeConfig`]. Two identical objects —
+//! e.g. the same canonical object instanced twice in a scene — share cache
+//! entries even though their instance ids and placements differ.
+//!
+//! The cache is [`Sync`]; the parallel profiling and baking stages share one
+//! instance across worker threads.
+
+use crate::asset::{bake_object, BakedAsset, Placement};
+use crate::config::BakeConfig;
+use nerflex_math::Vec3;
+use nerflex_scene::object::ObjectModel;
+use nerflex_scene::scene::PlacedObject;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// 64-bit FNV-1a, the classic dependency-free stable hash.
+#[derive(Debug, Clone, Copy)]
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_f32(&mut self, v: f32) {
+        self.write(&v.to_bits().to_le_bytes());
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Content fingerprint of an object model: a stable 64-bit hash of its name,
+/// its geometry (SDF distances sampled on a fixed lattice over the local
+/// frame) and its appearance (albedo sampled at fixed points and normals).
+///
+/// The fingerprint depends only on what the bake consumes — two models that
+/// are content-identical hash equally even when they are separate allocations
+/// built by independent generator calls. It is stable across runs and
+/// platforms (FNV-1a over IEEE-754 bit patterns, no pointer or layout input).
+pub fn model_fingerprint(model: &ObjectModel) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(model.name.as_bytes());
+    // Geometry: signed distances on a 7³ lattice spanning the local frame.
+    // Procedural objects sit roughly in the unit box around the origin; the
+    // lattice extends past it so scaled/offset geometry still differentiates.
+    const N: i32 = 3;
+    const EXTENT: f32 = 1.25;
+    for x in -N..=N {
+        for y in -N..=N {
+            for z in -N..=N {
+                let p = Vec3::new(x as f32, y as f32, z as f32) * (EXTENT / N as f32);
+                h.write_f32(model.sdf.distance(p));
+            }
+        }
+    }
+    // Appearance: albedo at a coarser lattice, probed along two fixed
+    // normals so normal-dependent patterns (studs, stripes) contribute.
+    for x in -1..=1 {
+        for y in -1..=1 {
+            for z in -1..=1 {
+                let p = Vec3::new(x as f32, y as f32, z as f32) * 0.6;
+                for n in [Vec3::new(0.0, 1.0, 0.0), Vec3::new(1.0, 0.0, 0.0)] {
+                    let c = model.appearance.albedo(p, n);
+                    h.write_f32(c.r);
+                    h.write_f32(c.g);
+                    h.write_f32(c.b);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Hit/miss/occupancy counters of a [`BakeCache`], read via
+/// [`BakeCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that had to bake.
+    pub misses: usize,
+    /// Distinct (object, configuration) assets currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]` (0 when the cache was never queried).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter difference `self − earlier`, for per-stage accounting.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            entries: self.entries,
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({} entries, {:.0}% hit rate)",
+            self.hits,
+            self.misses,
+            self.entries,
+            self.hit_ratio() * 100.0
+        )
+    }
+}
+
+/// A thread-safe, content-addressed store of local-frame baked assets.
+///
+/// ```
+/// use nerflex_bake::{BakeCache, BakeConfig};
+/// use nerflex_scene::object::CanonicalObject;
+///
+/// let cache = BakeCache::new();
+/// let model = CanonicalObject::Hotdog.build();
+/// let first = cache.get_or_bake(&model, BakeConfig::new(12, 3));
+/// let again = cache.get_or_bake(&model, BakeConfig::new(12, 3));
+/// assert_eq!(first.size_bytes(), again.size_bytes());
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct BakeCache {
+    entries: Mutex<HashMap<(u64, BakeConfig), Arc<BakedAsset>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl BakeCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("cache poisoned").len(),
+        }
+    }
+
+    /// `true` when the (model, config) pair is already baked.
+    pub fn contains(&self, model: &ObjectModel, config: BakeConfig) -> bool {
+        let key = (model_fingerprint(model), config);
+        self.entries.lock().expect("cache poisoned").contains_key(&key)
+    }
+
+    /// Returns the local-frame asset for `(model, config)`, baking and
+    /// storing it on first request.
+    ///
+    /// Concurrent misses on the same key may both bake (the lock is not held
+    /// across the bake, deliberately — bakes are long); the result is
+    /// identical either way because baking is deterministic, and only one
+    /// copy is kept.
+    pub fn get_or_bake(&self, model: &ObjectModel, config: BakeConfig) -> Arc<BakedAsset> {
+        let key = (model_fingerprint(model), config);
+        if let Some(asset) = self.entries.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(asset);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let asset = Arc::new(bake_object(model, config));
+        let mut entries = self.entries.lock().expect("cache poisoned");
+        Arc::clone(entries.entry(key).or_insert(asset))
+    }
+
+    /// Cache-aware replacement for [`crate::asset::bake_placed`]: the
+    /// local-frame asset comes from the cache (baked on first request) and
+    /// the placement and instance id of `object` are stamped on the copy.
+    pub fn get_or_bake_placed(&self, object: &PlacedObject, config: BakeConfig) -> BakedAsset {
+        let shared = self.get_or_bake(&object.model, config);
+        let mut asset = (*shared).clone();
+        asset.object_id = object.id;
+        asset.placement = Placement {
+            translation: object.translation,
+            scale: object.scale,
+            rotation_y: object.rotation_y,
+        };
+        asset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nerflex_scene::object::CanonicalObject;
+    use nerflex_scene::scene::Scene;
+
+    #[test]
+    fn fingerprint_is_stable_across_identical_objects() {
+        // Two independent builds of the same canonical object are separate
+        // allocations with identical content — they must hash equally.
+        let a = CanonicalObject::Lego.build();
+        let b = CanonicalObject::Lego.build();
+        assert_eq!(model_fingerprint(&a), model_fingerprint(&b));
+        // And repeated hashing of the same model is stable.
+        assert_eq!(model_fingerprint(&a), model_fingerprint(&a));
+    }
+
+    #[test]
+    fn fingerprint_separates_different_objects() {
+        let mut seen = std::collections::HashSet::new();
+        for object in CanonicalObject::ALL {
+            assert!(
+                seen.insert(model_fingerprint(&object.build())),
+                "fingerprint collision for {object}"
+            );
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache = BakeCache::new();
+        let hotdog = CanonicalObject::Hotdog.build();
+        let chair = CanonicalObject::Chair.build();
+
+        let _ = cache.get_or_bake(&hotdog, BakeConfig::new(10, 3)); // miss
+        let _ = cache.get_or_bake(&hotdog, BakeConfig::new(10, 3)); // hit
+        let _ = cache.get_or_bake(&hotdog, BakeConfig::new(12, 3)); // miss (new config)
+        let _ = cache.get_or_bake(&chair, BakeConfig::new(10, 3)); // miss (new object)
+        let _ = cache.get_or_bake(&chair, BakeConfig::new(10, 3)); // hit
+
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.entries, 3);
+        assert!((stats.hit_ratio() - 0.4).abs() < 1e-12);
+        assert_eq!(stats.since(&CacheStats { hits: 1, misses: 1, entries: 0 }).hits, 1);
+    }
+
+    #[test]
+    fn identical_instances_share_entries() {
+        // The same canonical object placed twice: one bake serves both.
+        let scene = Scene::with_objects(&[CanonicalObject::Hotdog, CanonicalObject::Hotdog], 5);
+        let cache = BakeCache::new();
+        let a = cache.get_or_bake_placed(&scene.objects()[0], BakeConfig::new(12, 3));
+        let b = cache.get_or_bake_placed(&scene.objects()[1], BakeConfig::new(12, 3));
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 1);
+        // Each copy keeps its own identity and placement…
+        assert_eq!(a.object_id, 0);
+        assert_eq!(b.object_id, 1);
+        assert_eq!(b.placement.translation, scene.objects()[1].translation);
+        // …over the shared local-frame geometry.
+        assert_eq!(a.mesh.quad_count(), b.mesh.quad_count());
+        assert_eq!(a.size_bytes(), b.size_bytes());
+    }
+
+    #[test]
+    fn cached_bake_matches_a_direct_bake() {
+        let scene = Scene::with_objects(&[CanonicalObject::Chair], 9);
+        let object = &scene.objects()[0];
+        let config = BakeConfig::new(14, 5);
+        let cache = BakeCache::new();
+        let cached = cache.get_or_bake_placed(object, config);
+        let direct = crate::asset::bake_placed(object, config);
+        assert_eq!(cached.size_bytes(), direct.size_bytes());
+        assert_eq!(cached.mesh.quad_count(), direct.mesh.quad_count());
+        assert_eq!(cached.placement.translation, direct.placement.translation);
+        assert_eq!(cached.object_id, direct.object_id);
+    }
+}

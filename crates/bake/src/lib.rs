@@ -28,13 +28,16 @@
 
 pub mod asset;
 pub mod atlas;
+pub mod cache;
 pub mod config;
 pub mod mesh;
 pub mod mlp;
+pub mod pool;
 pub mod voxel;
 
 pub use asset::{bake_object, bake_placed, bake_scene, BakedAsset, Placement};
 pub use atlas::TextureAtlas;
+pub use cache::{model_fingerprint, BakeCache, CacheStats};
 pub use config::BakeConfig;
 pub use mesh::QuadMesh;
 pub use mlp::TinyMlp;

@@ -54,7 +54,8 @@ impl QuadMesh {
                 _ => [(x, y, z), (x, y1, z), (x1, y1, z), (x1, y, z)],     // -Z
             }
         };
-        const DIRS: [(i64, i64, i64); 6] = [(1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)];
+        const DIRS: [(i64, i64, i64); 6] =
+            [(1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)];
 
         for z in 0..r {
             for y in 0..r {
@@ -120,10 +121,7 @@ impl QuadMesh {
     /// The centre of quad `q`.
     pub fn quad_center(&self, q: usize) -> Vec3 {
         let quad = &self.quads[q];
-        quad.vertices
-            .iter()
-            .map(|&i| self.positions[i as usize])
-            .fold(Vec3::ZERO, |acc, p| acc + p)
+        quad.vertices.iter().map(|&i| self.positions[i as usize]).fold(Vec3::ZERO, |acc, p| acc + p)
             * 0.25
     }
 
@@ -176,10 +174,7 @@ impl QuadMesh {
         if self.positions.is_empty() {
             return 0.0;
         }
-        self.positions
-            .iter()
-            .map(|&p| sdf.distance(p).abs() as f64)
-            .sum::<f64>()
+        self.positions.iter().map(|&p| sdf.distance(p).abs() as f64).sum::<f64>()
             / self.positions.len() as f64
     }
 }

@@ -53,10 +53,7 @@ impl TinyMlp {
 
     /// Number of scalar parameters.
     pub fn parameter_count(&self) -> usize {
-        self.weights
-            .iter()
-            .map(|layer| layer.iter().map(Vec::len).sum::<usize>())
-            .sum::<usize>()
+        self.weights.iter().map(|layer| layer.iter().map(Vec::len).sum::<usize>()).sum::<usize>()
             + self.biases.iter().map(Vec::len).sum::<usize>()
     }
 
@@ -76,11 +73,7 @@ impl TinyMlp {
 
     /// Forward pass retaining every layer's activations (used by training).
     fn forward_with_activations(&self, input: &[f32]) -> Vec<Vec<f32>> {
-        assert_eq!(
-            input.len(),
-            self.weights[0][0].len(),
-            "input width mismatch"
-        );
+        assert_eq!(input.len(), self.weights[0][0].len(), "input width mismatch");
         let last = self.weights.len() - 1;
         let mut activations = vec![input.to_vec()];
         for (l, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
@@ -109,11 +102,8 @@ impl TinyMlp {
         let output = activations.last().expect("output layer");
         let last = self.weights.len() - 1;
         // Output delta for sigmoid + squared error.
-        let mut delta: Vec<f32> = output
-            .iter()
-            .zip(target)
-            .map(|(o, t)| (o - t) * o * (1.0 - o))
-            .collect();
+        let mut delta: Vec<f32> =
+            output.iter().zip(target).map(|(o, t)| (o - t) * o * (1.0 - o)).collect();
         let loss: f32 = output.iter().zip(target).map(|(o, t)| (o - t) * (o - t)).sum();
         for l in (0..=last).rev() {
             let prev_activation = activations[l].clone();
@@ -149,7 +139,13 @@ impl TinyMlp {
     /// # Panics
     ///
     /// Panics when `inputs` and `targets` differ in length or are empty.
-    pub fn train(&mut self, inputs: &[Vec<f32>], targets: &[Vec<f32>], epochs: usize, lr: f32) -> f32 {
+    pub fn train(
+        &mut self,
+        inputs: &[Vec<f32>],
+        targets: &[Vec<f32>],
+        epochs: usize,
+        lr: f32,
+    ) -> f32 {
         assert!(!inputs.is_empty(), "training set must be non-empty");
         assert_eq!(inputs.len(), targets.len(), "inputs/targets length mismatch");
         let mut last_loss = 0.0;
@@ -185,7 +181,11 @@ impl TinyMlp {
                 }
             }
         }
+        // Two-phase schedule: a coarse pass to find the basin, then a
+        // finer-rate pass to settle — keeps the worst-case shading error
+        // under ~10 % across initialisation seeds.
         mlp.train(&inputs, &targets, 60, 0.05);
+        mlp.train(&inputs, &targets, 120, 0.02);
         mlp
     }
 
@@ -227,9 +227,8 @@ mod tests {
     #[test]
     fn training_reduces_loss_on_simple_function() {
         // Learn y = mean(x) on 2 inputs.
-        let inputs: Vec<Vec<f32>> = (0..64)
-            .map(|i| vec![(i % 8) as f32 / 8.0, (i / 8) as f32 / 8.0])
-            .collect();
+        let inputs: Vec<Vec<f32>> =
+            (0..64).map(|i| vec![(i % 8) as f32 / 8.0, (i / 8) as f32 / 8.0]).collect();
         let targets: Vec<Vec<f32>> = inputs.iter().map(|x| vec![(x[0] + x[1]) / 2.0]).collect();
         let mut mlp = TinyMlp::new(&[2, 8, 1], 3);
         let initial: f32 = inputs

@@ -56,12 +56,7 @@ impl VoxelGrid {
                 }
             }
         }
-        Self {
-            resolution,
-            origin: bounds.min,
-            cell_size,
-            occupancy,
-        }
+        Self { resolution, origin: bounds.min, cell_size, occupancy }
     }
 
     /// Grid resolution per axis.
@@ -120,7 +115,14 @@ impl VoxelGrid {
                     if !self.occupied(x, y, z) {
                         continue;
                     }
-                    for (dx, dy, dz) in [(1i64, 0i64, 0i64), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)] {
+                    for (dx, dy, dz) in [
+                        (1i64, 0i64, 0i64),
+                        (-1, 0, 0),
+                        (0, 1, 0),
+                        (0, -1, 0),
+                        (0, 0, 1),
+                        (0, 0, -1),
+                    ] {
                         if !self.occupied(x + dx, y + dy, z + dz) {
                             count += 1;
                         }
@@ -168,9 +170,8 @@ mod tests {
         // The measured geometric complexity (boundary faces at a reference
         // granularity) must respect hotdog < chair < lego, the extremes and
         // middle of the paper's ordering.
-        let faces = |o: CanonicalObject| {
-            VoxelGrid::from_sdf(&o.build().sdf, 28).boundary_face_count()
-        };
+        let faces =
+            |o: CanonicalObject| VoxelGrid::from_sdf(&o.build().sdf, 28).boundary_face_count();
         let hotdog = faces(CanonicalObject::Hotdog);
         let chair = faces(CanonicalObject::Chair);
         let lego = faces(CanonicalObject::Lego);

@@ -12,8 +12,8 @@ use nerflex_scene::camera_path::orbit_path;
 use nerflex_scene::dataset::Dataset;
 use nerflex_scene::object::CanonicalObject;
 use nerflex_scene::scene::Scene;
-use nerflex_seg::threshold::{FrequencyStatistic, SegmentationPolicy};
 use nerflex_seg::segment;
+use nerflex_seg::threshold::{FrequencyStatistic, SegmentationPolicy};
 use nerflex_solve::selector::{CandidateConfig, ObjectChoices};
 use nerflex_solve::{ConfigSelector, ConfigSpace, DpSelector, SelectionProblem};
 
@@ -63,7 +63,9 @@ fn bench_segmentation_statistic(c: &mut Criterion) {
     let dataset = Dataset::generate(&scene, 3, 1, 56, 56);
     let mut group = c.benchmark_group("ablation_frequency_statistic");
     group.sample_size(10);
-    for (label, statistic) in [("max", FrequencyStatistic::Maximum), ("mean", FrequencyStatistic::Mean)] {
+    for (label, statistic) in
+        [("max", FrequencyStatistic::Maximum), ("mean", FrequencyStatistic::Mean)]
+    {
         let policy = SegmentationPolicy { statistic, ..SegmentationPolicy::default() };
         group.bench_function(label, |b| b.iter(|| segment(&dataset, &policy)));
     }

@@ -3,6 +3,9 @@
 //! and the DP solver) measured on a fixed training set.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use nerflex_bake::{bake_placed, BakeCache, BakeConfig};
+use nerflex_core::pipeline::{NerflexPipeline, PipelineOptions};
+use nerflex_device::DeviceSpec;
 use nerflex_image::Interpolation;
 use nerflex_profile::model::{ProfileModels, QualityModel, SizeModel};
 use nerflex_scene::dataset::Dataset;
@@ -25,7 +28,9 @@ fn bench_segmentation_stages(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("object_detection", |b| b.iter(|| detect_objects(&dataset)));
     let detections = detect_objects(&dataset);
-    group.bench_function("frequency_analysis", |b| b.iter(|| analyze_objects(&dataset, &detections)));
+    group.bench_function("frequency_analysis", |b| {
+        b.iter(|| analyze_objects(&dataset, &detections))
+    });
     group.bench_function("full_segmentation_module", |b| {
         let policy = SegmentationPolicy::default();
         b.iter(|| segment(&dataset, &policy))
@@ -35,8 +40,7 @@ fn bench_segmentation_stages(c: &mut Criterion) {
     let mask = detections[0].masks[0].clone();
     group.bench_function("crop_and_enlarge_one_view", |b| {
         b.iter(|| {
-            mask.as_ref()
-                .and_then(|m| crop_and_enlarge(&view.image, m, Interpolation::Bilinear))
+            mask.as_ref().and_then(|m| crop_and_enlarge(&view.image, m, Interpolation::Bilinear))
         })
     });
     group.finish();
@@ -80,5 +84,41 @@ fn bench_solver_stage(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_segmentation_stages, bench_solver_stage);
+fn bench_pipeline_engine(c: &mut Criterion) {
+    // The engine effects behind Fig. 9's low overhead: the final-bake cost
+    // with a cold cache versus a warm one (the profiler already probed the
+    // selected configuration), plus one full quick run whose cache-hit count
+    // and parallel speedup are printed alongside the stage timings.
+    let (scene, dataset) = fixture();
+    let config = BakeConfig::new(30, 6);
+    let object = &scene.objects()[0];
+
+    let mut group = c.benchmark_group("pipeline_engine");
+    group.sample_size(10);
+    group.bench_function("final_bake_cold_cache", |b| b.iter(|| bake_placed(object, config)));
+    let warm = BakeCache::new();
+    let _ = warm.get_or_bake_placed(object, config);
+    group.bench_function("final_bake_warm_cache", |b| {
+        b.iter(|| warm.get_or_bake_placed(object, config))
+    });
+    group.finish();
+
+    let deployment = NerflexPipeline::new(PipelineOptions::quick()).run(
+        &scene,
+        &dataset,
+        &DeviceSpec::iphone_13(),
+    );
+    let t = deployment.timings;
+    println!(
+        "quick pipeline run: cache hits {}/{} | profiler workers {} | \
+         parallel speedup {:.2}x | {}",
+        t.cache_hits,
+        t.cache_hits + t.cache_misses,
+        t.profiling_workers,
+        t.profiling_speedup(),
+        t.summary(),
+    );
+}
+
+criterion_group!(benches, bench_segmentation_stages, bench_solver_stage, bench_pipeline_engine);
 criterion_main!(benches);

@@ -20,7 +20,12 @@ fn synthetic_problem(objects: usize, budget_mb: f64, space: &ConfigSpace) -> Sel
             let c = id as f64 / objects.max(1) as f64;
             let models = ProfileModels {
                 size: SizeModel { k: 1.2e-8 * (0.5 + c), a: 2.0, b: 1.0, m: 0.4 },
-                quality: QualityModel { q_inf: 0.88 + 0.08 * c, k: 4.0e4 * (0.4 + 1.6 * c), a: 1.0, b: 0.5 },
+                quality: QualityModel {
+                    q_inf: 0.88 + 0.08 * c,
+                    k: 4.0e4 * (0.4 + 1.6 * c),
+                    a: 1.0,
+                    b: 0.5,
+                },
             };
             let options: Vec<CandidateConfig> = space
                 .configurations()
@@ -31,7 +36,12 @@ fn synthetic_problem(objects: usize, budget_mb: f64, space: &ConfigSpace) -> Sel
                     quality: models.quality.predict(config.grid, config.patch),
                 })
                 .collect();
-            ObjectChoices { object_id: id, name: format!("object-{id}"), options, models: Some(models) }
+            ObjectChoices {
+                object_id: id,
+                name: format!("object-{id}"),
+                options,
+                models: Some(models),
+            }
         })
         .collect();
     SelectionProblem { objects: choices, budget_mb }
@@ -46,12 +56,8 @@ fn bench_selectors(c: &mut Criterion) {
         let selector = DpSelector::default();
         b.iter(|| selector.select(&problem))
     });
-    group.bench_function("fairness", |b| {
-        b.iter(|| FairnessSelector.select(&problem))
-    });
-    group.bench_function("greedy", |b| {
-        b.iter(|| GreedySelector.select(&problem))
-    });
+    group.bench_function("fairness", |b| b.iter(|| FairnessSelector.select(&problem)));
+    group.bench_function("greedy", |b| b.iter(|| GreedySelector.select(&problem)));
     group.bench_function("slsqp", |b| {
         let selector = SlsqpSelector::new(space.clone());
         b.iter(|| selector.select(&problem))

@@ -39,16 +39,14 @@ fn main() {
             vec![16u32, 32, 48, 64, 80, 96, 112, 128],
             vec![5u32, 11, 17, 23, 29, 35, 41, 45],
         ),
-        ExperimentMode::Quick => (
-            7u32,
-            30u32,
-            vec![10u32, 16, 22, 28, 34, 40, 48],
-            vec![3u32, 5, 7, 9, 11],
-        ),
+        ExperimentMode::Quick => {
+            (7u32, 30u32, vec![10u32, 16, 22, 28, 34, 40, 48], vec![3u32, 5, 7, 9, 11])
+        }
     };
 
     // Fig. 3(a)/(b): sweep mesh granularity at fixed patch size.
-    let g_configs: Vec<BakeConfig> = g_values.iter().map(|&g| BakeConfig::new(g, fixed_p)).collect();
+    let g_configs: Vec<BakeConfig> =
+        g_values.iter().map(|&g| BakeConfig::new(g, fixed_p)).collect();
     let g_truth = measure_object(&model, &g_configs, &options.measurement);
     let mut ab = Table::new(
         &format!("Fig. 3(a)+(b): sweep of mesh granularity (patch fixed at {fixed_p})"),
@@ -66,7 +64,8 @@ fn main() {
     println!("{ab}");
 
     // Fig. 3(c)/(d): sweep patch size at fixed mesh granularity.
-    let p_configs: Vec<BakeConfig> = p_values.iter().map(|&p| BakeConfig::new(fixed_g, p)).collect();
+    let p_configs: Vec<BakeConfig> =
+        p_values.iter().map(|&p| BakeConfig::new(fixed_g, p)).collect();
     let p_truth = measure_object(&model, &p_configs, &options.measurement);
     let mut cd = Table::new(
         &format!("Fig. 3(c)+(d): sweep of patch size (granularity fixed at {fixed_g})"),
@@ -129,6 +128,9 @@ fn print_fitted_models(profile: &ObjectProfile) {
     );
     println!(
         "fitted quality model: Q(g,p) = {:.3} − {:.3e}/((g{:+.2})³·(p{:+.2})²)\n",
-        profile.quality_model.q_inf, profile.quality_model.k, profile.quality_model.a, profile.quality_model.b
+        profile.quality_model.q_inf,
+        profile.quality_model.k,
+        profile.quality_model.a,
+        profile.quality_model.b
     );
 }

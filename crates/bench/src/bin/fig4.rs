@@ -27,11 +27,8 @@ fn main() {
     // The high-frequency detail region: the objects with the highest recorded
     // detail frequency (top two), mirroring the paper's zoomed crop.
     let segmentation = nerflex_seg::segment(&dataset, &nerflex_seg::SegmentationPolicy::default());
-    let mut by_freq: Vec<_> = segmentation
-        .records
-        .iter()
-        .map(|r| (r.object_id, r.max_frequency))
-        .collect();
+    let mut by_freq: Vec<_> =
+        segmentation.records.iter().map(|r| (r.object_id, r.max_frequency)).collect();
     by_freq.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     let detail_ids: Vec<usize> = by_freq.iter().take(2).map(|(id, _)| *id).collect();
     println!("high-frequency detail region = objects {detail_ids:?}\n");
@@ -39,7 +36,8 @@ fn main() {
     let single = bake_single_nerf(&built.scene, baseline_config);
     let block = bake_block_nerf(&built.scene, baseline_config);
     let (iphone, _) = mode.devices(&single, &block);
-    let deployment = NerflexPipeline::new(mode.pipeline_options()).run(&built.scene, &dataset, &iphone);
+    let deployment =
+        NerflexPipeline::new(mode.pipeline_options()).run(&built.scene, &dataset, &iphone);
 
     let mut table = Table::new(
         &format!("Fig. 4 (memory constraint {:.0} MB)", iphone.recommended_budget_mb),
@@ -56,7 +54,13 @@ fn main() {
     for method in [BaselineMethod::MipNerf360, BaselineMethod::Ngp] {
         let mut total = 0.0;
         for view in &dataset.test {
-            let img = nerflex_core::baselines::render_reference(&built.scene, method, &view.pose, dataset.width, dataset.height);
+            let img = nerflex_core::baselines::render_reference(
+                &built.scene,
+                method,
+                &view.pose,
+                dataset.width,
+                dataset.height,
+            );
             let mut mask = nerflex_image::Mask::new(dataset.width, dataset.height);
             for &id in &detail_ids {
                 mask = mask.union(&view.object_mask(id));

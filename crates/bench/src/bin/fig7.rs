@@ -33,8 +33,10 @@ fn main() {
         ("SLSQP", Box::new(SlsqpSelector::new(mode.config_space()))),
     ];
 
-    let mut iphone_table = Table::new("Fig. 7(a): SSIM on iPhone 13", &["scene", "Ours", "Fairness", "SLSQP"]);
-    let mut pixel_table = Table::new("Fig. 7(b): SSIM on Pixel 4", &["scene", "Ours", "Fairness", "SLSQP"]);
+    let mut iphone_table =
+        Table::new("Fig. 7(a): SSIM on iPhone 13", &["scene", "Ours", "Fairness", "SLSQP"]);
+    let mut pixel_table =
+        Table::new("Fig. 7(b): SSIM on Pixel 4", &["scene", "Ours", "Fairness", "SLSQP"]);
 
     for kind in EvaluationScene::SIMULATED {
         let built = kind.build(seed);
@@ -54,8 +56,11 @@ fn main() {
             .collect();
 
         for (device, table) in [(&iphone, &mut iphone_table), (&pixel, &mut pixel_table)] {
-            let problem =
-                SelectionProblem::from_profiles(&profiles, &mode.config_space(), device.recommended_budget_mb);
+            let problem = SelectionProblem::from_profiles(
+                &profiles,
+                &mode.config_space(),
+                device.recommended_budget_mb,
+            );
             let mut row = vec![kind.name().to_string()];
             for (_, selector) in &selectors {
                 let outcome = selector.select(&problem);

@@ -14,7 +14,9 @@ use nerflex_core::experiments::EvaluationScene;
 use nerflex_core::report::{fmt_f64, Table};
 use nerflex_profile::build_profile;
 use nerflex_scene::object::CanonicalObject;
-use nerflex_solve::{ConfigSelector, DpSelector, FairnessSelector, SelectionProblem, SlsqpSelector};
+use nerflex_solve::{
+    ConfigSelector, DpSelector, FairnessSelector, SelectionProblem, SlsqpSelector,
+};
 
 fn main() {
     let mode = ExperimentMode::from_args();
@@ -46,7 +48,8 @@ fn main() {
 
     // Column order follows the paper: ascending geometric complexity.
     let object_order: Vec<&str> = CanonicalObject::ALL.iter().map(|o| o.name()).collect();
-    let header: Vec<&str> = std::iter::once("selector").chain(object_order.iter().copied()).collect();
+    let header: Vec<&str> =
+        std::iter::once("selector").chain(object_order.iter().copied()).collect();
     let id_of = |name: &str| {
         built
             .scene
@@ -58,9 +61,13 @@ fn main() {
     };
 
     for (device_label, device) in [("iPhone", &iphone), ("Pixel", &pixel)] {
-        let problem =
-            SelectionProblem::from_profiles(&profiles, &mode.config_space(), device.recommended_budget_mb);
-        let mut quality_table = Table::new(&format!("Fig. 8(a): per-object SSIM on {device_label}"), &header);
+        let problem = SelectionProblem::from_profiles(
+            &profiles,
+            &mode.config_space(),
+            device.recommended_budget_mb,
+        );
+        let mut quality_table =
+            Table::new(&format!("Fig. 8(a): per-object SSIM on {device_label}"), &header);
         let mut alloc_table = Table::new(
             &format!("Fig. 8(b): per-object memory allocation (MB) on {device_label}"),
             &header,

@@ -23,14 +23,18 @@ fn main() {
     let single = bake_single_nerf(&built.scene, mode.baseline_config());
     let block = bake_block_nerf(&built.scene, mode.baseline_config());
     let (iphone, _) = mode.devices(&single, &block);
-    let deployment = NerflexPipeline::new(mode.pipeline_options()).run(&built.scene, &dataset, &iphone);
+    let deployment =
+        NerflexPipeline::new(mode.pipeline_options()).run(&built.scene, &dataset, &iphone);
 
     let mip = evaluate_reference(BaselineMethod::MipNerf360, &built.scene, &dataset);
     let ngp = evaluate_reference(BaselineMethod::Ngp, &built.scene, &dataset);
     let mobile = evaluate_baseline(&single, &built.scene, &dataset, &iphone, 50, seed);
     let nerflex = evaluate_deployment(&deployment, &built.scene, &dataset, 50, seed);
 
-    let mut table = Table::new("Table I (LPIPS* is the perceptual proxy; lower is better)", &["method", "PSNR ↑", "SSIM ↑", "LPIPS* ↓"]);
+    let mut table = Table::new(
+        "Table I (LPIPS* is the perceptual proxy; lower is better)",
+        &["method", "PSNR ↑", "SSIM ↑", "LPIPS* ↓"],
+    );
     for eval in [&mip, &ngp, &mobile, &nerflex] {
         table.push_row(vec![
             eval.method.clone(),

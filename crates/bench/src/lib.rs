@@ -119,25 +119,17 @@ impl ExperimentMode {
     /// Block baseline sizes so the loading behaviour (Single fails on the
     /// iPhone, Block fails everywhere, NeRFlex fits) is preserved at the
     /// reduced asset sizes.
-    pub fn devices(&self, single: &BaselineResult, block: &BaselineResult) -> (DeviceSpec, DeviceSpec) {
+    pub fn devices(
+        &self,
+        single: &BaselineResult,
+        block: &BaselineResult,
+    ) -> (DeviceSpec, DeviceSpec) {
         match self {
             ExperimentMode::Full => (DeviceSpec::iphone_13(), DeviceSpec::pixel_4()),
-            ExperimentMode::Quick => {
-                let single_mb = single.workload.data_size_mb;
-                let block_mb = block.workload.data_size_mb;
-                let mut iphone = DeviceSpec::iphone_13();
-                iphone.hard_memory_limit_mb = single_mb * 0.9;
-                iphone.recommended_budget_mb = single_mb * 0.9;
-                iphone.soft_memory_limit_mb = single_mb * 0.9;
-                iphone.fps_drop_per_100k_quads = 0.0;
-                let mut pixel = DeviceSpec::pixel_4();
-                pixel.hard_memory_limit_mb = (single_mb * 1.5).min(block_mb * 0.9).max(single_mb * 1.05);
-                pixel.recommended_budget_mb = single_mb * 0.6;
-                pixel.soft_memory_limit_mb = single_mb * 0.6;
-                pixel.fps_drop_per_mb_over_soft = 15.0 / (single_mb - pixel.soft_memory_limit_mb).max(0.5);
-                pixel.fps_drop_per_100k_quads = 0.0;
-                (iphone, pixel)
-            }
+            ExperimentMode::Quick => DeviceSpec::derived_evaluation_pair(
+                single.workload.data_size_mb,
+                block.workload.data_size_mb,
+            ),
         }
     }
 

@@ -14,7 +14,9 @@
 //!   a method-specific blur/noise operator calibrated so the relative
 //!   ordering of Table I holds (see DESIGN.md, substitution table).
 
-use nerflex_bake::{bake_scene, BakeConfig, BakedAsset, Placement, QuadMesh, TextureAtlas, VoxelGrid};
+use nerflex_bake::{
+    bake_scene, BakeConfig, BakedAsset, Placement, QuadMesh, TextureAtlas, VoxelGrid,
+};
 use nerflex_device::Workload;
 use nerflex_image::{Color, Image};
 use nerflex_math::sampling::hash_u32;
@@ -79,16 +81,15 @@ pub fn bake_single_nerf(scene: &Scene, config: BakeConfig) -> BaselineResult {
     let cell = grid.cell_size().max_component().max(1e-6);
     let cutoff = 0.5 * config.patch as f32 / cell;
     // Texels are sampled from whichever object is nearest to the texel centre.
-    let atlas = TextureAtlas::bake_with(&mesh, config.patch, |pos, normal| {
-        match scene.distance(pos).1 {
+    let atlas =
+        TextureAtlas::bake_with(&mesh, config.patch, |pos, normal| match scene.distance(pos).1 {
             Some(id) => {
                 let obj = scene.object(id).expect("distance returned a valid id");
                 let local = obj.to_local(pos);
                 obj.appearance().albedo_band_limited(local, normal, cutoff)
             }
             None => Color::gray(0.5),
-        }
-    });
+        });
     let asset = BakedAsset {
         name: "single-nerf-scene".to_string(),
         object_id: 0,
@@ -98,10 +99,7 @@ pub fn bake_single_nerf(scene: &Scene, config: BakeConfig) -> BaselineResult {
         mlp: None,
         placement: Placement::default(),
     };
-    let workload = Workload {
-        data_size_mb: asset.size_mb(),
-        total_quads: asset.mesh.quad_count(),
-    };
+    let workload = Workload { data_size_mb: asset.size_mb(), total_quads: asset.mesh.quad_count() };
     BaselineResult { method: BaselineMethod::SingleNerf, assets: vec![asset], workload }
 }
 
@@ -124,7 +122,13 @@ pub fn bake_block_nerf(scene: &Scene, config: BakeConfig) -> BaselineResult {
 /// # Panics
 ///
 /// Panics when called with a mobile method (use the baked assets instead).
-pub fn render_reference(scene: &Scene, method: BaselineMethod, pose: &CameraPose, width: usize, height: usize) -> Image {
+pub fn render_reference(
+    scene: &Scene,
+    method: BaselineMethod,
+    pose: &CameraPose,
+    width: usize,
+    height: usize,
+) -> Image {
     assert!(!method.is_mobile(), "mobile baselines are rendered from their baked assets");
     let (ground_truth, _) = render_view(scene, pose, width, height);
     match method {
@@ -145,7 +149,7 @@ fn degrade(image: &Image, blur_radius: isize, noise_amplitude: f32) -> Image {
         let mut n = 0.0;
         for dy in -blur_radius..=blur_radius {
             for dx in -blur_radius..=blur_radius {
-                acc = acc.add(image.get_clamped(x as isize + dx, y as isize + dy));
+                acc += image.get_clamped(x as isize + dx, y as isize + dy);
                 n += 1.0;
             }
         }
@@ -201,19 +205,24 @@ mod tests {
         // grids beat a shared scene-level grid.
         let scene = test_scene();
         let config = BakeConfig::new(28, 7);
-        let pose = orbit_path(scene.bounding_box().center(), scene.bounding_box().diagonal(), 0.4, 8)[0];
+        let pose =
+            orbit_path(scene.bounding_box().center(), scene.bounding_box().diagonal(), 0.4, 8)[0];
         let (gt, _) = render_view(&scene, &pose, 72, 72);
         let render = |assets: &[BakedAsset]| {
-            nerflex_render::render_assets(assets, &pose, 72, 72, &nerflex_render::RenderOptions::default()).0
+            nerflex_render::render_assets(
+                assets,
+                &pose,
+                72,
+                72,
+                &nerflex_render::RenderOptions::default(),
+            )
+            .0
         };
         let single_img = render(&bake_single_nerf(&scene, config).assets);
         let block_img = render(&bake_block_nerf(&scene, config).assets);
         let ssim_single = metrics::ssim(&gt, &single_img);
         let ssim_block = metrics::ssim(&gt, &block_img);
-        assert!(
-            ssim_block > ssim_single,
-            "block {ssim_block} should beat single {ssim_single}"
-        );
+        assert!(ssim_block > ssim_single, "block {ssim_block} should beat single {ssim_single}");
     }
 
     #[test]
@@ -221,7 +230,8 @@ mod tests {
         // NGP is closer to ground truth than MipNeRF-360 in the paper's
         // Table I; the degradation operators preserve that ordering.
         let scene = test_scene();
-        let pose = orbit_path(scene.bounding_box().center(), scene.bounding_box().diagonal(), 0.4, 8)[2];
+        let pose =
+            orbit_path(scene.bounding_box().center(), scene.bounding_box().diagonal(), 0.4, 8)[2];
         let (gt, _) = render_view(&scene, &pose, 64, 64);
         let ngp = render_reference(&scene, BaselineMethod::Ngp, &pose, 64, 64);
         let mip = render_reference(&scene, BaselineMethod::MipNerf360, &pose, 64, 64);

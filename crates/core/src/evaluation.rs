@@ -44,14 +44,19 @@ impl DeploymentEvaluation {
 
 /// Renders `assets` at every test pose and compares with ground truth,
 /// returning `(ssim, psnr, lpips)` means.
-pub fn quality_against_dataset(assets: &[BakedAsset], scene: &Scene, dataset: &Dataset) -> (f64, f64, f64) {
+pub fn quality_against_dataset(
+    assets: &[BakedAsset],
+    scene: &Scene,
+    dataset: &Dataset,
+) -> (f64, f64, f64) {
     let poses: Vec<CameraPose> = dataset.test.iter().map(|v| v.pose).collect();
     assert!(!poses.is_empty(), "dataset has no test views");
     let mut ssim = 0.0;
     let mut psnr = 0.0;
     let mut lpips = 0.0;
     for (pose, view) in poses.iter().zip(&dataset.test) {
-        let (img, _) = render_assets(assets, pose, dataset.width, dataset.height, &RenderOptions::default());
+        let (img, _) =
+            render_assets(assets, pose, dataset.width, dataset.height, &RenderOptions::default());
         ssim += metrics::ssim(&view.image, &img);
         psnr += metrics::psnr(&view.image, &img).min(99.0);
         lpips += lpips_proxy(&view.image, &img);
@@ -68,7 +73,13 @@ pub fn masked_quality(assets: &[BakedAsset], dataset: &Dataset, object_ids: &[us
     assert!(!dataset.test.is_empty(), "dataset has no test views");
     let mut total = 0.0;
     for view in &dataset.test {
-        let (img, _) = render_assets(assets, &view.pose, dataset.width, dataset.height, &RenderOptions::default());
+        let (img, _) = render_assets(
+            assets,
+            &view.pose,
+            dataset.width,
+            dataset.height,
+            &RenderOptions::default(),
+        );
         let mut mask = Mask::new(dataset.width, dataset.height);
         for &id in object_ids {
             mask = mask.union(&view.object_mask(id));
@@ -133,7 +144,13 @@ pub fn evaluate_reference(
     let mut psnr = 0.0;
     let mut lpips = 0.0;
     for view in &dataset.test {
-        let img = crate::baselines::render_reference(scene, method, &view.pose, dataset.width, dataset.height);
+        let img = crate::baselines::render_reference(
+            scene,
+            method,
+            &view.pose,
+            dataset.width,
+            dataset.height,
+        );
         ssim += metrics::ssim(&view.image, &img);
         psnr += metrics::psnr(&view.image, &img).min(99.0);
         lpips += lpips_proxy(&view.image, &img);
@@ -161,7 +178,11 @@ fn seed_for_reference() -> u64 {
 
 /// Per-object quality of a deployment (Fig. 8a): SSIM restricted to each
 /// object's mask, returned as `(object_id, name, ssim)` in scene order.
-pub fn per_object_quality(deployment: &NerflexDeployment, dataset: &Dataset, scene: &Scene) -> Vec<(usize, String, f64)> {
+pub fn per_object_quality(
+    deployment: &NerflexDeployment,
+    dataset: &Dataset,
+    scene: &Scene,
+) -> Vec<(usize, String, f64)> {
     scene
         .objects()
         .iter()
@@ -174,7 +195,11 @@ pub fn per_object_quality(deployment: &NerflexDeployment, dataset: &Dataset, sce
 
 /// Ground-truth render of a dataset pose (convenience for examples that want
 /// to dump comparison images).
-pub fn ground_truth_image(scene: &Scene, pose: &CameraPose, resolution: usize) -> nerflex_image::Image {
+pub fn ground_truth_image(
+    scene: &Scene,
+    pose: &CameraPose,
+    resolution: usize,
+) -> nerflex_image::Image {
     render_view(scene, pose, resolution, resolution).0
 }
 
@@ -195,7 +220,11 @@ mod tests {
     #[test]
     fn nerflex_evaluation_is_complete_and_loads_on_device() {
         let (scene, dataset) = scene_and_dataset();
-        let deployment = NerflexPipeline::new(PipelineOptions::quick()).run(&scene, &dataset, &DeviceSpec::iphone_13());
+        let deployment = NerflexPipeline::new(PipelineOptions::quick()).run(
+            &scene,
+            &dataset,
+            &DeviceSpec::iphone_13(),
+        );
         let eval = evaluate_deployment(&deployment, &scene, &dataset, 200, 3);
         assert_eq!(eval.method, "NeRFlex");
         assert!(eval.renders(), "NeRFlex must fit the device budget");
@@ -242,7 +271,11 @@ mod tests {
     #[test]
     fn per_object_quality_covers_every_object() {
         let (scene, dataset) = scene_and_dataset();
-        let deployment = NerflexPipeline::new(PipelineOptions::quick()).run(&scene, &dataset, &DeviceSpec::iphone_13());
+        let deployment = NerflexPipeline::new(PipelineOptions::quick()).run(
+            &scene,
+            &dataset,
+            &DeviceSpec::iphone_13(),
+        );
         let per_object = per_object_quality(&deployment, &dataset, &scene);
         assert_eq!(per_object.len(), 2);
         for (_, name, ssim) in &per_object {

@@ -59,7 +59,9 @@ impl EvaluationScene {
         let objects: Vec<ObjectModel> = match self {
             // Lowest complexity: the two simplest canonical objects plus
             // rescaled variants of them (five objects total).
-            EvaluationScene::Scene1 => variants(&[CanonicalObject::Hotdog, CanonicalObject::Ficus], 5),
+            EvaluationScene::Scene1 => {
+                variants(&[CanonicalObject::Hotdog, CanonicalObject::Ficus], 5)
+            }
             // Highest complexity: ship and lego plus variants.
             EvaluationScene::Scene2 => variants(&[CanonicalObject::Ship, CanonicalObject::Lego], 5),
             // Random five-object selection (with replacement) from the catalogue.
@@ -75,7 +77,8 @@ impl EvaluationScene {
             // Real-world-like: all five objects, tighter packing, plus a
             // ground slab and a backdrop wall so there are few empty pixels.
             EvaluationScene::RealWorld => {
-                let mut models: Vec<ObjectModel> = CanonicalObject::ALL.iter().map(|o| o.build()).collect();
+                let mut models: Vec<ObjectModel> =
+                    CanonicalObject::ALL.iter().map(|o| o.build()).collect();
                 models.push(backdrop());
                 models
             }
@@ -128,7 +131,8 @@ fn variants(base: &[CanonicalObject], count: usize) -> Vec<ObjectModel> {
 /// A curved backdrop + ground slab giving the "real-world" scenes their
 /// low empty-pixel ratio.
 fn backdrop() -> ObjectModel {
-    let ground = Sdf::Box { half_extent: Vec3::new(3.2, 0.05, 3.2) }.translated(Vec3::new(0.0, -0.08, 0.0));
+    let ground =
+        Sdf::Box { half_extent: Vec3::new(3.2, 0.05, 3.2) }.translated(Vec3::new(0.0, -0.08, 0.0));
     let wall = Sdf::Box { half_extent: Vec3::new(3.2, 1.4, 0.08) }
         .translated(Vec3::new(0.0, 1.3, -2.8))
         .displaced(0.02, 9.0);
@@ -151,7 +155,8 @@ pub fn scene_complexity(scene: &Scene, reference_grid: u32) -> f64 {
         .objects()
         .iter()
         .map(|o| {
-            nerflex_bake::VoxelGrid::from_sdf(&o.model.sdf, reference_grid).boundary_face_count() as f64
+            nerflex_bake::VoxelGrid::from_sdf(&o.model.sdf, reference_grid).boundary_face_count()
+                as f64
         })
         .sum::<f64>()
         / scene.len().max(1) as f64
@@ -188,7 +193,8 @@ mod tests {
     #[test]
     fn scene4_contains_each_canonical_object_once() {
         let built = EvaluationScene::Scene4.build(11);
-        let names: Vec<&str> = built.scene.objects().iter().map(|o| o.model.name.as_str()).collect();
+        let names: Vec<&str> =
+            built.scene.objects().iter().map(|o| o.model.name.as_str()).collect();
         for obj in CanonicalObject::ALL {
             assert_eq!(names.iter().filter(|n| **n == obj.name()).count(), 1, "{obj}");
         }
@@ -203,7 +209,10 @@ mod tests {
             s.scene.objects().iter().map(|o| o.model.name.clone()).collect()
         };
         assert_eq!(names(&a), names(&b));
-        assert!(names(&a) != names(&c) || a.scene.objects()[0].rotation_y != c.scene.objects()[0].rotation_y);
+        assert!(
+            names(&a) != names(&c)
+                || a.scene.objects()[0].rotation_y != c.scene.objects()[0].rotation_y
+        );
     }
 
     #[test]

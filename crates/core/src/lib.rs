@@ -7,6 +7,15 @@
 //! references), the evaluation harness that measures quality, size and FPS,
 //! and the scene constructions used by every experiment in the paper.
 //!
+//! The pipeline is a staged, parallel, cache-aware **execution engine**
+//! (see [`pipeline`]): profiling and baking fan out over a worker pool, all
+//! bakes flow through a shared content-addressed
+//! [`BakeCache`](nerflex_bake::BakeCache) so a configuration the profiler
+//! probed is never re-baked, and
+//! [`NerflexPipeline::deploy_fleet`](pipeline::NerflexPipeline::deploy_fleet)
+//! amortises segmentation and profiling across a whole fleet of devices —
+//! only selection and incremental baking run per device budget.
+//!
 //! ```no_run
 //! use nerflex_core::experiments::EvaluationScene;
 //! use nerflex_core::pipeline::{NerflexPipeline, PipelineOptions};
@@ -30,4 +39,7 @@ pub mod report;
 
 pub use baselines::{BaselineMethod, BaselineResult};
 pub use evaluation::{evaluate_deployment, DeploymentEvaluation};
-pub use pipeline::{NerflexDeployment, NerflexPipeline, PipelineOptions, StageTimings};
+pub use pipeline::{
+    FleetDeployment, FleetStageRuns, NerflexDeployment, NerflexPipeline, PipelineOptions,
+    StageTimings,
+};

@@ -1,4 +1,5 @@
-//! The end-to-end NeRFlex pipeline.
+//! The end-to-end NeRFlex pipeline: a staged, parallel, cache-aware
+//! execution engine.
 //!
 //! Cloud side (Fig. 1): the training images flow through the segmentation
 //! module, a lightweight profile is fitted per sub-scene, the DP selector
@@ -6,11 +7,27 @@
 //! sub-scenes are baked in parallel. The resulting multi-modal data plus the
 //! device model form a deployment whose quality, size and smoothness the
 //! evaluation harness measures.
+//!
+//! Three engine properties keep the cloud-side preparation cheap (the
+//! paper's Fig. 9 overhead story):
+//!
+//! * **Stage parallelism** — profiling and baking fan out over a worker pool
+//!   (one worker per core by default, [`PipelineOptions::worker_threads`]
+//!   overrides; `1` reproduces the sequential path bit-for-bit).
+//! * **Bake caching** — every sample bake the profiler pays for lands in a
+//!   shared [`BakeCache`], and the final baking stage consults it first: a
+//!   selected configuration that was already probed is never re-baked.
+//!   [`StageTimings`] reports the hit/miss counters.
+//! * **Fleet amortisation** — [`NerflexPipeline::deploy_fleet`] prepares one
+//!   scene for many devices: segmentation and profiling run exactly once,
+//!   and only selection plus incremental baking run per device budget, with
+//!   all bakes shared through one cache.
 
 use crate::report::format_duration;
-use nerflex_bake::{bake_placed, BakeConfig, BakedAsset};
+use nerflex_bake::pool::parallel_map;
+use nerflex_bake::{BakeCache, BakeConfig, BakedAsset, CacheStats};
 use nerflex_device::{DeviceSpec, Workload};
-use nerflex_profile::{build_profile, ObjectProfile, ProfilerOptions};
+use nerflex_profile::{build_profile_cached, ObjectProfile, ProfilerOptions};
 use nerflex_scene::dataset::Dataset;
 use nerflex_scene::scene::Scene;
 use nerflex_seg::{segment, SegmentationPolicy, SegmentationResult};
@@ -32,6 +49,10 @@ pub struct PipelineOptions {
     /// Override for the memory budget in MB; `None` uses the device's
     /// recommended budget (240 MB iPhone / 150 MB Pixel).
     pub budget_override_mb: Option<f64>,
+    /// Worker threads for the parallel stages (profiling, baking): `0` uses
+    /// one worker per available core; `1` forces the sequential path (useful
+    /// for determinism comparisons and single-core environments).
+    pub worker_threads: usize,
 }
 
 impl std::fmt::Debug for PipelineOptions {
@@ -41,6 +62,7 @@ impl std::fmt::Debug for PipelineOptions {
             .field("space", &self.space)
             .field("selector", &self.selector.name())
             .field("budget_override_mb", &self.budget_override_mb)
+            .field("worker_threads", &self.worker_threads)
             .finish()
     }
 }
@@ -53,6 +75,7 @@ impl Default for PipelineOptions {
             space: ConfigSpace::paper_default(),
             selector: Arc::new(DpSelector::default()),
             budget_override_mb: None,
+            worker_threads: 0,
         }
     }
 }
@@ -76,20 +99,40 @@ impl PipelineOptions {
         self.selector = selector;
         self
     }
+
+    /// Sets the worker-thread count for the parallel stages (`0` = one per
+    /// core, `1` = sequential).
+    pub fn with_worker_threads(mut self, workers: usize) -> Self {
+        self.worker_threads = workers;
+        self
+    }
 }
 
 /// Wall-clock duration of each cloud-side stage (the Fig. 9 overhead
-/// breakdown).
+/// breakdown) plus the engine's parallelism and cache effectiveness.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StageTimings {
     /// Detail-based segmentation (detection, frequency analysis, cropping).
     pub segmentation: Duration,
-    /// Lightweight profiling (sample bakes + curve fitting).
+    /// Lightweight profiling (sample bakes + curve fitting), wall clock.
     pub profiling: Duration,
+    /// Sum of the per-object profiling durations — what the sequential seed
+    /// path would have paid. `profiling_serial / profiling` is the parallel
+    /// speedup of the stage.
+    pub profiling_serial: Duration,
     /// Configuration selection (the DP solver).
     pub selection: Duration,
-    /// Multi-NeRF baking of the selected configurations.
+    /// Multi-NeRF baking of the selected configurations, wall clock.
     pub baking: Duration,
+    /// Worker threads used by the profiling stage.
+    pub profiling_workers: usize,
+    /// Worker threads used by the baking stage.
+    pub baking_workers: usize,
+    /// Final-bake requests answered from the shared bake cache (a selected
+    /// configuration that the profiler had already probed).
+    pub cache_hits: usize,
+    /// Final-bake requests that actually had to bake.
+    pub cache_misses: usize,
 }
 
 impl StageTimings {
@@ -99,14 +142,40 @@ impl StageTimings {
         self.segmentation + self.profiling + self.selection
     }
 
+    /// Parallel speedup of the profiling stage (serial-equivalent time over
+    /// wall time; 1.0 when the stage ran on one worker).
+    pub fn profiling_speedup(&self) -> f64 {
+        let wall = self.profiling.as_secs_f64();
+        if wall <= 0.0 {
+            1.0
+        } else {
+            (self.profiling_serial.as_secs_f64() / wall).max(1.0)
+        }
+    }
+
+    /// Share of final bakes served by the cache, in `[0, 1]`.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
     /// Formats the breakdown as a one-line summary.
     pub fn summary(&self) -> String {
         format!(
-            "segmentation {} | profiler {} | solver {} | total overhead {}",
+            "segmentation {} | profiler {} ({} workers, {:.1}x speedup) | solver {} | \
+             total overhead {} | bake cache {}/{} hits",
             format_duration(self.segmentation),
             format_duration(self.profiling),
+            self.profiling_workers.max(1),
+            self.profiling_speedup(),
             format_duration(self.selection),
             format_duration(self.overhead()),
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
         )
     }
 }
@@ -119,10 +188,12 @@ pub struct NerflexDeployment {
     pub device: DeviceSpec,
     /// The memory budget that was enforced (MB).
     pub budget_mb: f64,
-    /// Segmentation output (decision + per-object records).
-    pub segmentation: SegmentationResult,
+    /// Segmentation output (decision + per-object records). Shared, not
+    /// copied, across a fleet's deployments — segmentation runs once.
+    pub segmentation: Arc<SegmentationResult>,
     /// Fitted per-object profiles (index-aligned with the scene objects).
-    pub profiles: Vec<ObjectProfile>,
+    /// Shared, not copied, across a fleet's deployments.
+    pub profiles: Arc<Vec<ObjectProfile>>,
     /// The configuration selection outcome.
     pub selection: SelectionOutcome,
     /// Baked assets, one per scene object.
@@ -146,7 +217,43 @@ impl NerflexDeployment {
     }
 }
 
-/// The NeRFlex cloud-side pipeline.
+/// How many times each stage executed during a fleet deployment. The shared
+/// stages (segmentation, profiling) run once regardless of fleet size; the
+/// per-budget stages run once per device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetStageRuns {
+    /// Segmentation executions.
+    pub segmentation: usize,
+    /// Profiling executions.
+    pub profiling: usize,
+    /// Selection executions (one per device).
+    pub selection: usize,
+    /// Baking executions (one per device, incremental through the cache).
+    pub baking: usize,
+}
+
+/// The output of [`NerflexPipeline::deploy_fleet`]: one deployment per
+/// device, produced from a single segmentation + profiling pass and a shared
+/// bake cache.
+#[derive(Debug, Clone)]
+pub struct FleetDeployment {
+    /// One deployment per requested device, in input order.
+    pub deployments: Vec<NerflexDeployment>,
+    /// How many times each stage ran (segmentation and profiling: once).
+    pub stage_runs: FleetStageRuns,
+    /// Final counters of the bake cache shared across profiling and every
+    /// device's baking stage.
+    pub cache: CacheStats,
+}
+
+impl FleetDeployment {
+    /// The deployment prepared for a given device name.
+    pub fn for_device(&self, name: &str) -> Option<&NerflexDeployment> {
+        self.deployments.iter().find(|d| d.device.name == name)
+    }
+}
+
+/// The NeRFlex cloud-side pipeline engine.
 #[derive(Debug, Clone)]
 pub struct NerflexPipeline {
     options: PipelineOptions,
@@ -163,71 +270,235 @@ impl NerflexPipeline {
         &self.options
     }
 
+    /// Resolved worker count for a stage with `jobs` independent jobs.
+    fn workers_for(&self, jobs: usize) -> usize {
+        let configured = match self.options.worker_threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        };
+        configured.min(jobs.max(1))
+    }
+
+    /// Stage 1: detail-based segmentation.
+    fn stage_segmentation(&self, dataset: &Dataset) -> (SegmentationResult, Duration) {
+        let t = Instant::now();
+        let segmentation = segment(dataset, &self.options.segmentation);
+        (segmentation, t.elapsed())
+    }
+
+    /// Stage 2: lightweight profiling, one profile per scene object, fanned
+    /// out over the worker pool. Sample bakes land in `cache`. Returns the
+    /// profiles, the wall time, the serial-equivalent time (sum of per-object
+    /// durations) and the worker count used.
+    fn stage_profiling(
+        &self,
+        scene: &Scene,
+        cache: &BakeCache,
+    ) -> (Vec<ObjectProfile>, Duration, Duration, usize) {
+        let t = Instant::now();
+        let workers = self.workers_for(scene.len());
+        let profiled = parallel_map(scene.len(), workers, |idx| {
+            let object = &scene.objects()[idx];
+            let t_obj = Instant::now();
+            let profile =
+                build_profile_cached(&object.model, object.id, &self.options.profiler, Some(cache));
+            (profile, t_obj.elapsed())
+        });
+        let serial = profiled.iter().map(|(_, d)| *d).sum();
+        let profiles = profiled.into_iter().map(|(p, _)| p).collect();
+        (profiles, t.elapsed(), serial, workers)
+    }
+
+    /// Stage 3: configuration selection under the device budget.
+    fn stage_selection(
+        &self,
+        profiles: &[ObjectProfile],
+        budget_mb: f64,
+    ) -> (SelectionOutcome, Duration) {
+        let t = Instant::now();
+        let problem = SelectionProblem::from_profiles(profiles, &self.options.space, budget_mb);
+        let selection = self.options.selector.select(&problem);
+        (selection, t.elapsed())
+    }
+
+    /// Stage 4: bake every object with its selected configuration, through
+    /// the shared cache (a configuration the profiler already probed is a
+    /// hit, not a re-bake). Returns the assets, the wall time, the stage's
+    /// cache delta and the worker count used.
+    fn stage_baking(
+        &self,
+        scene: &Scene,
+        selection: &SelectionOutcome,
+        cache: &BakeCache,
+    ) -> (Vec<BakedAsset>, Duration, CacheStats, usize) {
+        let t = Instant::now();
+        let before = cache.stats();
+        let workers = self.workers_for(scene.len());
+        let assets = parallel_map(scene.len(), workers, |idx| {
+            let object = &scene.objects()[idx];
+            // Bake exactly what the selector chose: clamping a selected
+            // configuration would silently diverge from the prediction the
+            // budget check was made against. Only the fallback (an object
+            // the selector skipped) is clamped into range.
+            let config = selection
+                .assignment_for(object.id)
+                .map(|a| a.config)
+                .unwrap_or(BakeConfig::MOBILENERF_DEFAULT.clamped());
+            cache.get_or_bake_placed(object, config)
+        });
+        let delta = cache.stats().since(&before);
+        (assets, t.elapsed(), delta, workers)
+    }
+
     /// Runs segmentation → profiling → selection → baking for one scene and
-    /// device, returning the deployment.
+    /// device, returning the deployment. All four stages share one
+    /// [`BakeCache`] created for the run; use
+    /// [`NerflexPipeline::run_with_cache`] to share bakes across runs and
+    /// [`NerflexPipeline::deploy_fleet`] to amortise the shared stages over
+    /// many devices.
     ///
     /// # Panics
     ///
     /// Panics when the scene or dataset is empty.
     pub fn run(&self, scene: &Scene, dataset: &Dataset, device: &DeviceSpec) -> NerflexDeployment {
+        self.run_with_cache(scene, dataset, device, &BakeCache::new())
+    }
+
+    /// [`NerflexPipeline::run`] against a caller-owned [`BakeCache`], so
+    /// sample and final bakes persist across pipeline runs (e.g. re-deploying
+    /// after a budget change re-bakes nothing that was already baked).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scene or dataset is empty.
+    pub fn run_with_cache(
+        &self,
+        scene: &Scene,
+        dataset: &Dataset,
+        device: &DeviceSpec,
+        cache: &BakeCache,
+    ) -> NerflexDeployment {
         assert!(!scene.is_empty(), "cannot deploy an empty scene");
         assert!(!dataset.train.is_empty(), "need training views");
-        let budget_mb = self
-            .options
-            .budget_override_mb
-            .unwrap_or(device.recommended_budget_mb);
 
-        // Stage 1: detail-based segmentation.
-        let t0 = Instant::now();
-        let segmentation = segment(dataset, &self.options.segmentation);
-        let segmentation_time = t0.elapsed();
+        let (segmentation, segmentation_time) = self.stage_segmentation(dataset);
+        let (profiles, profiling_time, profiling_serial, profiling_workers) =
+            self.stage_profiling(scene, cache);
+        self.deploy_budget(
+            scene,
+            device,
+            &Arc::new(segmentation),
+            &Arc::new(profiles),
+            cache,
+            SharedStages {
+                segmentation: segmentation_time,
+                profiling: profiling_time,
+                profiling_serial,
+                profiling_workers,
+            },
+        )
+    }
 
-        // Stage 2: lightweight profiling, one profile per scene object.
-        let t1 = Instant::now();
-        let profiles: Vec<ObjectProfile> = scene
-            .objects()
+    /// Prepares one scene for a whole fleet of devices, amortising the
+    /// device-independent work: segmentation and profiling run **exactly
+    /// once**, their outputs are shared, and every device then pays only for
+    /// selection under its own budget plus incremental baking through the
+    /// shared cache (an asset baked for one device — or probed by the
+    /// profiler — is reused by every other device that selects it).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scene, dataset or device list is empty.
+    pub fn deploy_fleet(
+        &self,
+        scene: &Scene,
+        dataset: &Dataset,
+        devices: &[DeviceSpec],
+    ) -> FleetDeployment {
+        assert!(!scene.is_empty(), "cannot deploy an empty scene");
+        assert!(!dataset.train.is_empty(), "need training views");
+        assert!(!devices.is_empty(), "need at least one device");
+
+        let cache = BakeCache::new();
+        let (segmentation, segmentation_time) = self.stage_segmentation(dataset);
+        let (profiles, profiling_time, profiling_serial, profiling_workers) =
+            self.stage_profiling(scene, &cache);
+        let shared = SharedStages {
+            segmentation: segmentation_time,
+            profiling: profiling_time,
+            profiling_serial,
+            profiling_workers,
+        };
+
+        let segmentation = Arc::new(segmentation);
+        let profiles = Arc::new(profiles);
+        let deployments: Vec<NerflexDeployment> = devices
             .iter()
-            .map(|obj| build_profile(&obj.model, obj.id, &self.options.profiler))
-            .collect();
-        let profiling_time = t1.elapsed();
-
-        // Stage 3: configuration selection under the device budget.
-        let t2 = Instant::now();
-        let problem = SelectionProblem::from_profiles(&profiles, &self.options.space, budget_mb);
-        let selection = self.options.selector.select(&problem);
-        let selection_time = t2.elapsed();
-
-        // Stage 4: bake every object with its selected configuration.
-        let t3 = Instant::now();
-        let assets: Vec<BakedAsset> = scene
-            .objects()
-            .iter()
-            .map(|obj| {
-                let config = selection
-                    .assignment_for(obj.id)
-                    .map(|a| a.config)
-                    .unwrap_or(BakeConfig::MOBILENERF_DEFAULT)
-                    .clamped();
-                bake_placed(obj, config)
+            .map(|device| {
+                self.deploy_budget(scene, device, &segmentation, &profiles, &cache, shared)
             })
             .collect();
-        let baking_time = t3.elapsed();
+
+        FleetDeployment {
+            stage_runs: FleetStageRuns {
+                segmentation: 1,
+                profiling: 1,
+                selection: deployments.len(),
+                baking: deployments.len(),
+            },
+            cache: cache.stats(),
+            deployments,
+        }
+    }
+
+    /// The per-budget tail of the pipeline (selection + baking) over shared
+    /// segmentation/profiling outputs. The `Arc`s are cloned by reference
+    /// count only — a fleet's deployments share one copy of the segmentation
+    /// data and the profiles.
+    fn deploy_budget(
+        &self,
+        scene: &Scene,
+        device: &DeviceSpec,
+        segmentation: &Arc<SegmentationResult>,
+        profiles: &Arc<Vec<ObjectProfile>>,
+        cache: &BakeCache,
+        shared: SharedStages,
+    ) -> NerflexDeployment {
+        let budget_mb = self.options.budget_override_mb.unwrap_or(device.recommended_budget_mb);
+        let (selection, selection_time) = self.stage_selection(profiles, budget_mb);
+        let (assets, baking_time, cache_delta, baking_workers) =
+            self.stage_baking(scene, &selection, cache);
 
         NerflexDeployment {
             device: device.clone(),
             budget_mb,
-            segmentation,
-            profiles,
+            segmentation: Arc::clone(segmentation),
+            profiles: Arc::clone(profiles),
             selection,
             assets,
             timings: StageTimings {
-                segmentation: segmentation_time,
-                profiling: profiling_time,
+                segmentation: shared.segmentation,
+                profiling: shared.profiling,
+                profiling_serial: shared.profiling_serial,
                 selection: selection_time,
                 baking: baking_time,
+                profiling_workers: shared.profiling_workers,
+                baking_workers,
+                cache_hits: cache_delta.hits,
+                cache_misses: cache_delta.misses,
             },
         }
     }
+}
+
+/// Timings of the device-independent stages, shared by every deployment a
+/// fleet run produces.
+#[derive(Debug, Clone, Copy)]
+struct SharedStages {
+    segmentation: Duration,
+    profiling: Duration,
+    profiling_serial: Duration,
+    profiling_workers: usize,
 }
 
 impl Default for NerflexPipeline {
@@ -277,6 +548,75 @@ mod tests {
     }
 
     #[test]
+    fn selected_profiled_configurations_hit_the_bake_cache() {
+        // With a generous budget the DP picks the best configuration in the
+        // quick space, (40, 9) — which the quick profiler's variable-step
+        // sampling also probes (g ∈ {10, 30, 40} × p ∈ {3, 6, 9} corners).
+        // The final bake must therefore be answered by the cache.
+        let (scene, dataset) = small_scene_and_dataset();
+        let pipeline = NerflexPipeline::new(PipelineOptions {
+            budget_override_mb: Some(500.0),
+            ..PipelineOptions::quick()
+        });
+        let deployment = pipeline.run(&scene, &dataset, &DeviceSpec::iphone_13());
+        let profiled: Vec<BakeConfig> =
+            deployment.profiles[0].samples.iter().map(|s| s.config).collect();
+        let picked_profiled =
+            deployment.selection.assignments.iter().any(|a| profiled.contains(&a.config));
+        assert!(picked_profiled, "generous budget must select a probed corner");
+        assert!(
+            deployment.timings.cache_hits >= 1,
+            "a profiled selection must be a cache hit: {:?}",
+            deployment.timings
+        );
+        assert_eq!(
+            deployment.timings.cache_hits + deployment.timings.cache_misses,
+            scene.len(),
+            "every object's final bake is exactly one cache lookup"
+        );
+        assert!(deployment.timings.cache_hit_ratio() > 0.0);
+    }
+
+    #[test]
+    fn parallel_engine_matches_the_sequential_path() {
+        // The parallel stages must be pure restructuring: same selection,
+        // same asset sizes as the one-worker (seed-equivalent) path.
+        let (scene, dataset) = small_scene_and_dataset();
+        let device = DeviceSpec::pixel_4();
+        let sequential = NerflexPipeline::new(PipelineOptions::quick().with_worker_threads(1))
+            .run(&scene, &dataset, &device);
+        let parallel = NerflexPipeline::new(PipelineOptions::quick().with_worker_threads(4))
+            .run(&scene, &dataset, &device);
+
+        assert_eq!(sequential.timings.profiling_workers, 1);
+        assert_eq!(parallel.timings.profiling_workers, 2); // capped by object count
+        assert_eq!(sequential.selection.assignments.len(), parallel.selection.assignments.len());
+        for (a, b) in sequential.selection.assignments.iter().zip(&parallel.selection.assignments) {
+            assert_eq!(a.config, b.config, "selection must not depend on parallelism");
+            assert_eq!(a.predicted_size_mb, b.predicted_size_mb);
+        }
+        for (a, b) in sequential.assets.iter().zip(&parallel.assets) {
+            assert_eq!(a.size_bytes(), b.size_bytes(), "asset sizes must match");
+            assert_eq!(a.mesh.quad_count(), b.mesh.quad_count());
+        }
+    }
+
+    #[test]
+    fn run_with_cache_reuses_assets_across_runs() {
+        let (scene, dataset) = small_scene_and_dataset();
+        let device = DeviceSpec::pixel_4();
+        let cache = BakeCache::new();
+        let pipeline = NerflexPipeline::new(PipelineOptions::quick());
+        let first = pipeline.run_with_cache(&scene, &dataset, &device, &cache);
+        let second = pipeline.run_with_cache(&scene, &dataset, &device, &cache);
+        // The second run re-profiles against a warm cache: every sample bake
+        // and every final bake is a hit.
+        assert_eq!(second.timings.cache_misses, 0, "warm cache must re-bake nothing");
+        assert_eq!(second.timings.cache_hits, scene.len());
+        assert_eq!(first.workload().total_quads, second.workload().total_quads);
+    }
+
+    #[test]
     fn budget_override_constrains_the_selection() {
         let (scene, dataset) = small_scene_and_dataset();
         let tight = NerflexPipeline::new(PipelineOptions {
@@ -307,11 +647,50 @@ mod tests {
     }
 
     #[test]
+    fn fleet_deployment_shares_the_expensive_stages() {
+        let (scene, dataset) = small_scene_and_dataset();
+        let devices = [DeviceSpec::iphone_13(), DeviceSpec::pixel_4()];
+        let fleet =
+            NerflexPipeline::new(PipelineOptions::quick()).deploy_fleet(&scene, &dataset, &devices);
+
+        // Segmentation and profiling ran exactly once for the whole fleet;
+        // selection and baking ran once per device.
+        assert_eq!(fleet.stage_runs.segmentation, 1);
+        assert_eq!(fleet.stage_runs.profiling, 1);
+        assert_eq!(fleet.stage_runs.selection, 2);
+        assert_eq!(fleet.stage_runs.baking, 2);
+
+        assert_eq!(fleet.deployments.len(), 2);
+        assert!(fleet.for_device("iPhone 13").is_some());
+        assert!(fleet.for_device("Pixel 4").is_some());
+        for deployment in &fleet.deployments {
+            assert_eq!(deployment.assets.len(), scene.len());
+            assert!(deployment.selection.total_size_mb <= deployment.budget_mb + 1e-6);
+            // Shared-stage timings are identical across the fleet.
+            assert_eq!(deployment.timings.segmentation, fleet.deployments[0].timings.segmentation);
+            assert_eq!(deployment.timings.profiling, fleet.deployments[0].timings.profiling);
+        }
+        // The shared segmentation/profile outputs were handed to every
+        // deployment, not recomputed.
+        assert_eq!(fleet.deployments[0].profiles.len(), fleet.deployments[1].profiles.len());
+        // Both devices funnel their bakes through one cache: the fleet's
+        // total misses stay below two independent runs' bake count.
+        assert!(fleet.cache.hits >= 1, "fleet bakes must share the cache: {:?}", fleet.cache);
+    }
+
+    #[test]
     #[should_panic(expected = "empty scene")]
     fn empty_scene_panics() {
         let scene = Scene::new();
         let other = Scene::with_objects(&[CanonicalObject::Hotdog], 1);
         let dataset = Dataset::generate(&other, 1, 1, 32, 32);
         let _ = NerflexPipeline::default().run(&scene, &dataset, &DeviceSpec::iphone_13());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_fleet_panics() {
+        let (scene, dataset) = small_scene_and_dataset();
+        let _ = NerflexPipeline::new(PipelineOptions::quick()).deploy_fleet(&scene, &dataset, &[]);
     }
 }

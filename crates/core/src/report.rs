@@ -50,16 +50,13 @@ impl Table {
         let mut out = String::new();
         out.push_str(&format!("== {} ==\n", self.title));
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:<w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:<w$}")).collect::<Vec<_>>().join("  ")
         };
         out.push_str(&fmt_row(&self.header, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -100,10 +97,7 @@ pub fn summarize_series(name: &str, values: &[f64], samples: usize) -> String {
     let mean = values.iter().sum::<f64>() / values.len() as f64;
     let step = (values.len() / samples.max(1)).max(1);
     let sampled: Vec<String> = values.iter().step_by(step).map(|v| format!("{v:.1}")).collect();
-    format!(
-        "{name}: mean {mean:.1}  min {min:.1}  max {max:.1}  [{}]",
-        sampled.join(", ")
-    )
+    format!("{name}: mean {mean:.1}  min {min:.1}  max {max:.1}  [{}]", sampled.join(", "))
 }
 
 #[cfg(test)]

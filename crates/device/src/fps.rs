@@ -31,8 +31,8 @@ impl FpsModel {
     /// Steady-state average FPS for a workload that successfully loaded.
     pub fn steady_state_fps(&self, workload: &Workload) -> f64 {
         let spec = &self.spec;
-        let size_penalty =
-            (workload.data_size_mb - spec.soft_memory_limit_mb).max(0.0) * spec.fps_drop_per_mb_over_soft;
+        let size_penalty = (workload.data_size_mb - spec.soft_memory_limit_mb).max(0.0)
+            * spec.fps_drop_per_mb_over_soft;
         let quad_penalty = workload.total_quads as f64 / 100_000.0 * spec.fps_drop_per_100k_quads;
         (spec.base_fps - size_penalty - quad_penalty).max(spec.min_fps)
     }
@@ -64,7 +64,8 @@ impl FpsModel {
                     level.clamp(0.0, self.spec.base_fps * 1.2)
                 } else {
                     // Steady phase: small jitter around the calibrated average.
-                    (steady * rng.gen_range(0.93..1.07)).clamp(self.spec.min_fps * 0.5, self.spec.base_fps * 1.2)
+                    (steady * rng.gen_range(0.93..1.07))
+                        .clamp(self.spec.min_fps * 0.5, self.spec.base_fps * 1.2)
                 }
             })
             .collect()
@@ -108,7 +109,8 @@ mod tests {
         // single NeRF" on the Pixel (Single-NeRF data is ≈250 MB+).
         let pixel = FpsModel::new(DeviceSpec::pixel_4());
         let nerflex = pixel.steady_state_fps(&nerflex_pixel_workload());
-        let single = pixel.steady_state_fps(&Workload { data_size_mb: 260.0, total_quads: 260_000 });
+        let single =
+            pixel.steady_state_fps(&Workload { data_size_mb: 260.0, total_quads: 260_000 });
         let ratio = nerflex / single;
         assert!(ratio > 1.6 && ratio < 3.0, "NeRFlex/Single FPS ratio {ratio}");
     }
@@ -116,8 +118,10 @@ mod tests {
     #[test]
     fn exceeding_soft_limit_costs_about_fifteen_fps_on_pixel() {
         let pixel = FpsModel::new(DeviceSpec::pixel_4());
-        let within = pixel.steady_state_fps(&Workload { data_size_mb: 150.0, total_quads: 100_000 });
-        let beyond = pixel.steady_state_fps(&Workload { data_size_mb: 265.0, total_quads: 100_000 });
+        let within =
+            pixel.steady_state_fps(&Workload { data_size_mb: 150.0, total_quads: 100_000 });
+        let beyond =
+            pixel.steady_state_fps(&Workload { data_size_mb: 265.0, total_quads: 100_000 });
         let drop = within - beyond;
         assert!((drop - 15.0).abs() < 3.0, "FPS drop past the soft limit: {drop}");
     }

@@ -36,7 +36,12 @@ impl SessionReport {
 ///
 /// When loading fails (hard memory ceiling) the report carries an FPS of 0
 /// and an empty trace — matching the paper's "resulting in an FPS of 0".
-pub fn simulate_session(spec: &DeviceSpec, workload: &Workload, frames: usize, seed: u64) -> SessionReport {
+pub fn simulate_session(
+    spec: &DeviceSpec,
+    workload: &Workload,
+    frames: usize,
+    seed: u64,
+) -> SessionReport {
     match spec.try_load(workload) {
         Err(err @ LoadError::OutOfMemory { .. }) => SessionReport {
             device: spec.name.clone(),

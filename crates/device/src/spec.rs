@@ -104,6 +104,31 @@ impl DeviceSpec {
         vec![Self::iphone_13(), Self::pixel_4()]
     }
 
+    /// Reduced-scale evaluation devices whose memory ceilings are re-derived
+    /// from the *measured* Single-NeRF and Block-NeRF baseline sizes (MB),
+    /// preserving the paper's loading story at small asset sizes: Single
+    /// exceeds the iPhone-like ceiling but loads (with a ~15 FPS penalty) on
+    /// the Pixel-like device, Block exceeds both, and NeRFlex fits both
+    /// budgets. Used by the quick-mode experiments, the examples and the
+    /// integration tests — one derivation, so recalibrations apply
+    /// everywhere.
+    pub fn derived_evaluation_pair(single_mb: f64, block_mb: f64) -> (DeviceSpec, DeviceSpec) {
+        let mut iphone = Self::iphone_13();
+        iphone.hard_memory_limit_mb = single_mb * 0.9;
+        iphone.recommended_budget_mb = single_mb * 0.9;
+        iphone.soft_memory_limit_mb = single_mb * 0.9;
+        iphone.fps_drop_per_100k_quads = 0.0;
+        let mut pixel = Self::pixel_4();
+        pixel.hard_memory_limit_mb = (single_mb * 1.5).min(block_mb * 0.9).max(single_mb * 1.05);
+        pixel.recommended_budget_mb = single_mb * 0.6;
+        pixel.soft_memory_limit_mb = single_mb * 0.6;
+        // Calibrate the drop so the Single representation loses roughly 15
+        // FPS on the weaker device.
+        pixel.fps_drop_per_mb_over_soft = 15.0 / (single_mb - pixel.soft_memory_limit_mb).max(0.5);
+        pixel.fps_drop_per_100k_quads = 0.0;
+        (iphone, pixel)
+    }
+
     /// Attempts to load a workload: fails when it exceeds the hard ceiling
     /// (the paper's "local WebGL rendering engine fails to load the data").
     ///
@@ -152,9 +177,7 @@ mod tests {
     fn loading_respects_the_hard_ceiling() {
         let iphone = DeviceSpec::iphone_13();
         assert!(iphone.try_load(&Workload { data_size_mb: 239.0, total_quads: 0 }).is_ok());
-        let err = iphone
-            .try_load(&Workload { data_size_mb: 513.0, total_quads: 0 })
-            .unwrap_err();
+        let err = iphone.try_load(&Workload { data_size_mb: 513.0, total_quads: 0 }).unwrap_err();
         assert!(err.to_string().contains("failed to load"));
         // Pixel tolerates larger loads (more RAM) even though it renders slowly.
         let pixel = DeviceSpec::pixel_4();

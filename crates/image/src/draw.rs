@@ -33,13 +33,11 @@ pub fn fill_circle(image: &mut Image, cx: f32, cy: f32, radius: f32, color: Colo
 /// two colours — a convenient high-frequency test pattern.
 pub fn checkerboard(width: usize, height: usize, cell: usize, a: Color, b: Color) -> Image {
     let cell = cell.max(1);
-    Image::from_fn(width, height, |x, y| {
-        if ((x / cell) + (y / cell)) % 2 == 0 {
-            a
-        } else {
-            b
-        }
-    })
+    Image::from_fn(
+        width,
+        height,
+        |x, y| if ((x / cell) + (y / cell)).is_multiple_of(2) { a } else { b },
+    )
 }
 
 /// Blends `overlay` onto `base` wherever `mask` is set, with opacity `alpha`.

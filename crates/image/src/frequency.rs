@@ -25,11 +25,7 @@ pub fn dct_1d(input: &[f64]) -> Vec<f64> {
         for (i, &x) in input.iter().enumerate() {
             sum += x * ((i as f64 + 0.5) * k as f64 * factor).cos();
         }
-        let scale = if k == 0 {
-            (1.0 / n as f64).sqrt()
-        } else {
-            (2.0 / n as f64).sqrt()
-        };
+        let scale = if k == 0 { (1.0 / n as f64).sqrt() } else { (2.0 / n as f64).sqrt() };
         *out_k = sum * scale;
     }
     out
@@ -143,9 +139,8 @@ pub fn analyze_plane(plane: &[f64], width: usize, height: usize) -> FrequencyPro
     let mut weighted_freq = 0.0f64;
     let mut total_energy = 0.0f64;
     let mut high_energy = 0.0f64;
-    let nyquist = (((width - 1) * (width - 1) + (height - 1) * (height - 1)) as f64)
-        .sqrt()
-        .max(1.0);
+    let nyquist =
+        (((width - 1) * (width - 1) + (height - 1) * (height - 1)) as f64).sqrt().max(1.0);
     for v in 0..height {
         for u in 0..width {
             if u == 0 && v == 0 {

@@ -36,11 +36,7 @@ impl Color {
 
     /// Channel-wise clamp into `[0, 1]`.
     pub fn clamped(self) -> Self {
-        Self::new(
-            self.r.clamp(0.0, 1.0),
-            self.g.clamp(0.0, 1.0),
-            self.b.clamp(0.0, 1.0),
-        )
+        Self::new(self.r.clamp(0.0, 1.0), self.g.clamp(0.0, 1.0), self.b.clamp(0.0, 1.0))
     }
 
     /// Linear interpolation towards `other`.
@@ -57,11 +53,6 @@ impl Color {
         Self::new(self.r * s, self.g * s, self.b * s)
     }
 
-    /// Channel-wise addition.
-    pub fn add(self, other: Self) -> Self {
-        Self::new(self.r + other.r, self.g + other.g, self.b + other.b)
-    }
-
     /// Channel-wise product (modulation).
     pub fn modulate(self, other: Self) -> Self {
         Self::new(self.r * other.r, self.g * other.g, self.b * other.b)
@@ -69,10 +60,22 @@ impl Color {
 
     /// Maximum absolute per-channel difference to `other`.
     pub fn max_channel_diff(self, other: Self) -> f32 {
-        (self.r - other.r)
-            .abs()
-            .max((self.g - other.g).abs())
-            .max((self.b - other.b).abs())
+        (self.r - other.r).abs().max((self.g - other.g).abs()).max((self.b - other.b).abs())
+    }
+}
+
+impl std::ops::Add for Color {
+    type Output = Self;
+
+    /// Channel-wise addition.
+    fn add(self, other: Self) -> Self {
+        Self::new(self.r + other.r, self.g + other.g, self.b + other.b)
+    }
+}
+
+impl std::ops::AddAssign for Color {
+    fn add_assign(&mut self, other: Self) {
+        *self = *self + other;
     }
 }
 
@@ -98,11 +101,7 @@ impl Image {
     /// Panics if either dimension is zero.
     pub fn new(width: usize, height: usize, fill: Color) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be non-zero");
-        Self {
-            width,
-            height,
-            pixels: vec![fill; width * height],
-        }
+        Self { width, height, pixels: vec![fill; width * height] }
     }
 
     /// Creates an image by evaluating `f(x, y)` for every pixel.

@@ -137,7 +137,7 @@ mod tests {
             let mut n = 0.0;
             for dy in -radius..=radius {
                 for dx in -radius..=radius {
-                    acc = acc.add(img.get_clamped(x as isize + dx, y as isize + dy));
+                    acc += img.get_clamped(x as isize + dx, y as isize + dy);
                     n += 1.0;
                 }
             }

@@ -23,11 +23,7 @@ impl Mask {
     /// Panics if either dimension is zero.
     pub fn new(width: usize, height: usize) -> Self {
         assert!(width > 0 && height > 0, "mask dimensions must be non-zero");
-        Self {
-            width,
-            height,
-            bits: vec![false; width * height],
-        }
+        Self { width, height, bits: vec![false; width * height] }
     }
 
     /// Creates a mask by evaluating a predicate per pixel.
@@ -123,12 +119,7 @@ impl Mask {
         Self {
             width: self.width,
             height: self.height,
-            bits: self
-                .bits
-                .iter()
-                .zip(&other.bits)
-                .map(|(&a, &b)| a || b)
-                .collect(),
+            bits: self.bits.iter().zip(&other.bits).map(|(&a, &b)| a || b).collect(),
         }
     }
 
@@ -145,12 +136,7 @@ impl Mask {
         Self {
             width: self.width,
             height: self.height,
-            bits: self
-                .bits
-                .iter()
-                .zip(&other.bits)
-                .map(|(&a, &b)| a && b)
-                .collect(),
+            bits: self.bits.iter().zip(&other.bits).map(|(&a, &b)| a && b).collect(),
         }
     }
 
@@ -239,7 +225,7 @@ mod tests {
 
         #[test]
         fn prop_bbox_contains_all_set_pixels(seed in 0u32..1000) {
-            let m = Mask::from_fn(16, 16, |x, y| (x * 31 + y * 17 + seed as usize) % 7 == 0);
+            let m = Mask::from_fn(16, 16, |x, y| (x * 31 + y * 17 + seed as usize).is_multiple_of(7));
             if let Some((x0, y0, x1, y1)) = m.bounding_box() {
                 for y in 0..16 {
                     for x in 0..16 {

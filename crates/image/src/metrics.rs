@@ -59,10 +59,7 @@ pub fn ssim(a: &Image, b: &Image) -> f64 {
 pub fn ssim_windowed(a: &Image, b: &Image, window: usize, stride: usize) -> f64 {
     assert_dims(a, b);
     assert!(window > 0 && stride > 0, "window and stride must be non-zero");
-    assert!(
-        window <= a.width() && window <= a.height(),
-        "SSIM window larger than image"
-    );
+    assert!(window <= a.width() && window <= a.height(), "SSIM window larger than image");
     const C1: f64 = 0.01 * 0.01;
     const C2: f64 = 0.03 * 0.03;
 
@@ -76,7 +73,8 @@ pub fn ssim_windowed(a: &Image, b: &Image, window: usize, stride: usize) -> f64 
     while y + window <= a.height() {
         let mut x = 0;
         while x + window <= width {
-            let (mut sum_a, mut sum_b, mut sum_aa, mut sum_bb, mut sum_ab) = (0.0, 0.0, 0.0, 0.0, 0.0);
+            let (mut sum_a, mut sum_b, mut sum_aa, mut sum_bb, mut sum_ab) =
+                (0.0, 0.0, 0.0, 0.0, 0.0);
             for wy in 0..window {
                 for wx in 0..window {
                     let va = la[(y + wy) * width + (x + wx)] as f64;
@@ -259,13 +257,7 @@ mod tests {
     fn masked_ssim_targets_degraded_region() {
         let a = test_pattern();
         // Degrade only the right half.
-        let b = Image::from_fn(64, 64, |x, y| {
-            if x >= 32 {
-                Color::gray(0.5)
-            } else {
-                a.get(x, y)
-            }
-        });
+        let b = Image::from_fn(64, 64, |x, y| if x >= 32 { Color::gray(0.5) } else { a.get(x, y) });
         let right = Mask::from_fn(64, 64, |x, _| x >= 32);
         let left = Mask::from_fn(64, 64, |x, _| x < 32);
         assert!(ssim_masked(&a, &b, &right) < ssim_masked(&a, &b, &left));

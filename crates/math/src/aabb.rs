@@ -16,20 +16,14 @@ impl Default for Aabb {
     /// The "empty" box: min = +∞, max = −∞, which is the identity for
     /// [`Aabb::union`] / [`Aabb::expand_point`].
     fn default() -> Self {
-        Self {
-            min: Vec3::splat(f32::INFINITY),
-            max: Vec3::splat(f32::NEG_INFINITY),
-        }
+        Self { min: Vec3::splat(f32::INFINITY), max: Vec3::splat(f32::NEG_INFINITY) }
     }
 }
 
 impl Aabb {
     /// Creates a box from two corners (components are sorted per axis).
     pub fn new(a: Vec3, b: Vec3) -> Self {
-        Self {
-            min: a.min(b),
-            max: a.max(b),
-        }
+        Self { min: a.min(b), max: a.max(b) }
     }
 
     /// The empty box (identity for unions).
@@ -78,10 +72,7 @@ impl Aabb {
 
     /// Smallest box containing both operands.
     pub fn union(&self, other: &Self) -> Self {
-        Self {
-            min: self.min.min(other.min),
-            max: self.max.max(other.max),
-        }
+        Self { min: self.min.min(other.min), max: self.max.max(other.max) }
     }
 
     /// Grows the box to contain `p`.
@@ -92,10 +83,7 @@ impl Aabb {
 
     /// Returns the box grown by `margin` on every side.
     pub fn inflate(&self, margin: f32) -> Self {
-        Self {
-            min: self.min - Vec3::splat(margin),
-            max: self.max + Vec3::splat(margin),
-        }
+        Self { min: self.min - Vec3::splat(margin), max: self.max + Vec3::splat(margin) }
     }
 
     /// Slab-test ray intersection.

@@ -36,11 +36,7 @@ impl Default for Mat4 {
 impl Mat3 {
     /// The identity matrix.
     pub const IDENTITY: Self = Self {
-        cols: [
-            Vec3::new(1.0, 0.0, 0.0),
-            Vec3::new(0.0, 1.0, 0.0),
-            Vec3::new(0.0, 0.0, 1.0),
-        ],
+        cols: [Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 0.0, 1.0)],
     };
 
     /// Builds a matrix from three columns.
@@ -172,11 +168,7 @@ impl Mat4 {
 
     /// The upper-left 3×3 block.
     pub fn to_mat3(&self) -> Mat3 {
-        Mat3::from_cols(
-            self.cols[0].truncate(),
-            self.cols[1].truncate(),
-            self.cols[2].truncate(),
-        )
+        Mat3::from_cols(self.cols[0].truncate(), self.cols[1].truncate(), self.cols[2].truncate())
     }
 
     /// The transpose.
@@ -204,6 +196,9 @@ impl Mat4 {
     }
 
     /// General inverse via Gauss–Jordan elimination, or `None` when singular.
+    // Index-based loops keep the elimination readable next to its textbook
+    // form (iterator rewrites would need split borrows of the pivot row).
+    #[allow(clippy::needless_range_loop)]
     pub fn inverse(&self) -> Option<Self> {
         // Work on a row-major 4x8 augmented matrix for clarity.
         let mut a = [[0.0f64; 8]; 4];

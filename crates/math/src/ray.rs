@@ -17,10 +17,7 @@ pub struct Ray {
 impl Ray {
     /// Creates a ray; `direction` is normalised.
     pub fn new(origin: Vec3, direction: Vec3) -> Self {
-        Self {
-            origin,
-            direction: direction.normalized(),
-        }
+        Self { origin, direction: direction.normalized() }
     }
 
     /// The point at parametric distance `t` along the ray.

@@ -121,11 +121,15 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
 /// partial pivoting. Returns `None` when `A` is singular.
 ///
 /// `a` is row-major and is consumed (it is used as scratch space).
+// Index-based loops keep the elimination readable next to its textbook form
+// (iterator rewrites would need split borrows of the pivot row).
+#[allow(clippy::needless_range_loop)]
 pub fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
     assert!(a.len() == n && a.iter().all(|row| row.len() == n), "matrix shape mismatch");
     for col in 0..n {
-        let pivot_row = (col..n).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
+        let pivot_row =
+            (col..n).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
         if a[pivot_row][col].abs() < 1e-12 {
             return None;
         }
@@ -156,7 +160,11 @@ pub fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<
 /// `jacobian` has one row per residual; `lambda` is an optional
 /// Levenberg–Marquardt damping term (pass `0.0` for plain Gauss–Newton).
 /// Returns `None` when the normal matrix is singular.
-pub fn solve_normal_equations(jacobian: &[Vec<f64>], residuals: &[f64], lambda: f64) -> Option<Vec<f64>> {
+pub fn solve_normal_equations(
+    jacobian: &[Vec<f64>],
+    residuals: &[f64],
+    lambda: f64,
+) -> Option<Vec<f64>> {
     let rows = jacobian.len();
     if rows == 0 || rows != residuals.len() {
         return None;
@@ -185,11 +193,7 @@ pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
     if predicted.is_empty() {
         return 0.0;
     }
-    let sum: f64 = predicted
-        .iter()
-        .zip(actual)
-        .map(|(p, a)| (p - a) * (p - a))
-        .sum();
+    let sum: f64 = predicted.iter().zip(actual).map(|(p, a)| (p - a) * (p - a)).sum();
     (sum / predicted.len() as f64).sqrt()
 }
 

@@ -54,10 +54,7 @@ pub fn perspective(fov_y: f32, aspect: f32, near: f32, far: f32) -> Mat4 {
 /// Maps a clip-space point (after perspective division) to pixel coordinates
 /// in a `width`×`height` viewport with the origin at the top-left corner.
 pub fn ndc_to_viewport(ndc: Vec3, width: usize, height: usize) -> Vec2 {
-    Vec2::new(
-        (ndc.x * 0.5 + 0.5) * width as f32,
-        (1.0 - (ndc.y * 0.5 + 0.5)) * height as f32,
-    )
+    Vec2::new((ndc.x * 0.5 + 0.5) * width as f32, (1.0 - (ndc.y * 0.5 + 0.5)) * height as f32)
 }
 
 /// Spherical coordinates helper: a point on the sphere of radius `r` centred

@@ -66,7 +66,14 @@ pub fn analyze_errors(
 
 /// A uniform grid of held-out configurations (`g_steps × p_steps` pairs) over
 /// the given range, used by the Fig. 3 / error-analysis benchmarks.
-pub fn holdout_grid(g_min: u32, g_max: u32, p_min: u32, p_max: u32, g_steps: u32, p_steps: u32) -> Vec<BakeConfig> {
+pub fn holdout_grid(
+    g_min: u32,
+    g_max: u32,
+    p_min: u32,
+    p_max: u32,
+    g_steps: u32,
+    p_steps: u32,
+) -> Vec<BakeConfig> {
     assert!(g_steps >= 2 && p_steps >= 2, "need at least two steps per axis");
     let mut out = Vec::new();
     for gi in 0..g_steps {

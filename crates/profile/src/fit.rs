@@ -56,10 +56,8 @@ pub fn fit_least_squares(
     let mut best_err = rmse(&params);
     for _ in 0..iterations {
         // Residuals and numerical Jacobian at the current parameters.
-        let residuals: Vec<f64> = observations
-            .iter()
-            .map(|o| o.target - predict(&params, o.g, o.p))
-            .collect();
+        let residuals: Vec<f64> =
+            observations.iter().map(|o| o.target - predict(&params, o.g, o.p)).collect();
         let mut jacobian = Vec::with_capacity(observations.len());
         for o in observations {
             let mut row = Vec::with_capacity(n_params);
@@ -167,7 +165,11 @@ mod tests {
     use super::*;
     use nerflex_bake::BakeConfig;
 
-    fn synthetic_measurements(size: SizeModel, quality: QualityModel, noise: f64) -> Vec<Measurement> {
+    fn synthetic_measurements(
+        size: SizeModel,
+        quality: QualityModel,
+        noise: f64,
+    ) -> Vec<Measurement> {
         let mut out = Vec::new();
         let mut wobble: f64 = 0.37;
         for &g in &[16u32, 48, 128] {

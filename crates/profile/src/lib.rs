@@ -31,7 +31,7 @@ pub mod model;
 pub mod profiler;
 pub mod sampling;
 
-pub use measurement::{measure_object, Measurement};
+pub use measurement::{measure_object, measure_object_cached, Measurement};
 pub use model::{QualityModel, SizeModel, SizeQualityModel};
-pub use profiler::{build_profile, ObjectProfile, ProfilerOptions};
+pub use profiler::{build_profile, build_profile_cached, ObjectProfile, ProfilerOptions};
 pub use sampling::sample_configurations;

@@ -6,7 +6,7 @@
 //! training runs for the sample points; the profiler then fits its
 //! closed-form models to these measurements.
 
-use nerflex_bake::{bake_object, BakeConfig};
+use nerflex_bake::{bake_object, BakeCache, BakeConfig, BakedAsset};
 use nerflex_image::{metrics, Image};
 use nerflex_render::{render_assets, RenderOptions};
 use nerflex_scene::camera_path::{orbit_path, CameraPose};
@@ -63,10 +63,19 @@ impl ObjectGroundTruth {
     pub fn build(model: &ObjectModel, settings: &MeasurementSettings) -> Self {
         let scene = Scene::from_models(vec![model.clone()], 0);
         let bounds = scene.bounding_box();
-        let poses = orbit_path(bounds.center(), (bounds.diagonal() * 1.1).max(1.0), 0.45, settings.views);
+        let poses =
+            orbit_path(bounds.center(), (bounds.diagonal() * 1.1).max(1.0), 0.45, settings.views);
         let images = poses
             .iter()
-            .map(|pose| nerflex_scene::raymarch::render_view(&scene, pose, settings.resolution, settings.resolution).0)
+            .map(|pose| {
+                nerflex_scene::raymarch::render_view(
+                    &scene,
+                    pose,
+                    settings.resolution,
+                    settings.resolution,
+                )
+                .0
+            })
             .collect();
         Self { scene, poses, images, resolution: settings.resolution }
     }
@@ -75,7 +84,20 @@ impl ObjectGroundTruth {
     /// and compares against the cached ground truth.
     pub fn measure(&self, config: BakeConfig) -> Measurement {
         let placed = &self.scene.objects()[0];
-        let asset = nerflex_bake::bake_placed(placed, config);
+        self.score(nerflex_bake::bake_placed(placed, config))
+    }
+
+    /// Like [`ObjectGroundTruth::measure`], but the sample bake goes through
+    /// the shared [`BakeCache`] — so the final baking stage can later reuse
+    /// it, and repeated probes of one configuration are free.
+    pub fn measure_cached(&self, config: BakeConfig, cache: &BakeCache) -> Measurement {
+        let placed = &self.scene.objects()[0];
+        self.score(cache.get_or_bake_placed(placed, config))
+    }
+
+    /// Renders the probe views of a baked asset and scores them against the
+    /// cached ground truth.
+    fn score(&self, asset: BakedAsset) -> Measurement {
         let mut ssim_sum = 0.0;
         for (pose, gt) in self.poses.iter().zip(&self.images) {
             let (img, _) = render_assets(
@@ -88,7 +110,7 @@ impl ObjectGroundTruth {
             ssim_sum += metrics::ssim(gt, &img);
         }
         Measurement {
-            config,
+            config: asset.config,
             size_mb: asset.size_mb(),
             ssim: ssim_sum / self.poses.len() as f64,
             quad_count: asset.mesh.quad_count(),
@@ -105,16 +127,36 @@ pub fn measure_object(
     configs: &[BakeConfig],
     settings: &MeasurementSettings,
 ) -> Vec<Measurement> {
+    measure_object_cached(model, configs, settings, None)
+}
+
+/// Measures every configuration in `configs`, routing sample bakes through
+/// the shared [`BakeCache`] when one is given. This is the profiling path the
+/// pipeline engine uses: every sample bake it pays for becomes available to
+/// the final baking stage.
+pub fn measure_object_cached(
+    model: &ObjectModel,
+    configs: &[BakeConfig],
+    settings: &MeasurementSettings,
+    cache: Option<&BakeCache>,
+) -> Vec<Measurement> {
     let ground_truth = ObjectGroundTruth::build(model, settings);
     configs
         .iter()
-        .map(|&config| ground_truth.measure(config))
+        .map(|&config| match cache {
+            Some(cache) => ground_truth.measure_cached(config, cache),
+            None => ground_truth.measure(config),
+        })
         .collect()
 }
 
 /// Measures a single standalone bake without reusing ground truth (handy for
 /// one-off comparisons in examples and tests).
-pub fn measure_single(model: &ObjectModel, config: BakeConfig, settings: &MeasurementSettings) -> Measurement {
+pub fn measure_single(
+    model: &ObjectModel,
+    config: BakeConfig,
+    settings: &MeasurementSettings,
+) -> Measurement {
     // Standalone size accounting (no placement) sanity-checks the placed bake.
     let standalone_size = bake_object(model, config).size_mb();
     let ground_truth = ObjectGroundTruth::build(model, settings);

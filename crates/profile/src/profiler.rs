@@ -1,28 +1,20 @@
 //! Per-object profiles: sample, measure, fit.
 
 use crate::fit::{fit_quality_model, fit_size_model};
-use crate::measurement::{measure_object, Measurement, MeasurementSettings};
+use crate::measurement::{measure_object_cached, Measurement, MeasurementSettings};
 use crate::model::{ProfileModels, QualityModel, SizeModel, SizeQualityModel};
 use crate::sampling::{sample_configurations, SampleRange};
+use nerflex_bake::BakeCache;
 use nerflex_scene::object::ObjectModel;
 use serde::{Deserialize, Serialize};
 
 /// Options controlling profile construction.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ProfilerOptions {
     /// Configuration-space bounds sampled by the variable-step search.
     pub range: SampleRange,
     /// Probe-view settings for the sample measurements.
     pub measurement: MeasurementSettings,
-}
-
-impl Default for ProfilerOptions {
-    fn default() -> Self {
-        Self {
-            range: SampleRange::default(),
-            measurement: MeasurementSettings::default(),
-        }
-    }
 }
 
 impl ProfilerOptions {
@@ -71,10 +63,7 @@ impl ObjectProfile {
     /// The smallest predicted size over a candidate configuration list —
     /// the `min_{θ∈C} f_s(θ)` term of the feasibility condition (Eq. 3).
     pub fn min_size_over(&self, configs: &[(u32, u32)]) -> f64 {
-        configs
-            .iter()
-            .map(|&(g, p)| self.predict_size(g, p))
-            .fold(f64::INFINITY, f64::min)
+        configs.iter().map(|&(g, p)| self.predict_size(g, p)).fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -94,8 +83,21 @@ pub fn build_profile(
     object_id: usize,
     options: &ProfilerOptions,
 ) -> ObjectProfile {
+    build_profile_cached(model, object_id, options, None)
+}
+
+/// Builds the profile of one object, routing its sample bakes through a
+/// shared [`BakeCache`] when one is given. The pipeline engine always passes
+/// a cache: every configuration the profiler probes is then already baked if
+/// the selector later picks it.
+pub fn build_profile_cached(
+    model: &ObjectModel,
+    object_id: usize,
+    options: &ProfilerOptions,
+    cache: Option<&BakeCache>,
+) -> ObjectProfile {
     let configs = sample_configurations(&options.range);
-    let samples = measure_object(model, &configs, &options.measurement);
+    let samples = measure_object_cached(model, &configs, &options.measurement, cache);
     build_profile_from_measurements(model, object_id, samples)
 }
 
@@ -108,13 +110,7 @@ pub fn build_profile_from_measurements(
 ) -> ObjectProfile {
     let size_model = fit_size_model(&samples);
     let quality_model = fit_quality_model(&samples);
-    ObjectProfile {
-        object_id,
-        name: model.name.clone(),
-        size_model,
-        quality_model,
-        samples,
-    }
+    ObjectProfile { object_id, name: model.name.clone(), size_model, quality_model, samples }
 }
 
 #[cfg(test)]
@@ -148,7 +144,11 @@ mod tests {
                 "size prediction off: {ps} vs {}",
                 sample.size_mb
             );
-            assert!((pq - sample.ssim).abs() < 0.15, "quality prediction off: {pq} vs {}", sample.ssim);
+            assert!(
+                (pq - sample.ssim).abs() < 0.15,
+                "quality prediction off: {pq} vs {}",
+                sample.ssim
+            );
         }
     }
 

@@ -72,9 +72,7 @@ pub fn patch_samples(range: &SampleRange) -> Vec<u32> {
 pub fn sample_configurations(range: &SampleRange) -> Vec<BakeConfig> {
     let gs = grid_samples(range);
     let ps = patch_samples(range);
-    gs.iter()
-        .flat_map(|&g| ps.iter().map(move |&p| BakeConfig::new(g, p)))
-        .collect()
+    gs.iter().flat_map(|&g| ps.iter().map(move |&p| BakeConfig::new(g, p))).collect()
 }
 
 #[cfg(test)]

@@ -29,12 +29,7 @@ impl RasterCamera {
         assert!(width > 0 && height > 0, "viewport must be non-zero");
         let view = look_at(pose.eye, pose.target, pose.up);
         let proj = perspective(pose.fov_y, width as f32 / height as f32, NEAR, FAR);
-        Self {
-            view_proj: proj * view,
-            width,
-            height,
-            eye: pose.eye,
-        }
+        Self { view_proj: proj * view, width, height, eye: pose.eye }
     }
 
     /// Projects a world-space point to clip space (before perspective divide).

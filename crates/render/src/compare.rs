@@ -105,11 +105,8 @@ mod tests {
         let scene = Scene::with_objects(&[CanonicalObject::Chair], 6);
         let poses = &orbit_path(scene.bounding_box().center(), 2.8, 0.4, 6)[0..2];
         let report_for = |g: u32, p: u32| {
-            let assets: Vec<_> = scene
-                .objects()
-                .iter()
-                .map(|o| bake_placed(o, BakeConfig::new(g, p)))
-                .collect();
+            let assets: Vec<_> =
+                scene.objects().iter().map(|o| bake_placed(o, BakeConfig::new(g, p))).collect();
             compare_against_ground_truth(&assets, &scene, poses, 64, 64, &RenderOptions::default())
         };
         let coarse = report_for(10, 3);

@@ -69,11 +69,7 @@ pub fn draw_triangle(
             nerflex_math::transform::ndc_to_viewport(ndc, framebuffer.width(), framebuffer.height())
         })
         .collect();
-    let depth_ndc = [
-        clips[0].z * inv_w[0],
-        clips[1].z * inv_w[1],
-        clips[2].z * inv_w[2],
-    ];
+    let depth_ndc = [clips[0].z * inv_w[0], clips[1].z * inv_w[1], clips[2].z * inv_w[2]];
 
     // Signed area (negative = back-facing in our winding); keep both windings
     // because baked quads are viewed from either side after projection.
@@ -105,7 +101,7 @@ pub fn draw_triangle(
                 continue;
             }
             let depth = w0 * depth_ndc[0] + w1 * depth_ndc[1] + w2 * depth_ndc[2];
-            if depth < -1.0 || depth > 1.0 {
+            if !(-1.0..=1.0).contains(&depth) {
                 continue;
             }
             // Perspective-correct interpolation: weight attributes by 1/w.

@@ -74,8 +74,20 @@ pub fn render_assets(
                     _ => shade(albedo, frag.normal),
                 }
             };
-            draw_triangle(&camera, &mut framebuffer, &[v0, v1, v2], &mut raster_stats, &mut shade_fragment);
-            draw_triangle(&camera, &mut framebuffer, &[v0, v2, v3], &mut raster_stats, &mut shade_fragment);
+            draw_triangle(
+                &camera,
+                &mut framebuffer,
+                &[v0, v1, v2],
+                &mut raster_stats,
+                &mut shade_fragment,
+            );
+            draw_triangle(
+                &camera,
+                &mut framebuffer,
+                &[v0, v2, v3],
+                &mut raster_stats,
+                &mut shade_fragment,
+            );
         }
     }
 
@@ -174,7 +186,8 @@ mod tests {
             48,
             &RenderOptions { use_mlp_shading: false },
         );
-        let (mlp, _) = render_assets(&[asset], &pose, 48, 48, &RenderOptions { use_mlp_shading: true });
+        let (mlp, _) =
+            render_assets(&[asset], &pose, 48, 48, &RenderOptions { use_mlp_shading: true });
         let ssim = metrics::ssim(&analytic, &mlp);
         assert!(ssim > 0.8, "MLP shading diverges from analytic shading: SSIM {ssim}");
     }
@@ -182,11 +195,8 @@ mod tests {
     #[test]
     fn multiple_assets_render_without_interference() {
         let scene = Scene::with_objects(&[CanonicalObject::Hotdog, CanonicalObject::Chair], 4);
-        let assets: Vec<BakedAsset> = scene
-            .objects()
-            .iter()
-            .map(|o| bake_placed(o, BakeConfig::new(14, 3)))
-            .collect();
+        let assets: Vec<BakedAsset> =
+            scene.objects().iter().map(|o| bake_placed(o, BakeConfig::new(14, 3))).collect();
         let pose = CameraPose::new(
             scene.bounding_box().center() + Vec3::new(0.0, 2.5, 5.0),
             scene.bounding_box().center(),

@@ -6,9 +6,9 @@
 //! to the texture patch size `p`, which is exactly the quality/size trade-off
 //! the NeRFlex profiler models.
 
+use nerflex_image::Color;
 use nerflex_math::sampling::{fbm, value_noise};
 use nerflex_math::Vec3;
-use nerflex_image::Color;
 use serde::{Deserialize, Serialize};
 
 /// A procedural appearance: position (+ normal) → albedo colour.
@@ -108,7 +108,7 @@ impl Appearance {
                 ((frequency * (1u32 << (*octaves).min(6)) as f32) / 128.0).min(1.0)
             }
             Appearance::Stripes { frequency, .. } => (frequency / 16.0).min(1.0),
-            Appearance::Studs { frequency, .. } => (frequency / 8.0).min(1.0).max(0.5),
+            Appearance::Studs { frequency, .. } => (frequency / 8.0).clamp(0.5, 1.0),
         }
     }
 
@@ -200,8 +200,18 @@ mod tests {
 
     #[test]
     fn higher_frequency_means_higher_nominal_detail() {
-        let coarse = Appearance::Noise { base: Color::BLACK, accent: Color::WHITE, frequency: 2.0, octaves: 2 };
-        let fine = Appearance::Noise { base: Color::BLACK, accent: Color::WHITE, frequency: 16.0, octaves: 5 };
+        let coarse = Appearance::Noise {
+            base: Color::BLACK,
+            accent: Color::WHITE,
+            frequency: 2.0,
+            octaves: 2,
+        };
+        let fine = Appearance::Noise {
+            base: Color::BLACK,
+            accent: Color::WHITE,
+            frequency: 16.0,
+            octaves: 5,
+        };
         assert!(fine.nominal_detail() > coarse.nominal_detail());
     }
 
@@ -240,11 +250,8 @@ mod tests {
 
     #[test]
     fn studs_respond_to_normal_direction() {
-        let a = Appearance::Studs {
-            base: Color::gray(0.3),
-            highlight: Color::WHITE,
-            frequency: 6.0,
-        };
+        let a =
+            Appearance::Studs { base: Color::gray(0.3), highlight: Color::WHITE, frequency: 6.0 };
         let up = a.albedo(Vec3::new(0.58, 1.0, 0.58), Vec3::Y);
         let side = a.albedo(Vec3::new(0.58, 1.0, 0.58), Vec3::X);
         assert!(up.luminance() >= side.luminance());

@@ -56,11 +56,7 @@ pub fn training_orbits(scene_bounds: &Aabb, views: usize) -> Vec<CameraPose> {
     let center = scene_bounds.center();
     let radius = (scene_bounds.diagonal() * 0.9).max(1.0);
     let low = orbit_path(center, radius, 0.35, views.div_ceil(2));
-    let high = if views / 2 > 0 {
-        orbit_path(center, radius, 0.8, views / 2)
-    } else {
-        Vec::new()
-    };
+    let high = if views / 2 > 0 { orbit_path(center, radius, 0.8, views / 2) } else { Vec::new() };
     let mut all = Vec::with_capacity(views);
     let mut li = low.into_iter();
     let mut hi = high.into_iter();
@@ -146,7 +142,12 @@ mod tests {
         assert_eq!(frames.len(), 150);
         // First and last+1 frame coincide (modulo the full circle).
         let first = frames[0].eye;
-        let wrap = orbit_position(Vec3::ZERO, (unit_box().diagonal() * 0.9).max(1.0), std::f32::consts::TAU, 0.4);
+        let wrap = orbit_position(
+            Vec3::ZERO,
+            (unit_box().diagonal() * 0.9).max(1.0),
+            std::f32::consts::TAU,
+            0.4,
+        );
         assert!((first - wrap).length() < 1e-3);
     }
 

@@ -85,14 +85,9 @@ impl Dataset {
         let radius = (bounds.diagonal() * 0.93).max(1.05);
         let test_poses: Vec<CameraPose> =
             crate::camera_path::orbit_path(bounds.center(), radius, 0.55, test_views);
-        let train = train_poses
-            .into_iter()
-            .map(|p| View::render(scene, p, width, height))
-            .collect();
-        let test = test_poses
-            .into_iter()
-            .map(|p| View::render(scene, p, width, height))
-            .collect();
+        let train =
+            train_poses.into_iter().map(|p| View::render(scene, p, width, height)).collect();
+        let test = test_poses.into_iter().map(|p| View::render(scene, p, width, height)).collect();
         Self { train, test, width, height }
     }
 

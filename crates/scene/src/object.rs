@@ -104,8 +104,10 @@ fn hotdog() -> ObjectModel {
         b: Vec3::new(0.45, 0.22, 0.0),
         radius: 0.12,
     };
-    let bun = Sdf::Ellipsoid { radii: Vec3::new(0.6, 0.18, 0.28) }.translated(Vec3::new(0.0, 0.08, 0.0));
-    let plate = Sdf::Cylinder { half_height: 0.02, radius: 0.75 }.translated(Vec3::new(0.0, -0.06, 0.0));
+    let bun =
+        Sdf::Ellipsoid { radii: Vec3::new(0.6, 0.18, 0.28) }.translated(Vec3::new(0.0, 0.08, 0.0));
+    let plate =
+        Sdf::Cylinder { half_height: 0.02, radius: 0.75 }.translated(Vec3::new(0.0, -0.06, 0.0));
     ObjectModel {
         name: "hotdog".to_string(),
         sdf: sausage.smooth_union(bun, 0.05).union(plate),
@@ -119,12 +121,10 @@ fn hotdog() -> ObjectModel {
 }
 
 fn ficus() -> ObjectModel {
-    let pot = Sdf::Cylinder { half_height: 0.15, radius: 0.22 }.translated(Vec3::new(0.0, 0.15, 0.0));
-    let trunk = Sdf::Capsule {
-        a: Vec3::new(0.0, 0.2, 0.0),
-        b: Vec3::new(0.05, 0.75, 0.02),
-        radius: 0.04,
-    };
+    let pot =
+        Sdf::Cylinder { half_height: 0.15, radius: 0.22 }.translated(Vec3::new(0.0, 0.15, 0.0));
+    let trunk =
+        Sdf::Capsule { a: Vec3::new(0.0, 0.2, 0.0), b: Vec3::new(0.05, 0.75, 0.02), radius: 0.04 };
     // Canopy: three overlapping displaced spheres — foliage carries dense
     // high-frequency appearance detail even though the geometry is simple.
     let canopy = Sdf::Sphere { radius: 0.32 }
@@ -153,29 +153,25 @@ fn ficus() -> ObjectModel {
 }
 
 fn chair() -> ObjectModel {
-    let seat = Sdf::RoundedBox {
-        half_extent: Vec3::new(0.35, 0.035, 0.35),
-        radius: 0.02,
-    }
-    .translated(Vec3::new(0.0, 0.45, 0.0));
-    let back = Sdf::RoundedBox {
-        half_extent: Vec3::new(0.35, 0.4, 0.03),
-        radius: 0.02,
-    }
-    .translated(Vec3::new(0.0, 0.85, -0.32));
+    let seat = Sdf::RoundedBox { half_extent: Vec3::new(0.35, 0.035, 0.35), radius: 0.02 }
+        .translated(Vec3::new(0.0, 0.45, 0.0));
+    let back = Sdf::RoundedBox { half_extent: Vec3::new(0.35, 0.4, 0.03), radius: 0.02 }
+        .translated(Vec3::new(0.0, 0.85, -0.32));
     let mut parts = vec![seat, back];
     for (sx, sz) in [(-1.0f32, -1.0f32), (-1.0, 1.0), (1.0, -1.0), (1.0, 1.0)] {
-        parts.push(
-            Sdf::Box { half_extent: Vec3::new(0.03, 0.225, 0.03) }
-                .translated(Vec3::new(0.3 * sx, 0.225, 0.3 * sz)),
-        );
+        parts.push(Sdf::Box { half_extent: Vec3::new(0.03, 0.225, 0.03) }.translated(Vec3::new(
+            0.3 * sx,
+            0.225,
+            0.3 * sz,
+        )));
     }
     // Backrest slats add mid-frequency geometric detail.
     for i in 0..4 {
-        parts.push(
-            Sdf::Box { half_extent: Vec3::new(0.33, 0.025, 0.015) }
-                .translated(Vec3::new(0.0, 0.6 + 0.15 * i as f32, -0.3)),
-        );
+        parts.push(Sdf::Box { half_extent: Vec3::new(0.33, 0.025, 0.015) }.translated(Vec3::new(
+            0.0,
+            0.6 + 0.15 * i as f32,
+            -0.3,
+        )));
     }
     ObjectModel {
         name: "chair".to_string(),
@@ -190,20 +186,26 @@ fn chair() -> ObjectModel {
 
 fn ship() -> ObjectModel {
     let hull = Sdf::Ellipsoid { radii: Vec3::new(0.75, 0.22, 0.26) }
-        .subtract(Sdf::Ellipsoid { radii: Vec3::new(0.68, 0.18, 0.2) }.translated(Vec3::new(0.0, 0.1, 0.0)))
+        .subtract(
+            Sdf::Ellipsoid { radii: Vec3::new(0.68, 0.18, 0.2) }
+                .translated(Vec3::new(0.0, 0.1, 0.0)),
+        )
         .translated(Vec3::new(0.0, 0.25, 0.0));
-    let keel = Sdf::Box { half_extent: Vec3::new(0.7, 0.04, 0.03) }.translated(Vec3::new(0.0, 0.08, 0.0));
+    let keel =
+        Sdf::Box { half_extent: Vec3::new(0.7, 0.04, 0.03) }.translated(Vec3::new(0.0, 0.08, 0.0));
     let mut parts = vec![hull, keel];
     // Two masts with yards and sails.
     for (x, h) in [(-0.25f32, 0.75f32), (0.2, 0.9)] {
-        parts.push(
-            Sdf::Cylinder { half_height: h / 2.0, radius: 0.025 }
-                .translated(Vec3::new(x, 0.35 + h / 2.0, 0.0)),
-        );
-        parts.push(
-            Sdf::Box { half_extent: Vec3::new(0.02, 0.02, 0.3) }
-                .translated(Vec3::new(x, 0.35 + h * 0.8, 0.0)),
-        );
+        parts.push(Sdf::Cylinder { half_height: h / 2.0, radius: 0.025 }.translated(Vec3::new(
+            x,
+            0.35 + h / 2.0,
+            0.0,
+        )));
+        parts.push(Sdf::Box { half_extent: Vec3::new(0.02, 0.02, 0.3) }.translated(Vec3::new(
+            x,
+            0.35 + h * 0.8,
+            0.0,
+        )));
         parts.push(
             Sdf::Box { half_extent: Vec3::new(0.015, h * 0.3, 0.26) }
                 .displaced(0.012, 25.0)
@@ -253,8 +255,11 @@ fn lego() -> ObjectModel {
                 let sx = at.x - half.x + 0.07 + ix as f32 * 0.14;
                 let sz = at.z - half.z + 0.07 + iz as f32 * 0.14;
                 parts.push(
-                    Sdf::Cylinder { half_height: 0.025, radius: 0.04 }
-                        .translated(Vec3::new(sx, at.y + half.y + 0.025, sz)),
+                    Sdf::Cylinder { half_height: 0.025, radius: 0.04 }.translated(Vec3::new(
+                        sx,
+                        at.y + half.y + 0.025,
+                        sz,
+                    )),
                 );
             }
         }
@@ -288,25 +293,23 @@ pub fn random_object(rng: &mut impl Rng, index: usize) -> ObjectModel {
     let satellites = (complexity * 6.0) as usize;
     for s in 0..satellites {
         let angle = s as f32 / satellites.max(1) as f32 * std::f32::consts::TAU;
-        sdf = sdf.union(
-            Sdf::Sphere { radius: 0.07 }.translated(Vec3::new(
-                0.45 * angle.cos(),
-                0.25 + 0.1 * (s % 3) as f32,
-                0.45 * angle.sin(),
-            )),
-        );
+        sdf = sdf.union(Sdf::Sphere { radius: 0.07 }.translated(Vec3::new(
+            0.45 * angle.cos(),
+            0.25 + 0.1 * (s % 3) as f32,
+            0.45 * angle.sin(),
+        )));
     }
     let appearance = Appearance::Noise {
         base: Color::new(rng.gen_range(0.1..0.9), rng.gen_range(0.1..0.9), rng.gen_range(0.1..0.9)),
-        accent: Color::new(rng.gen_range(0.1..0.9), rng.gen_range(0.1..0.9), rng.gen_range(0.1..0.9)),
+        accent: Color::new(
+            rng.gen_range(0.1..0.9),
+            rng.gen_range(0.1..0.9),
+            rng.gen_range(0.1..0.9),
+        ),
         frequency: 2.0 + complexity * 20.0,
         octaves: 2 + (complexity * 3.0) as u32,
     };
-    ObjectModel {
-        name: format!("random-{index}"),
-        sdf,
-        appearance,
-    }
+    ObjectModel { name: format!("random-{index}"), sdf, appearance }
 }
 
 #[cfg(test)]

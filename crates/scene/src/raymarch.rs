@@ -73,11 +73,7 @@ pub fn trace(scene: &Scene, boxes: &[Aabb], ray: &Ray, max_distance: f32) -> Opt
 
 /// Computes the per-object world bounding boxes used by [`trace`].
 pub fn object_boxes(scene: &Scene) -> Vec<Aabb> {
-    scene
-        .objects()
-        .iter()
-        .map(|o| o.world_bounding_box().inflate(1e-3))
-        .collect()
+    scene.objects().iter().map(|o| o.world_bounding_box().inflate(1e-3)).collect()
 }
 
 /// Generates the primary ray through pixel `(x, y)` of a `width × height`
@@ -100,7 +96,12 @@ pub fn primary_ray(pose: &CameraPose, x: usize, y: usize, width: usize, height: 
 /// # Panics
 ///
 /// Panics if either dimension is zero.
-pub fn render_view(scene: &Scene, pose: &CameraPose, width: usize, height: usize) -> (Image, Vec<Option<usize>>) {
+pub fn render_view(
+    scene: &Scene,
+    pose: &CameraPose,
+    width: usize,
+    height: usize,
+) -> (Image, Vec<Option<usize>>) {
     assert!(width > 0 && height > 0, "render target must be non-zero");
     let boxes = object_boxes(scene);
     let scene_box = scene.bounding_box();

@@ -58,7 +58,8 @@ impl PlacedObject {
         let local = self.to_local(p_world);
         // Normals are rotation-invariant under uniform scale; rotate into local frame.
         let (s, c) = self.rotation_y.sin_cos();
-        let n_local = Vec3::new(c * n_world.x - s * n_world.z, n_world.y, s * n_world.x + c * n_world.z);
+        let n_local =
+            Vec3::new(c * n_world.x - s * n_world.z, n_world.y, s * n_world.x + c * n_world.z);
         self.model.appearance.albedo(local, n_local)
     }
 
@@ -125,7 +126,13 @@ impl Scene {
     }
 
     /// Adds a placed object and returns its instance id.
-    pub fn push(&mut self, model: ObjectModel, translation: Vec3, scale: f32, rotation_y: f32) -> usize {
+    pub fn push(
+        &mut self,
+        model: ObjectModel,
+        translation: Vec3,
+        scale: f32,
+        rotation_y: f32,
+    ) -> usize {
         let id = self.objects.len();
         self.objects.push(PlacedObject { id, model, translation, scale, rotation_y });
         id
@@ -210,9 +217,7 @@ mod tests {
         // Pairwise translation distances exceed a minimum separation.
         for i in 0..5 {
             for j in (i + 1)..5 {
-                let d = scene.objects()[i]
-                    .translation
-                    .distance(scene.objects()[j].translation);
+                let d = scene.objects()[i].translation.distance(scene.objects()[j].translation);
                 assert!(d > 1.0, "objects {i} and {j} too close: {d}");
             }
         }
@@ -232,17 +237,11 @@ mod tests {
     #[test]
     fn bounded_distance_matches_exact_distance() {
         let scene = Scene::with_objects(&CanonicalObject::ALL, 5);
-        let boxes: Vec<Aabb> = scene
-            .objects()
-            .iter()
-            .map(|o| o.world_bounding_box().inflate(1e-3))
-            .collect();
+        let boxes: Vec<Aabb> =
+            scene.objects().iter().map(|o| o.world_bounding_box().inflate(1e-3)).collect();
         for i in 0..50 {
-            let p = Vec3::new(
-                (i % 7) as f32 - 3.0,
-                (i % 3) as f32 * 0.5,
-                ((i * 3) % 9) as f32 - 4.0,
-            );
+            let p =
+                Vec3::new((i % 7) as f32 - 3.0, (i % 3) as f32 * 0.5, ((i * 3) % 9) as f32 - 4.0);
             let (d_exact, _) = scene.distance(p);
             let (d_bounded, _) = scene.distance_bounded(p, &boxes, f32::INFINITY);
             assert!((d_exact - d_bounded).abs() < 1e-4, "mismatch at {p:?}");
@@ -276,7 +275,12 @@ mod tests {
         let obj = &scene.objects()[0];
         let world = obj.world_sdf();
         for i in 0..40 {
-            let p = obj.translation + Vec3::new((i % 5) as f32 * 0.3 - 0.6, (i % 4) as f32 * 0.25, ((i * 2) % 5) as f32 * 0.3 - 0.6);
+            let p = obj.translation
+                + Vec3::new(
+                    (i % 5) as f32 * 0.3 - 0.6,
+                    (i % 4) as f32 * 0.25,
+                    ((i * 2) % 5) as f32 * 0.3 - 0.6,
+                );
             assert!((world.distance(p) - obj.distance(p)).abs() < 1e-4);
         }
     }

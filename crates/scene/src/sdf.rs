@@ -161,10 +161,9 @@ impl Sdf {
                 }
                 k0 * (k0 - 1.0) / k1
             }
-            Sdf::Union(children) => children
-                .iter()
-                .map(|c| c.distance(p))
-                .fold(f32::INFINITY, f32::min),
+            Sdf::Union(children) => {
+                children.iter().map(|c| c.distance(p)).fold(f32::INFINITY, f32::min)
+            }
             Sdf::SmoothUnion { a, b, k } => {
                 let da = a.distance(p);
                 let db = b.distance(p);
@@ -182,7 +181,8 @@ impl Sdf {
             }
             Sdf::Displace { amplitude, frequency, child } => {
                 let d = child.distance(p);
-                let disp = (p.x * frequency).sin() * (p.y * frequency).sin() * (p.z * frequency).sin();
+                let disp =
+                    (p.x * frequency).sin() * (p.y * frequency).sin() * (p.z * frequency).sin();
                 d + disp * amplitude
             }
         }
@@ -191,9 +191,12 @@ impl Sdf {
     /// Surface normal estimated by central finite differences.
     pub fn normal(&self, p: Vec3) -> Vec3 {
         const EPS: f32 = 1e-3;
-        let dx = self.distance(p + Vec3::new(EPS, 0.0, 0.0)) - self.distance(p - Vec3::new(EPS, 0.0, 0.0));
-        let dy = self.distance(p + Vec3::new(0.0, EPS, 0.0)) - self.distance(p - Vec3::new(0.0, EPS, 0.0));
-        let dz = self.distance(p + Vec3::new(0.0, 0.0, EPS)) - self.distance(p - Vec3::new(0.0, 0.0, EPS));
+        let dx = self.distance(p + Vec3::new(EPS, 0.0, 0.0))
+            - self.distance(p - Vec3::new(EPS, 0.0, 0.0));
+        let dy = self.distance(p + Vec3::new(0.0, EPS, 0.0))
+            - self.distance(p - Vec3::new(0.0, EPS, 0.0));
+        let dz = self.distance(p + Vec3::new(0.0, 0.0, EPS))
+            - self.distance(p - Vec3::new(0.0, 0.0, EPS));
         Vec3::new(dx, dy, dz).normalized()
     }
 
@@ -224,10 +227,9 @@ impl Sdf {
                 Aabb::new(Vec3::new(-r, -minor_radius, -r), Vec3::new(r, *minor_radius, r))
             }
             Sdf::Ellipsoid { radii } => Aabb::new(-*radii, *radii),
-            Sdf::Union(children) => children
-                .iter()
-                .map(Sdf::bounding_box)
-                .fold(Aabb::empty(), |acc, b| acc.union(&b)),
+            Sdf::Union(children) => {
+                children.iter().map(Sdf::bounding_box).fold(Aabb::empty(), |acc, b| acc.union(&b))
+            }
             Sdf::SmoothUnion { a, b, k } => a.bounding_box().union(&b.bounding_box()).inflate(*k),
             Sdf::Subtract { a, .. } => a.bounding_box(),
             Sdf::Intersect { a, b } => {
@@ -320,9 +322,7 @@ mod tests {
 
     #[test]
     fn translation_and_scale_compose() {
-        let s = Sdf::Sphere { radius: 1.0 }
-            .scaled(2.0)
-            .translated(Vec3::new(5.0, 0.0, 0.0));
+        let s = Sdf::Sphere { radius: 1.0 }.scaled(2.0).translated(Vec3::new(5.0, 0.0, 0.0));
         assert!(s.contains(Vec3::new(5.0, 0.0, 0.0)));
         assert!(s.contains(Vec3::new(6.9, 0.0, 0.0)));
         assert!(!s.contains(Vec3::new(7.1, 0.0, 0.0)));
@@ -331,7 +331,8 @@ mod tests {
     #[test]
     fn rotation_moves_features() {
         // A box elongated along X, rotated 90° about Y, becomes elongated along Z.
-        let b = Sdf::Box { half_extent: Vec3::new(2.0, 0.5, 0.5) }.rotated_y(std::f32::consts::FRAC_PI_2);
+        let b = Sdf::Box { half_extent: Vec3::new(2.0, 0.5, 0.5) }
+            .rotated_y(std::f32::consts::FRAC_PI_2);
         assert!(b.contains(Vec3::new(0.0, 0.0, 1.8)));
         assert!(!b.contains(Vec3::new(1.8, 0.0, 0.0)));
     }

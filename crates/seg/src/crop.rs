@@ -26,7 +26,11 @@ pub struct EnlargedCrop {
 /// to the original image size with the given interpolation kernel.
 ///
 /// Returns `None` when the mask is empty.
-pub fn crop_and_enlarge(image: &Image, mask: &Mask, interpolation: Interpolation) -> Option<EnlargedCrop> {
+pub fn crop_and_enlarge(
+    image: &Image,
+    mask: &Mask,
+    interpolation: Interpolation,
+) -> Option<EnlargedCrop> {
     let (x0, y0, x1, y1) = mask.bounding_box()?;
     // A one-pixel margin keeps silhouette gradients inside the crop.
     let x0 = x0.saturating_sub(1);
@@ -56,11 +60,7 @@ pub fn crop_and_enlarge(image: &Image, mask: &Mask, interpolation: Interpolation
             framed.set(off_x + x, off_y + y, enlarged.get(x, y));
         }
     }
-    Some(EnlargedCrop {
-        image: framed,
-        scale_factor,
-        source_bbox: (x0, y0, x1, y1),
-    })
+    Some(EnlargedCrop { image: framed, scale_factor, source_bbox: (x0, y0, x1, y1) })
 }
 
 /// Measures how much the enlargement reduced the detail frequency the network

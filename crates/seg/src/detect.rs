@@ -29,12 +29,7 @@ impl DetectedObject {
 
     /// The largest pixel coverage of the object over all views.
     pub fn max_pixel_count(&self) -> usize {
-        self.masks
-            .iter()
-            .flatten()
-            .map(Mask::count)
-            .max()
-            .unwrap_or(0)
+        self.masks.iter().flatten().map(Mask::count).max().unwrap_or(0)
     }
 }
 
@@ -45,11 +40,7 @@ pub const MIN_DETECTION_PIXELS: usize = 9;
 /// Detects every object appearing in the dataset's training views.
 pub fn detect_objects(dataset: &Dataset) -> Vec<DetectedObject> {
     // Collect the set of object ids seen anywhere in the training views.
-    let mut ids: Vec<usize> = dataset
-        .train
-        .iter()
-        .flat_map(|v| v.visible_objects())
-        .collect();
+    let mut ids: Vec<usize> = dataset.train.iter().flat_map(|v| v.visible_objects()).collect();
     ids.sort_unstable();
     ids.dedup();
 

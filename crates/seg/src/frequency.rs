@@ -53,8 +53,7 @@ pub fn analyze_objects(dataset: &Dataset, detections: &[DetectedObject]) -> Vec<
                 .iter()
                 .zip(&dataset.train)
                 .map(|(mask, view)| {
-                    mask.as_ref()
-                        .map(|m| analyze_masked(&view.image, m).detail_frequency())
+                    mask.as_ref().map(|m| analyze_masked(&view.image, m).detail_frequency())
                 })
                 .collect();
             let measured: Vec<f64> = per_view.iter().flatten().copied().collect();

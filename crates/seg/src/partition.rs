@@ -39,9 +39,7 @@ pub struct SegmentationResult {
 impl SegmentationResult {
     /// The sub-scene dataset dedicated to `object_id`, if it has one.
     pub fn dedicated_for(&self, object_id: usize) -> Option<&SubSceneDataset> {
-        self.sub_scenes
-            .iter()
-            .find(|s| s.dedicated && s.object_ids == [object_id])
+        self.sub_scenes.iter().find(|s| s.dedicated && s.object_ids == [object_id])
     }
 
     /// Total number of prepared training images across all sub-scenes.
@@ -94,18 +92,14 @@ pub fn build_partition(
         });
     }
 
-    SegmentationResult {
-        records: records.to_vec(),
-        decision: decision.clone(),
-        sub_scenes,
-    }
+    SegmentationResult { records: records.to_vec(), decision: decision.clone(), sub_scenes }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::threshold::ThresholdRule;
     use crate::segment;
+    use crate::threshold::ThresholdRule;
     use nerflex_scene::object::CanonicalObject;
     use nerflex_scene::scene::Scene;
 
@@ -163,11 +157,8 @@ mod tests {
         // noticeably above 1: the objects occupy only part of each frame.
         let ds = dataset(&[CanonicalObject::Hotdog, CanonicalObject::Chair]);
         let result = segment(&ds, &SegmentationPolicy::default());
-        let max_scale = result
-            .sub_scenes
-            .iter()
-            .map(|s| s.mean_scale_factor)
-            .fold(0.0f32, f32::max);
+        let max_scale =
+            result.sub_scenes.iter().map(|s| s.mean_scale_factor).fold(0.0f32, f32::max);
         assert!(max_scale > 1.3, "expected real enlargement, got {max_scale}");
     }
 }

@@ -94,10 +94,9 @@ impl SegmentationPolicy {
         };
         let threshold = match self.rule {
             ThresholdRule::Fixed(value) => value,
-            ThresholdRule::LowestMaxFrequency => records
-                .iter()
-                .map(stat)
-                .fold(f64::INFINITY, f64::min),
+            ThresholdRule::LowestMaxFrequency => {
+                records.iter().map(stat).fold(f64::INFINITY, f64::min)
+            }
             ThresholdRule::MedianMaxFrequency => {
                 let mut values: Vec<f64> = records.iter().map(stat).collect();
                 values.sort_by(|a, b| a.partial_cmp(b).expect("frequencies are finite"));
@@ -146,10 +145,8 @@ mod tests {
     #[test]
     fn fixed_threshold_splits_objects() {
         let records = vec![record(0, 0.2, 0.1), record(1, 0.5, 0.3), record(2, 0.8, 0.6)];
-        let policy = SegmentationPolicy {
-            rule: ThresholdRule::Fixed(0.4),
-            ..SegmentationPolicy::default()
-        };
+        let policy =
+            SegmentationPolicy { rule: ThresholdRule::Fixed(0.4), ..SegmentationPolicy::default() };
         let decision = policy.decide(&records);
         assert_eq!(decision.individual, vec![1, 2]);
         assert_eq!(decision.joint, vec![0]);
@@ -175,10 +172,8 @@ mod tests {
         // a fixed threshold it no longer qualifies — the ablation the paper
         // motivates its max-frequency choice with.
         let records = vec![record(0, 0.9, 0.85), record(1, 0.9, 0.2)];
-        let policy_max = SegmentationPolicy {
-            rule: ThresholdRule::Fixed(0.5),
-            ..SegmentationPolicy::default()
-        };
+        let policy_max =
+            SegmentationPolicy { rule: ThresholdRule::Fixed(0.5), ..SegmentationPolicy::default() };
         let policy_mean = SegmentationPolicy {
             rule: ThresholdRule::Fixed(0.5),
             statistic: FrequencyStatistic::Mean,

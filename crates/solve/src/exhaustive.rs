@@ -31,13 +31,13 @@ impl ConfigSelector for ExhaustiveSelector {
     /// Panics when the instance exceeds `max_combinations` combinations.
     fn select(&self, problem: &SelectionProblem) -> SelectionOutcome {
         if problem.objects.is_empty() {
-            return SelectionOutcome { selector: self.name().to_string(), feasible: true, ..Default::default() };
+            return SelectionOutcome {
+                selector: self.name().to_string(),
+                feasible: true,
+                ..Default::default()
+            };
         }
-        let combos: u64 = problem
-            .objects
-            .iter()
-            .map(|o| o.options.len() as u64)
-            .product();
+        let combos: u64 = problem.objects.iter().map(|o| o.options.len() as u64).product();
         assert!(
             combos <= self.max_combinations,
             "exhaustive search over {combos} combinations exceeds the configured limit"
@@ -120,7 +120,8 @@ mod tests {
 
     #[test]
     fn infeasible_instances_fall_back_to_cheapest() {
-        let outcome = ExhaustiveSelector::default().select(&crate::selector::tests::tiny_problem(10.0));
+        let outcome =
+            ExhaustiveSelector::default().select(&crate::selector::tests::tiny_problem(10.0));
         assert!(!outcome.feasible);
         assert_eq!(outcome.total_size_mb, 30.0);
     }

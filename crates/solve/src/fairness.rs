@@ -22,7 +22,11 @@ impl ConfigSelector for FairnessSelector {
 
     fn select(&self, problem: &SelectionProblem) -> SelectionOutcome {
         if problem.objects.is_empty() {
-            return SelectionOutcome { selector: self.name().to_string(), feasible: true, ..Default::default() };
+            return SelectionOutcome {
+                selector: self.name().to_string(),
+                feasible: true,
+                ..Default::default()
+            };
         }
         let share = problem.budget_mb / problem.objects.len() as f64;
         let picks: Vec<CandidateConfig> = problem

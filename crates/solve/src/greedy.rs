@@ -22,7 +22,11 @@ impl ConfigSelector for GreedySelector {
 
     fn select(&self, problem: &SelectionProblem) -> SelectionOutcome {
         if problem.objects.is_empty() {
-            return SelectionOutcome { selector: self.name().to_string(), feasible: true, ..Default::default() };
+            return SelectionOutcome {
+                selector: self.name().to_string(),
+                feasible: true,
+                ..Default::default()
+            };
         }
         if !problem.is_feasible() {
             return cheapest_assignment(self.name(), problem);

@@ -40,9 +40,7 @@ impl ObjectChoices {
 
     /// The candidate with the smallest predicted size.
     pub fn cheapest(&self) -> Option<&CandidateConfig> {
-        self.options
-            .iter()
-            .min_by(|a, b| a.size_mb.partial_cmp(&b.size_mb).expect("finite sizes"))
+        self.options.iter().min_by(|a, b| a.size_mb.partial_cmp(&b.size_mb).expect("finite sizes"))
     }
 }
 
@@ -127,7 +125,11 @@ pub struct SelectionOutcome {
 
 impl SelectionOutcome {
     /// Builds an outcome from per-object candidate picks.
-    pub fn from_picks(selector: &str, problem: &SelectionProblem, picks: &[CandidateConfig]) -> Self {
+    pub fn from_picks(
+        selector: &str,
+        problem: &SelectionProblem,
+        picks: &[CandidateConfig],
+    ) -> Self {
         assert_eq!(picks.len(), problem.objects.len(), "one pick per object required");
         let assignments: Vec<Assignment> = problem
             .objects

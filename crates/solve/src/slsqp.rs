@@ -117,7 +117,11 @@ impl ConfigSelector for SlsqpSelector {
     /// (SLSQP operates on the relaxation, not on the discrete candidates).
     fn select(&self, problem: &SelectionProblem) -> SelectionOutcome {
         if problem.objects.is_empty() {
-            return SelectionOutcome { selector: self.name().to_string(), feasible: true, ..Default::default() };
+            return SelectionOutcome {
+                selector: self.name().to_string(),
+                feasible: true,
+                ..Default::default()
+            };
         }
         if !problem.is_feasible() {
             return cheapest_assignment(self.name(), problem);
@@ -186,7 +190,8 @@ impl ConfigSelector for SlsqpSelector {
             let mut next_x = x.clone();
             let mut improved = false;
             for _ in 0..12 {
-                let mut candidate: Vec<f64> = x.iter().zip(&direction).map(|(xi, di)| xi + step * di).collect();
+                let mut candidate: Vec<f64> =
+                    x.iter().zip(&direction).map(|(xi, di)| xi + step * di).collect();
                 relax.project(&mut candidate);
                 if merit(&candidate) < base_merit - 1e-9 {
                     next_x = candidate;
@@ -201,14 +206,18 @@ impl ConfigSelector for SlsqpSelector {
 
             // Damped BFGS update of the Lagrangian Hessian approximation.
             let lambda = if active { 1.0 } else { 0.0 };
-            let grad_l: Vec<f64> = grad_f.iter().zip(&grad_c).map(|(f, c)| f + lambda * c).collect();
+            let grad_l: Vec<f64> =
+                grad_f.iter().zip(&grad_c).map(|(f, c)| f + lambda * c).collect();
             if let Some((px, pg)) = prev.replace((next_x.clone(), grad_l.clone())) {
                 let s: Vec<f64> = next_x.iter().zip(&px).map(|(a, b)| a - b).collect();
                 let y: Vec<f64> = grad_l.iter().zip(&pg).map(|(a, b)| a - b).collect();
                 let sy: f64 = s.iter().zip(&y).map(|(a, b)| a * b).sum();
                 if sy > 1e-8 {
                     // Bs and sᵀBs.
-                    let bs: Vec<f64> = hessian.iter().map(|row| row.iter().zip(&s).map(|(h, si)| h * si).sum()).collect();
+                    let bs: Vec<f64> = hessian
+                        .iter()
+                        .map(|row| row.iter().zip(&s).map(|(h, si)| h * si).sum())
+                        .collect();
                     let sbs: f64 = s.iter().zip(&bs).map(|(a, b)| a * b).sum();
                     for r in 0..n {
                         for c in 0..n {
@@ -275,7 +284,7 @@ mod tests {
     use super::*;
     use crate::dp::DpSelector;
     use crate::selector::{ObjectChoices, SelectionProblem};
-    
+
     use nerflex_profile::model::{ProfileModels, QualityModel, SizeModel};
 
     /// Builds a problem whose candidates come from analytic profile models so
@@ -287,7 +296,12 @@ mod tests {
             .enumerate()
             .map(|(id, &c)| {
                 let size = SizeModel { k: 2.0e-6 * (0.5 + c), a: 0.0, b: 0.0, m: 0.5 };
-                let quality = QualityModel { q_inf: 0.9 + 0.05 * c, k: 2.0e3 * (0.5 + 2.0 * c), a: 0.0, b: 0.0 };
+                let quality = QualityModel {
+                    q_inf: 0.9 + 0.05 * c,
+                    k: 2.0e3 * (0.5 + 2.0 * c),
+                    a: 0.0,
+                    b: 0.0,
+                };
                 let models = ProfileModels { size, quality };
                 let options = space
                     .configurations()
@@ -298,7 +312,12 @@ mod tests {
                         quality: models.predict_quality(config.grid, config.patch),
                     })
                     .collect();
-                ObjectChoices { object_id: id, name: format!("o{id}"), options, models: Some(models) }
+                ObjectChoices {
+                    object_id: id,
+                    name: format!("o{id}"),
+                    options,
+                    models: Some(models),
+                }
             })
             .collect();
         SelectionProblem { objects, budget_mb: budget }
@@ -319,7 +338,12 @@ mod tests {
         let dp = DpSelector::default().select(&problem);
         let slsqp = SlsqpSelector::new(ConfigSpace::quick()).select(&problem);
         assert!(slsqp.total_quality <= dp.total_quality + 1e-9);
-        assert!(slsqp.total_quality > dp.total_quality * 0.7, "SLSQP collapsed: {} vs {}", slsqp.total_quality, dp.total_quality);
+        assert!(
+            slsqp.total_quality > dp.total_quality * 0.7,
+            "SLSQP collapsed: {} vs {}",
+            slsqp.total_quality,
+            dp.total_quality
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ impl ConfigSpace {
     ///
     /// Panics when either list is empty or contains zero.
     pub fn new(g_values: Vec<u32>, p_values: Vec<u32>) -> Self {
-        assert!(!g_values.is_empty() && !p_values.is_empty(), "configuration space must be non-empty");
+        assert!(
+            !g_values.is_empty() && !p_values.is_empty(),
+            "configuration space must be non-empty"
+        );
         assert!(
             g_values.iter().chain(&p_values).all(|&v| v > 0),
             "configuration knobs must be positive"
@@ -32,10 +35,7 @@ impl ConfigSpace {
     /// steps of 16 and patch sizes 3…45 in steps of 7 (the MobileNeRF default
     /// (128, 17) is included).
     pub fn paper_default() -> Self {
-        Self::new(
-            (1..=8).map(|i| i * 16).collect(),
-            (0..=6).map(|i| 3 + i * 7).collect(),
-        )
+        Self::new((1..=8).map(|i| i * 16).collect(), (0..=6).map(|i| 3 + i * 7).collect())
     }
 
     /// A reduced space for tests and quick examples.

@@ -49,7 +49,10 @@ fn main() {
     );
     println!(
         "fitted quality model: Q(g,p) = {:.3} − {:.3e}/((g{:+.2})³·(p{:+.2})²)\n",
-        profile.quality_model.q_inf, profile.quality_model.k, profile.quality_model.a, profile.quality_model.b
+        profile.quality_model.q_inf,
+        profile.quality_model.k,
+        profile.quality_model.a,
+        profile.quality_model.b
     );
 
     // Held-out validation on configurations the fitter never saw.

@@ -41,11 +41,17 @@ fn main() {
         deployment.segmentation.decision.individual.len(),
         deployment.segmentation.decision.joint.len()
     );
-    println!("\nper-object configuration selected by the DP (budget {:.0} MB):", deployment.budget_mb);
+    println!(
+        "\nper-object configuration selected by the DP (budget {:.0} MB):",
+        deployment.budget_mb
+    );
     for assignment in &deployment.selection.assignments {
         println!(
             "  {:<10} θ = {}  predicted {:>6.1} MB  predicted SSIM {:.3}",
-            assignment.name, assignment.config, assignment.predicted_size_mb, assignment.predicted_quality
+            assignment.name,
+            assignment.config,
+            assignment.predicted_size_mb,
+            assignment.predicted_quality
         );
     }
     println!("\ncloud-side overhead: {}", deployment.timings.summary());

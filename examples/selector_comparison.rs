@@ -68,10 +68,8 @@ fn main() {
         ]);
         let mut row = vec![outcome.selector.clone()];
         for obj in built.scene.objects() {
-            let size = outcome
-                .assignment_for(obj.id)
-                .map(|a| a.predicted_size_mb)
-                .unwrap_or(f64::NAN);
+            let size =
+                outcome.assignment_for(obj.id).map(|a| a.predicted_size_mb).unwrap_or(f64::NAN);
             row.push(fmt_f64(size, 1));
         }
         per_object.push_row(row);

@@ -11,13 +11,28 @@
 //! | [`math`] | `nerflex-math` | vectors, matrices, rays, AABBs, sampling, statistics |
 //! | [`image`] | `nerflex-image` | float images, SSIM/PSNR/LPIPS-proxy, DCT frequency analysis |
 //! | [`scene`] | `nerflex-scene` | procedural SDF objects, scenes, datasets, ray-marched ground truth |
-//! | [`bake`] | `nerflex-bake` | MobileNeRF-style baking: voxel grid, quad mesh, texture atlas, tiny MLP |
+//! | [`bake`] | `nerflex-bake` | MobileNeRF-style baking: voxel grid, quad mesh, texture atlas, tiny MLP, content-addressed bake cache |
 //! | [`render`] | `nerflex-render` | software rasteriser and quality comparison |
 //! | [`device`] | `nerflex-device` | iPhone 13 / Pixel 4 models, memory ceilings, FPS simulation |
 //! | [`seg`] | `nerflex-seg` | detail-based segmentation (paper §III-A) |
 //! | [`profile`] | `nerflex-profile` | lightweight white-box profiler (paper §III-B) |
 //! | [`solve`] | `nerflex-solve` | DP / Fairness / SLSQP / greedy configuration selectors (paper §III-C) |
-//! | [`core`] | `nerflex-core` | the end-to-end pipeline, baselines, experiments, evaluation |
+//! | [`core`] | `nerflex-core` | the staged, parallel, cache-aware pipeline engine, baselines, experiments, evaluation |
+//!
+//! ## The pipeline engine
+//!
+//! [`core::pipeline::NerflexPipeline`] executes the cloud side as four
+//! staged passes (segmentation → profiling → selection → baking) with three
+//! properties that keep preparation cheap (the paper's Fig. 9 story):
+//!
+//! * profiling and baking fan out over a worker pool
+//!   ([`core::pipeline::PipelineOptions::worker_threads`]);
+//! * every sample bake the profiler pays for lands in a shared
+//!   [`bake::BakeCache`], so a selected configuration that was already
+//!   probed is never re-baked ([`core::pipeline::StageTimings`] reports the
+//!   hit/miss counters);
+//! * [`core::pipeline::NerflexPipeline::deploy_fleet`] prepares one scene
+//!   for many devices with segmentation and profiling run exactly once.
 //!
 //! ## Quick start
 //!

@@ -29,7 +29,8 @@ fn end_to_end_deployment_renders_and_fits_the_budget() {
     // The baked assets render on every test pose without panicking and cover
     // a reasonable number of pixels.
     for view in &dataset.test {
-        let (img, stats) = render_assets(&deployment.assets, &view.pose, 56, 56, &RenderOptions::default());
+        let (img, stats) =
+            render_assets(&deployment.assets, &view.pose, 56, 56, &RenderOptions::default());
         assert_eq!(img.width(), 56);
         assert!(stats.fragments_shaded > 50, "assets barely visible: {stats:?}");
     }
@@ -60,14 +61,9 @@ fn tighter_budgets_never_increase_predicted_quality() {
     let (scene, dataset) = small_setup();
     let device = DeviceSpec::pixel_4();
     let quality_at = |budget: f64| {
-        let options = PipelineOptions {
-            budget_override_mb: Some(budget),
-            ..PipelineOptions::quick()
-        };
-        NerflexPipeline::new(options)
-            .run(&scene, &dataset, &device)
-            .selection
-            .total_quality
+        let options =
+            PipelineOptions { budget_override_mb: Some(budget), ..PipelineOptions::quick() };
+        NerflexPipeline::new(options).run(&scene, &dataset, &device).selection.total_quality
     };
     let generous = quality_at(120.0);
     let medium = quality_at(30.0);

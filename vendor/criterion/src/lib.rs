@@ -1,0 +1,196 @@
+//! Offline vendored shim standing in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! crate implements the subset of the criterion API the NeRFlex benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size` / `bench_function` / `bench_with_input` / `finish`,
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! It is a real (if simple) harness: every benchmark is warmed up, then timed
+//! over `sample_size` samples, and the per-iteration mean / min / max are
+//! printed. There are no statistics beyond that — the shim exists so that
+//! `cargo bench` runs and reports useful numbers offline, not to replace
+//! criterion's analysis.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported for bench bodies.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a name and a parameter value (`name/param`).
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { label: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// An id made of the parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The timing loop handed to every benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Mean per-iteration duration of the timed samples.
+    pub mean: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly: a warm-up pass, then `samples` timed
+    /// iterations whose mean / min / max are recorded.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        hint::black_box(routine()); // warm-up
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            hint::black_box(routine());
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+        }
+        self.mean = total / self.samples as u32;
+        println!(
+            "    time: [{} {} {}]  ({} samples)",
+            fmt_duration(min),
+            fmt_duration(self.mean),
+            fmt_duration(max),
+            self.samples
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Default number of timed samples per benchmark (criterion defaults to 100;
+/// the shim keeps runs short).
+const DEFAULT_SAMPLES: usize = 10;
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { samples: DEFAULT_SAMPLES }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        println!("{name}");
+        let mut bencher = Bencher { samples: self.samples, mean: Duration::ZERO };
+        f(&mut bencher);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        let samples = self.samples;
+        BenchmarkGroup { criterion: self, samples }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        println!("  {id}");
+        let mut bencher = Bencher { samples: self.samples, mean: Duration::ZERO };
+        f(&mut bencher);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        println!("  {id}");
+        let mut bencher = Bencher { samples: self.samples, mean: Duration::ZERO };
+        f(&mut bencher, input);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,151 @@
+//! Offline vendored shim standing in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! crate implements the exact API surface the NeRFlex workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`] and
+//! [`Rng::gen_range`] over half-open ranges of the primitive types the
+//! procedural generators sample.
+//!
+//! The generator is a SplitMix64 stream — statistically strong enough for
+//! procedural content, deterministic for a given seed on every platform. The
+//! streams differ from upstream `rand`'s ChaCha-based `StdRng`, which is fine:
+//! every consumer in the workspace only relies on *seeded determinism*, never
+//! on a specific stream.
+
+#![deny(missing_docs)]
+
+use std::ops::Range;
+
+/// Types that can be uniformly sampled from a half-open [`Range`].
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Draws one value uniformly from `range` using `rng`'s output stream.
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_float {
+    ($t:ty, $shift:expr, $scale:expr) => {
+        impl SampleUniform for $t {
+            fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample an empty range");
+                // A uniform draw in [0, 1) from the top bits of the stream.
+                let unit = (rng.next_u64() >> $shift) as $t * $scale;
+                range.start + (range.end - range.start) * unit
+            }
+        }
+    };
+}
+
+impl_sample_float!(f32, 40, 1.0 / (1u64 << 24) as f32);
+impl_sample_float!(f64, 11, 1.0 / (1u64 << 53) as f64);
+
+macro_rules! impl_sample_int {
+    ($t:ty) => {
+        impl SampleUniform for $t {
+            fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample an empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Lemire's widening-multiply range reduction (bias < 2⁻⁶⁴).
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (range.start as i128 + draw) as $t
+            }
+        }
+    };
+}
+
+impl_sample_int!(i32);
+impl_sample_int!(u32);
+impl_sample_int!(u64);
+impl_sample_int!(usize);
+
+/// A source of randomness (the subset of `rand::Rng` the workspace uses).
+pub trait Rng {
+    /// The next 64 raw bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws one value uniformly from the half-open `range`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_uniform(self, range)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard seeded generator (SplitMix64 stream).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014): one 64-bit state word,
+            // equidistributed output, passes BigCrush.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let f = rng.gen_range(-0.25..0.75f32);
+            assert!((-0.25..0.75).contains(&f));
+            let x = rng.gen_range(0..5);
+            assert!((0..5).contains(&x));
+            let u = rng.gen_range(2usize..4);
+            assert!((2..4).contains(&u));
+        }
+    }
+
+    #[test]
+    fn integer_draws_cover_the_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+}

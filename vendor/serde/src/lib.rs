@@ -1,0 +1,23 @@
+//! Offline vendored shim standing in for the `serde` facade.
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! crate provides exactly the surface the NeRFlex workspace uses: the
+//! [`Serialize`] / [`Deserialize`] marker traits and the derive macros that
+//! implement them. No wire format is implemented — the workspace only relies
+//! on the traits as capability markers on its data types; swapping this shim
+//! for the real `serde` (same version requirement, `derive` feature) requires
+//! no source changes.
+
+#![deny(missing_docs)]
+
+/// Marker for types that can be serialized.
+///
+/// The real `serde::Serialize` drives a `Serializer`; the workspace never
+/// invokes one, so the shim keeps the trait as a derive-implemented marker.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized from a borrowed buffer with
+/// lifetime `'de`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

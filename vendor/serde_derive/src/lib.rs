@@ -1,0 +1,50 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Implemented without `syn`/`quote` (offline build): the macro scans the
+//! item's token stream for the `struct`/`enum` keyword and takes the next
+//! identifier as the type name. The workspace derives these traits only on
+//! non-generic types, which the macro asserts.
+
+#![deny(missing_docs)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the `struct`/`enum` the derive is attached to and
+/// rejects generic types (the shim does not emit where-clauses).
+fn item_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = tokens.next() {
+                            assert!(
+                                p.as_char() != '<',
+                                "the vendored serde shim cannot derive for generic type `{name}`"
+                            );
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("expected a type name after `{kw}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("derive target is neither a struct nor an enum");
+}
+
+/// Derives the shim's `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}").parse().unwrap()
+}
+
+/// Derives the shim's `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}").parse().unwrap()
+}
