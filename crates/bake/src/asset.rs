@@ -9,6 +9,7 @@ use crate::voxel::VoxelGrid;
 use nerflex_math::{Aabb, Vec3};
 use nerflex_scene::object::ObjectModel;
 use nerflex_scene::scene::{PlacedObject, Scene};
+use std::sync::Arc;
 
 /// Rigid placement of a baked asset in the scene (the asset itself is baked
 /// in the object's local frame).
@@ -46,6 +47,11 @@ impl Placement {
 
 /// The baked multi-modal representation of one object: quad mesh, texture
 /// atlas, deferred-shading MLP, and the configuration it was baked with.
+///
+/// The mesh and atlas — the megabytes — live behind [`Arc`]s: cloning an
+/// asset to restamp its identity and placement (what every cache hit does)
+/// copies two reference counts, not the payload. All read paths are
+/// unchanged (`Arc` derefs transparently); only construction sites wrap.
 #[derive(Debug, Clone)]
 pub struct BakedAsset {
     /// Human-readable object name.
@@ -54,10 +60,11 @@ pub struct BakedAsset {
     pub object_id: usize,
     /// The configuration pair θ = (g, p) used for baking.
     pub config: BakeConfig,
-    /// Extracted quad mesh (local space).
-    pub mesh: QuadMesh,
-    /// Baked texture atlas.
-    pub atlas: TextureAtlas,
+    /// Extracted quad mesh (local space), shared across placement-stamped
+    /// copies of the same bake.
+    pub mesh: Arc<QuadMesh>,
+    /// Baked texture atlas, shared across placement-stamped copies.
+    pub atlas: Arc<TextureAtlas>,
     /// Optional deferred-shading MLP (a shared few-KB network).
     pub mlp: Option<TinyMlp>,
     /// Placement of the local frame in the scene.
@@ -142,7 +149,15 @@ fn bake_with_placement(
     let cell = grid.cell_size().max_component().max(1e-6);
     let cutoff = 0.5 * config.patch as f32 / cell;
     let atlas = TextureAtlas::bake(&mesh, &model.appearance, config.patch, cutoff);
-    BakedAsset { name: model.name.clone(), object_id, config, mesh, atlas, mlp: None, placement }
+    BakedAsset {
+        name: model.name.clone(),
+        object_id,
+        config,
+        mesh: Arc::new(mesh),
+        atlas: Arc::new(atlas),
+        mlp: None,
+        placement,
+    }
 }
 
 /// Bakes every object of a scene with its own configuration, in parallel

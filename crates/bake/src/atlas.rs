@@ -11,7 +11,7 @@ use nerflex_scene::appearance::Appearance;
 use serde::{Deserialize, Serialize};
 
 /// A per-quad texture atlas with `patch × patch` texels per quad.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TextureAtlas {
     patch: u32,
     quad_count: usize,
@@ -76,6 +76,28 @@ impl TextureAtlas {
             }
         }
         Self { patch, quad_count, data }
+    }
+
+    /// Reassembles an atlas from its raw parts (the persistence codec's
+    /// inverse of [`TextureAtlas::texel_data`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `patch` is zero or `data` does not hold exactly
+    /// `quad_count · patch²` texels.
+    pub fn from_raw(patch: u32, quad_count: usize, data: Vec<[u8; 3]>) -> Self {
+        assert!(patch > 0, "patch size must be positive");
+        assert_eq!(
+            data.len(),
+            quad_count * (patch as usize) * (patch as usize),
+            "texel buffer does not match quad_count · patch²"
+        );
+        Self { patch, quad_count, data }
+    }
+
+    /// The raw quantised texel buffer (row-major per quad), as stored on disk.
+    pub fn texel_data(&self) -> &[[u8; 3]] {
+        &self.data
     }
 
     /// Texture patch side length in texels.

@@ -18,13 +18,57 @@
 //!
 //! The cache is [`Sync`]; the parallel profiling and baking stages share one
 //! instance across worker threads.
+//!
+//! # On-disk persistence
+//!
+//! Content fingerprints are stable across runs and platforms, so a cache
+//! opened with [`BakeCache::open`] outlives the process: [`BakeCache::flush`]
+//! writes every entry baked since the last flush to the directory, and the
+//! next `open` — in this process or another — starts warm. Repeated bench
+//! invocations, CI runs and fleet re-deployments then re-bake nothing whose
+//! (fingerprint, configuration) pair is already on disk.
+//!
+//! ## Layout
+//!
+//! One file per entry, named `{fingerprint:016x}-g{g}-p{p}.nfbake`, each
+//! fully self-contained (see [`crate::disk`] for the byte-level format):
+//!
+//! ```text
+//! <dir>/
+//!   2f1c66aa01945f10-g30-p6.nfbake     magic | version | key | payload | checksum
+//!   9bd05c771e22ab43-g40-p9.nfbake
+//!   ...
+//! ```
+//!
+//! Per-entry files keep loading corruption-tolerant (a damaged file costs
+//! exactly one entry) and make flushes atomic per entry: each file is
+//! written to a process-unique temporary name and renamed into place, so a
+//! concurrent reader sees either the old state or the complete new entry,
+//! never a torn write.
+//!
+//! ## Versioning policy
+//!
+//! Entries embed [`crate::disk::CACHE_FORMAT_VERSION`]. Any layout change
+//! bumps the version; readers *reject* foreign versions rather than migrate
+//! (a cache can always be rebuilt, so migration machinery would buy
+//! nothing). Damaged, truncated or foreign-version files are skipped on
+//! load — never a panic — and simply get re-baked and overwritten on the
+//! next flush. CI keys its persisted cache on the same version constant, so
+//! a format bump naturally starts CI from a cold cache.
+//!
+//! [`CacheStats`] distinguishes where a hit's entry came from: `hits` counts
+//! lookups answered by an entry baked in this process, `disk_hits` lookups
+//! answered by an entry loaded from disk — the cross-process reuse signal.
 
 use crate::asset::{bake_object, BakedAsset, Placement};
 use crate::config::BakeConfig;
+use crate::disk;
 use nerflex_math::Vec3;
 use nerflex_scene::object::ObjectModel;
 use nerflex_scene::scene::PlacedObject;
 use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -102,31 +146,46 @@ pub fn model_fingerprint(model: &ObjectModel) -> u64 {
 /// [`BakeCache::stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered by an entry baked in this process.
     pub hits: usize,
+    /// Lookups answered by an entry loaded from disk (cross-process reuse).
+    pub disk_hits: usize,
     /// Lookups that had to bake.
     pub misses: usize,
     /// Distinct (object, configuration) assets currently stored.
     pub entries: usize,
+    /// Entries that were loaded from the cache directory when the cache was
+    /// opened (0 for in-memory caches).
+    pub loaded_from_disk: usize,
 }
 
 impl CacheStats {
-    /// Hit ratio in `[0, 1]` (0 when the cache was never queried).
+    /// All lookups answered without baking (in-process plus disk-loaded).
+    pub fn total_hits(&self) -> usize {
+        self.hits + self.disk_hits
+    }
+
+    /// Hit ratio in `[0, 1]` (0 when the cache was never queried). Disk-
+    /// loaded hits count as hits: the lookup was answered without baking.
     pub fn hit_ratio(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.total_hits() + self.misses;
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            self.total_hits() as f64 / total as f64
         }
     }
 
-    /// Counter difference `self − earlier`, for per-stage accounting.
+    /// Counter difference `self − earlier`, for per-stage accounting. The
+    /// occupancy fields (`entries`, `loaded_from_disk`) are states, not
+    /// counters, and carry `self`'s current values.
     pub fn since(&self, earlier: &CacheStats) -> CacheStats {
         CacheStats {
             hits: self.hits - earlier.hits,
+            disk_hits: self.disk_hits - earlier.disk_hits,
             misses: self.misses - earlier.misses,
             entries: self.entries,
+            loaded_from_disk: self.loaded_from_disk,
         }
     }
 }
@@ -135,10 +194,12 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} hits / {} misses ({} entries, {:.0}% hit rate)",
-            self.hits,
+            "{} hits ({} from disk) / {} misses ({} entries, {} loaded, {:.0}% hit rate)",
+            self.total_hits(),
+            self.disk_hits,
             self.misses,
             self.entries,
+            self.loaded_from_disk,
             self.hit_ratio() * 100.0
         )
     }
@@ -160,23 +221,122 @@ impl std::fmt::Display for CacheStats {
 /// ```
 #[derive(Debug, Default)]
 pub struct BakeCache {
-    entries: Mutex<HashMap<(u64, BakeConfig), Arc<BakedAsset>>>,
+    entries: Mutex<HashMap<(u64, BakeConfig), StoredEntry>>,
     hits: AtomicUsize,
+    disk_hits: AtomicUsize,
     misses: AtomicUsize,
+    /// Backing directory for [`BakeCache::flush`]; `None` for in-memory caches.
+    dir: Option<PathBuf>,
+    /// Entries loaded from `dir` when the cache was opened.
+    loaded: usize,
+}
+
+/// One cached asset plus its persistence bookkeeping.
+#[derive(Debug)]
+struct StoredEntry {
+    asset: Arc<BakedAsset>,
+    /// The entry came off disk (hits on it are cross-process reuse).
+    from_disk: bool,
+    /// The entry is not yet on disk and will be written by the next flush.
+    dirty: bool,
 }
 
 impl BakeCache {
-    /// Creates an empty cache.
+    /// Creates an empty in-memory cache (no persistence; [`BakeCache::flush`]
+    /// is a no-op).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Opens a persistent cache backed by `dir`, creating the directory when
+    /// missing and loading every valid entry file already present.
+    ///
+    /// Loading is corruption-tolerant: truncated, bit-flipped, foreign-
+    /// version or otherwise undecodable files are skipped (costing exactly
+    /// one re-bake each), never an error. Only real I/O failures — the
+    /// directory cannot be created or listed — are reported.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the directory cannot be created or
+    /// read.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut entries = HashMap::new();
+        for file in std::fs::read_dir(&dir)? {
+            let path = file?.path();
+            // Sweep temporaries orphaned by a crash between write and rename
+            // (possibly another process's — entry content is deterministic,
+            // so a live writer's rename losing to this unlink only costs a
+            // re-flush next run).
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.contains(&format!(".{}.tmp-", disk::ENTRY_EXTENSION)) {
+                let _ = std::fs::remove_file(&path);
+                continue;
+            }
+            if path.extension().and_then(|e| e.to_str()) != Some(disk::ENTRY_EXTENSION) {
+                continue;
+            }
+            let Ok(bytes) = std::fs::read(&path) else { continue };
+            let Ok((fingerprint, config, asset)) = disk::decode_entry(&bytes) else { continue };
+            entries.insert(
+                (fingerprint, config),
+                StoredEntry { asset, from_disk: true, dirty: false },
+            );
+        }
+        let loaded = entries.len();
+        Ok(Self { entries: Mutex::new(entries), dir: Some(dir), loaded, ..Self::default() })
+    }
+
+    /// The backing directory of a persistent cache (`None` when in-memory).
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Writes every entry baked since the last flush to the backing
+    /// directory, returning how many files were written (0 for in-memory
+    /// caches). Each entry is written to a process-unique temporary file and
+    /// renamed into place, so concurrent readers never observe a torn entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error encountered; entries flushed before the
+    /// failure stay flushed and are not re-written next time.
+    pub fn flush(&self) -> io::Result<usize> {
+        let Some(dir) = &self.dir else { return Ok(0) };
+        let mut entries = self.entries.lock().expect("cache poisoned");
+        let mut written = 0;
+        for (&(fingerprint, config), entry) in entries.iter_mut() {
+            if !entry.dirty {
+                continue;
+            }
+            let bytes = disk::encode_entry(fingerprint, &entry.asset);
+            let path = dir.join(disk::entry_file_name(fingerprint, config));
+            let tmp = dir.join(format!(
+                "{}.tmp-{}",
+                disk::entry_file_name(fingerprint, config),
+                std::process::id()
+            ));
+            let result = std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, &path));
+            if let Err(err) = result {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(err);
+            }
+            entry.dirty = false;
+            written += 1;
+        }
+        Ok(written)
     }
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.entries.lock().expect("cache poisoned").len(),
+            loaded_from_disk: self.loaded,
         }
     }
 
@@ -195,19 +355,24 @@ impl BakeCache {
     /// copy is kept.
     pub fn get_or_bake(&self, model: &ObjectModel, config: BakeConfig) -> Arc<BakedAsset> {
         let key = (model_fingerprint(model), config);
-        if let Some(asset) = self.entries.lock().expect("cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(asset);
+        if let Some(entry) = self.entries.lock().expect("cache poisoned").get(&key) {
+            let counter = if entry.from_disk { &self.disk_hits } else { &self.hits };
+            counter.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(&entry.asset);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let asset = Arc::new(bake_object(model, config));
         let mut entries = self.entries.lock().expect("cache poisoned");
-        Arc::clone(entries.entry(key).or_insert(asset))
+        let entry =
+            entries.entry(key).or_insert(StoredEntry { asset, from_disk: false, dirty: true });
+        Arc::clone(&entry.asset)
     }
 
     /// Cache-aware replacement for [`crate::asset::bake_placed`]: the
     /// local-frame asset comes from the cache (baked on first request) and
     /// the placement and instance id of `object` are stamped on the copy.
+    /// With the mesh and atlas behind [`Arc`], the copy is two reference-
+    /// count bumps, not a deep clone — a hit is near-free.
     pub fn get_or_bake_placed(&self, object: &PlacedObject, config: BakeConfig) -> BakedAsset {
         let shared = self.get_or_bake(&object.model, config);
         let mut asset = (*shared).clone();
@@ -266,7 +431,8 @@ mod tests {
         assert_eq!(stats.misses, 3);
         assert_eq!(stats.entries, 3);
         assert!((stats.hit_ratio() - 0.4).abs() < 1e-12);
-        assert_eq!(stats.since(&CacheStats { hits: 1, misses: 1, entries: 0 }).hits, 1);
+        let earlier = CacheStats { hits: 1, misses: 1, ..CacheStats::default() };
+        assert_eq!(stats.since(&earlier).hits, 1);
     }
 
     #[test]
@@ -285,6 +451,146 @@ mod tests {
         // …over the shared local-frame geometry.
         assert_eq!(a.mesh.quad_count(), b.mesh.quad_count());
         assert_eq!(a.size_bytes(), b.size_bytes());
+    }
+
+    /// A unique, self-cleaning temporary directory for persistence tests.
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            static COUNTER: AtomicUsize = AtomicUsize::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "nerflex-cache-test-{tag}-{}-{}",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            Self(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn flush_and_reopen_turn_misses_into_disk_hits() {
+        let tmp = TempDir::new("roundtrip");
+        let model = CanonicalObject::Hotdog.build();
+        let config = BakeConfig::new(10, 3);
+
+        // First process: miss, bake, flush one entry.
+        let cache = BakeCache::open(&tmp.0).expect("open");
+        assert_eq!(cache.stats().loaded_from_disk, 0);
+        let first = cache.get_or_bake(&model, config);
+        assert_eq!(cache.flush().expect("flush"), 1);
+        // A second flush writes nothing: the entry is clean now.
+        assert_eq!(cache.flush().expect("flush"), 0);
+
+        // Second process (simulated): the entry loads, the lookup is a disk
+        // hit, nothing re-bakes, the payload is identical.
+        let reopened = BakeCache::open(&tmp.0).expect("reopen");
+        assert_eq!(reopened.stats().loaded_from_disk, 1);
+        assert!(reopened.contains(&model, config));
+        let second = reopened.get_or_bake(&model, config);
+        let stats = reopened.stats();
+        assert_eq!((stats.hits, stats.disk_hits, stats.misses), (0, 1, 0));
+        assert_eq!(*first.mesh, *second.mesh);
+        assert_eq!(*first.atlas, *second.atlas);
+        assert_eq!(first.size_bytes(), second.size_bytes());
+    }
+
+    #[test]
+    fn hit_ratio_and_since_account_for_disk_hits() {
+        let tmp = TempDir::new("ratio");
+        let hotdog = CanonicalObject::Hotdog.build();
+        let chair = CanonicalObject::Chair.build();
+        let config = BakeConfig::new(10, 3);
+
+        let cache = BakeCache::open(&tmp.0).expect("open");
+        let _ = cache.get_or_bake(&hotdog, config);
+        cache.flush().expect("flush");
+
+        let reopened = BakeCache::open(&tmp.0).expect("reopen");
+        let _ = reopened.get_or_bake(&hotdog, config); // disk hit
+        let before = reopened.stats();
+        let _ = reopened.get_or_bake(&chair, config); // miss
+        let _ = reopened.get_or_bake(&chair, config); // in-process hit
+        let _ = reopened.get_or_bake(&hotdog, config); // disk hit
+
+        let stats = reopened.stats();
+        assert_eq!((stats.hits, stats.disk_hits, stats.misses), (1, 2, 1));
+        assert_eq!(stats.total_hits(), 3);
+        assert!((stats.hit_ratio() - 0.75).abs() < 1e-12, "{stats}");
+        // The per-stage delta separates the two hit kinds.
+        let delta = stats.since(&before);
+        assert_eq!((delta.hits, delta.disk_hits, delta.misses), (1, 1, 1));
+        assert_eq!(delta.loaded_from_disk, 1);
+    }
+
+    #[test]
+    fn corrupted_and_foreign_files_are_skipped_on_open() {
+        let tmp = TempDir::new("corrupt");
+        let hotdog = CanonicalObject::Hotdog.build();
+        let chair = CanonicalObject::Chair.build();
+        let config = BakeConfig::new(10, 3);
+
+        let cache = BakeCache::open(&tmp.0).expect("open");
+        let _ = cache.get_or_bake(&hotdog, config);
+        let _ = cache.get_or_bake(&chair, config);
+        cache.flush().expect("flush");
+
+        // Truncate one entry file and drop unrelated garbage next to it.
+        let mut files: Vec<_> = std::fs::read_dir(&tmp.0)
+            .expect("read dir")
+            .map(|f| f.expect("entry").path())
+            .collect();
+        files.sort();
+        let victim = &files[0];
+        let bytes = std::fs::read(victim).expect("read entry");
+        std::fs::write(victim, &bytes[..bytes.len() / 2]).expect("truncate");
+        std::fs::write(tmp.0.join("garbage.nfbake"), b"not a cache entry").expect("garbage");
+        std::fs::write(tmp.0.join("unrelated.txt"), b"ignored").expect("unrelated");
+
+        // Only the intact entry survives; the damaged one re-bakes (miss)
+        // and the next flush repairs the directory.
+        let reopened = BakeCache::open(&tmp.0).expect("reopen survives corruption");
+        assert_eq!(reopened.stats().loaded_from_disk, 1);
+        let _ = reopened.get_or_bake(&hotdog, config);
+        let _ = reopened.get_or_bake(&chair, config);
+        let stats = reopened.stats();
+        assert_eq!(stats.disk_hits + stats.misses, 2);
+        assert_eq!(stats.misses, 1, "exactly the damaged entry re-bakes");
+        assert_eq!(reopened.flush().expect("repair flush"), 1);
+        let repaired = BakeCache::open(&tmp.0).expect("open repaired");
+        assert_eq!(repaired.stats().loaded_from_disk, 2);
+    }
+
+    #[test]
+    fn stale_flush_temporaries_are_swept_on_open() {
+        let tmp = TempDir::new("tmp-sweep");
+        let cache = BakeCache::open(&tmp.0).expect("open");
+        let _ = cache.get_or_bake(&CanonicalObject::Hotdog.build(), BakeConfig::new(10, 3));
+        cache.flush().expect("flush");
+        // Simulate a crash between write and rename in another process.
+        let orphan = tmp.0.join(format!(
+            "{}.tmp-99999",
+            crate::disk::entry_file_name(42, BakeConfig::new(10, 3))
+        ));
+        std::fs::write(&orphan, b"partial write").expect("orphan");
+
+        let reopened = BakeCache::open(&tmp.0).expect("reopen");
+        assert_eq!(reopened.stats().loaded_from_disk, 1, "real entry still loads");
+        assert!(!orphan.exists(), "orphaned temporary must be swept");
+    }
+
+    #[test]
+    fn in_memory_cache_flush_is_a_noop() {
+        let cache = BakeCache::new();
+        let _ = cache.get_or_bake(&CanonicalObject::Hotdog.build(), BakeConfig::new(10, 3));
+        assert_eq!(cache.dir(), None);
+        assert_eq!(cache.flush().expect("noop"), 0);
     }
 
     #[test]

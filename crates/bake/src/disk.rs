@@ -1,0 +1,495 @@
+//! Versioned binary on-disk format for cached [`BakedAsset`]s.
+//!
+//! The vendored `serde` shim is a capability marker with no wire format, so
+//! persistence is a small hand-rolled codec: explicit little-endian fields,
+//! a magic number, a format version, and a trailing checksum. The layout is
+//! documented in [`crate::cache`] (the module that owns the policy); this
+//! module owns the mechanism.
+//!
+//! Every entry file is self-contained and self-validating:
+//!
+//! ```text
+//! magic "NFBC" | version u32 | fingerprint u64 | grid u32 | patch u32
+//! name (u32 len + UTF-8 bytes)
+//! mesh:  vertex count u32, quad count u32,
+//!        positions [3×f32]*, normals [3×f32]*,
+//!        quads [4×u32 indices + 3×f32 face normal]*
+//! atlas: patch u32, quad count u64, texel count u64, texels [3×u8]*
+//! mlp:   present u8, then per layer: rows u32 × cols u32 + row-major f32
+//!        weights, and the bias vectors
+//! checksum: FNV-1a u64 over every preceding byte
+//! ```
+//!
+//! Decoding is total: any truncation, bad magic, version mismatch or
+//! checksum failure yields a [`DecodeError`] instead of a panic, so a
+//! corrupted cache directory degrades to re-baking the damaged entries.
+
+use crate::asset::{BakedAsset, Placement};
+use crate::atlas::TextureAtlas;
+use crate::config::BakeConfig;
+use crate::mesh::{Quad, QuadMesh};
+use crate::mlp::TinyMlp;
+use nerflex_math::Vec3;
+use std::sync::Arc;
+
+/// Version of the on-disk entry format. Bump on ANY layout change: readers
+/// reject foreign versions (no migration — entries are a cache, re-baking is
+/// always correct), so a bump simply invalidates persisted entries.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// Magic bytes identifying a NeRFlex bake-cache entry file.
+pub const MAGIC: [u8; 4] = *b"NFBC";
+
+/// File extension used for entry files.
+pub const ENTRY_EXTENSION: &str = "nfbake";
+
+/// Why a persisted entry failed to decode. All variants are recoverable: the
+/// caller skips the entry and re-bakes on demand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the expected field.
+    Truncated,
+    /// The magic bytes are not [`MAGIC`].
+    BadMagic,
+    /// The entry was written by a different format version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+    },
+    /// The trailing checksum does not match the content.
+    ChecksumMismatch,
+    /// A decoded field is structurally impossible (e.g. a quad index out of
+    /// range, a zero patch size, mismatched layer shapes).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "entry truncated"),
+            DecodeError::BadMagic => write!(f, "not a bake-cache entry"),
+            DecodeError::VersionMismatch { found } => {
+                write!(f, "format version {found} (expected {CACHE_FORMAT_VERSION})")
+            }
+            DecodeError::ChecksumMismatch => write!(f, "checksum mismatch"),
+            DecodeError::Malformed(what) => write!(f, "malformed entry: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// FNV-1a over a byte slice (the same stable hash the fingerprint uses).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_vec3(out: &mut Vec<u8>, v: Vec3) {
+    put_f32(out, v.x);
+    put_f32(out, v.y);
+    put_f32(out, v.z);
+}
+
+/// Serializes one local-frame cache entry (`fingerprint` is the content key
+/// the entry is stored under; the asset's placement and object id are *not*
+/// persisted — the cache stores placement-free assets).
+pub fn encode_entry(fingerprint: u64, asset: &BakedAsset) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + asset.size_bytes());
+    out.extend_from_slice(&MAGIC);
+    put_u32(&mut out, CACHE_FORMAT_VERSION);
+    put_u64(&mut out, fingerprint);
+    put_u32(&mut out, asset.config.grid);
+    put_u32(&mut out, asset.config.patch);
+
+    put_u32(&mut out, asset.name.len() as u32);
+    out.extend_from_slice(asset.name.as_bytes());
+
+    // Mesh.
+    let mesh = &asset.mesh;
+    put_u32(&mut out, mesh.vertex_count() as u32);
+    put_u32(&mut out, mesh.quad_count() as u32);
+    for p in &mesh.positions {
+        put_vec3(&mut out, *p);
+    }
+    for n in &mesh.normals {
+        put_vec3(&mut out, *n);
+    }
+    for quad in &mesh.quads {
+        for idx in quad.vertices {
+            put_u32(&mut out, idx);
+        }
+        put_vec3(&mut out, quad.face_normal);
+    }
+
+    // Atlas.
+    let atlas = &asset.atlas;
+    put_u32(&mut out, atlas.patch());
+    put_u64(&mut out, atlas.quad_count() as u64);
+    put_u64(&mut out, atlas.texel_data().len() as u64);
+    for texel in atlas.texel_data() {
+        out.extend_from_slice(texel);
+    }
+
+    // Optional deferred-shading MLP.
+    match &asset.mlp {
+        None => out.push(0),
+        Some(mlp) => {
+            out.push(1);
+            let (weights, biases) = mlp.parameters();
+            put_u32(&mut out, weights.len() as u32);
+            for (layer, bias) in weights.iter().zip(biases) {
+                put_u32(&mut out, layer.len() as u32);
+                put_u32(&mut out, layer.first().map_or(0, Vec::len) as u32);
+                for row in layer {
+                    for &w in row {
+                        put_f32(&mut out, w);
+                    }
+                }
+                for &b in bias {
+                    put_f32(&mut out, b);
+                }
+            }
+        }
+    }
+
+    let checksum = fnv1a(&out);
+    put_u64(&mut out, checksum);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked little-endian reader over an entry buffer.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Guards an upcoming `count`-element allocation: the elements occupy at
+    /// least `count · elem_bytes` of the remaining buffer, so a declared
+    /// count that cannot possibly fit is rejected *before* any allocation.
+    /// This is what keeps decoding total even for checksum-consistent files
+    /// that declare absurd counts (a buggy writer, a hand-crafted file): the
+    /// entry is skipped instead of aborting the process on a huge
+    /// `Vec::with_capacity`.
+    fn expect_elements(&self, count: usize, elem_bytes: usize) -> Result<(), DecodeError> {
+        let needed = count.checked_mul(elem_bytes).ok_or(DecodeError::Truncated)?;
+        if needed > self.bytes.len() - self.pos {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(())
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f32(&mut self) -> Result<f32, DecodeError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn vec3(&mut self) -> Result<Vec3, DecodeError> {
+        Ok(Vec3::new(self.f32()?, self.f32()?, self.f32()?))
+    }
+}
+
+/// Deserializes one cache entry, returning the content key it was stored
+/// under and the reconstructed local-frame asset.
+pub fn decode_entry(bytes: &[u8]) -> Result<(u64, BakeConfig, Arc<BakedAsset>), DecodeError> {
+    // Validate the envelope before touching the payload: magic, version,
+    // then the trailing checksum over everything that precedes it.
+    if bytes.len() < MAGIC.len() + 4 + 8 {
+        return Err(DecodeError::Truncated);
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let mut cursor = Cursor { bytes, pos: MAGIC.len() };
+    let version = cursor.u32()?;
+    if version != CACHE_FORMAT_VERSION {
+        return Err(DecodeError::VersionMismatch { found: version });
+    }
+    let body_len = bytes.len() - 8;
+    let stored_checksum = u64::from_le_bytes(bytes[body_len..].try_into().expect("8 bytes"));
+    if fnv1a(&bytes[..body_len]) != stored_checksum {
+        return Err(DecodeError::ChecksumMismatch);
+    }
+    let mut cursor = Cursor { bytes: &bytes[..body_len], pos: cursor.pos };
+
+    let fingerprint = cursor.u64()?;
+    let grid = cursor.u32()?;
+    let patch = cursor.u32()?;
+    if grid == 0 || patch == 0 {
+        return Err(DecodeError::Malformed("zero configuration knob"));
+    }
+    let config = BakeConfig::new(grid, patch);
+
+    let name_len = cursor.u32()? as usize;
+    let name = std::str::from_utf8(cursor.take(name_len)?)
+        .map_err(|_| DecodeError::Malformed("name is not UTF-8"))?
+        .to_string();
+
+    // Mesh.
+    let vertex_count = cursor.u32()? as usize;
+    let quad_count = cursor.u32()? as usize;
+    // Positions and normals are 12 bytes each, quads 28 (4×u32 + Vec3).
+    cursor.expect_elements(vertex_count, 24)?;
+    cursor.expect_elements(quad_count, 28)?;
+    let mut positions = Vec::with_capacity(vertex_count);
+    for _ in 0..vertex_count {
+        positions.push(cursor.vec3()?);
+    }
+    let mut normals = Vec::with_capacity(vertex_count);
+    for _ in 0..vertex_count {
+        normals.push(cursor.vec3()?);
+    }
+    let mut quads = Vec::with_capacity(quad_count);
+    for _ in 0..quad_count {
+        let mut vertices = [0u32; 4];
+        for v in &mut vertices {
+            *v = cursor.u32()?;
+            if *v as usize >= vertex_count {
+                return Err(DecodeError::Malformed("quad index out of range"));
+            }
+        }
+        quads.push(Quad { vertices, face_normal: cursor.vec3()? });
+    }
+    let mesh = QuadMesh { positions, normals, quads };
+
+    // Atlas.
+    let atlas_patch = cursor.u32()?;
+    let atlas_quads = cursor.u64()? as usize;
+    let texel_count = cursor.u64()? as usize;
+    if atlas_patch == 0 {
+        return Err(DecodeError::Malformed("zero atlas patch"));
+    }
+    // The atlas allocates one patch per mesh quad; a mismatch would decode
+    // fine but panic at render time on the first out-of-range quad index.
+    if atlas_quads != quad_count {
+        return Err(DecodeError::Malformed("atlas quad count differs from mesh"));
+    }
+    let expected_texels = (atlas_patch as usize)
+        .checked_mul(atlas_patch as usize)
+        .and_then(|pp| pp.checked_mul(atlas_quads));
+    if expected_texels != Some(texel_count) {
+        return Err(DecodeError::Malformed("atlas texel count mismatch"));
+    }
+    cursor.expect_elements(texel_count, 3)?;
+    let mut data = Vec::with_capacity(texel_count);
+    for _ in 0..texel_count {
+        let t = cursor.take(3)?;
+        data.push([t[0], t[1], t[2]]);
+    }
+    let atlas = TextureAtlas::from_raw(atlas_patch, atlas_quads, data);
+
+    // Optional MLP.
+    let mlp = match cursor.take(1)?[0] {
+        0 => None,
+        1 => {
+            let layer_count = cursor.u32()? as usize;
+            if layer_count == 0 || layer_count > 64 {
+                return Err(DecodeError::Malformed("implausible MLP layer count"));
+            }
+            let mut weights = Vec::with_capacity(layer_count);
+            let mut biases = Vec::with_capacity(layer_count);
+            for _ in 0..layer_count {
+                let rows = cursor.u32()? as usize;
+                let cols = cursor.u32()? as usize;
+                if rows == 0 || cols == 0 {
+                    return Err(DecodeError::Malformed("empty MLP layer"));
+                }
+                // rows × cols weights plus rows biases, 4 bytes each.
+                cursor.expect_elements(rows, cols.checked_mul(4).ok_or(DecodeError::Truncated)?)?;
+                let mut layer = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    let mut row = Vec::with_capacity(cols);
+                    for _ in 0..cols {
+                        row.push(cursor.f32()?);
+                    }
+                    layer.push(row);
+                }
+                let mut bias = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    bias.push(cursor.f32()?);
+                }
+                weights.push(layer);
+                biases.push(bias);
+            }
+            Some(
+                TinyMlp::from_parameters(weights, biases)
+                    .map_err(|_| DecodeError::Malformed("inconsistent MLP shapes"))?,
+            )
+        }
+        _ => return Err(DecodeError::Malformed("bad MLP presence flag")),
+    };
+
+    if cursor.pos != body_len {
+        return Err(DecodeError::Malformed("trailing bytes after payload"));
+    }
+
+    let asset = BakedAsset {
+        name,
+        object_id: 0,
+        config,
+        mesh: Arc::new(mesh),
+        atlas: Arc::new(atlas),
+        mlp,
+        placement: Placement::default(),
+    };
+    Ok((fingerprint, config, Arc::new(asset)))
+}
+
+/// The canonical file name of an entry: `"{fingerprint:016x}-g{g}-p{p}.nfbake"`.
+pub fn entry_file_name(fingerprint: u64, config: BakeConfig) -> String {
+    format!("{fingerprint:016x}-g{}-p{}.{ENTRY_EXTENSION}", config.grid, config.patch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asset::bake_object;
+    use nerflex_scene::object::CanonicalObject;
+
+    fn sample_asset(with_mlp: bool) -> BakedAsset {
+        let model = CanonicalObject::Hotdog.build();
+        let mut asset = bake_object(&model, BakeConfig::new(12, 3));
+        if with_mlp {
+            asset.mlp = Some(TinyMlp::shading_model(7));
+        }
+        asset
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        for with_mlp in [false, true] {
+            let asset = sample_asset(with_mlp);
+            let bytes = encode_entry(0xdead_beef, &asset);
+            let (fp, config, decoded) = decode_entry(&bytes).expect("decodes");
+            assert_eq!(fp, 0xdead_beef);
+            assert_eq!(config, asset.config);
+            assert_eq!(decoded.name, asset.name);
+            assert_eq!(*decoded.mesh, *asset.mesh);
+            assert_eq!(*decoded.atlas, *asset.atlas);
+            assert_eq!(decoded.mlp, asset.mlp);
+            assert_eq!(decoded.size_bytes(), asset.size_bytes());
+            // Placement is never persisted: entries are local-frame.
+            assert_eq!(decoded.placement, Placement::default());
+            assert_eq!(decoded.object_id, 0);
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let bytes = encode_entry(1, &sample_asset(false));
+        // Every strict prefix must fail cleanly (checksum or truncation),
+        // never panic.
+        for len in (0..bytes.len()).step_by(97).chain([bytes.len() - 1]) {
+            assert!(decode_entry(&bytes[..len]).is_err(), "prefix of {len} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn bit_flips_fail_the_checksum() {
+        let bytes = encode_entry(1, &sample_asset(false));
+        for pos in [MAGIC.len() + 4, bytes.len() / 2, bytes.len() - 9] {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x40;
+            assert!(decode_entry(&corrupt).is_err(), "bit flip at {pos} not detected");
+        }
+    }
+
+    #[test]
+    fn foreign_versions_are_rejected_not_misread() {
+        let mut bytes = encode_entry(1, &sample_asset(false));
+        bytes[4..8].copy_from_slice(&(CACHE_FORMAT_VERSION + 1).to_le_bytes());
+        // Fix up the checksum so only the version differs.
+        let body = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body]);
+        bytes[body..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            decode_entry(&bytes).err(),
+            Some(DecodeError::VersionMismatch { found: CACHE_FORMAT_VERSION + 1 })
+        );
+    }
+
+    #[test]
+    fn checksum_consistent_absurd_counts_are_rejected_without_allocating() {
+        // A hostile or buggy-writer entry can be checksum-consistent yet
+        // declare counts that would allocate terabytes. Decoding must reject
+        // it (skip-one-entry semantics), not abort the process.
+        let asset = sample_asset(false);
+        let bytes = encode_entry(1, &asset);
+        // vertex_count sits right after the fixed header and the name.
+        let vertex_count_offset = MAGIC.len() + 4 + 8 + 4 + 4 + 4 + asset.name.len();
+        assert_eq!(
+            u32::from_le_bytes(
+                bytes[vertex_count_offset..vertex_count_offset + 4].try_into().expect("4")
+            ) as usize,
+            asset.mesh.vertex_count(),
+            "offset arithmetic drifted from the format"
+        );
+        let mut hostile = bytes.clone();
+        hostile[vertex_count_offset..vertex_count_offset + 4]
+            .copy_from_slice(&u32::MAX.to_le_bytes());
+        let body = hostile.len() - 8;
+        let sum = fnv1a(&hostile[..body]);
+        hostile[body..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(decode_entry(&hostile).err(), Some(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode_entry(1, &sample_asset(false));
+        bytes[0] = b'X';
+        assert_eq!(decode_entry(&bytes).err(), Some(DecodeError::BadMagic));
+        assert!(decode_entry(&[]).is_err());
+    }
+
+    #[test]
+    fn entry_file_names_are_unique_per_key() {
+        let a = entry_file_name(7, BakeConfig::new(10, 3));
+        let b = entry_file_name(7, BakeConfig::new(10, 5));
+        let c = entry_file_name(8, BakeConfig::new(10, 3));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert!(a.ends_with(".nfbake"));
+    }
+}

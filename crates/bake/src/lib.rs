@@ -30,6 +30,7 @@ pub mod asset;
 pub mod atlas;
 pub mod cache;
 pub mod config;
+pub mod disk;
 pub mod mesh;
 pub mod mlp;
 pub mod pool;
@@ -39,6 +40,7 @@ pub use asset::{bake_object, bake_placed, bake_scene, BakedAsset, Placement};
 pub use atlas::TextureAtlas;
 pub use cache::{model_fingerprint, BakeCache, CacheStats};
 pub use config::BakeConfig;
+pub use disk::CACHE_FORMAT_VERSION;
 pub use mesh::QuadMesh;
 pub use mlp::TinyMlp;
 pub use voxel::VoxelGrid;

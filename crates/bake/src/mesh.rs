@@ -22,7 +22,7 @@ pub struct Quad {
 }
 
 /// An indexed quad mesh with per-vertex positions and normals.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct QuadMesh {
     /// Vertex positions (object/local space).
     pub positions: Vec<Vec3>,

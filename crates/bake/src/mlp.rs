@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 
 /// A small fully-connected network with ReLU hidden activations and a
 /// sigmoid output layer.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TinyMlp {
     /// Per-layer weight matrices, row-major `[out][in]`.
     weights: Vec<Vec<Vec<f32>>>,
@@ -49,6 +49,45 @@ impl TinyMlp {
             biases.push(vec![0.0; n_out]);
         }
         Self { weights, biases }
+    }
+
+    /// The raw per-layer weight matrices and bias vectors (the persistence
+    /// codec's view of the network).
+    pub fn parameters(&self) -> (&[Vec<Vec<f32>>], &[Vec<f32>]) {
+        (&self.weights, &self.biases)
+    }
+
+    /// Reassembles a network from raw parameters, validating that every
+    /// layer's weight matrix is rectangular, matches its bias vector, and
+    /// chains onto the previous layer's width.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first shape inconsistency found.
+    pub fn from_parameters(
+        weights: Vec<Vec<Vec<f32>>>,
+        biases: Vec<Vec<f32>>,
+    ) -> Result<Self, &'static str> {
+        if weights.is_empty() || weights.len() != biases.len() {
+            return Err("layer count mismatch");
+        }
+        let mut prev_width: Option<usize> = None;
+        for (layer, bias) in weights.iter().zip(&biases) {
+            if layer.len() != bias.len() {
+                return Err("bias width differs from layer output width");
+            }
+            let cols = layer.first().map_or(0, Vec::len);
+            if cols == 0 || layer.iter().any(|row| row.len() != cols) {
+                return Err("weight matrix is not rectangular");
+            }
+            if let Some(prev) = prev_width {
+                if cols != prev {
+                    return Err("layer input width does not chain");
+                }
+            }
+            prev_width = Some(layer.len());
+        }
+        Ok(Self { weights, biases })
     }
 
     /// Number of scalar parameters.

@@ -1,6 +1,15 @@
 //! Criterion benchmarks behind the Fig. 9 overhead analysis: per-stage costs
 //! of the cloud-side modules (detection + frequency analysis, crop/enlarge,
 //! and the DP solver) measured on a fixed training set.
+//!
+//! Two environment variables support the CI `bench-smoke` job:
+//!
+//! * `NERFLEX_CACHE_DIR` — run the quick pipeline against the persistent
+//!   on-disk bake store at that directory (opened before, flushed after);
+//!   a second invocation answers its bakes from disk.
+//! * `NERFLEX_BENCH_SMOKE` — shrink the sample counts so the suite finishes
+//!   in seconds; the pipeline run and its `bench-overhead:` summary line
+//!   (which the CI job parses) are unaffected.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nerflex_bake::{bake_placed, BakeCache, BakeConfig};
@@ -22,10 +31,24 @@ fn fixture() -> (Scene, Dataset) {
     (scene, dataset)
 }
 
+/// `true` in the CI smoke job: fewer samples, same measurements.
+fn smoke() -> bool {
+    std::env::var_os("NERFLEX_BENCH_SMOKE").is_some()
+}
+
+/// Sample count for a group: `full` normally, 2 under smoke.
+fn samples(full: usize) -> usize {
+    if smoke() {
+        2
+    } else {
+        full
+    }
+}
+
 fn bench_segmentation_stages(c: &mut Criterion) {
     let (_, dataset) = fixture();
     let mut group = c.benchmark_group("segmentation_module");
-    group.sample_size(10);
+    group.sample_size(samples(10));
     group.bench_function("object_detection", |b| b.iter(|| detect_objects(&dataset)));
     let detections = detect_objects(&dataset);
     group.bench_function("frequency_analysis", |b| {
@@ -76,7 +99,7 @@ fn bench_solver_stage(c: &mut Criterion) {
         .collect();
     let problem = SelectionProblem { objects, budget_mb: 240.0 };
     let mut group = c.benchmark_group("solver_stage");
-    group.sample_size(20);
+    group.sample_size(samples(20));
     group.bench_function("dp_240mb_5objects_full_space", |b| {
         let selector = DpSelector::default();
         b.iter(|| selector.select(&problem))
@@ -94,29 +117,45 @@ fn bench_pipeline_engine(c: &mut Criterion) {
     let object = &scene.objects()[0];
 
     let mut group = c.benchmark_group("pipeline_engine");
-    group.sample_size(10);
+    group.sample_size(samples(10));
     group.bench_function("final_bake_cold_cache", |b| b.iter(|| bake_placed(object, config)));
     let warm = BakeCache::new();
     let _ = warm.get_or_bake_placed(object, config);
+    // With Arc-backed assets a warm hit is two reference-count bumps plus
+    // the placement stamp — contrast with the cold bake above.
     group.bench_function("final_bake_warm_cache", |b| {
         b.iter(|| warm.get_or_bake_placed(object, config))
     });
     group.finish();
 
-    let deployment = NerflexPipeline::new(PipelineOptions::quick()).run(
-        &scene,
-        &dataset,
-        &DeviceSpec::iphone_13(),
-    );
+    let mut options = PipelineOptions::quick();
+    options.cache_dir = nerflex_bench::cache_dir_from_args();
+    let pipeline = NerflexPipeline::new(options);
+    let cache = pipeline.open_cache();
+    let deployment = pipeline.run_with_cache(&scene, &dataset, &DeviceSpec::iphone_13(), &cache);
+    let run_cache = cache.stats();
+    if let Err(err) = cache.flush() {
+        eprintln!("overhead bench: cache flush failed: {err}");
+    }
     let t = deployment.timings;
     println!(
-        "quick pipeline run: cache hits {}/{} | profiler workers {} | \
+        "quick pipeline run: cache hits {}/{} | profiler workers {}x{} | \
          parallel speedup {:.2}x | {}",
-        t.cache_hits,
-        t.cache_hits + t.cache_misses,
+        t.cache_served(),
+        t.cache_served() + t.cache_misses,
         t.profiling_workers,
+        t.profiling_sample_workers,
         t.profiling_speedup(),
         t.summary(),
+    );
+    // Stable, machine-readable summary parsed by the CI bench-smoke job.
+    println!(
+        "bench-overhead: cache_served={} cache_disk_hits={} cache_misses={} \
+         cache_loaded_from_disk={}",
+        run_cache.total_hits(),
+        run_cache.disk_hits,
+        run_cache.misses,
+        run_cache.loaded_from_disk,
     );
 }
 

@@ -3,10 +3,21 @@
 //! and their shares of the total.
 //!
 //! ```bash
-//! cargo run --release -p nerflex-bench --bin fig9 [-- --full]
+//! cargo run --release -p nerflex-bench --bin fig9 [-- --full] \
+//!     [--smoke] [--cache-dir DIR] [--json PATH]
 //! ```
+//!
+//! `--cache-dir` opens the persistent on-disk bake store before the run and
+//! flushes it afterwards: a second invocation against the same directory
+//! answers every bake from disk and re-bakes nothing (the CI `bench-smoke`
+//! job asserts exactly that). `--json` writes a machine-readable summary of
+//! the timings and cache counters; `--smoke` further reduces the quick scale
+//! for CI while keeping the cache keys identical.
 
-use nerflex_bench::{print_header, seed_from_args, ExperimentMode};
+use nerflex_bench::{
+    cache_dir_from_args, json_path_from_args, print_header, seed_from_args, smoke_from_args,
+    ExperimentMode, JsonReport,
+};
 use nerflex_core::baselines::{bake_block_nerf, bake_single_nerf};
 use nerflex_core::experiments::EvaluationScene;
 use nerflex_core::pipeline::NerflexPipeline;
@@ -15,18 +26,32 @@ use nerflex_core::report::{fmt_f64, format_duration, Table};
 fn main() {
     let mode = ExperimentMode::from_args();
     let seed = seed_from_args();
+    let smoke = smoke_from_args();
     print_header("Fig. 9 — overhead analysis (20 training images)", mode, seed);
 
     let built = EvaluationScene::RealWorld.build(seed);
-    // The paper reports the total processing time for twenty training images.
-    let train_views = 20;
-    let dataset = built.dataset(train_views, 2, mode.resolution());
+    // The paper reports the total processing time for twenty training
+    // images; smoke mode trims the dataset (segmentation input) without
+    // touching the profiler's sample space, so its cache keys — and the
+    // cross-run reuse the CI job checks — match a regular quick run.
+    let train_views = if smoke { 6 } else { 20 };
+    let resolution = if smoke { 56 } else { mode.resolution() };
+    let dataset = built.dataset(train_views, 2, resolution);
     let single = bake_single_nerf(&built.scene, mode.baseline_config());
     let block = bake_block_nerf(&built.scene, mode.baseline_config());
     let (iphone, _) = mode.devices(&single, &block);
 
-    let deployment =
-        NerflexPipeline::new(mode.pipeline_options()).run(&built.scene, &dataset, &iphone);
+    let mut options = mode.pipeline_options();
+    options.cache_dir = cache_dir_from_args();
+    let pipeline = NerflexPipeline::new(options);
+    // Hold the cache for the whole run so the report can distinguish what
+    // this process baked from what a previous process left on disk.
+    let cache = pipeline.open_cache();
+    let deployment = pipeline.run_with_cache(&built.scene, &dataset, &iphone, &cache);
+    let run_cache = cache.stats();
+    if let Err(err) = cache.flush() {
+        eprintln!("fig9: cache flush failed: {err}");
+    }
     let t = deployment.timings;
     let overhead = t.overhead().as_secs_f64();
 
@@ -56,7 +81,10 @@ fn main() {
     // of the stage breakdown above.
     let mut engine =
         Table::new("Execution engine: parallelism and bake-cache effect", &["metric", "value"]);
-    engine.push_row(vec!["profiler workers".to_string(), t.profiling_workers.to_string()]);
+    engine.push_row(vec![
+        "profiler workers (objects × samples)".to_string(),
+        format!("{} × {}", t.profiling_workers, t.profiling_sample_workers),
+    ]);
     engine.push_row(vec![
         "profiler serial-equivalent time".to_string(),
         format_duration(t.profiling_serial),
@@ -68,13 +96,60 @@ fn main() {
     engine.push_row(vec![
         "final bakes served from cache".to_string(),
         format!(
-            "{} of {} ({}%)",
-            t.cache_hits,
-            t.cache_hits + t.cache_misses,
-            fmt_f64(t.cache_hit_ratio() * 100.0, 0)
+            "{} of {} ({}%, {} from disk)",
+            t.cache_served(),
+            t.cache_served() + t.cache_misses,
+            fmt_f64(t.cache_hit_ratio() * 100.0, 0),
+            t.cache_disk_hits
         ),
     ]);
+    engine.push_row(vec![
+        "persistent store".to_string(),
+        match pipeline.options().cache_dir.as_ref() {
+            None => "disabled (in-memory cache)".to_string(),
+            Some(dir) => format!(
+                "{} ({} entries loaded, {} baked this run)",
+                dir.display(),
+                run_cache.loaded_from_disk,
+                run_cache.misses
+            ),
+        },
+    ]);
     println!("{engine}");
+    println!("whole-run bake cache: {run_cache}");
+
+    if let Some(path) = json_path_from_args() {
+        let mut report = JsonReport::new();
+        report
+            .str_field("figure", "fig9")
+            .str_field("mode", mode.label())
+            .int_field("seed", seed)
+            .int_field("smoke", u64::from(smoke))
+            .int_field("cache_format_version", u64::from(nerflex_bake::CACHE_FORMAT_VERSION))
+            .int_field("train_views", train_views as u64)
+            .float_field("segmentation_seconds", t.segmentation.as_secs_f64())
+            .float_field("profiling_seconds", t.profiling.as_secs_f64())
+            .float_field("selection_seconds", t.selection.as_secs_f64())
+            .float_field("overhead_seconds", overhead)
+            .float_field("baking_seconds", t.baking.as_secs_f64())
+            .float_field("profiling_speedup", t.profiling_speedup())
+            .int_field("profiling_workers", t.profiling_workers as u64)
+            .int_field("profiling_sample_workers", t.profiling_sample_workers as u64)
+            .int_field("stage_cache_hits", t.cache_hits as u64)
+            .int_field("stage_cache_disk_hits", t.cache_disk_hits as u64)
+            .int_field("stage_cache_misses", t.cache_misses as u64)
+            .int_field("cache_hits", run_cache.hits as u64)
+            .int_field("cache_disk_hits", run_cache.disk_hits as u64)
+            .int_field("cache_served", run_cache.total_hits() as u64)
+            .int_field("cache_misses", run_cache.misses as u64)
+            .int_field("cache_entries", run_cache.entries as u64)
+            .int_field("cache_loaded_from_disk", run_cache.loaded_from_disk as u64);
+        match report.write(&path) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(err) => eprintln!("fig9: writing {} failed: {err}", path.display()),
+        }
+    }
+
     println!(
         "\npaper (full scale): segmentation ≈3.8 s (64 %), profiler ≈0.277 s (4.7 %),\n\
          solver ≈1.87 s (31 %), total ≈5.9 s. Our profiler stage is relatively more\n\

@@ -77,7 +77,7 @@ impl ExperimentMode {
             ExperimentMode::Quick => ProfilerOptions::quick(),
             ExperimentMode::Full => ProfilerOptions {
                 range: SampleRange { g_min: 16, g_max: 128, p_min: 3, p_max: 33 },
-                measurement: MeasurementSettings { views: 3, resolution: 96 },
+                measurement: MeasurementSettings { views: 3, resolution: 96, worker_threads: 1 },
             },
         }
     }
@@ -142,15 +142,97 @@ impl ExperimentMode {
     }
 }
 
+/// The value following `flag` in the process arguments (`--flag value`).
+pub fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
 /// The fixed seed every experiment binary uses by default, overridable with
 /// `--seed <n>`.
 pub fn seed_from_args() -> u64 {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42)
+    arg_value("--seed").and_then(|s| s.parse().ok()).unwrap_or(42)
+}
+
+/// The persistent bake-store directory, from `--cache-dir <path>` or the
+/// `NERFLEX_CACHE_DIR` environment variable (the flag wins). `None` keeps
+/// the run's bake cache in-memory.
+pub fn cache_dir_from_args() -> Option<std::path::PathBuf> {
+    arg_value("--cache-dir")
+        .map(std::path::PathBuf::from)
+        .or_else(|| std::env::var_os("NERFLEX_CACHE_DIR").map(std::path::PathBuf::from))
+}
+
+/// Where to write the machine-readable run summary (`--json <path>`).
+pub fn json_path_from_args() -> Option<std::path::PathBuf> {
+    arg_value("--json").map(std::path::PathBuf::from)
+}
+
+/// `true` when `--smoke` was passed: a further-reduced quick mode for CI
+/// smoke jobs (fewer training views, lower probe resolution) that keeps the
+/// cache keys — and therefore cross-run cache reuse — identical to quick.
+pub fn smoke_from_args() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+/// A minimal JSON object writer for machine-readable bench output (the
+/// vendored serde shim is a marker with no wire format, so the report is
+/// assembled by hand: flat string / integer / float fields only).
+#[derive(Debug, Default)]
+pub struct JsonReport {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a string field (escaped).
+    pub fn str_field(&mut self, key: &str, value: &str) -> &mut Self {
+        let escaped: String = value
+            .chars()
+            .flat_map(|c| match c {
+                '"' => "\\\"".chars().collect::<Vec<_>>(),
+                '\\' => "\\\\".chars().collect(),
+                '\n' => "\\n".chars().collect(),
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
+            .collect();
+        self.fields.push((key.to_string(), format!("\"{escaped}\"")));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int_field(&mut self, key: &str, value: u64) -> &mut Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a float field (finite values only; non-finite become `null`).
+    pub fn float_field(&mut self, key: &str, value: f64) -> &mut Self {
+        let rendered = if value.is_finite() { format!("{value:.6}") } else { "null".to_string() };
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Renders the report as a single JSON object.
+    pub fn render(&self) -> String {
+        let body: Vec<String> =
+            self.fields.iter().map(|(k, v)| format!("  \"{k}\": {v}")).collect();
+        format!("{{\n{}\n}}\n", body.join(",\n"))
+    }
+
+    /// Writes the report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
 }
 
 /// Prints the standard experiment header.
@@ -188,6 +270,25 @@ mod tests {
         assert!(single.workload.data_size_mb > iphone.hard_memory_limit_mb);
         assert!(single.workload.data_size_mb <= pixel.hard_memory_limit_mb);
         assert!(block.workload.data_size_mb > pixel.hard_memory_limit_mb);
+    }
+
+    #[test]
+    fn json_report_renders_parseable_output() {
+        let mut report = JsonReport::new();
+        report
+            .str_field("figure", "fig9")
+            .str_field("note", "quotes \" and \\ and\nnewline")
+            .int_field("cache_hits", 12)
+            .float_field("overhead_seconds", 1.5)
+            .float_field("bad", f64::NAN);
+        let rendered = report.render();
+        assert!(rendered.starts_with("{\n"));
+        assert!(rendered.trim_end().ends_with('}'));
+        assert!(rendered.contains("\"figure\": \"fig9\""));
+        assert!(rendered.contains("\\\"") && rendered.contains("\\n"));
+        assert!(rendered.contains("\"cache_hits\": 12"));
+        assert!(rendered.contains("\"overhead_seconds\": 1.500000"));
+        assert!(rendered.contains("\"bad\": null"));
     }
 
     #[test]

@@ -94,8 +94,8 @@ pub fn bake_single_nerf(scene: &Scene, config: BakeConfig) -> BaselineResult {
         name: "single-nerf-scene".to_string(),
         object_id: 0,
         config,
-        mesh,
-        atlas,
+        mesh: std::sync::Arc::new(mesh),
+        atlas: std::sync::Arc::new(atlas),
         mlp: None,
         placement: Placement::default(),
     };

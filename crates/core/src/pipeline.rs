@@ -32,6 +32,7 @@ use nerflex_scene::dataset::Dataset;
 use nerflex_scene::scene::Scene;
 use nerflex_seg::{segment, SegmentationPolicy, SegmentationResult};
 use nerflex_solve::{ConfigSelector, ConfigSpace, DpSelector, SelectionOutcome, SelectionProblem};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -51,8 +52,17 @@ pub struct PipelineOptions {
     pub budget_override_mb: Option<f64>,
     /// Worker threads for the parallel stages (profiling, baking): `0` uses
     /// one worker per available core; `1` forces the sequential path (useful
-    /// for determinism comparisons and single-core environments).
+    /// for determinism comparisons and single-core environments). Workers
+    /// left over after fanning out across objects fan out *within* each
+    /// profile, over its independent sample measurements.
     pub worker_threads: usize,
+    /// Directory for the persistent on-disk bake store. When set,
+    /// [`NerflexPipeline::run`] and [`NerflexPipeline::deploy_fleet`] open
+    /// the cache from disk before the run and flush new bakes after it, so
+    /// bakes are shared across *processes* (repeated bench invocations, CI
+    /// runs, fleet re-deployments). `None` keeps the cache in-memory,
+    /// per-run — the previous behaviour.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl std::fmt::Debug for PipelineOptions {
@@ -63,6 +73,7 @@ impl std::fmt::Debug for PipelineOptions {
             .field("selector", &self.selector.name())
             .field("budget_override_mb", &self.budget_override_mb)
             .field("worker_threads", &self.worker_threads)
+            .field("cache_dir", &self.cache_dir)
             .finish()
     }
 }
@@ -76,6 +87,7 @@ impl Default for PipelineOptions {
             selector: Arc::new(DpSelector::default()),
             budget_override_mb: None,
             worker_threads: 0,
+            cache_dir: None,
         }
     }
 }
@@ -106,6 +118,13 @@ impl PipelineOptions {
         self.worker_threads = workers;
         self
     }
+
+    /// Sets the persistent bake-store directory, sharing bakes across
+    /// processes (see [`PipelineOptions::cache_dir`]).
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
 }
 
 /// Wall-clock duration of each cloud-side stage (the Fig. 9 overhead
@@ -124,13 +143,19 @@ pub struct StageTimings {
     pub selection: Duration,
     /// Multi-NeRF baking of the selected configurations, wall clock.
     pub baking: Duration,
-    /// Worker threads used by the profiling stage.
+    /// Worker threads fanned out across objects by the profiling stage.
     pub profiling_workers: usize,
+    /// Worker threads fanned out *within* each profile, over its independent
+    /// sample measurements (1 = sequential per object).
+    pub profiling_sample_workers: usize,
     /// Worker threads used by the baking stage.
     pub baking_workers: usize,
-    /// Final-bake requests answered from the shared bake cache (a selected
-    /// configuration that the profiler had already probed).
+    /// Final-bake requests answered by an entry baked earlier in this
+    /// process (a selected configuration the profiler had already probed).
     pub cache_hits: usize,
+    /// Final-bake requests answered by an entry loaded from the persistent
+    /// on-disk store — work a *previous process* paid for.
+    pub cache_disk_hits: usize,
     /// Final-bake requests that actually had to bake.
     pub cache_misses: usize,
 }
@@ -153,29 +178,38 @@ impl StageTimings {
         }
     }
 
-    /// Share of final bakes served by the cache, in `[0, 1]`.
+    /// Final-bake requests answered without baking, from either the
+    /// in-process cache or the persistent on-disk store.
+    pub fn cache_served(&self) -> usize {
+        self.cache_hits + self.cache_disk_hits
+    }
+
+    /// Share of final bakes served by the cache (in-process or disk), in
+    /// `[0, 1]`.
     pub fn cache_hit_ratio(&self) -> f64 {
-        let total = self.cache_hits + self.cache_misses;
+        let total = self.cache_served() + self.cache_misses;
         if total == 0 {
             0.0
         } else {
-            self.cache_hits as f64 / total as f64
+            self.cache_served() as f64 / total as f64
         }
     }
 
     /// Formats the breakdown as a one-line summary.
     pub fn summary(&self) -> String {
         format!(
-            "segmentation {} | profiler {} ({} workers, {:.1}x speedup) | solver {} | \
-             total overhead {} | bake cache {}/{} hits",
+            "segmentation {} | profiler {} ({}x{} workers, {:.1}x speedup) | solver {} | \
+             total overhead {} | bake cache {}/{} hits ({} from disk)",
             format_duration(self.segmentation),
             format_duration(self.profiling),
             self.profiling_workers.max(1),
+            self.profiling_sample_workers.max(1),
             self.profiling_speedup(),
             format_duration(self.selection),
             format_duration(self.overhead()),
-            self.cache_hits,
-            self.cache_hits + self.cache_misses,
+            self.cache_served(),
+            self.cache_served() + self.cache_misses,
+            self.cache_disk_hits,
         )
     }
 }
@@ -270,13 +304,45 @@ impl NerflexPipeline {
         &self.options
     }
 
-    /// Resolved worker count for a stage with `jobs` independent jobs.
-    fn workers_for(&self, jobs: usize) -> usize {
-        let configured = match self.options.worker_threads {
+    /// The configured worker budget (`0` resolves to one per core).
+    fn configured_workers(&self) -> usize {
+        match self.options.worker_threads {
             0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
             n => n,
-        };
-        configured.min(jobs.max(1))
+        }
+    }
+
+    /// Resolved worker count for a stage with `jobs` independent jobs.
+    fn workers_for(&self, jobs: usize) -> usize {
+        self.configured_workers().min(jobs.max(1))
+    }
+
+    /// Opens the bake cache this pipeline's options call for: the persistent
+    /// on-disk store when [`PipelineOptions::cache_dir`] is set (falling back
+    /// to an in-memory cache if the directory is unusable), an in-memory
+    /// cache otherwise. Callers that hold the cache across runs pair this
+    /// with [`BakeCache::flush`]; [`NerflexPipeline::run`] and
+    /// [`NerflexPipeline::deploy_fleet`] do both automatically.
+    pub fn open_cache(&self) -> BakeCache {
+        match &self.options.cache_dir {
+            None => BakeCache::new(),
+            Some(dir) => BakeCache::open(dir).unwrap_or_else(|err| {
+                eprintln!(
+                    "nerflex: bake-cache dir {} unusable ({err}); continuing in-memory",
+                    dir.display()
+                );
+                BakeCache::new()
+            }),
+        }
+    }
+
+    /// Best-effort flush of a persistent cache at the end of an engine-owned
+    /// run (persistence is an optimisation — a failed flush costs re-bakes
+    /// next run, not correctness).
+    fn flush_cache(cache: &BakeCache) {
+        if let Err(err) = cache.flush() {
+            eprintln!("nerflex: bake-cache flush failed ({err}); next run starts colder");
+        }
     }
 
     /// Stage 1: detail-based segmentation.
@@ -287,26 +353,32 @@ impl NerflexPipeline {
     }
 
     /// Stage 2: lightweight profiling, one profile per scene object, fanned
-    /// out over the worker pool. Sample bakes land in `cache`. Returns the
-    /// profiles, the wall time, the serial-equivalent time (sum of per-object
-    /// durations) and the worker count used.
+    /// out over the worker pool at two levels: the outer fan-out covers the
+    /// objects, and the worker budget left over fans out *within* each
+    /// profile over its independent sample measurements. With one configured
+    /// worker both levels collapse to the bit-for-bit sequential path.
+    /// Sample bakes land in `cache`. Returns the profiles, the wall time,
+    /// the serial-equivalent time (sum of per-object durations) and the
+    /// outer/inner worker counts used.
     fn stage_profiling(
         &self,
         scene: &Scene,
         cache: &BakeCache,
-    ) -> (Vec<ObjectProfile>, Duration, Duration, usize) {
+    ) -> (Vec<ObjectProfile>, Duration, Duration, usize, usize) {
         let t = Instant::now();
         let workers = self.workers_for(scene.len());
+        let sample_workers = (self.configured_workers() / workers).max(1);
+        let mut profiler = self.options.profiler;
+        profiler.measurement.worker_threads = sample_workers;
         let profiled = parallel_map(scene.len(), workers, |idx| {
             let object = &scene.objects()[idx];
             let t_obj = Instant::now();
-            let profile =
-                build_profile_cached(&object.model, object.id, &self.options.profiler, Some(cache));
+            let profile = build_profile_cached(&object.model, object.id, &profiler, Some(cache));
             (profile, t_obj.elapsed())
         });
         let serial = profiled.iter().map(|(_, d)| *d).sum();
         let profiles = profiled.into_iter().map(|(p, _)| p).collect();
-        (profiles, t.elapsed(), serial, workers)
+        (profiles, t.elapsed(), serial, workers, sample_workers)
     }
 
     /// Stage 3: configuration selection under the device budget.
@@ -350,18 +422,47 @@ impl NerflexPipeline {
         (assets, t.elapsed(), delta, workers)
     }
 
+    /// Runs segmentation → profiling against `cache` and packages the shared
+    /// stage outputs.
+    fn shared_stages(
+        &self,
+        scene: &Scene,
+        dataset: &Dataset,
+        cache: &BakeCache,
+    ) -> (Arc<SegmentationResult>, Arc<Vec<ObjectProfile>>, SharedStages) {
+        let (segmentation, segmentation_time) = self.stage_segmentation(dataset);
+        let (profiles, profiling_time, profiling_serial, profiling_workers, sample_workers) =
+            self.stage_profiling(scene, cache);
+        (
+            Arc::new(segmentation),
+            Arc::new(profiles),
+            SharedStages {
+                segmentation: segmentation_time,
+                profiling: profiling_time,
+                profiling_serial,
+                profiling_workers,
+                profiling_sample_workers: sample_workers,
+            },
+        )
+    }
+
     /// Runs segmentation → profiling → selection → baking for one scene and
     /// device, returning the deployment. All four stages share one
-    /// [`BakeCache`] created for the run; use
-    /// [`NerflexPipeline::run_with_cache`] to share bakes across runs and
-    /// [`NerflexPipeline::deploy_fleet`] to amortise the shared stages over
-    /// many devices.
+    /// [`BakeCache`]: the persistent on-disk store when
+    /// [`PipelineOptions::cache_dir`] is set (opened before the run, flushed
+    /// after, so bakes are shared across processes), a per-run in-memory
+    /// cache otherwise. Use [`NerflexPipeline::run_with_cache`] to manage
+    /// the cache yourself and [`NerflexPipeline::deploy_fleet`] to amortise
+    /// the shared stages over many devices.
     ///
     /// # Panics
     ///
     /// Panics when the scene or dataset is empty.
     pub fn run(&self, scene: &Scene, dataset: &Dataset, device: &DeviceSpec) -> NerflexDeployment {
-        self.run_with_cache(scene, dataset, device, &BakeCache::new())
+        let cache = self.open_cache();
+        let deployment = self.run_with_cache(scene, dataset, device, &cache);
+        Self::flush_cache(&cache);
+        deployment
     }
 
     /// [`NerflexPipeline::run`] against a caller-owned [`BakeCache`], so
@@ -381,22 +482,8 @@ impl NerflexPipeline {
         assert!(!scene.is_empty(), "cannot deploy an empty scene");
         assert!(!dataset.train.is_empty(), "need training views");
 
-        let (segmentation, segmentation_time) = self.stage_segmentation(dataset);
-        let (profiles, profiling_time, profiling_serial, profiling_workers) =
-            self.stage_profiling(scene, cache);
-        self.deploy_budget(
-            scene,
-            device,
-            &Arc::new(segmentation),
-            &Arc::new(profiles),
-            cache,
-            SharedStages {
-                segmentation: segmentation_time,
-                profiling: profiling_time,
-                profiling_serial,
-                profiling_workers,
-            },
-        )
+        let (segmentation, profiles, shared) = self.shared_stages(scene, dataset, cache);
+        self.deploy_budget(scene, device, &segmentation, &profiles, cache, shared)
     }
 
     /// Prepares one scene for a whole fleet of devices, amortising the
@@ -419,25 +506,15 @@ impl NerflexPipeline {
         assert!(!dataset.train.is_empty(), "need training views");
         assert!(!devices.is_empty(), "need at least one device");
 
-        let cache = BakeCache::new();
-        let (segmentation, segmentation_time) = self.stage_segmentation(dataset);
-        let (profiles, profiling_time, profiling_serial, profiling_workers) =
-            self.stage_profiling(scene, &cache);
-        let shared = SharedStages {
-            segmentation: segmentation_time,
-            profiling: profiling_time,
-            profiling_serial,
-            profiling_workers,
-        };
-
-        let segmentation = Arc::new(segmentation);
-        let profiles = Arc::new(profiles);
+        let cache = self.open_cache();
+        let (segmentation, profiles, shared) = self.shared_stages(scene, dataset, &cache);
         let deployments: Vec<NerflexDeployment> = devices
             .iter()
             .map(|device| {
                 self.deploy_budget(scene, device, &segmentation, &profiles, &cache, shared)
             })
             .collect();
+        Self::flush_cache(&cache);
 
         FleetDeployment {
             stage_runs: FleetStageRuns {
@@ -483,8 +560,10 @@ impl NerflexPipeline {
                 selection: selection_time,
                 baking: baking_time,
                 profiling_workers: shared.profiling_workers,
+                profiling_sample_workers: shared.profiling_sample_workers,
                 baking_workers,
                 cache_hits: cache_delta.hits,
+                cache_disk_hits: cache_delta.disk_hits,
                 cache_misses: cache_delta.misses,
             },
         }
@@ -499,6 +578,7 @@ struct SharedStages {
     profiling: Duration,
     profiling_serial: Duration,
     profiling_workers: usize,
+    profiling_sample_workers: usize,
 }
 
 impl Default for NerflexPipeline {

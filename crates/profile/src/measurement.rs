@@ -27,18 +27,34 @@ pub struct Measurement {
     pub quad_count: usize,
 }
 
-/// How measurements are taken (probe view count and resolution).
+/// How measurements are taken (probe view count, resolution, and how many
+/// worker threads fan out over the sample configurations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MeasurementSettings {
     /// Number of probe views on the measurement orbit.
     pub views: usize,
     /// Probe image resolution (square).
     pub resolution: usize,
+    /// Worker threads measuring sample configurations in parallel: the
+    /// per-object samples are independent measurements against one shared
+    /// ground truth, so they fan out over the bake worker pool. `1`
+    /// (the default) is the bit-for-bit sequential path; `0` uses one
+    /// worker per available core.
+    pub worker_threads: usize,
 }
 
 impl Default for MeasurementSettings {
     fn default() -> Self {
-        Self { views: 3, resolution: 96 }
+        Self { views: 3, resolution: 96, worker_threads: 1 }
+    }
+}
+
+impl MeasurementSettings {
+    /// Returns the settings with the given sample-measurement worker count
+    /// (`0` = one per core, `1` = sequential).
+    pub fn with_worker_threads(mut self, workers: usize) -> Self {
+        self.worker_threads = workers;
+        self
     }
 }
 
@@ -141,13 +157,21 @@ pub fn measure_object_cached(
     cache: Option<&BakeCache>,
 ) -> Vec<Measurement> {
     let ground_truth = ObjectGroundTruth::build(model, settings);
-    configs
-        .iter()
-        .map(|&config| match cache {
+    // The sample configurations are independent measurements against the
+    // shared ground truth: fan them out over the worker pool. Results come
+    // back in config order and every measurement is deterministic, so any
+    // worker count produces bit-identical output (1 = the sequential path).
+    let workers = match settings.worker_threads {
+        0 => nerflex_bake::pool::default_workers(configs.len()),
+        n => n,
+    };
+    nerflex_bake::pool::parallel_map(configs.len(), workers, |idx| {
+        let config = configs[idx];
+        match cache {
             Some(cache) => ground_truth.measure_cached(config, cache),
             None => ground_truth.measure(config),
-        })
-        .collect()
+        }
+    })
 }
 
 /// Measures a single standalone bake without reusing ground truth (handy for
@@ -172,7 +196,7 @@ mod tests {
     use nerflex_scene::object::CanonicalObject;
 
     fn quick_settings() -> MeasurementSettings {
-        MeasurementSettings { views: 2, resolution: 56 }
+        MeasurementSettings { views: 2, resolution: 56, worker_threads: 1 }
     }
 
     #[test]
@@ -198,6 +222,21 @@ mod tests {
         let a = gt.measure(BakeConfig::new(20, 5));
         let b = gt.measure(BakeConfig::new(20, 5));
         assert_eq!(a, b, "same config must measure identically");
+    }
+
+    #[test]
+    fn parallel_sample_measurement_is_bit_identical_to_sequential() {
+        // Within-profile parallelism must be pure restructuring: the same
+        // configs measured with 1 worker and with several produce identical
+        // measurements in identical order.
+        let model = CanonicalObject::Hotdog.build();
+        let configs = vec![BakeConfig::new(10, 3), BakeConfig::new(16, 5), BakeConfig::new(24, 7)];
+        let sequential = measure_object(&model, &configs, &quick_settings().with_worker_threads(1));
+        let parallel = measure_object(&model, &configs, &quick_settings().with_worker_threads(4));
+        assert_eq!(sequential, parallel);
+        // And the auto setting (one worker per core) agrees too.
+        let auto = measure_object(&model, &configs, &quick_settings().with_worker_threads(0));
+        assert_eq!(sequential, auto);
     }
 
     #[test]

@@ -23,7 +23,7 @@ impl ProfilerOptions {
     pub fn quick() -> Self {
         Self {
             range: SampleRange { g_min: 10, g_max: 40, p_min: 3, p_max: 9 },
-            measurement: MeasurementSettings { views: 2, resolution: 56 },
+            measurement: MeasurementSettings { views: 2, resolution: 56, worker_threads: 1 },
         }
     }
 }

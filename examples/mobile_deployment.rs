@@ -7,6 +7,8 @@
 //!
 //! ```bash
 //! cargo run --release --example mobile_deployment
+//! # share bakes across invocations via the persistent on-disk store:
+//! NERFLEX_CACHE_DIR=.nerflex-bake-cache cargo run --release --example mobile_deployment
 //! ```
 
 use nerflex::bake::BakeConfig;
@@ -45,13 +47,13 @@ fn main() {
 
     // NeRFlex prepares the whole fleet in one pass: segmentation and
     // profiling run once, each device pays only for selection under its own
-    // budget plus incremental baking through the shared cache.
+    // budget plus incremental baking through the shared cache. With
+    // NERFLEX_CACHE_DIR set the cache is the persistent on-disk store, and
+    // a re-run of this example re-bakes nothing.
+    let mut options = PipelineOptions::quick();
+    options.cache_dir = std::env::var_os("NERFLEX_CACHE_DIR").map(Into::into);
     let devices = scaled_devices(&single_bake, &block_bake);
-    let fleet = NerflexPipeline::new(PipelineOptions::quick()).deploy_fleet(
-        &built.scene,
-        &dataset,
-        &devices,
-    );
+    let fleet = NerflexPipeline::new(options).deploy_fleet(&built.scene, &dataset, &devices);
 
     for (device, deployment) in devices.iter().zip(&fleet.deployments) {
         let nerflex = evaluate_deployment(deployment, &built.scene, &dataset, 400, seed);
