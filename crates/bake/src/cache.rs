@@ -40,11 +40,19 @@
 //!   ...
 //! ```
 //!
+//! The file name encodes the full cache key, so [`BakeCache::open`] only
+//! **indexes** the directory — an entry file is read and decoded on its
+//! first lookup. Opening a large accumulated store is O(directory listing)
+//! in time and RAM, not O(store size), and a run that touches three entries
+//! decodes exactly three files.
+//!
 //! Per-entry files keep loading corruption-tolerant (a damaged file costs
 //! exactly one entry) and make flushes atomic per entry: each file is
 //! written to a process-unique temporary name and renamed into place, so a
 //! concurrent reader sees either the old state or the complete new entry,
-//! never a torn write.
+//! never a torn write. [`BakeCache::flush`] snapshots the dirty entries and
+//! writes the files **outside the entry lock**, so concurrent bakes proceed
+//! during large flushes.
 //!
 //! ## Versioning policy
 //!
@@ -152,10 +160,11 @@ pub struct CacheStats {
     pub disk_hits: usize,
     /// Lookups that had to bake.
     pub misses: usize,
-    /// Distinct (object, configuration) assets currently stored.
+    /// Distinct (object, configuration) assets currently stored (decoded in
+    /// memory or indexed on disk).
     pub entries: usize,
-    /// Entries that were loaded from the cache directory when the cache was
-    /// opened (0 for in-memory caches).
+    /// Entries indexed from the cache directory when the cache was opened
+    /// (decoded lazily on first lookup; 0 for in-memory caches).
     pub loaded_from_disk: usize,
 }
 
@@ -227,18 +236,24 @@ pub struct BakeCache {
     misses: AtomicUsize,
     /// Backing directory for [`BakeCache::flush`]; `None` for in-memory caches.
     dir: Option<PathBuf>,
-    /// Entries loaded from `dir` when the cache was opened.
+    /// Entries indexed from `dir` when the cache was opened.
     loaded: usize,
 }
 
 /// One cached asset plus its persistence bookkeeping.
 #[derive(Debug)]
-struct StoredEntry {
-    asset: Arc<BakedAsset>,
-    /// The entry came off disk (hits on it are cross-process reuse).
-    from_disk: bool,
-    /// The entry is not yet on disk and will be written by the next flush.
-    dirty: bool,
+enum StoredEntry {
+    /// Decoded and ready.
+    Memory {
+        asset: Arc<BakedAsset>,
+        /// The entry came off disk (hits on it are cross-process reuse).
+        from_disk: bool,
+        /// Not yet on disk; written by the next flush.
+        dirty: bool,
+    },
+    /// Indexed from the store directory by its file name; read and decoded
+    /// on first lookup.
+    OnDisk(PathBuf),
 }
 
 impl BakeCache {
@@ -249,12 +264,15 @@ impl BakeCache {
     }
 
     /// Opens a persistent cache backed by `dir`, creating the directory when
-    /// missing and loading every valid entry file already present.
+    /// missing and **indexing** the entry files already present by their
+    /// key-encoding file names — an entry is read and decoded on its first
+    /// lookup, so opening a large accumulated store costs a directory
+    /// listing, not a full decode of every entry.
     ///
-    /// Loading is corruption-tolerant: truncated, bit-flipped, foreign-
-    /// version or otherwise undecodable files are skipped (costing exactly
-    /// one re-bake each), never an error. Only real I/O failures — the
-    /// directory cannot be created or listed — are reported.
+    /// Lookups stay corruption-tolerant: a truncated, bit-flipped, foreign-
+    /// version or key-mismatched file is discovered at first lookup and
+    /// costs exactly one re-bake (the next flush repairs it), never an
+    /// error. Files whose names do not parse as entry keys are ignored.
     ///
     /// # Errors
     ///
@@ -275,15 +293,9 @@ impl BakeCache {
                 let _ = std::fs::remove_file(&path);
                 continue;
             }
-            if path.extension().and_then(|e| e.to_str()) != Some(disk::ENTRY_EXTENSION) {
-                continue;
+            if let Some(key) = disk::parse_entry_file_name(name) {
+                entries.insert(key, StoredEntry::OnDisk(path));
             }
-            let Ok(bytes) = std::fs::read(&path) else { continue };
-            let Ok((fingerprint, config, asset)) = disk::decode_entry(&bytes) else { continue };
-            entries.insert(
-                (fingerprint, config),
-                StoredEntry { asset, from_disk: true, dirty: false },
-            );
         }
         let loaded = entries.len();
         Ok(Self { entries: Mutex::new(entries), dir: Some(dir), loaded, ..Self::default() })
@@ -296,8 +308,11 @@ impl BakeCache {
 
     /// Writes every entry baked since the last flush to the backing
     /// directory, returning how many files were written (0 for in-memory
-    /// caches). Each entry is written to a process-unique temporary file and
-    /// renamed into place, so concurrent readers never observe a torn entry.
+    /// caches). The dirty entries are snapshotted first and the files
+    /// written **outside the entry lock** — bakes and lookups proceed
+    /// concurrently during large flushes. Each entry is written to a
+    /// process-unique temporary file and renamed into place, so concurrent
+    /// readers never observe a torn entry.
     ///
     /// # Errors
     ///
@@ -305,28 +320,56 @@ impl BakeCache {
     /// failure stay flushed and are not re-written next time.
     pub fn flush(&self) -> io::Result<usize> {
         let Some(dir) = &self.dir else { return Ok(0) };
-        let mut entries = self.entries.lock().expect("cache poisoned");
-        let mut written = 0;
-        for (&(fingerprint, config), entry) in entries.iter_mut() {
-            if !entry.dirty {
-                continue;
-            }
-            let bytes = disk::encode_entry(fingerprint, &entry.asset);
-            let path = dir.join(disk::entry_file_name(fingerprint, config));
+        // Snapshot the dirty entries (an Arc clone each) under the lock…
+        let dirty: Vec<((u64, BakeConfig), Arc<BakedAsset>)> = {
+            let entries = self.entries.lock().expect("cache poisoned");
+            entries
+                .iter()
+                .filter_map(|(&key, entry)| match entry {
+                    StoredEntry::Memory { asset, dirty: true, .. } => {
+                        Some((key, Arc::clone(asset)))
+                    }
+                    _ => None,
+                })
+                .collect()
+        };
+        // …then write without it. Entries are immutable once baked, so the
+        // snapshot cannot go stale.
+        // Writers are no longer serialized by the entry lock, so the
+        // temporary name must be unique per flush call, not just per
+        // process — concurrent flushes of one entry must never share a tmp.
+        static TMP_SEQ: AtomicUsize = AtomicUsize::new(0);
+        let mut written = Vec::with_capacity(dirty.len());
+        let mut failure = None;
+        for ((fingerprint, config), asset) in dirty {
+            let bytes = disk::encode_entry(fingerprint, &asset);
+            let name = disk::entry_file_name(fingerprint, config);
+            let path = dir.join(&name);
             let tmp = dir.join(format!(
-                "{}.tmp-{}",
-                disk::entry_file_name(fingerprint, config),
-                std::process::id()
+                "{name}.tmp-{}-{}",
+                std::process::id(),
+                TMP_SEQ.fetch_add(1, Ordering::Relaxed)
             ));
             let result = std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, &path));
-            if let Err(err) = result {
-                let _ = std::fs::remove_file(&tmp);
-                return Err(err);
+            match result {
+                Ok(()) => written.push((fingerprint, config)),
+                Err(err) => {
+                    let _ = std::fs::remove_file(&tmp);
+                    failure = Some(err);
+                    break;
+                }
             }
-            entry.dirty = false;
-            written += 1;
         }
-        Ok(written)
+        let mut entries = self.entries.lock().expect("cache poisoned");
+        for key in &written {
+            if let Some(StoredEntry::Memory { dirty, .. }) = entries.get_mut(key) {
+                *dirty = false;
+            }
+        }
+        match failure {
+            Some(err) => Err(err),
+            None => Ok(written.len()),
+        }
     }
 
     /// Current counters.
@@ -340,14 +383,18 @@ impl BakeCache {
         }
     }
 
-    /// `true` when the (model, config) pair is already baked.
+    /// `true` when the (model, config) pair is already baked or indexed on
+    /// disk. For a not-yet-decoded disk entry this is optimistic: a damaged
+    /// file is only discovered (and transparently re-baked) at lookup.
     pub fn contains(&self, model: &ObjectModel, config: BakeConfig) -> bool {
         let key = (model_fingerprint(model), config);
         self.entries.lock().expect("cache poisoned").contains_key(&key)
     }
 
     /// Returns the local-frame asset for `(model, config)`, baking and
-    /// storing it on first request.
+    /// storing it on first request. An entry indexed from the persistent
+    /// store is read and decoded here, on its first lookup — outside the
+    /// entry lock, so other workers keep hitting the cache meanwhile.
     ///
     /// Concurrent misses on the same key may both bake (the lock is not held
     /// across the bake, deliberately — bakes are long); the result is
@@ -355,17 +402,67 @@ impl BakeCache {
     /// copy is kept.
     pub fn get_or_bake(&self, model: &ObjectModel, config: BakeConfig) -> Arc<BakedAsset> {
         let key = (model_fingerprint(model), config);
-        if let Some(entry) = self.entries.lock().expect("cache poisoned").get(&key) {
-            let counter = if entry.from_disk { &self.disk_hits } else { &self.hits };
-            counter.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(&entry.asset);
+        let pending_path = {
+            let entries = self.entries.lock().expect("cache poisoned");
+            match entries.get(&key) {
+                Some(StoredEntry::Memory { asset, from_disk, .. }) => {
+                    let counter = if *from_disk { &self.disk_hits } else { &self.hits };
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(asset);
+                }
+                Some(StoredEntry::OnDisk(path)) => Some(path.clone()),
+                None => None,
+            }
+        };
+
+        if let Some(path) = pending_path {
+            let decoded = std::fs::read(&path)
+                .ok()
+                .and_then(|bytes| disk::decode_entry(&bytes).ok())
+                // The embedded key must echo the file name it was indexed by.
+                .filter(|&(fingerprint, config, _)| (fingerprint, config) == key)
+                .map(|(_, _, asset)| asset);
+            if let Some(asset) = decoded {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                let mut entries = self.entries.lock().expect("cache poisoned");
+                return match entries.get(&key) {
+                    // A concurrent lookup decoded (or re-baked) it first;
+                    // the content is identical either way.
+                    Some(StoredEntry::Memory { asset, .. }) => Arc::clone(asset),
+                    _ => {
+                        entries.insert(
+                            key,
+                            StoredEntry::Memory {
+                                asset: Arc::clone(&asset),
+                                from_disk: true,
+                                dirty: false,
+                            },
+                        );
+                        asset
+                    }
+                };
+            }
+            // Damaged or key-mismatched file: fall through to a re-bake
+            // (the next flush overwrites it).
         }
+
         self.misses.fetch_add(1, Ordering::Relaxed);
         let asset = Arc::new(bake_object(model, config));
         let mut entries = self.entries.lock().expect("cache poisoned");
-        let entry =
-            entries.entry(key).or_insert(StoredEntry { asset, from_disk: false, dirty: true });
-        Arc::clone(&entry.asset)
+        match entries.get(&key) {
+            Some(StoredEntry::Memory { asset, .. }) => Arc::clone(asset),
+            _ => {
+                entries.insert(
+                    key,
+                    StoredEntry::Memory {
+                        asset: Arc::clone(&asset),
+                        from_disk: false,
+                        dirty: true,
+                    },
+                );
+                asset
+            }
+        }
     }
 
     /// Cache-aware replacement for [`crate::asset::bake_placed`]: the
@@ -553,10 +650,12 @@ mod tests {
         std::fs::write(tmp.0.join("garbage.nfbake"), b"not a cache entry").expect("garbage");
         std::fs::write(tmp.0.join("unrelated.txt"), b"ignored").expect("unrelated");
 
-        // Only the intact entry survives; the damaged one re-bakes (miss)
-        // and the next flush repairs the directory.
+        // The lazy index keys on the (valid) file names: both real entries
+        // index, the unparsable garbage does not. The damage surfaces at
+        // first lookup — the truncated entry re-bakes (miss), the intact one
+        // is a disk hit — and the next flush repairs the directory.
         let reopened = BakeCache::open(&tmp.0).expect("reopen survives corruption");
-        assert_eq!(reopened.stats().loaded_from_disk, 1);
+        assert_eq!(reopened.stats().loaded_from_disk, 2, "index is by file name");
         let _ = reopened.get_or_bake(&hotdog, config);
         let _ = reopened.get_or_bake(&chair, config);
         let stats = reopened.stats();
@@ -564,7 +663,36 @@ mod tests {
         assert_eq!(stats.misses, 1, "exactly the damaged entry re-bakes");
         assert_eq!(reopened.flush().expect("repair flush"), 1);
         let repaired = BakeCache::open(&tmp.0).expect("open repaired");
-        assert_eq!(repaired.stats().loaded_from_disk, 2);
+        let _ = repaired.get_or_bake(&hotdog, config);
+        let _ = repaired.get_or_bake(&chair, config);
+        let after = repaired.stats();
+        assert_eq!((after.disk_hits, after.misses), (2, 0), "repair restored both entries");
+    }
+
+    #[test]
+    fn open_indexes_lazily_and_decodes_on_first_lookup() {
+        let tmp = TempDir::new("lazy");
+        let model = CanonicalObject::Hotdog.build();
+        let config = BakeConfig::new(10, 3);
+        let cache = BakeCache::open(&tmp.0).expect("open");
+        let _ = cache.get_or_bake(&model, config);
+        cache.flush().expect("flush");
+
+        // Damage the entry file *after* reopening: if `open` had decoded
+        // eagerly the lookup would still be served from memory, but the
+        // lazy index reads the file at first lookup and discovers the
+        // damage, proving nothing was decoded at open time.
+        let reopened = BakeCache::open(&tmp.0).expect("reopen");
+        assert_eq!(reopened.stats().loaded_from_disk, 1);
+        let entry_path =
+            tmp.0.join(crate::disk::entry_file_name(model_fingerprint(&model), config));
+        std::fs::write(&entry_path, b"damaged after open").expect("overwrite");
+        let _ = reopened.get_or_bake(&model, config);
+        let stats = reopened.stats();
+        assert_eq!((stats.disk_hits, stats.misses), (0, 1), "decode happens at lookup: {stats:?}");
+        // The re-baked entry serves subsequent lookups from memory.
+        let _ = reopened.get_or_bake(&model, config);
+        assert_eq!(reopened.stats().hits, 1);
     }
 
     #[test]

@@ -382,6 +382,24 @@ pub fn entry_file_name(fingerprint: u64, config: BakeConfig) -> String {
     format!("{fingerprint:016x}-g{}-p{}.{ENTRY_EXTENSION}", config.grid, config.patch)
 }
 
+/// Parses an [`entry_file_name`] back into its `(fingerprint, config)` key.
+/// Returns `None` for foreign file names — the basis of the store's lazy
+/// index: [`crate::BakeCache::open`] keys the directory by file name alone
+/// and defers decoding to the first lookup.
+pub fn parse_entry_file_name(name: &str) -> Option<(u64, BakeConfig)> {
+    let stem = name.strip_suffix(&format!(".{ENTRY_EXTENSION}"))?;
+    let mut parts = stem.split('-');
+    let fingerprint = u64::from_str_radix(parts.next()?, 16).ok()?;
+    let grid: u32 = parts.next()?.strip_prefix('g')?.parse().ok()?;
+    let patch: u32 = parts.next()?.strip_prefix('p')?.parse().ok()?;
+    // Reject zero knobs here: `BakeConfig::new` asserts positivity, and a
+    // foreign `-g0-`/`-p0-` file name must be ignored, not a panic.
+    if grid == 0 || patch == 0 || parts.next().is_some() {
+        return None;
+    }
+    Some((fingerprint, BakeConfig::new(grid, patch)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -491,5 +509,19 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert!(a.ends_with(".nfbake"));
+    }
+
+    #[test]
+    fn entry_file_names_parse_back_to_their_key() {
+        let key = (0x2f1c_66aa_0194_5f10u64, BakeConfig::new(30, 6));
+        assert_eq!(parse_entry_file_name(&entry_file_name(key.0, key.1)), Some(key));
+        assert_eq!(parse_entry_file_name("garbage.nfbake"), None);
+        assert_eq!(parse_entry_file_name("0123-g10.nfbake"), None);
+        assert_eq!(parse_entry_file_name("0123-g10-p3-extra.nfbake"), None);
+        assert_eq!(parse_entry_file_name("0123-g10-p3.other"), None);
+        assert_eq!(parse_entry_file_name("zz-g10-p3.nfbake"), None);
+        // Zero knobs must be ignored, not panic via BakeConfig::new.
+        assert_eq!(parse_entry_file_name("0123-g0-p3.nfbake"), None);
+        assert_eq!(parse_entry_file_name("0123-g10-p0.nfbake"), None);
     }
 }

@@ -1,0 +1,142 @@
+//! Criterion benchmarks for the two rendering hot paths this repo's
+//! profiling cost is dominated by: the ray-marched ground-truth renderer
+//! (sequential vs tiled-parallel vs packet lanes) and the incremental
+//! triangle rasteriser.
+//!
+//! Environment variables for the CI `bench-smoke` job:
+//!
+//! * `NERFLEX_BENCH_SMOKE` — shrink sample counts and the render resolution
+//!   so the suite finishes in seconds.
+//! * `NERFLEX_BENCH_JSON` — write a machine-readable summary (mean
+//!   per-render times and the parallel speedup) to the given path; uploaded
+//!   as a CI artifact.
+//!
+//! The `bench-raymarch:` line printed at the end is stable and parseable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nerflex_bench::JsonReport;
+use nerflex_image::Color;
+use nerflex_math::{Vec2, Vec3};
+use nerflex_render::camera::RasterCamera;
+use nerflex_render::raster::{draw_triangle, RasterStats, RasterVertex};
+use nerflex_render::Framebuffer;
+use nerflex_scene::camera_path::{orbit_path, CameraPose};
+use nerflex_scene::object::CanonicalObject;
+use nerflex_scene::raymarch::{render_view_parallel, render_view_tiled};
+use nerflex_scene::scene::Scene;
+use std::time::Duration;
+
+/// `true` in the CI smoke job: fewer samples, smaller renders.
+fn smoke() -> bool {
+    std::env::var_os("NERFLEX_BENCH_SMOKE").is_some()
+}
+
+fn samples(full: usize) -> usize {
+    if smoke() {
+        2
+    } else {
+        full
+    }
+}
+
+fn resolution() -> usize {
+    if smoke() {
+        48
+    } else {
+        96
+    }
+}
+
+fn fixture() -> (Scene, CameraPose) {
+    let scene = Scene::with_objects(&[CanonicalObject::Hotdog, CanonicalObject::Lego], 3);
+    let pose = orbit_path(scene.bounding_box().center(), 3.2, 0.4, 8)[1];
+    (scene, pose)
+}
+
+fn bench_raymarch(c: &mut Criterion) {
+    let (scene, pose) = fixture();
+    let res = resolution();
+    let mut seq = Duration::ZERO;
+    let mut par = Duration::ZERO;
+
+    let mut group = c.benchmark_group("raymarch_render_view");
+    group.sample_size(samples(10));
+    group.bench_function(format!("sequential_{res}px"), |b| {
+        b.iter(|| render_view_parallel(&scene, &pose, res, res, 1));
+        seq = b.mean;
+    });
+    group.bench_function(format!("parallel_all_cores_{res}px"), |b| {
+        b.iter(|| render_view_parallel(&scene, &pose, res, res, 0));
+        par = b.mean;
+    });
+    group.bench_function(format!("tiled_1row_4workers_{res}px"), |b| {
+        b.iter(|| render_view_tiled(&scene, &pose, res, res, 4, 1));
+    });
+    group.finish();
+
+    let speedup = if par.as_secs_f64() > 0.0 { seq.as_secs_f64() / par.as_secs_f64() } else { 1.0 };
+    // Stable, machine-readable summary parsed/archived by the CI job.
+    println!(
+        "bench-raymarch: resolution={res} sequential_ms={:.3} parallel_ms={:.3} speedup={speedup:.2}",
+        seq.as_secs_f64() * 1e3,
+        par.as_secs_f64() * 1e3,
+    );
+    if let Some(path) = std::env::var_os("NERFLEX_BENCH_JSON") {
+        let path = std::path::PathBuf::from(path);
+        let mut report = JsonReport::new();
+        report
+            .str_field("bench", "raymarch")
+            .int_field("smoke", u64::from(smoke()))
+            .int_field("resolution", res as u64)
+            .float_field("sequential_ms", seq.as_secs_f64() * 1e3)
+            .float_field("parallel_ms", par.as_secs_f64() * 1e3)
+            .float_field("speedup", speedup);
+        match report.write(&path) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(err) => eprintln!("raymarch bench: writing {} failed: {err}", path.display()),
+        }
+    }
+}
+
+fn bench_raster(c: &mut Criterion) {
+    // A fan of overlapping triangles across the viewport — enough coverage
+    // to make the inner loop (incremental edge functions + perspective
+    // interpolation) the measured cost.
+    let size = resolution();
+    let pose = CameraPose::new(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, 60.0f32.to_radians());
+    let camera = RasterCamera::new(&pose, size, size);
+    let triangles: Vec<[RasterVertex; 3]> = (0..24)
+        .map(|i| {
+            let a = i as f32 * 0.26;
+            let vertex = |p: Vec3, uv: Vec2| RasterVertex {
+                position: p,
+                uv,
+                normal: Vec3::new(a.sin(), a.cos(), 1.0).normalized(),
+            };
+            [
+                vertex(Vec3::new(a.cos() * 1.5, a.sin() * 1.5, -0.4), Vec2::new(0.0, 0.0)),
+                vertex(Vec3::new(-a.sin(), a.cos(), 0.3), Vec2::new(1.0, 0.0)),
+                vertex(Vec3::new(0.2 * a.cos(), -1.2, 0.0), Vec2::new(0.5, 1.0)),
+            ]
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("raster_draw_triangle");
+    group.sample_size(samples(20));
+    group.bench_function(format!("fan24_{size}px"), |b| {
+        b.iter(|| {
+            let mut fb = Framebuffer::new(size, size, Color::BLACK);
+            let mut stats = RasterStats::default();
+            for tri in &triangles {
+                draw_triangle(&camera, &mut fb, tri, &mut stats, &mut |f| {
+                    Color::new(f.uv.x, f.uv.y, 0.5)
+                });
+            }
+            stats.fragments_shaded
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_raymarch, bench_raster);
+criterion_main!(benches);

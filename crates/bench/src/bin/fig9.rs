@@ -90,6 +90,16 @@ fn main() {
         format_duration(t.profiling_serial),
     ]);
     engine.push_row(vec![
+        "ground-truth ray marching".to_string(),
+        format!(
+            "{} ({} rendered on {} workers, {} served from cache)",
+            format_duration(t.ground_truth),
+            t.ground_truth_builds,
+            t.ground_truth_workers,
+            t.ground_truth_hits
+        ),
+    ]);
+    engine.push_row(vec![
         "profiler parallel speedup".to_string(),
         format!("{}x", fmt_f64(t.profiling_speedup(), 2)),
     ]);
@@ -133,6 +143,10 @@ fn main() {
             .float_field("overhead_seconds", overhead)
             .float_field("baking_seconds", t.baking.as_secs_f64())
             .float_field("profiling_speedup", t.profiling_speedup())
+            .float_field("ground_truth_ms", t.ground_truth_ms())
+            .int_field("ground_truth_builds", t.ground_truth_builds as u64)
+            .int_field("ground_truth_hits", t.ground_truth_hits as u64)
+            .int_field("ground_truth_workers", t.ground_truth_workers as u64)
             .int_field("profiling_workers", t.profiling_workers as u64)
             .int_field("profiling_sample_workers", t.profiling_sample_workers as u64)
             .int_field("stage_cache_hits", t.cache_hits as u64)

@@ -77,7 +77,12 @@ impl ExperimentMode {
             ExperimentMode::Quick => ProfilerOptions::quick(),
             ExperimentMode::Full => ProfilerOptions {
                 range: SampleRange { g_min: 16, g_max: 128, p_min: 3, p_max: 33 },
-                measurement: MeasurementSettings { views: 3, resolution: 96, worker_threads: 1 },
+                measurement: MeasurementSettings {
+                    views: 3,
+                    resolution: 96,
+                    worker_threads: 1,
+                    ground_truth_workers: 1,
+                },
             },
         }
     }

@@ -27,7 +27,7 @@ use crate::report::format_duration;
 use nerflex_bake::pool::parallel_map;
 use nerflex_bake::{BakeCache, BakeConfig, BakedAsset, CacheStats};
 use nerflex_device::{DeviceSpec, Workload};
-use nerflex_profile::{build_profile_cached, ObjectProfile, ProfilerOptions};
+use nerflex_profile::{build_profile_in, GroundTruthCache, ObjectProfile, ProfilerOptions};
 use nerflex_scene::dataset::Dataset;
 use nerflex_scene::scene::Scene;
 use nerflex_seg::{segment, SegmentationPolicy, SegmentationResult};
@@ -139,6 +139,19 @@ pub struct StageTimings {
     /// path would have paid. `profiling_serial / profiling` is the parallel
     /// speedup of the stage.
     pub profiling_serial: Duration,
+    /// Time spent ray-marching object ground truths inside the profiling
+    /// stage (sum of per-object build times — the dominant profiling cost).
+    /// Near zero when the shared [`GroundTruthCache`] answered every lookup,
+    /// e.g. on a warm persistent store.
+    pub ground_truth: Duration,
+    /// Worker threads tiling each ground-truth render (the per-profile
+    /// leftover budget; output bits never depend on it).
+    pub ground_truth_workers: usize,
+    /// Ground truths actually rendered by the profiling stage.
+    pub ground_truth_builds: usize,
+    /// Ground-truth lookups answered without rendering (in-memory or
+    /// persistent-store hits).
+    pub ground_truth_hits: usize,
     /// Configuration selection (the DP solver).
     pub selection: Duration,
     /// Multi-NeRF baking of the selected configurations, wall clock.
@@ -165,6 +178,12 @@ impl StageTimings {
     /// "overhead cost ... excluding neural network training").
     pub fn overhead(&self) -> Duration {
         self.segmentation + self.profiling + self.selection
+    }
+
+    /// Ground-truth render time in milliseconds (the `ground_truth_ms`
+    /// figure reported by the fig9 JSON output).
+    pub fn ground_truth_ms(&self) -> f64 {
+        self.ground_truth.as_secs_f64() * 1000.0
     }
 
     /// Parallel speedup of the profiling stage (serial-equivalent time over
@@ -198,13 +217,18 @@ impl StageTimings {
     /// Formats the breakdown as a one-line summary.
     pub fn summary(&self) -> String {
         format!(
-            "segmentation {} | profiler {} ({}x{} workers, {:.1}x speedup) | solver {} | \
-             total overhead {} | bake cache {}/{} hits ({} from disk)",
+            "segmentation {} | profiler {} ({}x{} workers, {:.1}x speedup; ground truth {} on \
+             {} workers, {} built / {} cached) | solver {} | total overhead {} | bake cache \
+             {}/{} hits ({} from disk)",
             format_duration(self.segmentation),
             format_duration(self.profiling),
             self.profiling_workers.max(1),
             self.profiling_sample_workers.max(1),
             self.profiling_speedup(),
+            format_duration(self.ground_truth),
+            self.ground_truth_workers.max(1),
+            self.ground_truth_builds,
+            self.ground_truth_hits,
             format_duration(self.selection),
             format_duration(self.overhead()),
             self.cache_served(),
@@ -352,33 +376,81 @@ impl NerflexPipeline {
         (segmentation, t.elapsed())
     }
 
+    /// Opens the ground-truth store this pipeline's options call for: a
+    /// persistent store under `<cache_dir>/ground-truth` when
+    /// [`PipelineOptions::cache_dir`] is set (falling back to in-memory if
+    /// the directory is unusable), an in-memory cache otherwise. Cached and
+    /// freshly rendered ground truths are bit-identical, so this is purely
+    /// a cost optimisation.
+    pub fn open_ground_truth_cache(&self) -> GroundTruthCache {
+        match &self.options.cache_dir {
+            None => GroundTruthCache::new(),
+            Some(dir) => {
+                let dir = dir.join("ground-truth");
+                GroundTruthCache::open(&dir).unwrap_or_else(|err| {
+                    eprintln!(
+                        "nerflex: ground-truth dir {} unusable ({err}); continuing in-memory",
+                        dir.display()
+                    );
+                    GroundTruthCache::new()
+                })
+            }
+        }
+    }
+
     /// Stage 2: lightweight profiling, one profile per scene object, fanned
     /// out over the worker pool at two levels: the outer fan-out covers the
     /// objects, and the worker budget left over fans out *within* each
-    /// profile over its independent sample measurements. With one configured
-    /// worker both levels collapse to the bit-for-bit sequential path.
-    /// Sample bakes land in `cache`. Returns the profiles, the wall time,
-    /// the serial-equivalent time (sum of per-object durations) and the
-    /// outer/inner worker counts used.
+    /// profile — over its independent sample measurements and over the row
+    /// tiles of its ground-truth renders. With one configured worker every
+    /// level collapses to the bit-for-bit sequential path. Sample bakes land
+    /// in `cache`; ground truths land in (and come from) the shared
+    /// [`GroundTruthCache`], so duplicate objects and warm persistent stores
+    /// skip the dominant ray-marching cost entirely. Returns the profiles,
+    /// the wall time, the serial-equivalent time (sum of per-object
+    /// durations), the outer/inner worker counts used and the ground-truth
+    /// accounting (render time, builds, hits).
     fn stage_profiling(
         &self,
         scene: &Scene,
         cache: &BakeCache,
-    ) -> (Vec<ObjectProfile>, Duration, Duration, usize, usize) {
+        ground_truth: &GroundTruthCache,
+    ) -> (Vec<ObjectProfile>, SharedStages) {
         let t = Instant::now();
         let workers = self.workers_for(scene.len());
         let sample_workers = (self.configured_workers() / workers).max(1);
         let mut profiler = self.options.profiler;
         profiler.measurement.worker_threads = sample_workers;
+        profiler.measurement.ground_truth_workers = sample_workers;
         let profiled = parallel_map(scene.len(), workers, |idx| {
             let object = &scene.objects()[idx];
             let t_obj = Instant::now();
-            let profile = build_profile_cached(&object.model, object.id, &profiler, Some(cache));
+            let profile = build_profile_in(
+                &object.model,
+                object.id,
+                &profiler,
+                Some(cache),
+                Some(ground_truth),
+            );
             (profile, t_obj.elapsed())
         });
         let serial = profiled.iter().map(|(_, d)| *d).sum();
         let profiles = profiled.into_iter().map(|(p, _)| p).collect();
-        (profiles, t.elapsed(), serial, workers, sample_workers)
+        let gt_stats = ground_truth.stats();
+        (
+            profiles,
+            SharedStages {
+                segmentation: Duration::ZERO, // filled in by shared_stages
+                profiling: t.elapsed(),
+                profiling_serial: serial,
+                profiling_workers: workers,
+                profiling_sample_workers: sample_workers,
+                ground_truth: ground_truth.build_time(),
+                ground_truth_workers: sample_workers,
+                ground_truth_builds: gt_stats.builds,
+                ground_truth_hits: gt_stats.hits + gt_stats.disk_hits,
+            },
+        )
     }
 
     /// Stage 3: configuration selection under the device budget.
@@ -423,7 +495,8 @@ impl NerflexPipeline {
     }
 
     /// Runs segmentation → profiling against `cache` and packages the shared
-    /// stage outputs.
+    /// stage outputs. The ground-truth store is opened before profiling and
+    /// flushed afterwards (persistence is best-effort, like the bake store).
     fn shared_stages(
         &self,
         scene: &Scene,
@@ -431,19 +504,13 @@ impl NerflexPipeline {
         cache: &BakeCache,
     ) -> (Arc<SegmentationResult>, Arc<Vec<ObjectProfile>>, SharedStages) {
         let (segmentation, segmentation_time) = self.stage_segmentation(dataset);
-        let (profiles, profiling_time, profiling_serial, profiling_workers, sample_workers) =
-            self.stage_profiling(scene, cache);
-        (
-            Arc::new(segmentation),
-            Arc::new(profiles),
-            SharedStages {
-                segmentation: segmentation_time,
-                profiling: profiling_time,
-                profiling_serial,
-                profiling_workers,
-                profiling_sample_workers: sample_workers,
-            },
-        )
+        let ground_truth = self.open_ground_truth_cache();
+        let (profiles, mut shared) = self.stage_profiling(scene, cache, &ground_truth);
+        if let Err(err) = ground_truth.flush() {
+            eprintln!("nerflex: ground-truth flush failed ({err}); next run re-renders");
+        }
+        shared.segmentation = segmentation_time;
+        (Arc::new(segmentation), Arc::new(profiles), shared)
     }
 
     /// Runs segmentation → profiling → selection → baking for one scene and
@@ -557,10 +624,14 @@ impl NerflexPipeline {
                 segmentation: shared.segmentation,
                 profiling: shared.profiling,
                 profiling_serial: shared.profiling_serial,
+                ground_truth: shared.ground_truth,
                 selection: selection_time,
                 baking: baking_time,
                 profiling_workers: shared.profiling_workers,
                 profiling_sample_workers: shared.profiling_sample_workers,
+                ground_truth_workers: shared.ground_truth_workers,
+                ground_truth_builds: shared.ground_truth_builds,
+                ground_truth_hits: shared.ground_truth_hits,
                 baking_workers,
                 cache_hits: cache_delta.hits,
                 cache_disk_hits: cache_delta.disk_hits,
@@ -579,6 +650,10 @@ struct SharedStages {
     profiling_serial: Duration,
     profiling_workers: usize,
     profiling_sample_workers: usize,
+    ground_truth: Duration,
+    ground_truth_workers: usize,
+    ground_truth_builds: usize,
+    ground_truth_hits: usize,
 }
 
 impl Default for NerflexPipeline {
@@ -655,6 +730,27 @@ mod tests {
             "every object's final bake is exactly one cache lookup"
         );
         assert!(deployment.timings.cache_hit_ratio() > 0.0);
+    }
+
+    #[test]
+    fn ground_truth_is_rendered_once_per_distinct_object() {
+        // Two instances of the same canonical object share one content
+        // fingerprint: the profiling stage must render the ray-marched
+        // ground truth once and serve the second profile from the cache.
+        // One worker keeps the two profiles sequential — with a parallel
+        // fan-out both could miss concurrently (the cache deliberately
+        // allows duplicate in-flight builds) and the count would be 2.
+        let scene = Scene::with_objects(&[CanonicalObject::Hotdog, CanonicalObject::Hotdog], 13);
+        let dataset = Dataset::generate(&scene, 3, 1, 48, 48);
+        let pipeline = NerflexPipeline::new(PipelineOptions::quick().with_worker_threads(1));
+        let deployment = pipeline.run(&scene, &dataset, &DeviceSpec::pixel_4());
+        let t = deployment.timings;
+        assert_eq!(t.ground_truth_builds, 1, "duplicate object must hit the GT cache: {t:?}");
+        assert_eq!(t.ground_truth_hits, 1);
+        assert!(t.ground_truth > Duration::ZERO);
+        assert!(t.ground_truth_ms() > 0.0);
+        assert!(t.ground_truth_workers >= 1);
+        assert!(t.summary().contains("ground truth"));
     }
 
     #[test]

@@ -28,8 +28,10 @@
 
 pub mod aabb;
 pub mod mat;
+pub mod pool;
 pub mod ray;
 pub mod sampling;
+pub mod simd;
 pub mod stats;
 pub mod transform;
 pub mod vec;
@@ -37,6 +39,7 @@ pub mod vec;
 pub use aabb::Aabb;
 pub use mat::{Mat3, Mat4};
 pub use ray::Ray;
+pub use simd::{F32x4, Mask4, Vec3x4};
 pub use vec::{Vec2, Vec3, Vec4};
 
 /// Clamps `x` into `[lo, hi]`.

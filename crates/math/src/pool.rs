@@ -1,0 +1,83 @@
+//! The shared worker-pool primitive used by every parallel stage (tiled
+//! ground-truth rendering here in the geometry substrate, scene baking,
+//! profiling and final baking in the pipeline engine).
+//!
+//! The pool lives in `nerflex-math` — the bottom of the crate graph — so
+//! both the scene renderer (which `nerflex-bake` depends on) and the higher
+//! pipeline stages can fan work over the same primitive without a
+//! dependency cycle. `nerflex_bake::pool` re-exports it under its original
+//! path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `jobs` closures on a pool of `workers` scoped threads and collects
+/// their results in job order (deterministic regardless of scheduling). With
+/// one worker — or one job — the closures run sequentially on the calling
+/// thread, which is the bit-for-bit sequential path.
+///
+/// A panicking job propagates: the scope joins all workers and re-raises.
+pub fn parallel_map<T, F>(jobs: usize, workers: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || jobs <= 1 {
+        return (0..jobs).map(job).collect();
+    }
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..jobs).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(jobs) {
+            s.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= jobs {
+                    break;
+                }
+                let result = job(idx);
+                results.lock().expect("worker poisoned")[idx] = Some(result);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("worker poisoned")
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect()
+}
+
+/// One worker per available core, capped by the job count.
+pub fn default_workers(jobs: usize) -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get()).min(jobs.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_job_order() {
+        let out = parallel_map(64, 8, |i| i * 2);
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let seq = parallel_map(10, 1, |i| i * i);
+        let par = parallel_map(10, 4, |i| i * i);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        let out: Vec<usize> = parallel_map(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn default_workers_is_capped_by_jobs() {
+        assert_eq!(default_workers(1), 1);
+        assert!(default_workers(1000) >= 1);
+    }
+}

@@ -1,0 +1,434 @@
+//! Four-wide SIMD-friendly lanes: [`F32x4`] and the SoA vector [`Vec3x4`].
+//!
+//! The ray marcher sphere-traces four rays per packet; the SDF trees and the
+//! AABB rejection tests evaluate all four lanes at once through these types.
+//! They are plain arrays with per-lane arithmetic — no intrinsics — so the
+//! code is portable and the autovectoriser packs the lane loops into SSE/NEON
+//! registers where available.
+//!
+//! # Determinism contract
+//!
+//! Every operation is defined *per lane* as exactly the scalar `f32`
+//! operation it replaces (`+`, `*`, `f32::min`, `f32::sqrt`, …), and the
+//! compound helpers ([`Vec3x4::dot`], [`Vec3x4::max_component`], …) evaluate
+//! in exactly the association order of their scalar counterparts in
+//! [`crate::vec`]. IEEE-754 basic operations are exactly rounded, so a lane
+//! computation is **bit-identical** to running the scalar code on that lane's
+//! input — which is what lets the packet ray marcher guarantee bit-identical
+//! images for any lane count. Tests in `nerflex-scene` assert this end to
+//! end; do not introduce `mul_add` or reassociation here.
+
+use crate::vec::Vec3;
+
+/// Number of lanes in a packet.
+pub const LANES: usize = 4;
+
+/// Four `f32` lanes with component-wise arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct F32x4(pub [f32; 4]);
+
+macro_rules! lanes {
+    ($f:expr) => {{
+        let f = $f;
+        F32x4([f(0), f(1), f(2), f(3)])
+    }};
+}
+
+impl F32x4 {
+    /// All lanes zero.
+    pub const ZERO: Self = Self::splat(0.0);
+
+    /// Broadcasts one value to every lane.
+    pub const fn splat(v: f32) -> Self {
+        Self([v; 4])
+    }
+
+    /// Builds from four lane values.
+    pub const fn new(a: f32, b: f32, c: f32, d: f32) -> Self {
+        Self([a, b, c, d])
+    }
+
+    /// The value in `lane`.
+    #[inline]
+    pub fn lane(self, lane: usize) -> f32 {
+        self.0[lane]
+    }
+
+    /// Replaces the value in `lane`.
+    #[inline]
+    pub fn set_lane(&mut self, lane: usize, v: f32) {
+        self.0[lane] = v;
+    }
+
+    /// Per-lane `f32::min` (identical to the scalar call lane by lane).
+    #[inline]
+    pub fn min(self, o: Self) -> Self {
+        lanes!(|i: usize| self.0[i].min(o.0[i]))
+    }
+
+    /// Per-lane `f32::max`.
+    #[inline]
+    pub fn max(self, o: Self) -> Self {
+        lanes!(|i: usize| self.0[i].max(o.0[i]))
+    }
+
+    /// Per-lane absolute value.
+    #[inline]
+    pub fn abs(self) -> Self {
+        lanes!(|i: usize| self.0[i].abs())
+    }
+
+    /// Per-lane square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        lanes!(|i: usize| self.0[i].sqrt())
+    }
+
+    /// Per-lane sine.
+    #[inline]
+    pub fn sin(self) -> Self {
+        lanes!(|i: usize| self.0[i].sin())
+    }
+
+    /// Per-lane `f32::clamp` (callers guarantee `lo <= hi`).
+    #[inline]
+    pub fn clamp(self, lo: f32, hi: f32) -> Self {
+        lanes!(|i: usize| self.0[i].clamp(lo, hi))
+    }
+
+    /// Per-lane `self < o`.
+    #[inline]
+    pub fn lt(self, o: Self) -> Mask4 {
+        Mask4([self.0[0] < o.0[0], self.0[1] < o.0[1], self.0[2] < o.0[2], self.0[3] < o.0[3]])
+    }
+
+    /// Per-lane `self <= o`.
+    #[inline]
+    pub fn le(self, o: Self) -> Mask4 {
+        Mask4([self.0[0] <= o.0[0], self.0[1] <= o.0[1], self.0[2] <= o.0[2], self.0[3] <= o.0[3]])
+    }
+
+    /// Per-lane selection: `mask ? self : other`.
+    #[inline]
+    pub fn select(self, other: Self, mask: Mask4) -> Self {
+        lanes!(|i: usize| if mask.0[i] { self.0[i] } else { other.0[i] })
+    }
+}
+
+impl std::ops::Add for F32x4 {
+    type Output = Self;
+    #[inline]
+    fn add(self, o: Self) -> Self {
+        lanes!(|i: usize| self.0[i] + o.0[i])
+    }
+}
+
+impl std::ops::Sub for F32x4 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, o: Self) -> Self {
+        lanes!(|i: usize| self.0[i] - o.0[i])
+    }
+}
+
+impl std::ops::Mul for F32x4 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, o: Self) -> Self {
+        lanes!(|i: usize| self.0[i] * o.0[i])
+    }
+}
+
+impl std::ops::Div for F32x4 {
+    type Output = Self;
+    #[inline]
+    fn div(self, o: Self) -> Self {
+        lanes!(|i: usize| self.0[i] / o.0[i])
+    }
+}
+
+impl std::ops::Neg for F32x4 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        lanes!(|i: usize| -self.0[i])
+    }
+}
+
+impl std::ops::Add<f32> for F32x4 {
+    type Output = Self;
+    #[inline]
+    fn add(self, s: f32) -> Self {
+        lanes!(|i: usize| self.0[i] + s)
+    }
+}
+
+impl std::ops::Sub<f32> for F32x4 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, s: f32) -> Self {
+        lanes!(|i: usize| self.0[i] - s)
+    }
+}
+
+impl std::ops::Mul<f32> for F32x4 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, s: f32) -> Self {
+        lanes!(|i: usize| self.0[i] * s)
+    }
+}
+
+impl std::ops::Div<f32> for F32x4 {
+    type Output = Self;
+    #[inline]
+    fn div(self, s: f32) -> Self {
+        lanes!(|i: usize| self.0[i] / s)
+    }
+}
+
+/// Four boolean lanes (comparison results, active-ray masks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Mask4(pub [bool; 4]);
+
+impl Mask4 {
+    /// All lanes set.
+    pub const ALL: Self = Self([true; 4]);
+    /// No lane set.
+    pub const NONE: Self = Self([false; 4]);
+
+    /// `true` when any lane is set.
+    #[inline]
+    pub fn any(self) -> bool {
+        self.0[0] || self.0[1] || self.0[2] || self.0[3]
+    }
+
+    /// Lane-wise AND.
+    #[inline]
+    pub fn and(self, o: Self) -> Self {
+        Self([self.0[0] && o.0[0], self.0[1] && o.0[1], self.0[2] && o.0[2], self.0[3] && o.0[3]])
+    }
+
+    /// The value in `lane`.
+    #[inline]
+    pub fn lane(self, lane: usize) -> bool {
+        self.0[lane]
+    }
+}
+
+/// Four 3-D vectors in structure-of-arrays layout.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3x4 {
+    /// X components of the four lanes.
+    pub x: F32x4,
+    /// Y components of the four lanes.
+    pub y: F32x4,
+    /// Z components of the four lanes.
+    pub z: F32x4,
+}
+
+impl Vec3x4 {
+    /// Builds from per-axis lanes.
+    pub const fn new(x: F32x4, y: F32x4, z: F32x4) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Broadcasts one vector to every lane.
+    pub const fn splat(v: Vec3) -> Self {
+        Self { x: F32x4::splat(v.x), y: F32x4::splat(v.y), z: F32x4::splat(v.z) }
+    }
+
+    /// Packs four vectors into lanes.
+    pub fn from_lanes(v: [Vec3; 4]) -> Self {
+        Self {
+            x: F32x4::new(v[0].x, v[1].x, v[2].x, v[3].x),
+            y: F32x4::new(v[0].y, v[1].y, v[2].y, v[3].y),
+            z: F32x4::new(v[0].z, v[1].z, v[2].z, v[3].z),
+        }
+    }
+
+    /// The vector in `lane`.
+    #[inline]
+    pub fn lane(self, lane: usize) -> Vec3 {
+        Vec3::new(self.x.lane(lane), self.y.lane(lane), self.z.lane(lane))
+    }
+
+    /// Component-wise minimum with a uniform vector.
+    #[inline]
+    pub fn min_vec(self, o: Vec3) -> Self {
+        Self {
+            x: self.x.min(F32x4::splat(o.x)),
+            y: self.y.min(F32x4::splat(o.y)),
+            z: self.z.min(F32x4::splat(o.z)),
+        }
+    }
+
+    /// Component-wise maximum with a uniform vector.
+    #[inline]
+    pub fn max_vec(self, o: Vec3) -> Self {
+        Self {
+            x: self.x.max(F32x4::splat(o.x)),
+            y: self.y.max(F32x4::splat(o.y)),
+            z: self.z.max(F32x4::splat(o.z)),
+        }
+    }
+
+    /// Component-wise maximum with another packet.
+    #[inline]
+    pub fn max(self, o: Self) -> Self {
+        Self { x: self.x.max(o.x), y: self.y.max(o.y), z: self.z.max(o.z) }
+    }
+
+    /// Component-wise absolute value.
+    #[inline]
+    pub fn abs(self) -> Self {
+        Self { x: self.x.abs(), y: self.y.abs(), z: self.z.abs() }
+    }
+
+    /// Dot product, evaluated in the exact association order of
+    /// [`Vec3::dot`] (`0.0 + x·x + y·y + z·z`) so each lane matches the
+    /// scalar result bit for bit.
+    #[inline]
+    pub fn dot(self, o: Self) -> F32x4 {
+        ((F32x4::ZERO + self.x * o.x) + self.y * o.y) + self.z * o.z
+    }
+
+    /// Euclidean length (`dot(self, self).sqrt()`, as in [`Vec3::length`]).
+    #[inline]
+    pub fn length(self) -> F32x4 {
+        self.dot(self).sqrt()
+    }
+
+    /// Largest component per lane, folded in the order of
+    /// [`Vec3::max_component`].
+    #[inline]
+    pub fn max_component(self) -> F32x4 {
+        F32x4::splat(f32::NEG_INFINITY).max(self.x).max(self.y).max(self.z)
+    }
+}
+
+impl std::ops::Add for Vec3x4 {
+    type Output = Self;
+    #[inline]
+    fn add(self, o: Self) -> Self {
+        Self { x: self.x + o.x, y: self.y + o.y, z: self.z + o.z }
+    }
+}
+
+impl std::ops::Sub for Vec3x4 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, o: Self) -> Self {
+        Self { x: self.x - o.x, y: self.y - o.y, z: self.z - o.z }
+    }
+}
+
+impl std::ops::Sub<Vec3> for Vec3x4 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, o: Vec3) -> Self {
+        Self { x: self.x - o.x, y: self.y - o.y, z: self.z - o.z }
+    }
+}
+
+impl std::ops::Mul<F32x4> for Vec3x4 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, s: F32x4) -> Self {
+        Self { x: self.x * s, y: self.y * s, z: self.z * s }
+    }
+}
+
+impl std::ops::Mul<f32> for Vec3x4 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, s: f32) -> Self {
+        Self { x: self.x * s, y: self.y * s, z: self.z * s }
+    }
+}
+
+impl std::ops::Div<f32> for Vec3x4 {
+    type Output = Self;
+    #[inline]
+    fn div(self, s: f32) -> Self {
+        Self { x: self.x / s, y: self.y / s, z: self.z / s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_lanes() -> [Vec3; 4] {
+        [
+            Vec3::new(0.3, -1.2, 2.5),
+            Vec3::new(-0.75, 0.0, 1e-3),
+            Vec3::new(4.0, 3.0, -2.0),
+            Vec3::new(-0.0, 1.5, 0.25),
+        ]
+    }
+
+    #[test]
+    fn arithmetic_matches_scalar_bit_for_bit() {
+        let a = sample_lanes();
+        let b = [
+            Vec3::new(1.1, 0.4, -0.6),
+            Vec3::new(0.0, -2.0, 3.5),
+            Vec3::new(-1.0, 0.5, 0.125),
+            Vec3::new(2.5, -0.3, 7.0),
+        ];
+        let pa = Vec3x4::from_lanes(a);
+        let pb = Vec3x4::from_lanes(b);
+        let sum = pa + pb;
+        let dot = pa.dot(pb);
+        let len = pa.length();
+        for i in 0..LANES {
+            assert_eq!(sum.lane(i), a[i] + b[i]);
+            assert_eq!(dot.lane(i).to_bits(), a[i].dot(b[i]).to_bits());
+            assert_eq!(len.lane(i).to_bits(), a[i].length().to_bits());
+        }
+    }
+
+    #[test]
+    fn min_max_abs_match_scalar() {
+        let a = F32x4::new(1.0, -2.0, 0.0, -0.0);
+        let b = F32x4::new(-1.0, 3.0, 0.5, 0.0);
+        for i in 0..LANES {
+            assert_eq!(a.min(b).lane(i).to_bits(), a.lane(i).min(b.lane(i)).to_bits());
+            assert_eq!(a.max(b).lane(i).to_bits(), a.lane(i).max(b.lane(i)).to_bits());
+            assert_eq!(a.abs().lane(i).to_bits(), a.lane(i).abs().to_bits());
+        }
+    }
+
+    #[test]
+    fn max_component_matches_scalar_fold() {
+        let lanes = sample_lanes();
+        let m = Vec3x4::from_lanes(lanes).max_component();
+        for (i, v) in lanes.iter().enumerate() {
+            assert_eq!(m.lane(i).to_bits(), v.max_component().to_bits());
+        }
+    }
+
+    #[test]
+    fn select_and_masks() {
+        let a = F32x4::new(1.0, 2.0, 3.0, 4.0);
+        let b = F32x4::splat(0.0);
+        let mask = a.lt(F32x4::splat(2.5));
+        assert_eq!(mask, Mask4([true, true, false, false]));
+        assert!(mask.any());
+        assert_eq!(a.select(b, mask), F32x4::new(1.0, 2.0, 0.0, 0.0));
+        assert!(!Mask4::NONE.any());
+        assert_eq!(Mask4::ALL.and(mask), mask);
+    }
+
+    #[test]
+    fn scalar_broadcast_ops() {
+        let a = F32x4::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(a + 1.0, F32x4::new(2.0, 3.0, 4.0, 5.0));
+        assert_eq!(a - 1.0, F32x4::new(0.0, 1.0, 2.0, 3.0));
+        assert_eq!(a * 2.0, F32x4::new(2.0, 4.0, 6.0, 8.0));
+        assert_eq!(a / 2.0, F32x4::new(0.5, 1.0, 1.5, 2.0));
+        assert_eq!(-a, F32x4::new(-1.0, -2.0, -3.0, -4.0));
+        assert_eq!(a.clamp(1.5, 3.5), F32x4::new(1.5, 2.0, 3.0, 3.5));
+    }
+}

@@ -1,0 +1,580 @@
+//! Content-addressed cache of ray-marched object ground truths.
+//!
+//! Building an [`ObjectGroundTruth`] — sphere-tracing every probe view of an
+//! object — is the dominant cost of profiling. The renders depend only on
+//! the object's content and the probe settings, so they are cached exactly
+//! like bakes: keyed by ([`nerflex_bake::model_fingerprint`], view count,
+//! resolution), shared across threads, and optionally persisted to disk.
+//! Duplicate objects in a scene, fleet re-deployments and repeated bench/CI
+//! runs then render each ground truth **once**.
+//!
+//! Renders are deterministic and bit-identical for every worker/tile/lane
+//! count (see [`nerflex_scene::raymarch`]), so a cached ground truth —
+//! in-memory or reloaded from disk — yields measurements identical to a
+//! fresh build.
+//!
+//! # On-disk format
+//!
+//! One file per entry under the store directory, named
+//! `{fingerprint:016x}-v{views}-r{resolution}.nfgt`. Only the probe images
+//! are persisted (exact `f32` bit patterns); the probe scene and camera
+//! poses are recomputed from the model on load, which is cheap and
+//! deterministic. Like the bake store, the directory is **indexed lazily**:
+//! opening it only parses file names, and an entry is read and decoded on
+//! its first lookup. Files are self-validating (magic, version, key echo,
+//! FNV-1a checksum); a damaged or foreign-version file costs exactly one
+//! re-render, never an error.
+
+use crate::measurement::{MeasurementSettings, ObjectGroundTruth};
+use nerflex_bake::model_fingerprint;
+use nerflex_image::{Color, Image};
+use nerflex_scene::object::ObjectModel;
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Version of the on-disk ground-truth entry format. Bump on ANY layout
+/// change **and on any change to what the renderer produces** — shading
+/// constants, probe-rig geometry (`ObjectGroundTruth::probe_rig`), sphere-
+/// tracing parameters. Persisted entries capture renderer *output*, so a
+/// behavior change without a bump lets a long-lived local store decode
+/// cleanly and serve stale images, silently skewing every measurement
+/// scored against them (CI is protected by its source-hash cache key;
+/// developer stores are only protected by this constant). Readers reject
+/// foreign versions (entries are a cache — a re-render is always correct).
+pub const GT_FORMAT_VERSION: u32 = 1;
+
+/// Magic bytes identifying a ground-truth entry file.
+pub const GT_MAGIC: [u8; 4] = *b"NFGT";
+
+/// File extension used for ground-truth entry files.
+pub const GT_EXTENSION: &str = "nfgt";
+
+/// Cache key: (object content fingerprint, probe views, probe resolution).
+type GtKey = (u64, usize, usize);
+
+/// File name for an entry (`{fingerprint:016x}-v{views}-r{res}.nfgt`).
+fn entry_file_name(key: GtKey) -> String {
+    format!("{:016x}-v{}-r{}.{GT_EXTENSION}", key.0, key.1, key.2)
+}
+
+/// Parses an entry file name back into its key (`None` for foreign files).
+fn parse_entry_file_name(name: &str) -> Option<GtKey> {
+    let stem = name.strip_suffix(&format!(".{GT_EXTENSION}"))?;
+    let mut parts = stem.split('-');
+    let fingerprint = u64::from_str_radix(parts.next()?, 16).ok()?;
+    let views = parts.next()?.strip_prefix('v')?.parse().ok()?;
+    let resolution = parts.next()?.strip_prefix('r')?.parse().ok()?;
+    parts.next().is_none().then_some((fingerprint, views, resolution))
+}
+
+/// FNV-1a over a byte slice (the same stable hash the bake store uses).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serializes the probe images of one entry.
+fn encode_entry(key: GtKey, images: &[Image]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&GT_MAGIC);
+    out.extend_from_slice(&GT_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&key.0.to_le_bytes());
+    out.extend_from_slice(&(key.1 as u32).to_le_bytes());
+    out.extend_from_slice(&(key.2 as u32).to_le_bytes());
+    for image in images {
+        out.extend_from_slice(&(image.width() as u32).to_le_bytes());
+        out.extend_from_slice(&(image.height() as u32).to_le_bytes());
+        for y in 0..image.height() {
+            for x in 0..image.width() {
+                let c = image.get(x, y);
+                out.extend_from_slice(&c.r.to_bits().to_le_bytes());
+                out.extend_from_slice(&c.g.to_bits().to_le_bytes());
+                out.extend_from_slice(&c.b.to_bits().to_le_bytes());
+            }
+        }
+    }
+    let checksum = fnv1a(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Decodes an entry file, returning the probe images. Total: any
+/// truncation, bad magic, version/key mismatch or checksum failure yields
+/// `None` (the entry re-renders).
+fn decode_entry(bytes: &[u8], expect: GtKey) -> Option<Vec<Image>> {
+    if bytes.len() < GT_MAGIC.len() + 4 + 8 + 4 + 4 + 8 {
+        return None;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    if fnv1a(body) != u64::from_le_bytes(tail.try_into().ok()?) {
+        return None;
+    }
+    let mut cursor = body;
+    let mut take = |n: usize| -> Option<&[u8]> {
+        if cursor.len() < n {
+            return None;
+        }
+        let (head, rest) = cursor.split_at(n);
+        cursor = rest;
+        Some(head)
+    };
+    if take(4)? != GT_MAGIC {
+        return None;
+    }
+    if u32::from_le_bytes(take(4)?.try_into().ok()?) != GT_FORMAT_VERSION {
+        return None;
+    }
+    let fingerprint = u64::from_le_bytes(take(8)?.try_into().ok()?);
+    let views = u32::from_le_bytes(take(4)?.try_into().ok()?) as usize;
+    let resolution = u32::from_le_bytes(take(4)?.try_into().ok()?) as usize;
+    if (fingerprint, views, resolution) != expect {
+        return None;
+    }
+    let mut images = Vec::with_capacity(views);
+    for _ in 0..views {
+        let width = u32::from_le_bytes(take(4)?.try_into().ok()?) as usize;
+        let height = u32::from_le_bytes(take(4)?.try_into().ok()?) as usize;
+        if width == 0 || height == 0 || width > 1 << 16 || height > 1 << 16 {
+            return None;
+        }
+        let texels = take(width * height * 12)?;
+        let mut image = Image::new(width, height, Color::BLACK);
+        for y in 0..height {
+            for x in 0..width {
+                let at = (y * width + x) * 12;
+                let channel = |o: usize| -> Option<f32> {
+                    let raw = texels.get(at + o..at + o + 4)?;
+                    Some(f32::from_bits(u32::from_le_bytes(raw.try_into().ok()?)))
+                };
+                image.set(x, y, Color::new(channel(0)?, channel(4)?, channel(8)?));
+            }
+        }
+        images.push(image);
+    }
+    cursor.is_empty().then_some(images)
+}
+
+/// Hit/miss/build counters of a [`GroundTruthCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GroundTruthStats {
+    /// Lookups answered by a ground truth built in this process.
+    pub hits: usize,
+    /// Lookups answered by an entry decoded from the persistent store
+    /// (cross-process reuse).
+    pub disk_hits: usize,
+    /// Lookups that had to render.
+    pub misses: usize,
+    /// Ground truths rendered by this process (`== misses`, kept separate
+    /// for reporting symmetry).
+    pub builds: usize,
+    /// Distinct ground truths currently held in memory or indexed on disk.
+    pub entries: usize,
+    /// Entries indexed from the store directory when the cache was opened
+    /// (decoded lazily on first lookup; 0 for in-memory caches).
+    pub indexed_from_disk: usize,
+}
+
+/// One cached ground truth plus its persistence bookkeeping.
+#[derive(Debug)]
+enum GtEntry {
+    /// Decoded and ready; `dirty` entries are written by the next flush.
+    Memory { ground_truth: Arc<ObjectGroundTruth>, from_disk: bool, dirty: bool },
+    /// Indexed from the store directory, decoded on first lookup.
+    OnDisk(PathBuf),
+}
+
+/// A thread-safe, content-addressed store of object ground truths, shared by
+/// every profiling call of a pipeline run (and, when opened from a
+/// directory, across processes).
+#[derive(Debug, Default)]
+pub struct GroundTruthCache {
+    entries: Mutex<HashMap<GtKey, GtEntry>>,
+    hits: AtomicUsize,
+    disk_hits: AtomicUsize,
+    misses: AtomicUsize,
+    /// Total wall-clock time spent rendering ground truths (misses only —
+    /// the pipeline reports it as `ground_truth_ms`; near zero on warm runs).
+    build_time: Mutex<Duration>,
+    /// Backing directory for [`GroundTruthCache::flush`]; `None` in-memory.
+    dir: Option<PathBuf>,
+    /// Entries indexed from `dir` when the cache was opened.
+    indexed: usize,
+}
+
+impl GroundTruthCache {
+    /// Creates an empty in-memory cache (no persistence;
+    /// [`GroundTruthCache::flush`] is a no-op).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a persistent cache backed by `dir`, creating the directory when
+    /// missing and indexing the entry files already present **by file name
+    /// only** — an entry is read and decoded on its first lookup, so opening
+    /// a large accumulated store is O(directory listing), not O(store size).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the directory cannot be created or
+    /// listed. Damaged entry files are not detected here (decoding is lazy);
+    /// they cost one re-render at first lookup.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut entries = HashMap::new();
+        for file in std::fs::read_dir(&dir)? {
+            let path = file?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            // Sweep temporaries orphaned by a crash between write and rename.
+            if name.contains(&format!(".{GT_EXTENSION}.tmp-")) {
+                let _ = std::fs::remove_file(&path);
+                continue;
+            }
+            if let Some(key) = parse_entry_file_name(name) {
+                entries.insert(key, GtEntry::OnDisk(path));
+            }
+        }
+        let indexed = entries.len();
+        Ok(Self { entries: Mutex::new(entries), dir: Some(dir), indexed, ..Self::default() })
+    }
+
+    /// The backing directory of a persistent cache (`None` when in-memory).
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> GroundTruthStats {
+        let misses = self.misses.load(Ordering::Relaxed);
+        GroundTruthStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses,
+            builds: misses,
+            entries: self.entries.lock().expect("cache poisoned").len(),
+            indexed_from_disk: self.indexed,
+        }
+    }
+
+    /// Total wall-clock time this cache spent rendering ground truths —
+    /// the pipeline's `ground_truth_ms`. Exactly zero when every lookup was
+    /// a hit.
+    pub fn build_time(&self) -> Duration {
+        *self.build_time.lock().expect("cache poisoned")
+    }
+
+    /// Returns the ground truth for `(model, settings)`, rendering and
+    /// storing it on first request.
+    ///
+    /// Concurrent misses on the same key may both render (the lock is not
+    /// held across the render, deliberately — renders are long); the result
+    /// is identical either way because rendering is deterministic, and only
+    /// one copy is kept.
+    pub fn get_or_build(
+        &self,
+        model: &ObjectModel,
+        settings: &MeasurementSettings,
+    ) -> Arc<ObjectGroundTruth> {
+        let key = (model_fingerprint(model), settings.views, settings.resolution);
+        let pending_path = {
+            let entries = self.entries.lock().expect("cache poisoned");
+            match entries.get(&key) {
+                Some(GtEntry::Memory { ground_truth, from_disk, .. }) => {
+                    let counter = if *from_disk { &self.disk_hits } else { &self.hits };
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(ground_truth);
+                }
+                Some(GtEntry::OnDisk(path)) => Some(path.clone()),
+                None => None,
+            }
+        };
+
+        // Decode (or render) outside the lock so other profiling workers
+        // keep making progress during long reads/builds.
+        if let Some(path) = pending_path {
+            if let Some(ground_truth) = std::fs::read(&path)
+                .ok()
+                .and_then(|bytes| decode_entry(&bytes, key))
+                .and_then(|images| ObjectGroundTruth::from_images(model, settings, images))
+            {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                let ground_truth = Arc::new(ground_truth);
+                let mut entries = self.entries.lock().expect("cache poisoned");
+                match entries.get(&key) {
+                    // A concurrent lookup decoded (or rebuilt) it first —
+                    // keep that copy, the content is identical either way.
+                    Some(GtEntry::Memory { ground_truth, .. }) => {
+                        return Arc::clone(ground_truth);
+                    }
+                    _ => {
+                        entries.insert(
+                            key,
+                            GtEntry::Memory {
+                                ground_truth: Arc::clone(&ground_truth),
+                                from_disk: true,
+                                dirty: false,
+                            },
+                        );
+                        return ground_truth;
+                    }
+                }
+            }
+            // Damaged entry: fall through to a fresh render (and overwrite
+            // the file on the next flush).
+        }
+
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let ground_truth = Arc::new(ObjectGroundTruth::build(model, settings));
+        *self.build_time.lock().expect("cache poisoned") += started.elapsed();
+        let mut entries = self.entries.lock().expect("cache poisoned");
+        match entries.get(&key) {
+            // A concurrent lookup finished first — keep its copy (identical
+            // content) so every caller shares one allocation and a clean
+            // disk-loaded entry is not re-marked dirty.
+            Some(GtEntry::Memory { ground_truth, .. }) => Arc::clone(ground_truth),
+            _ => {
+                entries.insert(
+                    key,
+                    GtEntry::Memory {
+                        ground_truth: Arc::clone(&ground_truth),
+                        from_disk: false,
+                        dirty: true,
+                    },
+                );
+                ground_truth
+            }
+        }
+    }
+
+    /// Writes every ground truth rendered since the last flush to the
+    /// backing directory, returning how many files were written (0 for
+    /// in-memory caches). The dirty entries are snapshotted first and the
+    /// files written **outside the entry lock**, so concurrent profiling
+    /// proceeds during large flushes; each file is written to a
+    /// process-unique temporary name and renamed into place.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error encountered; entries flushed before the
+    /// failure stay flushed.
+    pub fn flush(&self) -> io::Result<usize> {
+        let Some(dir) = &self.dir else { return Ok(0) };
+        let dirty: Vec<(GtKey, Arc<ObjectGroundTruth>)> = {
+            let entries = self.entries.lock().expect("cache poisoned");
+            entries
+                .iter()
+                .filter_map(|(&key, entry)| match entry {
+                    GtEntry::Memory { ground_truth, dirty: true, .. } => {
+                        Some((key, Arc::clone(ground_truth)))
+                    }
+                    _ => None,
+                })
+                .collect()
+        };
+        // Unique per flush call (not just per process): concurrent flushes
+        // of one entry must never share a temporary file.
+        static TMP_SEQ: AtomicUsize = AtomicUsize::new(0);
+        let mut written = Vec::with_capacity(dirty.len());
+        let mut failure = None;
+        for (key, ground_truth) in dirty {
+            let bytes = encode_entry(key, &ground_truth.images);
+            let path = dir.join(entry_file_name(key));
+            let tmp = dir.join(format!(
+                "{}.tmp-{}-{}",
+                entry_file_name(key),
+                std::process::id(),
+                TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            let result = std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, &path));
+            match result {
+                Ok(()) => written.push(key),
+                Err(err) => {
+                    let _ = std::fs::remove_file(&tmp);
+                    failure = Some(err);
+                    break;
+                }
+            }
+        }
+        let mut entries = self.entries.lock().expect("cache poisoned");
+        for key in &written {
+            if let Some(GtEntry::Memory { dirty, .. }) = entries.get_mut(key) {
+                *dirty = false;
+            }
+        }
+        match failure {
+            Some(err) => Err(err),
+            None => Ok(written.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nerflex_scene::object::CanonicalObject;
+
+    fn quick_settings() -> MeasurementSettings {
+        MeasurementSettings { views: 2, resolution: 24, worker_threads: 1, ground_truth_workers: 1 }
+    }
+
+    /// A unique, self-cleaning temporary directory.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            static COUNTER: AtomicUsize = AtomicUsize::new(0);
+            Self(std::env::temp_dir().join(format!(
+                "nerflex-gt-test-{tag}-{}-{}",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::Relaxed)
+            )))
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn file_names_round_trip() {
+        let key = (0x2f1c_66aa_0194_5f10, 3, 96);
+        assert_eq!(parse_entry_file_name(&entry_file_name(key)), Some(key));
+        assert_eq!(parse_entry_file_name("garbage.nfgt"), None);
+        assert_eq!(parse_entry_file_name("0123-v3.nfgt"), None);
+        assert_eq!(parse_entry_file_name("0123-v3-r96-x.nfgt"), None);
+        assert_eq!(parse_entry_file_name("0123-v3-r96.other"), None);
+    }
+
+    #[test]
+    fn codec_round_trips_exact_bits() {
+        let key = (42, 2, 8);
+        let images = vec![
+            Image::from_fn(8, 8, |x, y| Color::new(x as f32 * 0.1, y as f32 * 0.2, 0.5)),
+            Image::from_fn(8, 8, |x, y| Color::gray((x * y) as f32 / 49.0)),
+        ];
+        let bytes = encode_entry(key, &images);
+        let decoded = decode_entry(&bytes, key).expect("round trip");
+        assert_eq!(decoded, images);
+        // Wrong key, truncation and bit flips are all rejected.
+        assert!(decode_entry(&bytes, (43, 2, 8)).is_none());
+        assert!(decode_entry(&bytes[..bytes.len() - 9], key).is_none());
+        let mut flipped = bytes.clone();
+        flipped[30] ^= 0x10;
+        assert!(decode_entry(&flipped, key).is_none());
+    }
+
+    #[test]
+    fn hits_share_one_build_and_identical_images() {
+        let cache = GroundTruthCache::new();
+        let model = CanonicalObject::Hotdog.build();
+        let settings = quick_settings();
+        let first = cache.get_or_build(&model, &settings);
+        let again = cache.get_or_build(&model, &settings);
+        // A second independently generated copy of the same object is the
+        // same content and therefore the same entry.
+        let clone = cache.get_or_build(&CanonicalObject::Hotdog.build(), &settings);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.builds, stats.entries), (2, 1, 1, 1));
+        assert!(Arc::ptr_eq(&first, &again) && Arc::ptr_eq(&first, &clone));
+        assert!(cache.build_time() > Duration::ZERO);
+        // Worker counts never affect the key (output bits are identical).
+        let other = cache.get_or_build(&model, &settings.with_ground_truth_workers(4));
+        assert!(Arc::ptr_eq(&first, &other), "worker count is not part of the key");
+        let mut finer = settings;
+        finer.resolution = 32;
+        let _ = cache.get_or_build(&model, &finer);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn flush_and_reopen_turn_builds_into_disk_hits() {
+        let tmp = TempDir::new("roundtrip");
+        let model = CanonicalObject::Chair.build();
+        let settings = quick_settings();
+
+        let cache = GroundTruthCache::open(&tmp.0).expect("open");
+        assert_eq!(cache.stats().indexed_from_disk, 0);
+        let built = cache.get_or_build(&model, &settings);
+        assert_eq!(cache.flush().expect("flush"), 1);
+        assert_eq!(cache.flush().expect("clean flush"), 0);
+
+        let reopened = GroundTruthCache::open(&tmp.0).expect("reopen");
+        assert_eq!(reopened.stats().indexed_from_disk, 1);
+        let loaded = reopened.get_or_build(&model, &settings);
+        let stats = reopened.stats();
+        assert_eq!((stats.hits, stats.disk_hits, stats.misses), (0, 1, 0));
+        assert_eq!(reopened.build_time(), Duration::ZERO, "warm lookup renders nothing");
+        // The persisted ground truth is bit-identical to the fresh build.
+        assert_eq!(built.images, loaded.images);
+        assert_eq!(built.poses.len(), loaded.poses.len());
+    }
+
+    #[test]
+    fn damaged_entries_rebuild_and_repair() {
+        let tmp = TempDir::new("damage");
+        let model = CanonicalObject::Hotdog.build();
+        let settings = quick_settings();
+        let cache = GroundTruthCache::open(&tmp.0).expect("open");
+        let built = cache.get_or_build(&model, &settings);
+        cache.flush().expect("flush");
+
+        // Truncate the entry file; the reopened cache still indexes it but
+        // the first lookup falls back to a fresh render.
+        let key = (model_fingerprint(&model), settings.views, settings.resolution);
+        let path = tmp.0.join(entry_file_name(key));
+        let bytes = std::fs::read(&path).expect("read entry");
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).expect("truncate");
+
+        let reopened = GroundTruthCache::open(&tmp.0).expect("reopen");
+        assert_eq!(reopened.stats().indexed_from_disk, 1);
+        let rebuilt = reopened.get_or_build(&model, &settings);
+        let stats = reopened.stats();
+        assert_eq!((stats.disk_hits, stats.misses), (0, 1));
+        assert_eq!(built.images, rebuilt.images, "re-render is bit-identical");
+        // The next flush repairs the damaged file.
+        assert_eq!(reopened.flush().expect("repair"), 1);
+        let repaired = GroundTruthCache::open(&tmp.0).expect("open repaired");
+        let _ = repaired.get_or_build(&model, &settings);
+        assert_eq!(repaired.stats().disk_hits, 1);
+    }
+
+    #[test]
+    fn in_memory_flush_is_a_noop() {
+        let cache = GroundTruthCache::new();
+        let _ = cache.get_or_build(&CanonicalObject::Hotdog.build(), &quick_settings());
+        assert_eq!(cache.dir(), None);
+        assert_eq!(cache.flush().expect("noop"), 0);
+    }
+
+    #[test]
+    fn measurements_do_not_depend_on_the_ground_truth_source() {
+        use crate::measurement::measure_object_in;
+        use nerflex_bake::BakeConfig;
+
+        let tmp = TempDir::new("measure");
+        let model = CanonicalObject::Hotdog.build();
+        let settings = quick_settings();
+        let configs = [BakeConfig::new(10, 3), BakeConfig::new(16, 5)];
+
+        let direct = measure_object_in(&model, &configs, &settings, None, None);
+        let cold = GroundTruthCache::open(&tmp.0).expect("open");
+        let first = measure_object_in(&model, &configs, &settings, None, Some(&cold));
+        cold.flush().expect("flush");
+        let warm = GroundTruthCache::open(&tmp.0).expect("reopen");
+        let second = measure_object_in(&model, &configs, &settings, None, Some(&warm));
+        assert_eq!(direct, first);
+        assert_eq!(first, second);
+        assert_eq!(warm.stats().misses, 0, "warm run renders no ground truth");
+    }
+}

@@ -26,12 +26,16 @@
 
 pub mod error;
 pub mod fit;
+pub mod ground_truth;
 pub mod measurement;
 pub mod model;
 pub mod profiler;
 pub mod sampling;
 
-pub use measurement::{measure_object, measure_object_cached, Measurement};
+pub use ground_truth::{GroundTruthCache, GroundTruthStats};
+pub use measurement::{measure_object, measure_object_cached, measure_object_in, Measurement};
 pub use model::{QualityModel, SizeModel, SizeQualityModel};
-pub use profiler::{build_profile, build_profile_cached, ObjectProfile, ProfilerOptions};
+pub use profiler::{
+    build_profile, build_profile_cached, build_profile_in, ObjectProfile, ProfilerOptions,
+};
 pub use sampling::sample_configurations;

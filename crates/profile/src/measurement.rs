@@ -28,7 +28,8 @@ pub struct Measurement {
 }
 
 /// How measurements are taken (probe view count, resolution, and how many
-/// worker threads fan out over the sample configurations).
+/// worker threads fan out over the sample configurations and over the
+/// ground-truth render tiles).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MeasurementSettings {
     /// Number of probe views on the measurement orbit.
@@ -41,11 +42,16 @@ pub struct MeasurementSettings {
     /// (the default) is the bit-for-bit sequential path; `0` uses one
     /// worker per available core.
     pub worker_threads: usize,
+    /// Worker threads for the tiled ray-marched ground-truth renders
+    /// ([`nerflex_scene::raymarch::render_view_parallel`]). The rendered
+    /// images are bit-identical for every value; `1` (the default) is the
+    /// sequential path, `0` uses one worker per available core.
+    pub ground_truth_workers: usize,
 }
 
 impl Default for MeasurementSettings {
     fn default() -> Self {
-        Self { views: 3, resolution: 96, worker_threads: 1 }
+        Self { views: 3, resolution: 96, worker_threads: 1, ground_truth_workers: 1 }
     }
 }
 
@@ -54,6 +60,13 @@ impl MeasurementSettings {
     /// (`0` = one per core, `1` = sequential).
     pub fn with_worker_threads(mut self, workers: usize) -> Self {
         self.worker_threads = workers;
+        self
+    }
+
+    /// Returns the settings with the given ground-truth render worker count
+    /// (`0` = one per core, `1` = sequential; output bits never change).
+    pub fn with_ground_truth_workers(mut self, workers: usize) -> Self {
+        self.ground_truth_workers = workers;
         self
     }
 }
@@ -75,25 +88,60 @@ pub struct ObjectGroundTruth {
 }
 
 impl ObjectGroundTruth {
-    /// Renders the ground truth for a standalone object.
-    pub fn build(model: &ObjectModel, settings: &MeasurementSettings) -> Self {
+    /// The standalone probe scene and orbit poses for a model — the
+    /// deterministic part of a ground truth that is cheap to recompute (the
+    /// persistent [`crate::ground_truth::GroundTruthCache`] stores only the
+    /// rendered images and rebuilds the rig on load).
+    pub fn probe_rig(
+        model: &ObjectModel,
+        settings: &MeasurementSettings,
+    ) -> (Scene, Vec<CameraPose>) {
         let scene = Scene::from_models(vec![model.clone()], 0);
         let bounds = scene.bounding_box();
         let poses =
             orbit_path(bounds.center(), (bounds.diagonal() * 1.1).max(1.0), 0.45, settings.views);
+        (scene, poses)
+    }
+
+    /// Renders the ground truth for a standalone object. The ray-marched
+    /// probe renders are tiled over `settings.ground_truth_workers` pool
+    /// threads; the images are bit-identical for every worker count.
+    pub fn build(model: &ObjectModel, settings: &MeasurementSettings) -> Self {
+        let (scene, poses) = Self::probe_rig(model, settings);
         let images = poses
             .iter()
             .map(|pose| {
-                nerflex_scene::raymarch::render_view(
+                nerflex_scene::raymarch::render_view_parallel(
                     &scene,
                     pose,
                     settings.resolution,
                     settings.resolution,
+                    settings.ground_truth_workers,
                 )
                 .0
             })
             .collect();
         Self { scene, poses, images, resolution: settings.resolution }
+    }
+
+    /// Reassembles a ground truth from persisted probe images, rebuilding
+    /// the (deterministic) probe rig from the model. Returns `None` when the
+    /// images do not match the settings' view count or resolution — the
+    /// caller then falls back to a fresh [`ObjectGroundTruth::build`].
+    pub fn from_images(
+        model: &ObjectModel,
+        settings: &MeasurementSettings,
+        images: Vec<Image>,
+    ) -> Option<Self> {
+        if images.len() != settings.views
+            || images
+                .iter()
+                .any(|i| i.width() != settings.resolution || i.height() != settings.resolution)
+        {
+            return None;
+        }
+        let (scene, poses) = Self::probe_rig(model, settings);
+        Some(Self { scene, poses, images, resolution: settings.resolution })
     }
 
     /// Measures one configuration: bakes the object, renders the probe views
@@ -156,7 +204,28 @@ pub fn measure_object_cached(
     settings: &MeasurementSettings,
     cache: Option<&BakeCache>,
 ) -> Vec<Measurement> {
-    let ground_truth = ObjectGroundTruth::build(model, settings);
+    measure_object_in(model, configs, settings, cache, None)
+}
+
+/// Like [`measure_object_cached`], but the expensive ray-marched ground
+/// truth additionally comes from a shared
+/// [`GroundTruthCache`](crate::ground_truth::GroundTruthCache) when one is
+/// given — so repeated profiling of the same (model, probe settings) pair
+/// (duplicate objects in a scene, fleet re-deployments, warm bench/CI runs)
+/// renders it only once. Cached and freshly built ground truths are
+/// bit-identical, so the measurements do not depend on where the ground
+/// truth came from.
+pub fn measure_object_in(
+    model: &ObjectModel,
+    configs: &[BakeConfig],
+    settings: &MeasurementSettings,
+    cache: Option<&BakeCache>,
+    ground_truth: Option<&crate::ground_truth::GroundTruthCache>,
+) -> Vec<Measurement> {
+    let ground_truth = match ground_truth {
+        Some(shared) => shared.get_or_build(model, settings),
+        None => std::sync::Arc::new(ObjectGroundTruth::build(model, settings)),
+    };
     // The sample configurations are independent measurements against the
     // shared ground truth: fan them out over the worker pool. Results come
     // back in config order and every measurement is deterministic, so any
@@ -196,7 +265,7 @@ mod tests {
     use nerflex_scene::object::CanonicalObject;
 
     fn quick_settings() -> MeasurementSettings {
-        MeasurementSettings { views: 2, resolution: 56, worker_threads: 1 }
+        MeasurementSettings { views: 2, resolution: 56, worker_threads: 1, ground_truth_workers: 1 }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Per-object profiles: sample, measure, fit.
 
 use crate::fit::{fit_quality_model, fit_size_model};
-use crate::measurement::{measure_object_cached, Measurement, MeasurementSettings};
+use crate::measurement::{Measurement, MeasurementSettings};
 use crate::model::{ProfileModels, QualityModel, SizeModel, SizeQualityModel};
 use crate::sampling::{sample_configurations, SampleRange};
 use nerflex_bake::BakeCache;
@@ -23,7 +23,12 @@ impl ProfilerOptions {
     pub fn quick() -> Self {
         Self {
             range: SampleRange { g_min: 10, g_max: 40, p_min: 3, p_max: 9 },
-            measurement: MeasurementSettings { views: 2, resolution: 56, worker_threads: 1 },
+            measurement: MeasurementSettings {
+                views: 2,
+                resolution: 56,
+                worker_threads: 1,
+                ground_truth_workers: 1,
+            },
         }
     }
 }
@@ -96,8 +101,31 @@ pub fn build_profile_cached(
     options: &ProfilerOptions,
     cache: Option<&BakeCache>,
 ) -> ObjectProfile {
+    build_profile_in(model, object_id, options, cache, None)
+}
+
+/// [`build_profile_cached`] with the expensive ray-marched ground truth
+/// additionally routed through a shared
+/// [`GroundTruthCache`](crate::ground_truth::GroundTruthCache): the pipeline
+/// engine passes one per run (persistent when a cache directory is
+/// configured), so duplicate objects and repeated runs render each object's
+/// probe views once. Cached ground truths are bit-identical to fresh ones,
+/// so the resulting profile does not depend on where they came from.
+pub fn build_profile_in(
+    model: &ObjectModel,
+    object_id: usize,
+    options: &ProfilerOptions,
+    cache: Option<&BakeCache>,
+    ground_truth: Option<&crate::ground_truth::GroundTruthCache>,
+) -> ObjectProfile {
     let configs = sample_configurations(&options.range);
-    let samples = measure_object_cached(model, &configs, &options.measurement, cache);
+    let samples = crate::measurement::measure_object_in(
+        model,
+        &configs,
+        &options.measurement,
+        cache,
+        ground_truth,
+    );
     build_profile_from_measurements(model, object_id, samples)
 }
 

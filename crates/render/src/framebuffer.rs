@@ -35,9 +35,28 @@ impl Framebuffer {
     /// Writes a fragment if it passes the depth test; returns whether it was
     /// written.
     pub fn write(&mut self, x: usize, y: usize, depth: f32, color: Color) -> bool {
+        self.write_lazy(x, y, depth, || color)
+    }
+
+    /// Depth-tests `(x, y, depth)` and, only when the test passes, invokes
+    /// `shade` and writes the resulting colour; returns whether the fragment
+    /// was written.
+    ///
+    /// This is the rasteriser's single-test write path: the former
+    /// `depth_at` check followed by [`Framebuffer::write`] probed the depth
+    /// buffer twice per visible fragment, and the closure keeps attribute
+    /// interpolation + shading lazy for occluded ones.
+    pub fn write_lazy(
+        &mut self,
+        x: usize,
+        y: usize,
+        depth: f32,
+        shade: impl FnOnce() -> Color,
+    ) -> bool {
         let idx = y * self.width() + x;
         if depth < self.depth[idx] {
             self.depth[idx] = depth;
+            let color = shade();
             self.color.set(x, y, color);
             true
         } else {
@@ -84,6 +103,24 @@ mod tests {
         assert!(!fb.write(1, 1, 0.7, Color::gray(0.3)));
         assert!(fb.write(1, 1, 0.2, Color::gray(0.6)));
         assert_eq!(fb.into_image().get(1, 1), Color::gray(0.6));
+    }
+
+    #[test]
+    fn write_lazy_shades_only_visible_fragments() {
+        let mut fb = Framebuffer::new(4, 4, Color::BLACK);
+        let mut shaded = 0;
+        assert!(fb.write_lazy(1, 1, 0.5, || {
+            shaded += 1;
+            Color::WHITE
+        }));
+        // An occluded fragment is rejected without invoking the shader.
+        assert!(!fb.write_lazy(1, 1, 0.7, || {
+            shaded += 1;
+            Color::gray(0.3)
+        }));
+        assert_eq!(shaded, 1);
+        assert_eq!(fb.depth_at(1, 1), 0.5);
+        assert_eq!(fb.into_image().get(1, 1), Color::WHITE);
     }
 
     #[test]

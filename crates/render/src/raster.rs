@@ -5,6 +5,22 @@
 //! perspective-correctly interpolated attributes and handed to a shading
 //! callback, which is how the renderer keeps rasterisation independent of the
 //! texturing / MLP shading policy.
+//!
+//! # Inner loop and the determinism contract
+//!
+//! The per-pixel barycentric weights are affine in the pixel coordinates, so
+//! the inner loop evaluates precomputed **incremental edge functions**
+//! (`w = (c + a·px + b·py)·inv_area`, with the `c + b·py` base hoisted per
+//! row) instead of three `perp_dot` cross products per pixel, and the
+//! perspective-correction setup (per-vertex `attribute × 1/w` products) is
+//! hoisted out of the loop entirely. Each weight is recomputed from its row
+//! base — never accumulated across pixels — so there is no drift and the
+//! output is a pure function of the triangle: same inputs, same bits, on
+//! every run. The straight-line multiply–add form is what lets the
+//! autovectoriser pack the loop. A property test checks the incremental
+//! weights against the reference `perp_dot` evaluation over random
+//! triangles; fragments are only shaded after a single framebuffer depth
+//! test ([`Framebuffer::write_lazy`]).
 
 use crate::camera::RasterCamera;
 use crate::framebuffer::Framebuffer;
@@ -42,6 +58,13 @@ pub struct RasterStats {
     pub fragments_shaded: usize,
 }
 
+/// Coefficients of the affine edge function `w(px, py) = c + a·px + b·py`
+/// spanned by the directed edge `s → e`: the expansion of
+/// `(s − p).perp_dot(e − p)` (the cross terms cancel).
+fn edge_coefficients(s: Vec2, e: Vec2) -> (f32, f32, f32) {
+    (s.y - e.y, e.x - s.x, s.x * e.y - s.y * e.x)
+}
+
 /// Rasterises one triangle, calling `shade` for every fragment that passes
 /// the depth test.
 pub fn draw_triangle(
@@ -62,13 +85,10 @@ pub fn draw_triangle(
         return;
     }
     let inv_w = [1.0 / clips[0].w, 1.0 / clips[1].w, 1.0 / clips[2].w];
-    let screen: Vec<Vec2> = clips
-        .iter()
-        .map(|c| {
-            let ndc = c.perspective_divide();
-            nerflex_math::transform::ndc_to_viewport(ndc, framebuffer.width(), framebuffer.height())
-        })
-        .collect();
+    let screen: [Vec2; 3] = std::array::from_fn(|i| {
+        let ndc = clips[i].perspective_divide();
+        nerflex_math::transform::ndc_to_viewport(ndc, framebuffer.width(), framebuffer.height())
+    });
     let depth_ndc = [clips[0].z * inv_w[0], clips[1].z * inv_w[1], clips[2].z * inv_w[2]];
 
     // Signed area (negative = back-facing in our winding); keep both windings
@@ -90,12 +110,28 @@ pub fn draw_triangle(
         return;
     }
 
+    // Barycentric weights as incremental edge functions (w2 closes the sum),
+    // and the perspective-correction setup hoisted out of the pixel loop:
+    // every attribute is pre-multiplied by its vertex's 1/w once.
+    let (a0, b0, c0) = edge_coefficients(screen[1], screen[2]);
+    let (a1, b1, c1) = edge_coefficients(screen[2], screen[0]);
+    let uv_w = [vertices[0].uv * inv_w[0], vertices[1].uv * inv_w[1], vertices[2].uv * inv_w[2]];
+    let normal_w = [
+        vertices[0].normal * inv_w[0],
+        vertices[1].normal * inv_w[1],
+        vertices[2].normal * inv_w[2],
+    ];
+
     for y in min_y..=max_y {
+        let py = y as f32 + 0.5;
+        // Per-row bases; each pixel adds its own a·px term (recomputed from
+        // the base, never accumulated, so rounding cannot drift across a row).
+        let w0_row = c0 + b0 * py;
+        let w1_row = c1 + b1 * py;
         for x in min_x..=max_x {
-            let p = Vec2::new(x as f32 + 0.5, y as f32 + 0.5);
-            // Barycentric coordinates (consistent sign handling for both windings).
-            let w0 = (screen[1] - p).perp_dot(screen[2] - p) * inv_area;
-            let w1 = (screen[2] - p).perp_dot(screen[0] - p) * inv_area;
+            let px = x as f32 + 0.5;
+            let w0 = (w0_row + a0 * px) * inv_area;
+            let w1 = (w1_row + a1 * px) * inv_area;
             let w2 = 1.0 - w0 - w1;
             if w0 < 0.0 || w1 < 0.0 || w2 < 0.0 {
                 continue;
@@ -104,32 +140,25 @@ pub fn draw_triangle(
             if !(-1.0..=1.0).contains(&depth) {
                 continue;
             }
-            // Perspective-correct interpolation: weight attributes by 1/w.
-            let denom = w0 * inv_w[0] + w1 * inv_w[1] + w2 * inv_w[2];
+            // Perspective-correct weights (attributes were scaled by 1/w above).
+            let l0 = w0 * inv_w[0];
+            let l1 = w1 * inv_w[1];
+            let l2 = w2 * inv_w[2];
+            let denom = l0 + l1 + l2;
             if denom <= 0.0 {
                 continue;
             }
-            let persp = |a0: f32, a1: f32, a2: f32| {
-                (a0 * w0 * inv_w[0] + a1 * w1 * inv_w[1] + a2 * w2 * inv_w[2]) / denom
-            };
-            let uv = Vec2::new(
-                persp(vertices[0].uv.x, vertices[1].uv.x, vertices[2].uv.x),
-                persp(vertices[0].uv.y, vertices[1].uv.y, vertices[2].uv.y),
-            );
-            let normal = Vec3::new(
-                persp(vertices[0].normal.x, vertices[1].normal.x, vertices[2].normal.x),
-                persp(vertices[0].normal.y, vertices[1].normal.y, vertices[2].normal.y),
-                persp(vertices[0].normal.z, vertices[1].normal.z, vertices[2].normal.z),
-            )
-            .normalized();
-            let fragment = Fragment { uv, normal, depth };
-            // Depth test first so the shade callback only runs for visible fragments.
-            let idx_depth = framebuffer.depth_at(x, y);
-            if depth < idx_depth {
-                let color = shade(fragment);
-                if framebuffer.write(x, y, depth, color) {
-                    stats.fragments_shaded += 1;
-                }
+            // Single depth test; interpolation and shading run only for
+            // visible fragments.
+            let written = framebuffer.write_lazy(x, y, depth, || {
+                let inv_denom = 1.0 / denom;
+                let uv = (uv_w[0] * w0 + uv_w[1] * w1 + uv_w[2] * w2) * inv_denom;
+                let normal = ((normal_w[0] * w0 + normal_w[1] * w1 + normal_w[2] * w2) * inv_denom)
+                    .normalized();
+                shade(Fragment { uv, normal, depth })
+            });
+            if written {
+                stats.fragments_shaded += 1;
             }
         }
     }
@@ -139,6 +168,7 @@ pub fn draw_triangle(
 mod tests {
     use super::*;
     use nerflex_scene::camera_path::CameraPose;
+    use proptest::prelude::*;
 
     fn camera(width: usize, height: usize) -> RasterCamera {
         let pose = CameraPose::new(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, 60.0f32.to_radians());
@@ -236,5 +266,165 @@ mod tests {
         let tri = [vertex(p, Vec2::ZERO), vertex(p, Vec2::ZERO), vertex(p, Vec2::ZERO)];
         draw_triangle(&cam, &mut fb, &tri, &mut stats, &mut |_| Color::WHITE);
         assert_eq!(stats.triangles_rasterized, 0);
+    }
+
+    /// Reference per-pixel barycentric evaluation (the pre-incremental
+    /// rasteriser's three `perp_dot` cross products), including the same
+    /// projection, depth and perspective-denominator rejections.
+    fn reference_fragment(
+        cam: &RasterCamera,
+        size: usize,
+        tri: &[RasterVertex; 3],
+        x: usize,
+        y: usize,
+    ) -> Option<(Vec2, f32, f32)> {
+        let clips = [
+            cam.to_clip(tri[0].position),
+            cam.to_clip(tri[1].position),
+            cam.to_clip(tri[2].position),
+        ];
+        if clips.iter().any(|c| c.w <= crate::camera::NEAR * 0.5) {
+            return None;
+        }
+        let inv_w = [1.0 / clips[0].w, 1.0 / clips[1].w, 1.0 / clips[2].w];
+        let screen: Vec<Vec2> = clips
+            .iter()
+            .map(|c| nerflex_math::transform::ndc_to_viewport(c.perspective_divide(), size, size))
+            .collect();
+        let depth_ndc = [clips[0].z * inv_w[0], clips[1].z * inv_w[1], clips[2].z * inv_w[2]];
+        let area = (screen[1] - screen[0]).perp_dot(screen[2] - screen[0]);
+        if area.abs() < 1e-6 {
+            return None;
+        }
+        let inv_area = 1.0 / area;
+        let p = Vec2::new(x as f32 + 0.5, y as f32 + 0.5);
+        let w0 = (screen[1] - p).perp_dot(screen[2] - p) * inv_area;
+        let w1 = (screen[2] - p).perp_dot(screen[0] - p) * inv_area;
+        let w2 = 1.0 - w0 - w1;
+        if w0 < 0.0 || w1 < 0.0 || w2 < 0.0 {
+            return None;
+        }
+        let depth = w0 * depth_ndc[0] + w1 * depth_ndc[1] + w2 * depth_ndc[2];
+        if !(-1.0..=1.0).contains(&depth) {
+            return None;
+        }
+        let denom = w0 * inv_w[0] + w1 * inv_w[1] + w2 * inv_w[2];
+        if denom <= 0.0 {
+            return None;
+        }
+        let persp = |a0: f32, a1: f32, a2: f32| {
+            (a0 * w0 * inv_w[0] + a1 * w1 * inv_w[1] + a2 * w2 * inv_w[2]) / denom
+        };
+        let uv = Vec2::new(
+            persp(tri[0].uv.x, tri[1].uv.x, tri[2].uv.x),
+            persp(tri[0].uv.y, tri[1].uv.y, tri[2].uv.y),
+        );
+        let edge_margin = w0.abs().min(w1.abs()).min(w2.abs());
+        Some((uv, depth, edge_margin))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_incremental_matches_reference_barycentric(
+            x0 in -1.8f32..1.8, y0 in -1.8f32..1.8, z0 in -1.0f32..1.0,
+            x1 in -1.8f32..1.8, y1 in -1.8f32..1.8, z1 in -1.0f32..1.0,
+            x2 in -1.8f32..1.8, y2 in -1.8f32..1.8, z2 in -1.0f32..1.0,
+        ) {
+            const SIZE: usize = 48;
+            let cam = camera(SIZE, SIZE);
+            let tri = [
+                RasterVertex {
+                    position: Vec3::new(x0, y0, z0),
+                    uv: Vec2::new(0.0, 0.0),
+                    normal: Vec3::Z,
+                },
+                RasterVertex {
+                    position: Vec3::new(x1, y1, z1),
+                    uv: Vec2::new(1.0, 0.0),
+                    normal: Vec3::Z,
+                },
+                RasterVertex {
+                    position: Vec3::new(x2, y2, z2),
+                    uv: Vec2::new(0.5, 1.0),
+                    normal: Vec3::Z,
+                },
+            ];
+            // Skip screen-space slivers: their barycentrics are dominated by
+            // rounding in *both* formulations and compare nothing meaningful.
+            let screen: Vec<Vec2> = tri
+                .iter()
+                .filter_map(|v| cam.project(v.position).map(|(p, _)| p))
+                .collect();
+            prop_assume!(screen.len() == 3);
+            let area = (screen[1] - screen[0]).perp_dot(screen[2] - screen[0]);
+            prop_assume!(area.abs() > 4.0);
+
+            // Rasterise once, encoding (uv.x, uv.y, depth) into the colour.
+            let mut fb = Framebuffer::new(SIZE, SIZE, Color::BLACK);
+            let mut stats = RasterStats::default();
+            draw_triangle(&cam, &mut fb, &tri, &mut stats, &mut |f| {
+                Color::new(f.uv.x, f.uv.y, f.depth)
+            });
+            let img = fb.clone().into_image();
+
+            for y in 0..SIZE {
+                for x in 0..SIZE {
+                    let covered = fb.depth_at(x, y).is_finite();
+                    match reference_fragment(&cam, SIZE, &tri, x, y) {
+                        Some((uv, depth, edge_margin)) => {
+                            if !covered {
+                                // Coverage may flip only within rounding
+                                // distance of an edge.
+                                prop_assert!(
+                                    edge_margin < 1e-2,
+                                    "pixel ({x},{y}) lost with margin {edge_margin}"
+                                );
+                                continue;
+                            }
+                            let c = img.get(x, y);
+                            prop_assert!((c.r - uv.x).abs() < 1e-2, "uv.x at ({x},{y})");
+                            prop_assert!((c.g - uv.y).abs() < 1e-2, "uv.y at ({x},{y})");
+                            prop_assert!((c.b - depth).abs() < 1e-2, "depth at ({x},{y})");
+                        }
+                        None => {
+                            if covered {
+                                let margin = reference_edge_margin(&cam, SIZE, &tri, x, y);
+                                prop_assert!(
+                                    margin < 1e-2,
+                                    "pixel ({x},{y}) gained with margin {margin}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The smallest reference barycentric magnitude at a pixel — how close
+    /// the pixel centre is to an edge, for the coverage-flip tolerance.
+    fn reference_edge_margin(
+        cam: &RasterCamera,
+        size: usize,
+        tri: &[RasterVertex; 3],
+        x: usize,
+        y: usize,
+    ) -> f32 {
+        let clips = [
+            cam.to_clip(tri[0].position),
+            cam.to_clip(tri[1].position),
+            cam.to_clip(tri[2].position),
+        ];
+        let screen: Vec<Vec2> = clips
+            .iter()
+            .map(|c| nerflex_math::transform::ndc_to_viewport(c.perspective_divide(), size, size))
+            .collect();
+        let area = (screen[1] - screen[0]).perp_dot(screen[2] - screen[0]);
+        let inv_area = 1.0 / area;
+        let p = Vec2::new(x as f32 + 0.5, y as f32 + 0.5);
+        let w0 = (screen[1] - p).perp_dot(screen[2] - p) * inv_area;
+        let w1 = (screen[2] - p).perp_dot(screen[0] - p) * inv_area;
+        let w2 = 1.0 - w0 - w1;
+        w0.abs().min(w1.abs()).min(w2.abs())
     }
 }

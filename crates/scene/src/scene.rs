@@ -3,7 +3,8 @@
 use crate::appearance::Appearance;
 use crate::object::{random_object, CanonicalObject, ObjectModel};
 use crate::sdf::Sdf;
-use nerflex_math::{Aabb, Vec3};
+use nerflex_math::simd::LANES;
+use nerflex_math::{Aabb, F32x4, Mask4, Vec3, Vec3x4};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -46,6 +47,15 @@ impl PlacedObject {
         let p = (p_world - self.translation) / self.scale;
         let (s, c) = self.rotation_y.sin_cos();
         Vec3::new(c * p.x - s * p.z, p.y, s * p.x + c * p.z)
+    }
+
+    /// Four-lane [`PlacedObject::distance`]: each lane is bit-identical to
+    /// the scalar call on that lane's point (see [`Sdf::distance_x4`]).
+    pub fn distance_x4(&self, p_world: Vec3x4) -> F32x4 {
+        let p = (p_world - self.translation) / self.scale;
+        let (s, c) = self.rotation_y.sin_cos();
+        let local = Vec3x4::new(p.x * c - p.z * s, p.y, p.x * s + p.z * c);
+        self.model.sdf.distance_x4(local) * self.scale
     }
 
     /// World-space axis-aligned bounding box (conservative).
@@ -204,6 +214,45 @@ impl Scene {
         }
         (best, best_id)
     }
+
+    /// Four-lane [`Scene::distance_bounded`] with an infinite cutoff: the
+    /// nearest-surface distance and object id for a packet of four points.
+    ///
+    /// Lanes where `active` is clear are never evaluated or updated (they
+    /// return `f32::INFINITY` / `None`). The AABB lower-bound rejection runs
+    /// on lanes: an object is skipped entirely when every active lane's
+    /// bound already exceeds its running best, and the per-lane update uses
+    /// exactly the scalar comparisons — so each active lane's result is
+    /// bit-identical to `self.distance_bounded(p.lane(i), boxes,
+    /// f32::INFINITY)`.
+    pub fn distance_bounded_x4(
+        &self,
+        p: Vec3x4,
+        boxes: &[Aabb],
+        active: Mask4,
+    ) -> (F32x4, [Option<usize>; LANES]) {
+        debug_assert_eq!(boxes.len(), self.objects.len());
+        let mut best = F32x4::splat(f32::INFINITY);
+        let mut best_id = [None; LANES];
+        for (obj, bb) in self.objects.iter().zip(boxes) {
+            // Lower bound on the object's distance: distance to its AABB.
+            let clamped = p.max_vec(bb.min).min_vec(bb.max);
+            let lower = (p - clamped).length();
+            let consider = lower.le(best).and(active);
+            if !consider.any() {
+                continue;
+            }
+            let d = obj.distance_x4(p);
+            let update = d.lt(best).and(consider);
+            best = d.select(best, update);
+            for (lane, id) in best_id.iter_mut().enumerate() {
+                if update.lane(lane) {
+                    *id = Some(obj.id);
+                }
+            }
+        }
+        (best, best_id)
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +295,36 @@ mod tests {
             let (d_bounded, _) = scene.distance_bounded(p, &boxes, f32::INFINITY);
             assert!((d_exact - d_bounded).abs() < 1e-4, "mismatch at {p:?}");
         }
+    }
+
+    #[test]
+    fn lane_bounded_distance_is_bit_identical_to_scalar() {
+        let scene = Scene::with_objects(&CanonicalObject::ALL, 7);
+        let boxes: Vec<Aabb> =
+            scene.objects().iter().map(|o| o.world_bounding_box().inflate(1e-3)).collect();
+        for i in 0..25 {
+            let lanes = [
+                Vec3::new(i as f32 * 0.31 - 3.0, (i % 4) as f32 * 0.4, (i % 5) as f32 - 2.0),
+                Vec3::new(0.0, 0.5 + i as f32 * 0.1, -1.0),
+                Vec3::new(-2.0 + i as f32 * 0.2, 0.0, 2.0 - i as f32 * 0.15),
+                Vec3::new(1.0, 1.0, 1.0),
+            ];
+            let (d4, ids) =
+                scene.distance_bounded_x4(Vec3x4::from_lanes(lanes), &boxes, Mask4::ALL);
+            for lane in 0..LANES {
+                let (d, id) = scene.distance_bounded(lanes[lane], &boxes, f32::INFINITY);
+                assert_eq!(d4.lane(lane).to_bits(), d.to_bits(), "lane {lane} at {lanes:?}");
+                assert_eq!(ids[lane], id);
+            }
+        }
+        // Inactive lanes are never evaluated.
+        let (d4, ids) = scene.distance_bounded_x4(
+            Vec3x4::splat(Vec3::ZERO),
+            &boxes,
+            Mask4([true, false, true, false]),
+        );
+        assert!(d4.lane(1).is_infinite() && ids[1].is_none());
+        assert!(d4.lane(0).is_finite() && d4.lane(2).is_finite());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! oracle for the voxel-grid baking simulator, and (c) analytic normals —
 //! everything the paper obtains from trained NeRF density fields.
 
-use nerflex_math::{Aabb, Vec3};
+use nerflex_math::{Aabb, F32x4, Vec3, Vec3x4};
 
 /// A node in a signed-distance-field expression tree.
 ///
@@ -184,6 +184,86 @@ impl Sdf {
                 let disp =
                     (p.x * frequency).sin() * (p.y * frequency).sin() * (p.z * frequency).sin();
                 d + disp * amplitude
+            }
+        }
+    }
+
+    /// Four-lane signed distance: evaluates the tree for a packet of four
+    /// points at once.
+    ///
+    /// # Determinism contract
+    ///
+    /// Every arm mirrors [`Sdf::distance`] operation for operation in the
+    /// same association order (per-lane ops are the exact scalar IEEE-754
+    /// ops — see [`nerflex_math::simd`]), so each lane's result is
+    /// **bit-identical** to `self.distance(p.lane(i))`. The packet ray
+    /// marcher relies on this to render the same image bits for any lane
+    /// count; `prop_distance_x4_matches_scalar` asserts it over random
+    /// points and a tree containing every node type.
+    pub fn distance_x4(&self, p: Vec3x4) -> F32x4 {
+        match self {
+            Sdf::Sphere { radius } => p.length() - *radius,
+            Sdf::Box { half_extent } => {
+                let q = p.abs() - *half_extent;
+                q.max_vec(Vec3::ZERO).length() + q.max_component().min(F32x4::ZERO)
+            }
+            Sdf::RoundedBox { half_extent, radius } => {
+                let q = p.abs() - *half_extent;
+                q.max_vec(Vec3::ZERO).length() + q.max_component().min(F32x4::ZERO) - *radius
+            }
+            Sdf::Capsule { a, b, radius } => {
+                let pa = p - *a;
+                let ba = *b - *a;
+                let h = (pa.dot(Vec3x4::splat(ba)) / ba.dot(ba)).clamp(0.0, 1.0);
+                (pa - Vec3x4::splat(ba) * h).length() - *radius
+            }
+            Sdf::Cylinder { half_height, radius } => {
+                let d_xz = (p.x * p.x + p.z * p.z).sqrt() - *radius;
+                let d_y = p.y.abs() - *half_height;
+                let outside =
+                    Vec3x4::new(d_xz.max(F32x4::ZERO), d_y.max(F32x4::ZERO), F32x4::ZERO).length();
+                let inside = d_xz.max(d_y).min(F32x4::ZERO);
+                outside + inside
+            }
+            Sdf::Torus { major_radius, minor_radius } => {
+                let q_x = (p.x * p.x + p.z * p.z).sqrt() - *major_radius;
+                (q_x * q_x + p.y * p.y).sqrt() - *minor_radius
+            }
+            Sdf::Ellipsoid { radii } => {
+                let k0 = Vec3x4::new(p.x / radii.x, p.y / radii.y, p.z / radii.z).length();
+                let k1 = Vec3x4::new(
+                    p.x / (radii.x * radii.x),
+                    p.y / (radii.y * radii.y),
+                    p.z / (radii.z * radii.z),
+                )
+                .length();
+                let near_center = k1.lt(F32x4::splat(1e-12));
+                F32x4::splat(-radii.min_component()).select(k0 * (k0 - 1.0) / k1, near_center)
+            }
+            Sdf::Union(children) => children
+                .iter()
+                .map(|c| c.distance_x4(p))
+                .fold(F32x4::splat(f32::INFINITY), F32x4::min),
+            Sdf::SmoothUnion { a, b, k } => {
+                let da = a.distance_x4(p);
+                let db = b.distance_x4(p);
+                let h = (((db - da) * 0.5) / *k + 0.5).clamp(0.0, 1.0);
+                db + (da - db) * h - (h * *k) * (F32x4::splat(1.0) - h)
+            }
+            Sdf::Subtract { a, b } => a.distance_x4(p).max(-b.distance_x4(p)),
+            Sdf::Intersect { a, b } => a.distance_x4(p).max(b.distance_x4(p)),
+            Sdf::Translate { offset, child } => child.distance_x4(p - *offset),
+            Sdf::Scale { factor, child } => child.distance_x4(p / *factor) * *factor,
+            Sdf::RotateY { angle, child } => {
+                let (s, c) = (-angle).sin_cos();
+                let q = Vec3x4::new(p.x * c + p.z * s, p.y, p.x * -s + p.z * c);
+                child.distance_x4(q)
+            }
+            Sdf::Displace { amplitude, frequency, child } => {
+                let d = child.distance_x4(p);
+                let disp =
+                    (p.x * *frequency).sin() * (p.y * *frequency).sin() * (p.z * *frequency).sin();
+                d + disp * *amplitude
             }
         }
     }
@@ -410,7 +490,70 @@ mod tests {
         let _ = Sdf::Sphere { radius: 1.0 }.scaled(0.0);
     }
 
+    /// A tree exercising every [`Sdf`] node type at once.
+    fn all_nodes_shape() -> Sdf {
+        let base = Sdf::Sphere { radius: 0.8 }
+            .smooth_union(Sdf::Box { half_extent: Vec3::new(0.7, 0.4, 0.5) }, 0.2)
+            .union(
+                Sdf::RoundedBox { half_extent: Vec3::splat(0.3), radius: 0.05 }
+                    .translated(Vec3::new(1.2, 0.0, 0.0)),
+            )
+            .union(Sdf::Capsule {
+                a: Vec3::new(-0.5, -0.5, 0.0),
+                b: Vec3::new(0.5, 0.7, 0.2),
+                radius: 0.2,
+            })
+            .union(Sdf::Cylinder { half_height: 0.6, radius: 0.25 }.rotated_y(0.7))
+            .union(Sdf::Torus { major_radius: 0.9, minor_radius: 0.15 })
+            .union(Sdf::Ellipsoid { radii: Vec3::new(0.9, 0.5, 0.6) }.scaled(0.8))
+            .subtract(Sdf::Sphere { radius: 0.3 }.translated(Vec3::new(0.2, 0.2, 0.2)));
+        let carved = Sdf::Intersect {
+            a: Box::new(base),
+            b: Box::new(Sdf::Box { half_extent: Vec3::splat(2.5) }),
+        };
+        carved.displaced(0.03, 7.0)
+    }
+
+    #[test]
+    fn distance_x4_matches_scalar_on_every_node_type() {
+        let shape = all_nodes_shape();
+        let lanes = [
+            Vec3::new(0.1, 0.2, 0.3),
+            Vec3::new(-1.5, 0.8, -0.2),
+            Vec3::new(2.0, -2.0, 2.0),
+            Vec3::ZERO,
+        ];
+        let packed = shape.distance_x4(Vec3x4::from_lanes(lanes));
+        for (lane, &p) in lanes.iter().enumerate() {
+            assert_eq!(
+                packed.lane(lane).to_bits(),
+                shape.distance(p).to_bits(),
+                "lane {lane} diverges from scalar at {p:?}"
+            );
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_distance_x4_matches_scalar(
+            ax in -3f32..3.0, ay in -3f32..3.0, az in -3f32..3.0,
+            bx in -3f32..3.0, by in -3f32..3.0, bz in -3f32..3.0,
+        ) {
+            // Lane evaluation is bit-identical to scalar evaluation — the
+            // determinism contract the packet ray marcher builds on.
+            let shape = all_nodes_shape();
+            let lanes = [
+                Vec3::new(ax, ay, az),
+                Vec3::new(bx, by, bz),
+                Vec3::new(ay, bz, ax),
+                Vec3::new(-bx, -ay, az),
+            ];
+            let packed = shape.distance_x4(Vec3x4::from_lanes(lanes));
+            for (lane, &p) in lanes.iter().enumerate() {
+                prop_assert_eq!(packed.lane(lane).to_bits(), shape.distance(p).to_bits());
+            }
+        }
+
         #[test]
         fn prop_distance_sign_matches_contains(px in -3f32..3.0, py in -3f32..3.0, pz in -3f32..3.0) {
             let shape = Sdf::RoundedBox { half_extent: Vec3::new(1.0, 0.6, 0.8), radius: 0.1 };

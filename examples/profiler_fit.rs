@@ -21,7 +21,12 @@ fn main() {
     // fig3 benchmark binary for the full-scale sweep).
     let options = ProfilerOptions {
         range: SampleRange { g_min: 10, g_max: 48, p_min: 3, p_max: 11 },
-        measurement: MeasurementSettings { views: 3, resolution: 72, worker_threads: 0 },
+        measurement: MeasurementSettings {
+            views: 3,
+            resolution: 72,
+            worker_threads: 0,
+            ground_truth_workers: 0,
+        },
     };
 
     println!("profiling object '{}' with the variable-step sampling strategy ...", object.name());
