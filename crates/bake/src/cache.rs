@@ -279,8 +279,25 @@ impl BakeCache {
     /// Returns the underlying error when the directory cannot be created or
     /// read.
     pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open_with_limits(dir, &disk::StoreLimits::default())
+    }
+
+    /// [`BakeCache::open`] with retention limits: before indexing, the
+    /// directory is swept by [`disk::prune_store`] — entries older than
+    /// `limits.max_age` go first, then the oldest survivors until the store
+    /// fits `limits.max_bytes`. Pruned entries simply re-bake on their next
+    /// miss, so the sweep bounds an otherwise monotonically growing store
+    /// (CI caches, long-lived developer machines) at the cost of re-baking
+    /// evicted configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the directory cannot be created or
+    /// read (per-file prune failures are skipped, never an error).
+    pub fn open_with_limits(dir: impl AsRef<Path>, limits: &disk::StoreLimits) -> io::Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        disk::prune_store(&dir, disk::ENTRY_EXTENSION, limits)?;
         let mut entries = HashMap::new();
         for file in std::fs::read_dir(&dir)? {
             let path = file?.path();
@@ -711,6 +728,30 @@ mod tests {
         let reopened = BakeCache::open(&tmp.0).expect("reopen");
         assert_eq!(reopened.stats().loaded_from_disk, 1, "real entry still loads");
         assert!(!orphan.exists(), "orphaned temporary must be swept");
+    }
+
+    #[test]
+    fn open_with_limits_prunes_and_rebakes_evicted_entries() {
+        let tmp = TempDir::new("limits");
+        let model = CanonicalObject::Hotdog.build();
+        let config = BakeConfig::new(10, 3);
+        let cache = BakeCache::open(&tmp.0).expect("open");
+        let _ = cache.get_or_bake(&model, config);
+        cache.flush().expect("flush");
+
+        // A zero age budget sweeps every persisted entry on the next open…
+        let limits = crate::disk::StoreLimits::default().with_max_age(std::time::Duration::ZERO);
+        let pruned = BakeCache::open_with_limits(&tmp.0, &limits).expect("open with limits");
+        assert_eq!(pruned.stats().loaded_from_disk, 0, "expired entry must not index");
+        // …and the evicted entry simply re-bakes (a miss, not an error).
+        let _ = pruned.get_or_bake(&model, config);
+        assert_eq!(pruned.stats().misses, 1);
+        pruned.flush().expect("repair flush");
+
+        // Unbounded limits leave the repaired store intact.
+        let reopened = BakeCache::open_with_limits(&tmp.0, &crate::disk::StoreLimits::default())
+            .expect("reopen");
+        assert_eq!(reopened.stats().loaded_from_disk, 1);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub use asset::{bake_object, bake_placed, bake_scene, BakedAsset, Placement};
 pub use atlas::TextureAtlas;
 pub use cache::{model_fingerprint, BakeCache, CacheStats};
 pub use config::BakeConfig;
-pub use disk::CACHE_FORMAT_VERSION;
+pub use disk::{PruneReport, StoreLimits, CACHE_FORMAT_VERSION};
 pub use mesh::QuadMesh;
 pub use mlp::TinyMlp;
 pub use voxel::VoxelGrid;

@@ -1,0 +1,210 @@
+//! Criterion benchmark for the quality-measurement hot path: the fused
+//! tiled MSE/PSNR/SSIM engine and the planned separable DCT against the
+//! pre-fusion scalar implementations (naive per-window SSIM sums, `cos()`
+//! in the DCT inner loop) they replaced.
+//!
+//! Environment variables for the CI `bench-smoke` job:
+//!
+//! * `NERFLEX_BENCH_SMOKE` — shrink criterion sample counts (the 128×128
+//!   workload itself is kept, it is what the speedup target is defined on).
+//! * `NERFLEX_BENCH_JSON` — write the mean times and the fused-over-baseline
+//!   speedup to the given path; uploaded as a CI artifact, where the job
+//!   asserts `speedup >= 2`.
+//!
+//! The `bench-metrics:` line printed at the end is stable and parseable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nerflex_bench::JsonReport;
+use nerflex_image::frequency::{dct_2d_parallel, DctPlan};
+use nerflex_image::metrics::quality_metrics_parallel;
+use nerflex_image::{Color, Image};
+use std::time::Duration;
+
+/// Benchmark resolution: the acceptance target is defined at 128×128.
+const RES: usize = 128;
+
+/// `true` in the CI smoke job: fewer criterion samples.
+fn smoke() -> bool {
+    std::env::var_os("NERFLEX_BENCH_SMOKE").is_some()
+}
+
+fn samples(full: usize) -> usize {
+    if smoke() {
+        2
+    } else {
+        full
+    }
+}
+
+fn fixture() -> (Image, Image) {
+    let a = Image::from_fn(RES, RES, |x, y| {
+        Color::new(
+            0.5 + 0.4 * ((x as f32 * 0.31).sin() * (y as f32 * 0.17).cos()),
+            0.5 + 0.3 * ((x + y) as f32 * 0.09).sin(),
+            ((x * 7 + y * 13) % 101) as f32 / 101.0,
+        )
+    });
+    let b = Image::from_fn(RES, RES, |x, y| {
+        let h = ((x * 92821 + y * 68917) % 1000) as f32 / 1000.0 - 0.5;
+        let p = a.get(x, y);
+        Color::new(p.r + h * 0.12, p.g + h * 0.12, p.b + h * 0.12).clamped()
+    });
+    (a, b)
+}
+
+/// The pre-fusion SSIM: naive 8×8 window sums recomputed from scratch per
+/// window, after two separate full-image luminance walks.
+fn reference_ssim(a: &Image, b: &Image) -> f64 {
+    const C1: f64 = 0.01 * 0.01;
+    const C2: f64 = 0.03 * 0.03;
+    let (window, stride) = (8usize, 4usize);
+    let la = a.to_luminance();
+    let lb = b.to_luminance();
+    let width = a.width();
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    let mut y = 0;
+    while y + window <= a.height() {
+        let mut x = 0;
+        while x + window <= width {
+            let (mut sum_a, mut sum_b, mut sum_aa, mut sum_bb, mut sum_ab) =
+                (0.0, 0.0, 0.0, 0.0, 0.0);
+            for wy in 0..window {
+                for wx in 0..window {
+                    let va = la[(y + wy) * width + (x + wx)] as f64;
+                    let vb = lb[(y + wy) * width + (x + wx)] as f64;
+                    sum_a += va;
+                    sum_b += vb;
+                    sum_aa += va * va;
+                    sum_bb += vb * vb;
+                    sum_ab += va * vb;
+                }
+            }
+            let n = (window * window) as f64;
+            let mu_a = sum_a / n;
+            let mu_b = sum_b / n;
+            let var_a = (sum_aa / n - mu_a * mu_a).max(0.0);
+            let var_b = (sum_bb / n - mu_b * mu_b).max(0.0);
+            let cov = sum_ab / n - mu_a * mu_b;
+            total += ((2.0 * mu_a * mu_b + C1) * (2.0 * cov + C2))
+                / ((mu_a * mu_a + mu_b * mu_b + C1) * (var_a + var_b + C2));
+            count += 1;
+            x += stride;
+        }
+        y += stride;
+    }
+    (total / count as f64).min(1.0)
+}
+
+/// The pre-plan 1-D DCT: `cos()` evaluated inside the per-coefficient loop.
+fn reference_dct_1d(input: &[f64]) -> Vec<f64> {
+    let n = input.len();
+    let mut out = vec![0.0; n];
+    let factor = std::f64::consts::PI / n as f64;
+    for (k, out_k) in out.iter_mut().enumerate() {
+        let mut sum = 0.0;
+        for (i, &x) in input.iter().enumerate() {
+            sum += x * ((i as f64 + 0.5) * k as f64 * factor).cos();
+        }
+        let scale = if k == 0 { (1.0 / n as f64).sqrt() } else { (2.0 / n as f64).sqrt() };
+        *out_k = sum * scale;
+    }
+    out
+}
+
+/// The pre-plan 2-D DCT (rows then columns, `cos()` per inner step).
+fn reference_dct_2d(plane: &[f64], width: usize, height: usize) -> Vec<f64> {
+    let mut rows = vec![0.0; width * height];
+    for y in 0..height {
+        let t = reference_dct_1d(&plane[y * width..(y + 1) * width]);
+        rows[y * width..(y + 1) * width].copy_from_slice(&t);
+    }
+    let mut out = vec![0.0; width * height];
+    let mut col = vec![0.0; height];
+    for x in 0..width {
+        for y in 0..height {
+            col[y] = rows[y * width + x];
+        }
+        let t = reference_dct_1d(&col);
+        for y in 0..height {
+            out[y * width + x] = t[y];
+        }
+    }
+    out
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let (a, b) = fixture();
+    let plane: Vec<f64> = a.to_luminance().iter().map(|&v| v as f64).collect();
+
+    // Sanity before timing: the planned DCT is bit-identical to the
+    // reference, and the fused SSIM agrees with the naive one up to its
+    // documented reduction-order difference.
+    let planned = dct_2d_parallel(&plane, RES, RES, 0);
+    for (p, r) in planned.iter().zip(&reference_dct_2d(&plane, RES, RES)) {
+        assert_eq!(p.to_bits(), r.to_bits(), "planned DCT must match the reference bit-for-bit");
+    }
+    assert!(
+        (quality_metrics_parallel(&a, &b, 0).ssim - reference_ssim(&a, &b)).abs() < 1e-9,
+        "fused SSIM diverged from the reference"
+    );
+    // Plans amortise across calls — this is what the analyze path reuses.
+    let _plan = DctPlan::new(RES);
+
+    let mut baseline = Duration::ZERO;
+    let mut fused = Duration::ZERO;
+
+    let mut group = c.benchmark_group("quality_metrics");
+    group.sample_size(samples(10));
+    group.bench_function(format!("baseline_scalar_ssim_dct_{RES}px"), |bench| {
+        bench.iter(|| {
+            let s = reference_ssim(&a, &b);
+            let d = reference_dct_2d(&plane, RES, RES);
+            (s, d.len())
+        });
+        baseline = bench.mean;
+    });
+    group.bench_function(format!("fused_parallel_ssim_dct_{RES}px"), |bench| {
+        bench.iter(|| {
+            let m = quality_metrics_parallel(&a, &b, 0);
+            let d = dct_2d_parallel(&plane, RES, RES, 0);
+            (m.ssim, d.len())
+        });
+        fused = bench.mean;
+    });
+    group.bench_function(format!("fused_sequential_ssim_dct_{RES}px"), |bench| {
+        bench.iter(|| {
+            let m = quality_metrics_parallel(&a, &b, 1);
+            let d = dct_2d_parallel(&plane, RES, RES, 1);
+            (m.ssim, d.len())
+        });
+    });
+    group.finish();
+
+    let speedup =
+        if fused.as_secs_f64() > 0.0 { baseline.as_secs_f64() / fused.as_secs_f64() } else { 1.0 };
+    // Stable, machine-readable summary parsed/archived by the CI job.
+    println!(
+        "bench-metrics: resolution={RES} baseline_ms={:.3} fused_ms={:.3} speedup={speedup:.2}",
+        baseline.as_secs_f64() * 1e3,
+        fused.as_secs_f64() * 1e3,
+    );
+    if let Some(path) = std::env::var_os("NERFLEX_BENCH_JSON") {
+        let path = std::path::PathBuf::from(path);
+        let mut report = JsonReport::new();
+        report
+            .str_field("bench", "metrics")
+            .int_field("smoke", u64::from(smoke()))
+            .int_field("resolution", RES as u64)
+            .float_field("baseline_ms", baseline.as_secs_f64() * 1e3)
+            .float_field("fused_ms", fused.as_secs_f64() * 1e3)
+            .float_field("speedup", speedup);
+        match report.write(&path) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(err) => eprintln!("metrics bench: writing {} failed: {err}", path.display()),
+        }
+    }
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

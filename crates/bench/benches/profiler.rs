@@ -48,6 +48,7 @@ fn bench_sample_measurement(c: &mut Criterion) {
         resolution: 48,
         worker_threads: 1,
         ground_truth_workers: 1,
+        metrics_workers: 1,
     };
     let ground_truth = ObjectGroundTruth::build(&model, &settings);
     let mut group = c.benchmark_group("sample_measurement");

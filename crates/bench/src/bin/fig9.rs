@@ -100,6 +100,15 @@ fn main() {
         ),
     ]);
     engine.push_row(vec![
+        "fused quality metrics".to_string(),
+        format!(
+            "{} ({} evaluations on {} workers)",
+            format_duration(t.metrics),
+            t.metrics_evaluations,
+            t.metrics_workers
+        ),
+    ]);
+    engine.push_row(vec![
         "profiler parallel speedup".to_string(),
         format!("{}x", fmt_f64(t.profiling_speedup(), 2)),
     ]);
@@ -147,6 +156,9 @@ fn main() {
             .int_field("ground_truth_builds", t.ground_truth_builds as u64)
             .int_field("ground_truth_hits", t.ground_truth_hits as u64)
             .int_field("ground_truth_workers", t.ground_truth_workers as u64)
+            .float_field("metrics_ms", t.metrics_ms())
+            .int_field("metrics_workers", t.metrics_workers as u64)
+            .int_field("metrics_evaluations", t.metrics_evaluations as u64)
             .int_field("profiling_workers", t.profiling_workers as u64)
             .int_field("profiling_sample_workers", t.profiling_sample_workers as u64)
             .int_field("stage_cache_hits", t.cache_hits as u64)

@@ -82,6 +82,7 @@ impl ExperimentMode {
                     resolution: 96,
                     worker_threads: 1,
                     ground_truth_workers: 1,
+                    metrics_workers: 1,
                 },
             },
         }

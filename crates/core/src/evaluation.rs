@@ -57,8 +57,9 @@ pub fn quality_against_dataset(
     for (pose, view) in poses.iter().zip(&dataset.test) {
         let (img, _) =
             render_assets(assets, pose, dataset.width, dataset.height, &RenderOptions::default());
-        ssim += metrics::ssim(&view.image, &img);
-        psnr += metrics::psnr(&view.image, &img).min(99.0);
+        let fused = metrics::quality_metrics(&view.image, &img);
+        ssim += fused.ssim;
+        psnr += fused.psnr.min(99.0);
         lpips += lpips_proxy(&view.image, &img);
     }
     let n = poses.len() as f64;
@@ -151,8 +152,9 @@ pub fn evaluate_reference(
             dataset.width,
             dataset.height,
         );
-        ssim += metrics::ssim(&view.image, &img);
-        psnr += metrics::psnr(&view.image, &img).min(99.0);
+        let fused = metrics::quality_metrics(&view.image, &img);
+        ssim += fused.ssim;
+        psnr += fused.psnr.min(99.0);
         lpips += lpips_proxy(&view.image, &img);
     }
     let n = dataset.test.len() as f64;

@@ -25,9 +25,11 @@
 
 use crate::report::format_duration;
 use nerflex_bake::pool::parallel_map;
-use nerflex_bake::{BakeCache, BakeConfig, BakedAsset, CacheStats};
+use nerflex_bake::{BakeCache, BakeConfig, BakedAsset, CacheStats, StoreLimits};
 use nerflex_device::{DeviceSpec, Workload};
-use nerflex_profile::{build_profile_in, GroundTruthCache, ObjectProfile, ProfilerOptions};
+use nerflex_profile::{
+    build_profile_accounted, GroundTruthCache, MetricsAccounting, ObjectProfile, ProfilerOptions,
+};
 use nerflex_scene::dataset::Dataset;
 use nerflex_scene::scene::Scene;
 use nerflex_seg::{segment, SegmentationPolicy, SegmentationResult};
@@ -63,6 +65,14 @@ pub struct PipelineOptions {
     /// runs, fleet re-deployments). `None` keeps the cache in-memory,
     /// per-run — the previous behaviour.
     pub cache_dir: Option<PathBuf>,
+    /// Retention limits applied **per store** when the persistent stores are
+    /// opened: the bake store and the ground-truth store are each swept to
+    /// these limits independently (an age sweep plus an oldest-first size
+    /// budget, [`nerflex_bake::StoreLimits`]), so a `max_bytes` of N bounds
+    /// the cache directory at up to 2·N total. The default is unbounded (the
+    /// previous behaviour); a pruned entry costs one re-bake / re-render on
+    /// its next miss, never correctness.
+    pub cache_limits: StoreLimits,
 }
 
 impl std::fmt::Debug for PipelineOptions {
@@ -74,6 +84,7 @@ impl std::fmt::Debug for PipelineOptions {
             .field("budget_override_mb", &self.budget_override_mb)
             .field("worker_threads", &self.worker_threads)
             .field("cache_dir", &self.cache_dir)
+            .field("cache_limits", &self.cache_limits)
             .finish()
     }
 }
@@ -88,6 +99,7 @@ impl Default for PipelineOptions {
             budget_override_mb: None,
             worker_threads: 0,
             cache_dir: None,
+            cache_limits: StoreLimits::default(),
         }
     }
 }
@@ -125,6 +137,13 @@ impl PipelineOptions {
         self.cache_dir = Some(dir.into());
         self
     }
+
+    /// Sets the retention limits applied to the persistent stores on open
+    /// (see [`PipelineOptions::cache_limits`]).
+    pub fn with_cache_limits(mut self, limits: StoreLimits) -> Self {
+        self.cache_limits = limits;
+        self
+    }
 }
 
 /// Wall-clock duration of each cloud-side stage (the Fig. 9 overhead
@@ -152,6 +171,17 @@ pub struct StageTimings {
     /// Ground-truth lookups answered without rendering (in-memory or
     /// persistent-store hits).
     pub ground_truth_hits: usize,
+    /// Time spent in the fused quality-metrics evaluations (SSIM scoring of
+    /// sample renders against the ground truth) inside the profiling stage —
+    /// the dominant warm-cache profiling cost. Sum of per-evaluation wall
+    /// times (serial-equivalent, like `profiling_serial`): concurrent sample
+    /// workers score in parallel, so this can exceed the stage's wall clock.
+    pub metrics: Duration,
+    /// Worker threads tiling each fused metrics evaluation (the per-profile
+    /// leftover budget; metric values never depend on it).
+    pub metrics_workers: usize,
+    /// Number of (ground truth, render) pairs the metrics stage scored.
+    pub metrics_evaluations: usize,
     /// Configuration selection (the DP solver).
     pub selection: Duration,
     /// Multi-NeRF baking of the selected configurations, wall clock.
@@ -186,6 +216,12 @@ impl StageTimings {
         self.ground_truth.as_secs_f64() * 1000.0
     }
 
+    /// Quality-metrics evaluation time in milliseconds (the `metrics_ms`
+    /// figure reported by the fig9 JSON output).
+    pub fn metrics_ms(&self) -> f64 {
+        self.metrics.as_secs_f64() * 1000.0
+    }
+
     /// Parallel speedup of the profiling stage (serial-equivalent time over
     /// wall time; 1.0 when the stage ran on one worker).
     pub fn profiling_speedup(&self) -> f64 {
@@ -218,8 +254,8 @@ impl StageTimings {
     pub fn summary(&self) -> String {
         format!(
             "segmentation {} | profiler {} ({}x{} workers, {:.1}x speedup; ground truth {} on \
-             {} workers, {} built / {} cached) | solver {} | total overhead {} | bake cache \
-             {}/{} hits ({} from disk)",
+             {} workers, {} built / {} cached; metrics {} on {} workers, {} evaluations) | \
+             solver {} | total overhead {} | bake cache {}/{} hits ({} from disk)",
             format_duration(self.segmentation),
             format_duration(self.profiling),
             self.profiling_workers.max(1),
@@ -229,6 +265,9 @@ impl StageTimings {
             self.ground_truth_workers.max(1),
             self.ground_truth_builds,
             self.ground_truth_hits,
+            format_duration(self.metrics),
+            self.metrics_workers.max(1),
+            self.metrics_evaluations,
             format_duration(self.selection),
             format_duration(self.overhead()),
             self.cache_served(),
@@ -350,13 +389,14 @@ impl NerflexPipeline {
     pub fn open_cache(&self) -> BakeCache {
         match &self.options.cache_dir {
             None => BakeCache::new(),
-            Some(dir) => BakeCache::open(dir).unwrap_or_else(|err| {
-                eprintln!(
-                    "nerflex: bake-cache dir {} unusable ({err}); continuing in-memory",
-                    dir.display()
-                );
-                BakeCache::new()
-            }),
+            Some(dir) => BakeCache::open_with_limits(dir, &self.options.cache_limits)
+                .unwrap_or_else(|err| {
+                    eprintln!(
+                        "nerflex: bake-cache dir {} unusable ({err}); continuing in-memory",
+                        dir.display()
+                    );
+                    BakeCache::new()
+                }),
         }
     }
 
@@ -387,13 +427,15 @@ impl NerflexPipeline {
             None => GroundTruthCache::new(),
             Some(dir) => {
                 let dir = dir.join("ground-truth");
-                GroundTruthCache::open(&dir).unwrap_or_else(|err| {
-                    eprintln!(
-                        "nerflex: ground-truth dir {} unusable ({err}); continuing in-memory",
-                        dir.display()
-                    );
-                    GroundTruthCache::new()
-                })
+                GroundTruthCache::open_with_limits(&dir, &self.options.cache_limits).unwrap_or_else(
+                    |err| {
+                        eprintln!(
+                            "nerflex: ground-truth dir {} unusable ({err}); continuing in-memory",
+                            dir.display()
+                        );
+                        GroundTruthCache::new()
+                    },
+                )
             }
         }
     }
@@ -419,18 +461,27 @@ impl NerflexPipeline {
         let t = Instant::now();
         let workers = self.workers_for(scene.len());
         let sample_workers = (self.configured_workers() / workers).max(1);
+        // The metrics evaluations run *inside* the per-sample fan-out, so
+        // they only get whatever budget the outer two levels leave over —
+        // giving them `sample_workers` would oversubscribe the pool
+        // (workers × samples × metrics threads) for tiny per-image tilings.
+        // The values are worker-count invariant either way.
+        let metrics_workers = (self.configured_workers() / (workers * sample_workers)).max(1);
         let mut profiler = self.options.profiler;
         profiler.measurement.worker_threads = sample_workers;
         profiler.measurement.ground_truth_workers = sample_workers;
+        profiler.measurement.metrics_workers = metrics_workers;
+        let metrics_accounting = MetricsAccounting::new();
         let profiled = parallel_map(scene.len(), workers, |idx| {
             let object = &scene.objects()[idx];
             let t_obj = Instant::now();
-            let profile = build_profile_in(
+            let profile = build_profile_accounted(
                 &object.model,
                 object.id,
                 &profiler,
                 Some(cache),
                 Some(ground_truth),
+                Some(&metrics_accounting),
             );
             (profile, t_obj.elapsed())
         });
@@ -449,6 +500,9 @@ impl NerflexPipeline {
                 ground_truth_workers: sample_workers,
                 ground_truth_builds: gt_stats.builds,
                 ground_truth_hits: gt_stats.hits + gt_stats.disk_hits,
+                metrics: metrics_accounting.time(),
+                metrics_workers,
+                metrics_evaluations: metrics_accounting.evaluations(),
             },
         )
     }
@@ -632,6 +686,9 @@ impl NerflexPipeline {
                 ground_truth_workers: shared.ground_truth_workers,
                 ground_truth_builds: shared.ground_truth_builds,
                 ground_truth_hits: shared.ground_truth_hits,
+                metrics: shared.metrics,
+                metrics_workers: shared.metrics_workers,
+                metrics_evaluations: shared.metrics_evaluations,
                 baking_workers,
                 cache_hits: cache_delta.hits,
                 cache_disk_hits: cache_delta.disk_hits,
@@ -654,6 +711,9 @@ struct SharedStages {
     ground_truth_workers: usize,
     ground_truth_builds: usize,
     ground_truth_hits: usize,
+    metrics: Duration,
+    metrics_workers: usize,
+    metrics_evaluations: usize,
 }
 
 impl Default for NerflexPipeline {
@@ -751,6 +811,13 @@ mod tests {
         assert!(t.ground_truth_ms() > 0.0);
         assert!(t.ground_truth_workers >= 1);
         assert!(t.summary().contains("ground truth"));
+        // The metrics stage is accounted alongside: every sample render of
+        // both profiles was scored by the fused engine.
+        assert!(t.metrics > Duration::ZERO, "metrics stage must be timed: {t:?}");
+        assert!(t.metrics_ms() > 0.0);
+        assert!(t.metrics_workers >= 1);
+        assert!(t.metrics_evaluations > 0);
+        assert!(t.summary().contains("metrics"));
     }
 
     #[test]

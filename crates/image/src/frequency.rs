@@ -10,51 +10,164 @@
 
 use crate::image::Image;
 use crate::mask::Mask;
+use nerflex_math::pool::{default_workers, parallel_map};
 
-/// Orthonormal 1-D type-II DCT of `input` (reference O(n²) implementation;
-/// patches are small so this is fast enough and has no dependencies).
+/// Precomputed cosine/scale tables for the orthonormal 1-D type-II DCT of a
+/// fixed length.
+///
+/// The former per-coefficient inner loop called `cos()` `n` times per
+/// coefficient — `O(n²)` transcendental evaluations per transform, paid
+/// again for every row and every column of a 2-D transform. The plan
+/// evaluates each cosine **once** (`n²` table entries) and reduces every
+/// subsequent transform to multiply–adds: `O(n)` arithmetic per coefficient
+/// row and zero `cos()` calls. Table entries are computed with the exact
+/// expression of the former inner loop and the summation order is unchanged,
+/// so planned transforms are **bit-identical** to the reference ones.
+#[derive(Debug, Clone)]
+pub struct DctPlan {
+    n: usize,
+    /// `cos[k * n + i] = cos((i + 0.5)·k·π / n)`.
+    cos: Vec<f64>,
+    scale_dc: f64,
+    scale_ac: f64,
+}
+
+impl DctPlan {
+    /// Builds the tables for transforms of length `n`.
+    pub fn new(n: usize) -> Self {
+        let factor = std::f64::consts::PI / n as f64;
+        let mut cos = vec![0.0; n * n];
+        for k in 0..n {
+            for (i, slot) in cos[k * n..(k + 1) * n].iter_mut().enumerate() {
+                *slot = ((i as f64 + 0.5) * k as f64 * factor).cos();
+            }
+        }
+        Self { n, cos, scale_dc: (1.0 / n as f64).sqrt(), scale_ac: (2.0 / n as f64).sqrt() }
+    }
+
+    /// The transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the (degenerate) zero-length plan.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Transforms `input` into `out` (both of the plan's length).
+    ///
+    /// # Panics
+    ///
+    /// Panics when either slice length differs from the plan's.
+    pub fn transform_into(&self, input: &[f64], out: &mut [f64]) {
+        assert_eq!(input.len(), self.n, "input length mismatch");
+        assert_eq!(out.len(), self.n, "output length mismatch");
+        for (k, out_k) in out.iter_mut().enumerate() {
+            let row = &self.cos[k * self.n..(k + 1) * self.n];
+            let mut sum = 0.0;
+            for (&x, &c) in input.iter().zip(row) {
+                sum += x * c;
+            }
+            *out_k = sum * if k == 0 { self.scale_dc } else { self.scale_ac };
+        }
+    }
+}
+
+/// Orthonormal 1-D type-II DCT of `input` (builds a [`DctPlan`] for the
+/// call; reuse a plan when transforming many same-length signals).
 pub fn dct_1d(input: &[f64]) -> Vec<f64> {
     let n = input.len();
     if n == 0 {
         return Vec::new();
     }
     let mut out = vec![0.0; n];
-    let factor = std::f64::consts::PI / n as f64;
-    for (k, out_k) in out.iter_mut().enumerate() {
-        let mut sum = 0.0;
-        for (i, &x) in input.iter().enumerate() {
-            sum += x * ((i as f64 + 0.5) * k as f64 * factor).cos();
-        }
-        let scale = if k == 0 { (1.0 / n as f64).sqrt() } else { (2.0 / n as f64).sqrt() };
-        *out_k = sum * scale;
-    }
+    DctPlan::new(n).transform_into(input, &mut out);
     out
 }
 
-/// Orthonormal 2-D type-II DCT of a row-major `width × height` plane.
+/// Orthonormal 2-D type-II DCT of a row-major `width × height` plane
+/// (separable: planned row transforms, then planned column transforms).
 ///
 /// # Panics
 ///
 /// Panics when `plane.len() != width * height`.
 pub fn dct_2d(plane: &[f64], width: usize, height: usize) -> Vec<f64> {
+    dct_2d_parallel(plane, width, height, 1)
+}
+
+/// Rows (or columns) per parallel job of [`dct_2d_parallel`]. Fixed — the
+/// lane count never affects output bits anyway (each 1-D transform is an
+/// independent computation), this only bounds scheduling overhead.
+const DCT_LINES_PER_JOB: usize = 8;
+
+/// [`dct_2d`] with the row and column transforms fanned over `workers` pool
+/// threads (`0` = one per core, `1` = the sequential path). Every 1-D
+/// transform is computed independently and stitched back in line order, so
+/// the output is **bit-identical for every worker count** — and to the
+/// sequential [`dct_2d`].
+///
+/// # Panics
+///
+/// Panics when `plane.len() != width * height`.
+pub fn dct_2d_parallel(plane: &[f64], width: usize, height: usize, workers: usize) -> Vec<f64> {
     assert_eq!(plane.len(), width * height, "plane size mismatch");
-    // Rows first.
-    let mut rows = vec![0.0; width * height];
-    for y in 0..height {
-        let row: Vec<f64> = plane[y * width..(y + 1) * width].to_vec();
-        let t = dct_1d(&row);
-        rows[y * width..(y + 1) * width].copy_from_slice(&t);
+    if width == 0 || height == 0 {
+        return Vec::new();
     }
-    // Then columns.
-    let mut out = vec![0.0; width * height];
-    let mut col = vec![0.0; height];
-    for x in 0..width {
-        for y in 0..height {
-            col[y] = rows[y * width + x];
+    let row_plan = DctPlan::new(width);
+    let col_plan = DctPlan::new(height);
+
+    // Rows first.
+    let row_jobs = height.div_ceil(DCT_LINES_PER_JOB);
+    let row_workers = match workers {
+        0 => default_workers(row_jobs),
+        n => n,
+    };
+    let row_tiles = parallel_map(row_jobs, row_workers, |job| {
+        let y0 = job * DCT_LINES_PER_JOB;
+        let y1 = (y0 + DCT_LINES_PER_JOB).min(height);
+        let mut out = vec![0.0; (y1 - y0) * width];
+        for y in y0..y1 {
+            row_plan.transform_into(
+                &plane[y * width..(y + 1) * width],
+                &mut out[(y - y0) * width..(y - y0 + 1) * width],
+            );
         }
-        let t = dct_1d(&col);
-        for y in 0..height {
-            out[y * width + x] = t[y];
+        out
+    });
+    let mut rows = Vec::with_capacity(width * height);
+    for tile in row_tiles {
+        rows.extend_from_slice(&tile);
+    }
+
+    // Then columns.
+    let col_jobs = width.div_ceil(DCT_LINES_PER_JOB);
+    let col_workers = match workers {
+        0 => default_workers(col_jobs),
+        n => n,
+    };
+    let col_tiles = parallel_map(col_jobs, col_workers, |job| {
+        let x0 = job * DCT_LINES_PER_JOB;
+        let x1 = (x0 + DCT_LINES_PER_JOB).min(width);
+        // Column-major tile: `tile[(x - x0) * height + y]`.
+        let mut tile = vec![0.0; (x1 - x0) * height];
+        let mut col = vec![0.0; height];
+        for x in x0..x1 {
+            for y in 0..height {
+                col[y] = rows[y * width + x];
+            }
+            col_plan.transform_into(&col, &mut tile[(x - x0) * height..(x - x0 + 1) * height]);
+        }
+        tile
+    });
+    let mut out = vec![0.0; width * height];
+    for (job, tile) in col_tiles.into_iter().enumerate() {
+        let x0 = job * DCT_LINES_PER_JOB;
+        for (local_x, column) in tile.chunks_exact(height).enumerate() {
+            for (y, &v) in column.iter().enumerate() {
+                out[y * width + (x0 + local_x)] = v;
+            }
         }
     }
     out
@@ -206,6 +319,53 @@ mod tests {
         let c = dct_2d(&plane, 4, 4);
         assert!((c[0] - 4.0).abs() < 1e-9);
         assert!(c[1..].iter().all(|v| v.abs() < 1e-9));
+    }
+
+    /// The former per-coefficient implementation with `cos()` in the inner
+    /// loop — the planned transform must match it bit for bit.
+    fn reference_dct_1d(input: &[f64]) -> Vec<f64> {
+        let n = input.len();
+        let mut out = vec![0.0; n];
+        let factor = std::f64::consts::PI / n as f64;
+        for (k, out_k) in out.iter_mut().enumerate() {
+            let mut sum = 0.0;
+            for (i, &x) in input.iter().enumerate() {
+                sum += x * ((i as f64 + 0.5) * k as f64 * factor).cos();
+            }
+            let scale = if k == 0 { (1.0 / n as f64).sqrt() } else { (2.0 / n as f64).sqrt() };
+            *out_k = sum * scale;
+        }
+        out
+    }
+
+    #[test]
+    fn planned_dct_is_bit_identical_to_the_reference() {
+        for n in [1usize, 2, 7, 16, 33] {
+            let signal: Vec<f64> =
+                (0..n).map(|i| ((i * 13 + 5) % 23) as f64 * 0.37 - 2.0).collect();
+            let planned = dct_1d(&signal);
+            let reference = reference_dct_1d(&signal);
+            for (p, r) in planned.iter().zip(&reference) {
+                assert_eq!(p.to_bits(), r.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_dct_is_bit_identical_for_every_worker_count() {
+        // Odd sizes split unevenly into line tiles; workers must not change
+        // a single output bit (and must match the sequential transform).
+        for (w, h) in [(13, 9), (32, 32), (41, 7)] {
+            let plane: Vec<f64> =
+                (0..w * h).map(|i| ((i * 31 + 11) % 101) as f64 * 0.021 - 1.0).collect();
+            let reference = dct_2d(&plane, w, h);
+            for workers in [2, 4, 7, 0] {
+                let parallel = dct_2d_parallel(&plane, w, h, workers);
+                for (p, r) in parallel.iter().zip(&reference) {
+                    assert_eq!(p.to_bits(), r.to_bits(), "{w}x{h} workers={workers}");
+                }
+            }
+        }
     }
 
     #[test]

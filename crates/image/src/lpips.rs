@@ -15,6 +15,7 @@
 
 use crate::image::Image;
 use crate::interp::{resize, Interpolation};
+use crate::metrics;
 
 /// Number of pyramid levels used by [`lpips_proxy`].
 const LEVELS: usize = 3;
@@ -65,9 +66,13 @@ pub fn lpips_proxy(a: &Image, b: &Image) -> f64 {
 
 /// Per-level feature distance: mean normalised difference of four feature
 /// maps computed over 4×4 cells (local mean, local std-dev, |∂x|, |∂y|).
+///
+/// Both images' feature maps come out of **one fused walk**
+/// ([`fused_features`]) — the former implementation re-walked each image
+/// separately per level, paying the luminance conversion and the cell pass
+/// twice.
 fn feature_distance(a: &Image, b: &Image) -> f64 {
-    let fa = features(a);
-    let fb = features(b);
+    let (fa, fb) = fused_features(a, b);
     let mut acc = 0.0;
     for (va, vb) in fa.iter().zip(&fb) {
         // Normalised difference keeps each feature's contribution in [0, 1].
@@ -77,46 +82,71 @@ fn feature_distance(a: &Image, b: &Image) -> f64 {
     acc / fa.len() as f64
 }
 
-/// Cell features: for each 4×4 cell, [mean, std, mean |∂x|, mean |∂y|].
-fn features(img: &Image) -> Vec<f64> {
-    let lum = img.to_luminance();
-    let w = img.width();
-    let h = img.height();
+/// Cell features of both images in one pass: for each 4×4 cell,
+/// `[mean, std, mean |∂x|, mean |∂y|]` per image. The first two reuse the
+/// single-pass moment accumulation shared with the SSIM windows
+/// ([`metrics::single_pass_moments`]); each image's accumulators see exactly
+/// the per-image addend sequence of the former two-walk implementation, so
+/// the feature values are unchanged.
+fn fused_features(a: &Image, b: &Image) -> (Vec<f64>, Vec<f64>) {
+    let lum_a = metrics::luminance_rows(a, 0, a.height());
+    let lum_b = metrics::luminance_rows(b, 0, b.height());
+    let w = a.width();
+    let h = a.height();
     let cell = 4usize;
     let cells_x = w / cell;
     let cells_y = h / cell;
-    let mut out = Vec::with_capacity(cells_x * cells_y * 4);
+    let mut out_a = Vec::with_capacity(cells_x * cells_y * 4);
+    let mut out_b = Vec::with_capacity(cells_x * cells_y * 4);
     for cy in 0..cells_y {
         for cx in 0..cells_x {
-            let mut sum = 0.0f64;
-            let mut sum_sq = 0.0f64;
-            let mut grad_x = 0.0f64;
-            let mut grad_y = 0.0f64;
+            let mut acc_a = CellAccumulator::default();
+            let mut acc_b = CellAccumulator::default();
             for dy in 0..cell {
                 for dx in 0..cell {
                     let x = cx * cell + dx;
                     let y = cy * cell + dy;
-                    let v = lum[y * w + x] as f64;
-                    sum += v;
-                    sum_sq += v * v;
-                    if x + 1 < w {
-                        grad_x += (lum[y * w + x + 1] as f64 - v).abs();
-                    }
-                    if y + 1 < h {
-                        grad_y += (lum[(y + 1) * w + x] as f64 - v).abs();
-                    }
+                    acc_a.add(&lum_a, w, h, x, y);
+                    acc_b.add(&lum_b, w, h, x, y);
                 }
             }
-            let n = (cell * cell) as f64;
-            let mean = sum / n;
-            let var = (sum_sq / n - mean * mean).max(0.0);
-            out.push(mean);
-            out.push(var.sqrt());
-            out.push(grad_x / n);
-            out.push(grad_y / n);
+            acc_a.finish(&mut out_a, cell);
+            acc_b.finish(&mut out_b, cell);
         }
     }
-    out
+    (out_a, out_b)
+}
+
+/// Single-pass accumulator of one image's cell statistics.
+#[derive(Debug, Default)]
+struct CellAccumulator {
+    sum: f64,
+    sum_sq: f64,
+    grad_x: f64,
+    grad_y: f64,
+}
+
+impl CellAccumulator {
+    fn add(&mut self, lum: &[f64], w: usize, h: usize, x: usize, y: usize) {
+        let v = lum[y * w + x];
+        self.sum += v;
+        self.sum_sq += v * v;
+        if x + 1 < w {
+            self.grad_x += (lum[y * w + x + 1] - v).abs();
+        }
+        if y + 1 < h {
+            self.grad_y += (lum[(y + 1) * w + x] - v).abs();
+        }
+    }
+
+    fn finish(self, out: &mut Vec<f64>, cell: usize) {
+        let n = (cell * cell) as f64;
+        let (mean, var) = metrics::single_pass_moments(self.sum, self.sum_sq, n);
+        out.push(mean);
+        out.push(var.max(0.0).sqrt());
+        out.push(self.grad_x / n);
+        out.push(self.grad_y / n);
+    }
 }
 
 #[cfg(test)]

@@ -3,8 +3,53 @@
 //! These follow the definitions cited by the paper: PSNR from the per-pixel
 //! mean squared error, and SSIM computed with the standard 8×8 sliding window
 //! and the constants of Wang et al. (2004) on the luminance plane.
+//!
+//! # Fused single-pass evaluation and the determinism contract
+//!
+//! The quality-measurement layer is on the profiling hot path (every sample
+//! configuration scores its probe renders here), so the metrics are computed
+//! by a **fused** engine instead of independent full-image walks:
+//!
+//! * [`quality_metrics`] produces MSE, PSNR and SSIM from **one traversal**:
+//!   the image is cut into fixed-height row tiles ([`TILE_ROWS`]), each tile
+//!   accumulates its squared-error partial and its SSIM window partials
+//!   (window statistics come from per-band **column sums** — one pass over
+//!   the band's rows — rather than re-reading every 8×8 window from
+//!   scratch), and the per-tile partials are folded with the order-fixed
+//!   pairwise tree of [`nerflex_math::pool::tree_reduce`].
+//! * [`quality_metrics_parallel`] fans those same tiles over the shared
+//!   worker pool. The tile layout is a constant, the per-tile computation is
+//!   sequential, the partials come back in job order and the reduction tree
+//!   depends only on the tile count — so the results are **bit-identical for
+//!   every worker count** (asserted by tests over odd sizes and 1/2/4/7
+//!   workers; see `docs/determinism.md`).
+//!
+//! Reduction-order note: the fused SSIM accumulates window terms per tile
+//! and reduces tiles pairwise, and its window statistics sum column-first.
+//! Both orders are fixed and documented here — they are *deterministic*, but
+//! not the same floating-point association as a naive row-major sliding
+//! window, so values may differ from the pre-fusion implementation in the
+//! last bits. Window variances are deliberately left unclamped: on identical
+//! inputs the covariance and the variances are bitwise equal, which makes
+//! every window score exactly `1.0` (a `max(0.0)` clamp on the variances
+//! alone would break that exactness).
 
 use crate::image::Image;
+use nerflex_math::pool::{default_workers, parallel_map, tree_reduce};
+
+/// SSIM stabilisation constant `C1 = (0.01)²` for signals in `[0, 1]`.
+const C1: f64 = 0.01 * 0.01;
+/// SSIM stabilisation constant `C2 = (0.03)²`.
+const C2: f64 = 0.03 * 0.03;
+/// Default SSIM window size.
+const SSIM_WINDOW: usize = 8;
+/// Default SSIM window stride (dense sliding-window approximation).
+const SSIM_STRIDE: usize = 4;
+/// Fixed height of the row tiles fanned over the worker pool. A multiple of
+/// [`SSIM_STRIDE`], so window bands never straddle a tile boundary. The
+/// value is a constant — never derived from the worker count — which is what
+/// keeps the tiled reduction bit-identical for every worker count.
+const TILE_ROWS: usize = 32;
 
 /// Mean squared error over all pixels and channels.
 ///
@@ -31,26 +76,135 @@ pub fn mse(a: &Image, b: &Image) -> f64 {
 ///
 /// Panics when the two images have different dimensions.
 pub fn psnr(a: &Image, b: &Image) -> f64 {
-    let err = mse(a, b);
+    psnr_from_mse(mse(a, b))
+}
+
+/// PSNR in decibels from an already-computed MSE.
+fn psnr_from_mse(err: f64) -> f64 {
     if err <= 0.0 {
         return f64::INFINITY;
     }
     10.0 * (1.0 / err).log10()
 }
 
-/// Structural similarity index on the luminance plane, averaged over 8×8
-/// windows with stride 4 (a dense sliding-window approximation).
-///
-/// Returns a value in `[-1, 1]`; `1` means identical.
+/// Every full-reference metric of one image pair, produced by a single fused
+/// traversal (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityMetrics {
+    /// Mean squared error over all pixels and channels.
+    pub mse: f64,
+    /// Peak signal-to-noise ratio in dB (`INFINITY` for identical images).
+    pub psnr: f64,
+    /// Mean SSIM over the 8×8 stride-4 window grid on the luminance plane.
+    pub ssim: f64,
+}
+
+/// Partial sums of one row tile, combined by the order-fixed tree reduction.
+#[derive(Debug, Clone, Copy, Default)]
+struct TilePartial {
+    /// Sum of per-channel squared errors over the tile's pixel rows.
+    err: f64,
+    /// Sum of SSIM window scores whose window top lies in the tile.
+    ssim: f64,
+    /// Number of windows contributing to `ssim`.
+    windows: usize,
+}
+
+impl TilePartial {
+    fn combine(self, o: Self) -> Self {
+        Self { err: self.err + o.err, ssim: self.ssim + o.ssim, windows: self.windows + o.windows }
+    }
+}
+
+/// Fused MSE + PSNR + SSIM in one traversal (the sequential tiling; output
+/// is bit-identical to [`quality_metrics_parallel`] with any worker count).
 ///
 /// # Panics
 ///
-/// Panics when the two images have different dimensions.
-pub fn ssim(a: &Image, b: &Image) -> f64 {
-    ssim_windowed(a, b, 8, 4)
+/// Panics when the images differ in size or are smaller than the 8×8 SSIM
+/// window.
+pub fn quality_metrics(a: &Image, b: &Image) -> QualityMetrics {
+    quality_metrics_parallel(a, b, 1)
 }
 
-/// SSIM with an explicit window size and stride.
+/// [`quality_metrics`] with the row tiles fanned over `workers` pool threads
+/// (`0` = one per core, `1` = the sequential path). The tile layout, the
+/// per-tile accumulation order and the pairwise reduction tree are all fixed
+/// by the image size alone, so the result is **bit-identical for every
+/// worker count**.
+///
+/// # Panics
+///
+/// Panics when the images differ in size or are smaller than the 8×8 SSIM
+/// window.
+pub fn quality_metrics_parallel(a: &Image, b: &Image, workers: usize) -> QualityMetrics {
+    assert_dims(a, b);
+    assert!(SSIM_WINDOW <= a.width() && SSIM_WINDOW <= a.height(), "SSIM window larger than image");
+    let width = a.width();
+    let height = a.height();
+    let jobs = height.div_ceil(TILE_ROWS);
+    let workers = match workers {
+        0 => default_workers(jobs),
+        n => n,
+    };
+    let partials = parallel_map(jobs, workers, |job| {
+        let y0 = job * TILE_ROWS;
+        let y1 = ((job + 1) * TILE_ROWS).min(height);
+        // Squared-error partial over this tile's pixel rows (same per-pixel
+        // op order as `mse`).
+        let mut err = 0.0f64;
+        for (pa, pb) in
+            a.pixels()[y0 * width..y1 * width].iter().zip(&b.pixels()[y0 * width..y1 * width])
+        {
+            let dr = (pa.r - pb.r) as f64;
+            let dg = (pa.g - pb.g) as f64;
+            let db = (pa.b - pb.b) as f64;
+            err += dr * dr + dg * dg + db * db;
+        }
+        // Luminance rows needed by this tile's SSIM bands: the tile's own
+        // rows plus the window overhang into the next tile (recomputed
+        // locally — cheaper than sharing a plane across tiles).
+        let rows_end = (y1 + SSIM_WINDOW).min(height);
+        let la = luminance_rows(a, y0, rows_end);
+        let lb = luminance_rows(b, y0, rows_end);
+        let mut cols = ColumnSums::new(width);
+        let mut ssim = 0.0f64;
+        let mut windows = 0usize;
+        let mut top = y0;
+        while top < y1 {
+            if top + SSIM_WINDOW <= height {
+                let (band_sum, band_windows) =
+                    ssim_band(&la, &lb, width, top - y0, SSIM_WINDOW, SSIM_STRIDE, &mut cols);
+                ssim += band_sum;
+                windows += band_windows;
+            }
+            top += SSIM_STRIDE;
+        }
+        TilePartial { err, ssim, windows }
+    });
+    let total = tree_reduce(partials, TilePartial::combine).unwrap_or_default();
+    let mse = total.err / (a.pixel_count() as f64 * 3.0);
+    let ssim = if total.windows == 0 { 1.0 } else { (total.ssim / total.windows as f64).min(1.0) };
+    QualityMetrics { mse, psnr: psnr_from_mse(mse), ssim }
+}
+
+/// Structural similarity index on the luminance plane, averaged over 8×8
+/// windows with stride 4 (a dense sliding-window approximation).
+///
+/// Returns a value in `[-1, 1]`; `1` means identical. Computed by the fused
+/// tiled engine, so it is bit-identical to
+/// [`quality_metrics_parallel`]`.ssim` for every worker count.
+///
+/// # Panics
+///
+/// Panics when the two images have different dimensions or are smaller than
+/// the 8×8 window.
+pub fn ssim(a: &Image, b: &Image) -> f64 {
+    quality_metrics(a, b).ssim
+}
+
+/// SSIM with an explicit window size and stride (sequential; window
+/// statistics use the same column-sum band accumulation as the fused path).
 ///
 /// # Panics
 ///
@@ -60,50 +214,117 @@ pub fn ssim_windowed(a: &Image, b: &Image, window: usize, stride: usize) -> f64 
     assert_dims(a, b);
     assert!(window > 0 && stride > 0, "window and stride must be non-zero");
     assert!(window <= a.width() && window <= a.height(), "SSIM window larger than image");
-    const C1: f64 = 0.01 * 0.01;
-    const C2: f64 = 0.03 * 0.03;
-
-    let la = a.to_luminance();
-    let lb = b.to_luminance();
     let width = a.width();
-
+    let la = luminance_rows(a, 0, a.height());
+    let lb = luminance_rows(b, 0, b.height());
+    let mut cols = ColumnSums::new(width);
     let mut total = 0.0f64;
     let mut count = 0usize;
     let mut y = 0;
     while y + window <= a.height() {
-        let mut x = 0;
-        while x + window <= width {
-            let (mut sum_a, mut sum_b, mut sum_aa, mut sum_bb, mut sum_ab) =
-                (0.0, 0.0, 0.0, 0.0, 0.0);
-            for wy in 0..window {
-                for wx in 0..window {
-                    let va = la[(y + wy) * width + (x + wx)] as f64;
-                    let vb = lb[(y + wy) * width + (x + wx)] as f64;
-                    sum_a += va;
-                    sum_b += vb;
-                    sum_aa += va * va;
-                    sum_bb += vb * vb;
-                    sum_ab += va * vb;
-                }
-            }
-            let n = (window * window) as f64;
-            let mu_a = sum_a / n;
-            let mu_b = sum_b / n;
-            let var_a = (sum_aa / n - mu_a * mu_a).max(0.0);
-            let var_b = (sum_bb / n - mu_b * mu_b).max(0.0);
-            let cov = sum_ab / n - mu_a * mu_b;
-            let numerator = (2.0 * mu_a * mu_b + C1) * (2.0 * cov + C2);
-            let denominator = (mu_a * mu_a + mu_b * mu_b + C1) * (var_a + var_b + C2);
-            total += numerator / denominator;
-            count += 1;
-            x += stride;
-        }
+        let (band_sum, band_windows) = ssim_band(&la, &lb, width, y, window, stride, &mut cols);
+        total += band_sum;
+        count += band_windows;
         y += stride;
     }
     if count == 0 {
         return 1.0;
     }
     (total / count as f64).min(1.0)
+}
+
+/// The luminance rows `y0..y1` of an image, as an `f64` plane.
+pub(crate) fn luminance_rows(img: &Image, y0: usize, y1: usize) -> Vec<f64> {
+    let width = img.width();
+    img.pixels()[y0 * width..y1 * width].iter().map(|c| c.luminance() as f64).collect()
+}
+
+/// Finishes a single-pass first/second-moment accumulation: returns the mean
+/// and the **raw** (unclamped) variance `E[x²] − E[x]²`. Shared by the SSIM
+/// windows and the LPIPS-proxy cell features, so both layers walk their
+/// inputs exactly once.
+pub(crate) fn single_pass_moments(sum: f64, sum_sq: f64, n: f64) -> (f64, f64) {
+    let mean = sum / n;
+    (mean, sum_sq / n - mean * mean)
+}
+
+/// Reusable per-column accumulators of one window band.
+struct ColumnSums {
+    a: Vec<f64>,
+    b: Vec<f64>,
+    aa: Vec<f64>,
+    bb: Vec<f64>,
+    ab: Vec<f64>,
+}
+
+impl ColumnSums {
+    fn new(width: usize) -> Self {
+        Self {
+            a: vec![0.0; width],
+            b: vec![0.0; width],
+            aa: vec![0.0; width],
+            bb: vec![0.0; width],
+            ab: vec![0.0; width],
+        }
+    }
+
+    fn reset(&mut self) {
+        for buf in [&mut self.a, &mut self.b, &mut self.aa, &mut self.bb, &mut self.ab] {
+            buf.fill(0.0);
+        }
+    }
+}
+
+/// Accumulates the SSIM scores of every window in the band whose top row is
+/// `top` (an index into the `la`/`lb` planes): one pass over the band's rows
+/// builds per-column sums of the five window statistics, then each window
+/// sums its `window` columns. Column-first accumulation is the documented
+/// deterministic reduction order of the fused SSIM.
+fn ssim_band(
+    la: &[f64],
+    lb: &[f64],
+    width: usize,
+    top: usize,
+    window: usize,
+    stride: usize,
+    cols: &mut ColumnSums,
+) -> (f64, usize) {
+    cols.reset();
+    for wy in 0..window {
+        let row = (top + wy) * width;
+        for x in 0..width {
+            let va = la[row + x];
+            let vb = lb[row + x];
+            cols.a[x] += va;
+            cols.b[x] += vb;
+            cols.aa[x] += va * va;
+            cols.bb[x] += vb * vb;
+            cols.ab[x] += va * vb;
+        }
+    }
+    let n = (window * window) as f64;
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    let mut x = 0;
+    while x + window <= width {
+        let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for wx in x..x + window {
+            sa += cols.a[wx];
+            sb += cols.b[wx];
+            saa += cols.aa[wx];
+            sbb += cols.bb[wx];
+            sab += cols.ab[wx];
+        }
+        let (mu_a, var_a) = single_pass_moments(sa, saa, n);
+        let (mu_b, var_b) = single_pass_moments(sb, sbb, n);
+        let cov = sab / n - mu_a * mu_b;
+        let numerator = (2.0 * mu_a * mu_b + C1) * (2.0 * cov + C2);
+        let denominator = (mu_a * mu_a + mu_b * mu_b + C1) * (var_a + var_b + C2);
+        total += numerator / denominator;
+        count += 1;
+        x += stride;
+    }
+    (total, count)
 }
 
 /// SSIM restricted to the pixels selected by `mask` (windows whose centre is
@@ -119,16 +340,16 @@ pub fn ssim_masked(a: &Image, b: &Image, mask: &crate::mask::Mask) -> f64 {
         mask.width() == a.width() && mask.height() == a.height(),
         "mask dimensions must match the images"
     );
-    const C1: f64 = 0.01 * 0.01;
-    const C2: f64 = 0.03 * 0.03;
-    let window = 8usize;
-    let stride = 4usize;
+    let window = SSIM_WINDOW;
+    let stride = SSIM_STRIDE;
     if window > a.width() || window > a.height() {
-        return ssim(a, b);
+        // Too small for the standard window: score the largest square
+        // window that fits instead of panicking in `ssim`'s size assert.
+        return ssim_windowed(a, b, a.width().min(a.height()), 1);
     }
 
-    let la = a.to_luminance();
-    let lb = b.to_luminance();
+    let la = luminance_rows(a, 0, a.height());
+    let lb = luminance_rows(b, 0, b.height());
     let width = a.width();
 
     let mut total = 0.0f64;
@@ -142,8 +363,8 @@ pub fn ssim_masked(a: &Image, b: &Image, mask: &crate::mask::Mask) -> f64 {
                     (0.0, 0.0, 0.0, 0.0, 0.0);
                 for wy in 0..window {
                     for wx in 0..window {
-                        let va = la[(y + wy) * width + (x + wx)] as f64;
-                        let vb = lb[(y + wy) * width + (x + wx)] as f64;
+                        let va = la[(y + wy) * width + (x + wx)];
+                        let vb = lb[(y + wy) * width + (x + wx)];
                         sum_a += va;
                         sum_b += vb;
                         sum_aa += va * va;
@@ -210,6 +431,49 @@ mod tests {
         assert_eq!(mse(&img, &img), 0.0);
         assert_eq!(psnr(&img, &img), f64::INFINITY);
         assert_eq!(ssim(&img, &img), 1.0);
+        let fused = quality_metrics(&img, &img);
+        assert_eq!(fused.mse, 0.0);
+        assert_eq!(fused.psnr, f64::INFINITY);
+        assert_eq!(fused.ssim, 1.0);
+    }
+
+    #[test]
+    fn fused_metrics_match_the_standalone_functions() {
+        let img = test_pattern();
+        let other = noisy(&img, 0.2);
+        let fused = quality_metrics(&img, &other);
+        // MSE/PSNR: same per-pixel terms, tiled tree association — equal up
+        // to floating-point reassociation.
+        assert!((fused.mse - mse(&img, &other)).abs() < 1e-12);
+        assert!((fused.psnr - psnr(&img, &other)).abs() < 1e-9);
+        // SSIM: `ssim` is defined as the fused engine's output.
+        assert_eq!(fused.ssim.to_bits(), ssim(&img, &other).to_bits());
+        // And the band machinery agrees with the explicit-window API.
+        assert!((fused.ssim - ssim_windowed(&img, &other, 8, 4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_metrics_are_bit_identical_for_every_worker_count() {
+        // The determinism contract of the tiled metrics reduction: worker
+        // count never changes a single output bit, including on odd sizes
+        // that split unevenly into tiles.
+        for (w, h) in [(64, 64), (61, 45), (128, 37), (9, 97)] {
+            let a = Image::from_fn(w, h, |x, y| {
+                Color::new(
+                    0.5 + 0.4 * ((x * 3 + y) as f32 * 0.11).sin(),
+                    0.5 + 0.3 * ((x + 2 * y) as f32 * 0.07).cos(),
+                    ((x * y) % 17) as f32 / 17.0,
+                )
+            });
+            let b = noisy(&a, 0.15);
+            let reference = quality_metrics_parallel(&a, &b, 1);
+            for workers in [2, 4, 7, 0] {
+                let got = quality_metrics_parallel(&a, &b, workers);
+                assert_eq!(got.mse.to_bits(), reference.mse.to_bits(), "mse {w}x{h} w{workers}");
+                assert_eq!(got.psnr.to_bits(), reference.psnr.to_bits(), "psnr {w}x{h} w{workers}");
+                assert_eq!(got.ssim.to_bits(), reference.ssim.to_bits(), "ssim {w}x{h} w{workers}");
+            }
+        }
     }
 
     #[test]
@@ -228,6 +492,7 @@ mod tests {
         let b = Image::new(16, 16, Color::gray(0.6));
         // MSE = 0.01 exactly, so PSNR = 10*log10(1/0.01) = 20 dB.
         assert!((psnr(&a, &b) - 20.0).abs() < 1e-3);
+        assert!((quality_metrics(&a, &b).psnr - 20.0).abs() < 1e-3);
     }
 
     #[test]
@@ -277,5 +542,23 @@ mod tests {
     fn oversized_window_panics() {
         let a = Image::new(4, 4, Color::BLACK);
         let _ = ssim_windowed(&a, &a, 8, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "window larger")]
+    fn fused_metrics_panic_below_window_size() {
+        let a = Image::new(4, 4, Color::BLACK);
+        let _ = quality_metrics(&a, &a);
+    }
+
+    #[test]
+    fn masked_ssim_falls_back_gracefully_on_tiny_images() {
+        // Images smaller than the 8×8 window must score, not panic.
+        let a = Image::new(4, 4, Color::gray(0.5));
+        let b = Image::new(4, 4, Color::gray(0.7));
+        let mask = Mask::from_fn(4, 4, |_, _| true);
+        assert_eq!(ssim_masked(&a, &a, &mask), 1.0);
+        let s = ssim_masked(&a, &b, &mask);
+        assert!(s < 1.0 && s > -1.0);
     }
 }

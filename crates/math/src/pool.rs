@@ -52,6 +52,31 @@ pub fn default_workers(jobs: usize) -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get()).min(jobs.max(1))
 }
 
+/// Folds `items` with a fixed pairwise reduction tree: neighbours combine
+/// first (`0⊕1`, `2⊕3`, …), then the survivors pairwise again, until one
+/// value remains. The association order depends only on `items.len()` —
+/// never on worker counts or scheduling — so reducing per-tile partials
+/// produced by [`parallel_map`] (which returns them in job order) yields
+/// bit-identical floating-point results for every worker count. Returns
+/// `None` for an empty input.
+pub fn tree_reduce<T>(mut items: Vec<T>, combine: impl Fn(T, T) -> T) -> Option<T> {
+    if items.is_empty() {
+        return None;
+    }
+    while items.len() > 1 {
+        let mut next = Vec::with_capacity(items.len().div_ceil(2));
+        let mut iter = items.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(combine(a, b)),
+                None => next.push(a),
+            }
+        }
+        items = next;
+    }
+    items.pop()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +104,29 @@ mod tests {
     fn default_workers_is_capped_by_jobs() {
         assert_eq!(default_workers(1), 1);
         assert!(default_workers(1000) >= 1);
+    }
+
+    #[test]
+    fn tree_reduce_covers_every_item_once() {
+        assert_eq!(tree_reduce(Vec::<u32>::new(), |a, b| a + b), None);
+        assert_eq!(tree_reduce(vec![7u32], |a, b| a + b), Some(7));
+        for n in 2..20usize {
+            let sum = tree_reduce((1..=n).collect(), |a, b| a + b);
+            assert_eq!(sum, Some(n * (n + 1) / 2));
+        }
+    }
+
+    #[test]
+    fn tree_reduce_association_is_fixed_by_length() {
+        // Record the association as nested strings: the shape must depend on
+        // the item count alone (the determinism contract callers build on).
+        let shape = |n: usize| {
+            tree_reduce((0..n).map(|i| i.to_string()).collect::<Vec<_>>(), |a, b| {
+                format!("({a}+{b})")
+            })
+            .unwrap()
+        };
+        assert_eq!(shape(4), "((0+1)+(2+3))");
+        assert_eq!(shape(5), "(((0+1)+(2+3))+4)");
     }
 }

@@ -17,6 +17,10 @@
 //! input — which is what lets the packet ray marcher guarantee bit-identical
 //! images for any lane count. Tests in `nerflex-scene` assert this end to
 //! end; do not introduce `mul_add` or reassociation here.
+//!
+//! The repo-wide lane/tile/reduction-order contract — covering these lanes,
+//! the worker-pool tiling and the fixed-shape tree reductions — is stated in
+//! one place: `docs/determinism.md`.
 
 use crate::vec::Vec3;
 
@@ -106,6 +110,12 @@ impl F32x4 {
     #[inline]
     pub fn le(self, o: Self) -> Mask4 {
         Mask4([self.0[0] <= o.0[0], self.0[1] <= o.0[1], self.0[2] <= o.0[2], self.0[3] <= o.0[3]])
+    }
+
+    /// Per-lane `self > o`.
+    #[inline]
+    pub fn gt(self, o: Self) -> Mask4 {
+        Mask4([self.0[0] > o.0[0], self.0[1] > o.0[1], self.0[2] > o.0[2], self.0[3] > o.0[3]])
     }
 
     /// Per-lane selection: `mask ? self : other`.
@@ -209,10 +219,25 @@ impl Mask4 {
         Self([self.0[0] && o.0[0], self.0[1] && o.0[1], self.0[2] && o.0[2], self.0[3] && o.0[3]])
     }
 
+    /// Lane-wise OR.
+    #[inline]
+    pub fn or(self, o: Self) -> Self {
+        Self([self.0[0] || o.0[0], self.0[1] || o.0[1], self.0[2] || o.0[2], self.0[3] || o.0[3]])
+    }
+
     /// The value in `lane`.
     #[inline]
     pub fn lane(self, lane: usize) -> bool {
         self.0[lane]
+    }
+}
+
+impl std::ops::Not for Mask4 {
+    type Output = Self;
+    /// Lane-wise NOT.
+    #[inline]
+    fn not(self) -> Self {
+        Self([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
     }
 }
 
@@ -304,6 +329,22 @@ impl Vec3x4 {
     #[inline]
     pub fn max_component(self) -> F32x4 {
         F32x4::splat(f32::NEG_INFINITY).max(self.x).max(self.y).max(self.z)
+    }
+
+    /// Per-lane unit vector, mirroring [`Vec3::normalized`] operation for
+    /// operation: lanes whose length exceeds `1e-12` are divided by it, the
+    /// rest pass through unchanged — so each lane is bit-identical to the
+    /// scalar call on that lane's vector.
+    #[inline]
+    pub fn normalized(self) -> Self {
+        let len = self.length();
+        let scaled = Self { x: self.x / len, y: self.y / len, z: self.z / len };
+        let keep = len.gt(F32x4::splat(1e-12));
+        Self {
+            x: scaled.x.select(self.x, keep),
+            y: scaled.y.select(self.y, keep),
+            z: scaled.z.select(self.z, keep),
+        }
     }
 }
 
@@ -397,6 +438,19 @@ mod tests {
             assert_eq!(a.min(b).lane(i).to_bits(), a.lane(i).min(b.lane(i)).to_bits());
             assert_eq!(a.max(b).lane(i).to_bits(), a.lane(i).max(b.lane(i)).to_bits());
             assert_eq!(a.abs().lane(i).to_bits(), a.lane(i).abs().to_bits());
+        }
+    }
+
+    #[test]
+    fn normalized_matches_scalar_including_degenerate_lanes() {
+        let lanes =
+            [Vec3::new(0.3, -1.2, 2.5), Vec3::ZERO, Vec3::new(4.0, 3.0, -2.0), Vec3::splat(1e-20)];
+        let n = Vec3x4::from_lanes(lanes).normalized();
+        for (i, v) in lanes.iter().enumerate() {
+            let s = v.normalized();
+            assert_eq!(n.x.lane(i).to_bits(), s.x.to_bits());
+            assert_eq!(n.y.lane(i).to_bits(), s.y.to_bits());
+            assert_eq!(n.z.lane(i).to_bits(), s.z.to_bits());
         }
     }
 

@@ -227,8 +227,27 @@ impl GroundTruthCache {
     /// listed. Damaged entry files are not detected here (decoding is lazy);
     /// they cost one re-render at first lookup.
     pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open_with_limits(dir, &nerflex_bake::StoreLimits::default())
+    }
+
+    /// [`GroundTruthCache::open`] with retention limits: the directory is
+    /// swept by [`nerflex_bake::disk::prune_store`] before indexing (age
+    /// sweep, then oldest-first eviction down to the size budget). GT
+    /// entries are ~12 bytes/texel and grow with the probe resolution, so
+    /// bounding this store matters even more than the bake store; a pruned
+    /// entry costs exactly one re-render on its next miss.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the directory cannot be created or
+    /// listed.
+    pub fn open_with_limits(
+        dir: impl AsRef<Path>,
+        limits: &nerflex_bake::StoreLimits,
+    ) -> io::Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        nerflex_bake::disk::prune_store(&dir, GT_EXTENSION, limits)?;
         let mut entries = HashMap::new();
         for file in std::fs::read_dir(&dir)? {
             let path = file?.path();
@@ -423,7 +442,13 @@ mod tests {
     use nerflex_scene::object::CanonicalObject;
 
     fn quick_settings() -> MeasurementSettings {
-        MeasurementSettings { views: 2, resolution: 24, worker_threads: 1, ground_truth_workers: 1 }
+        MeasurementSettings {
+            views: 2,
+            resolution: 24,
+            worker_threads: 1,
+            ground_truth_workers: 1,
+            metrics_workers: 1,
+        }
     }
 
     /// A unique, self-cleaning temporary directory.
@@ -547,6 +572,31 @@ mod tests {
         let repaired = GroundTruthCache::open(&tmp.0).expect("open repaired");
         let _ = repaired.get_or_build(&model, &settings);
         assert_eq!(repaired.stats().disk_hits, 1);
+    }
+
+    #[test]
+    fn open_with_limits_prunes_and_rerenders_evicted_entries() {
+        let tmp = TempDir::new("limits");
+        let model = CanonicalObject::Hotdog.build();
+        let settings = quick_settings();
+        let cache = GroundTruthCache::open(&tmp.0).expect("open");
+        let built = cache.get_or_build(&model, &settings);
+        cache.flush().expect("flush");
+
+        // A zero age budget sweeps the persisted ground truth on open; the
+        // next lookup re-renders it bit-identically.
+        let limits = nerflex_bake::StoreLimits::default().with_max_age(std::time::Duration::ZERO);
+        let pruned = GroundTruthCache::open_with_limits(&tmp.0, &limits).expect("open");
+        assert_eq!(pruned.stats().indexed_from_disk, 0, "expired entry must not index");
+        let rebuilt = pruned.get_or_build(&model, &settings);
+        assert_eq!(pruned.stats().misses, 1);
+        assert_eq!(built.images, rebuilt.images);
+
+        // A size budget large enough for the store keeps the entry.
+        pruned.flush().expect("flush");
+        let generous = nerflex_bake::StoreLimits::default().with_max_bytes(u64::MAX);
+        let kept = GroundTruthCache::open_with_limits(&tmp.0, &generous).expect("open");
+        assert_eq!(kept.stats().indexed_from_disk, 1);
     }
 
     #[test]

@@ -33,9 +33,13 @@ pub mod profiler;
 pub mod sampling;
 
 pub use ground_truth::{GroundTruthCache, GroundTruthStats};
-pub use measurement::{measure_object, measure_object_cached, measure_object_in, Measurement};
+pub use measurement::{
+    measure_object, measure_object_accounted, measure_object_cached, measure_object_in,
+    Measurement, MetricsAccounting,
+};
 pub use model::{QualityModel, SizeModel, SizeQualityModel};
 pub use profiler::{
-    build_profile, build_profile_cached, build_profile_in, ObjectProfile, ProfilerOptions,
+    build_profile, build_profile_accounted, build_profile_cached, build_profile_in, ObjectProfile,
+    ProfilerOptions,
 };
 pub use sampling::sample_configurations;

@@ -13,6 +13,9 @@ use nerflex_scene::camera_path::{orbit_path, CameraPose};
 use nerflex_scene::object::ObjectModel;
 use nerflex_scene::scene::Scene;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// One measured sample point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -47,11 +50,23 @@ pub struct MeasurementSettings {
     /// images are bit-identical for every value; `1` (the default) is the
     /// sequential path, `0` uses one worker per available core.
     pub ground_truth_workers: usize,
+    /// Worker threads for the fused quality-metrics evaluation
+    /// ([`nerflex_image::metrics::quality_metrics_parallel`]) that scores a
+    /// sample render against the ground truth. The metric values are
+    /// bit-identical for every value; `1` (the default) is the sequential
+    /// path, `0` uses one worker per available core.
+    pub metrics_workers: usize,
 }
 
 impl Default for MeasurementSettings {
     fn default() -> Self {
-        Self { views: 3, resolution: 96, worker_threads: 1, ground_truth_workers: 1 }
+        Self {
+            views: 3,
+            resolution: 96,
+            worker_threads: 1,
+            ground_truth_workers: 1,
+            metrics_workers: 1,
+        }
     }
 }
 
@@ -68,6 +83,53 @@ impl MeasurementSettings {
     pub fn with_ground_truth_workers(mut self, workers: usize) -> Self {
         self.ground_truth_workers = workers;
         self
+    }
+
+    /// Returns the settings with the given metrics worker count (`0` = one
+    /// per core, `1` = sequential; metric values never change).
+    pub fn with_metrics_workers(mut self, workers: usize) -> Self {
+        self.metrics_workers = workers;
+        self
+    }
+}
+
+/// Shared accounting of the quality-metrics stage: how long the fused SSIM
+/// evaluations took across every sample measurement, and how many image
+/// pairs were scored. One instance is threaded through a profiling run (it
+/// is `Sync`; the parallel sample workers all record into it) and surfaces
+/// as `StageTimings::metrics` / fig9's `metrics_ms`.
+///
+/// The recorded time is the **sum of per-evaluation wall times** — the
+/// serial-equivalent cost of the stage, like `StageTimings::profiling_serial`
+/// — not the stage's wall clock: concurrent sample workers score in
+/// parallel, so the sum can exceed elapsed time.
+#[derive(Debug, Default)]
+pub struct MetricsAccounting {
+    time: Mutex<Duration>,
+    evaluations: AtomicUsize,
+}
+
+impl MetricsAccounting {
+    /// Creates zeroed accounting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one scored image pair's wall-clock time.
+    fn record(&self, elapsed: Duration) {
+        *self.time.lock().expect("metrics accounting poisoned") += elapsed;
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total time spent evaluating quality metrics (sum of per-evaluation
+    /// wall times — serial-equivalent, see the type docs).
+    pub fn time(&self) -> Duration {
+        *self.time.lock().expect("metrics accounting poisoned")
+    }
+
+    /// Number of (ground truth, render) pairs scored.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations.load(Ordering::Relaxed)
     }
 }
 
@@ -147,21 +209,43 @@ impl ObjectGroundTruth {
     /// Measures one configuration: bakes the object, renders the probe views
     /// and compares against the cached ground truth.
     pub fn measure(&self, config: BakeConfig) -> Measurement {
-        let placed = &self.scene.objects()[0];
-        self.score(nerflex_bake::bake_placed(placed, config))
+        self.measure_in(config, None, 1, None)
     }
 
     /// Like [`ObjectGroundTruth::measure`], but the sample bake goes through
     /// the shared [`BakeCache`] — so the final baking stage can later reuse
     /// it, and repeated probes of one configuration are free.
     pub fn measure_cached(&self, config: BakeConfig, cache: &BakeCache) -> Measurement {
+        self.measure_in(config, Some(cache), 1, None)
+    }
+
+    /// The fully wired measurement: optional shared bake cache, the fused
+    /// quality metrics tiled over `metrics_workers` pool threads (`0` = one
+    /// per core; metric values are bit-identical for every count) and
+    /// optional wall-clock accounting of the metrics stage.
+    pub fn measure_in(
+        &self,
+        config: BakeConfig,
+        cache: Option<&BakeCache>,
+        metrics_workers: usize,
+        accounting: Option<&MetricsAccounting>,
+    ) -> Measurement {
         let placed = &self.scene.objects()[0];
-        self.score(cache.get_or_bake_placed(placed, config))
+        let asset = match cache {
+            Some(cache) => cache.get_or_bake_placed(placed, config),
+            None => nerflex_bake::bake_placed(placed, config),
+        };
+        self.score(asset, metrics_workers, accounting)
     }
 
     /// Renders the probe views of a baked asset and scores them against the
-    /// cached ground truth.
-    fn score(&self, asset: BakedAsset) -> Measurement {
+    /// cached ground truth through the fused metrics engine.
+    fn score(
+        &self,
+        asset: BakedAsset,
+        metrics_workers: usize,
+        accounting: Option<&MetricsAccounting>,
+    ) -> Measurement {
         let mut ssim_sum = 0.0;
         for (pose, gt) in self.poses.iter().zip(&self.images) {
             let (img, _) = render_assets(
@@ -171,7 +255,11 @@ impl ObjectGroundTruth {
                 self.resolution,
                 &RenderOptions::default(),
             );
-            ssim_sum += metrics::ssim(gt, &img);
+            let started = Instant::now();
+            ssim_sum += metrics::quality_metrics_parallel(gt, &img, metrics_workers).ssim;
+            if let Some(accounting) = accounting {
+                accounting.record(started.elapsed());
+            }
         }
         Measurement {
             config: asset.config,
@@ -222,24 +310,35 @@ pub fn measure_object_in(
     cache: Option<&BakeCache>,
     ground_truth: Option<&crate::ground_truth::GroundTruthCache>,
 ) -> Vec<Measurement> {
+    measure_object_accounted(model, configs, settings, cache, ground_truth, None)
+}
+
+/// [`measure_object_in`] with optional wall-clock accounting of the fused
+/// quality-metrics stage (the engine passes one [`MetricsAccounting`] per
+/// profiling run and reports its total as `StageTimings::metrics`).
+pub fn measure_object_accounted(
+    model: &ObjectModel,
+    configs: &[BakeConfig],
+    settings: &MeasurementSettings,
+    cache: Option<&BakeCache>,
+    ground_truth: Option<&crate::ground_truth::GroundTruthCache>,
+    accounting: Option<&MetricsAccounting>,
+) -> Vec<Measurement> {
     let ground_truth = match ground_truth {
         Some(shared) => shared.get_or_build(model, settings),
         None => std::sync::Arc::new(ObjectGroundTruth::build(model, settings)),
     };
     // The sample configurations are independent measurements against the
     // shared ground truth: fan them out over the worker pool. Results come
-    // back in config order and every measurement is deterministic, so any
-    // worker count produces bit-identical output (1 = the sequential path).
+    // back in config order and every measurement is deterministic (the
+    // fused metrics are bit-identical for every `metrics_workers` count),
+    // so any worker count produces bit-identical output (1 = sequential).
     let workers = match settings.worker_threads {
         0 => nerflex_bake::pool::default_workers(configs.len()),
         n => n,
     };
     nerflex_bake::pool::parallel_map(configs.len(), workers, |idx| {
-        let config = configs[idx];
-        match cache {
-            Some(cache) => ground_truth.measure_cached(config, cache),
-            None => ground_truth.measure(config),
-        }
+        ground_truth.measure_in(configs[idx], cache, settings.metrics_workers, accounting)
     })
 }
 
@@ -265,7 +364,13 @@ mod tests {
     use nerflex_scene::object::CanonicalObject;
 
     fn quick_settings() -> MeasurementSettings {
-        MeasurementSettings { views: 2, resolution: 56, worker_threads: 1, ground_truth_workers: 1 }
+        MeasurementSettings {
+            views: 2,
+            resolution: 56,
+            worker_threads: 1,
+            ground_truth_workers: 1,
+            metrics_workers: 1,
+        }
     }
 
     #[test]
@@ -306,6 +411,35 @@ mod tests {
         // And the auto setting (one worker per core) agrees too.
         let auto = measure_object(&model, &configs, &quick_settings().with_worker_threads(0));
         assert_eq!(sequential, auto);
+    }
+
+    #[test]
+    fn metrics_worker_count_never_changes_measurements() {
+        // The fused tiled metrics reduction is bit-identical for every
+        // worker count, so measurements — and everything fitted from them —
+        // must not depend on `metrics_workers`.
+        let model = CanonicalObject::Hotdog.build();
+        let configs = vec![BakeConfig::new(10, 3), BakeConfig::new(20, 5)];
+        let sequential =
+            measure_object(&model, &configs, &quick_settings().with_metrics_workers(1));
+        for workers in [2, 4, 7, 0] {
+            let parallel =
+                measure_object(&model, &configs, &quick_settings().with_metrics_workers(workers));
+            assert_eq!(sequential, parallel, "metrics_workers={workers}");
+        }
+    }
+
+    #[test]
+    fn metrics_accounting_records_time_and_evaluations() {
+        let model = CanonicalObject::Hotdog.build();
+        let settings = quick_settings();
+        let accounting = MetricsAccounting::new();
+        let configs = [BakeConfig::new(10, 3), BakeConfig::new(16, 5)];
+        let _ =
+            measure_object_accounted(&model, &configs, &settings, None, None, Some(&accounting));
+        // One metrics evaluation per (config, probe view).
+        assert_eq!(accounting.evaluations(), configs.len() * settings.views);
+        assert!(accounting.time() > std::time::Duration::ZERO);
     }
 
     #[test]

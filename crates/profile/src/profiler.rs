@@ -28,6 +28,7 @@ impl ProfilerOptions {
                 resolution: 56,
                 worker_threads: 1,
                 ground_truth_workers: 1,
+                metrics_workers: 1,
             },
         }
     }
@@ -118,13 +119,29 @@ pub fn build_profile_in(
     cache: Option<&BakeCache>,
     ground_truth: Option<&crate::ground_truth::GroundTruthCache>,
 ) -> ObjectProfile {
+    build_profile_accounted(model, object_id, options, cache, ground_truth, None)
+}
+
+/// [`build_profile_in`] with optional wall-clock accounting of the fused
+/// quality-metrics stage ([`crate::measurement::MetricsAccounting`]); the
+/// pipeline engine passes one per profiling run and reports its total as the
+/// `metrics` stage of its timings.
+pub fn build_profile_accounted(
+    model: &ObjectModel,
+    object_id: usize,
+    options: &ProfilerOptions,
+    cache: Option<&BakeCache>,
+    ground_truth: Option<&crate::ground_truth::GroundTruthCache>,
+    accounting: Option<&crate::measurement::MetricsAccounting>,
+) -> ObjectProfile {
     let configs = sample_configurations(&options.range);
-    let samples = crate::measurement::measure_object_in(
+    let samples = crate::measurement::measure_object_accounted(
         model,
         &configs,
         &options.measurement,
         cache,
         ground_truth,
+        accounting,
     );
     build_profile_from_measurements(model, object_id, samples)
 }

@@ -44,8 +44,9 @@ pub fn compare_against_ground_truth(
     for pose in poses {
         let (ground_truth, _) = nerflex_scene::raymarch::render_view(scene, pose, width, height);
         let (render, _) = render_assets(assets, pose, width, height, options);
-        ssim_sum += metrics::ssim(&ground_truth, &render);
-        psnr_sum += metrics::psnr(&ground_truth, &render).min(99.0);
+        let fused = metrics::quality_metrics(&ground_truth, &render);
+        ssim_sum += fused.ssim;
+        psnr_sum += fused.psnr.min(99.0);
         lpips_sum += lpips_proxy(&ground_truth, &render);
     }
     let n = poses.len() as f64;
@@ -69,8 +70,9 @@ pub fn compare_images(ground_truth: &[Image], rendered: &[Image]) -> QualityRepo
     let mut psnr_sum = 0.0;
     let mut lpips_sum = 0.0;
     for (gt, img) in ground_truth.iter().zip(rendered) {
-        ssim_sum += metrics::ssim(gt, img);
-        psnr_sum += metrics::psnr(gt, img).min(99.0);
+        let fused = metrics::quality_metrics(gt, img);
+        ssim_sum += fused.ssim;
+        psnr_sum += fused.psnr.min(99.0);
         lpips_sum += lpips_proxy(gt, img);
     }
     let n = ground_truth.len() as f64;

@@ -22,11 +22,13 @@
 //!   path.
 //! * **Ray packets** — inside a tile, rows are traced four pixels at a time
 //!   by [`trace_packet`], which runs the sphere-tracing steps, the AABB
-//!   rejection tests and the SDF distance evaluations on
-//!   [`nerflex_math::simd`] lanes. Every lane op is the exact scalar IEEE-754
-//!   op in the same association order (see [`crate::sdf::Sdf::distance_x4`]),
-//!   so a packet lane is bit-identical to the scalar [`trace`] on that ray;
-//!   leftover pixels at the row end fall back to the scalar path.
+//!   rejection tests, the SDF distance evaluations, the hit-normal
+//!   estimation ([`crate::sdf::Sdf::normal_x4`], grouped by hit object) and
+//!   the Lambert shading ([`shade_x4`]) on [`nerflex_math::simd`] lanes.
+//!   Every lane op is the exact scalar IEEE-754 op in the same association
+//!   order (see [`crate::sdf::Sdf::distance_x4`]), so a packet lane is
+//!   bit-identical to the scalar [`trace`] + [`shade`] on that ray; leftover
+//!   pixels at the row end fall back to the scalar path.
 //!
 //! Tests in this module assert both properties exhaustively; any future
 //! change to this file must keep `worker/tile/lane count never changes
@@ -70,6 +72,21 @@ pub fn shade(albedo: Color, normal: Vec3) -> Color {
     albedo.scale(light).clamped()
 }
 
+/// Four-lane Lambert shading: [`shade`] evaluated on packet lanes (the two
+/// light dot products and the diffuse term run on [`F32x4`], the per-lane
+/// albedo scale/clamp on scalars). Lane `i` is **bit-identical** to
+/// `shade(albedos[i], normals.lane(i))` — the dot products use the scalar
+/// association order and IEEE multiplication/addition are commutative
+/// exactly, so packet shading never changes output bits.
+pub fn shade_x4(albedos: [Color; LANES], normals: Vec3x4) -> [Color; LANES] {
+    let key = Vec3::new(0.5, 0.8, 0.3).normalized();
+    let fill = Vec3::new(-0.6, 0.4, -0.5).normalized();
+    let diffuse = normals.dot(Vec3x4::splat(key)).max(F32x4::ZERO) * 0.75
+        + normals.dot(Vec3x4::splat(fill)).max(F32x4::ZERO) * 0.35;
+    let light = diffuse + 0.25;
+    std::array::from_fn(|lane| albedos[lane].scale(light.lane(lane)).clamped())
+}
+
 /// Background colour for a ray direction (vertical gradient).
 pub fn background(direction: Vec3) -> Color {
     let t = 0.5 * (direction.y + 1.0);
@@ -106,9 +123,13 @@ pub fn trace(scene: &Scene, boxes: &[Aabb], ray: &Ray, max_distance: f32) -> Opt
 /// Lanes where `active` is clear are ignored (and report `None`). Each
 /// active lane's result is **bit-identical** to [`trace`] on that ray: the
 /// per-step positions, distances and termination decisions use the exact
-/// scalar operations lane by lane, and hit resolution (normal estimation)
-/// runs on the scalar path. Rays terminate independently; the packet keeps
-/// stepping until every lane has hit, escaped or exhausted its step budget.
+/// scalar operations lane by lane, and hit resolution runs through the
+/// packetised [`Sdf::normal_x4`] — lanes that hit the same object share six
+/// packet distance evaluations instead of paying six scalar evaluations
+/// each, and every lane's normal is bit-identical to the scalar
+/// [`Sdf::normal`] at its hit point. Rays terminate independently; the
+/// packet keeps stepping until every lane has hit, escaped or exhausted its
+/// step budget.
 pub fn trace_packet(
     scene: &Scene,
     boxes: &[Aabb],
@@ -125,7 +146,8 @@ pub fn trace_packet(
         rays[3].direction,
     ]);
     let mut t = F32x4::ZERO;
-    let mut hits = [None; LANES];
+    // (t, hit point, object id) per lane, resolved to normals after the march.
+    let mut pending: [Option<(f32, Vec3, usize)>; LANES] = [None; LANES];
     for _ in 0..MAX_STEPS {
         if !active.any() {
             break;
@@ -138,13 +160,9 @@ pub fn trace_packet(
             }
             let dl = d.lane(lane);
             if dl < HIT_EPS {
-                // Resolve the hit exactly as the scalar path does.
-                hits[lane] = ids[lane].and_then(|id| {
-                    let obj = scene.object(id)?;
-                    let point = p.lane(lane);
-                    let normal = obj.world_sdf().normal(point);
-                    Some(Hit { t: t.lane(lane), point, normal, object_id: id })
-                });
+                if let Some(id) = ids[lane].filter(|&id| scene.object(id).is_some()) {
+                    pending[lane] = Some((t.lane(lane), p.lane(lane), id));
+                }
                 active.0[lane] = false;
             } else {
                 let next = t.lane(lane) + dl.max(HIT_EPS * 0.5);
@@ -153,6 +171,48 @@ pub fn trace_packet(
                     active.0[lane] = false;
                 }
             }
+        }
+    }
+    resolve_packet_hits(scene, pending)
+}
+
+/// Resolves pending packet hits: lanes that hit the same object are grouped
+/// into one [`Sdf::normal_x4`] call (with the group's first point padding
+/// the unused lanes), so a fully coherent packet estimates all four normals
+/// for the cost of six packet distance evaluations — and shares one
+/// [`PlacedObject::world_sdf`](crate::scene::PlacedObject) tree clone. Lane
+/// independence of the packet ops keeps every normal bit-identical to the
+/// scalar path regardless of how lanes are grouped.
+fn resolve_packet_hits(
+    scene: &Scene,
+    pending: [Option<(f32, Vec3, usize)>; LANES],
+) -> [Option<Hit>; LANES] {
+    let mut hits = [None; LANES];
+    let mut resolved = [false; LANES];
+    for lane in 0..LANES {
+        if resolved[lane] {
+            continue;
+        }
+        let Some((_, point, id)) = pending[lane] else { continue };
+        // Gather every later lane that hit the same object.
+        let mut group = [lane; LANES];
+        let mut points = [point; LANES];
+        let mut count = 0;
+        for (other, entry) in pending.iter().enumerate().skip(lane) {
+            if let Some((_, other_point, other_id)) = entry {
+                if !resolved[other] && *other_id == id {
+                    group[count] = other;
+                    points[count] = *other_point;
+                    count += 1;
+                }
+            }
+        }
+        let sdf = scene.object(id).expect("validated during marching").world_sdf();
+        let normals = sdf.normal_x4(Vec3x4::from_lanes(points));
+        for (slot, &member) in group.iter().enumerate().take(count) {
+            let (t, p, _) = pending[member].expect("grouped lanes are pending");
+            hits[member] = Some(Hit { t, point: p, normal: normals.lane(slot), object_id: id });
+            resolved[member] = true;
         }
     }
     hits
@@ -245,10 +305,30 @@ fn render_rows(
             let packet =
                 [rays.ray(x, y), rays.ray(x + 1, y), rays.ray(x + 2, y), rays.ray(x + 3, y)];
             let hits = trace_packet(scene, boxes, &packet, max_distance, Mask4::ALL);
+            // Albedo lookups stay scalar (appearance is data-dependent); the
+            // Lambert term runs on lanes via `shade_x4`. Miss lanes carry a
+            // zero normal/albedo and are replaced by the background below.
+            let mut albedos = [Color::BLACK; LANES];
+            let mut normals = [Vec3::ZERO; LANES];
             for lane in 0..LANES {
-                let (color, id) = shade_pixel(scene, &packet[lane], hits[lane]);
-                colors.push(color);
-                instances.push(id);
+                if let Some(hit) = hits[lane] {
+                    let obj = scene.object(hit.object_id).expect("hit references a valid object");
+                    albedos[lane] = obj.albedo(hit.point, hit.normal);
+                    normals[lane] = hit.normal;
+                }
+            }
+            let shaded = shade_x4(albedos, Vec3x4::from_lanes(normals));
+            for lane in 0..LANES {
+                match hits[lane] {
+                    Some(hit) => {
+                        colors.push(shaded[lane]);
+                        instances.push(Some(hit.object_id));
+                    }
+                    None => {
+                        colors.push(background(packet[lane].direction));
+                        instances.push(None);
+                    }
+                }
             }
             x += LANES;
         }
@@ -487,6 +567,57 @@ mod tests {
             seen.insert(*id);
         }
         assert!(seen.contains(&0) && seen.contains(&1), "both objects visible: {seen:?}");
+    }
+
+    #[test]
+    fn shade_x4_is_bit_identical_to_scalar_shade() {
+        let albedos = [
+            Color::new(0.8, 0.2, 0.1),
+            Color::gray(0.5),
+            Color::new(0.05, 0.9, 0.4),
+            Color::new(1.0, 1.0, 0.0),
+        ];
+        let normals = [
+            Vec3::new(0.5, 0.8, 0.3).normalized(),
+            Vec3::new(-0.6, 0.4, -0.5).normalized(),
+            Vec3::new(0.0, -1.0, 0.0),
+            Vec3::ZERO, // degenerate (miss-lane padding) must not poison others
+        ];
+        let packed = shade_x4(albedos, Vec3x4::from_lanes(normals));
+        for lane in 0..LANES {
+            let scalar = shade(albedos[lane], normals[lane]);
+            assert_eq!(packed[lane].r.to_bits(), scalar.r.to_bits(), "lane {lane}");
+            assert_eq!(packed[lane].g.to_bits(), scalar.g.to_bits(), "lane {lane}");
+            assert_eq!(packed[lane].b.to_bits(), scalar.b.to_bits(), "lane {lane}");
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_shade_x4_matches_scalar_shade(
+            nx in -1f32..1.0, ny in -1f32..1.0, nz in -1f32..1.0,
+            r in 0f32..1.0, g in 0f32..1.0, b in 0f32..1.0,
+        ) {
+            let albedos = [
+                Color::new(r, g, b),
+                Color::new(g, b, r),
+                Color::gray(r),
+                Color::new(1.0 - r, 1.0 - g, 1.0 - b),
+            ];
+            let normals = [
+                Vec3::new(nx, ny, nz).normalized(),
+                Vec3::new(-nx, nz, ny).normalized(),
+                Vec3::new(ny, -nz, nx).normalized(),
+                Vec3::ZERO,
+            ];
+            let packed = shade_x4(albedos, Vec3x4::from_lanes(normals));
+            for lane in 0..LANES {
+                let scalar = shade(albedos[lane], normals[lane]);
+                proptest::prop_assert_eq!(packed[lane].r.to_bits(), scalar.r.to_bits());
+                proptest::prop_assert_eq!(packed[lane].g.to_bits(), scalar.g.to_bits());
+                proptest::prop_assert_eq!(packed[lane].b.to_bits(), scalar.b.to_bits());
+            }
+        }
     }
 
     #[test]

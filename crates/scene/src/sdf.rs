@@ -268,9 +268,12 @@ impl Sdf {
         }
     }
 
+    /// Finite-difference step of [`Sdf::normal`] / [`Sdf::normal_x4`].
+    const NORMAL_EPS: f32 = 1e-3;
+
     /// Surface normal estimated by central finite differences.
     pub fn normal(&self, p: Vec3) -> Vec3 {
-        const EPS: f32 = 1e-3;
+        const EPS: f32 = Sdf::NORMAL_EPS;
         let dx = self.distance(p + Vec3::new(EPS, 0.0, 0.0))
             - self.distance(p - Vec3::new(EPS, 0.0, 0.0));
         let dy = self.distance(p + Vec3::new(0.0, EPS, 0.0))
@@ -278,6 +281,26 @@ impl Sdf {
         let dz = self.distance(p + Vec3::new(0.0, 0.0, EPS))
             - self.distance(p - Vec3::new(0.0, 0.0, EPS));
         Vec3::new(dx, dy, dz).normalized()
+    }
+
+    /// Four-lane surface normal: six packet distance evaluations instead of
+    /// twenty-four scalar ones.
+    ///
+    /// Mirrors [`Sdf::normal`] operation for operation — the six offset
+    /// probes go through [`Sdf::distance_x4`] (per-lane exact) and the final
+    /// normalisation through [`Vec3x4::normalized`] — so each lane is
+    /// **bit-identical** to `self.normal(p.lane(i))`. The packet ray
+    /// marcher's hit resolution relies on this to keep packet renders
+    /// bit-identical to scalar ones for any lane grouping.
+    pub fn normal_x4(&self, p: Vec3x4) -> Vec3x4 {
+        const EPS: f32 = Sdf::NORMAL_EPS;
+        let probe = |offset: Vec3| {
+            self.distance_x4(p + Vec3x4::splat(offset)) - self.distance_x4(p - offset)
+        };
+        let dx = probe(Vec3::new(EPS, 0.0, 0.0));
+        let dy = probe(Vec3::new(0.0, EPS, 0.0));
+        let dz = probe(Vec3::new(0.0, 0.0, EPS));
+        Vec3x4::new(dx, dy, dz).normalized()
     }
 
     /// `true` when the point is inside (or on) the surface.
@@ -551,6 +574,30 @@ mod tests {
             let packed = shape.distance_x4(Vec3x4::from_lanes(lanes));
             for (lane, &p) in lanes.iter().enumerate() {
                 prop_assert_eq!(packed.lane(lane).to_bits(), shape.distance(p).to_bits());
+            }
+        }
+
+        #[test]
+        fn prop_normal_x4_matches_scalar(
+            ax in -2f32..2.0, ay in -2f32..2.0, az in -2f32..2.0,
+            bx in -2f32..2.0, by in -2f32..2.0, bz in -2f32..2.0,
+        ) {
+            // Packetised normal estimation is bit-identical to the scalar
+            // finite-difference path on every lane — the contract that lets
+            // the packet ray marcher resolve hits in groups.
+            let shape = all_nodes_shape();
+            let lanes = [
+                Vec3::new(ax, ay, az),
+                Vec3::new(bx, by, bz),
+                Vec3::new(bz, ax, -by),
+                Vec3::new(-ay, bx, az),
+            ];
+            let packed = shape.normal_x4(Vec3x4::from_lanes(lanes));
+            for (lane, &p) in lanes.iter().enumerate() {
+                let scalar = shape.normal(p);
+                prop_assert_eq!(packed.lane(lane).x.to_bits(), scalar.x.to_bits());
+                prop_assert_eq!(packed.lane(lane).y.to_bits(), scalar.y.to_bits());
+                prop_assert_eq!(packed.lane(lane).z.to_bits(), scalar.z.to_bits());
             }
         }
 

@@ -26,6 +26,7 @@ fn main() {
             resolution: 72,
             worker_threads: 0,
             ground_truth_workers: 0,
+            metrics_workers: 0,
         },
     };
 
