@@ -1,4 +1,5 @@
-//! Content-addressed cache of baked assets.
+//! Content-addressed cache of baked assets — a thin typed wrapper over the
+//! generic [`crate::store::KeyedStore`].
 //!
 //! The cloud-side pipeline bakes the same (object, configuration) pair in two
 //! places: the profiler measures a handful of sample configurations per
@@ -19,66 +20,36 @@
 //! The cache is [`Sync`]; the parallel profiling and baking stages share one
 //! instance across worker threads.
 //!
-//! # On-disk persistence
+//! # Persistence
 //!
-//! Content fingerprints are stable across runs and platforms, so a cache
-//! opened with [`BakeCache::open`] outlives the process: [`BakeCache::flush`]
-//! writes every entry baked since the last flush to the directory, and the
-//! next `open` — in this process or another — starts warm. Repeated bench
-//! invocations, CI runs and fleet re-deployments then re-bake nothing whose
-//! (fingerprint, configuration) pair is already on disk.
-//!
-//! ## Layout
-//!
-//! One file per entry, named `{fingerprint:016x}-g{g}-p{p}.nfbake`, each
-//! fully self-contained (see [`crate::disk`] for the byte-level format):
-//!
-//! ```text
-//! <dir>/
-//!   2f1c66aa01945f10-g30-p6.nfbake     magic | version | key | payload | checksum
-//!   9bd05c771e22ab43-g40-p9.nfbake
-//!   ...
-//! ```
-//!
-//! The file name encodes the full cache key, so [`BakeCache::open`] only
-//! **indexes** the directory — an entry file is read and decoded on its
-//! first lookup. Opening a large accumulated store is O(directory listing)
-//! in time and RAM, not O(store size), and a run that touches three entries
-//! decodes exactly three files.
-//!
-//! Per-entry files keep loading corruption-tolerant (a damaged file costs
-//! exactly one entry) and make flushes atomic per entry: each file is
-//! written to a process-unique temporary name and renamed into place, so a
-//! concurrent reader sees either the old state or the complete new entry,
-//! never a torn write. [`BakeCache::flush`] snapshots the dirty entries and
-//! writes the files **outside the entry lock**, so concurrent bakes proceed
-//! during large flushes.
-//!
-//! ## Versioning policy
-//!
-//! Entries embed [`crate::disk::CACHE_FORMAT_VERSION`]. Any layout change
-//! bumps the version; readers *reject* foreign versions rather than migrate
-//! (a cache can always be rebuilt, so migration machinery would buy
-//! nothing). Damaged, truncated or foreign-version files are skipped on
-//! load — never a panic — and simply get re-baked and overwritten on the
-//! next flush. CI keys its persisted cache on the same version constant, so
-//! a format bump naturally starts CI from a cold cache.
+//! This module contributes exactly two things: the content fingerprint
+//! ([`model_fingerprint`]) and the entry codec (file naming + byte framing,
+//! implemented by [`crate::disk`]). Everything else — the lazy filename
+//! index, the snapshot-outside-lock flush, temporary sweeping,
+//! [`crate::StoreLimits`] pruning, corruption tolerance, read-only mode and
+//! the choice of storage backend (one directory, or a local layer over a
+//! shared remote for cross-machine reuse) — is the shared [`KeyedStore`]
+//! machinery, configured through [`crate::StoreOptions`]. `docs/stores.md`
+//! documents the store API; the on-disk layout is unchanged from the
+//! pre-`KeyedStore` cache (`{fingerprint:016x}-g{g}-p{p}.nfbake`, format
+//! version [`crate::disk::CACHE_FORMAT_VERSION`]), so existing stores and
+//! CI cache keys keep working.
 //!
 //! [`CacheStats`] distinguishes where a hit's entry came from: `hits` counts
 //! lookups answered by an entry baked in this process, `disk_hits` lookups
-//! answered by an entry loaded from disk — the cross-process reuse signal.
+//! answered by an entry loaded from the persistent layer — the cross-process
+//! reuse signal.
 
 use crate::asset::{bake_object, BakedAsset, Placement};
 use crate::config::BakeConfig;
 use crate::disk;
+use crate::store::{EntryCodec, KeyedStore, StoreOptions};
 use nerflex_math::Vec3;
 use nerflex_scene::object::ObjectModel;
 use nerflex_scene::scene::PlacedObject;
-use std::collections::HashMap;
 use std::io;
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::path::Path;
+use std::sync::Arc;
 
 /// 64-bit FNV-1a, the classic dependency-free stable hash.
 #[derive(Debug, Clone, Copy)]
@@ -214,6 +185,37 @@ impl std::fmt::Display for CacheStats {
     }
 }
 
+/// The bake store's [`EntryCodec`]: `{fingerprint:016x}-g{g}-p{p}.nfbake`
+/// file names and the [`crate::disk`] framing. This is the *entire*
+/// store-specific surface of the bake cache's persistence.
+#[derive(Debug)]
+pub struct BakeEntryCodec;
+
+impl EntryCodec for BakeEntryCodec {
+    type Key = (u64, BakeConfig);
+    type Value = BakedAsset;
+    type Context<'a> = ();
+    const EXTENSION: &'static str = disk::ENTRY_EXTENSION;
+
+    fn file_name(key: &Self::Key) -> String {
+        disk::entry_file_name(key.0, key.1)
+    }
+
+    fn parse_file_name(name: &str) -> Option<Self::Key> {
+        disk::parse_entry_file_name(name)
+    }
+
+    fn encode(key: &Self::Key, asset: &BakedAsset) -> Vec<u8> {
+        disk::encode_entry(key.0, asset)
+    }
+
+    fn decode(key: &Self::Key, bytes: &[u8], (): ()) -> Option<Arc<BakedAsset>> {
+        // The embedded key must echo the file name the entry was indexed by.
+        let (fingerprint, config, asset) = disk::decode_entry(bytes).ok()?;
+        ((fingerprint, config) == *key).then_some(asset)
+    }
+}
+
 /// A thread-safe, content-addressed store of local-frame baked assets.
 ///
 /// ```
@@ -230,30 +232,7 @@ impl std::fmt::Display for CacheStats {
 /// ```
 #[derive(Debug, Default)]
 pub struct BakeCache {
-    entries: Mutex<HashMap<(u64, BakeConfig), StoredEntry>>,
-    hits: AtomicUsize,
-    disk_hits: AtomicUsize,
-    misses: AtomicUsize,
-    /// Backing directory for [`BakeCache::flush`]; `None` for in-memory caches.
-    dir: Option<PathBuf>,
-    /// Entries indexed from `dir` when the cache was opened.
-    loaded: usize,
-}
-
-/// One cached asset plus its persistence bookkeeping.
-#[derive(Debug)]
-enum StoredEntry {
-    /// Decoded and ready.
-    Memory {
-        asset: Arc<BakedAsset>,
-        /// The entry came off disk (hits on it are cross-process reuse).
-        from_disk: bool,
-        /// Not yet on disk; written by the next flush.
-        dirty: bool,
-    },
-    /// Indexed from the store directory by its file name; read and decoded
-    /// on first lookup.
-    OnDisk(PathBuf),
+    store: KeyedStore<BakeEntryCodec>,
 }
 
 impl BakeCache {
@@ -263,11 +242,27 @@ impl BakeCache {
         Self::default()
     }
 
-    /// Opens a persistent cache backed by `dir`, creating the directory when
-    /// missing and **indexing** the entry files already present by their
-    /// key-encoding file names — an entry is read and decoded on its first
-    /// lookup, so opening a large accumulated store costs a directory
-    /// listing, not a full decode of every entry.
+    /// Opens a cache as the [`StoreOptions`] direct — a plain path (or
+    /// anything convertible) opens the classic single-directory store:
+    ///
+    /// ```no_run
+    /// use nerflex_bake::{BakeCache, StoreLimits, StoreOptions};
+    ///
+    /// // The classic layout: one directory.
+    /// let cache = BakeCache::open("/tmp/bake-store")?;
+    /// // Bounded, shared across machines through a remote directory.
+    /// let cache = BakeCache::open(
+    ///     StoreOptions::shared("/tmp/local-layer", "/mnt/farm/bake-store")
+    ///         .with_limits(StoreLimits::default().with_max_bytes(1 << 30)),
+    /// )?;
+    /// # std::io::Result::Ok(())
+    /// ```
+    ///
+    /// Opening sweeps orphaned temporaries and applies the retention limits
+    /// (both skipped in read-only mode), then **indexes** the entry files by
+    /// their key-encoding names — an entry is read and decoded on its first
+    /// lookup, so opening a large accumulated store costs a listing, not a
+    /// full decode of every entry.
     ///
     /// Lookups stay corruption-tolerant: a truncated, bit-flipped, foreign-
     /// version or key-mismatched file is discovered at first lookup and
@@ -276,127 +271,45 @@ impl BakeCache {
     ///
     /// # Errors
     ///
-    /// Returns the underlying error when the directory cannot be created or
-    /// read.
-    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
-        Self::open_with_limits(dir, &disk::StoreLimits::default())
+    /// Returns the underlying error when the backing store cannot be
+    /// created or listed.
+    pub fn open(options: impl Into<StoreOptions>) -> io::Result<Self> {
+        Ok(Self { store: KeyedStore::open(options)? })
     }
 
-    /// [`BakeCache::open`] with retention limits: before indexing, the
-    /// directory is swept by [`disk::prune_store`] — entries older than
-    /// `limits.max_age` go first, then the oldest survivors until the store
-    /// fits `limits.max_bytes`. Pruned entries simply re-bake on their next
-    /// miss, so the sweep bounds an otherwise monotonically growing store
-    /// (CI caches, long-lived developer machines) at the cost of re-baking
-    /// evicted configurations.
-    ///
-    /// # Errors
-    ///
-    /// Returns the underlying error when the directory cannot be created or
-    /// read (per-file prune failures are skipped, never an error).
-    pub fn open_with_limits(dir: impl AsRef<Path>, limits: &disk::StoreLimits) -> io::Result<Self> {
-        let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)?;
-        disk::prune_store(&dir, disk::ENTRY_EXTENSION, limits)?;
-        let mut entries = HashMap::new();
-        for file in std::fs::read_dir(&dir)? {
-            let path = file?.path();
-            // Sweep temporaries orphaned by a crash between write and rename
-            // (possibly another process's — entry content is deterministic,
-            // so a live writer's rename losing to this unlink only costs a
-            // re-flush next run).
-            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if name.contains(&format!(".{}.tmp-", disk::ENTRY_EXTENSION)) {
-                let _ = std::fs::remove_file(&path);
-                continue;
-            }
-            if let Some(key) = disk::parse_entry_file_name(name) {
-                entries.insert(key, StoredEntry::OnDisk(path));
-            }
-        }
-        let loaded = entries.len();
-        Ok(Self { entries: Mutex::new(entries), dir: Some(dir), loaded, ..Self::default() })
-    }
-
-    /// The backing directory of a persistent cache (`None` when in-memory).
+    /// The primary local directory of a persistent cache (`None` when
+    /// in-memory).
     pub fn dir(&self) -> Option<&Path> {
-        self.dir.as_deref()
+        self.store.options().primary_dir()
     }
 
-    /// Writes every entry baked since the last flush to the backing
-    /// directory, returning how many files were written (0 for in-memory
-    /// caches). The dirty entries are snapshotted first and the files
-    /// written **outside the entry lock** — bakes and lookups proceed
-    /// concurrently during large flushes. Each entry is written to a
-    /// process-unique temporary file and renamed into place, so concurrent
-    /// readers never observe a torn entry.
+    /// The store options this cache was opened with.
+    pub fn store_options(&self) -> &StoreOptions {
+        self.store.options()
+    }
+
+    /// Writes every entry baked since the last flush to the backing store,
+    /// returning how many entries were written (0 for in-memory or
+    /// read-only caches). See [`KeyedStore::flush`] for the concurrency and
+    /// atomicity guarantees.
     ///
     /// # Errors
     ///
     /// Returns the first I/O error encountered; entries flushed before the
     /// failure stay flushed and are not re-written next time.
     pub fn flush(&self) -> io::Result<usize> {
-        let Some(dir) = &self.dir else { return Ok(0) };
-        // Snapshot the dirty entries (an Arc clone each) under the lock…
-        let dirty: Vec<((u64, BakeConfig), Arc<BakedAsset>)> = {
-            let entries = self.entries.lock().expect("cache poisoned");
-            entries
-                .iter()
-                .filter_map(|(&key, entry)| match entry {
-                    StoredEntry::Memory { asset, dirty: true, .. } => {
-                        Some((key, Arc::clone(asset)))
-                    }
-                    _ => None,
-                })
-                .collect()
-        };
-        // …then write without it. Entries are immutable once baked, so the
-        // snapshot cannot go stale.
-        // Writers are no longer serialized by the entry lock, so the
-        // temporary name must be unique per flush call, not just per
-        // process — concurrent flushes of one entry must never share a tmp.
-        static TMP_SEQ: AtomicUsize = AtomicUsize::new(0);
-        let mut written = Vec::with_capacity(dirty.len());
-        let mut failure = None;
-        for ((fingerprint, config), asset) in dirty {
-            let bytes = disk::encode_entry(fingerprint, &asset);
-            let name = disk::entry_file_name(fingerprint, config);
-            let path = dir.join(&name);
-            let tmp = dir.join(format!(
-                "{name}.tmp-{}-{}",
-                std::process::id(),
-                TMP_SEQ.fetch_add(1, Ordering::Relaxed)
-            ));
-            let result = std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, &path));
-            match result {
-                Ok(()) => written.push((fingerprint, config)),
-                Err(err) => {
-                    let _ = std::fs::remove_file(&tmp);
-                    failure = Some(err);
-                    break;
-                }
-            }
-        }
-        let mut entries = self.entries.lock().expect("cache poisoned");
-        for key in &written {
-            if let Some(StoredEntry::Memory { dirty, .. }) = entries.get_mut(key) {
-                *dirty = false;
-            }
-        }
-        match failure {
-            Some(err) => Err(err),
-            None => Ok(written.len()),
-        }
+        self.store.flush()
     }
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
+        let stats = self.store.stats();
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            disk_hits: self.disk_hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self.entries.lock().expect("cache poisoned").len(),
-            loaded_from_disk: self.loaded,
+            hits: stats.hits,
+            disk_hits: stats.disk_hits,
+            misses: stats.misses,
+            entries: stats.entries,
+            loaded_from_disk: stats.indexed,
         }
     }
 
@@ -404,8 +317,7 @@ impl BakeCache {
     /// disk. For a not-yet-decoded disk entry this is optimistic: a damaged
     /// file is only discovered (and transparently re-baked) at lookup.
     pub fn contains(&self, model: &ObjectModel, config: BakeConfig) -> bool {
-        let key = (model_fingerprint(model), config);
-        self.entries.lock().expect("cache poisoned").contains_key(&key)
+        self.store.contains(&(model_fingerprint(model), config))
     }
 
     /// Returns the local-frame asset for `(model, config)`, baking and
@@ -419,67 +331,7 @@ impl BakeCache {
     /// copy is kept.
     pub fn get_or_bake(&self, model: &ObjectModel, config: BakeConfig) -> Arc<BakedAsset> {
         let key = (model_fingerprint(model), config);
-        let pending_path = {
-            let entries = self.entries.lock().expect("cache poisoned");
-            match entries.get(&key) {
-                Some(StoredEntry::Memory { asset, from_disk, .. }) => {
-                    let counter = if *from_disk { &self.disk_hits } else { &self.hits };
-                    counter.fetch_add(1, Ordering::Relaxed);
-                    return Arc::clone(asset);
-                }
-                Some(StoredEntry::OnDisk(path)) => Some(path.clone()),
-                None => None,
-            }
-        };
-
-        if let Some(path) = pending_path {
-            let decoded = std::fs::read(&path)
-                .ok()
-                .and_then(|bytes| disk::decode_entry(&bytes).ok())
-                // The embedded key must echo the file name it was indexed by.
-                .filter(|&(fingerprint, config, _)| (fingerprint, config) == key)
-                .map(|(_, _, asset)| asset);
-            if let Some(asset) = decoded {
-                self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                let mut entries = self.entries.lock().expect("cache poisoned");
-                return match entries.get(&key) {
-                    // A concurrent lookup decoded (or re-baked) it first;
-                    // the content is identical either way.
-                    Some(StoredEntry::Memory { asset, .. }) => Arc::clone(asset),
-                    _ => {
-                        entries.insert(
-                            key,
-                            StoredEntry::Memory {
-                                asset: Arc::clone(&asset),
-                                from_disk: true,
-                                dirty: false,
-                            },
-                        );
-                        asset
-                    }
-                };
-            }
-            // Damaged or key-mismatched file: fall through to a re-bake
-            // (the next flush overwrites it).
-        }
-
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let asset = Arc::new(bake_object(model, config));
-        let mut entries = self.entries.lock().expect("cache poisoned");
-        match entries.get(&key) {
-            Some(StoredEntry::Memory { asset, .. }) => Arc::clone(asset),
-            _ => {
-                entries.insert(
-                    key,
-                    StoredEntry::Memory {
-                        asset: Arc::clone(&asset),
-                        from_disk: false,
-                        dirty: true,
-                    },
-                );
-                asset
-            }
-        }
+        self.store.get_or_build(key, (), || bake_object(model, config))
     }
 
     /// Cache-aware replacement for [`crate::asset::bake_placed`]: the
@@ -503,8 +355,10 @@ impl BakeCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::StoreLimits;
     use nerflex_scene::object::CanonicalObject;
     use nerflex_scene::scene::Scene;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn fingerprint_is_stable_across_identical_objects() {
@@ -731,7 +585,7 @@ mod tests {
     }
 
     #[test]
-    fn open_with_limits_prunes_and_rebakes_evicted_entries() {
+    fn limits_prune_and_evicted_entries_rebake() {
         let tmp = TempDir::new("limits");
         let model = CanonicalObject::Hotdog.build();
         let config = BakeConfig::new(10, 3);
@@ -740,8 +594,9 @@ mod tests {
         cache.flush().expect("flush");
 
         // A zero age budget sweeps every persisted entry on the next open…
-        let limits = crate::disk::StoreLimits::default().with_max_age(std::time::Duration::ZERO);
-        let pruned = BakeCache::open_with_limits(&tmp.0, &limits).expect("open with limits");
+        let options = StoreOptions::dir(&tmp.0)
+            .with_limits(StoreLimits::default().with_max_age(std::time::Duration::ZERO));
+        let pruned = BakeCache::open(options).expect("open with limits");
         assert_eq!(pruned.stats().loaded_from_disk, 0, "expired entry must not index");
         // …and the evicted entry simply re-bakes (a miss, not an error).
         let _ = pruned.get_or_bake(&model, config);
@@ -749,9 +604,32 @@ mod tests {
         pruned.flush().expect("repair flush");
 
         // Unbounded limits leave the repaired store intact.
-        let reopened = BakeCache::open_with_limits(&tmp.0, &crate::disk::StoreLimits::default())
-            .expect("reopen");
+        let reopened = BakeCache::open(&tmp.0).expect("reopen");
         assert_eq!(reopened.stats().loaded_from_disk, 1);
+    }
+
+    #[test]
+    fn read_only_caches_serve_hits_but_never_write() {
+        let tmp = TempDir::new("read-only");
+        let hotdog = CanonicalObject::Hotdog.build();
+        let chair = CanonicalObject::Chair.build();
+        let config = BakeConfig::new(10, 3);
+        let writer = BakeCache::open(&tmp.0).expect("open");
+        let _ = writer.get_or_bake(&hotdog, config);
+        writer.flush().expect("flush");
+        let files_before = std::fs::read_dir(&tmp.0).expect("read dir").count();
+
+        let reader = BakeCache::open(StoreOptions::dir(&tmp.0).read_only(true)).expect("open");
+        let _ = reader.get_or_bake(&hotdog, config); // disk hit
+        let _ = reader.get_or_bake(&chair, config); // miss, stays in memory
+        let stats = reader.stats();
+        assert_eq!((stats.disk_hits, stats.misses), (1, 1));
+        assert_eq!(reader.flush().expect("read-only flush"), 0);
+        assert_eq!(
+            std::fs::read_dir(&tmp.0).expect("read dir").count(),
+            files_before,
+            "a read-only cache must not change the store"
+        );
     }
 
     #[test]
@@ -774,5 +652,31 @@ mod tests {
         assert_eq!(cached.mesh.quad_count(), direct.mesh.quad_count());
         assert_eq!(cached.placement.translation, direct.placement.translation);
         assert_eq!(cached.object_id, direct.object_id);
+    }
+
+    #[test]
+    fn shared_store_serves_a_cold_local_dir_from_the_remote() {
+        // Machine A bakes against (local A, remote R); machine B — a cold
+        // local dir sharing R — must re-bake nothing and load identical
+        // bytes. This is the fleet-scale scenario the backend seam exists
+        // for (ISSUE 5 acceptance criterion).
+        let local_a = TempDir::new("shared-a");
+        let local_b = TempDir::new("shared-b");
+        let remote = TempDir::new("shared-remote");
+        let model = CanonicalObject::Lego.build();
+        let config = BakeConfig::new(12, 3);
+
+        let a = BakeCache::open(StoreOptions::shared(&local_a.0, &remote.0)).expect("open A");
+        let baked = a.get_or_bake(&model, config);
+        a.flush().expect("flush A");
+
+        let b = BakeCache::open(StoreOptions::shared(&local_b.0, &remote.0)).expect("open B");
+        assert_eq!(b.stats().loaded_from_disk, 1, "cold local layer indexes the remote");
+        let loaded = b.get_or_bake(&model, config);
+        let stats = b.stats();
+        assert_eq!((stats.disk_hits, stats.misses), (1, 0), "warm remote → zero misses");
+        assert_eq!(*baked.mesh, *loaded.mesh);
+        assert_eq!(*baked.atlas, *loaded.atlas);
+        assert_eq!(baked.mlp, loaded.mlp);
     }
 }

@@ -2,9 +2,10 @@
 //!
 //! The vendored `serde` shim is a capability marker with no wire format, so
 //! persistence is a small hand-rolled codec: explicit little-endian fields,
-//! a magic number, a format version, and a trailing checksum. The layout is
-//! documented in [`crate::cache`] (the module that owns the policy); this
-//! module owns the mechanism.
+//! a magic number, a format version, and a trailing checksum. This module is
+//! **pure codec** — the bake store's [`crate::store::EntryCodec`] half. The
+//! store policy (lazy index, flush, pruning) lives in [`crate::store`]; the
+//! storage mechanism lives in [`crate::backend`].
 //!
 //! Every entry file is self-contained and self-validating:
 //!
@@ -400,133 +401,36 @@ pub fn parse_entry_file_name(name: &str) -> Option<(u64, BakeConfig)> {
     Some((fingerprint, BakeConfig::new(grid, patch)))
 }
 
-/// Retention limits of an on-disk entry store. The default is unbounded —
-/// the pre-existing behaviour. Both stores ([`crate::BakeCache`] and the
-/// ground-truth store in `nerflex-profile`) apply the limits on `open`, so a
-/// CI or developer store stops growing monotonically.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct StoreLimits {
-    /// Total entry-file budget in bytes; the oldest entries (by modification
-    /// time, then file name for determinism) are removed until the store
-    /// fits. `None` = unbounded.
-    pub max_bytes: Option<u64>,
-    /// Entries whose modification time is older than this are removed
-    /// regardless of the size budget. `None` = no age sweep.
-    pub max_age: Option<std::time::Duration>,
+/// The canonical byte representation of one *placed* asset: its entry
+/// encoding (keyed by instance id) followed by the placement bit patterns.
+/// This is the single definition of "byte-identical deployment output" —
+/// the fig9 `deployment_fingerprint` and the shared-store integration tests
+/// both build on it, so the two checks can never drift apart.
+pub fn placed_asset_bytes(asset: &BakedAsset) -> Vec<u8> {
+    let mut bytes = encode_entry(asset.object_id as u64, asset);
+    for v in [
+        asset.placement.translation.x,
+        asset.placement.translation.y,
+        asset.placement.translation.z,
+        asset.placement.scale,
+        asset.placement.rotation_y,
+    ] {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    bytes
 }
 
-impl StoreLimits {
-    /// `true` when no limit is configured (pruning is a no-op).
-    pub fn is_unbounded(&self) -> bool {
-        self.max_bytes.is_none() && self.max_age.is_none()
-    }
-
-    /// Returns the limits with the given size budget in bytes.
-    pub fn with_max_bytes(mut self, bytes: u64) -> Self {
-        self.max_bytes = Some(bytes);
-        self
-    }
-
-    /// Returns the limits with the given maximum entry age.
-    pub fn with_max_age(mut self, age: std::time::Duration) -> Self {
-        self.max_age = Some(age);
-        self
-    }
-}
-
-/// What a [`prune_store`] sweep did.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct PruneReport {
-    /// Entry files removed.
-    pub removed_files: usize,
-    /// Bytes those files occupied.
-    pub removed_bytes: u64,
-    /// Entry bytes remaining after the sweep.
-    pub retained_bytes: u64,
-}
-
-/// Applies a size-budget + age sweep to an entry-store directory: files with
-/// the given extension that are older than `limits.max_age` are removed,
-/// then — oldest first (modification time, file name as the deterministic
-/// tie-break) — more are removed until the survivors fit in
-/// `limits.max_bytes`. Entries are a cache, so a pruned entry only costs a
-/// re-bake/re-render; per-file failures (a concurrent writer, a vanished
-/// file) are skipped, never an error.
-///
-/// Foreign files and in-flight `.tmp-` temporaries are left untouched.
-///
-/// # Errors
-///
-/// Returns the underlying error when the directory itself cannot be read
-/// (a missing directory prunes nothing and is not an error).
-pub fn prune_store(
-    dir: &std::path::Path,
-    extension: &str,
-    limits: &StoreLimits,
-) -> std::io::Result<PruneReport> {
-    let mut report = PruneReport::default();
-    if limits.is_unbounded() {
-        return Ok(report);
-    }
-    let listing = match std::fs::read_dir(dir) {
-        Ok(listing) => listing,
-        Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(report),
-        Err(err) => return Err(err),
-    };
-    let suffix = format!(".{extension}");
-    let now = std::time::SystemTime::now();
-    // (modified, name, path, size) of every entry file we could stat.
-    let mut entries = Vec::new();
-    for file in listing {
-        let Ok(file) = file else { continue };
-        let path = file.path();
-        let name = match path.file_name().and_then(|n| n.to_str()) {
-            Some(name) if name.ends_with(&suffix) && !name.contains(".tmp-") => name.to_string(),
-            _ => continue,
-        };
-        let Ok(meta) = file.metadata() else { continue };
-        if !meta.is_file() {
-            continue;
+/// FNV-1a over every asset's [`placed_asset_bytes`]: a stable byte-level
+/// fingerprint of a whole deployment.
+pub fn deployment_fingerprint(assets: &[BakedAsset]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for asset in assets {
+        for &b in &placed_asset_bytes(asset) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        let modified = meta.modified().unwrap_or(now);
-        entries.push((modified, name, path, meta.len()));
     }
-
-    let remove = |path: &std::path::Path, size: u64, report: &mut PruneReport| {
-        if std::fs::remove_file(path).is_ok() {
-            report.removed_files += 1;
-            report.removed_bytes += size;
-            true
-        } else {
-            false
-        }
-    };
-
-    // Age sweep first.
-    if let Some(max_age) = limits.max_age {
-        entries.retain(|(modified, _, path, size)| {
-            let expired = now.duration_since(*modified).is_ok_and(|age| age > max_age);
-            !(expired && remove(path, *size, &mut report))
-        });
-    }
-
-    // Then the size budget, dropping the oldest survivors first.
-    if let Some(max_bytes) = limits.max_bytes {
-        let mut total: u64 = entries.iter().map(|(_, _, _, size)| size).sum();
-        entries.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
-        for (_, _, path, size) in &entries {
-            if total <= max_bytes {
-                break;
-            }
-            if remove(path, *size, &mut report) {
-                total -= size;
-            }
-        }
-        report.retained_bytes = total;
-    } else {
-        report.retained_bytes = entries.iter().map(|(_, _, _, size)| size).sum();
-    }
-    Ok(report)
+    h
 }
 
 #[cfg(test)]
@@ -652,85 +556,5 @@ mod tests {
         // Zero knobs must be ignored, not panic via BakeConfig::new.
         assert_eq!(parse_entry_file_name("0123-g0-p3.nfbake"), None);
         assert_eq!(parse_entry_file_name("0123-g10-p0.nfbake"), None);
-    }
-
-    /// A unique, self-cleaning temporary directory for prune tests.
-    struct TempDir(std::path::PathBuf);
-
-    impl TempDir {
-        fn new(tag: &str) -> Self {
-            use std::sync::atomic::{AtomicUsize, Ordering};
-            static COUNTER: AtomicUsize = AtomicUsize::new(0);
-            let dir = std::env::temp_dir().join(format!(
-                "nerflex-prune-test-{tag}-{}-{}",
-                std::process::id(),
-                COUNTER.fetch_add(1, Ordering::Relaxed)
-            ));
-            std::fs::create_dir_all(&dir).expect("create temp dir");
-            Self(dir)
-        }
-    }
-
-    impl Drop for TempDir {
-        fn drop(&mut self) {
-            let _ = std::fs::remove_dir_all(&self.0);
-        }
-    }
-
-    #[test]
-    fn unbounded_limits_prune_nothing() {
-        let tmp = TempDir::new("noop");
-        std::fs::write(tmp.0.join("aa-g10-p3.nfbake"), vec![0u8; 100]).expect("write");
-        let report = prune_store(&tmp.0, ENTRY_EXTENSION, &StoreLimits::default()).expect("prune");
-        assert_eq!(report, PruneReport::default());
-        assert!(tmp.0.join("aa-g10-p3.nfbake").exists());
-        assert!(StoreLimits::default().is_unbounded());
-    }
-
-    #[test]
-    fn age_sweep_removes_expired_entries_only() {
-        let tmp = TempDir::new("age");
-        std::fs::write(tmp.0.join("aa-g10-p3.nfbake"), vec![0u8; 64]).expect("write");
-        std::fs::write(tmp.0.join("keep.txt"), b"foreign file").expect("write");
-        std::fs::write(tmp.0.join("bb-g10-p3.nfbake.tmp-1-2"), b"in flight").expect("write");
-        // Zero max-age expires everything written before the sweep.
-        let limits = StoreLimits::default().with_max_age(std::time::Duration::ZERO);
-        let report = prune_store(&tmp.0, ENTRY_EXTENSION, &limits).expect("prune");
-        assert_eq!(report.removed_files, 1);
-        assert_eq!(report.removed_bytes, 64);
-        assert!(!tmp.0.join("aa-g10-p3.nfbake").exists());
-        // Foreign files and in-flight temporaries are untouched.
-        assert!(tmp.0.join("keep.txt").exists());
-        assert!(tmp.0.join("bb-g10-p3.nfbake.tmp-1-2").exists());
-    }
-
-    #[test]
-    fn size_budget_evicts_oldest_first() {
-        let tmp = TempDir::new("budget");
-        for (name, size) in [("aa-g10-p3", 100usize), ("bb-g20-p5", 100), ("cc-g30-p7", 100)] {
-            std::fs::write(tmp.0.join(format!("{name}.{ENTRY_EXTENSION}")), vec![0u8; size])
-                .expect("write");
-            // Distinct modification times so eviction order is by age.
-            std::thread::sleep(std::time::Duration::from_millis(15));
-        }
-        let limits = StoreLimits::default().with_max_bytes(250);
-        let report = prune_store(&tmp.0, ENTRY_EXTENSION, &limits).expect("prune");
-        assert_eq!(report.removed_files, 1, "one eviction brings 300 bytes under 250");
-        assert_eq!(report.retained_bytes, 200);
-        assert!(!tmp.0.join("aa-g10-p3.nfbake").exists(), "the oldest entry goes first");
-        assert!(tmp.0.join("bb-g20-p5.nfbake").exists());
-        assert!(tmp.0.join("cc-g30-p7.nfbake").exists());
-    }
-
-    #[test]
-    fn missing_directory_prunes_nothing() {
-        let limits = StoreLimits::default().with_max_bytes(1);
-        let report = prune_store(
-            std::path::Path::new("/nonexistent/nerflex-prune-test"),
-            ENTRY_EXTENSION,
-            &limits,
-        )
-        .expect("missing dir is not an error");
-        assert_eq!(report, PruneReport::default());
     }
 }

@@ -28,19 +28,25 @@
 
 pub mod asset;
 pub mod atlas;
+pub mod backend;
 pub mod cache;
 pub mod config;
 pub mod disk;
 pub mod mesh;
 pub mod mlp;
 pub mod pool;
+pub mod store;
 pub mod voxel;
 
 pub use asset::{bake_object, bake_placed, bake_scene, BakedAsset, Placement};
 pub use atlas::TextureAtlas;
+pub use backend::{DirBackend, EntryMeta, MemBackend, SharedBackend, StoreBackend};
 pub use cache::{model_fingerprint, BakeCache, CacheStats};
 pub use config::BakeConfig;
-pub use disk::{PruneReport, StoreLimits, CACHE_FORMAT_VERSION};
+pub use disk::CACHE_FORMAT_VERSION;
 pub use mesh::QuadMesh;
 pub use mlp::TinyMlp;
+pub use store::{
+    EntryCodec, KeyedStore, PruneReport, StoreLimits, StoreLocation, StoreOptions, StoreStats,
+};
 pub use voxel::VoxelGrid;

@@ -1,0 +1,1068 @@
+//! The generic keyed persistence primitive shared by every NeRFlex store.
+//!
+//! [`crate::BakeCache`] and `nerflex_profile::GroundTruthCache` used to
+//! mirror each other's persistence machinery element for element: a lazy
+//! filename-keyed index, an orphaned-temporary sweep, a snapshot-outside-
+//! lock flush, magic/version/FNV entry framing and [`StoreLimits`] pruning.
+//! [`KeyedStore`] is that machinery extracted **once**: a thread-safe,
+//! content-addressed map from codec keys to `Arc`-shared values, optionally
+//! persisted through a pluggable [`StoreBackend`]. The two caches are now
+//! thin typed wrappers — an [`EntryCodec`] (file naming + byte framing) and
+//! key fingerprinting each — so every future persistence fix lands once.
+//!
+//! # Division of responsibility
+//!
+//! * [`EntryCodec`] — *what* an entry is: its key ⇄ file-name mapping and
+//!   its self-validating byte framing. Owns the on-disk format.
+//! * [`StoreBackend`] — *where* entries live: list/read/write-atomic over a
+//!   directory, a memory map, or a local-over-remote layering.
+//! * [`KeyedStore`] — *policy*: lazy indexing, hit/miss accounting, dirty
+//!   tracking, corruption tolerance (a damaged entry costs one rebuild,
+//!   never an error), retention pruning, read-only mode.
+//!
+//! # Determinism
+//!
+//! Values are deterministic functions of their keys, so every cache level
+//! (in-memory, local disk, shared remote) returns bit-identical data; the
+//! backend choice never changes output bits. `docs/stores.md` documents the
+//! store API and the sharing semantics; `docs/determinism.md` states the
+//! repo-wide contract.
+
+use crate::backend::{DirBackend, EntryMeta, PrefixedBackend, SharedBackend, StoreBackend};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Retention limits + pruning
+// ---------------------------------------------------------------------------
+
+/// Retention limits of a persistent entry store. The default is unbounded.
+/// Applied when a store is opened ([`StoreOptions::limits`]), so a CI or
+/// developer store stops growing monotonically; layered backends confine
+/// the sweep to their local layer (the shared remote is never pruned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreLimits {
+    /// Total entry-file budget in bytes; the oldest entries (by modification
+    /// time, then file name for determinism) are removed until the store
+    /// fits. `None` = unbounded.
+    pub max_bytes: Option<u64>,
+    /// Entries whose modification time is older than this are removed
+    /// regardless of the size budget. `None` = no age sweep.
+    pub max_age: Option<Duration>,
+}
+
+impl StoreLimits {
+    /// `true` when no limit is configured (pruning is a no-op).
+    pub fn is_unbounded(&self) -> bool {
+        self.max_bytes.is_none() && self.max_age.is_none()
+    }
+
+    /// Returns the limits with the given size budget in bytes.
+    pub fn with_max_bytes(mut self, bytes: u64) -> Self {
+        self.max_bytes = Some(bytes);
+        self
+    }
+
+    /// Returns the limits with the given maximum entry age.
+    pub fn with_max_age(mut self, age: Duration) -> Self {
+        self.max_age = Some(age);
+        self
+    }
+}
+
+/// What a [`prune_backend`] sweep did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PruneReport {
+    /// Entry files removed.
+    pub removed_files: usize,
+    /// Bytes those files occupied.
+    pub removed_bytes: u64,
+    /// Entry bytes remaining after the sweep.
+    pub retained_bytes: u64,
+}
+
+/// Applies a size-budget + age sweep to a backend's prunable entries:
+/// entries older than `limits.max_age` are removed, then — oldest first
+/// (modification time, name as the deterministic tie-break) — more are
+/// removed until the survivors fit in `limits.max_bytes`. Entries are a
+/// cache, so a pruned entry only costs a rebuild; per-entry failures (a
+/// concurrent writer, a vanished file) are skipped, never an error.
+///
+/// Foreign files and in-flight temporaries never appear in a backend's
+/// listing and are therefore untouched.
+///
+/// # Errors
+///
+/// Returns the underlying error when the backend cannot be listed.
+pub fn prune_backend(backend: &dyn StoreBackend, limits: &StoreLimits) -> io::Result<PruneReport> {
+    let mut report = PruneReport::default();
+    if limits.is_unbounded() {
+        return Ok(report);
+    }
+    let mut entries = backend.list_prunable()?;
+    let now = std::time::SystemTime::now();
+
+    let remove = |meta: &EntryMeta, report: &mut PruneReport| {
+        if backend.remove(&meta.name).is_ok() {
+            report.removed_files += 1;
+            report.removed_bytes += meta.size;
+            true
+        } else {
+            false
+        }
+    };
+
+    // Age sweep first.
+    if let Some(max_age) = limits.max_age {
+        entries.retain(|meta| {
+            let expired = now.duration_since(meta.modified).is_ok_and(|age| age > max_age);
+            !(expired && remove(meta, &mut report))
+        });
+    }
+
+    // Then the size budget, dropping the oldest survivors first.
+    if let Some(max_bytes) = limits.max_bytes {
+        let mut total: u64 = entries.iter().map(|meta| meta.size).sum();
+        entries.sort_by(|a, b| a.modified.cmp(&b.modified).then_with(|| a.name.cmp(&b.name)));
+        for meta in &entries {
+            if total <= max_bytes {
+                break;
+            }
+            if remove(meta, &mut report) {
+                total -= meta.size;
+            }
+        }
+        report.retained_bytes = total;
+    } else {
+        report.retained_bytes = entries.iter().map(|meta| meta.size).sum();
+    }
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// EntryCodec
+// ---------------------------------------------------------------------------
+
+/// The typed half of a store: how keys map to entry file names and how
+/// values frame to self-validating bytes. Implementations own their on-disk
+/// format (magic, version, key echo, checksum) — [`KeyedStore`] never
+/// interprets entry bytes itself.
+pub trait EntryCodec {
+    /// Cache key. File names must round-trip through
+    /// [`EntryCodec::file_name`] / [`EntryCodec::parse_file_name`].
+    type Key: Copy + Eq + std::hash::Hash + Send;
+    /// Decoded entry value, shared behind `Arc` by every hit.
+    type Value: Send + Sync;
+    /// Extra context [`EntryCodec::decode`] needs at lookup time (e.g. the
+    /// model a ground truth is reconstructed against); `()` when entries
+    /// are self-contained. `Copy` so a failed decode can fall through to a
+    /// rebuild that also uses it.
+    type Context<'a>: Copy;
+
+    /// Entry-file extension (no leading dot).
+    const EXTENSION: &'static str;
+
+    /// The canonical file name of a key.
+    fn file_name(key: &Self::Key) -> String;
+
+    /// Parses a file name back into its key (`None` for foreign names —
+    /// the basis of the lazy index).
+    fn parse_file_name(name: &str) -> Option<Self::Key>;
+
+    /// Serializes one entry, embedding the key and whatever framing the
+    /// format requires for [`EntryCodec::decode`] to be total.
+    fn encode(key: &Self::Key, value: &Self::Value) -> Vec<u8>;
+
+    /// Deserializes and fully validates one entry: any truncation, bad
+    /// magic, foreign version, checksum failure or key mismatch yields
+    /// `None` (the store rebuilds the value), never a panic.
+    fn decode(key: &Self::Key, bytes: &[u8], ctx: Self::Context<'_>) -> Option<Arc<Self::Value>>;
+}
+
+// ---------------------------------------------------------------------------
+// StoreOptions
+// ---------------------------------------------------------------------------
+
+/// Where a store's persistent layer lives.
+#[derive(Debug, Clone, Default)]
+pub enum StoreLocation {
+    /// No persistence: entries live for the process only.
+    #[default]
+    InMemory,
+    /// One on-disk directory (the classic layout).
+    Dir(PathBuf),
+    /// A local directory layered read-through/write-through over a shared
+    /// remote — the cross-machine store (see
+    /// [`crate::backend::SharedBackend`]).
+    Shared {
+        /// This machine's local layer.
+        local: PathBuf,
+        /// The remote shared by the fleet.
+        remote: Remote,
+    },
+}
+
+/// The remote half of a [`StoreLocation::Shared`] layering.
+#[derive(Debug, Clone)]
+pub enum Remote {
+    /// A second directory (an NFS mount, a synced folder, a CI cache dir).
+    Dir(PathBuf),
+    /// Any backend implementation (an object store adapter, the in-memory
+    /// test double).
+    Backend(Arc<dyn StoreBackend>),
+}
+
+/// How to open a [`KeyedStore`] (and, through the pipeline, the bake and
+/// ground-truth caches): location/backend, retention limits, read-only
+/// mode. One builder replaces the former `open`/`open_with_limits`
+/// constructor pairs.
+///
+/// ```
+/// use nerflex_bake::{StoreLimits, StoreOptions};
+///
+/// let opts = StoreOptions::dir("/tmp/nerflex-store")
+///     .with_limits(StoreLimits::default().with_max_bytes(1 << 30))
+///     .read_only(false);
+/// assert!(opts.is_persistent());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StoreOptions {
+    /// Where the persistent layer lives (`InMemory` = none).
+    pub location: StoreLocation,
+    /// Retention limits applied when the store is opened (local layer only).
+    pub limits: StoreLimits,
+    /// Read-only stores never write: no pruning or temporary sweep on open,
+    /// and `flush` is a no-op. Lookups (including read-through population of
+    /// a shared local layer) work normally; new builds stay in memory.
+    pub read_only: bool,
+}
+
+impl StoreOptions {
+    /// An in-memory store (no persistence).
+    pub fn in_memory() -> Self {
+        Self::default()
+    }
+
+    /// A store persisted under one directory.
+    pub fn dir(path: impl Into<PathBuf>) -> Self {
+        Self { location: StoreLocation::Dir(path.into()), ..Self::default() }
+    }
+
+    /// A local directory layered over a shared remote directory.
+    pub fn shared(local: impl Into<PathBuf>, remote: impl Into<PathBuf>) -> Self {
+        Self {
+            location: StoreLocation::Shared {
+                local: local.into(),
+                remote: Remote::Dir(remote.into()),
+            },
+            ..Self::default()
+        }
+    }
+
+    /// A local directory layered over any remote backend implementation.
+    /// The remote should expose a **flat** namespace ([`crate::MemBackend`],
+    /// an object-store adapter): nested stores reach it through a name
+    /// prefix ([`StoreOptions::subdir`] → `PrefixedBackend`), which a
+    /// [`DirBackend`] remote rejects loudly — point directory remotes at
+    /// [`StoreOptions::shared`] instead, which nests at the path level.
+    pub fn shared_with(local: impl Into<PathBuf>, remote: Arc<dyn StoreBackend>) -> Self {
+        Self {
+            location: StoreLocation::Shared {
+                local: local.into(),
+                remote: Remote::Backend(remote),
+            },
+            ..Self::default()
+        }
+    }
+
+    /// Returns the options with the given retention limits.
+    pub fn with_limits(mut self, limits: StoreLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Returns the options with read-only mode set as given.
+    pub fn read_only(mut self, read_only: bool) -> Self {
+        self.read_only = read_only;
+        self
+    }
+
+    /// `true` when the options name a persistent layer.
+    pub fn is_persistent(&self) -> bool {
+        !matches!(self.location, StoreLocation::InMemory)
+    }
+
+    /// The primary local directory, when there is one (`Dir` or the local
+    /// layer of `Shared`).
+    pub fn primary_dir(&self) -> Option<&Path> {
+        match &self.location {
+            StoreLocation::InMemory => None,
+            StoreLocation::Dir(path) => Some(path),
+            StoreLocation::Shared { local, .. } => Some(local),
+        }
+    }
+
+    /// Options for a store nested under `name` within this store root: the
+    /// ground-truth store lives under `<root>/ground-truth` of the bake
+    /// store's root, on every layer. Flat-namespace remotes nest via a name
+    /// prefix ([`PrefixedBackend`]).
+    pub fn subdir(&self, name: &str) -> StoreOptions {
+        let location = match &self.location {
+            StoreLocation::InMemory => StoreLocation::InMemory,
+            StoreLocation::Dir(path) => StoreLocation::Dir(path.join(name)),
+            StoreLocation::Shared { local, remote } => StoreLocation::Shared {
+                local: local.join(name),
+                remote: match remote {
+                    Remote::Dir(path) => Remote::Dir(path.join(name)),
+                    Remote::Backend(backend) => {
+                        Remote::Backend(Arc::new(PrefixedBackend::new(Arc::clone(backend), name)))
+                    }
+                },
+            },
+        };
+        StoreOptions { location, limits: self.limits, read_only: self.read_only }
+    }
+
+    /// One-line human-readable description (for logs and reports).
+    pub fn describe(&self) -> String {
+        let base = match &self.location {
+            StoreLocation::InMemory => "in-memory".to_string(),
+            StoreLocation::Dir(path) => format!("dir {}", path.display()),
+            StoreLocation::Shared { local, remote } => format!(
+                "shared local={} remote={}",
+                local.display(),
+                match remote {
+                    Remote::Dir(path) => format!("dir {}", path.display()),
+                    Remote::Backend(backend) => backend.describe(),
+                }
+            ),
+        };
+        if self.read_only {
+            format!("{base} (read-only)")
+        } else {
+            base
+        }
+    }
+
+    /// Builds the backend this location names (`None` for in-memory).
+    fn build_backend(&self, extension: &str) -> io::Result<Option<Arc<dyn StoreBackend>>> {
+        match &self.location {
+            StoreLocation::InMemory => Ok(None),
+            StoreLocation::Dir(path) => Ok(Some(Arc::new(DirBackend::create(path, extension)?))),
+            StoreLocation::Shared { local, remote } => {
+                let local = DirBackend::create(local, extension)?;
+                let remote: Arc<dyn StoreBackend> = match remote {
+                    Remote::Dir(path) => Arc::new(DirBackend::create(path, extension)?),
+                    Remote::Backend(backend) => Arc::clone(backend),
+                };
+                Ok(Some(Arc::new(SharedBackend::new(local, remote))))
+            }
+        }
+    }
+}
+
+impl From<&Path> for StoreOptions {
+    fn from(path: &Path) -> Self {
+        Self::dir(path)
+    }
+}
+
+impl From<&str> for StoreOptions {
+    fn from(path: &str) -> Self {
+        Self::dir(path)
+    }
+}
+
+impl From<PathBuf> for StoreOptions {
+    fn from(path: PathBuf) -> Self {
+        Self::dir(path)
+    }
+}
+
+impl From<&PathBuf> for StoreOptions {
+    fn from(path: &PathBuf) -> Self {
+        Self::dir(path)
+    }
+}
+
+impl From<&StoreOptions> for StoreOptions {
+    fn from(options: &StoreOptions) -> Self {
+        options.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// KeyedStore
+// ---------------------------------------------------------------------------
+
+/// Hit/miss/occupancy counters of a [`KeyedStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Lookups answered by a value built in this process.
+    pub hits: usize,
+    /// Lookups answered by an entry decoded from the persistent layer
+    /// (cross-process reuse).
+    pub disk_hits: usize,
+    /// Lookups that had to build.
+    pub misses: usize,
+    /// Distinct values currently held in memory or indexed on the backend.
+    pub entries: usize,
+    /// Entries indexed from the backend when the store was opened (decoded
+    /// lazily on first lookup; 0 for in-memory stores).
+    pub indexed: usize,
+}
+
+/// One stored value plus its persistence bookkeeping.
+#[derive(Debug)]
+enum Slot<V> {
+    /// Decoded and ready; `dirty` entries are written by the next flush.
+    Memory {
+        value: Arc<V>,
+        /// The entry came off the backend (hits on it are cross-process
+        /// reuse).
+        from_disk: bool,
+        dirty: bool,
+    },
+    /// Indexed from the backend by its (canonical) file name; read and
+    /// decoded on first lookup.
+    Indexed,
+}
+
+/// A thread-safe, content-addressed store of `Arc`-shared values with an
+/// optional persistent layer — the machinery common to [`crate::BakeCache`]
+/// and the ground-truth cache (see the module docs for what lives here vs
+/// in the codec/backend).
+///
+/// Opening a persistent store only **indexes** the backend listing by the
+/// codec's file names; an entry is read and decoded at its first lookup,
+/// outside the entry lock. Lookups are corruption-tolerant: a damaged,
+/// truncated, foreign-version or key-mismatched entry is discovered at
+/// first lookup and costs exactly one rebuild (the next flush repairs it),
+/// never an error.
+pub struct KeyedStore<C: EntryCodec> {
+    entries: Mutex<HashMap<C::Key, Slot<C::Value>>>,
+    hits: AtomicUsize,
+    disk_hits: AtomicUsize,
+    misses: AtomicUsize,
+    /// Total wall-clock time spent in miss builds (the profiling layer
+    /// reports it; exactly zero on fully warm runs).
+    build_time: Mutex<Duration>,
+    backend: Option<Arc<dyn StoreBackend>>,
+    options: StoreOptions,
+    indexed: usize,
+}
+
+impl<C: EntryCodec> Default for KeyedStore<C> {
+    fn default() -> Self {
+        Self {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            disk_hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            build_time: Mutex::new(Duration::ZERO),
+            backend: None,
+            options: StoreOptions::default(),
+            indexed: 0,
+        }
+    }
+}
+
+impl<C: EntryCodec> std::fmt::Debug for KeyedStore<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyedStore")
+            .field("stats", &self.stats())
+            .field("options", &self.options)
+            .finish()
+    }
+}
+
+impl<C: EntryCodec> KeyedStore<C> {
+    /// An empty in-memory store (no persistence; flush is a no-op).
+    pub fn in_memory() -> Self {
+        Self::default()
+    }
+
+    /// Opens a store as the options direct: sweeps orphaned temporaries and
+    /// applies the retention limits (both skipped in read-only mode), then
+    /// indexes the backend listing by the codec's canonical file names.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the backend cannot be created or
+    /// listed (per-entry prune/sweep failures are skipped, never an error).
+    pub fn open(options: impl Into<StoreOptions>) -> io::Result<Self> {
+        let options = options.into();
+        let Some(backend) = options.build_backend(C::EXTENSION)? else {
+            return Ok(Self { options, ..Self::default() });
+        };
+        if !options.read_only {
+            backend.sweep_tmp()?;
+            prune_backend(&*backend, &options.limits)?;
+        }
+        let mut entries = HashMap::new();
+        for meta in backend.list()? {
+            // Only canonical names are indexed: the name must round-trip
+            // through the codec so the entry can be re-read by key alone.
+            if let Some(key) = C::parse_file_name(&meta.name) {
+                if C::file_name(&key) == meta.name {
+                    entries.insert(key, Slot::Indexed);
+                }
+            }
+        }
+        let indexed = entries.len();
+        Ok(Self {
+            entries: Mutex::new(entries),
+            backend: Some(backend),
+            options,
+            indexed,
+            ..Self::default()
+        })
+    }
+
+    /// The options this store was opened with.
+    pub fn options(&self) -> &StoreOptions {
+        &self.options
+    }
+
+    /// The backend holding the persistent layer (`None` when in-memory).
+    pub fn backend(&self) -> Option<&Arc<dyn StoreBackend>> {
+        self.backend.as_ref()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("store poisoned").len(),
+            indexed: self.indexed,
+        }
+    }
+
+    /// Total wall-clock time spent building missed values. Exactly zero
+    /// when every lookup was a hit.
+    pub fn build_time(&self) -> Duration {
+        *self.build_time.lock().expect("store poisoned")
+    }
+
+    /// `true` when the key is already built or indexed on the backend. For
+    /// a not-yet-decoded entry this is optimistic: a damaged entry is only
+    /// discovered (and transparently rebuilt) at lookup.
+    pub fn contains(&self, key: &C::Key) -> bool {
+        self.entries.lock().expect("store poisoned").contains_key(key)
+    }
+
+    /// Returns the value for `key`, building and storing it on first
+    /// request. An entry indexed from the persistent layer is read and
+    /// decoded here, on its first lookup — outside the entry lock, so
+    /// other workers keep hitting the store meanwhile.
+    ///
+    /// Concurrent misses on the same key may both build (the lock is not
+    /// held across the build, deliberately — builds are long); the result
+    /// is identical either way because building is deterministic, and only
+    /// one copy is kept.
+    pub fn get_or_build(
+        &self,
+        key: C::Key,
+        ctx: C::Context<'_>,
+        build: impl FnOnce() -> C::Value,
+    ) -> Arc<C::Value> {
+        let indexed = {
+            let entries = self.entries.lock().expect("store poisoned");
+            match entries.get(&key) {
+                Some(Slot::Memory { value, from_disk, .. }) => {
+                    let counter = if *from_disk { &self.disk_hits } else { &self.hits };
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(value);
+                }
+                Some(Slot::Indexed) => true,
+                None => false,
+            }
+        };
+
+        // Decode (or build) outside the lock so other workers keep making
+        // progress during long reads/builds.
+        if indexed {
+            let decoded = self
+                .backend
+                .as_ref()
+                .and_then(|backend| backend.read(&C::file_name(&key)).ok())
+                .and_then(|bytes| C::decode(&key, &bytes, ctx));
+            if let Some(value) = decoded {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                let mut entries = self.entries.lock().expect("store poisoned");
+                return match entries.get(&key) {
+                    // A concurrent lookup decoded (or rebuilt) it first —
+                    // keep that copy, the content is identical either way.
+                    Some(Slot::Memory { value, .. }) => Arc::clone(value),
+                    _ => {
+                        entries.insert(
+                            key,
+                            Slot::Memory {
+                                value: Arc::clone(&value),
+                                from_disk: true,
+                                dirty: false,
+                            },
+                        );
+                        value
+                    }
+                };
+            }
+            // Damaged or missing entry: fall through to a rebuild (the next
+            // flush overwrites it).
+        }
+
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let value = Arc::new(build());
+        *self.build_time.lock().expect("store poisoned") += started.elapsed();
+        let mut entries = self.entries.lock().expect("store poisoned");
+        match entries.get(&key) {
+            // A concurrent lookup finished first — keep its copy (identical
+            // content) so every caller shares one allocation and a clean
+            // disk-loaded entry is not re-marked dirty.
+            Some(Slot::Memory { value, .. }) => Arc::clone(value),
+            _ => {
+                entries.insert(
+                    key,
+                    Slot::Memory { value: Arc::clone(&value), from_disk: false, dirty: true },
+                );
+                value
+            }
+        }
+    }
+
+    /// Writes every value built since the last flush to the backend,
+    /// returning how many entries were written (0 for in-memory or
+    /// read-only stores). The dirty entries are snapshotted first and the
+    /// writes happen **outside the entry lock**, so concurrent lookups and
+    /// builds proceed during large flushes; each entry is written
+    /// atomically ([`StoreBackend::write_atomic`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error encountered; entries flushed before the
+    /// failure stay flushed and are not re-written next time.
+    pub fn flush(&self) -> io::Result<usize> {
+        let Some(backend) = &self.backend else { return Ok(0) };
+        if self.options.read_only {
+            return Ok(0);
+        }
+        // Snapshot the dirty entries (an Arc clone each) under the lock…
+        let dirty: Vec<(C::Key, Arc<C::Value>)> = {
+            let entries = self.entries.lock().expect("store poisoned");
+            entries
+                .iter()
+                .filter_map(|(&key, slot)| match slot {
+                    Slot::Memory { value, dirty: true, .. } => Some((key, Arc::clone(value))),
+                    _ => None,
+                })
+                .collect()
+        };
+        // …then write without it. Values are immutable once built, so the
+        // snapshot cannot go stale.
+        let mut written = Vec::with_capacity(dirty.len());
+        let mut failure = None;
+        for (key, value) in dirty {
+            let bytes = C::encode(&key, &value);
+            match backend.write_atomic(&C::file_name(&key), &bytes) {
+                Ok(()) => written.push(key),
+                Err(err) => {
+                    failure = Some(err);
+                    break;
+                }
+            }
+        }
+        let mut entries = self.entries.lock().expect("store poisoned");
+        for key in &written {
+            if let Some(Slot::Memory { dirty, .. }) = entries.get_mut(key) {
+                *dirty = false;
+            }
+        }
+        match failure {
+            Some(err) => Err(err),
+            None => Ok(written.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    /// FNV-1a over a byte slice.
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// A minimal framed codec for store tests: magic, key echo, payload,
+    /// trailing checksum.
+    struct TestCodec;
+
+    impl EntryCodec for TestCodec {
+        type Key = u64;
+        type Value = Vec<u8>;
+        type Context<'a> = ();
+        const EXTENSION: &'static str = "nftest";
+
+        fn file_name(key: &u64) -> String {
+            format!("{key:016x}.nftest")
+        }
+
+        fn parse_file_name(name: &str) -> Option<u64> {
+            let stem = name.strip_suffix(".nftest")?;
+            u64::from_str_radix(stem, 16).ok()
+        }
+
+        fn encode(key: &u64, value: &Vec<u8>) -> Vec<u8> {
+            let mut out = Vec::with_capacity(value.len() + 20);
+            out.extend_from_slice(b"NFTS");
+            out.extend_from_slice(&key.to_le_bytes());
+            out.extend_from_slice(value);
+            let sum = fnv1a(&out);
+            out.extend_from_slice(&sum.to_le_bytes());
+            out
+        }
+
+        fn decode(key: &u64, bytes: &[u8], (): ()) -> Option<Arc<Vec<u8>>> {
+            if bytes.len() < 20 || &bytes[..4] != b"NFTS" {
+                return None;
+            }
+            let (body, tail) = bytes.split_at(bytes.len() - 8);
+            if fnv1a(body) != u64::from_le_bytes(tail.try_into().ok()?) {
+                return None;
+            }
+            if u64::from_le_bytes(body[4..12].try_into().ok()?) != *key {
+                return None;
+            }
+            Some(Arc::new(body[12..].to_vec()))
+        }
+    }
+
+    type TestStore = KeyedStore<TestCodec>;
+
+    /// A unique, self-cleaning temporary directory.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            static COUNTER: AtomicUsize = AtomicUsize::new(0);
+            Self(std::env::temp_dir().join(format!(
+                "nerflex-store-test-{tag}-{}-{}",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::Relaxed)
+            )))
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn payload(tag: u8) -> Vec<u8> {
+        vec![tag; 64]
+    }
+
+    #[test]
+    fn in_memory_store_counts_hits_and_misses() {
+        let store = TestStore::in_memory();
+        let a = store.get_or_build(1, (), || payload(1));
+        let b = store.get_or_build(1, (), || payload(1));
+        let _ = store.get_or_build(2, (), || payload(2));
+        assert!(Arc::ptr_eq(&a, &b), "hits share one allocation");
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries, stats.indexed), (1, 2, 2, 0));
+        assert!(store.build_time() >= Duration::ZERO);
+        assert_eq!(store.flush().expect("noop"), 0);
+        assert!(store.contains(&1) && !store.contains(&3));
+    }
+
+    #[test]
+    fn flush_and_reopen_turn_misses_into_disk_hits() {
+        let tmp = TempDir::new("roundtrip");
+        let store = TestStore::open(&tmp.0).expect("open");
+        let first = store.get_or_build(7, (), || payload(7));
+        assert_eq!(store.flush().expect("flush"), 1);
+        assert_eq!(store.flush().expect("clean flush"), 0, "clean entries are not re-written");
+
+        let reopened = TestStore::open(&tmp.0).expect("reopen");
+        assert_eq!(reopened.stats().indexed, 1);
+        let second = reopened.get_or_build(7, (), || panic!("must not rebuild"));
+        assert_eq!(*first, *second);
+        let stats = reopened.stats();
+        assert_eq!((stats.hits, stats.disk_hits, stats.misses), (0, 1, 0));
+        assert_eq!(reopened.build_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn damaged_entries_rebuild_and_repair() {
+        let tmp = TempDir::new("damage");
+        let store = TestStore::open(&tmp.0).expect("open");
+        let _ = store.get_or_build(3, (), || payload(3));
+        store.flush().expect("flush");
+        let path = tmp.0.join(TestCodec::file_name(&3));
+        std::fs::write(&path, b"damaged").expect("overwrite");
+
+        let reopened = TestStore::open(&tmp.0).expect("reopen");
+        assert_eq!(reopened.stats().indexed, 1, "damage is invisible to the lazy index");
+        let rebuilt = reopened.get_or_build(3, (), || payload(3));
+        assert_eq!(*rebuilt, payload(3));
+        assert_eq!(reopened.stats().misses, 1, "damaged entry costs one rebuild");
+        assert_eq!(reopened.flush().expect("repair"), 1);
+        let repaired = TestStore::open(&tmp.0).expect("open repaired");
+        let _ = repaired.get_or_build(3, (), || panic!("repaired entry must decode"));
+        assert_eq!(repaired.stats().disk_hits, 1);
+    }
+
+    #[test]
+    fn non_canonical_names_are_not_indexed() {
+        let tmp = TempDir::new("canonical");
+        std::fs::create_dir_all(&tmp.0).expect("mkdir");
+        // Parses as key 0xaa, but the canonical name is zero-padded: the
+        // store must not index a name it cannot re-derive from the key.
+        std::fs::write(tmp.0.join("aa.nftest"), b"whatever").expect("write");
+        std::fs::write(tmp.0.join("garbage.nftest"), b"whatever").expect("write");
+        let store = TestStore::open(&tmp.0).expect("open");
+        assert_eq!(store.stats().indexed, 0);
+    }
+
+    #[test]
+    fn read_only_stores_never_write_prune_or_sweep() {
+        let tmp = TempDir::new("read-only");
+        let writer = TestStore::open(&tmp.0).expect("open");
+        let _ = writer.get_or_build(1, (), || payload(1));
+        writer.flush().expect("flush");
+        let orphan = tmp.0.join("0000000000000001.nftest.tmp-9-9");
+        std::fs::write(&orphan, b"orphan").expect("orphan");
+
+        // Read-only + limits that would prune everything: nothing may change
+        // on disk, lookups still work, new builds stay in memory.
+        let options = StoreOptions::dir(&tmp.0)
+            .with_limits(StoreLimits::default().with_max_age(Duration::ZERO))
+            .read_only(true);
+        let reader = TestStore::open(options).expect("open read-only");
+        assert_eq!(reader.stats().indexed, 1, "read-only open must not prune");
+        assert!(orphan.exists(), "read-only open must not sweep temporaries");
+        let _ = reader.get_or_build(1, (), || panic!("persisted entry must serve"));
+        let _ = reader.get_or_build(2, (), || payload(2));
+        assert_eq!(reader.flush().expect("flush"), 0, "read-only flush writes nothing");
+        assert!(
+            !tmp.0.join(TestCodec::file_name(&2)).exists(),
+            "read-only stores must not persist new entries"
+        );
+    }
+
+    #[test]
+    fn shared_backend_gives_a_cold_local_layer_zero_misses() {
+        // The cross-machine scenario: machine A populates the shared
+        // remote; machine B, with a cold local dir, must re-build nothing
+        // and read identical bytes.
+        let tmp_a = TempDir::new("machine-a");
+        let tmp_b = TempDir::new("machine-b");
+        let remote: Arc<MemBackend> = Arc::new(MemBackend::new());
+
+        let a =
+            TestStore::open(StoreOptions::shared_with(&tmp_a.0, remote.clone())).expect("open A");
+        let built = a.get_or_build(42, (), || payload(9));
+        a.flush().expect("flush A");
+        assert_eq!(remote.len(), 1, "write-through populates the remote");
+
+        let b =
+            TestStore::open(StoreOptions::shared_with(&tmp_b.0, remote.clone())).expect("open B");
+        assert_eq!(b.stats().indexed, 1, "cold local layer indexes the warm remote");
+        let loaded = b.get_or_build(42, (), || panic!("warm remote must serve"));
+        assert_eq!(*built, *loaded, "remote round-trip is byte-identical");
+        let stats = b.stats();
+        assert_eq!((stats.disk_hits, stats.misses), (1, 0));
+        // The read populated B's local layer: a third open of the same
+        // local dir with a *dead* remote still serves the entry.
+        let c = TestStore::open(&tmp_b.0).expect("open local only");
+        let again = c.get_or_build(42, (), || panic!("local layer must be populated"));
+        assert_eq!(*built, *again);
+    }
+
+    #[test]
+    fn shared_dir_remote_behaves_like_a_second_machine() {
+        let local_a = TempDir::new("dir-local-a");
+        let local_b = TempDir::new("dir-local-b");
+        let remote = TempDir::new("dir-remote");
+
+        let a = TestStore::open(StoreOptions::shared(&local_a.0, &remote.0)).expect("open A");
+        let _ = a.get_or_build(5, (), || payload(5));
+        a.flush().expect("flush");
+        assert!(remote.0.join(TestCodec::file_name(&5)).exists(), "remote dir populated");
+
+        let b = TestStore::open(StoreOptions::shared(&local_b.0, &remote.0)).expect("open B");
+        let _ = b.get_or_build(5, (), || panic!("warm remote must serve"));
+        assert_eq!(b.stats().misses, 0);
+    }
+
+    #[test]
+    fn subdir_nests_every_location_kind() {
+        let opts = StoreOptions::dir("/x/root").subdir("ground-truth");
+        assert_eq!(opts.primary_dir(), Some(Path::new("/x/root/ground-truth")));
+        let opts = StoreOptions::shared("/x/local", "/x/remote").subdir("ground-truth");
+        assert_eq!(opts.primary_dir(), Some(Path::new("/x/local/ground-truth")));
+        match &opts.location {
+            StoreLocation::Shared { remote: Remote::Dir(path), .. } => {
+                assert_eq!(path, Path::new("/x/remote/ground-truth"));
+            }
+            other => panic!("unexpected location {other:?}"),
+        }
+        assert!(!StoreOptions::in_memory().subdir("x").is_persistent());
+
+        // Backend remotes nest via a name prefix: two sibling stores over
+        // one flat remote namespace stay disjoint.
+        let shared: Arc<MemBackend> = Arc::new(MemBackend::new());
+        let tmp_a = TempDir::new("subdir-a");
+        let root = StoreOptions::shared_with(&tmp_a.0, shared.clone());
+        let store = TestStore::open(root.subdir("ground-truth")).expect("open");
+        let _ = store.get_or_build(1, (), || payload(1));
+        store.flush().expect("flush");
+        let names: Vec<String> = shared.list().expect("list").into_iter().map(|e| e.name).collect();
+        assert_eq!(names, [format!("ground-truth/{}", TestCodec::file_name(&1))]);
+    }
+
+    // -- prune_backend edge cases through the new API ----------------------
+
+    #[test]
+    fn unbounded_limits_prune_nothing() {
+        let tmp = TempDir::new("prune-noop");
+        let backend = DirBackend::create(&tmp.0, "nftest").expect("create");
+        backend.write_atomic("0000000000000001.nftest", &[0u8; 100]).expect("write");
+        let report = prune_backend(&backend, &StoreLimits::default()).expect("prune");
+        assert_eq!(report, PruneReport::default());
+        assert!(tmp.0.join("0000000000000001.nftest").exists());
+        assert!(StoreLimits::default().is_unbounded());
+    }
+
+    #[test]
+    fn age_sweep_removes_expired_entries_but_never_tmp_or_foreign_files() {
+        let tmp = TempDir::new("prune-age");
+        let backend = DirBackend::create(&tmp.0, "nftest").expect("create");
+        backend.write_atomic("0000000000000001.nftest", &[0u8; 64]).expect("write");
+        std::fs::write(tmp.0.join("keep.txt"), b"foreign file").expect("foreign");
+        std::fs::write(tmp.0.join("0000000000000002.nftest.tmp-1-2"), b"in flight").expect("tmp");
+        let limits = StoreLimits::default().with_max_age(Duration::ZERO);
+        let report = prune_backend(&backend, &limits).expect("prune");
+        assert_eq!((report.removed_files, report.removed_bytes), (1, 64));
+        assert!(!tmp.0.join("0000000000000001.nftest").exists());
+        assert!(tmp.0.join("keep.txt").exists(), "foreign files untouched");
+        assert!(tmp.0.join("0000000000000002.nftest.tmp-1-2").exists(), "tmp untouched");
+    }
+
+    #[test]
+    fn age_sweep_and_size_budget_interact_in_order() {
+        // The age sweep runs first; the size budget then applies to the
+        // survivors only — so an expired old entry never "uses up" the
+        // budget eviction that should fall on the oldest survivor.
+        let tmp = TempDir::new("prune-interact");
+        let backend = DirBackend::create(&tmp.0, "nftest").expect("create");
+        for key in 1u64..=3 {
+            backend.write_atomic(&TestCodec::file_name(&key), &[0u8; 100]).expect("write");
+            std::thread::sleep(Duration::from_millis(15));
+        }
+        // Backdate entry 1 far enough that only it exceeds max_age.
+        let old = std::time::SystemTime::now() - Duration::from_secs(3600);
+        let f = std::fs::File::options()
+            .write(true)
+            .open(tmp.0.join(TestCodec::file_name(&1)))
+            .expect("open");
+        f.set_modified(old).expect("backdate");
+
+        let limits =
+            StoreLimits::default().with_max_age(Duration::from_secs(60)).with_max_bytes(150);
+        let report = prune_backend(&backend, &limits).expect("prune");
+        // Age removed #1 (100 B); the budget then evicted #2, the oldest
+        // survivor, to bring 200 B under 150 B.
+        assert_eq!(report.removed_files, 2);
+        assert_eq!(report.removed_bytes, 200);
+        assert_eq!(report.retained_bytes, 100);
+        assert!(!tmp.0.join(TestCodec::file_name(&1)).exists());
+        assert!(!tmp.0.join(TestCodec::file_name(&2)).exists());
+        assert!(tmp.0.join(TestCodec::file_name(&3)).exists());
+    }
+
+    #[test]
+    fn size_budget_evicts_oldest_first() {
+        let tmp = TempDir::new("prune-budget");
+        let backend = DirBackend::create(&tmp.0, "nftest").expect("create");
+        for key in 1u64..=3 {
+            backend.write_atomic(&TestCodec::file_name(&key), &[0u8; 100]).expect("write");
+            std::thread::sleep(Duration::from_millis(15));
+        }
+        let limits = StoreLimits::default().with_max_bytes(250);
+        let report = prune_backend(&backend, &limits).expect("prune");
+        assert_eq!(report.removed_files, 1, "one eviction brings 300 bytes under 250");
+        assert_eq!(report.retained_bytes, 200);
+        assert!(!tmp.0.join(TestCodec::file_name(&1)).exists(), "oldest goes first");
+        assert!(tmp.0.join(TestCodec::file_name(&2)).exists());
+        assert!(tmp.0.join(TestCodec::file_name(&3)).exists());
+    }
+
+    #[test]
+    fn missing_directory_prunes_nothing() {
+        let tmp = TempDir::new("prune-missing");
+        let backend = DirBackend::create(&tmp.0, "nftest").expect("create");
+        std::fs::remove_dir_all(&tmp.0).expect("remove");
+        let limits = StoreLimits::default().with_max_bytes(1);
+        let report = prune_backend(&backend, &limits).expect("missing dir is not an error");
+        assert_eq!(report, PruneReport::default());
+    }
+
+    #[test]
+    fn pruning_under_an_open_handle_degrades_to_rebuilds() {
+        // Another process pruning the directory a live store has indexed
+        // must cost that store exactly a rebuild per evicted entry — never
+        // an error — and its next flush repairs the file.
+        let tmp = TempDir::new("prune-live");
+        let live = TestStore::open(&tmp.0).expect("open live handle");
+        let built = live.get_or_build(11, (), || payload(11));
+        live.flush().expect("flush");
+        // Entry decoded lazily: drop the in-memory copy by reopening.
+        let live = TestStore::open(&tmp.0).expect("reopen live handle");
+        assert_eq!(live.stats().indexed, 1);
+
+        // A second handle opens with limits that evict everything.
+        let pruner = TestStore::open(
+            StoreOptions::dir(&tmp.0)
+                .with_limits(StoreLimits::default().with_max_age(Duration::ZERO)),
+        )
+        .expect("open pruning handle");
+        assert_eq!(pruner.stats().indexed, 0, "expired entry must not index");
+        assert!(!tmp.0.join(TestCodec::file_name(&11)).exists());
+
+        // The live handle's stale index entry falls through to a rebuild.
+        let rebuilt = live.get_or_build(11, (), || payload(11));
+        assert_eq!(*built, *rebuilt);
+        let stats = live.stats();
+        assert_eq!((stats.disk_hits, stats.misses), (0, 1), "stale index costs one rebuild");
+        assert_eq!(live.flush().expect("repair"), 1, "next flush repairs the pruned file");
+        assert!(tmp.0.join(TestCodec::file_name(&11)).exists());
+    }
+
+    #[test]
+    fn store_options_describe_and_froms() {
+        assert_eq!(StoreOptions::in_memory().describe(), "in-memory");
+        assert!(StoreOptions::dir("/a/b").describe().contains("/a/b"));
+        assert!(StoreOptions::shared("/l", "/r").describe().contains("remote=dir /r"));
+        assert!(StoreOptions::dir("/a").read_only(true).describe().contains("read-only"));
+        let from_path: StoreOptions = Path::new("/x").into();
+        assert_eq!(from_path.primary_dir(), Some(Path::new("/x")));
+        let from_buf: StoreOptions = PathBuf::from("/y").into();
+        assert_eq!(from_buf.primary_dir(), Some(Path::new("/y")));
+    }
+}

@@ -129,7 +129,7 @@ fn bench_pipeline_engine(c: &mut Criterion) {
     group.finish();
 
     let mut options = PipelineOptions::quick();
-    options.cache_dir = nerflex_bench::cache_dir_from_args();
+    options.store = nerflex_bench::store_options_from_args();
     let pipeline = NerflexPipeline::new(options);
     let cache = pipeline.open_cache();
     let deployment = pipeline.run_with_cache(&scene, &dataset, &DeviceSpec::iphone_13(), &cache);

@@ -4,18 +4,22 @@
 //!
 //! ```bash
 //! cargo run --release -p nerflex-bench --bin fig9 [-- --full] \
-//!     [--smoke] [--cache-dir DIR] [--json PATH]
+//!     [--smoke] [--cache-dir DIR] [--remote-dir DIR] [--json PATH]
 //! ```
 //!
 //! `--cache-dir` opens the persistent on-disk bake store before the run and
 //! flushes it afterwards: a second invocation against the same directory
 //! answers every bake from disk and re-bakes nothing (the CI `bench-smoke`
-//! job asserts exactly that). `--json` writes a machine-readable summary of
-//! the timings and cache counters; `--smoke` further reduces the quick scale
-//! for CI while keeping the cache keys identical.
+//! job asserts exactly that). Adding `--remote-dir` layers the local store
+//! over a shared remote (read-through/write-through): a second *machine* —
+//! a cold `--cache-dir` sharing the same remote — also re-bakes nothing and
+//! produces byte-identical output (`deployment_fingerprint` in the JSON;
+//! the CI two-store run asserts it). `--json` writes a machine-readable
+//! summary of the timings and cache counters; `--smoke` further reduces the
+//! quick scale for CI while keeping the cache keys identical.
 
 use nerflex_bench::{
-    cache_dir_from_args, json_path_from_args, print_header, seed_from_args, smoke_from_args,
+    json_path_from_args, print_header, seed_from_args, smoke_from_args, store_options_from_args,
     ExperimentMode, JsonReport,
 };
 use nerflex_core::baselines::{bake_block_nerf, bake_single_nerf};
@@ -42,7 +46,7 @@ fn main() {
     let (iphone, _) = mode.devices(&single, &block);
 
     let mut options = mode.pipeline_options();
-    options.cache_dir = cache_dir_from_args();
+    options.store = store_options_from_args();
     let pipeline = NerflexPipeline::new(options);
     // Hold the cache for the whole run so the report can distinguish what
     // this process baked from what a previous process left on disk.
@@ -124,24 +128,34 @@ fn main() {
     ]);
     engine.push_row(vec![
         "persistent store".to_string(),
-        match pipeline.options().cache_dir.as_ref() {
-            None => "disabled (in-memory cache)".to_string(),
-            Some(dir) => format!(
+        if pipeline.options().store.is_persistent() {
+            format!(
                 "{} ({} entries loaded, {} baked this run)",
-                dir.display(),
+                pipeline.options().store.describe(),
                 run_cache.loaded_from_disk,
                 run_cache.misses
-            ),
+            )
+        } else {
+            "disabled (in-memory cache)".to_string()
         },
     ]);
     println!("{engine}");
     println!("whole-run bake cache: {run_cache}");
+
+    // Byte-level fingerprint of the deployment output: every baked asset's
+    // canonical entry encoding plus its placement bits. Two processes (or
+    // machines) that really produced identical output agree on this value —
+    // the CI two-store run asserts it across a shared remote.
+    let fingerprint = nerflex_bake::disk::deployment_fingerprint(&deployment.assets);
+    println!("deployment fingerprint: {fingerprint:016x}");
 
     if let Some(path) = json_path_from_args() {
         let mut report = JsonReport::new();
         report
             .str_field("figure", "fig9")
             .str_field("mode", mode.label())
+            .str_field("store", &pipeline.options().store.describe())
+            .str_field("deployment_fingerprint", &format!("{fingerprint:016x}"))
             .int_field("seed", seed)
             .int_field("smoke", u64::from(smoke))
             .int_field("cache_format_version", u64::from(nerflex_bake::CACHE_FORMAT_VERSION))

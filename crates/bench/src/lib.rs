@@ -169,6 +169,38 @@ pub fn cache_dir_from_args() -> Option<std::path::PathBuf> {
         .or_else(|| std::env::var_os("NERFLEX_CACHE_DIR").map(std::path::PathBuf::from))
 }
 
+/// The shared remote store directory, from `--remote-dir <path>` or the
+/// `NERFLEX_REMOTE_DIR` environment variable (the flag wins). Combined with
+/// `--cache-dir`, the local store is layered read-through/write-through
+/// over this remote — the build-farm sharing mode (`docs/stores.md`).
+pub fn remote_dir_from_args() -> Option<std::path::PathBuf> {
+    arg_value("--remote-dir")
+        .map(std::path::PathBuf::from)
+        .or_else(|| std::env::var_os("NERFLEX_REMOTE_DIR").map(std::path::PathBuf::from))
+}
+
+/// The [`nerflex_bake::StoreOptions`] the process arguments describe:
+/// in-memory by default, a single directory with `--cache-dir`, and a local
+/// directory layered over a shared remote with `--cache-dir` +
+/// `--remote-dir` (environment variables `NERFLEX_CACHE_DIR` /
+/// `NERFLEX_REMOTE_DIR` as fallbacks). A remote without a local directory
+/// is ignored with a warning — the shared mode needs its local layer.
+pub fn store_options_from_args() -> nerflex_bake::StoreOptions {
+    match (cache_dir_from_args(), remote_dir_from_args()) {
+        (None, None) => nerflex_bake::StoreOptions::in_memory(),
+        (Some(local), None) => nerflex_bake::StoreOptions::dir(local),
+        (Some(local), Some(remote)) => nerflex_bake::StoreOptions::shared(local, remote),
+        (None, Some(remote)) => {
+            eprintln!(
+                "nerflex-bench: --remote-dir {} ignored without --cache-dir (the shared \
+                 store needs a local layer); running in-memory",
+                remote.display()
+            );
+            nerflex_bake::StoreOptions::in_memory()
+        }
+    }
+}
+
 /// Where to write the machine-readable run summary (`--json <path>`).
 pub fn json_path_from_args() -> Option<std::path::PathBuf> {
     arg_value("--json").map(std::path::PathBuf::from)
@@ -295,6 +327,49 @@ mod tests {
         assert!(rendered.contains("\"cache_hits\": 12"));
         assert!(rendered.contains("\"overhead_seconds\": 1.500000"));
         assert!(rendered.contains("\"bad\": null"));
+    }
+
+    #[test]
+    fn derived_budget_margin_absorbs_prediction_error_end_to_end() {
+        // Regression for the quick-scale brittleness flagged in ROADMAP: the
+        // selector fills the *predicted* budget, the bake produces *actual*
+        // sizes, and the derived hard ceiling must still accept the result.
+        // Budget correspondence is preserved (the Stage-4 fix: bake exactly
+        // what was selected, no clamping) — the margin lives in the budget
+        // derivation, not in baking.
+        use nerflex_core::pipeline::NerflexPipeline;
+        use nerflex_scene::dataset::Dataset;
+
+        let scene = Scene::with_objects(&[CanonicalObject::Hotdog, CanonicalObject::Chair], 3);
+        let dataset = Dataset::generate(&scene, 3, 1, 48, 48);
+        let config = ExperimentMode::Quick.baseline_config();
+        let single = bake_single_nerf(&scene, config);
+        let block = bake_block_nerf(&scene, config);
+        let (iphone, pixel) = ExperimentMode::Quick.devices(&single, &block);
+
+        let pipeline = NerflexPipeline::new(ExperimentMode::Quick.pipeline_options());
+        for device in [iphone, pixel] {
+            let deployment = pipeline.run(&scene, &dataset, &device);
+            // Budget correspondence: the selection respects the (predicted)
+            // budget…
+            assert!(
+                deployment.selection.total_size_mb <= deployment.budget_mb + 1e-6,
+                "{}: predicted {:.3} MB exceeds budget {:.3} MB",
+                device.name,
+                deployment.selection.total_size_mb,
+                deployment.budget_mb
+            );
+            // …and the margin guarantees the *actual* workload loads even
+            // when predictions ran low.
+            let workload = deployment.workload();
+            assert!(
+                device.try_load(&workload).is_ok(),
+                "{}: baked workload {:.3} MB must fit the derived ceiling {:.3} MB",
+                device.name,
+                workload.data_size_mb,
+                device.hard_memory_limit_mb
+            );
+        }
     }
 
     #[test]

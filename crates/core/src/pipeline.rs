@@ -25,7 +25,7 @@
 
 use crate::report::format_duration;
 use nerflex_bake::pool::parallel_map;
-use nerflex_bake::{BakeCache, BakeConfig, BakedAsset, CacheStats, StoreLimits};
+use nerflex_bake::{BakeCache, BakeConfig, BakedAsset, CacheStats, StoreLimits, StoreOptions};
 use nerflex_device::{DeviceSpec, Workload};
 use nerflex_profile::{
     build_profile_accounted, GroundTruthCache, MetricsAccounting, ObjectProfile, ProfilerOptions,
@@ -58,21 +58,22 @@ pub struct PipelineOptions {
     /// left over after fanning out across objects fan out *within* each
     /// profile, over its independent sample measurements.
     pub worker_threads: usize,
-    /// Directory for the persistent on-disk bake store. When set,
-    /// [`NerflexPipeline::run`] and [`NerflexPipeline::deploy_fleet`] open
-    /// the cache from disk before the run and flush new bakes after it, so
-    /// bakes are shared across *processes* (repeated bench invocations, CI
-    /// runs, fleet re-deployments). `None` keeps the cache in-memory,
-    /// per-run — the previous behaviour.
-    pub cache_dir: Option<PathBuf>,
-    /// Retention limits applied **per store** when the persistent stores are
-    /// opened: the bake store and the ground-truth store are each swept to
-    /// these limits independently (an age sweep plus an oldest-first size
-    /// budget, [`nerflex_bake::StoreLimits`]), so a `max_bytes` of N bounds
-    /// the cache directory at up to 2·N total. The default is unbounded (the
-    /// previous behaviour); a pruned entry costs one re-bake / re-render on
-    /// its next miss, never correctness.
-    pub cache_limits: StoreLimits,
+    /// How the persistent stores are opened — one [`StoreOptions`] builder
+    /// covering location/backend, retention limits and read-only mode. The
+    /// bake store lives at the root the options name and the ground-truth
+    /// store under its `ground-truth/` child ([`StoreOptions::subdir`]), on
+    /// every backend layer. When persistent, [`NerflexPipeline::run`] and
+    /// [`NerflexPipeline::deploy_fleet`] open the stores before the run and
+    /// flush new entries after it, so bakes and ground truths are shared
+    /// across *processes* — and, with [`StoreOptions::shared`], across
+    /// *machines* through a common remote. The in-memory default keeps both
+    /// caches per-run.
+    ///
+    /// Retention limits apply **per store** (each is swept to the limits
+    /// independently, local layer only), so a `max_bytes` of N bounds the
+    /// store root at up to 2·N total; a pruned entry costs one re-bake /
+    /// re-render on its next miss, never correctness.
+    pub store: StoreOptions,
 }
 
 impl std::fmt::Debug for PipelineOptions {
@@ -83,8 +84,7 @@ impl std::fmt::Debug for PipelineOptions {
             .field("selector", &self.selector.name())
             .field("budget_override_mb", &self.budget_override_mb)
             .field("worker_threads", &self.worker_threads)
-            .field("cache_dir", &self.cache_dir)
-            .field("cache_limits", &self.cache_limits)
+            .field("store", &self.store)
             .finish()
     }
 }
@@ -98,8 +98,7 @@ impl Default for PipelineOptions {
             selector: Arc::new(DpSelector::default()),
             budget_override_mb: None,
             worker_threads: 0,
-            cache_dir: None,
-            cache_limits: StoreLimits::default(),
+            store: StoreOptions::default(),
         }
     }
 }
@@ -131,17 +130,24 @@ impl PipelineOptions {
         self
     }
 
-    /// Sets the persistent bake-store directory, sharing bakes across
-    /// processes (see [`PipelineOptions::cache_dir`]).
+    /// Replaces the store options wholesale (location/backend, limits,
+    /// read-only mode — see [`PipelineOptions::store`]).
+    pub fn with_store(mut self, store: StoreOptions) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Convenience: persists the stores under one directory, sharing bakes
+    /// and ground truths across processes (see [`PipelineOptions::store`]).
     pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
-        self.cache_dir = Some(dir.into());
+        self.store.location = nerflex_bake::StoreLocation::Dir(dir.into());
         self
     }
 
     /// Sets the retention limits applied to the persistent stores on open
-    /// (see [`PipelineOptions::cache_limits`]).
+    /// (see [`PipelineOptions::store`]).
     pub fn with_cache_limits(mut self, limits: StoreLimits) -> Self {
-        self.cache_limits = limits;
+        self.store.limits = limits;
         self
     }
 }
@@ -380,24 +386,23 @@ impl NerflexPipeline {
         self.configured_workers().min(jobs.max(1))
     }
 
-    /// Opens the bake cache this pipeline's options call for: the persistent
-    /// on-disk store when [`PipelineOptions::cache_dir`] is set (falling back
-    /// to an in-memory cache if the directory is unusable), an in-memory
+    /// Opens the bake cache this pipeline's options call for: the store
+    /// named by [`PipelineOptions::store`] when persistent (falling back to
+    /// an in-memory cache if the backing store is unusable), an in-memory
     /// cache otherwise. Callers that hold the cache across runs pair this
     /// with [`BakeCache::flush`]; [`NerflexPipeline::run`] and
     /// [`NerflexPipeline::deploy_fleet`] do both automatically.
     pub fn open_cache(&self) -> BakeCache {
-        match &self.options.cache_dir {
-            None => BakeCache::new(),
-            Some(dir) => BakeCache::open_with_limits(dir, &self.options.cache_limits)
-                .unwrap_or_else(|err| {
-                    eprintln!(
-                        "nerflex: bake-cache dir {} unusable ({err}); continuing in-memory",
-                        dir.display()
-                    );
-                    BakeCache::new()
-                }),
+        if !self.options.store.is_persistent() {
+            return BakeCache::new();
         }
+        BakeCache::open(&self.options.store).unwrap_or_else(|err| {
+            eprintln!(
+                "nerflex: bake store [{}] unusable ({err}); continuing in-memory",
+                self.options.store.describe()
+            );
+            BakeCache::new()
+        })
     }
 
     /// Best-effort flush of a persistent cache at the end of an engine-owned
@@ -416,28 +421,23 @@ impl NerflexPipeline {
         (segmentation, t.elapsed())
     }
 
-    /// Opens the ground-truth store this pipeline's options call for: a
-    /// persistent store under `<cache_dir>/ground-truth` when
-    /// [`PipelineOptions::cache_dir`] is set (falling back to in-memory if
-    /// the directory is unusable), an in-memory cache otherwise. Cached and
-    /// freshly rendered ground truths are bit-identical, so this is purely
-    /// a cost optimisation.
+    /// Opens the ground-truth store this pipeline's options call for: the
+    /// `ground-truth/` child of [`PipelineOptions::store`] when persistent
+    /// (falling back to in-memory if the backing store is unusable), an
+    /// in-memory cache otherwise. Cached and freshly rendered ground truths
+    /// are bit-identical, so this is purely a cost optimisation.
     pub fn open_ground_truth_cache(&self) -> GroundTruthCache {
-        match &self.options.cache_dir {
-            None => GroundTruthCache::new(),
-            Some(dir) => {
-                let dir = dir.join("ground-truth");
-                GroundTruthCache::open_with_limits(&dir, &self.options.cache_limits).unwrap_or_else(
-                    |err| {
-                        eprintln!(
-                            "nerflex: ground-truth dir {} unusable ({err}); continuing in-memory",
-                            dir.display()
-                        );
-                        GroundTruthCache::new()
-                    },
-                )
-            }
+        if !self.options.store.is_persistent() {
+            return GroundTruthCache::new();
         }
+        let options = self.options.store.subdir("ground-truth");
+        GroundTruthCache::open(&options).unwrap_or_else(|err| {
+            eprintln!(
+                "nerflex: ground-truth store [{}] unusable ({err}); continuing in-memory",
+                options.describe()
+            );
+            GroundTruthCache::new()
+        })
     }
 
     /// Stage 2: lightweight profiling, one profile per scene object, fanned
@@ -569,10 +569,10 @@ impl NerflexPipeline {
 
     /// Runs segmentation → profiling → selection → baking for one scene and
     /// device, returning the deployment. All four stages share one
-    /// [`BakeCache`]: the persistent on-disk store when
-    /// [`PipelineOptions::cache_dir`] is set (opened before the run, flushed
-    /// after, so bakes are shared across processes), a per-run in-memory
-    /// cache otherwise. Use [`NerflexPipeline::run_with_cache`] to manage
+    /// [`BakeCache`]: the persistent store when [`PipelineOptions::store`]
+    /// names one (opened before the run, flushed after, so bakes are shared
+    /// across processes — and machines, for shared backends), a per-run
+    /// in-memory cache otherwise. Use [`NerflexPipeline::run_with_cache`] to manage
     /// the cache yourself and [`NerflexPipeline::deploy_fleet`] to amortise
     /// the shared stages over many devices.
     ///

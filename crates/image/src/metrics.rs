@@ -173,8 +173,16 @@ pub fn quality_metrics_parallel(a: &Image, b: &Image, workers: usize) -> Quality
         let mut top = y0;
         while top < y1 {
             if top + SSIM_WINDOW <= height {
-                let (band_sum, band_windows) =
-                    ssim_band(&la, &lb, width, top - y0, SSIM_WINDOW, SSIM_STRIDE, &mut cols);
+                let (band_sum, band_windows) = ssim_band(
+                    &la,
+                    &lb,
+                    width,
+                    top - y0,
+                    SSIM_WINDOW,
+                    SSIM_STRIDE,
+                    &mut cols,
+                    |_| true,
+                );
                 ssim += band_sum;
                 windows += band_windows;
             }
@@ -222,7 +230,8 @@ pub fn ssim_windowed(a: &Image, b: &Image, window: usize, stride: usize) -> f64 
     let mut count = 0usize;
     let mut y = 0;
     while y + window <= a.height() {
-        let (band_sum, band_windows) = ssim_band(&la, &lb, width, y, window, stride, &mut cols);
+        let (band_sum, band_windows) =
+            ssim_band(&la, &lb, width, y, window, stride, &mut cols, |_| true);
         total += band_sum;
         count += band_windows;
         y += stride;
@@ -275,11 +284,13 @@ impl ColumnSums {
     }
 }
 
-/// Accumulates the SSIM scores of every window in the band whose top row is
-/// `top` (an index into the `la`/`lb` planes): one pass over the band's rows
-/// builds per-column sums of the five window statistics, then each window
-/// sums its `window` columns. Column-first accumulation is the documented
+/// Accumulates the SSIM scores of the windows in the band whose top row is
+/// `top` (an index into the `la`/`lb` planes) that `keep` selects (by the
+/// window's left column): one pass over the band's rows builds per-column
+/// sums of the five window statistics, then each kept window sums its
+/// `window` columns. Column-first accumulation is the documented
 /// deterministic reduction order of the fused SSIM.
+#[allow(clippy::too_many_arguments)]
 fn ssim_band(
     la: &[f64],
     lb: &[f64],
@@ -288,6 +299,7 @@ fn ssim_band(
     window: usize,
     stride: usize,
     cols: &mut ColumnSums,
+    mut keep: impl FnMut(usize) -> bool,
 ) -> (f64, usize) {
     cols.reset();
     for wy in 0..window {
@@ -307,6 +319,10 @@ fn ssim_band(
     let mut count = 0usize;
     let mut x = 0;
     while x + window <= width {
+        if !keep(x) {
+            x += stride;
+            continue;
+        }
         let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0.0, 0.0, 0.0, 0.0, 0.0);
         for wx in x..x + window {
             sa += cols.a[wx];
@@ -331,6 +347,16 @@ fn ssim_band(
 /// inside the mask). Used for the paper's "high-frequency detail region"
 /// scores in Fig. 4.
 ///
+/// Computed on the same column-sum band machinery as the fused
+/// [`quality_metrics`] engine: each band's statistics are accumulated once
+/// and the mask only gates which windows are scored, so a dense mask costs
+/// no more than unmasked SSIM. Like the fused path, window variances are
+/// unclamped (identical inputs score exactly `1.0`) and the column-first
+/// accumulation is a documented deterministic reduction order — values
+/// agree with a naive per-window row-major walk to reduction-order
+/// tolerance (~1e-12 per window; pinned by a test against the naive walk),
+/// not necessarily to the last bit.
+///
 /// # Panics
 ///
 /// Panics when images or mask dimensions disagree.
@@ -351,38 +377,22 @@ pub fn ssim_masked(a: &Image, b: &Image, mask: &crate::mask::Mask) -> f64 {
     let la = luminance_rows(a, 0, a.height());
     let lb = luminance_rows(b, 0, b.height());
     let width = a.width();
+    let mut cols = ColumnSums::new(width);
 
     let mut total = 0.0f64;
     let mut count = 0usize;
     let mut y = 0;
     while y + window <= a.height() {
-        let mut x = 0;
-        while x + window <= width {
-            if mask.get(x + window / 2, y + window / 2) {
-                let (mut sum_a, mut sum_b, mut sum_aa, mut sum_bb, mut sum_ab) =
-                    (0.0, 0.0, 0.0, 0.0, 0.0);
-                for wy in 0..window {
-                    for wx in 0..window {
-                        let va = la[(y + wy) * width + (x + wx)];
-                        let vb = lb[(y + wy) * width + (x + wx)];
-                        sum_a += va;
-                        sum_b += vb;
-                        sum_aa += va * va;
-                        sum_bb += vb * vb;
-                        sum_ab += va * vb;
-                    }
-                }
-                let n = (window * window) as f64;
-                let mu_a = sum_a / n;
-                let mu_b = sum_b / n;
-                let var_a = (sum_aa / n - mu_a * mu_a).max(0.0);
-                let var_b = (sum_bb / n - mu_b * mu_b).max(0.0);
-                let cov = sum_ab / n - mu_a * mu_b;
-                total += ((2.0 * mu_a * mu_b + C1) * (2.0 * cov + C2))
-                    / ((mu_a * mu_a + mu_b * mu_b + C1) * (var_a + var_b + C2));
-                count += 1;
-            }
-            x += stride;
+        // The band's column sums cost O(width·window) regardless of the
+        // mask, so a band the mask skips entirely must not pay them —
+        // sparse detail masks would otherwise be slower than the old
+        // per-window walk.
+        let keep = |x: usize| mask.get(x + window / 2, y + window / 2);
+        if (0..=width - window).step_by(stride).any(keep) {
+            let (band_sum, band_windows) =
+                ssim_band(&la, &lb, width, y, window, stride, &mut cols, keep);
+            total += band_sum;
+            count += band_windows;
         }
         y += stride;
     }
@@ -549,6 +559,86 @@ mod tests {
     fn fused_metrics_panic_below_window_size() {
         let a = Image::new(4, 4, Color::BLACK);
         let _ = quality_metrics(&a, &a);
+    }
+
+    /// The pre-fusion reference: every selected window re-read from scratch
+    /// in row-major order. Kept as the ground truth the fused band
+    /// implementation is pinned against.
+    fn ssim_masked_naive(a: &Image, b: &Image, mask: &Mask) -> f64 {
+        let window = SSIM_WINDOW;
+        let stride = SSIM_STRIDE;
+        let la = luminance_rows(a, 0, a.height());
+        let lb = luminance_rows(b, 0, b.height());
+        let width = a.width();
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        let mut y = 0;
+        while y + window <= a.height() {
+            let mut x = 0;
+            while x + window <= width {
+                if mask.get(x + window / 2, y + window / 2) {
+                    let (mut sum_a, mut sum_b, mut sum_aa, mut sum_bb, mut sum_ab) =
+                        (0.0, 0.0, 0.0, 0.0, 0.0);
+                    for wy in 0..window {
+                        for wx in 0..window {
+                            let va = la[(y + wy) * width + (x + wx)];
+                            let vb = lb[(y + wy) * width + (x + wx)];
+                            sum_a += va;
+                            sum_b += vb;
+                            sum_aa += va * va;
+                            sum_bb += vb * vb;
+                            sum_ab += va * vb;
+                        }
+                    }
+                    let n = (window * window) as f64;
+                    let mu_a = sum_a / n;
+                    let mu_b = sum_b / n;
+                    let var_a = sum_aa / n - mu_a * mu_a;
+                    let var_b = sum_bb / n - mu_b * mu_b;
+                    let cov = sum_ab / n - mu_a * mu_b;
+                    total += ((2.0 * mu_a * mu_b + C1) * (2.0 * cov + C2))
+                        / ((mu_a * mu_a + mu_b * mu_b + C1) * (var_a + var_b + C2));
+                    count += 1;
+                }
+                x += stride;
+            }
+            y += stride;
+        }
+        if count == 0 {
+            return ssim(a, b);
+        }
+        (total / count as f64).min(1.0)
+    }
+
+    #[test]
+    fn masked_ssim_matches_the_naive_window_walk() {
+        // The fused band machinery accumulates window statistics
+        // column-first; the naive walk reads each window row-major. Both are
+        // the same windows and terms, so the values must agree to the
+        // documented reduction-order tolerance on a variety of masks.
+        let a = test_pattern();
+        let b = noisy(&a, 0.2);
+        let masks = [
+            Mask::from_fn(64, 64, |_, _| true),
+            Mask::from_fn(64, 64, |x, _| x >= 32),
+            Mask::from_fn(64, 64, |x, y| (x / 8 + y / 8) % 2 == 0),
+            Mask::from_fn(64, 64, |x, y| x % 5 == 0 && y % 3 == 0),
+        ];
+        for (i, mask) in masks.iter().enumerate() {
+            let fused = ssim_masked(&a, &b, mask);
+            let naive = ssim_masked_naive(&a, &b, mask);
+            assert!(
+                (fused - naive).abs() < 1e-12,
+                "mask {i}: fused {fused} vs naive {naive} exceeds reduction-order tolerance"
+            );
+        }
+        // A dense mask selects every window: masked == unmasked band SSIM.
+        let all = Mask::from_fn(64, 64, |_, _| true);
+        assert_eq!(
+            ssim_masked(&a, &b, &all).to_bits(),
+            ssim_windowed(&a, &b, SSIM_WINDOW, SSIM_STRIDE).to_bits(),
+            "a full mask must reproduce the unmasked band walk bit for bit"
+        );
     }
 
     #[test]

@@ -1,40 +1,41 @@
-//! Content-addressed cache of ray-marched object ground truths.
+//! Content-addressed cache of ray-marched object ground truths — a thin
+//! typed wrapper over the generic [`nerflex_bake::KeyedStore`].
 //!
 //! Building an [`ObjectGroundTruth`] — sphere-tracing every probe view of an
 //! object — is the dominant cost of profiling. The renders depend only on
 //! the object's content and the probe settings, so they are cached exactly
 //! like bakes: keyed by ([`nerflex_bake::model_fingerprint`], view count,
-//! resolution), shared across threads, and optionally persisted to disk.
-//! Duplicate objects in a scene, fleet re-deployments and repeated bench/CI
-//! runs then render each ground truth **once**.
+//! resolution), shared across threads, and optionally persisted through any
+//! [`nerflex_bake::StoreBackend`] (one directory, or a local layer over a
+//! shared remote — see `docs/stores.md`). Duplicate objects in a scene,
+//! fleet re-deployments and repeated bench/CI runs then render each ground
+//! truth **once** — fleet-wide, when machines share a remote.
 //!
 //! Renders are deterministic and bit-identical for every worker/tile/lane
 //! count (see [`nerflex_scene::raymarch`]), so a cached ground truth —
-//! in-memory or reloaded from disk — yields measurements identical to a
-//! fresh build.
+//! in-memory, local or remote — yields measurements identical to a fresh
+//! build.
 //!
-//! # On-disk format
-//!
-//! One file per entry under the store directory, named
-//! `{fingerprint:016x}-v{views}-r{resolution}.nfgt`. Only the probe images
-//! are persisted (exact `f32` bit patterns); the probe scene and camera
-//! poses are recomputed from the model on load, which is cheap and
-//! deterministic. Like the bake store, the directory is **indexed lazily**:
-//! opening it only parses file names, and an entry is read and decoded on
-//! its first lookup. Files are self-validating (magic, version, key echo,
-//! FNV-1a checksum); a damaged or foreign-version file costs exactly one
-//! re-render, never an error.
+//! This module contributes only the entry codec: the
+//! `{fingerprint:016x}-v{views}-r{resolution}.nfgt` file names and the
+//! probe-image framing (unchanged from the pre-`KeyedStore` store — format
+//! version [`GT_FORMAT_VERSION`] is not bumped, existing `.nfgt` files
+//! load). Only the probe images are persisted (exact `f32` bit patterns);
+//! the probe scene and camera poses are recomputed from the model on load,
+//! which is cheap and deterministic — that is why decoding takes the model
+//! and settings as [`nerflex_bake::EntryCodec::decode`] context. Lazy
+//! indexing, flushing, pruning, corruption tolerance and read-only mode are
+//! the shared store machinery.
 
 use crate::measurement::{MeasurementSettings, ObjectGroundTruth};
 use nerflex_bake::model_fingerprint;
+use nerflex_bake::store::{EntryCodec, KeyedStore, StoreOptions};
 use nerflex_image::{Color, Image};
 use nerflex_scene::object::ObjectModel;
-use std::collections::HashMap;
 use std::io;
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Version of the on-disk ground-truth entry format. Bump on ANY layout
 /// change **and on any change to what the renderer produces** — shading
@@ -162,6 +163,41 @@ fn decode_entry(bytes: &[u8], expect: GtKey) -> Option<Vec<Image>> {
     cursor.is_empty().then_some(images)
 }
 
+/// The ground-truth store's [`EntryCodec`]. Decoding reconstructs the full
+/// [`ObjectGroundTruth`] (probe rig + images), which needs the model and
+/// settings — they travel as the codec's decode context, supplied by the
+/// lookup that triggered the decode.
+#[derive(Debug)]
+pub struct GtEntryCodec;
+
+impl EntryCodec for GtEntryCodec {
+    type Key = GtKey;
+    type Value = ObjectGroundTruth;
+    type Context<'a> = (&'a ObjectModel, &'a MeasurementSettings);
+    const EXTENSION: &'static str = GT_EXTENSION;
+
+    fn file_name(key: &GtKey) -> String {
+        entry_file_name(*key)
+    }
+
+    fn parse_file_name(name: &str) -> Option<GtKey> {
+        parse_entry_file_name(name)
+    }
+
+    fn encode(key: &GtKey, ground_truth: &ObjectGroundTruth) -> Vec<u8> {
+        encode_entry(*key, &ground_truth.images)
+    }
+
+    fn decode(
+        key: &GtKey,
+        bytes: &[u8],
+        (model, settings): (&ObjectModel, &MeasurementSettings),
+    ) -> Option<Arc<ObjectGroundTruth>> {
+        let images = decode_entry(bytes, *key)?;
+        ObjectGroundTruth::from_images(model, settings, images).map(Arc::new)
+    }
+}
+
 /// Hit/miss/build counters of a [`GroundTruthCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct GroundTruthStats {
@@ -182,31 +218,12 @@ pub struct GroundTruthStats {
     pub indexed_from_disk: usize,
 }
 
-/// One cached ground truth plus its persistence bookkeeping.
-#[derive(Debug)]
-enum GtEntry {
-    /// Decoded and ready; `dirty` entries are written by the next flush.
-    Memory { ground_truth: Arc<ObjectGroundTruth>, from_disk: bool, dirty: bool },
-    /// Indexed from the store directory, decoded on first lookup.
-    OnDisk(PathBuf),
-}
-
 /// A thread-safe, content-addressed store of object ground truths, shared by
-/// every profiling call of a pipeline run (and, when opened from a
-/// directory, across processes).
+/// every profiling call of a pipeline run (and, when opened over a
+/// persistent backend, across processes and machines).
 #[derive(Debug, Default)]
 pub struct GroundTruthCache {
-    entries: Mutex<HashMap<GtKey, GtEntry>>,
-    hits: AtomicUsize,
-    disk_hits: AtomicUsize,
-    misses: AtomicUsize,
-    /// Total wall-clock time spent rendering ground truths (misses only —
-    /// the pipeline reports it as `ground_truth_ms`; near zero on warm runs).
-    build_time: Mutex<Duration>,
-    /// Backing directory for [`GroundTruthCache::flush`]; `None` in-memory.
-    dir: Option<PathBuf>,
-    /// Entries indexed from `dir` when the cache was opened.
-    indexed: usize,
+    store: KeyedStore<GtEntryCodec>,
 }
 
 impl GroundTruthCache {
@@ -216,70 +233,44 @@ impl GroundTruthCache {
         Self::default()
     }
 
-    /// Opens a persistent cache backed by `dir`, creating the directory when
-    /// missing and indexing the entry files already present **by file name
-    /// only** — an entry is read and decoded on its first lookup, so opening
-    /// a large accumulated store is O(directory listing), not O(store size).
+    /// Opens a cache as the [`StoreOptions`] direct — a plain path opens the
+    /// classic single-directory store; [`StoreOptions::shared`] layers a
+    /// local directory over a fleet-shared remote; limits and read-only
+    /// mode ride on the same builder.
+    ///
+    /// Opening indexes the entry files already present **by file name
+    /// only** — an entry is read and decoded on its first lookup, so
+    /// opening a large accumulated store is O(listing), not O(store size).
+    /// GT entries are ~12 bytes/texel and grow with the probe resolution,
+    /// so bounding this store via [`StoreOptions::with_limits`] matters
+    /// even more than for the bake store; a pruned entry costs exactly one
+    /// re-render on its next miss.
     ///
     /// # Errors
     ///
-    /// Returns the underlying error when the directory cannot be created or
-    /// listed. Damaged entry files are not detected here (decoding is lazy);
-    /// they cost one re-render at first lookup.
-    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
-        Self::open_with_limits(dir, &nerflex_bake::StoreLimits::default())
+    /// Returns the underlying error when the backing store cannot be
+    /// created or listed. Damaged entry files are not detected here
+    /// (decoding is lazy); they cost one re-render at first lookup.
+    pub fn open(options: impl Into<StoreOptions>) -> io::Result<Self> {
+        Ok(Self { store: KeyedStore::open(options)? })
     }
 
-    /// [`GroundTruthCache::open`] with retention limits: the directory is
-    /// swept by [`nerflex_bake::disk::prune_store`] before indexing (age
-    /// sweep, then oldest-first eviction down to the size budget). GT
-    /// entries are ~12 bytes/texel and grow with the probe resolution, so
-    /// bounding this store matters even more than the bake store; a pruned
-    /// entry costs exactly one re-render on its next miss.
-    ///
-    /// # Errors
-    ///
-    /// Returns the underlying error when the directory cannot be created or
-    /// listed.
-    pub fn open_with_limits(
-        dir: impl AsRef<Path>,
-        limits: &nerflex_bake::StoreLimits,
-    ) -> io::Result<Self> {
-        let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)?;
-        nerflex_bake::disk::prune_store(&dir, GT_EXTENSION, limits)?;
-        let mut entries = HashMap::new();
-        for file in std::fs::read_dir(&dir)? {
-            let path = file?.path();
-            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            // Sweep temporaries orphaned by a crash between write and rename.
-            if name.contains(&format!(".{GT_EXTENSION}.tmp-")) {
-                let _ = std::fs::remove_file(&path);
-                continue;
-            }
-            if let Some(key) = parse_entry_file_name(name) {
-                entries.insert(key, GtEntry::OnDisk(path));
-            }
-        }
-        let indexed = entries.len();
-        Ok(Self { entries: Mutex::new(entries), dir: Some(dir), indexed, ..Self::default() })
-    }
-
-    /// The backing directory of a persistent cache (`None` when in-memory).
+    /// The primary local directory of a persistent cache (`None` when
+    /// in-memory).
     pub fn dir(&self) -> Option<&Path> {
-        self.dir.as_deref()
+        self.store.options().primary_dir()
     }
 
     /// Current counters.
     pub fn stats(&self) -> GroundTruthStats {
-        let misses = self.misses.load(Ordering::Relaxed);
+        let stats = self.store.stats();
         GroundTruthStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            disk_hits: self.disk_hits.load(Ordering::Relaxed),
-            misses,
-            builds: misses,
-            entries: self.entries.lock().expect("cache poisoned").len(),
-            indexed_from_disk: self.indexed,
+            hits: stats.hits,
+            disk_hits: stats.disk_hits,
+            misses: stats.misses,
+            builds: stats.misses,
+            entries: stats.entries,
+            indexed_from_disk: stats.indexed,
         }
     }
 
@@ -287,11 +278,14 @@ impl GroundTruthCache {
     /// the pipeline's `ground_truth_ms`. Exactly zero when every lookup was
     /// a hit.
     pub fn build_time(&self) -> Duration {
-        *self.build_time.lock().expect("cache poisoned")
+        self.store.build_time()
     }
 
     /// Returns the ground truth for `(model, settings)`, rendering and
-    /// storing it on first request.
+    /// storing it on first request. An entry indexed from the persistent
+    /// store is read and decoded here, on its first lookup — outside the
+    /// entry lock, so other profiling workers keep making progress during
+    /// long reads/builds.
     ///
     /// Concurrent misses on the same key may both render (the lock is not
     /// held across the render, deliberately — renders are long); the result
@@ -303,143 +297,32 @@ impl GroundTruthCache {
         settings: &MeasurementSettings,
     ) -> Arc<ObjectGroundTruth> {
         let key = (model_fingerprint(model), settings.views, settings.resolution);
-        let pending_path = {
-            let entries = self.entries.lock().expect("cache poisoned");
-            match entries.get(&key) {
-                Some(GtEntry::Memory { ground_truth, from_disk, .. }) => {
-                    let counter = if *from_disk { &self.disk_hits } else { &self.hits };
-                    counter.fetch_add(1, Ordering::Relaxed);
-                    return Arc::clone(ground_truth);
-                }
-                Some(GtEntry::OnDisk(path)) => Some(path.clone()),
-                None => None,
-            }
-        };
-
-        // Decode (or render) outside the lock so other profiling workers
-        // keep making progress during long reads/builds.
-        if let Some(path) = pending_path {
-            if let Some(ground_truth) = std::fs::read(&path)
-                .ok()
-                .and_then(|bytes| decode_entry(&bytes, key))
-                .and_then(|images| ObjectGroundTruth::from_images(model, settings, images))
-            {
-                self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                let ground_truth = Arc::new(ground_truth);
-                let mut entries = self.entries.lock().expect("cache poisoned");
-                match entries.get(&key) {
-                    // A concurrent lookup decoded (or rebuilt) it first —
-                    // keep that copy, the content is identical either way.
-                    Some(GtEntry::Memory { ground_truth, .. }) => {
-                        return Arc::clone(ground_truth);
-                    }
-                    _ => {
-                        entries.insert(
-                            key,
-                            GtEntry::Memory {
-                                ground_truth: Arc::clone(&ground_truth),
-                                from_disk: true,
-                                dirty: false,
-                            },
-                        );
-                        return ground_truth;
-                    }
-                }
-            }
-            // Damaged entry: fall through to a fresh render (and overwrite
-            // the file on the next flush).
-        }
-
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let started = Instant::now();
-        let ground_truth = Arc::new(ObjectGroundTruth::build(model, settings));
-        *self.build_time.lock().expect("cache poisoned") += started.elapsed();
-        let mut entries = self.entries.lock().expect("cache poisoned");
-        match entries.get(&key) {
-            // A concurrent lookup finished first — keep its copy (identical
-            // content) so every caller shares one allocation and a clean
-            // disk-loaded entry is not re-marked dirty.
-            Some(GtEntry::Memory { ground_truth, .. }) => Arc::clone(ground_truth),
-            _ => {
-                entries.insert(
-                    key,
-                    GtEntry::Memory {
-                        ground_truth: Arc::clone(&ground_truth),
-                        from_disk: false,
-                        dirty: true,
-                    },
-                );
-                ground_truth
-            }
-        }
+        self.store
+            .get_or_build(key, (model, settings), || ObjectGroundTruth::build(model, settings))
     }
 
     /// Writes every ground truth rendered since the last flush to the
-    /// backing directory, returning how many files were written (0 for
-    /// in-memory caches). The dirty entries are snapshotted first and the
-    /// files written **outside the entry lock**, so concurrent profiling
-    /// proceeds during large flushes; each file is written to a
-    /// process-unique temporary name and renamed into place.
+    /// backing store, returning how many entries were written (0 for
+    /// in-memory or read-only caches). See
+    /// [`nerflex_bake::KeyedStore::flush`] for the concurrency and
+    /// atomicity guarantees.
     ///
     /// # Errors
     ///
     /// Returns the first I/O error encountered; entries flushed before the
     /// failure stay flushed.
     pub fn flush(&self) -> io::Result<usize> {
-        let Some(dir) = &self.dir else { return Ok(0) };
-        let dirty: Vec<(GtKey, Arc<ObjectGroundTruth>)> = {
-            let entries = self.entries.lock().expect("cache poisoned");
-            entries
-                .iter()
-                .filter_map(|(&key, entry)| match entry {
-                    GtEntry::Memory { ground_truth, dirty: true, .. } => {
-                        Some((key, Arc::clone(ground_truth)))
-                    }
-                    _ => None,
-                })
-                .collect()
-        };
-        // Unique per flush call (not just per process): concurrent flushes
-        // of one entry must never share a temporary file.
-        static TMP_SEQ: AtomicUsize = AtomicUsize::new(0);
-        let mut written = Vec::with_capacity(dirty.len());
-        let mut failure = None;
-        for (key, ground_truth) in dirty {
-            let bytes = encode_entry(key, &ground_truth.images);
-            let path = dir.join(entry_file_name(key));
-            let tmp = dir.join(format!(
-                "{}.tmp-{}-{}",
-                entry_file_name(key),
-                std::process::id(),
-                TMP_SEQ.fetch_add(1, Ordering::Relaxed)
-            ));
-            let result = std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, &path));
-            match result {
-                Ok(()) => written.push(key),
-                Err(err) => {
-                    let _ = std::fs::remove_file(&tmp);
-                    failure = Some(err);
-                    break;
-                }
-            }
-        }
-        let mut entries = self.entries.lock().expect("cache poisoned");
-        for key in &written {
-            if let Some(GtEntry::Memory { dirty, .. }) = entries.get_mut(key) {
-                *dirty = false;
-            }
-        }
-        match failure {
-            Some(err) => Err(err),
-            None => Ok(written.len()),
-        }
+        self.store.flush()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nerflex_bake::StoreLimits;
     use nerflex_scene::object::CanonicalObject;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn quick_settings() -> MeasurementSettings {
         MeasurementSettings {
@@ -575,7 +458,7 @@ mod tests {
     }
 
     #[test]
-    fn open_with_limits_prunes_and_rerenders_evicted_entries() {
+    fn limits_prune_and_evicted_entries_rerender() {
         let tmp = TempDir::new("limits");
         let model = CanonicalObject::Hotdog.build();
         let settings = quick_settings();
@@ -585,8 +468,9 @@ mod tests {
 
         // A zero age budget sweeps the persisted ground truth on open; the
         // next lookup re-renders it bit-identically.
-        let limits = nerflex_bake::StoreLimits::default().with_max_age(std::time::Duration::ZERO);
-        let pruned = GroundTruthCache::open_with_limits(&tmp.0, &limits).expect("open");
+        let options = StoreOptions::dir(&tmp.0)
+            .with_limits(StoreLimits::default().with_max_age(std::time::Duration::ZERO));
+        let pruned = GroundTruthCache::open(options).expect("open");
         assert_eq!(pruned.stats().indexed_from_disk, 0, "expired entry must not index");
         let rebuilt = pruned.get_or_build(&model, &settings);
         assert_eq!(pruned.stats().misses, 1);
@@ -594,9 +478,36 @@ mod tests {
 
         // A size budget large enough for the store keeps the entry.
         pruned.flush().expect("flush");
-        let generous = nerflex_bake::StoreLimits::default().with_max_bytes(u64::MAX);
-        let kept = GroundTruthCache::open_with_limits(&tmp.0, &generous).expect("open");
+        let generous =
+            StoreOptions::dir(&tmp.0).with_limits(StoreLimits::default().with_max_bytes(u64::MAX));
+        let kept = GroundTruthCache::open(generous).expect("open");
         assert_eq!(kept.stats().indexed_from_disk, 1);
+    }
+
+    #[test]
+    fn shared_store_serves_a_cold_local_dir_from_the_remote() {
+        // Machine A renders against (local A, remote R); machine B with a
+        // cold local dir sharing R re-renders nothing and reads identical
+        // bits.
+        let local_a = TempDir::new("shared-a");
+        let local_b = TempDir::new("shared-b");
+        let remote = TempDir::new("shared-remote");
+        let model = CanonicalObject::Chair.build();
+        let settings = quick_settings();
+
+        let a =
+            GroundTruthCache::open(StoreOptions::shared(&local_a.0, &remote.0)).expect("open A");
+        let built = a.get_or_build(&model, &settings);
+        a.flush().expect("flush A");
+
+        let b =
+            GroundTruthCache::open(StoreOptions::shared(&local_b.0, &remote.0)).expect("open B");
+        assert_eq!(b.stats().indexed_from_disk, 1, "cold local layer indexes the remote");
+        let loaded = b.get_or_build(&model, &settings);
+        let stats = b.stats();
+        assert_eq!((stats.disk_hits, stats.misses), (1, 0), "warm remote renders nothing");
+        assert_eq!(b.build_time(), Duration::ZERO);
+        assert_eq!(built.images, loaded.images, "remote round-trip is bit-identical");
     }
 
     #[test]

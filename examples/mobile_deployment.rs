@@ -9,6 +9,9 @@
 //! cargo run --release --example mobile_deployment
 //! # share bakes across invocations via the persistent on-disk store:
 //! NERFLEX_CACHE_DIR=.nerflex-bake-cache cargo run --release --example mobile_deployment
+//! # additionally share them across machines through a common remote:
+//! NERFLEX_CACHE_DIR=.nerflex-bake-cache NERFLEX_REMOTE_DIR=/mnt/farm/nerflex-store \
+//!     cargo run --release --example mobile_deployment
 //! ```
 
 use nerflex::bake::BakeConfig;
@@ -48,10 +51,16 @@ fn main() {
     // NeRFlex prepares the whole fleet in one pass: segmentation and
     // profiling run once, each device pays only for selection under its own
     // budget plus incremental baking through the shared cache. With
-    // NERFLEX_CACHE_DIR set the cache is the persistent on-disk store, and
-    // a re-run of this example re-bakes nothing.
+    // NERFLEX_CACHE_DIR set the cache is the persistent on-disk store (and
+    // with NERFLEX_REMOTE_DIR a local layer over a shared remote), and a
+    // re-run of this example re-bakes nothing.
     let mut options = PipelineOptions::quick();
-    options.cache_dir = std::env::var_os("NERFLEX_CACHE_DIR").map(Into::into);
+    if let Some(local) = std::env::var_os("NERFLEX_CACHE_DIR") {
+        options.store = match std::env::var_os("NERFLEX_REMOTE_DIR") {
+            None => nerflex::bake::StoreOptions::dir(local),
+            Some(remote) => nerflex::bake::StoreOptions::shared(local, remote),
+        };
+    }
     let devices = scaled_devices(&single_bake, &block_bake);
     let fleet = NerflexPipeline::new(options).deploy_fleet(&built.scene, &dataset, &devices);
 

@@ -75,6 +75,37 @@ fn second_run_over_a_persisted_store_renders_no_ground_truth() {
 }
 
 #[test]
+fn cache_limits_thread_through_to_both_pipeline_stores() {
+    // PipelineOptions::with_cache_limits rides the StoreOptions builder:
+    // opening with a zero age budget prunes the bake *and* ground-truth
+    // stores, so the second run rebuilds everything — bit-identically.
+    use nerflex::bake::StoreLimits;
+
+    let tmp = TempDir::new("limits");
+    let (scene, dataset) = small_setup();
+    let device = DeviceSpec::pixel_4();
+
+    let first = NerflexPipeline::new(PipelineOptions::quick().with_cache_dir(&tmp.0))
+        .run(&scene, &dataset, &device);
+    assert_eq!(first.timings.ground_truth_builds, scene.len());
+
+    let evicting = PipelineOptions::quick()
+        .with_cache_dir(&tmp.0)
+        .with_cache_limits(StoreLimits::default().with_max_age(std::time::Duration::ZERO));
+    let second = NerflexPipeline::new(evicting).run(&scene, &dataset, &device);
+    assert_eq!(
+        second.timings.ground_truth_builds,
+        scene.len(),
+        "zero-age limits must evict the persisted ground truths: {:?}",
+        second.timings
+    );
+    assert_eq!(second.timings.cache_disk_hits, 0, "bake store swept too: {:?}", second.timings);
+    for (a, b) in first.profiles.iter().zip(second.profiles.iter()) {
+        assert_eq!(a.samples, b.samples, "re-rendered ground truths are bit-identical");
+    }
+}
+
+#[test]
 fn ground_truth_workers_never_change_measurements() {
     // End-to-end determinism across the tiled/packet renderer: profiles
     // measured with sequential ground-truth renders and with multi-worker

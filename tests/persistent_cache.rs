@@ -215,7 +215,9 @@ fn two_level_profiling_parallelism_is_deterministic() {
     let device = DeviceSpec::iphone_13();
     let run = |workers: usize, dir: Option<&std::path::Path>| {
         let mut options = PipelineOptions::quick().with_worker_threads(workers);
-        options.cache_dir = dir.map(Into::into);
+        if let Some(dir) = dir {
+            options = options.with_cache_dir(dir);
+        }
         NerflexPipeline::new(options).run(&scene, &dataset, &device)
     };
 

@@ -1,0 +1,216 @@
+//! Cross-crate tests of the pluggable store backends (ISSUE 5): a
+//! `SharedBackend` remote lets a second "machine" — a pipeline with a cold
+//! local store layered over a warm remote — re-bake and re-render nothing
+//! while producing byte-identical output, and read-only stores serve hits
+//! without ever writing.
+
+use nerflex::bake::{
+    disk, BakeCache, BakeConfig, MemBackend, StoreBackend, StoreLimits, StoreOptions,
+};
+use nerflex::core::pipeline::{NerflexDeployment, NerflexPipeline, PipelineOptions};
+use nerflex::device::DeviceSpec;
+use nerflex::scene::dataset::Dataset;
+use nerflex::scene::object::CanonicalObject;
+use nerflex::scene::scene::Scene;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A unique, self-cleaning temporary directory per test.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        Self(std::env::temp_dir().join(format!(
+            "nerflex-shared-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        )))
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn small_setup() -> (Scene, Dataset) {
+    let scene = Scene::with_objects(&[CanonicalObject::Hotdog, CanonicalObject::Lego], 3);
+    let dataset = Dataset::generate(&scene, 3, 1, 56, 56);
+    (scene, dataset)
+}
+
+/// The exact bytes a deployment's assets would persist as — the same
+/// canonical definition the fig9 `deployment_fingerprint` hashes, so this
+/// suite and the CI two-store run pin one property.
+fn asset_bytes(deployment: &NerflexDeployment) -> Vec<Vec<u8>> {
+    deployment.assets.iter().map(disk::placed_asset_bytes).collect()
+}
+
+#[test]
+fn cold_machine_over_a_warm_remote_rebakes_nothing() {
+    // The ISSUE 5 acceptance criterion, end to end through the pipeline:
+    // machine A (local dir A + shared remote) populates the remote; machine
+    // B (cold local dir B + the same remote) must report cache_misses == 0
+    // and ground_truth_builds == 0, with byte-identical deployment output.
+    let local_a = TempDir::new("machine-a");
+    let local_b = TempDir::new("machine-b");
+    let remote = TempDir::new("remote");
+    let (scene, dataset) = small_setup();
+    let device = DeviceSpec::iphone_13();
+
+    let machine_a = NerflexPipeline::new(
+        PipelineOptions::quick().with_store(StoreOptions::shared(&local_a.0, &remote.0)),
+    );
+    let first = machine_a.run(&scene, &dataset, &device);
+    assert_eq!(first.timings.ground_truth_builds, scene.len(), "machine A starts cold");
+    let remote_bakes = std::fs::read_dir(&remote.0)
+        .expect("remote dir")
+        .flatten()
+        .filter(|f| f.path().extension().is_some_and(|e| e == "nfbake"))
+        .count();
+    assert!(remote_bakes > 0, "flush must write bake entries through to the remote");
+    assert!(
+        remote.0.join("ground-truth").is_dir(),
+        "the ground-truth store nests under the remote too"
+    );
+
+    let machine_b = NerflexPipeline::new(
+        PipelineOptions::quick().with_store(StoreOptions::shared(&local_b.0, &remote.0)),
+    );
+    let second = machine_b.run(&scene, &dataset, &device);
+    assert_eq!(
+        second.timings.cache_misses, 0,
+        "a cold machine over a warm remote must re-bake nothing: {:?}",
+        second.timings
+    );
+    assert!(second.timings.cache_disk_hits > 0, "reuse must be visible as disk hits");
+    assert_eq!(
+        second.timings.ground_truth_builds, 0,
+        "ground truths come from the remote as well: {:?}",
+        second.timings
+    );
+
+    // Byte-identical output: same selections, same asset bytes.
+    for (a, b) in first.selection.assignments.iter().zip(&second.selection.assignments) {
+        assert_eq!(a.config, b.config, "remote reuse must not change the selection");
+    }
+    assert_eq!(asset_bytes(&first), asset_bytes(&second), "renders must be byte-identical");
+
+    // The read-through populated B's local layer: a third run against local
+    // B alone (no remote) still re-bakes nothing.
+    let local_only = NerflexPipeline::new(PipelineOptions::quick().with_cache_dir(&local_b.0));
+    let third = local_only.run(&scene, &dataset, &device);
+    assert_eq!(third.timings.cache_misses, 0, "local layer was populated: {:?}", third.timings);
+    assert_eq!(asset_bytes(&first), asset_bytes(&third));
+}
+
+#[test]
+fn mem_backend_remote_shares_bakes_between_stores() {
+    // The "remote object store" modelled as an in-memory map: two BakeCache
+    // instances with separate local dirs share one MemBackend remote.
+    let local_a = TempDir::new("mem-a");
+    let local_b = TempDir::new("mem-b");
+    let remote: Arc<MemBackend> = Arc::new(MemBackend::new());
+    let model = CanonicalObject::Chair.build();
+    let config = BakeConfig::new(12, 3);
+
+    let a = BakeCache::open(StoreOptions::shared_with(&local_a.0, remote.clone())).expect("open A");
+    let baked = a.get_or_bake(&model, config);
+    a.flush().expect("flush A");
+    assert_eq!(remote.len(), 1, "write-through reaches the in-memory remote");
+
+    let b = BakeCache::open(StoreOptions::shared_with(&local_b.0, remote.clone())).expect("open B");
+    assert_eq!(b.stats().loaded_from_disk, 1);
+    let loaded = b.get_or_bake(&model, config);
+    let stats = b.stats();
+    assert_eq!((stats.disk_hits, stats.misses), (1, 0));
+    assert_eq!(*baked.mesh, *loaded.mesh);
+    assert_eq!(*baked.atlas, *loaded.atlas);
+}
+
+#[test]
+fn pipeline_with_mem_backend_remote_serves_both_stores() {
+    // A flat in-memory remote nests the bake and ground-truth stores by
+    // name prefix; a cold second pipeline re-bakes and re-renders nothing.
+    let local_a = TempDir::new("pipe-mem-a");
+    let local_b = TempDir::new("pipe-mem-b");
+    let remote: Arc<MemBackend> = Arc::new(MemBackend::new());
+    let (scene, dataset) = small_setup();
+    let device = DeviceSpec::pixel_4();
+
+    let first = NerflexPipeline::new(
+        PipelineOptions::quick().with_store(StoreOptions::shared_with(&local_a.0, remote.clone())),
+    )
+    .run(&scene, &dataset, &device);
+    assert_eq!(first.timings.ground_truth_builds, scene.len(), "first pipeline starts cold");
+    let names: Vec<String> = remote.list().expect("list").into_iter().map(|e| e.name).collect();
+    assert!(names.iter().any(|n| n.ends_with(".nfbake")), "bake entries in the remote");
+    assert!(
+        names.iter().any(|n| n.starts_with("ground-truth/") && n.ends_with(".nfgt")),
+        "ground-truth entries nest under their prefix: {names:?}"
+    );
+
+    let second = NerflexPipeline::new(
+        PipelineOptions::quick().with_store(StoreOptions::shared_with(&local_b.0, remote.clone())),
+    )
+    .run(&scene, &dataset, &device);
+    assert_eq!(second.timings.cache_misses, 0, "{:?}", second.timings);
+    assert_eq!(second.timings.ground_truth_builds, 0, "{:?}", second.timings);
+    assert_eq!(asset_bytes(&first), asset_bytes(&second));
+}
+
+#[test]
+fn read_only_pipeline_store_serves_hits_without_writing() {
+    let tmp = TempDir::new("read-only");
+    let (scene, dataset) = small_setup();
+    let device = DeviceSpec::pixel_4();
+
+    // Populate the store normally, then re-run against it read-only.
+    let writer = NerflexPipeline::new(PipelineOptions::quick().with_cache_dir(&tmp.0));
+    let first = writer.run(&scene, &dataset, &device);
+    fn count_files(dir: &std::path::Path) -> usize {
+        std::fs::read_dir(dir)
+            .map(|d| {
+                d.flatten()
+                    .map(|f| {
+                        let path = f.path();
+                        if path.is_dir() {
+                            count_files(&path)
+                        } else {
+                            1
+                        }
+                    })
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+    let files_before = count_files(&tmp.0);
+    assert!(files_before > 0, "writer run must persist entries");
+
+    let reader = NerflexPipeline::new(
+        PipelineOptions::quick().with_store(StoreOptions::dir(&tmp.0).read_only(true)),
+    );
+    let second = reader.run(&scene, &dataset, &device);
+    assert_eq!(
+        second.timings.cache_misses, 0,
+        "read-only store still serves: {:?}",
+        second.timings
+    );
+    assert_eq!(count_files(&tmp.0), files_before, "read-only run must not change the store");
+    assert_eq!(asset_bytes(&first), asset_bytes(&second));
+
+    // Even with limits that would prune everything, a read-only open leaves
+    // the store intact.
+    let pruned_reader = NerflexPipeline::new(
+        PipelineOptions::quick().with_store(
+            StoreOptions::dir(&tmp.0)
+                .with_limits(StoreLimits::default().with_max_age(std::time::Duration::ZERO))
+                .read_only(true),
+        ),
+    );
+    let third = pruned_reader.run(&scene, &dataset, &device);
+    assert_eq!(third.timings.cache_misses, 0, "read-only open must not prune");
+    assert_eq!(count_files(&tmp.0), files_before);
+}
