@@ -6,4 +6,4 @@
 //! same pool without a `scene → bake` dependency cycle; this module
 //! re-exports it under the original `nerflex_bake::pool` path.
 
-pub use nerflex_math::pool::{default_workers, parallel_map};
+pub use nerflex_math::pool::{default_workers, env_workers, parallel_map, PoolStats, WorkerPool};

@@ -43,13 +43,8 @@ fn bench_sample_measurement(c: &mut Criterion) {
     // One sample-point measurement at a small configuration: this is what the
     // profiler pays per sample instead of a multi-hour NeRF training run.
     let model = CanonicalObject::Hotdog.build();
-    let settings = MeasurementSettings {
-        views: 2,
-        resolution: 48,
-        worker_threads: 1,
-        ground_truth_workers: 1,
-        metrics_workers: 1,
-    };
+    let settings =
+        MeasurementSettings { views: 2, resolution: 48, ..MeasurementSettings::default() };
     let ground_truth = ObjectGroundTruth::build(&model, &settings);
     let mut group = c.benchmark_group("sample_measurement");
     group.sample_size(10);

@@ -117,6 +117,19 @@ fn main() {
         format!("{}x", fmt_f64(t.profiling_speedup(), 2)),
     ]);
     engine.push_row(vec![
+        "worker pool (profiling stage)".to_string(),
+        format!(
+            "{} persistent threads, {} dispatches / {} jobs{}",
+            nerflex_bake::pool::WorkerPool::shared().threads(),
+            t.pool_dispatches,
+            t.pool_jobs,
+            match nerflex_bake::pool::env_workers() {
+                Some(n) => format!(" (NERFLEX_WORKERS={n})"),
+                None => String::new(),
+            }
+        ),
+    ]);
+    engine.push_row(vec![
         "final bakes served from cache".to_string(),
         format!(
             "{} of {} ({}%, {} from disk)",
@@ -175,6 +188,10 @@ fn main() {
             .int_field("metrics_evaluations", t.metrics_evaluations as u64)
             .int_field("profiling_workers", t.profiling_workers as u64)
             .int_field("profiling_sample_workers", t.profiling_sample_workers as u64)
+            .int_field("pool_dispatches", t.pool_dispatches)
+            .int_field("pool_jobs", t.pool_jobs)
+            .int_field("pool_threads", nerflex_bake::pool::WorkerPool::shared().threads() as u64)
+            .int_field("env_workers", nerflex_bake::pool::env_workers().unwrap_or(0) as u64)
             .int_field("stage_cache_hits", t.cache_hits as u64)
             .int_field("stage_cache_disk_hits", t.cache_disk_hits as u64)
             .int_field("stage_cache_misses", t.cache_misses as u64)

@@ -80,9 +80,7 @@ impl ExperimentMode {
                 measurement: MeasurementSettings {
                     views: 3,
                     resolution: 96,
-                    worker_threads: 1,
-                    ground_truth_workers: 1,
-                    metrics_workers: 1,
+                    ..MeasurementSettings::default()
                 },
             },
         }

@@ -24,9 +24,9 @@
 //!   all bakes shared through one cache.
 
 use crate::report::format_duration;
-use nerflex_bake::pool::parallel_map;
 use nerflex_bake::{BakeCache, BakeConfig, BakedAsset, CacheStats, StoreLimits, StoreOptions};
 use nerflex_device::{DeviceSpec, Workload};
+use nerflex_math::WorkerPool;
 use nerflex_profile::{
     build_profile_accounted, GroundTruthCache, MetricsAccounting, ObjectProfile, ProfilerOptions,
 };
@@ -74,6 +74,16 @@ pub struct PipelineOptions {
     /// store root at up to 2·N total; a pruned entry costs one re-bake /
     /// re-render on its next miss, never correctness.
     pub store: StoreOptions,
+    /// The persistent worker pool the engine's stage fan-outs (profiling,
+    /// baking) dispatch through, and whose dispatch/job counters
+    /// [`StageTimings`] reports. Defaults to the process-wide
+    /// [`WorkerPool::shared`] pool — the same pool the inner layers
+    /// (ground-truth ray marching, batched measurement, fused metrics)
+    /// dispatch on — so no stage ever re-spawns threads. Tests can
+    /// substitute a leaked owned pool to isolate the outer fan-outs'
+    /// dispatch counters. Scheduling never changes output bits (see
+    /// `docs/pool.md`).
+    pub pool: &'static WorkerPool,
 }
 
 impl std::fmt::Debug for PipelineOptions {
@@ -85,6 +95,7 @@ impl std::fmt::Debug for PipelineOptions {
             .field("budget_override_mb", &self.budget_override_mb)
             .field("worker_threads", &self.worker_threads)
             .field("store", &self.store)
+            .field("pool_threads", &self.pool.threads())
             .finish()
     }
 }
@@ -99,6 +110,7 @@ impl Default for PipelineOptions {
             budget_override_mb: None,
             worker_threads: 0,
             store: StoreOptions::default(),
+            pool: WorkerPool::shared(),
         }
     }
 }
@@ -134,6 +146,13 @@ impl PipelineOptions {
     /// read-only mode — see [`PipelineOptions::store`]).
     pub fn with_store(mut self, store: StoreOptions) -> Self {
         self.store = store;
+        self
+    }
+
+    /// Replaces the worker pool the parallel stages dispatch through (see
+    /// [`PipelineOptions::pool`]). Scheduling never changes output bits.
+    pub fn with_pool(mut self, pool: &'static WorkerPool) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -207,6 +226,12 @@ pub struct StageTimings {
     pub cache_disk_hits: usize,
     /// Final-bake requests that actually had to bake.
     pub cache_misses: usize,
+    /// Worker-pool dispatches (batches entered, including inline sequential
+    /// runs) during the profiling stage — the scheduling cost the batched
+    /// whole-profile dispatch drives down (see `docs/pool.md`).
+    pub pool_dispatches: u64,
+    /// Jobs the worker pool executed during the profiling stage.
+    pub pool_jobs: u64,
 }
 
 impl StageTimings {
@@ -261,7 +286,8 @@ impl StageTimings {
         format!(
             "segmentation {} | profiler {} ({}x{} workers, {:.1}x speedup; ground truth {} on \
              {} workers, {} built / {} cached; metrics {} on {} workers, {} evaluations) | \
-             solver {} | total overhead {} | bake cache {}/{} hits ({} from disk)",
+             solver {} | total overhead {} | bake cache {}/{} hits ({} from disk) | \
+             pool {} dispatches / {} jobs",
             format_duration(self.segmentation),
             format_duration(self.profiling),
             self.profiling_workers.max(1),
@@ -279,6 +305,8 @@ impl StageTimings {
             self.cache_served(),
             self.cache_served() + self.cache_misses,
             self.cache_disk_hits,
+            self.pool_dispatches,
+            self.pool_jobs,
         )
     }
 }
@@ -373,10 +401,12 @@ impl NerflexPipeline {
         &self.options
     }
 
-    /// The configured worker budget (`0` resolves to one per core).
+    /// The configured worker budget (`0` resolves to the `NERFLEX_WORKERS`
+    /// override when set, else one per core).
     fn configured_workers(&self) -> usize {
         match self.options.worker_threads {
-            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            0 => nerflex_bake::pool::env_workers()
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
             n => n,
         }
     }
@@ -472,7 +502,8 @@ impl NerflexPipeline {
         profiler.measurement.ground_truth_workers = sample_workers;
         profiler.measurement.metrics_workers = metrics_workers;
         let metrics_accounting = MetricsAccounting::new();
-        let profiled = parallel_map(scene.len(), workers, |idx| {
+        let pool_before = self.options.pool.stats();
+        let profiled = self.options.pool.run(scene.len(), workers, |idx| {
             let object = &scene.objects()[idx];
             let t_obj = Instant::now();
             let profile = build_profile_accounted(
@@ -488,6 +519,7 @@ impl NerflexPipeline {
         let serial = profiled.iter().map(|(_, d)| *d).sum();
         let profiles = profiled.into_iter().map(|(p, _)| p).collect();
         let gt_stats = ground_truth.stats();
+        let pool_after = self.options.pool.stats();
         (
             profiles,
             SharedStages {
@@ -503,6 +535,8 @@ impl NerflexPipeline {
                 metrics: metrics_accounting.time(),
                 metrics_workers,
                 metrics_evaluations: metrics_accounting.evaluations(),
+                pool_dispatches: pool_after.dispatches - pool_before.dispatches,
+                pool_jobs: pool_after.jobs - pool_before.jobs,
             },
         )
     }
@@ -532,7 +566,7 @@ impl NerflexPipeline {
         let t = Instant::now();
         let before = cache.stats();
         let workers = self.workers_for(scene.len());
-        let assets = parallel_map(scene.len(), workers, |idx| {
+        let assets = self.options.pool.run(scene.len(), workers, |idx| {
             let object = &scene.objects()[idx];
             // Bake exactly what the selector chose: clamping a selected
             // configuration would silently diverge from the prediction the
@@ -689,6 +723,8 @@ impl NerflexPipeline {
                 metrics: shared.metrics,
                 metrics_workers: shared.metrics_workers,
                 metrics_evaluations: shared.metrics_evaluations,
+                pool_dispatches: shared.pool_dispatches,
+                pool_jobs: shared.pool_jobs,
                 baking_workers,
                 cache_hits: cache_delta.hits,
                 cache_disk_hits: cache_delta.disk_hits,
@@ -714,6 +750,8 @@ struct SharedStages {
     metrics: Duration,
     metrics_workers: usize,
     metrics_evaluations: usize,
+    pool_dispatches: u64,
+    pool_jobs: u64,
 }
 
 impl Default for NerflexPipeline {
@@ -760,6 +798,11 @@ mod tests {
         let workload = deployment.workload();
         assert!(workload.data_size_mb > 0.0);
         assert!(workload.total_quads > 0);
+        // The profiling stage dispatched through the persistent pool and
+        // its scheduling counters made it into the timings.
+        assert!(deployment.timings.pool_dispatches > 0, "{:?}", deployment.timings);
+        assert!(deployment.timings.pool_jobs >= deployment.timings.pool_dispatches);
+        assert!(deployment.timings.summary().contains("pool"));
     }
 
     #[test]

@@ -29,4 +29,4 @@ pub mod metrics;
 pub use crate::image::{Color, Image};
 pub use interp::Interpolation;
 pub use mask::Mask;
-pub use metrics::QualityMetrics;
+pub use metrics::{MetricsScratch, QualityMetrics};

@@ -23,6 +23,13 @@
 //!   depends only on the tile count — so the results are **bit-identical for
 //!   every worker count** (asserted by tests over odd sizes and 1/2/4/7
 //!   workers; see `docs/determinism.md`).
+//! * [`quality_metrics_lanes`] additionally selects the band kernel's lane
+//!   width ([`LaneWidth`]): the 8-wide kernel updates eight independent
+//!   per-column accumulation chains per step, which changes no op order
+//!   within any chain, so lane width never changes a single output bit
+//!   either. Per-worker [`MetricsScratch`] buffers (luminance planes and
+//!   column sums) persist across tiles and across calls via the pool's
+//!   per-worker scratch, so repeated scoring allocates nothing.
 //!
 //! Reduction-order note: the fused SSIM accumulates window terms per tile
 //! and reduces tiles pairwise, and its window statistics sum column-first.
@@ -35,7 +42,8 @@
 //! alone would break that exactness).
 
 use crate::image::Image;
-use nerflex_math::pool::{default_workers, parallel_map, tree_reduce};
+use nerflex_math::pool::{default_workers, tree_reduce, WorkerPool};
+use nerflex_math::simd::{LaneWidth, LANES8};
 
 /// SSIM stabilisation constant `C1 = (0.01)²` for signals in `[0, 1]`.
 const C1: f64 = 0.01 * 0.01;
@@ -138,58 +146,124 @@ pub fn quality_metrics(a: &Image, b: &Image) -> QualityMetrics {
 /// Panics when the images differ in size or are smaller than the 8×8 SSIM
 /// window.
 pub fn quality_metrics_parallel(a: &Image, b: &Image, workers: usize) -> QualityMetrics {
+    quality_metrics_lanes(a, b, workers, LaneWidth::X4)
+}
+
+/// [`quality_metrics_parallel`] with an explicit band-kernel lane width.
+///
+/// The 8-wide kernel steps eight per-column accumulation chains at a time;
+/// every chain keeps its scalar op order, so the lane width — like the
+/// worker count — never changes a single output bit. Each pool worker keeps
+/// a persistent [`MetricsScratch`], so steady-state scoring does not
+/// allocate.
+///
+/// # Panics
+///
+/// Panics when the images differ in size or are smaller than the 8×8 SSIM
+/// window.
+pub fn quality_metrics_lanes(
+    a: &Image,
+    b: &Image,
+    workers: usize,
+    lane_width: LaneWidth,
+) -> QualityMetrics {
     assert_dims(a, b);
     assert!(SSIM_WINDOW <= a.width() && SSIM_WINDOW <= a.height(), "SSIM window larger than image");
-    let width = a.width();
-    let height = a.height();
-    let jobs = height.div_ceil(TILE_ROWS);
+    let jobs = a.height().div_ceil(TILE_ROWS);
     let workers = match workers {
         0 => default_workers(jobs),
         n => n,
     };
-    let partials = parallel_map(jobs, workers, |job| {
-        let y0 = job * TILE_ROWS;
-        let y1 = ((job + 1) * TILE_ROWS).min(height);
-        // Squared-error partial over this tile's pixel rows (same per-pixel
-        // op order as `mse`).
-        let mut err = 0.0f64;
-        for (pa, pb) in
-            a.pixels()[y0 * width..y1 * width].iter().zip(&b.pixels()[y0 * width..y1 * width])
-        {
-            let dr = (pa.r - pb.r) as f64;
-            let dg = (pa.g - pb.g) as f64;
-            let db = (pa.b - pb.b) as f64;
-            err += dr * dr + dg * dg + db * db;
+    let partials =
+        WorkerPool::shared().run_scratch(jobs, workers, MetricsScratch::new, |scratch, job| {
+            tile_partial(a, b, job, lane_width, scratch)
+        });
+    finish_metrics(a, partials)
+}
+
+/// The sequential fused engine with caller-owned scratch: bit-identical to
+/// [`quality_metrics`], but the luminance planes and column sums live in
+/// `scratch` and are reused across calls. This is the entry the batched
+/// profile-measurement dispatch scores through — one scratch per pool
+/// worker, zero steady-state allocations ([`MetricsScratch::allocations`]
+/// counts buffer growth, so the reuse is measurable).
+///
+/// # Panics
+///
+/// Panics when the images differ in size or are smaller than the 8×8 SSIM
+/// window.
+pub fn quality_metrics_scratch(
+    a: &Image,
+    b: &Image,
+    lane_width: LaneWidth,
+    scratch: &mut MetricsScratch,
+) -> QualityMetrics {
+    assert_dims(a, b);
+    assert!(SSIM_WINDOW <= a.width() && SSIM_WINDOW <= a.height(), "SSIM window larger than image");
+    let jobs = a.height().div_ceil(TILE_ROWS);
+    let partials = (0..jobs).map(|job| tile_partial(a, b, job, lane_width, scratch)).collect();
+    finish_metrics(a, partials)
+}
+
+/// One row tile's fused partial: squared error plus the SSIM bands whose
+/// window top lies in the tile. Shared by the pooled and the caller-scratch
+/// entries, so the two are bit-identical by construction.
+fn tile_partial(
+    a: &Image,
+    b: &Image,
+    job: usize,
+    lane_width: LaneWidth,
+    scratch: &mut MetricsScratch,
+) -> TilePartial {
+    let width = a.width();
+    let height = a.height();
+    let y0 = job * TILE_ROWS;
+    let y1 = ((job + 1) * TILE_ROWS).min(height);
+    // Squared-error partial over this tile's pixel rows (same per-pixel
+    // op order as `mse`).
+    let mut err = 0.0f64;
+    for (pa, pb) in
+        a.pixels()[y0 * width..y1 * width].iter().zip(&b.pixels()[y0 * width..y1 * width])
+    {
+        let dr = (pa.r - pb.r) as f64;
+        let dg = (pa.g - pb.g) as f64;
+        let db = (pa.b - pb.b) as f64;
+        err += dr * dr + dg * dg + db * db;
+    }
+    // Luminance rows needed by this tile's SSIM bands: the tile's own rows
+    // plus the window overhang into the next tile, rebuilt into the
+    // scratch's reused planes.
+    let rows_end = (y1 + SSIM_WINDOW).min(height);
+    scratch.allocations += luminance_rows_into(a, y0, rows_end, &mut scratch.la) as u64;
+    scratch.allocations += luminance_rows_into(b, y0, rows_end, &mut scratch.lb) as u64;
+    scratch.allocations += scratch.cols.ensure(width) as u64;
+    let mut ssim = 0.0f64;
+    let mut windows = 0usize;
+    let mut top = y0;
+    while top < y1 {
+        if top + SSIM_WINDOW <= height {
+            let (band_sum, band_windows) = ssim_band(
+                &scratch.la,
+                &scratch.lb,
+                width,
+                top - y0,
+                SSIM_WINDOW,
+                SSIM_STRIDE,
+                &mut scratch.cols,
+                lane_width,
+                |_| true,
+            );
+            ssim += band_sum;
+            windows += band_windows;
         }
-        // Luminance rows needed by this tile's SSIM bands: the tile's own
-        // rows plus the window overhang into the next tile (recomputed
-        // locally — cheaper than sharing a plane across tiles).
-        let rows_end = (y1 + SSIM_WINDOW).min(height);
-        let la = luminance_rows(a, y0, rows_end);
-        let lb = luminance_rows(b, y0, rows_end);
-        let mut cols = ColumnSums::new(width);
-        let mut ssim = 0.0f64;
-        let mut windows = 0usize;
-        let mut top = y0;
-        while top < y1 {
-            if top + SSIM_WINDOW <= height {
-                let (band_sum, band_windows) = ssim_band(
-                    &la,
-                    &lb,
-                    width,
-                    top - y0,
-                    SSIM_WINDOW,
-                    SSIM_STRIDE,
-                    &mut cols,
-                    |_| true,
-                );
-                ssim += band_sum;
-                windows += band_windows;
-            }
-            top += SSIM_STRIDE;
-        }
-        TilePartial { err, ssim, windows }
-    });
+        top += SSIM_STRIDE;
+    }
+    TilePartial { err, ssim, windows }
+}
+
+/// Folds the per-tile partials with the order-fixed pairwise tree and
+/// finishes the three metrics.
+fn finish_metrics(a: &Image, partials: Vec<TilePartial>) -> QualityMetrics {
     let total = tree_reduce(partials, TilePartial::combine).unwrap_or_default();
     let mse = total.err / (a.pixel_count() as f64 * 3.0);
     let ssim = if total.windows == 0 { 1.0 } else { (total.ssim / total.windows as f64).min(1.0) };
@@ -231,7 +305,7 @@ pub fn ssim_windowed(a: &Image, b: &Image, window: usize, stride: usize) -> f64 
     let mut y = 0;
     while y + window <= a.height() {
         let (band_sum, band_windows) =
-            ssim_band(&la, &lb, width, y, window, stride, &mut cols, |_| true);
+            ssim_band(&la, &lb, width, y, window, stride, &mut cols, LaneWidth::X4, |_| true);
         total += band_sum;
         count += band_windows;
         y += stride;
@@ -248,6 +322,42 @@ pub(crate) fn luminance_rows(img: &Image, y0: usize, y1: usize) -> Vec<f64> {
     img.pixels()[y0 * width..y1 * width].iter().map(|c| c.luminance() as f64).collect()
 }
 
+/// Rebuilds the luminance rows `y0..y1` into `buf`, reusing its capacity.
+/// Returns whether the buffer had to grow (counted by [`MetricsScratch`]).
+pub(crate) fn luminance_rows_into(img: &Image, y0: usize, y1: usize, buf: &mut Vec<f64>) -> bool {
+    let width = img.width();
+    let grew = buf.capacity() < (y1 - y0) * width;
+    buf.clear();
+    buf.extend(img.pixels()[y0 * width..y1 * width].iter().map(|c| c.luminance() as f64));
+    grew
+}
+
+/// Reusable working memory of the fused metrics engine: the two tile
+/// luminance planes and the band column sums. One scratch per pool worker
+/// (or one per caller for the sequential [`quality_metrics_scratch`] path)
+/// makes steady-state scoring allocation-free; [`Self::allocations`] counts
+/// every buffer growth so the reuse shows up as a measured number in the
+/// dispatch bench.
+#[derive(Debug, Default)]
+pub struct MetricsScratch {
+    la: Vec<f64>,
+    lb: Vec<f64>,
+    cols: ColumnSums,
+    allocations: u64,
+}
+
+impl MetricsScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many times any internal buffer had to (re)allocate so far.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+}
+
 /// Finishes a single-pass first/second-moment accumulation: returns the mean
 /// and the **raw** (unclamped) variance `E[x²] − E[x]²`. Shared by the SSIM
 /// windows and the LPIPS-proxy cell features, so both layers walk their
@@ -258,6 +368,7 @@ pub(crate) fn single_pass_moments(sum: f64, sum_sq: f64, n: f64) -> (f64, f64) {
 }
 
 /// Reusable per-column accumulators of one window band.
+#[derive(Debug, Default)]
 struct ColumnSums {
     a: Vec<f64>,
     b: Vec<f64>,
@@ -277,6 +388,19 @@ impl ColumnSums {
         }
     }
 
+    /// Widens the accumulators to at least `width` columns; returns whether
+    /// they had to grow. Bands only touch columns `0..width`, so a wider
+    /// reused buffer never changes results.
+    fn ensure(&mut self, width: usize) -> bool {
+        if self.a.len() >= width {
+            return false;
+        }
+        for buf in [&mut self.a, &mut self.b, &mut self.aa, &mut self.bb, &mut self.ab] {
+            buf.resize(width, 0.0);
+        }
+        true
+    }
+
     fn reset(&mut self) {
         for buf in [&mut self.a, &mut self.b, &mut self.aa, &mut self.bb, &mut self.ab] {
             buf.fill(0.0);
@@ -290,6 +414,11 @@ impl ColumnSums {
 /// sums of the five window statistics, then each kept window sums its
 /// `window` columns. Column-first accumulation is the documented
 /// deterministic reduction order of the fused SSIM.
+///
+/// `lane_width` picks the column-sum kernel: the 4-wide reference walks one
+/// column per step; the 8-wide kernel steps [`LANES8`] independent column
+/// chains at a time (plus a scalar tail). No chain's op order changes, so
+/// both kernels produce bitwise-equal sums.
 #[allow(clippy::too_many_arguments)]
 fn ssim_band(
     la: &[f64],
@@ -299,19 +428,56 @@ fn ssim_band(
     window: usize,
     stride: usize,
     cols: &mut ColumnSums,
+    lane_width: LaneWidth,
     mut keep: impl FnMut(usize) -> bool,
 ) -> (f64, usize) {
     cols.reset();
-    for wy in 0..window {
-        let row = (top + wy) * width;
-        for x in 0..width {
-            let va = la[row + x];
-            let vb = lb[row + x];
-            cols.a[x] += va;
-            cols.b[x] += vb;
-            cols.aa[x] += va * va;
-            cols.bb[x] += vb * vb;
-            cols.ab[x] += va * vb;
+    match lane_width {
+        LaneWidth::X4 => {
+            for wy in 0..window {
+                let row = (top + wy) * width;
+                for x in 0..width {
+                    let va = la[row + x];
+                    let vb = lb[row + x];
+                    cols.a[x] += va;
+                    cols.b[x] += vb;
+                    cols.aa[x] += va * va;
+                    cols.bb[x] += vb * vb;
+                    cols.ab[x] += va * vb;
+                }
+            }
+        }
+        LaneWidth::X8 => {
+            let blocked = width - width % LANES8;
+            for wy in 0..window {
+                let row = (top + wy) * width;
+                let mut x = 0;
+                while x < blocked {
+                    // Eight independent column chains per step; each chain
+                    // keeps the reference kernel's op order, so the blocking
+                    // is bit-identical.
+                    let va: [f64; LANES8] = std::array::from_fn(|l| la[row + x + l]);
+                    let vb: [f64; LANES8] = std::array::from_fn(|l| lb[row + x + l]);
+                    for l in 0..LANES8 {
+                        cols.a[x + l] += va[l];
+                        cols.b[x + l] += vb[l];
+                        cols.aa[x + l] += va[l] * va[l];
+                        cols.bb[x + l] += vb[l] * vb[l];
+                        cols.ab[x + l] += va[l] * vb[l];
+                    }
+                    x += LANES8;
+                }
+                while x < width {
+                    let va = la[row + x];
+                    let vb = lb[row + x];
+                    cols.a[x] += va;
+                    cols.b[x] += vb;
+                    cols.aa[x] += va * va;
+                    cols.bb[x] += vb * vb;
+                    cols.ab[x] += va * vb;
+                    x += 1;
+                }
+            }
         }
     }
     let n = (window * window) as f64;
@@ -390,7 +556,7 @@ pub fn ssim_masked(a: &Image, b: &Image, mask: &crate::mask::Mask) -> f64 {
         let keep = |x: usize| mask.get(x + window / 2, y + window / 2);
         if (0..=width - window).step_by(stride).any(keep) {
             let (band_sum, band_windows) =
-                ssim_band(&la, &lb, width, y, window, stride, &mut cols, keep);
+                ssim_band(&la, &lb, width, y, window, stride, &mut cols, LaneWidth::X4, keep);
             total += band_sum;
             count += band_windows;
         }
@@ -639,6 +805,63 @@ mod tests {
             ssim_windowed(&a, &b, SSIM_WINDOW, SSIM_STRIDE).to_bits(),
             "a full mask must reproduce the unmasked band walk bit for bit"
         );
+    }
+
+    #[test]
+    fn wide_lanes_never_change_metric_bits() {
+        // The lane-width arm of the determinism contract: the 8-wide band
+        // kernel must agree bit for bit with the 4-wide reference on every
+        // size (including widths with a scalar tail and widths below one
+        // 8-lane block) and every worker count.
+        for (w, h) in [(64, 64), (61, 45), (128, 37), (9, 97)] {
+            let a = Image::from_fn(w, h, |x, y| {
+                Color::new(
+                    0.5 + 0.4 * ((x * 3 + y) as f32 * 0.11).sin(),
+                    0.5 + 0.3 * ((x + 2 * y) as f32 * 0.07).cos(),
+                    ((x * y) % 17) as f32 / 17.0,
+                )
+            });
+            let b = noisy(&a, 0.15);
+            let reference = quality_metrics_lanes(&a, &b, 1, LaneWidth::X4);
+            for workers in [1, 2, 4, 7, 0] {
+                let got = quality_metrics_lanes(&a, &b, workers, LaneWidth::X8);
+                assert_eq!(got.mse.to_bits(), reference.mse.to_bits(), "mse {w}x{h} w{workers}");
+                assert_eq!(got.psnr.to_bits(), reference.psnr.to_bits(), "psnr {w}x{h} w{workers}");
+                assert_eq!(got.ssim.to_bits(), reference.ssim.to_bits(), "ssim {w}x{h} w{workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_path_is_bit_identical_and_stops_allocating() {
+        let pairs: Vec<(Image, Image)> = [(64, 64), (61, 45), (128, 37), (9, 97)]
+            .into_iter()
+            .map(|(w, h)| {
+                let a = Image::from_fn(w, h, |x, y| {
+                    Color::gray(0.5 + 0.4 * ((x as f32 * 0.3).sin() * (y as f32 * 0.2).cos()))
+                });
+                let b = noisy(&a, 0.2);
+                (a, b)
+            })
+            .collect();
+        let mut scratch = MetricsScratch::new();
+        for (a, b) in &pairs {
+            for lanes in [LaneWidth::X4, LaneWidth::X8] {
+                let got = quality_metrics_scratch(a, b, lanes, &mut scratch);
+                let want = quality_metrics_parallel(a, b, 1);
+                assert_eq!(got.mse.to_bits(), want.mse.to_bits());
+                assert_eq!(got.psnr.to_bits(), want.psnr.to_bits());
+                assert_eq!(got.ssim.to_bits(), want.ssim.to_bits());
+            }
+        }
+        // Every buffer has seen the largest tile by now: re-scoring the
+        // whole set must reuse them all without a single new allocation.
+        let before = scratch.allocations();
+        assert!(before > 0, "first passes must have grown the buffers");
+        for (a, b) in &pairs {
+            let _ = quality_metrics_scratch(a, b, LaneWidth::X8, &mut scratch);
+        }
+        assert_eq!(scratch.allocations(), before, "steady-state scoring must not allocate");
     }
 
     #[test]

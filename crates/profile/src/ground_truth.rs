@@ -325,13 +325,7 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn quick_settings() -> MeasurementSettings {
-        MeasurementSettings {
-            views: 2,
-            resolution: 24,
-            worker_threads: 1,
-            ground_truth_workers: 1,
-            metrics_workers: 1,
-        }
+        MeasurementSettings { views: 2, resolution: 24, ..MeasurementSettings::default() }
     }
 
     /// A unique, self-cleaning temporary directory.

@@ -35,7 +35,7 @@ pub mod sampling;
 pub use ground_truth::{GroundTruthCache, GroundTruthStats};
 pub use measurement::{
     measure_object, measure_object_accounted, measure_object_cached, measure_object_in,
-    Measurement, MetricsAccounting,
+    DispatchMode, Measurement, MetricsAccounting,
 };
 pub use model::{QualityModel, SizeModel, SizeQualityModel};
 pub use profiler::{

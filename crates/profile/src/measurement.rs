@@ -7,7 +7,8 @@
 //! closed-form models to these measurements.
 
 use nerflex_bake::{bake_object, BakeCache, BakeConfig, BakedAsset};
-use nerflex_image::{metrics, Image};
+use nerflex_image::{metrics, Image, MetricsScratch};
+use nerflex_math::{LaneWidth, WorkerPool};
 use nerflex_render::{render_assets, RenderOptions};
 use nerflex_scene::camera_path::{orbit_path, CameraPose};
 use nerflex_scene::object::ObjectModel;
@@ -56,6 +57,14 @@ pub struct MeasurementSettings {
     /// bit-identical for every value; `1` (the default) is the sequential
     /// path, `0` uses one worker per available core.
     pub metrics_workers: usize,
+    /// SIMD lane width of the ground-truth ray marching and the fused
+    /// metrics band kernel. Output bits never change with the lane width
+    /// (see `docs/determinism.md`), so this is purely a throughput knob.
+    pub lane_width: LaneWidth,
+    /// How the (configuration × probe view) evaluation grid is scheduled
+    /// over the worker pool. Both modes are bit-identical; see
+    /// [`DispatchMode`].
+    pub dispatch: DispatchMode,
 }
 
 impl Default for MeasurementSettings {
@@ -66,8 +75,32 @@ impl Default for MeasurementSettings {
             worker_threads: 1,
             ground_truth_workers: 1,
             metrics_workers: 1,
+            lane_width: LaneWidth::X4,
+            dispatch: DispatchMode::Batched,
         }
     }
+}
+
+/// How a profile's (configuration × probe view) evaluation grid is
+/// scheduled over the persistent worker pool.
+///
+/// Both modes produce bit-identical measurements: the batched grid scores
+/// each (configuration, view) pair with the same fused metrics engine and
+/// folds the per-view scores in view order — the same floating-point
+/// association as the per-sample loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DispatchMode {
+    /// One pool dispatch per profile *stage*, one job per sample
+    /// configuration; each job renders and scores its probe views in a
+    /// local loop (the pre-batching reference path).
+    PerSample,
+    /// Whole-profile batching: one dispatch bakes every configuration,
+    /// then a single dispatch fans the flattened (configuration × view)
+    /// grid with persistent per-worker scratch (framebuffers and metrics
+    /// buffers reused across jobs). Fewer dispatches, fewer allocations,
+    /// same bits.
+    #[default]
+    Batched,
 }
 
 impl MeasurementSettings {
@@ -89,6 +122,20 @@ impl MeasurementSettings {
     /// per core, `1` = sequential; metric values never change).
     pub fn with_metrics_workers(mut self, workers: usize) -> Self {
         self.metrics_workers = workers;
+        self
+    }
+
+    /// Returns the settings with the given SIMD lane width (output bits
+    /// never change).
+    pub fn with_lane_width(mut self, lane_width: LaneWidth) -> Self {
+        self.lane_width = lane_width;
+        self
+    }
+
+    /// Returns the settings with the given evaluation-grid dispatch mode
+    /// (both modes are bit-identical).
+    pub fn with_dispatch(mut self, dispatch: DispatchMode) -> Self {
+        self.dispatch = dispatch;
         self
     }
 }
@@ -167,18 +214,20 @@ impl ObjectGroundTruth {
 
     /// Renders the ground truth for a standalone object. The ray-marched
     /// probe renders are tiled over `settings.ground_truth_workers` pool
-    /// threads; the images are bit-identical for every worker count.
+    /// threads and marched at `settings.lane_width`; the images are
+    /// bit-identical for every worker count and lane width.
     pub fn build(model: &ObjectModel, settings: &MeasurementSettings) -> Self {
         let (scene, poses) = Self::probe_rig(model, settings);
         let images = poses
             .iter()
             .map(|pose| {
-                nerflex_scene::raymarch::render_view_parallel(
+                nerflex_scene::raymarch::render_view_lanes(
                     &scene,
                     pose,
                     settings.resolution,
                     settings.resolution,
                     settings.ground_truth_workers,
+                    settings.lane_width,
                 )
                 .0
             })
@@ -328,18 +377,98 @@ pub fn measure_object_accounted(
         Some(shared) => shared.get_or_build(model, settings),
         None => std::sync::Arc::new(ObjectGroundTruth::build(model, settings)),
     };
-    // The sample configurations are independent measurements against the
-    // shared ground truth: fan them out over the worker pool. Results come
-    // back in config order and every measurement is deterministic (the
-    // fused metrics are bit-identical for every `metrics_workers` count),
-    // so any worker count produces bit-identical output (1 = sequential).
-    let workers = match settings.worker_threads {
+    match settings.dispatch {
+        DispatchMode::PerSample => {
+            // The sample configurations are independent measurements against
+            // the shared ground truth: fan them out over the worker pool.
+            // Results come back in config order and every measurement is
+            // deterministic (the fused metrics are bit-identical for every
+            // `metrics_workers` count), so any worker count produces
+            // bit-identical output (1 = sequential).
+            let workers = match settings.worker_threads {
+                0 => nerflex_bake::pool::default_workers(configs.len()),
+                n => n,
+            };
+            nerflex_bake::pool::parallel_map(configs.len(), workers, |idx| {
+                ground_truth.measure_in(configs[idx], cache, settings.metrics_workers, accounting)
+            })
+        }
+        DispatchMode::Batched => {
+            measure_batched(&ground_truth, configs, settings, cache, accounting)
+        }
+    }
+}
+
+/// The whole-profile batched evaluation: dispatch 1 bakes every sample
+/// configuration, dispatch 2 fans the flattened (configuration × view) grid
+/// with a persistent [`MetricsScratch`] per pool worker, then the per-view
+/// scores are folded per configuration **in view order** — the same
+/// floating-point association as the per-sample loop, so batching never
+/// changes a measurement bit (`1` worker is the bit-for-bit sequential
+/// path). Two dispatches regardless of the profile size, versus one
+/// dispatch per stage plus per-pair metric allocations on the
+/// [`DispatchMode::PerSample`] path.
+fn measure_batched(
+    ground_truth: &ObjectGroundTruth,
+    configs: &[BakeConfig],
+    settings: &MeasurementSettings,
+    cache: Option<&BakeCache>,
+    accounting: Option<&MetricsAccounting>,
+) -> Vec<Measurement> {
+    let pool = WorkerPool::shared();
+    let placed = &ground_truth.scene.objects()[0];
+    let bake_workers = match settings.worker_threads {
         0 => nerflex_bake::pool::default_workers(configs.len()),
         n => n,
     };
-    nerflex_bake::pool::parallel_map(configs.len(), workers, |idx| {
-        ground_truth.measure_in(configs[idx], cache, settings.metrics_workers, accounting)
-    })
+    let assets = pool.run(configs.len(), bake_workers, |idx| match cache {
+        Some(cache) => cache.get_or_bake_placed(placed, configs[idx]),
+        None => nerflex_bake::bake_placed(placed, configs[idx]),
+    });
+    let views = ground_truth.poses.len();
+    let pairs = configs.len() * views;
+    let pair_workers = match settings.worker_threads {
+        0 => nerflex_bake::pool::default_workers(pairs),
+        n => n,
+    };
+    let ssims = pool.run_scratch(pairs, pair_workers, MetricsScratch::new, |scratch, pair| {
+        let (config_idx, view) = (pair / views, pair % views);
+        let (img, _) = render_assets(
+            std::slice::from_ref(&assets[config_idx]),
+            &ground_truth.poses[view],
+            ground_truth.resolution,
+            ground_truth.resolution,
+            &RenderOptions::default(),
+        );
+        let started = Instant::now();
+        let ssim = metrics::quality_metrics_scratch(
+            &ground_truth.images[view],
+            &img,
+            settings.lane_width,
+            scratch,
+        )
+        .ssim;
+        if let Some(accounting) = accounting {
+            accounting.record(started.elapsed());
+        }
+        ssim
+    });
+    assets
+        .into_iter()
+        .enumerate()
+        .map(|(idx, asset)| {
+            let mut ssim_sum = 0.0;
+            for ssim in &ssims[idx * views..(idx + 1) * views] {
+                ssim_sum += ssim;
+            }
+            Measurement {
+                config: asset.config,
+                size_mb: asset.size_mb(),
+                ssim: ssim_sum / views as f64,
+                quad_count: asset.mesh.quad_count(),
+            }
+        })
+        .collect()
 }
 
 /// Measures a single standalone bake without reusing ground truth (handy for
@@ -364,13 +493,7 @@ mod tests {
     use nerflex_scene::object::CanonicalObject;
 
     fn quick_settings() -> MeasurementSettings {
-        MeasurementSettings {
-            views: 2,
-            resolution: 56,
-            worker_threads: 1,
-            ground_truth_workers: 1,
-            metrics_workers: 1,
-        }
+        MeasurementSettings { views: 2, resolution: 56, ..MeasurementSettings::default() }
     }
 
     #[test]
@@ -426,6 +549,34 @@ mod tests {
             let parallel =
                 measure_object(&model, &configs, &quick_settings().with_metrics_workers(workers));
             assert_eq!(sequential, parallel, "metrics_workers={workers}");
+        }
+    }
+
+    #[test]
+    fn batched_dispatch_is_bit_identical_for_every_worker_count_and_lane_width() {
+        // The batched whole-profile evaluation must reproduce the per-sample
+        // reference path bit for bit: same configs, every tested worker
+        // count, both lane widths (lane width also reaches the ground-truth
+        // ray marching here). `0` = one worker per core.
+        let model = CanonicalObject::Hotdog.build();
+        let configs = vec![BakeConfig::new(10, 3), BakeConfig::new(16, 5), BakeConfig::new(24, 7)];
+        let reference = measure_object(
+            &model,
+            &configs,
+            &quick_settings().with_dispatch(DispatchMode::PerSample).with_worker_threads(1),
+        );
+        for workers in [1, 2, 4, 7, 0] {
+            for lanes in [LaneWidth::X4, LaneWidth::X8] {
+                let batched = measure_object(
+                    &model,
+                    &configs,
+                    &quick_settings()
+                        .with_dispatch(DispatchMode::Batched)
+                        .with_worker_threads(workers)
+                        .with_lane_width(lanes),
+                );
+                assert_eq!(reference, batched, "workers={workers} lanes={lanes:?}");
+            }
         }
     }
 

@@ -26,9 +26,7 @@ impl ProfilerOptions {
             measurement: MeasurementSettings {
                 views: 2,
                 resolution: 56,
-                worker_threads: 1,
-                ground_truth_workers: 1,
-                metrics_workers: 1,
+                ..MeasurementSettings::default()
             },
         }
     }

@@ -24,9 +24,7 @@ fn main() {
         measurement: MeasurementSettings {
             views: 3,
             resolution: 72,
-            worker_threads: 0,
-            ground_truth_workers: 0,
-            metrics_workers: 0,
+            ..MeasurementSettings::default()
         },
     };
 

@@ -117,6 +117,7 @@ fn ground_truth_workers_never_change_measurements() {
         worker_threads: 1,
         ground_truth_workers: 1,
         metrics_workers: 1,
+        ..MeasurementSettings::default()
     };
     let cache_seq = GroundTruthCache::new();
     let cache_par = GroundTruthCache::new();
