@@ -131,6 +131,10 @@ pub struct CacheStats {
     pub disk_hits: usize,
     /// Lookups that had to bake.
     pub misses: usize,
+    /// Lookups that waited on another lookup's in-flight bake of the same
+    /// asset instead of duplicating it (0 unless the cache was opened with
+    /// [`StoreOptions::coalesce`] — the deployment service does).
+    pub coalesced: usize,
     /// Distinct (object, configuration) assets currently stored (decoded in
     /// memory or indexed on disk).
     pub entries: usize,
@@ -164,6 +168,7 @@ impl CacheStats {
             hits: self.hits - earlier.hits,
             disk_hits: self.disk_hits - earlier.disk_hits,
             misses: self.misses - earlier.misses,
+            coalesced: self.coalesced - earlier.coalesced,
             entries: self.entries,
             loaded_from_disk: self.loaded_from_disk,
         }
@@ -308,6 +313,7 @@ impl BakeCache {
             hits: stats.hits,
             disk_hits: stats.disk_hits,
             misses: stats.misses,
+            coalesced: stats.coalesced,
             entries: stats.entries,
             loaded_from_disk: stats.indexed,
         }

@@ -33,7 +33,7 @@ use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
@@ -239,6 +239,14 @@ pub struct StoreOptions {
     /// and `flush` is a no-op. Lookups (including read-through population of
     /// a shared local layer) work normally; new builds stay in memory.
     pub read_only: bool,
+    /// In-flight dedup: when set, concurrent misses on the same key wait on
+    /// **one** build (a "pending entry") instead of each building their own
+    /// copy. Off by default — the historical contract deliberately allows
+    /// duplicate in-flight builds (builds are deterministic, so duplicates
+    /// only cost time), and some callers rely on every miss really
+    /// building. The deployment service turns this on so a burst of
+    /// duplicate requests pays for each bake exactly once.
+    pub coalesce: bool,
 }
 
 impl StoreOptions {
@@ -291,6 +299,14 @@ impl StoreOptions {
         self
     }
 
+    /// Returns the options with in-flight dedup set as given (see
+    /// [`StoreOptions::coalesce`]). Nested stores ([`StoreOptions::subdir`])
+    /// inherit the flag.
+    pub fn with_coalescing(mut self, coalesce: bool) -> Self {
+        self.coalesce = coalesce;
+        self
+    }
+
     /// `true` when the options name a persistent layer.
     pub fn is_persistent(&self) -> bool {
         !matches!(self.location, StoreLocation::InMemory)
@@ -324,7 +340,12 @@ impl StoreOptions {
                 },
             },
         };
-        StoreOptions { location, limits: self.limits, read_only: self.read_only }
+        StoreOptions {
+            location,
+            limits: self.limits,
+            read_only: self.read_only,
+            coalesce: self.coalesce,
+        }
     }
 
     /// One-line human-readable description (for logs and reports).
@@ -409,6 +430,11 @@ pub struct StoreStats {
     pub disk_hits: usize,
     /// Lookups that had to build.
     pub misses: usize,
+    /// Lookups that waited on another lookup's in-flight build or decode of
+    /// the same key instead of duplicating it (always 0 unless the store
+    /// was opened with [`StoreOptions::coalesce`]). A coalesced lookup also
+    /// counts as a hit once the awaited value lands.
+    pub coalesced: usize,
     /// Distinct values currently held in memory or indexed on the backend.
     pub entries: usize,
     /// Entries indexed from the backend when the store was opened (decoded
@@ -430,6 +456,73 @@ enum Slot<V> {
     /// Indexed from the backend by its (canonical) file name; read and
     /// decoded on first lookup.
     Indexed,
+    /// A coalescing store's in-flight marker: one lookup claimed the build
+    /// (or decode) and every concurrent lookup for the key waits on the
+    /// cell. Never present unless [`StoreOptions::coalesce`] is set.
+    Pending(Arc<PendingCell>),
+}
+
+/// The wait cell behind [`Slot::Pending`]: flipped exactly once, when the
+/// claiming lookup completes (or unwinds — see [`PendingGuard`]).
+#[derive(Debug, Default)]
+struct PendingCell {
+    done: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl PendingCell {
+    /// Blocks until the claimant completes. The claimant never waits on the
+    /// store in return (its build runs outside the entry lock and pool
+    /// dispatchers drive their own batches), so this wait cannot deadlock.
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("pending cell poisoned");
+        while !*done {
+            done = self.cond.wait(done).expect("pending cell poisoned");
+        }
+    }
+
+    fn complete(&self) {
+        *self.done.lock().expect("pending cell poisoned") = true;
+        self.cond.notify_all();
+    }
+}
+
+/// Unwind protection for a claimed [`Slot::Pending`]: if the build panics,
+/// the pending marker is rolled back (to `Indexed` or absent) and the cell
+/// completes, so exactly one waiter retries and becomes the new claimant
+/// instead of every waiter hanging forever.
+struct PendingGuard<'a, C: EntryCodec> {
+    store: &'a KeyedStore<C>,
+    key: C::Key,
+    cell: Arc<PendingCell>,
+    restore_indexed: bool,
+    armed: bool,
+}
+
+impl<C: EntryCodec> PendingGuard<'_, C> {
+    /// Normal completion: the claimant has replaced the pending slot.
+    fn finish(&mut self) {
+        self.armed = false;
+        self.cell.complete();
+    }
+}
+
+impl<C: EntryCodec> Drop for PendingGuard<'_, C> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut entries = self.store.entries.lock().expect("store poisoned");
+        if matches!(entries.get(&self.key), Some(Slot::Pending(_))) {
+            if self.restore_indexed {
+                entries.insert(self.key, Slot::Indexed);
+            } else {
+                entries.remove(&self.key);
+            }
+        }
+        drop(entries);
+        self.cell.complete();
+    }
 }
 
 /// A thread-safe, content-addressed store of `Arc`-shared values with an
@@ -448,6 +541,7 @@ pub struct KeyedStore<C: EntryCodec> {
     hits: AtomicUsize,
     disk_hits: AtomicUsize,
     misses: AtomicUsize,
+    coalesced: AtomicUsize,
     /// Total wall-clock time spent in miss builds (the profiling layer
     /// reports it; exactly zero on fully warm runs).
     build_time: Mutex<Duration>,
@@ -463,6 +557,7 @@ impl<C: EntryCodec> Default for KeyedStore<C> {
             hits: AtomicUsize::new(0),
             disk_hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            coalesced: AtomicUsize::new(0),
             build_time: Mutex::new(Duration::ZERO),
             backend: None,
             options: StoreOptions::default(),
@@ -539,6 +634,7 @@ impl<C: EntryCodec> KeyedStore<C> {
             hits: self.hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
             entries: self.entries.lock().expect("store poisoned").len(),
             indexed: self.indexed,
         }
@@ -565,25 +661,56 @@ impl<C: EntryCodec> KeyedStore<C> {
     /// Concurrent misses on the same key may both build (the lock is not
     /// held across the build, deliberately — builds are long); the result
     /// is identical either way because building is deterministic, and only
-    /// one copy is kept.
+    /// one copy is kept. With [`StoreOptions::coalesce`] set, the first
+    /// miss claims the build through a pending entry and concurrent misses
+    /// wait on it instead — one build, every caller shares the result, and
+    /// the waiters count in [`StoreStats::coalesced`]. Either way the
+    /// returned bits are identical; coalescing only changes who pays.
     pub fn get_or_build(
         &self,
         key: C::Key,
         ctx: C::Context<'_>,
         build: impl FnOnce() -> C::Value,
     ) -> Arc<C::Value> {
-        let indexed = {
-            let entries = self.entries.lock().expect("store poisoned");
-            match entries.get(&key) {
+        let mut counted_coalesced = false;
+        let (indexed, pending) = loop {
+            let mut entries = self.entries.lock().expect("store poisoned");
+            let indexed = match entries.get(&key) {
                 Some(Slot::Memory { value, from_disk, .. }) => {
                     let counter = if *from_disk { &self.disk_hits } else { &self.hits };
                     counter.fetch_add(1, Ordering::Relaxed);
                     return Arc::clone(value);
                 }
+                Some(Slot::Pending(cell)) => {
+                    let cell = Arc::clone(cell);
+                    drop(entries);
+                    // Count each lookup at most once even if a claimant
+                    // panic sends it around the loop again.
+                    if !counted_coalesced {
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        counted_coalesced = true;
+                    }
+                    cell.wait();
+                    continue;
+                }
                 Some(Slot::Indexed) => true,
                 None => false,
+            };
+            if !self.options.coalesce {
+                break (indexed, None);
             }
+            // Claim the decode/build: concurrent lookups wait on the cell.
+            let cell = Arc::new(PendingCell::default());
+            entries.insert(key, Slot::Pending(Arc::clone(&cell)));
+            break (indexed, Some(cell));
         };
+        let mut guard = pending.map(|cell| PendingGuard {
+            store: self,
+            key,
+            cell,
+            restore_indexed: indexed,
+            armed: true,
+        });
 
         // Decode (or build) outside the lock so other workers keep making
         // progress during long reads/builds.
@@ -595,23 +722,29 @@ impl<C: EntryCodec> KeyedStore<C> {
                 .and_then(|bytes| C::decode(&key, &bytes, ctx));
             if let Some(value) = decoded {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                let mut entries = self.entries.lock().expect("store poisoned");
-                return match entries.get(&key) {
-                    // A concurrent lookup decoded (or rebuilt) it first —
-                    // keep that copy, the content is identical either way.
-                    Some(Slot::Memory { value, .. }) => Arc::clone(value),
-                    _ => {
-                        entries.insert(
-                            key,
-                            Slot::Memory {
-                                value: Arc::clone(&value),
-                                from_disk: true,
-                                dirty: false,
-                            },
-                        );
-                        value
+                let shared = {
+                    let mut entries = self.entries.lock().expect("store poisoned");
+                    match entries.get(&key) {
+                        // A concurrent lookup decoded (or rebuilt) it first —
+                        // keep that copy, the content is identical either way.
+                        Some(Slot::Memory { value, .. }) => Arc::clone(value),
+                        _ => {
+                            entries.insert(
+                                key,
+                                Slot::Memory {
+                                    value: Arc::clone(&value),
+                                    from_disk: true,
+                                    dirty: false,
+                                },
+                            );
+                            value
+                        }
                     }
                 };
+                if let Some(guard) = guard.as_mut() {
+                    guard.finish();
+                }
+                return shared;
             }
             // Damaged or missing entry: fall through to a rebuild (the next
             // flush overwrites it).
@@ -621,20 +754,26 @@ impl<C: EntryCodec> KeyedStore<C> {
         let started = Instant::now();
         let value = Arc::new(build());
         *self.build_time.lock().expect("store poisoned") += started.elapsed();
-        let mut entries = self.entries.lock().expect("store poisoned");
-        match entries.get(&key) {
-            // A concurrent lookup finished first — keep its copy (identical
-            // content) so every caller shares one allocation and a clean
-            // disk-loaded entry is not re-marked dirty.
-            Some(Slot::Memory { value, .. }) => Arc::clone(value),
-            _ => {
-                entries.insert(
-                    key,
-                    Slot::Memory { value: Arc::clone(&value), from_disk: false, dirty: true },
-                );
-                value
+        let shared = {
+            let mut entries = self.entries.lock().expect("store poisoned");
+            match entries.get(&key) {
+                // A concurrent lookup finished first — keep its copy
+                // (identical content) so every caller shares one allocation
+                // and a clean disk-loaded entry is not re-marked dirty.
+                Some(Slot::Memory { value, .. }) => Arc::clone(value),
+                _ => {
+                    entries.insert(
+                        key,
+                        Slot::Memory { value: Arc::clone(&value), from_disk: false, dirty: true },
+                    );
+                    value
+                }
             }
+        };
+        if let Some(guard) = guard.as_mut() {
+            guard.finish();
         }
+        shared
     }
 
     /// Writes every value built since the last flush to the backend,
@@ -695,6 +834,7 @@ impl<C: EntryCodec> KeyedStore<C> {
 mod tests {
     use super::*;
     use crate::backend::MemBackend;
+    use std::panic::AssertUnwindSafe;
 
     /// FNV-1a over a byte slice.
     fn fnv1a(bytes: &[u8]) -> u64 {
@@ -788,6 +928,89 @@ mod tests {
         assert!(store.build_time() >= Duration::ZERO);
         assert_eq!(store.flush().expect("noop"), 0);
         assert!(store.contains(&1) && !store.contains(&3));
+    }
+
+    #[test]
+    fn coalescing_store_builds_each_key_once_under_contention() {
+        let store = Arc::new(
+            TestStore::open(StoreOptions::in_memory().with_coalescing(true)).expect("open"),
+        );
+        let builds = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (store, builds, barrier) =
+                    (Arc::clone(&store), Arc::clone(&builds), Arc::clone(&barrier));
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    store.get_or_build(9, (), || {
+                        builds.fetch_add(1, Ordering::Relaxed);
+                        // Hold the build long enough that the other lookups
+                        // really land while it is pending.
+                        std::thread::sleep(Duration::from_millis(30));
+                        payload(9)
+                    })
+                })
+            })
+            .collect();
+        let values: Vec<_> = handles.into_iter().map(|h| h.join().expect("join")).collect();
+        assert_eq!(builds.load(Ordering::Relaxed), 1, "one in-flight build for 8 lookups");
+        for v in &values {
+            assert!(Arc::ptr_eq(v, &values[0]), "every caller shares the one copy");
+        }
+        let stats = store.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 7, "every waiter lands as a hit once the build completes");
+        assert!(
+            (1..=7).contains(&stats.coalesced),
+            "contended lookups must report coalescing, got {}",
+            stats.coalesced
+        );
+    }
+
+    #[test]
+    fn coalescing_claimant_panic_hands_the_build_to_a_waiter() {
+        let store = Arc::new(
+            TestStore::open(StoreOptions::in_memory().with_coalescing(true)).expect("open"),
+        );
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (store, attempts, barrier) =
+                    (Arc::clone(&store), Arc::clone(&attempts), Arc::clone(&barrier));
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        store.get_or_build(4, (), || {
+                            // The first claimant dies; a waiter must take
+                            // over instead of hanging on the pending cell.
+                            if attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                                std::thread::sleep(Duration::from_millis(20));
+                                panic!("claimant exploded");
+                            }
+                            payload(4)
+                        })
+                    }))
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().expect("join")).collect();
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(ok, 3, "exactly the panicking lookup fails");
+        assert!(attempts.load(Ordering::Relaxed) >= 2, "a waiter re-claimed the build");
+        let recovered = store.get_or_build(4, (), || panic!("value must be resident"));
+        assert_eq!(*recovered, payload(4));
+    }
+
+    #[test]
+    fn non_coalescing_store_reports_zero_coalesced() {
+        let store = TestStore::in_memory();
+        let _ = store.get_or_build(1, (), || payload(1));
+        let _ = store.get_or_build(1, (), || payload(1));
+        assert_eq!(store.stats().coalesced, 0);
+        assert!(!store.options().coalesce);
+        assert!(StoreOptions::dir("/x").with_coalescing(true).subdir("gt").coalesce);
     }
 
     #[test]

@@ -132,7 +132,9 @@ fn bench_pipeline_engine(c: &mut Criterion) {
     options.store = nerflex_bench::store_options_from_args();
     let pipeline = NerflexPipeline::new(options);
     let cache = pipeline.open_cache();
-    let deployment = pipeline.run_with_cache(&scene, &dataset, &DeviceSpec::iphone_13(), &cache);
+    let deployment = pipeline
+        .try_run_with_cache(&scene, &dataset, &DeviceSpec::iphone_13(), &cache)
+        .expect("overhead deploy");
     let run_cache = cache.stats();
     if let Err(err) = cache.flush() {
         eprintln!("overhead bench: cache flush failed: {err}");

@@ -36,8 +36,9 @@ fn main() {
     let single = bake_single_nerf(&built.scene, baseline_config);
     let block = bake_block_nerf(&built.scene, baseline_config);
     let (iphone, _) = mode.devices(&single, &block);
-    let deployment =
-        NerflexPipeline::new(mode.pipeline_options()).run(&built.scene, &dataset, &iphone);
+    let deployment = NerflexPipeline::new(mode.pipeline_options())
+        .try_run(&built.scene, &dataset, &iphone)
+        .expect("fig4 deploy");
 
     let mut table = Table::new(
         &format!("Fig. 4 (memory constraint {:.0} MB)", iphone.recommended_budget_mb),

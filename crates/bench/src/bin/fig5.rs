@@ -38,8 +38,8 @@ fn main() {
         let (iphone, pixel) = mode.devices(&single, &block);
 
         let pipeline = NerflexPipeline::new(mode.pipeline_options());
-        let deploy_iphone = pipeline.run(&built.scene, &dataset, &iphone);
-        let deploy_pixel = pipeline.run(&built.scene, &dataset, &pixel);
+        let deploy_iphone = pipeline.try_run(&built.scene, &dataset, &iphone).expect("fig5 deploy");
+        let deploy_pixel = pipeline.try_run(&built.scene, &dataset, &pixel).expect("fig5 deploy");
 
         let eval_iphone = evaluate_deployment(&deploy_iphone, &built.scene, &dataset, 50, seed);
         let eval_pixel = evaluate_deployment(&deploy_pixel, &built.scene, &dataset, 50, seed);

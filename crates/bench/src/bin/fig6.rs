@@ -30,7 +30,7 @@ fn main() {
 
     for device in [&iphone, &pixel] {
         println!("\n--- {} ({} frames) ---", device.name, frames);
-        let deployment = pipeline.run(&built.scene, &dataset, device);
+        let deployment = pipeline.try_run(&built.scene, &dataset, device).expect("fig6 deploy");
         let nerflex_session = simulate_session(device, &deployment.workload(), frames, seed);
         println!(
             "NeRFlex   : {:.1} MB | avg {:.1} FPS | steady {:.1} FPS | stutter {:.1}%",

@@ -51,7 +51,8 @@ fn main() {
     // Hold the cache for the whole run so the report can distinguish what
     // this process baked from what a previous process left on disk.
     let cache = pipeline.open_cache();
-    let deployment = pipeline.run_with_cache(&built.scene, &dataset, &iphone, &cache);
+    let deployment =
+        pipeline.try_run_with_cache(&built.scene, &dataset, &iphone, &cache).expect("fig9 deploy");
     let run_cache = cache.stats();
     if let Err(err) = cache.flush() {
         eprintln!("fig9: cache flush failed: {err}");

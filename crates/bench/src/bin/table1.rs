@@ -23,8 +23,9 @@ fn main() {
     let single = bake_single_nerf(&built.scene, mode.baseline_config());
     let block = bake_block_nerf(&built.scene, mode.baseline_config());
     let (iphone, _) = mode.devices(&single, &block);
-    let deployment =
-        NerflexPipeline::new(mode.pipeline_options()).run(&built.scene, &dataset, &iphone);
+    let deployment = NerflexPipeline::new(mode.pipeline_options())
+        .try_run(&built.scene, &dataset, &iphone)
+        .expect("table1 deploy");
 
     let mip = evaluate_reference(BaselineMethod::MipNerf360, &built.scene, &dataset);
     let ngp = evaluate_reference(BaselineMethod::Ngp, &built.scene, &dataset);

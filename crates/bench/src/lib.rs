@@ -108,12 +108,10 @@ impl ExperimentMode {
             ExperimentMode::Quick => 0.05,
             ExperimentMode::Full => 1.0,
         };
-        nerflex_core::pipeline::PipelineOptions {
-            profiler: self.profiler_options(),
-            space: self.config_space(),
-            selector: Arc::new(DpSelector::with_quantization(quantization)),
-            ..nerflex_core::pipeline::PipelineOptions::default()
-        }
+        nerflex_core::pipeline::PipelineOptions::default()
+            .with_profiler(self.profiler_options())
+            .with_space(self.config_space())
+            .with_selector(Arc::new(DpSelector::with_quantization(quantization)))
     }
 
     /// The two evaluation devices at this scale.
@@ -347,7 +345,7 @@ mod tests {
 
         let pipeline = NerflexPipeline::new(ExperimentMode::Quick.pipeline_options());
         for device in [iphone, pixel] {
-            let deployment = pipeline.run(&scene, &dataset, &device);
+            let deployment = pipeline.try_run(&scene, &dataset, &device).expect("smoke deploy");
             // Budget correspondence: the selection respects the (predicted)
             // budget…
             assert!(

@@ -222,11 +222,9 @@ mod tests {
     #[test]
     fn nerflex_evaluation_is_complete_and_loads_on_device() {
         let (scene, dataset) = scene_and_dataset();
-        let deployment = NerflexPipeline::new(PipelineOptions::quick()).run(
-            &scene,
-            &dataset,
-            &DeviceSpec::iphone_13(),
-        );
+        let deployment = NerflexPipeline::new(PipelineOptions::quick())
+            .try_run(&scene, &dataset, &DeviceSpec::iphone_13())
+            .expect("evaluation deploy");
         let eval = evaluate_deployment(&deployment, &scene, &dataset, 200, 3);
         assert_eq!(eval.method, "NeRFlex");
         assert!(eval.renders(), "NeRFlex must fit the device budget");
@@ -273,11 +271,9 @@ mod tests {
     #[test]
     fn per_object_quality_covers_every_object() {
         let (scene, dataset) = scene_and_dataset();
-        let deployment = NerflexPipeline::new(PipelineOptions::quick()).run(
-            &scene,
-            &dataset,
-            &DeviceSpec::iphone_13(),
-        );
+        let deployment = NerflexPipeline::new(PipelineOptions::quick())
+            .try_run(&scene, &dataset, &DeviceSpec::iphone_13())
+            .expect("evaluation deploy");
         let per_object = per_object_quality(&deployment, &dataset, &scene);
         assert_eq!(per_object.len(), 2);
         for (_, name, ssim) in &per_object {

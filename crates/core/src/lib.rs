@@ -24,8 +24,35 @@
 //! let scene = EvaluationScene::Scene4.build(42);
 //! let dataset = scene.dataset(6, 2, 96);
 //! let pipeline = NerflexPipeline::new(PipelineOptions::quick());
-//! let deployment = pipeline.run(&scene.scene, &dataset, &DeviceSpec::iphone_13());
+//! let deployment = pipeline
+//!     .try_run(&scene.scene, &dataset, &DeviceSpec::iphone_13())
+//!     .expect("non-empty scene and dataset");
 //! println!("deployed {} MB", deployment.workload().data_size_mb);
+//! ```
+//!
+//! For a continuous stream of deployment requests — many devices, many
+//! duplicates — use the [`service`] layer instead of blocking calls:
+//!
+//! ```no_run
+//! use nerflex_core::pipeline::PipelineOptions;
+//! use nerflex_core::service::{DeployRequest, DeployService, ServiceOptions};
+//! use nerflex_core::experiments::EvaluationScene;
+//! use nerflex_device::DeviceSpec;
+//! use std::sync::Arc;
+//!
+//! let scene = EvaluationScene::Scene4.build(42);
+//! let dataset = Arc::new(scene.dataset(6, 2, 96));
+//! let scene = Arc::new(scene.scene);
+//! let service =
+//!     DeployService::new(ServiceOptions::inline(PipelineOptions::quick()).with_executors(2));
+//! for device in [DeviceSpec::iphone_13(), DeviceSpec::pixel_4()] {
+//!     service
+//!         .submit(DeployRequest::new(Arc::clone(&scene), Arc::clone(&dataset), device))
+//!         .expect("valid request");
+//! }
+//! for outcome in service.drain() {
+//!     println!("#{} -> {:016x}", outcome.ticket.id(), outcome.deployment_fingerprint);
+//! }
 //! ```
 
 #![deny(missing_docs)]
@@ -36,10 +63,14 @@ pub mod evaluation;
 pub mod experiments;
 pub mod pipeline;
 pub mod report;
+pub mod service;
 
 pub use baselines::{BaselineMethod, BaselineResult};
 pub use evaluation::{evaluate_deployment, DeploymentEvaluation};
 pub use pipeline::{
-    FleetDeployment, FleetStageRuns, NerflexDeployment, NerflexPipeline, PipelineOptions,
-    StageTimings,
+    FleetDeployment, FleetStageRuns, NerflexDeployment, NerflexPipeline, PipelineError,
+    PipelineOptions, StageTimings,
+};
+pub use service::{
+    DeployOutcome, DeployRequest, DeployService, DeployTicket, ServiceOptions, ServiceStats,
 };

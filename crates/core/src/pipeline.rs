@@ -38,6 +38,47 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Why a deployment request (or a whole pipeline run) was rejected at
+/// admission. These used to be `assert!` panics inside the entry points;
+/// the `try_*` variants ([`NerflexPipeline::try_run`],
+/// [`NerflexPipeline::try_deploy_fleet`],
+/// [`crate::service::DeployService::submit`]) report them as values so a
+/// long-running service can refuse one bad request without dying.
+///
+/// The `Display` strings deliberately contain the historical panic messages
+/// (`"cannot deploy an empty scene"`, `"need training views"`, `"need at
+/// least one device"`), so the deprecated panicking wrappers keep their
+/// observable behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PipelineError {
+    /// The scene has no objects.
+    EmptyScene,
+    /// The dataset has no training views (segmentation input).
+    EmptyDataset,
+    /// A fleet deployment was requested with no devices.
+    EmptyFleet,
+    /// A memory-budget override is not a positive finite number of MB.
+    InvalidBudget {
+        /// The budget that was requested.
+        requested_mb: f64,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyScene => write!(f, "cannot deploy an empty scene"),
+            Self::EmptyDataset => write!(f, "need training views to deploy"),
+            Self::EmptyFleet => write!(f, "need at least one device to deploy a fleet"),
+            Self::InvalidBudget { requested_mb } => {
+                write!(f, "invalid memory budget: {requested_mb} MB (must be positive and finite)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
 /// Options controlling a pipeline run.
 #[derive(Clone)]
 pub struct PipelineOptions {
@@ -49,9 +90,13 @@ pub struct PipelineOptions {
     pub space: ConfigSpace,
     /// The configuration selector (Algorithm 1 by default).
     pub selector: Arc<dyn ConfigSelector + Send + Sync>,
-    /// Override for the memory budget in MB; `None` uses the device's
-    /// recommended budget (240 MB iPhone / 150 MB Pixel).
-    pub budget_override_mb: Option<f64>,
+    /// Pipeline-wide fallback override for the memory budget in MB; `None`
+    /// uses the device's recommended budget (240 MB iPhone / 150 MB Pixel).
+    /// Per-request budgets belong on [`crate::service::DeployRequest`]
+    /// (`with_budget_mb`) — this field only remains as the fallback behind
+    /// the deprecated [`PipelineOptions::with_budget_override_mb`] sugar and
+    /// is deliberately no longer `pub`.
+    pub(crate) budget_override_mb: Option<f64>,
     /// Worker threads for the parallel stages (profiling, baking): `0` uses
     /// one worker per available core; `1` forces the sequential path (useful
     /// for determinism comparisons and single-core environments). Workers
@@ -129,9 +174,42 @@ impl PipelineOptions {
         }
     }
 
+    /// Replaces the segmentation policy (threshold rule, statistic,
+    /// interpolation — see [`PipelineOptions::segmentation`]).
+    pub fn with_segmentation(mut self, segmentation: SegmentationPolicy) -> Self {
+        self.segmentation = segmentation;
+        self
+    }
+
+    /// Replaces the profiler options (sample range, probe views — see
+    /// [`PipelineOptions::profiler`]).
+    pub fn with_profiler(mut self, profiler: ProfilerOptions) -> Self {
+        self.profiler = profiler;
+        self
+    }
+
+    /// Replaces the configuration space handed to the selector (see
+    /// [`PipelineOptions::space`]).
+    pub fn with_space(mut self, space: ConfigSpace) -> Self {
+        self.space = space;
+        self
+    }
+
     /// Replaces the selector (used by the Fig. 7 / Fig. 8 ablations).
     pub fn with_selector(mut self, selector: Arc<dyn ConfigSelector + Send + Sync>) -> Self {
         self.selector = selector;
+        self
+    }
+
+    /// Pins a pipeline-wide memory-budget override in MB, applied to every
+    /// device the pipeline deploys to.
+    #[deprecated(
+        since = "0.2.0",
+        note = "budgets are per-request now: set them on `DeployRequest::with_budget_mb` (the \
+                service path) — this sugar only installs a pipeline-wide fallback"
+    )]
+    pub fn with_budget_override_mb(mut self, budget_mb: f64) -> Self {
+        self.budget_override_mb = Some(budget_mb);
         self
     }
 
@@ -424,6 +502,11 @@ impl NerflexPipeline {
     /// [`NerflexPipeline::deploy_fleet`] do both automatically.
     pub fn open_cache(&self) -> BakeCache {
         if !self.options.store.is_persistent() {
+            // In-memory open cannot fail; going through `open` (rather than
+            // `new`) preserves non-location options such as coalescing.
+            if let Ok(cache) = BakeCache::open(&self.options.store) {
+                return cache;
+            }
             return BakeCache::new();
         }
         BakeCache::open(&self.options.store).unwrap_or_else(|err| {
@@ -433,15 +516,6 @@ impl NerflexPipeline {
             );
             BakeCache::new()
         })
-    }
-
-    /// Best-effort flush of a persistent cache at the end of an engine-owned
-    /// run (persistence is an optimisation — a failed flush costs re-bakes
-    /// next run, not correctness).
-    fn flush_cache(cache: &BakeCache) {
-        if let Err(err) = cache.flush() {
-            eprintln!("nerflex: bake-cache flush failed ({err}); next run starts colder");
-        }
     }
 
     /// Stage 1: detail-based segmentation.
@@ -458,6 +532,9 @@ impl NerflexPipeline {
     /// are bit-identical, so this is purely a cost optimisation.
     pub fn open_ground_truth_cache(&self) -> GroundTruthCache {
         if !self.options.store.is_persistent() {
+            if let Ok(cache) = GroundTruthCache::open(self.options.store.subdir("ground-truth")) {
+                return cache;
+            }
             return GroundTruthCache::new();
         }
         let options = self.options.store.subdir("ground-truth");
@@ -503,6 +580,11 @@ impl NerflexPipeline {
         profiler.measurement.metrics_workers = metrics_workers;
         let metrics_accounting = MetricsAccounting::new();
         let pool_before = self.options.pool.stats();
+        // Snapshot the ground-truth counters so the stage reports *this
+        // run's* deltas: a long-lived service reuses one cache across many
+        // requests, and cumulative totals would misattribute earlier work.
+        let gt_before = ground_truth.stats();
+        let gt_time_before = ground_truth.build_time();
         let profiled = self.options.pool.run(scene.len(), workers, |idx| {
             let object = &scene.objects()[idx];
             let t_obj = Instant::now();
@@ -528,10 +610,11 @@ impl NerflexPipeline {
                 profiling_serial: serial,
                 profiling_workers: workers,
                 profiling_sample_workers: sample_workers,
-                ground_truth: ground_truth.build_time(),
+                ground_truth: ground_truth.build_time() - gt_time_before,
                 ground_truth_workers: sample_workers,
-                ground_truth_builds: gt_stats.builds,
-                ground_truth_hits: gt_stats.hits + gt_stats.disk_hits,
+                ground_truth_builds: gt_stats.builds - gt_before.builds,
+                ground_truth_hits: (gt_stats.hits + gt_stats.disk_hits)
+                    - (gt_before.hits + gt_before.disk_hits),
                 metrics: metrics_accounting.time(),
                 metrics_workers,
                 metrics_evaluations: metrics_accounting.evaluations(),
@@ -591,14 +674,57 @@ impl NerflexPipeline {
         dataset: &Dataset,
         cache: &BakeCache,
     ) -> (Arc<SegmentationResult>, Arc<Vec<ObjectProfile>>, SharedStages) {
-        let (segmentation, segmentation_time) = self.stage_segmentation(dataset);
         let ground_truth = self.open_ground_truth_cache();
-        let (profiles, mut shared) = self.stage_profiling(scene, cache, &ground_truth);
+        let result = self.shared_stages_with(scene, dataset, cache, &ground_truth);
         if let Err(err) = ground_truth.flush() {
             eprintln!("nerflex: ground-truth flush failed ({err}); next run re-renders");
         }
+        result
+    }
+
+    /// [`NerflexPipeline::shared_stages`] against a caller-owned
+    /// ground-truth cache — the deployment service holds one cache across
+    /// its whole lifetime instead of opening and flushing per request.
+    pub(crate) fn shared_stages_with(
+        &self,
+        scene: &Scene,
+        dataset: &Dataset,
+        cache: &BakeCache,
+        ground_truth: &GroundTruthCache,
+    ) -> (Arc<SegmentationResult>, Arc<Vec<ObjectProfile>>, SharedStages) {
+        let (segmentation, segmentation_time) = self.stage_segmentation(dataset);
+        let (profiles, mut shared) = self.stage_profiling(scene, cache, ground_truth);
         shared.segmentation = segmentation_time;
         (Arc::new(segmentation), Arc::new(profiles), shared)
+    }
+
+    /// Checks the shared-stage inputs every entry point requires.
+    pub(crate) fn validate_inputs(scene: &Scene, dataset: &Dataset) -> Result<(), PipelineError> {
+        if scene.is_empty() {
+            return Err(PipelineError::EmptyScene);
+        }
+        if dataset.train.is_empty() {
+            return Err(PipelineError::EmptyDataset);
+        }
+        Ok(())
+    }
+
+    /// Resolves the memory budget for one request: the request's own
+    /// override when given, else the (deprecated) pipeline-wide override,
+    /// else the device's recommended budget. Overrides must be positive and
+    /// finite.
+    pub(crate) fn resolve_budget_mb(
+        &self,
+        request_override_mb: Option<f64>,
+        device: &DeviceSpec,
+    ) -> Result<f64, PipelineError> {
+        let budget_mb = request_override_mb
+            .or(self.options.budget_override_mb)
+            .unwrap_or(device.recommended_budget_mb);
+        if !budget_mb.is_finite() || budget_mb <= 0.0 {
+            return Err(PipelineError::InvalidBudget { requested_mb: budget_mb });
+        }
+        Ok(budget_mb)
     }
 
     /// Runs segmentation → profiling → selection → baking for one scene and
@@ -606,27 +732,62 @@ impl NerflexPipeline {
     /// [`BakeCache`]: the persistent store when [`PipelineOptions::store`]
     /// names one (opened before the run, flushed after, so bakes are shared
     /// across processes — and machines, for shared backends), a per-run
-    /// in-memory cache otherwise. Use [`NerflexPipeline::run_with_cache`] to manage
-    /// the cache yourself and [`NerflexPipeline::deploy_fleet`] to amortise
-    /// the shared stages over many devices.
+    /// in-memory cache otherwise. Use [`NerflexPipeline::try_run_with_cache`]
+    /// to manage the cache yourself, [`NerflexPipeline::try_deploy_fleet`] to
+    /// amortise the shared stages over many devices, and
+    /// [`crate::service::DeployService`] — which this delegates to — for a
+    /// long-running request stream.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the scene or dataset is empty.
-    pub fn run(&self, scene: &Scene, dataset: &Dataset, device: &DeviceSpec) -> NerflexDeployment {
-        let cache = self.open_cache();
-        let deployment = self.run_with_cache(scene, dataset, device, &cache);
-        Self::flush_cache(&cache);
-        deployment
+    /// Returns a [`PipelineError`] when the scene or dataset is empty.
+    pub fn try_run(
+        &self,
+        scene: &Scene,
+        dataset: &Dataset,
+        device: &DeviceSpec,
+    ) -> Result<NerflexDeployment, PipelineError> {
+        let fleet = self.try_deploy_fleet(scene, dataset, std::slice::from_ref(device))?;
+        Ok(fleet.deployments.into_iter().next().expect("one device yields one deployment"))
     }
 
-    /// [`NerflexPipeline::run`] against a caller-owned [`BakeCache`], so
+    /// Deprecated panicking form of [`NerflexPipeline::try_run`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_run`, which reports invalid input as `PipelineError` instead of panicking"
+    )]
+    pub fn run(&self, scene: &Scene, dataset: &Dataset, device: &DeviceSpec) -> NerflexDeployment {
+        self.try_run(scene, dataset, device).unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// [`NerflexPipeline::try_run`] against a caller-owned [`BakeCache`], so
     /// sample and final bakes persist across pipeline runs (e.g. re-deploying
-    /// after a budget change re-bakes nothing that was already baked).
+    /// after a budget change re-bakes nothing that was already baked). This
+    /// is the direct engine path — the borrowed cache keeps it off the
+    /// service queue.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the scene or dataset is empty.
+    /// Returns a [`PipelineError`] when the scene or dataset is empty.
+    pub fn try_run_with_cache(
+        &self,
+        scene: &Scene,
+        dataset: &Dataset,
+        device: &DeviceSpec,
+        cache: &BakeCache,
+    ) -> Result<NerflexDeployment, PipelineError> {
+        Self::validate_inputs(scene, dataset)?;
+        let budget_mb = self.resolve_budget_mb(None, device)?;
+        let (segmentation, profiles, shared) = self.shared_stages(scene, dataset, cache);
+        Ok(self.deploy_budget(scene, device, budget_mb, &segmentation, &profiles, cache, shared))
+    }
+
+    /// Deprecated panicking form of [`NerflexPipeline::try_run_with_cache`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_run_with_cache`, which reports invalid input as `PipelineError` instead \
+                of panicking"
+    )]
     pub fn run_with_cache(
         &self,
         scene: &Scene,
@@ -634,11 +795,7 @@ impl NerflexPipeline {
         device: &DeviceSpec,
         cache: &BakeCache,
     ) -> NerflexDeployment {
-        assert!(!scene.is_empty(), "cannot deploy an empty scene");
-        assert!(!dataset.train.is_empty(), "need training views");
-
-        let (segmentation, profiles, shared) = self.shared_stages(scene, dataset, cache);
-        self.deploy_budget(scene, device, &segmentation, &profiles, cache, shared)
+        self.try_run_with_cache(scene, dataset, device, cache).unwrap_or_else(|err| panic!("{err}"))
     }
 
     /// Prepares one scene for a whole fleet of devices, amortising the
@@ -648,55 +805,90 @@ impl NerflexPipeline {
     /// shared cache (an asset baked for one device — or probed by the
     /// profiler — is reused by every other device that selects it).
     ///
-    /// # Panics
+    /// Since the deployment-service rework this is a thin wrapper over
+    /// [`crate::service::DeployService`]: one request per device is admitted
+    /// to an inline (same-thread) service, whose scene-level coalescing
+    /// reproduces exactly the old one-shared-stage-run behaviour — and whose
+    /// outputs are bit-identical to it (`docs/service.md`).
     ///
-    /// Panics when the scene, dataset or device list is empty.
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] when the scene, dataset or device list is
+    /// empty.
+    pub fn try_deploy_fleet(
+        &self,
+        scene: &Scene,
+        dataset: &Dataset,
+        devices: &[DeviceSpec],
+    ) -> Result<FleetDeployment, PipelineError> {
+        Self::validate_inputs(scene, dataset)?;
+        if devices.is_empty() {
+            return Err(PipelineError::EmptyFleet);
+        }
+        let service = crate::service::DeployService::new(crate::service::ServiceOptions::inline(
+            self.options.clone(),
+        ));
+        let scene = Arc::new(scene.clone());
+        let dataset = Arc::new(dataset.clone());
+        for device in devices {
+            service.submit(crate::service::DeployRequest::new(
+                Arc::clone(&scene),
+                Arc::clone(&dataset),
+                device.clone(),
+            ))?;
+        }
+        let mut outcomes = service.drain();
+        // Tickets are issued in submission order: sorting restores the
+        // caller's device order regardless of the queue's scheduling.
+        outcomes.sort_by_key(|outcome| outcome.ticket.id());
+        let stats = service.stats();
+        let cache = service.cache_stats();
+        service.shutdown();
+        Ok(FleetDeployment {
+            stage_runs: FleetStageRuns {
+                segmentation: stats.shared_stage_runs,
+                profiling: stats.shared_stage_runs,
+                selection: outcomes.len(),
+                baking: outcomes.len(),
+            },
+            cache,
+            deployments: outcomes.into_iter().map(|outcome| outcome.deployment).collect(),
+        })
+    }
+
+    /// Deprecated panicking form of [`NerflexPipeline::try_deploy_fleet`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_deploy_fleet`, which reports invalid input as `PipelineError` instead of \
+                panicking"
+    )]
     pub fn deploy_fleet(
         &self,
         scene: &Scene,
         dataset: &Dataset,
         devices: &[DeviceSpec],
     ) -> FleetDeployment {
-        assert!(!scene.is_empty(), "cannot deploy an empty scene");
-        assert!(!dataset.train.is_empty(), "need training views");
-        assert!(!devices.is_empty(), "need at least one device");
-
-        let cache = self.open_cache();
-        let (segmentation, profiles, shared) = self.shared_stages(scene, dataset, &cache);
-        let deployments: Vec<NerflexDeployment> = devices
-            .iter()
-            .map(|device| {
-                self.deploy_budget(scene, device, &segmentation, &profiles, &cache, shared)
-            })
-            .collect();
-        Self::flush_cache(&cache);
-
-        FleetDeployment {
-            stage_runs: FleetStageRuns {
-                segmentation: 1,
-                profiling: 1,
-                selection: deployments.len(),
-                baking: deployments.len(),
-            },
-            cache: cache.stats(),
-            deployments,
-        }
+        self.try_deploy_fleet(scene, dataset, devices).unwrap_or_else(|err| panic!("{err}"))
     }
 
     /// The per-budget tail of the pipeline (selection + baking) over shared
     /// segmentation/profiling outputs. The `Arc`s are cloned by reference
     /// count only — a fleet's deployments share one copy of the segmentation
-    /// data and the profiles.
-    fn deploy_budget(
+    /// data and the profiles. `budget_mb` is resolved by the caller
+    /// ([`NerflexPipeline::resolve_budget_mb`]) so per-request overrides
+    /// flow through [`crate::service::DeployRequest`] instead of the
+    /// options.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn deploy_budget(
         &self,
         scene: &Scene,
         device: &DeviceSpec,
+        budget_mb: f64,
         segmentation: &Arc<SegmentationResult>,
         profiles: &Arc<Vec<ObjectProfile>>,
         cache: &BakeCache,
         shared: SharedStages,
     ) -> NerflexDeployment {
-        let budget_mb = self.options.budget_override_mb.unwrap_or(device.recommended_budget_mb);
         let (selection, selection_time) = self.stage_selection(profiles, budget_mb);
         let (assets, baking_time, cache_delta, baking_workers) =
             self.stage_baking(scene, &selection, cache);
@@ -735,9 +927,10 @@ impl NerflexPipeline {
 }
 
 /// Timings of the device-independent stages, shared by every deployment a
-/// fleet run produces.
+/// fleet run produces (and, through the service's scene-level coalescing,
+/// by every request that shared one segmentation + profiling run).
 #[derive(Debug, Clone, Copy)]
-struct SharedStages {
+pub(crate) struct SharedStages {
     segmentation: Duration,
     profiling: Duration,
     profiling_serial: Duration,
@@ -776,7 +969,8 @@ mod tests {
     fn quick_pipeline_produces_a_deployable_bundle() {
         let (scene, dataset) = small_scene_and_dataset();
         let pipeline = NerflexPipeline::new(PipelineOptions::quick());
-        let deployment = pipeline.run(&scene, &dataset, &DeviceSpec::iphone_13());
+        let deployment =
+            pipeline.try_run(&scene, &dataset, &DeviceSpec::iphone_13()).expect("deploy");
 
         assert_eq!(deployment.assets.len(), 2);
         assert_eq!(deployment.profiles.len(), 2);
@@ -812,11 +1006,13 @@ mod tests {
         // sampling also probes (g ∈ {10, 30, 40} × p ∈ {3, 6, 9} corners).
         // The final bake must therefore be answered by the cache.
         let (scene, dataset) = small_scene_and_dataset();
-        let pipeline = NerflexPipeline::new(PipelineOptions {
-            budget_override_mb: Some(500.0),
-            ..PipelineOptions::quick()
-        });
-        let deployment = pipeline.run(&scene, &dataset, &DeviceSpec::iphone_13());
+        // The deprecated pipeline-wide override still works as sugar for a
+        // per-request budget.
+        #[allow(deprecated)]
+        let pipeline =
+            NerflexPipeline::new(PipelineOptions::quick().with_budget_override_mb(500.0));
+        let deployment =
+            pipeline.try_run(&scene, &dataset, &DeviceSpec::iphone_13()).expect("deploy");
         let profiled: Vec<BakeConfig> =
             deployment.profiles[0].samples.iter().map(|s| s.config).collect();
         let picked_profiled =
@@ -846,7 +1042,8 @@ mod tests {
         let scene = Scene::with_objects(&[CanonicalObject::Hotdog, CanonicalObject::Hotdog], 13);
         let dataset = Dataset::generate(&scene, 3, 1, 48, 48);
         let pipeline = NerflexPipeline::new(PipelineOptions::quick().with_worker_threads(1));
-        let deployment = pipeline.run(&scene, &dataset, &DeviceSpec::pixel_4());
+        let deployment =
+            pipeline.try_run(&scene, &dataset, &DeviceSpec::pixel_4()).expect("deploy");
         let t = deployment.timings;
         assert_eq!(t.ground_truth_builds, 1, "duplicate object must hit the GT cache: {t:?}");
         assert_eq!(t.ground_truth_hits, 1);
@@ -870,9 +1067,11 @@ mod tests {
         let (scene, dataset) = small_scene_and_dataset();
         let device = DeviceSpec::pixel_4();
         let sequential = NerflexPipeline::new(PipelineOptions::quick().with_worker_threads(1))
-            .run(&scene, &dataset, &device);
+            .try_run(&scene, &dataset, &device)
+            .expect("deploy");
         let parallel = NerflexPipeline::new(PipelineOptions::quick().with_worker_threads(4))
-            .run(&scene, &dataset, &device);
+            .try_run(&scene, &dataset, &device)
+            .expect("deploy");
 
         assert_eq!(sequential.timings.profiling_workers, 1);
         assert_eq!(parallel.timings.profiling_workers, 2); // capped by object count
@@ -893,8 +1092,9 @@ mod tests {
         let device = DeviceSpec::pixel_4();
         let cache = BakeCache::new();
         let pipeline = NerflexPipeline::new(PipelineOptions::quick());
-        let first = pipeline.run_with_cache(&scene, &dataset, &device, &cache);
-        let second = pipeline.run_with_cache(&scene, &dataset, &device, &cache);
+        let first = pipeline.try_run_with_cache(&scene, &dataset, &device, &cache).expect("deploy");
+        let second =
+            pipeline.try_run_with_cache(&scene, &dataset, &device, &cache).expect("deploy");
         // The second run re-profiles against a warm cache: every sample bake
         // and every final bake is a hit.
         assert_eq!(second.timings.cache_misses, 0, "warm cache must re-bake nothing");
@@ -905,17 +1105,29 @@ mod tests {
     #[test]
     fn budget_override_constrains_the_selection() {
         let (scene, dataset) = small_scene_and_dataset();
-        let tight = NerflexPipeline::new(PipelineOptions {
-            budget_override_mb: Some(6.0),
-            ..PipelineOptions::quick()
-        });
-        let generous = NerflexPipeline::new(PipelineOptions {
-            budget_override_mb: Some(200.0),
-            ..PipelineOptions::quick()
-        });
+        // Budgets are per-request now: the same pipeline serves both through
+        // the service's request builder.
+        let service = crate::service::DeployService::new(crate::service::ServiceOptions::inline(
+            PipelineOptions::quick(),
+        ));
         let device = DeviceSpec::pixel_4();
-        let d_tight = tight.run(&scene, &dataset, &device);
-        let d_generous = generous.run(&scene, &dataset, &device);
+        let scene = Arc::new(scene);
+        let dataset = Arc::new(dataset);
+        let deploy_at = |budget_mb: f64| {
+            service
+                .submit(
+                    crate::service::DeployRequest::new(
+                        Arc::clone(&scene),
+                        Arc::clone(&dataset),
+                        device.clone(),
+                    )
+                    .with_budget_mb(budget_mb),
+                )
+                .expect("valid request");
+            service.next_outcome().expect("one outcome").deployment
+        };
+        let d_tight = deploy_at(6.0);
+        let d_generous = deploy_at(200.0);
         assert!(d_tight.selection.total_size_mb <= 6.0 + 1e-6 || !d_tight.selection.feasible);
         assert!(d_generous.selection.total_size_mb >= d_tight.selection.total_size_mb);
         assert!(d_generous.selection.total_quality >= d_tight.selection.total_quality - 1e-9);
@@ -927,7 +1139,8 @@ mod tests {
         let pipeline = NerflexPipeline::new(
             PipelineOptions::quick().with_selector(Arc::new(FairnessSelector)),
         );
-        let deployment = pipeline.run(&scene, &dataset, &DeviceSpec::pixel_4());
+        let deployment =
+            pipeline.try_run(&scene, &dataset, &DeviceSpec::pixel_4()).expect("deploy");
         assert_eq!(deployment.selection.selector, "Fairness");
         assert_eq!(deployment.assets.len(), 2);
     }
@@ -936,8 +1149,9 @@ mod tests {
     fn fleet_deployment_shares_the_expensive_stages() {
         let (scene, dataset) = small_scene_and_dataset();
         let devices = [DeviceSpec::iphone_13(), DeviceSpec::pixel_4()];
-        let fleet =
-            NerflexPipeline::new(PipelineOptions::quick()).deploy_fleet(&scene, &dataset, &devices);
+        let fleet = NerflexPipeline::new(PipelineOptions::quick())
+            .try_deploy_fleet(&scene, &dataset, &devices)
+            .expect("fleet deploy");
 
         // Segmentation and profiling ran exactly once for the whole fleet;
         // selection and baking ran once per device.
@@ -965,11 +1179,79 @@ mod tests {
     }
 
     #[test]
+    fn try_entry_points_report_invalid_inputs_as_errors() {
+        let (scene, dataset) = small_scene_and_dataset();
+        let empty_scene = Scene::new();
+        let empty_dataset = Dataset { train: vec![], test: vec![], width: 32, height: 32 };
+        let pipeline = NerflexPipeline::new(PipelineOptions::quick());
+        let device = DeviceSpec::iphone_13();
+
+        assert_eq!(
+            pipeline.try_run(&empty_scene, &dataset, &device).err(),
+            Some(PipelineError::EmptyScene)
+        );
+        assert_eq!(
+            pipeline.try_run(&scene, &empty_dataset, &device).err(),
+            Some(PipelineError::EmptyDataset)
+        );
+        assert_eq!(
+            pipeline.try_deploy_fleet(&scene, &dataset, &[]).err(),
+            Some(PipelineError::EmptyFleet)
+        );
+        let cache = BakeCache::new();
+        assert_eq!(
+            pipeline.try_run_with_cache(&empty_scene, &dataset, &device, &cache).err(),
+            Some(PipelineError::EmptyScene)
+        );
+    }
+
+    #[test]
+    fn pipeline_errors_display_the_historic_panic_messages() {
+        // The deprecated panicking wrappers format these errors into their
+        // panic message — the strings the old asserts used must survive.
+        assert!(PipelineError::EmptyScene.to_string().contains("cannot deploy an empty scene"));
+        assert!(PipelineError::EmptyDataset.to_string().contains("need training views"));
+        assert!(PipelineError::EmptyFleet.to_string().contains("need at least one device"));
+        let err = PipelineError::InvalidBudget { requested_mb: -3.0 };
+        assert!(err.to_string().contains("invalid memory budget"));
+        assert!(err.to_string().contains("-3"));
+        let dynamic: &dyn std::error::Error = &err;
+        assert!(!dynamic.to_string().is_empty());
+    }
+
+    #[test]
+    fn options_builders_round_trip_the_default() {
+        // Every PipelineOptions field has a `with_*` builder, and rebuilding
+        // the default from its own parts changes nothing observable.
+        let default = PipelineOptions::default();
+        let rebuilt = PipelineOptions::default()
+            .with_segmentation(default.segmentation)
+            .with_profiler(default.profiler)
+            .with_space(default.space.clone())
+            .with_selector(Arc::clone(&default.selector))
+            .with_worker_threads(default.worker_threads)
+            .with_store(default.store.clone())
+            .with_pool(default.pool);
+        assert_eq!(rebuilt.profiler.range, default.profiler.range);
+        assert_eq!(rebuilt.space.configurations().len(), default.space.configurations().len());
+        assert_eq!(rebuilt.worker_threads, default.worker_threads);
+        assert_eq!(rebuilt.store.describe(), default.store.describe());
+        assert_eq!(rebuilt.budget_override_mb, None);
+        assert!(std::ptr::eq(rebuilt.pool, default.pool));
+        // The deprecated sugar still routes to the same field the requests
+        // override.
+        #[allow(deprecated)]
+        let sugared = PipelineOptions::default().with_budget_override_mb(42.0);
+        assert_eq!(sugared.budget_override_mb, Some(42.0));
+    }
+
+    #[test]
     #[should_panic(expected = "empty scene")]
     fn empty_scene_panics() {
         let scene = Scene::new();
         let other = Scene::with_objects(&[CanonicalObject::Hotdog], 1);
         let dataset = Dataset::generate(&other, 1, 1, 32, 32);
+        #[allow(deprecated)]
         let _ = NerflexPipeline::default().run(&scene, &dataset, &DeviceSpec::iphone_13());
     }
 
@@ -977,6 +1259,7 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn empty_fleet_panics() {
         let (scene, dataset) = small_scene_and_dataset();
+        #[allow(deprecated)]
         let _ = NerflexPipeline::new(PipelineOptions::quick()).deploy_fleet(&scene, &dataset, &[]);
     }
 }

@@ -1,0 +1,857 @@
+//! The fleet deployment service: a long-running, request-based layer above
+//! the pipeline engine.
+//!
+//! [`NerflexPipeline::try_deploy_fleet`] is one blocking call for one scene.
+//! A production fleet looks different: many devices continuously requesting
+//! scene deployments, most of them duplicates of work already in flight or
+//! already resident. [`DeployService`] admits [`DeployRequest`] values at
+//! high rate, schedules them over the shared worker pool, and streams
+//! [`DeployOutcome`]s out as they complete, with three mechanics on top of
+//! the engine:
+//!
+//! * **Scene-level shared-stage coalescing** — requests for the same scene
+//!   (by content fingerprint, not pointer) share **one** segmentation +
+//!   profiling run. The first request claims the scene's stage cell and
+//!   builds; concurrent requests wait on the cell — contributing to the
+//!   builder's pool batches via [`WorkerPool::wait_until`] instead of
+//!   sleeping — and reuse the `Arc`-shared outputs.
+//! * **In-flight dedup by content fingerprint** — the service opens its
+//!   stores with [`StoreOptions::coalesce`], so two concurrent requests
+//!   needing the same bake or ground truth wait on one in-flight
+//!   computation, keyed by the same fingerprints the stores already use.
+//! * **Priority + warm-cache-first ordering** — the queue pops the highest
+//!   priority first, prefers requests whose scene's shared stages are
+//!   already resident (they complete without paying the expensive stages),
+//!   and breaks ties by admission order.
+//!
+//! **Determinism:** given the same request set, the deployments (assets,
+//! selections, `deployment_fingerprint`s) are bit-identical regardless of
+//! admission order, executor count, worker count, or which request happened
+//! to pay for a coalesced computation. Only the diagnostics (timings, who
+//! hit vs who built) depend on scheduling. `docs/service.md` states the
+//! full contract.
+
+use crate::pipeline::{
+    NerflexDeployment, NerflexPipeline, PipelineError, PipelineOptions, SharedStages,
+};
+use nerflex_bake::{model_fingerprint, BakeCache, CacheStats};
+use nerflex_device::DeviceSpec;
+use nerflex_math::WorkerPool;
+use nerflex_profile::{GroundTruthCache, GroundTruthStats, ObjectProfile};
+use nerflex_scene::dataset::Dataset;
+use nerflex_scene::scene::Scene;
+use nerflex_seg::SegmentationResult;
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+// ---------------------------------------------------------------------------
+// Requests and tickets
+// ---------------------------------------------------------------------------
+
+/// One deployment request: a scene + dataset to prepare for one device,
+/// with an optional per-request budget override and a scheduling priority.
+///
+/// This is the single request type every deploy path goes through — the
+/// blocking [`NerflexPipeline::try_deploy_fleet`] wrapper builds these
+/// internally. Budgets moved here from `PipelineOptions`: a budget belongs
+/// to a request, not to the engine.
+///
+/// ```
+/// use nerflex_core::service::DeployRequest;
+/// use nerflex_device::DeviceSpec;
+/// use nerflex_scene::{dataset::Dataset, scene::Scene};
+/// use nerflex_scene::object::CanonicalObject;
+///
+/// let scene = Scene::with_objects(&[CanonicalObject::Hotdog], 7);
+/// let dataset = Dataset::generate(&scene, 2, 1, 32, 32);
+/// let request = DeployRequest::new(scene, dataset, DeviceSpec::pixel_4())
+///     .with_budget_mb(96.0)
+///     .with_priority(3);
+/// assert_eq!(request.budget_override_mb(), Some(96.0));
+/// assert_eq!(request.priority(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeployRequest {
+    scene: Arc<Scene>,
+    dataset: Arc<Dataset>,
+    device: DeviceSpec,
+    budget_override_mb: Option<f64>,
+    priority: i32,
+}
+
+impl DeployRequest {
+    /// A request to deploy `scene` (trained from `dataset`) to `device`,
+    /// with default priority 0 and the device's recommended budget.
+    /// `Arc`-wrapped scenes/datasets are accepted directly, so duplicate
+    /// requests share one copy.
+    pub fn new(
+        scene: impl Into<Arc<Scene>>,
+        dataset: impl Into<Arc<Dataset>>,
+        device: DeviceSpec,
+    ) -> Self {
+        Self {
+            scene: scene.into(),
+            dataset: dataset.into(),
+            device,
+            budget_override_mb: None,
+            priority: 0,
+        }
+    }
+
+    /// Overrides the memory budget for this request only (MB). Must be
+    /// positive and finite — [`DeployService::submit`] rejects the request
+    /// with [`PipelineError::InvalidBudget`] otherwise.
+    pub fn with_budget_mb(mut self, budget_mb: f64) -> Self {
+        self.budget_override_mb = Some(budget_mb);
+        self
+    }
+
+    /// Sets the scheduling priority (higher pops first; default 0).
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// The scene to deploy.
+    pub fn scene(&self) -> &Arc<Scene> {
+        &self.scene
+    }
+
+    /// The dataset the scene is profiled/segmented against.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.dataset
+    }
+
+    /// The target device.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// The per-request budget override, when set.
+    pub fn budget_override_mb(&self) -> Option<f64> {
+        self.budget_override_mb
+    }
+
+    /// The scheduling priority.
+    pub fn priority(&self) -> i32 {
+        self.priority
+    }
+}
+
+/// Handle to an admitted request, returned by [`DeployService::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeployTicket {
+    id: u64,
+    scene_key: u64,
+}
+
+impl DeployTicket {
+    /// Admission sequence number (strictly increasing per service).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The content fingerprint of the request's (scene, dataset) pair — the
+    /// coalescing key. Requests with equal keys share one shared-stage run.
+    pub fn scene_key(&self) -> u64 {
+        self.scene_key
+    }
+}
+
+/// One completed request: the deployment plus its service-level metadata.
+#[derive(Debug, Clone)]
+pub struct DeployOutcome {
+    /// The ticket [`DeployService::submit`] returned for this request.
+    pub ticket: DeployTicket,
+    /// The finished deployment (identical to what the blocking engine path
+    /// produces for the same inputs).
+    pub deployment: NerflexDeployment,
+    /// `true` when this request reused another request's shared-stage run
+    /// instead of paying for segmentation + profiling itself.
+    pub coalesced: bool,
+    /// Canonical byte-level fingerprint of the deployment's baked assets
+    /// ([`nerflex_bake::disk::deployment_fingerprint`]) — equal across
+    /// admission orders, worker counts and dedup hits.
+    pub deployment_fingerprint: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Stats and options
+// ---------------------------------------------------------------------------
+
+/// Counters describing what a [`DeployService`] has done — the fig9-style
+/// numbers the service bench surfaces as JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Requests admitted (tickets issued).
+    pub admitted: u64,
+    /// Requests rejected at admission (empty scene/dataset, bad budget).
+    pub rejected: u64,
+    /// Requests completed (outcomes produced).
+    pub completed: u64,
+    /// Completed requests that reused another request's shared-stage run.
+    pub coalesced: u64,
+    /// Segmentation + profiling runs actually paid for — one per distinct
+    /// scene content fingerprint, regardless of how many requests named it.
+    pub shared_stage_runs: usize,
+    /// Requests currently being processed.
+    pub in_flight: usize,
+    /// Requests admitted but not yet claimed by an executor.
+    pub queue_depth: usize,
+    /// Store-level dedup: bake lookups that waited on another lookup's
+    /// in-flight bake instead of duplicating it.
+    pub bake_coalesced: usize,
+    /// Store-level dedup: ground-truth lookups that waited on another
+    /// lookup's in-flight render.
+    pub ground_truth_coalesced: usize,
+}
+
+impl std::fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} admitted / {} completed ({} coalesced onto {} shared-stage runs), {} queued, \
+             {} in flight, store dedup {} bakes / {} ground truths, {} rejected",
+            self.admitted,
+            self.completed,
+            self.coalesced,
+            self.shared_stage_runs,
+            self.queue_depth,
+            self.in_flight,
+            self.bake_coalesced,
+            self.ground_truth_coalesced,
+            self.rejected,
+        )
+    }
+}
+
+/// How to run a [`DeployService`].
+#[derive(Debug, Clone)]
+pub struct ServiceOptions {
+    /// Engine options (stores, pool, worker budget, profiler, selector).
+    /// The service re-opens the stores with in-flight dedup
+    /// ([`nerflex_bake::StoreOptions::coalesce`]) enabled.
+    pub pipeline: PipelineOptions,
+    /// Executor threads draining the queue. `0` is *inline mode*: no
+    /// background threads — requests are processed on whichever thread
+    /// calls [`DeployService::next_outcome`] / [`DeployService::drain`].
+    /// Inline mode with one caller is the bit-for-bit sequential reference
+    /// path (and what [`NerflexPipeline::try_deploy_fleet`] uses).
+    pub executors: usize,
+}
+
+impl ServiceOptions {
+    /// Inline mode (no executor threads) over the given engine options.
+    pub fn inline(pipeline: PipelineOptions) -> Self {
+        Self { pipeline, executors: 0 }
+    }
+
+    /// Returns the options with `executors` background executor threads.
+    pub fn with_executors(mut self, executors: usize) -> Self {
+        self.executors = executors;
+        self
+    }
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        Self::inline(PipelineOptions::default())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Internals
+// ---------------------------------------------------------------------------
+
+/// The outputs of one shared-stage (segmentation + profiling) run, shared
+/// by reference count across every request that coalesced onto it.
+#[derive(Clone)]
+struct SharedOutputs {
+    segmentation: Arc<SegmentationResult>,
+    profiles: Arc<Vec<ObjectProfile>>,
+    shared: SharedStages,
+}
+
+/// Per-scene coalescing cell: the first request claims the build, everyone
+/// else waits on the cell.
+struct StageCell {
+    state: Mutex<StageState>,
+    cond: Condvar,
+}
+
+enum StageState {
+    /// Nobody has started (or the previous claimant panicked — retry).
+    Idle,
+    /// A request is running segmentation + profiling right now.
+    Building,
+    /// Outputs resident; every subsequent request reuses them.
+    Ready(SharedOutputs),
+}
+
+impl StageCell {
+    fn new() -> Self {
+        Self { state: Mutex::new(StageState::Idle), cond: Condvar::new() }
+    }
+
+    /// `true` when the cell's outputs are resident (the "warm" half of the
+    /// warm-cache-first ordering).
+    fn is_ready(&self) -> bool {
+        matches!(*self.state.lock().expect("stage cell poisoned"), StageState::Ready(_))
+    }
+}
+
+/// An admitted request waiting in (or claimed from) the queue.
+struct Queued {
+    ticket: DeployTicket,
+    request: DeployRequest,
+}
+
+/// Queue + completion state behind one mutex.
+struct QueueState {
+    queued: Vec<Queued>,
+    completed: VecDeque<DeployOutcome>,
+    in_flight: usize,
+    shutdown: bool,
+}
+
+struct ServiceShared {
+    pipeline: NerflexPipeline,
+    cache: BakeCache,
+    ground_truth: GroundTruthCache,
+    queue: Mutex<QueueState>,
+    /// Signals executors: a request was admitted or shutdown requested.
+    work: Condvar,
+    /// Signals consumers: an outcome landed or `in_flight` changed.
+    done: Condvar,
+    /// scene_key → coalescing cell. Lock order: `queue` → `stages` →
+    /// `StageCell::state`; builds run with no lock held.
+    stages: Mutex<HashMap<u64, Arc<StageCell>>>,
+    /// First panic payloads from executor threads, re-raised on the next
+    /// consumer call so a dying request can't hang `drain`.
+    panics: Mutex<Vec<Box<dyn Any + Send>>>,
+    next_ticket: AtomicU64,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    coalesced: AtomicU64,
+    shared_stage_runs: AtomicUsize,
+}
+
+impl ServiceShared {
+    /// Pops the best queued request: highest priority first, then warm
+    /// scenes (shared stages already resident), then admission order.
+    fn pop_best(&self, q: &mut QueueState) -> Option<Queued> {
+        if q.queued.is_empty() {
+            return None;
+        }
+        let stages = self.stages.lock().expect("stage map poisoned");
+        let warm = |key: u64| -> bool { stages.get(&key).is_some_and(|cell| cell.is_ready()) };
+        let best = q
+            .queued
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, job)| {
+                (job.request.priority, warm(job.ticket.scene_key), std::cmp::Reverse(job.ticket.id))
+            })
+            .map(|(idx, _)| idx)?;
+        Some(q.queued.remove(best))
+    }
+
+    /// Runs (or reuses) the shared stages for one scene key. Returns the
+    /// outputs plus whether this request coalesced onto another's run.
+    fn acquire_stages(&self, job: &Queued) -> (SharedOutputs, bool) {
+        let cell = {
+            let mut stages = self.stages.lock().expect("stage map poisoned");
+            Arc::clone(
+                stages.entry(job.ticket.scene_key).or_insert_with(|| Arc::new(StageCell::new())),
+            )
+        };
+        loop {
+            {
+                let mut state = cell.state.lock().expect("stage cell poisoned");
+                match &*state {
+                    StageState::Ready(outputs) => return (outputs.clone(), true),
+                    StageState::Idle => {
+                        *state = StageState::Building;
+                        break;
+                    }
+                    StageState::Building => {}
+                }
+            }
+            // Someone else is building: contribute to their pool batches
+            // instead of sleeping (WorkerPool::wait_until), then re-check.
+            // The builder never waits on this request in return, so the
+            // wait hierarchy (stage cell → store entries → pool batches) is
+            // acyclic and cannot deadlock.
+            self.pool().wait_until(|| {
+                !matches!(*cell.state.lock().expect("stage cell poisoned"), StageState::Building)
+            });
+        }
+
+        // This request claimed the build. A panic rolls the cell back to
+        // Idle and wakes the waiters so one of them re-claims.
+        let built = catch_unwind(AssertUnwindSafe(|| {
+            self.pipeline.shared_stages_with(
+                &job.request.scene,
+                &job.request.dataset,
+                &self.cache,
+                &self.ground_truth,
+            )
+        }));
+        let mut state = cell.state.lock().expect("stage cell poisoned");
+        match built {
+            Ok((segmentation, profiles, shared)) => {
+                let outputs = SharedOutputs { segmentation, profiles, shared };
+                *state = StageState::Ready(outputs.clone());
+                drop(state);
+                cell.cond.notify_all();
+                self.shared_stage_runs.fetch_add(1, Ordering::Relaxed);
+                (outputs, false)
+            }
+            Err(payload) => {
+                *state = StageState::Idle;
+                drop(state);
+                cell.cond.notify_all();
+                resume_unwind(payload);
+            }
+        }
+    }
+
+    /// Processes one claimed request end to end.
+    fn process(&self, job: &Queued) -> DeployOutcome {
+        let (outputs, coalesced) = self.acquire_stages(job);
+        let budget_mb = self
+            .pipeline
+            .resolve_budget_mb(job.request.budget_override_mb, &job.request.device)
+            .expect("budget validated at admission");
+        let deployment = self.pipeline.deploy_budget(
+            &job.request.scene,
+            &job.request.device,
+            budget_mb,
+            &outputs.segmentation,
+            &outputs.profiles,
+            &self.cache,
+            outputs.shared,
+        );
+        let deployment_fingerprint = nerflex_bake::disk::deployment_fingerprint(&deployment.assets);
+        if coalesced {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+        }
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        DeployOutcome { ticket: job.ticket, deployment, coalesced, deployment_fingerprint }
+    }
+
+    fn pool(&self) -> &'static WorkerPool {
+        self.pipeline.options().pool
+    }
+
+    /// Executor thread body: claim → process → publish, until shutdown.
+    fn executor_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().expect("service queue poisoned");
+                loop {
+                    if q.shutdown {
+                        return;
+                    }
+                    if let Some(job) = self.pop_best(&mut q) {
+                        q.in_flight += 1;
+                        break job;
+                    }
+                    q = self.work.wait(q).expect("service queue poisoned");
+                }
+            };
+            let outcome = catch_unwind(AssertUnwindSafe(|| self.process(&job)));
+            let mut q = self.queue.lock().expect("service queue poisoned");
+            q.in_flight -= 1;
+            match outcome {
+                Ok(outcome) => q.completed.push_back(outcome),
+                Err(payload) => {
+                    self.panics.lock().expect("panic list poisoned").push(payload);
+                }
+            }
+            drop(q);
+            self.done.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Content fingerprinting
+// ---------------------------------------------------------------------------
+
+/// FNV-1a accumulator for the (scene, dataset) coalescing key.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_f32(&mut self, v: f32) {
+        self.write(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// Content fingerprint of one (scene, dataset) pair — the coalescing key.
+///
+/// Covers everything the shared stages read: every placed object (the same
+/// `model_fingerprint` the bake store keys on, plus instance id and
+/// placement bits) and every dataset view (pose, pixel bits, instance
+/// masks). Two requests with equal keys therefore produce bit-identical
+/// shared-stage outputs, which is what makes coalescing sound. Options
+/// (profiler, space, selector) are fixed per service and need not be keyed.
+pub fn scene_content_key(scene: &Scene, dataset: &Dataset) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(scene.len() as u64);
+    for object in scene.objects() {
+        h.write_u64(model_fingerprint(&object.model));
+        h.write_u64(object.id as u64);
+        h.write_f32(object.translation.x);
+        h.write_f32(object.translation.y);
+        h.write_f32(object.translation.z);
+        h.write_f32(object.scale);
+        h.write_f32(object.rotation_y);
+    }
+    h.write_u64(dataset.width as u64);
+    h.write_u64(dataset.height as u64);
+    for views in [&dataset.train, &dataset.test] {
+        h.write_u64(views.len() as u64);
+        for view in views {
+            for v in [view.pose.eye, view.pose.target, view.pose.up] {
+                h.write_f32(v.x);
+                h.write_f32(v.y);
+                h.write_f32(v.z);
+            }
+            h.write_f32(view.pose.fov_y);
+            for pixel in view.image.pixels() {
+                h.write_f32(pixel.r);
+                h.write_f32(pixel.g);
+                h.write_f32(pixel.b);
+            }
+            for instance in &view.instances {
+                h.write_u64(instance.map_or(0, |id| id as u64 + 1));
+            }
+        }
+    }
+    h.0
+}
+
+// ---------------------------------------------------------------------------
+// DeployService
+// ---------------------------------------------------------------------------
+
+/// A long-running deployment service over one [`NerflexPipeline`]: admit
+/// requests with [`DeployService::submit`], consume results with
+/// [`DeployService::next_outcome`] / [`DeployService::drain`]. See the
+/// module docs for the coalescing, ordering and determinism contract.
+///
+/// ```
+/// use nerflex_core::pipeline::PipelineOptions;
+/// use nerflex_core::service::{DeployRequest, DeployService, ServiceOptions};
+/// use nerflex_device::DeviceSpec;
+/// use nerflex_scene::object::CanonicalObject;
+/// use nerflex_scene::{dataset::Dataset, scene::Scene};
+/// use std::sync::Arc;
+///
+/// let service = DeployService::new(ServiceOptions::inline(PipelineOptions::quick()));
+/// let scene = Arc::new(Scene::with_objects(&[CanonicalObject::Hotdog], 7));
+/// let dataset = Arc::new(Dataset::generate(&scene, 2, 1, 32, 32));
+/// for device in [DeviceSpec::iphone_13(), DeviceSpec::pixel_4()] {
+///     service
+///         .submit(DeployRequest::new(Arc::clone(&scene), Arc::clone(&dataset), device))
+///         .expect("valid request");
+/// }
+/// let outcomes = service.drain();
+/// assert_eq!(outcomes.len(), 2);
+/// // Both requests shared one segmentation + profiling run.
+/// assert_eq!(service.stats().shared_stage_runs, 1);
+/// assert_eq!(service.stats().coalesced, 1);
+/// ```
+pub struct DeployService {
+    shared: Arc<ServiceShared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    executors: usize,
+}
+
+impl std::fmt::Debug for DeployService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeployService")
+            .field("executors", &self.executors)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl DeployService {
+    /// Starts a service: opens the stores (with in-flight dedup enabled)
+    /// and spawns the executor threads (`options.executors`; 0 = inline).
+    pub fn new(options: ServiceOptions) -> Self {
+        let mut pipeline_options = options.pipeline;
+        pipeline_options.store = pipeline_options.store.with_coalescing(true);
+        let pipeline = NerflexPipeline::new(pipeline_options);
+        let cache = pipeline.open_cache();
+        let ground_truth = pipeline.open_ground_truth_cache();
+        let shared = Arc::new(ServiceShared {
+            pipeline,
+            cache,
+            ground_truth,
+            queue: Mutex::new(QueueState {
+                queued: Vec::new(),
+                completed: VecDeque::new(),
+                in_flight: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            stages: Mutex::new(HashMap::new()),
+            panics: Mutex::new(Vec::new()),
+            next_ticket: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            shared_stage_runs: AtomicUsize::new(0),
+        });
+        let handles = (0..options.executors)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || shared.executor_loop())
+            })
+            .collect();
+        Self { shared, handles: Mutex::new(handles), executors: options.executors }
+    }
+
+    /// Admits one request, returning its ticket. Validation happens here —
+    /// a bad request is rejected as a value and the service keeps running.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::EmptyScene`] / [`PipelineError::EmptyDataset`] for
+    /// empty inputs, [`PipelineError::InvalidBudget`] for a budget override
+    /// that is not positive and finite.
+    pub fn submit(&self, request: DeployRequest) -> Result<DeployTicket, PipelineError> {
+        if let Err(err) = NerflexPipeline::validate_inputs(&request.scene, &request.dataset)
+            .and_then(|()| {
+                self.shared
+                    .pipeline
+                    .resolve_budget_mb(request.budget_override_mb, &request.device)
+                    .map(|_| ())
+            })
+        {
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(err);
+        }
+        let ticket = DeployTicket {
+            id: self.shared.next_ticket.fetch_add(1, Ordering::Relaxed),
+            scene_key: scene_content_key(&request.scene, &request.dataset),
+        };
+        {
+            let mut q = self.shared.queue.lock().expect("service queue poisoned");
+            q.queued.push(Queued { ticket, request });
+        }
+        self.shared.admitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.work.notify_all();
+        Ok(ticket)
+    }
+
+    /// Returns the next completed outcome, blocking while work is queued or
+    /// in flight; `None` once the service is idle (nothing queued, nothing
+    /// in flight, nothing completed). In inline mode the calling thread
+    /// processes requests itself; with executors it only waits.
+    ///
+    /// Outcomes stream out in completion order, which scheduling determines
+    /// — the outcome *contents* for a given ticket never depend on it.
+    pub fn next_outcome(&self) -> Option<DeployOutcome> {
+        loop {
+            if let Some(payload) = self.shared.panics.lock().expect("panic list poisoned").pop() {
+                resume_unwind(payload);
+            }
+            let mut q = self.shared.queue.lock().expect("service queue poisoned");
+            if let Some(outcome) = q.completed.pop_front() {
+                return Some(outcome);
+            }
+            if self.executors == 0 {
+                if let Some(job) = self.shared.pop_best(&mut q) {
+                    q.in_flight += 1;
+                    drop(q);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| self.shared.process(&job)));
+                    let mut q = self.shared.queue.lock().expect("service queue poisoned");
+                    q.in_flight -= 1;
+                    drop(q);
+                    self.shared.done.notify_all();
+                    match outcome {
+                        Ok(outcome) => return Some(outcome),
+                        Err(payload) => resume_unwind(payload),
+                    }
+                }
+                if q.in_flight == 0 {
+                    return None;
+                }
+            } else if q.queued.is_empty() && q.in_flight == 0 {
+                return None;
+            }
+            // Work is in flight on another thread: wait for it to land.
+            let _unused = self.shared.done.wait(q).expect("service queue poisoned");
+        }
+    }
+
+    /// Consumes outcomes until the service is idle. Completion order is
+    /// scheduling-dependent; sort by [`DeployTicket::id`] for admission
+    /// order.
+    pub fn drain(&self) -> Vec<DeployOutcome> {
+        let mut outcomes = Vec::new();
+        while let Some(outcome) = self.next_outcome() {
+            outcomes.push(outcome);
+        }
+        outcomes
+    }
+
+    /// Current service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let (queue_depth, in_flight) = {
+            let q = self.shared.queue.lock().expect("service queue poisoned");
+            (q.queued.len(), q.in_flight)
+        };
+        ServiceStats {
+            admitted: self.shared.admitted.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            coalesced: self.shared.coalesced.load(Ordering::Relaxed),
+            shared_stage_runs: self.shared.shared_stage_runs.load(Ordering::Relaxed),
+            in_flight,
+            queue_depth,
+            bake_coalesced: self.shared.cache.stats().coalesced,
+            ground_truth_coalesced: self.shared.ground_truth.stats().coalesced,
+        }
+    }
+
+    /// Counters of the service-owned bake cache (misses = bakes actually
+    /// paid for across the service's whole lifetime).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Counters of the service-owned ground-truth cache.
+    pub fn ground_truth_stats(&self) -> GroundTruthStats {
+        self.shared.ground_truth.stats()
+    }
+
+    /// The engine options the service runs with (stores re-opened with
+    /// coalescing enabled).
+    pub fn pipeline_options(&self) -> &PipelineOptions {
+        self.shared.pipeline.options()
+    }
+
+    /// Stops the executors (queued-but-unclaimed requests are dropped) and
+    /// flushes the persistent stores. Called automatically on drop; idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut q = self.shared.queue.lock().expect("service queue poisoned");
+            q.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.handles.lock().expect("service handles poisoned").drain(..) {
+            let _ = handle.join();
+        }
+        if let Err(err) = self.shared.cache.flush() {
+            eprintln!("nerflex service: bake-store flush failed ({err}); next start is colder");
+        }
+        if let Err(err) = self.shared.ground_truth.flush() {
+            eprintln!("nerflex service: ground-truth flush failed ({err}); next start re-renders");
+        }
+    }
+}
+
+impl Drop for DeployService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nerflex_scene::object::CanonicalObject;
+
+    fn scene_and_dataset(objects: &[CanonicalObject], seed: u64) -> (Scene, Dataset) {
+        let scene = Scene::with_objects(objects, seed);
+        let dataset = Dataset::generate(&scene, 2, 1, 32, 32);
+        (scene, dataset)
+    }
+
+    #[test]
+    fn scene_content_key_is_content_based() {
+        let (scene_a, dataset_a) = scene_and_dataset(&[CanonicalObject::Hotdog], 7);
+        // An independently constructed clone of the same content keys equal.
+        let (scene_b, dataset_b) = scene_and_dataset(&[CanonicalObject::Hotdog], 7);
+        assert_eq!(
+            scene_content_key(&scene_a, &dataset_a),
+            scene_content_key(&scene_b, &dataset_b),
+            "equal content must coalesce regardless of allocation identity"
+        );
+        // A different seed perturbs placements and pixels: different key.
+        let (scene_c, dataset_c) = scene_and_dataset(&[CanonicalObject::Hotdog], 8);
+        assert_ne!(
+            scene_content_key(&scene_a, &dataset_a),
+            scene_content_key(&scene_c, &dataset_c)
+        );
+        // Same scene, different dataset: different key (segmentation and
+        // profiling both read the views).
+        let dataset_d = Dataset::generate(&scene_a, 3, 1, 32, 32);
+        assert_ne!(
+            scene_content_key(&scene_a, &dataset_a),
+            scene_content_key(&scene_a, &dataset_d)
+        );
+    }
+
+    #[test]
+    fn idle_service_drains_empty_and_reports_zero_stats() {
+        let service = DeployService::new(ServiceOptions::inline(PipelineOptions::quick()));
+        assert!(service.next_outcome().is_none());
+        assert!(service.drain().is_empty());
+        let stats = service.stats();
+        assert_eq!(stats, ServiceStats::default());
+        assert!(stats.to_string().contains("0 admitted"));
+        service.shutdown();
+        service.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn executor_service_completes_requests_without_consumer_side_processing() {
+        let (scene, dataset) = scene_and_dataset(&[CanonicalObject::Chair], 3);
+        let service =
+            DeployService::new(ServiceOptions::inline(PipelineOptions::quick()).with_executors(2));
+        let scene = Arc::new(scene);
+        let dataset = Arc::new(dataset);
+        for device in [DeviceSpec::iphone_13(), DeviceSpec::pixel_4()] {
+            service
+                .submit(DeployRequest::new(Arc::clone(&scene), Arc::clone(&dataset), device))
+                .expect("valid request");
+        }
+        let outcomes = service.drain();
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(service.stats().shared_stage_runs, 1, "same scene coalesces");
+        let ids: Vec<u64> = {
+            let mut ids: Vec<u64> = outcomes.iter().map(|o| o.ticket.id()).collect();
+            ids.sort_unstable();
+            ids
+        };
+        assert_eq!(ids, vec![0, 1], "tickets are issued in admission order");
+    }
+}

@@ -202,6 +202,56 @@ impl WorkerPool {
         self.run_scratch(jobs, workers, || (), |(), idx| job(idx))
     }
 
+    /// Executes jobs from one in-flight batch on the calling thread, if any
+    /// batch currently wants another executor. Returns `true` if it helped.
+    ///
+    /// This is the building block that lets a thread *wait on someone
+    /// else's in-flight computation without going idle*: instead of
+    /// blocking, it joins whatever batch is running — possibly the very
+    /// dispatch it is waiting for — and drains jobs until that batch no
+    /// longer wants it. Joining a batch never changes output bits (results
+    /// land in disjoint per-job slots, stitched in job order), so helping
+    /// is always safe under the determinism contract.
+    pub fn try_help(&self) -> bool {
+        let mut inner = self.shared.inner.lock().expect("pool poisoned");
+        let candidate = inner.batches.iter().find(|b| b.wants_executor()).map(Arc::clone);
+        let Some(batch) = candidate else {
+            return false;
+        };
+        batch.executors.fetch_add(1, Ordering::Relaxed);
+        let raw = batch.body.lock().expect("body slot poisoned").expect("published batch");
+        drop(inner);
+        // A panic cannot escape the body (jobs are caught inside); the
+        // defensive catch mirrors `worker_loop`.
+        // SAFETY: see `RawBody` — the dispatcher keeps the closure alive
+        // until this executor is counted back out.
+        let _ = catch_unwind(AssertUnwindSafe(|| unsafe { (*raw.0)() }));
+        inner = self.shared.inner.lock().expect("pool poisoned");
+        batch.executors.fetch_sub(1, Ordering::Relaxed);
+        drop(inner);
+        self.shared.done.notify_all();
+        true
+    }
+
+    /// Blocks the calling thread until `ready()` returns `true`,
+    /// contributing to in-flight batches via [`WorkerPool::try_help`]
+    /// instead of sleeping whenever there is work to steal.
+    ///
+    /// This is how a deployment-service request waits on another request's
+    /// in-flight shared-stage computation without deadlocking nested
+    /// dispatch: the waiting thread either makes the awaited work finish
+    /// faster (by executing its jobs) or parks briefly and re-checks. The
+    /// pool's own guarantee — a dispatcher always drives its own batch to
+    /// completion — means the awaited computation progresses even if every
+    /// waiter parks, so this loop always terminates once the builder does.
+    pub fn wait_until(&self, ready: impl Fn() -> bool) {
+        while !ready() {
+            if !self.try_help() {
+                std::thread::park_timeout(std::time::Duration::from_micros(200));
+            }
+        }
+    }
+
     /// Like [`WorkerPool::run`], but each participating worker builds one
     /// `scratch` value per dispatch (lazily, on its first claimed job) and
     /// reuses it across all the jobs it executes — the allocation-churn
@@ -526,6 +576,50 @@ mod tests {
         assert_eq!(env_workers(), None);
         std::env::remove_var("NERFLEX_WORKERS");
         assert_eq!(env_workers(), None);
+    }
+
+    #[test]
+    fn try_help_without_work_returns_false() {
+        let pool = WorkerPool::new(2);
+        assert!(!pool.try_help());
+    }
+
+    #[test]
+    fn wait_until_observes_progress_made_elsewhere() {
+        // A waiter on one thread, a dispatch on another: the waiter must
+        // return once the flag flips, whether it helped or parked.
+        let pool = Arc::new(WorkerPool::new(2));
+        let flag = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let (pool, flag) = (Arc::clone(&pool), Arc::clone(&flag));
+            std::thread::spawn(move || pool.wait_until(|| flag.load(Ordering::Acquire)))
+        };
+        let out = pool.run(64, 3, |i| i);
+        assert_eq!(out.len(), 64);
+        flag.store(true, Ordering::Release);
+        waiter.join().expect("waiter exits once ready() holds");
+    }
+
+    #[test]
+    fn helping_does_not_change_output_bits() {
+        let pool = Arc::new(WorkerPool::new(3));
+        let reference: Vec<f64> = (0..256).map(|i| (i as f64 * 0.37).sin()).collect();
+        // Run the dispatch while an extra thread aggressively helps.
+        let stop = Arc::new(AtomicBool::new(false));
+        let helper = {
+            let (pool, stop) = (Arc::clone(&pool), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    pool.try_help();
+                }
+            })
+        };
+        let helped = pool.run(256, 4, |i| (i as f64 * 0.37).sin());
+        stop.store(true, Ordering::Release);
+        helper.join().expect("helper exits");
+        for (a, b) in reference.iter().zip(&helped) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

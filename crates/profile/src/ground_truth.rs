@@ -211,6 +211,10 @@ pub struct GroundTruthStats {
     /// Ground truths rendered by this process (`== misses`, kept separate
     /// for reporting symmetry).
     pub builds: usize,
+    /// Lookups that waited on another lookup's in-flight render of the same
+    /// ground truth instead of duplicating it (0 unless the cache was
+    /// opened with `StoreOptions::coalesce` — the deployment service does).
+    pub coalesced: usize,
     /// Distinct ground truths currently held in memory or indexed on disk.
     pub entries: usize,
     /// Entries indexed from the store directory when the cache was opened
@@ -269,6 +273,7 @@ impl GroundTruthCache {
             disk_hits: stats.disk_hits,
             misses: stats.misses,
             builds: stats.misses,
+            coalesced: stats.coalesced,
             entries: stats.entries,
             indexed_from_disk: stats.indexed,
         }

@@ -1,0 +1,97 @@
+//! Fleet deployment service demo: a duplicate-heavy burst of deployment
+//! requests flowing through [`DeployService`], with scene-level coalescing,
+//! store-level in-flight dedup, and priority + warm-cache-first ordering.
+//!
+//! Twelve requests arrive for two distinct scenes and three devices, most
+//! of them duplicates — the shape of a real fleet rollout, where many
+//! devices ask for the same content at once. The service runs segmentation
+//! and profiling once per distinct scene, bakes nothing twice, and streams
+//! the outcomes back as they complete. Its outputs are byte-identical to
+//! what the blocking `try_deploy_fleet` path would produce for the same
+//! requests (`docs/service.md`).
+//!
+//! ```bash
+//! cargo run --release --example deploy_service
+//! # with background executor threads instead of inline processing:
+//! NERFLEX_EXECUTORS=3 cargo run --release --example deploy_service
+//! ```
+
+use nerflex::core::experiments::EvaluationScene;
+use nerflex::core::pipeline::PipelineOptions;
+use nerflex::core::report::Table;
+use nerflex::core::service::{DeployRequest, DeployService, ServiceOptions};
+use nerflex::device::DeviceSpec;
+use std::sync::Arc;
+
+fn main() {
+    let executors: usize =
+        std::env::var("NERFLEX_EXECUTORS").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
+
+    // Two distinct scenes; everything else in the burst is a duplicate.
+    let built_a = EvaluationScene::Scene3.build(7);
+    let built_b = EvaluationScene::Scene4.build(7);
+    let scenes = [
+        (Arc::new(built_a.dataset(4, 1, 64)), Arc::new(built_a.scene)),
+        (Arc::new(built_b.dataset(4, 1, 64)), Arc::new(built_b.scene)),
+    ];
+    let kiosk = {
+        let mut spec = DeviceSpec::pixel_4();
+        spec.name = "kiosk display".to_string();
+        spec.recommended_budget_mb = 60.0;
+        spec
+    };
+    let devices = [DeviceSpec::iphone_13(), DeviceSpec::pixel_4(), kiosk];
+
+    let service = DeployService::new(
+        ServiceOptions::inline(PipelineOptions::quick()).with_executors(executors),
+    );
+
+    // The burst: every (scene, device) pair twice, late requests marked
+    // urgent so they jump the queue.
+    let mut labels = std::collections::BTreeMap::new();
+    for round in 0..2 {
+        for (scene_idx, (dataset, scene)) in scenes.iter().enumerate() {
+            for device in &devices {
+                let priority = if round == 1 && scene_idx == 0 { 5 } else { 0 };
+                let request =
+                    DeployRequest::new(Arc::clone(scene), Arc::clone(dataset), device.clone())
+                        .with_priority(priority);
+                let ticket = service.submit(request).expect("valid request");
+                labels.insert(
+                    ticket.id(),
+                    format!("scene {} on {} (prio {priority})", scene_idx + 1, device.name),
+                );
+            }
+        }
+    }
+    println!(
+        "admitted {} requests over {} distinct scenes, executors={executors}\n",
+        labels.len(),
+        scenes.len()
+    );
+
+    let mut table = Table::new(
+        "deployment outcomes (completion order)",
+        &["ticket", "request", "coalesced", "size (MB)", "fingerprint"],
+    );
+    for outcome in service.drain() {
+        table.push_row(vec![
+            outcome.ticket.id().to_string(),
+            labels[&outcome.ticket.id()].clone(),
+            if outcome.coalesced { "yes" } else { "no (paid the stages)" }.to_string(),
+            format!("{:.1}", outcome.deployment.workload().data_size_mb),
+            format!("{:016x}", outcome.deployment_fingerprint),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let stats = service.stats();
+    println!("\nservice: {stats}");
+    let cache = service.cache_stats();
+    println!(
+        "bake cache: {} misses (work actually paid), {} hits, {} in-flight dedups",
+        cache.misses, cache.hits, stats.bake_coalesced
+    );
+    assert_eq!(stats.shared_stage_runs, scenes.len(), "one shared-stage run per distinct scene");
+    service.shutdown();
+}

@@ -62,7 +62,9 @@ fn main() {
         };
     }
     let devices = scaled_devices(&single_bake, &block_bake);
-    let fleet = NerflexPipeline::new(options).deploy_fleet(&built.scene, &dataset, &devices);
+    let fleet = NerflexPipeline::new(options)
+        .try_deploy_fleet(&built.scene, &dataset, &devices)
+        .expect("fleet deploy");
 
     for (device, deployment) in devices.iter().zip(&fleet.deployments) {
         let nerflex = evaluate_deployment(deployment, &built.scene, &dataset, 400, seed);

@@ -32,7 +32,7 @@ fn main() {
     //    `PipelineOptions::default()` for paper-scale configuration spaces.
     let device = DeviceSpec::iphone_13();
     let pipeline = NerflexPipeline::new(PipelineOptions::quick());
-    let deployment = pipeline.run(&built.scene, &dataset, &device);
+    let deployment = pipeline.try_run(&built.scene, &dataset, &device).expect("quickstart deploy");
 
     println!("\nsegmentation decision:");
     println!(

@@ -31,8 +31,11 @@
 //!   [`bake::BakeCache`], so a selected configuration that was already
 //!   probed is never re-baked ([`core::pipeline::StageTimings`] reports the
 //!   hit/miss counters);
-//! * [`core::pipeline::NerflexPipeline::deploy_fleet`] prepares one scene
-//!   for many devices with segmentation and profiling run exactly once.
+//! * [`core::pipeline::NerflexPipeline::try_deploy_fleet`] prepares one
+//!   scene for many devices with segmentation and profiling run exactly
+//!   once, and [`core::service::DeployService`] generalises that to a
+//!   long-running request stream with scene-level coalescing and in-flight
+//!   dedup (`docs/service.md`).
 //!
 //! ## Quick start
 //!
@@ -44,10 +47,37 @@
 //! let built = EvaluationScene::Scene4.build(42);
 //! let dataset = built.dataset(6, 2, 96);
 //! let deployment = NerflexPipeline::new(PipelineOptions::quick())
-//!     .run(&built.scene, &dataset, &DeviceSpec::iphone_13());
+//!     .try_run(&built.scene, &dataset, &DeviceSpec::iphone_13())
+//!     .expect("non-empty scene and dataset");
 //! println!("deployed {:.1} MB across {} sub-NeRFs",
 //!          deployment.workload().data_size_mb,
 //!          deployment.assets.len());
+//! ```
+//!
+//! Serving a *stream* of requests — many devices, mostly-duplicate scenes —
+//! goes through the deployment service instead, which coalesces duplicate
+//! work and orders the queue by priority:
+//!
+//! ```no_run
+//! use nerflex::core::experiments::EvaluationScene;
+//! use nerflex::core::pipeline::PipelineOptions;
+//! use nerflex::core::service::{DeployRequest, DeployService, ServiceOptions};
+//! use nerflex::device::DeviceSpec;
+//! use std::sync::Arc;
+//!
+//! let built = EvaluationScene::Scene4.build(42);
+//! let dataset = Arc::new(built.dataset(6, 2, 96));
+//! let scene = Arc::new(built.scene);
+//! let service =
+//!     DeployService::new(ServiceOptions::inline(PipelineOptions::quick()).with_executors(2));
+//! for device in [DeviceSpec::iphone_13(), DeviceSpec::pixel_4()] {
+//!     service
+//!         .submit(DeployRequest::new(Arc::clone(&scene), Arc::clone(&dataset), device))
+//!         .expect("valid request");
+//! }
+//! let outcomes = service.drain();
+//! println!("{}", service.stats()); // 2 admitted, 1 shared-stage run, 1 coalesced
+//! # drop(outcomes);
 //! ```
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for

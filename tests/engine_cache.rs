@@ -3,6 +3,7 @@
 
 use nerflex::bake::{model_fingerprint, BakeCache, BakeConfig};
 use nerflex::core::pipeline::{NerflexPipeline, PipelineOptions};
+use nerflex::core::service::{DeployRequest, DeployService, ServiceOptions};
 use nerflex::device::DeviceSpec;
 use nerflex::scene::dataset::Dataset;
 use nerflex::scene::object::CanonicalObject;
@@ -20,11 +21,20 @@ fn quick_pipeline_reports_cache_hits_for_profiled_selections() {
     // that the selector picks a configuration the profiler probed, the final
     // baking stage must report at least one cache hit.
     let (scene, dataset) = small_setup();
-    let pipeline = NerflexPipeline::new(PipelineOptions {
-        budget_override_mb: Some(500.0),
-        ..PipelineOptions::quick()
-    });
-    let deployment = pipeline.run(&scene, &dataset, &DeviceSpec::iphone_13());
+    let service = DeployService::new(ServiceOptions::inline(PipelineOptions::quick()));
+    let scene = std::sync::Arc::new(scene);
+    let dataset = std::sync::Arc::new(dataset);
+    service
+        .submit(
+            DeployRequest::new(
+                std::sync::Arc::clone(&scene),
+                std::sync::Arc::clone(&dataset),
+                DeviceSpec::iphone_13(),
+            )
+            .with_budget_mb(500.0),
+        )
+        .expect("valid request");
+    let deployment = service.next_outcome().expect("one outcome").deployment;
 
     let profiled: Vec<BakeConfig> =
         deployment.profiles.iter().flat_map(|p| p.samples.iter().map(|s| s.config)).collect();
@@ -44,8 +54,9 @@ fn fleet_deployment_runs_shared_stages_once_and_reuses_bakes() {
     // and profiling exactly once; the devices share one bake cache.
     let (scene, dataset) = small_setup();
     let devices = [DeviceSpec::iphone_13(), DeviceSpec::pixel_4()];
-    let fleet =
-        NerflexPipeline::new(PipelineOptions::quick()).deploy_fleet(&scene, &dataset, &devices);
+    let fleet = NerflexPipeline::new(PipelineOptions::quick())
+        .try_deploy_fleet(&scene, &dataset, &devices)
+        .expect("fleet deploy");
 
     assert_eq!(fleet.stage_runs.segmentation, 1, "segmentation must run once per fleet");
     assert_eq!(fleet.stage_runs.profiling, 1, "profiling must run once per fleet");
@@ -90,7 +101,8 @@ fn deployment_determinism_holds_across_engine_parallelism() {
     let device = DeviceSpec::pixel_4();
     let run = |workers: usize| {
         NerflexPipeline::new(PipelineOptions::quick().with_worker_threads(workers))
-            .run(&scene, &dataset, &device)
+            .try_run(&scene, &dataset, &device)
+            .expect("deploy")
     };
     let sequential = run(1);
     let parallel = run(0); // one worker per core

@@ -50,11 +50,12 @@ fn second_run_over_a_persisted_store_renders_no_ground_truth() {
     let device = DeviceSpec::iphone_13();
     let options = PipelineOptions::quick().with_cache_dir(&tmp.0);
 
-    let first = NerflexPipeline::new(options.clone()).run(&scene, &dataset, &device);
+    let first =
+        NerflexPipeline::new(options.clone()).try_run(&scene, &dataset, &device).expect("deploy");
     assert_eq!(first.timings.ground_truth_builds, scene.len());
     assert!(first.timings.ground_truth_ms() > 0.0);
 
-    let second = NerflexPipeline::new(options).run(&scene, &dataset, &device);
+    let second = NerflexPipeline::new(options).try_run(&scene, &dataset, &device).expect("deploy");
     assert_eq!(
         second.timings.ground_truth_builds, 0,
         "warm store must serve every ground truth: {:?}",
@@ -86,13 +87,14 @@ fn cache_limits_thread_through_to_both_pipeline_stores() {
     let device = DeviceSpec::pixel_4();
 
     let first = NerflexPipeline::new(PipelineOptions::quick().with_cache_dir(&tmp.0))
-        .run(&scene, &dataset, &device);
+        .try_run(&scene, &dataset, &device)
+        .expect("deploy");
     assert_eq!(first.timings.ground_truth_builds, scene.len());
 
     let evicting = PipelineOptions::quick()
         .with_cache_dir(&tmp.0)
         .with_cache_limits(StoreLimits::default().with_max_age(std::time::Duration::ZERO));
-    let second = NerflexPipeline::new(evicting).run(&scene, &dataset, &device);
+    let second = NerflexPipeline::new(evicting).try_run(&scene, &dataset, &device).expect("deploy");
     assert_eq!(
         second.timings.ground_truth_builds,
         scene.len(),
@@ -138,8 +140,9 @@ fn fleet_deployment_shares_ground_truths_across_devices() {
     // must render each distinct object exactly once regardless of fleet size.
     let (scene, dataset) = small_setup();
     let devices = [DeviceSpec::iphone_13(), DeviceSpec::pixel_4()];
-    let fleet =
-        NerflexPipeline::new(PipelineOptions::quick()).deploy_fleet(&scene, &dataset, &devices);
+    let fleet = NerflexPipeline::new(PipelineOptions::quick())
+        .try_deploy_fleet(&scene, &dataset, &devices)
+        .expect("fleet deploy");
     for deployment in &fleet.deployments {
         assert_eq!(deployment.timings.ground_truth_builds, scene.len());
         assert_eq!(deployment.timings.ground_truth_hits, 0);

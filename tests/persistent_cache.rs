@@ -86,7 +86,7 @@ fn second_process_over_flushed_dir_rebakes_nothing() {
     let first = NerflexPipeline::new(options.clone());
     let cache = first.open_cache();
     assert_eq!(cache.stats().loaded_from_disk, 0, "first run starts cold");
-    let d1 = first.run_with_cache(&scene, &dataset, &device, &cache);
+    let d1 = first.try_run_with_cache(&scene, &dataset, &device, &cache).expect("deploy");
     let baked_first = cache.stats().misses;
     assert!(baked_first > 0, "a cold run must bake");
     cache.flush().expect("flush");
@@ -94,7 +94,7 @@ fn second_process_over_flushed_dir_rebakes_nothing() {
     let second = NerflexPipeline::new(options);
     let cache2 = second.open_cache();
     assert_eq!(cache2.stats().loaded_from_disk, baked_first, "every bake persisted");
-    let d2 = second.run_with_cache(&scene, &dataset, &device, &cache2);
+    let d2 = second.try_run_with_cache(&scene, &dataset, &device, &cache2).expect("deploy");
     let stats = cache2.stats();
     assert_eq!(stats.misses, 0, "second process must re-bake nothing: {stats}");
     assert!(stats.disk_hits > 0, "second process must reuse persisted bakes: {stats}");
@@ -127,9 +127,9 @@ fn engine_owned_runs_persist_automatically() {
     let device = DeviceSpec::pixel_4();
     let pipeline = NerflexPipeline::new(PipelineOptions::quick().with_cache_dir(&tmp.0));
 
-    let first = pipeline.run(&scene, &dataset, &device);
+    let first = pipeline.try_run(&scene, &dataset, &device).expect("deploy");
     assert_eq!(first.timings.cache_disk_hits, 0, "cold dir has nothing to load");
-    let second = pipeline.run(&scene, &dataset, &device);
+    let second = pipeline.try_run(&scene, &dataset, &device).expect("deploy");
     assert_eq!(second.timings.cache_misses, 0, "warm dir must re-bake nothing");
     assert_eq!(
         second.timings.cache_disk_hits,
@@ -146,7 +146,7 @@ fn corrupted_entries_degrade_to_rebakes_not_failures() {
     let (scene, dataset) = small_setup();
     let device = DeviceSpec::pixel_4();
     let pipeline = NerflexPipeline::new(PipelineOptions::quick().with_cache_dir(&tmp.0));
-    let baseline = pipeline.run(&scene, &dataset, &device);
+    let baseline = pipeline.try_run(&scene, &dataset, &device).expect("deploy");
 
     // Vandalise the flushed store: truncate one entry, bit-flip another,
     // and drop a zero-byte file in.
@@ -171,7 +171,7 @@ fn corrupted_entries_degrade_to_rebakes_not_failures() {
     // produces the same deployment as the pristine one.
     let cache = pipeline.open_cache();
     assert_eq!(cache.stats().loaded_from_disk, files.len(), "index is by file name");
-    let recovered = pipeline.run_with_cache(&scene, &dataset, &device, &cache);
+    let recovered = pipeline.try_run_with_cache(&scene, &dataset, &device, &cache).expect("deploy");
     assert_eq!(cache.stats().misses, 2, "exactly the damaged entries re-bake");
     cache.flush().expect("repair flush");
     for (a, b) in baseline.selection.assignments.iter().zip(&recovered.selection.assignments) {
@@ -182,7 +182,8 @@ fn corrupted_entries_degrade_to_rebakes_not_failures() {
     // A further run sees a fully repaired store.
     let repaired_cache = pipeline.open_cache();
     assert_eq!(repaired_cache.stats().loaded_from_disk, files.len());
-    let _ = pipeline.run_with_cache(&scene, &dataset, &device, &repaired_cache);
+    let _ =
+        pipeline.try_run_with_cache(&scene, &dataset, &device, &repaired_cache).expect("deploy");
     assert_eq!(repaired_cache.stats().misses, 0, "flush must repair the damage");
 }
 
@@ -193,9 +194,9 @@ fn fleet_deployment_persists_and_reuses_across_processes() {
     let devices = [DeviceSpec::iphone_13(), DeviceSpec::pixel_4()];
     let pipeline = NerflexPipeline::new(PipelineOptions::quick().with_cache_dir(&tmp.0));
 
-    let cold = pipeline.deploy_fleet(&scene, &dataset, &devices);
+    let cold = pipeline.try_deploy_fleet(&scene, &dataset, &devices).expect("fleet deploy");
     assert!(cold.cache.misses > 0);
-    let warm = pipeline.deploy_fleet(&scene, &dataset, &devices);
+    let warm = pipeline.try_deploy_fleet(&scene, &dataset, &devices).expect("fleet deploy");
     assert_eq!(warm.cache.misses, 0, "second fleet must re-bake nothing: {}", warm.cache);
     assert_eq!(warm.cache.loaded_from_disk, cold.cache.misses);
     assert!(warm.cache.hit_ratio() > 0.99);
@@ -218,7 +219,7 @@ fn two_level_profiling_parallelism_is_deterministic() {
         if let Some(dir) = dir {
             options = options.with_cache_dir(dir);
         }
-        NerflexPipeline::new(options).run(&scene, &dataset, &device)
+        NerflexPipeline::new(options).try_run(&scene, &dataset, &device).expect("deploy")
     };
 
     let sequential = run(1, None);

@@ -4,6 +4,7 @@
 use nerflex::core::evaluation::{evaluate_deployment, per_object_quality};
 use nerflex::core::experiments::EvaluationScene;
 use nerflex::core::pipeline::{NerflexPipeline, PipelineOptions};
+use nerflex::core::service::{DeployRequest, DeployService, ServiceOptions};
 use nerflex::device::DeviceSpec;
 use nerflex::render::{render_assets, RenderOptions};
 use nerflex::scene::dataset::Dataset;
@@ -20,7 +21,9 @@ fn small_setup() -> (Scene, Dataset) {
 fn end_to_end_deployment_renders_and_fits_the_budget() {
     let (scene, dataset) = small_setup();
     let device = DeviceSpec::iphone_13();
-    let deployment = NerflexPipeline::new(PipelineOptions::quick()).run(&scene, &dataset, &device);
+    let deployment = NerflexPipeline::new(PipelineOptions::quick())
+        .try_run(&scene, &dataset, &device)
+        .expect("deploy");
 
     // Selection stays within the (default) device budget.
     assert!(deployment.selection.feasible);
@@ -46,7 +49,11 @@ fn end_to_end_deployment_renders_and_fits_the_budget() {
 fn deployment_is_deterministic_for_a_fixed_seed() {
     let (scene, dataset) = small_setup();
     let device = DeviceSpec::pixel_4();
-    let run = || NerflexPipeline::new(PipelineOptions::quick()).run(&scene, &dataset, &device);
+    let run = || {
+        NerflexPipeline::new(PipelineOptions::quick())
+            .try_run(&scene, &dataset, &device)
+            .expect("deploy")
+    };
     let a = run();
     let b = run();
     assert_eq!(a.selection.assignments.len(), b.selection.assignments.len());
@@ -60,10 +67,25 @@ fn deployment_is_deterministic_for_a_fixed_seed() {
 fn tighter_budgets_never_increase_predicted_quality() {
     let (scene, dataset) = small_setup();
     let device = DeviceSpec::pixel_4();
+    // Budgets are per-request now: route each one through the deployment
+    // service's request builder instead of a pipeline-wide override.
+    let service = DeployService::new(ServiceOptions::inline(PipelineOptions::quick()));
+    let scene = std::sync::Arc::new(scene);
+    let dataset = std::sync::Arc::new(dataset);
     let quality_at = |budget: f64| {
-        let options =
-            PipelineOptions { budget_override_mb: Some(budget), ..PipelineOptions::quick() };
-        NerflexPipeline::new(options).run(&scene, &dataset, &device).selection.total_quality
+        let ticket = service
+            .submit(
+                DeployRequest::new(
+                    std::sync::Arc::clone(&scene),
+                    std::sync::Arc::clone(&dataset),
+                    device.clone(),
+                )
+                .with_budget_mb(budget),
+            )
+            .expect("valid request");
+        let outcome = service.next_outcome().expect("one outcome per request");
+        assert_eq!(outcome.ticket, ticket);
+        outcome.deployment.selection.total_quality
     };
     let generous = quality_at(120.0);
     let medium = quality_at(30.0);
@@ -79,11 +101,9 @@ fn per_object_quality_reflects_object_complexity_budgeting() {
     // per-object reports must cover the whole scene.
     let built = EvaluationScene::Scene4.build(5);
     let dataset = built.dataset(4, 2, 64);
-    let deployment = NerflexPipeline::new(PipelineOptions::quick()).run(
-        &built.scene,
-        &dataset,
-        &DeviceSpec::iphone_13(),
-    );
+    let deployment = NerflexPipeline::new(PipelineOptions::quick())
+        .try_run(&built.scene, &dataset, &DeviceSpec::iphone_13())
+        .expect("deploy");
     let per_object = per_object_quality(&deployment, &dataset, &built.scene);
     assert_eq!(per_object.len(), built.scene.len());
     for (id, name, ssim) in per_object {
@@ -94,11 +114,9 @@ fn per_object_quality_reflects_object_complexity_budgeting() {
 #[test]
 fn segmentation_feeds_selection_with_one_network_per_object() {
     let (scene, dataset) = small_setup();
-    let deployment = NerflexPipeline::new(PipelineOptions::quick()).run(
-        &scene,
-        &dataset,
-        &DeviceSpec::iphone_13(),
-    );
+    let deployment = NerflexPipeline::new(PipelineOptions::quick())
+        .try_run(&scene, &dataset, &DeviceSpec::iphone_13())
+        .expect("deploy");
     // Default policy: every detected object gets its own NeRF.
     assert_eq!(
         deployment.segmentation.decision.network_count(),

@@ -1,0 +1,278 @@
+//! Acceptance tests for the fleet deployment service: a duplicate-heavy
+//! burst must coalesce to exactly one shared-stage run per distinct scene,
+//! bake nothing twice, and produce deployments byte-identical to the
+//! blocking `try_deploy_fleet` path — across admission orders, executor
+//! counts and worker counts.
+
+use nerflex::bake::disk::deployment_fingerprint;
+use nerflex::core::pipeline::{NerflexPipeline, PipelineError, PipelineOptions};
+use nerflex::core::service::{DeployRequest, DeployService, ServiceOptions};
+use nerflex::device::DeviceSpec;
+use nerflex::scene::dataset::Dataset;
+use nerflex::scene::object::CanonicalObject;
+use nerflex::scene::scene::Scene;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn two_scenes() -> [(Arc<Scene>, Arc<Dataset>); 2] {
+    let a = Scene::with_objects(&[CanonicalObject::Hotdog, CanonicalObject::Chair], 21);
+    let dataset_a = Dataset::generate(&a, 2, 1, 32, 32);
+    let b = Scene::with_objects(&[CanonicalObject::Lego], 4);
+    let dataset_b = Dataset::generate(&b, 2, 1, 32, 32);
+    [(Arc::new(a), Arc::new(dataset_a)), (Arc::new(b), Arc::new(dataset_b))]
+}
+
+/// The duplicate-heavy burst: 8 requests over 2 distinct scenes × 2 devices
+/// (each (scene, device) pair twice). `scene_idx` per request, in admission
+/// order.
+const BURST: [usize; 8] = [0, 0, 1, 1, 0, 0, 1, 1];
+
+fn burst_devices() -> [DeviceSpec; 8] {
+    let iphone = DeviceSpec::iphone_13;
+    let pixel = DeviceSpec::pixel_4;
+    [iphone(), pixel(), iphone(), pixel(), iphone(), pixel(), iphone(), pixel()]
+}
+
+/// Runs the burst through a service and returns, per request slot,
+/// `((scene_idx, device name), fingerprint)` plus the bake-miss total.
+fn run_burst(
+    executors: usize,
+    workers: usize,
+    reverse_admission: bool,
+) -> (BTreeMap<(usize, String), u64>, u64, usize) {
+    let scenes = two_scenes();
+    let devices = burst_devices();
+    let service = DeployService::new(
+        ServiceOptions::inline(PipelineOptions::quick().with_worker_threads(workers))
+            .with_executors(executors),
+    );
+    let mut slots: Vec<usize> = (0..BURST.len()).collect();
+    if reverse_admission {
+        slots.reverse();
+    }
+    let mut ticket_to_slot = BTreeMap::new();
+    for slot in slots {
+        let (scene, dataset) = &scenes[BURST[slot]];
+        let ticket = service
+            .submit(DeployRequest::new(
+                Arc::clone(scene),
+                Arc::clone(dataset),
+                devices[slot].clone(),
+            ))
+            .expect("valid request");
+        ticket_to_slot.insert(ticket.id(), slot);
+    }
+    let outcomes = service.drain();
+    assert_eq!(outcomes.len(), BURST.len(), "every admitted request completes");
+
+    let stats = service.stats();
+    assert_eq!(stats.admitted, BURST.len() as u64);
+    assert_eq!(stats.completed, BURST.len() as u64);
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(stats.in_flight, 0);
+    // Exactly one shared-stage (segmentation + profiling) run per distinct
+    // scene, no matter how the burst was ordered or scheduled.
+    assert_eq!(stats.shared_stage_runs, 2, "one shared-stage run per distinct scene: {stats}");
+    // Everyone else coalesced: requests − distinct_work, and never less.
+    let distinct_work = 2u64;
+    assert!(
+        stats.coalesced >= BURST.len() as u64 - distinct_work,
+        "coalesced must cover the duplicates: {stats}"
+    );
+    assert_eq!(stats.coalesced + stats.shared_stage_runs as u64, BURST.len() as u64);
+
+    let mut fingerprints = BTreeMap::new();
+    for outcome in &outcomes {
+        let slot = ticket_to_slot[&outcome.ticket.id()];
+        assert_eq!(
+            deployment_fingerprint(&outcome.deployment.assets),
+            outcome.deployment_fingerprint,
+            "outcome fingerprint must be the canonical asset fingerprint"
+        );
+        let key = (BURST[slot], outcome.deployment.device.name.clone());
+        // Duplicate (scene, device) requests must agree with each other.
+        if let Some(&prior) = fingerprints.get(&key) {
+            assert_eq!(
+                prior, outcome.deployment_fingerprint,
+                "duplicate requests must produce identical deployments: {key:?}"
+            );
+        }
+        fingerprints.insert(key, outcome.deployment_fingerprint);
+    }
+    (fingerprints, stats.coalesced, service.cache_stats().misses)
+}
+
+#[test]
+fn duplicate_heavy_burst_coalesces_and_matches_the_blocking_path() {
+    // Reference: the blocking fleet path, one fleet per distinct scene.
+    let scenes = two_scenes();
+    let devices = [DeviceSpec::iphone_13(), DeviceSpec::pixel_4()];
+    let pipeline = NerflexPipeline::new(PipelineOptions::quick());
+    let mut reference = BTreeMap::new();
+    let mut reference_bakes = 0;
+    for (scene_idx, (scene, dataset)) in scenes.iter().enumerate() {
+        let fleet = pipeline.try_deploy_fleet(scene, dataset, &devices).expect("fleet deploy");
+        reference_bakes += fleet.cache.misses;
+        for deployment in &fleet.deployments {
+            reference.insert(
+                (scene_idx, deployment.device.name.clone()),
+                deployment_fingerprint(&deployment.assets),
+            );
+        }
+    }
+
+    // The burst must reproduce the reference byte-for-byte across both
+    // worker-count settings, both executor modes and both admission orders
+    // (each axis covered at both values across the four runs).
+    for (executors, workers, reverse) in [(0, 1, false), (0, 4, true), (3, 1, true), (3, 4, false)]
+    {
+        {
+            let (fingerprints, coalesced, bake_misses) = run_burst(executors, workers, reverse);
+            assert_eq!(
+                fingerprints, reference,
+                "service output must be byte-identical to the blocking path \
+                 (executors={executors}, workers={workers}, reverse={reverse})"
+            );
+            assert!(coalesced >= 6);
+            // Zero duplicate bakes: the burst pays exactly the bakes the
+            // sequential reference pays, despite 4× the requests and
+            // concurrent executors.
+            assert_eq!(
+                bake_misses, reference_bakes,
+                "duplicate requests must not re-bake \
+                 (executors={executors}, workers={workers}, reverse={reverse})"
+            );
+        }
+    }
+}
+
+#[test]
+fn priority_and_warm_scenes_order_the_queue() {
+    let scenes = two_scenes();
+    let device = DeviceSpec::pixel_4();
+    let service = DeployService::new(ServiceOptions::inline(PipelineOptions::quick()));
+
+    // Higher priority pops first regardless of admission order.
+    let low = service
+        .submit(
+            DeployRequest::new(Arc::clone(&scenes[0].0), Arc::clone(&scenes[0].1), device.clone())
+                .with_priority(-1),
+        )
+        .expect("valid");
+    let high = service
+        .submit(
+            DeployRequest::new(Arc::clone(&scenes[1].0), Arc::clone(&scenes[1].1), device.clone())
+                .with_priority(5),
+        )
+        .expect("valid");
+    let first = service.next_outcome().expect("outcome");
+    assert_eq!(first.ticket, high, "higher priority must complete first");
+    let second = service.next_outcome().expect("outcome");
+    assert_eq!(second.ticket, low);
+
+    // Warm-cache-first: on a fresh service, warm scene 1 only, then queue a
+    // cold request *before* a warm one at equal priority — the warm-scene
+    // request still pops first.
+    let service = DeployService::new(ServiceOptions::inline(PipelineOptions::quick()));
+    service
+        .submit(DeployRequest::new(
+            Arc::clone(&scenes[1].0),
+            Arc::clone(&scenes[1].1),
+            device.clone(),
+        ))
+        .expect("valid");
+    service.next_outcome().expect("outcome");
+    let cold = service
+        .submit(DeployRequest::new(
+            Arc::clone(&scenes[0].0),
+            Arc::clone(&scenes[0].1),
+            DeviceSpec::iphone_13(),
+        ))
+        .expect("valid");
+    let warm = service
+        .submit(DeployRequest::new(
+            Arc::clone(&scenes[1].0),
+            Arc::clone(&scenes[1].1),
+            DeviceSpec::iphone_13(),
+        ))
+        .expect("valid");
+    let third = service.next_outcome().expect("outcome");
+    assert_eq!(third.ticket, warm, "warm-scene request must jump the cold one");
+    assert!(third.coalesced, "warm request rides the resident stages");
+    let fourth = service.next_outcome().expect("outcome");
+    assert_eq!(fourth.ticket, cold);
+    assert!(service.next_outcome().is_none(), "service is idle");
+}
+
+#[test]
+fn admission_rejects_bad_requests_without_stopping_the_service() {
+    let scenes = two_scenes();
+    let device = DeviceSpec::pixel_4();
+    let service = DeployService::new(ServiceOptions::inline(PipelineOptions::quick()));
+
+    let empty_scene = Arc::new(Scene::new());
+    assert_eq!(
+        service
+            .submit(DeployRequest::new(empty_scene, Arc::clone(&scenes[0].1), device.clone()))
+            .err(),
+        Some(PipelineError::EmptyScene)
+    );
+    // NaN != NaN, so check the variant shape rather than full equality.
+    let nan_err = service
+        .submit(
+            DeployRequest::new(Arc::clone(&scenes[0].0), Arc::clone(&scenes[0].1), device.clone())
+                .with_budget_mb(f64::NAN),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(nan_err, PipelineError::InvalidBudget { requested_mb } if requested_mb.is_nan())
+    );
+    let err = service
+        .submit(
+            DeployRequest::new(Arc::clone(&scenes[0].0), Arc::clone(&scenes[0].1), device.clone())
+                .with_budget_mb(-10.0),
+        )
+        .unwrap_err();
+    assert_eq!(err, PipelineError::InvalidBudget { requested_mb: -10.0 });
+
+    let stats = service.stats();
+    assert_eq!(stats.rejected, 3);
+    assert_eq!(stats.admitted, 0);
+
+    // The service still serves good requests afterwards.
+    service
+        .submit(DeployRequest::new(Arc::clone(&scenes[1].0), Arc::clone(&scenes[1].1), device))
+        .expect("valid request after rejections");
+    let outcome = service.next_outcome().expect("outcome");
+    assert!(!outcome.coalesced);
+    assert_eq!(service.stats().completed, 1);
+}
+
+#[test]
+fn per_request_budgets_flow_through_the_service() {
+    let scenes = two_scenes();
+    let device = DeviceSpec::pixel_4();
+    let service = DeployService::new(ServiceOptions::inline(PipelineOptions::quick()));
+    for budget in [6.0, 200.0] {
+        service
+            .submit(
+                DeployRequest::new(
+                    Arc::clone(&scenes[0].0),
+                    Arc::clone(&scenes[0].1),
+                    device.clone(),
+                )
+                .with_budget_mb(budget),
+            )
+            .expect("valid");
+    }
+    let outcomes = service.drain();
+    assert_eq!(outcomes.len(), 2);
+    let by_ticket = |id: u64| &outcomes.iter().find(|o| o.ticket.id() == id).unwrap().deployment;
+    let tight = by_ticket(0);
+    let generous = by_ticket(1);
+    assert_eq!(tight.budget_mb, 6.0);
+    assert_eq!(generous.budget_mb, 200.0);
+    assert!(generous.selection.total_quality >= tight.selection.total_quality - 1e-9);
+    // Same scene → one shared-stage run even with different budgets.
+    assert_eq!(service.stats().shared_stage_runs, 1);
+}

@@ -63,7 +63,7 @@ fn cold_machine_over_a_warm_remote_rebakes_nothing() {
     let machine_a = NerflexPipeline::new(
         PipelineOptions::quick().with_store(StoreOptions::shared(&local_a.0, &remote.0)),
     );
-    let first = machine_a.run(&scene, &dataset, &device);
+    let first = machine_a.try_run(&scene, &dataset, &device).expect("deploy");
     assert_eq!(first.timings.ground_truth_builds, scene.len(), "machine A starts cold");
     let remote_bakes = std::fs::read_dir(&remote.0)
         .expect("remote dir")
@@ -79,7 +79,7 @@ fn cold_machine_over_a_warm_remote_rebakes_nothing() {
     let machine_b = NerflexPipeline::new(
         PipelineOptions::quick().with_store(StoreOptions::shared(&local_b.0, &remote.0)),
     );
-    let second = machine_b.run(&scene, &dataset, &device);
+    let second = machine_b.try_run(&scene, &dataset, &device).expect("deploy");
     assert_eq!(
         second.timings.cache_misses, 0,
         "a cold machine over a warm remote must re-bake nothing: {:?}",
@@ -101,7 +101,7 @@ fn cold_machine_over_a_warm_remote_rebakes_nothing() {
     // The read-through populated B's local layer: a third run against local
     // B alone (no remote) still re-bakes nothing.
     let local_only = NerflexPipeline::new(PipelineOptions::quick().with_cache_dir(&local_b.0));
-    let third = local_only.run(&scene, &dataset, &device);
+    let third = local_only.try_run(&scene, &dataset, &device).expect("deploy");
     assert_eq!(third.timings.cache_misses, 0, "local layer was populated: {:?}", third.timings);
     assert_eq!(asset_bytes(&first), asset_bytes(&third));
 }
@@ -143,7 +143,8 @@ fn pipeline_with_mem_backend_remote_serves_both_stores() {
     let first = NerflexPipeline::new(
         PipelineOptions::quick().with_store(StoreOptions::shared_with(&local_a.0, remote.clone())),
     )
-    .run(&scene, &dataset, &device);
+    .try_run(&scene, &dataset, &device)
+    .expect("deploy");
     assert_eq!(first.timings.ground_truth_builds, scene.len(), "first pipeline starts cold");
     let names: Vec<String> = remote.list().expect("list").into_iter().map(|e| e.name).collect();
     assert!(names.iter().any(|n| n.ends_with(".nfbake")), "bake entries in the remote");
@@ -155,7 +156,8 @@ fn pipeline_with_mem_backend_remote_serves_both_stores() {
     let second = NerflexPipeline::new(
         PipelineOptions::quick().with_store(StoreOptions::shared_with(&local_b.0, remote.clone())),
     )
-    .run(&scene, &dataset, &device);
+    .try_run(&scene, &dataset, &device)
+    .expect("deploy");
     assert_eq!(second.timings.cache_misses, 0, "{:?}", second.timings);
     assert_eq!(second.timings.ground_truth_builds, 0, "{:?}", second.timings);
     assert_eq!(asset_bytes(&first), asset_bytes(&second));
@@ -169,7 +171,7 @@ fn read_only_pipeline_store_serves_hits_without_writing() {
 
     // Populate the store normally, then re-run against it read-only.
     let writer = NerflexPipeline::new(PipelineOptions::quick().with_cache_dir(&tmp.0));
-    let first = writer.run(&scene, &dataset, &device);
+    let first = writer.try_run(&scene, &dataset, &device).expect("deploy");
     fn count_files(dir: &std::path::Path) -> usize {
         std::fs::read_dir(dir)
             .map(|d| {
@@ -192,7 +194,7 @@ fn read_only_pipeline_store_serves_hits_without_writing() {
     let reader = NerflexPipeline::new(
         PipelineOptions::quick().with_store(StoreOptions::dir(&tmp.0).read_only(true)),
     );
-    let second = reader.run(&scene, &dataset, &device);
+    let second = reader.try_run(&scene, &dataset, &device).expect("deploy");
     assert_eq!(
         second.timings.cache_misses, 0,
         "read-only store still serves: {:?}",
@@ -210,7 +212,7 @@ fn read_only_pipeline_store_serves_hits_without_writing() {
                 .read_only(true),
         ),
     );
-    let third = pruned_reader.run(&scene, &dataset, &device);
+    let third = pruned_reader.try_run(&scene, &dataset, &device).expect("deploy");
     assert_eq!(third.timings.cache_misses, 0, "read-only open must not prune");
     assert_eq!(count_files(&tmp.0), files_before);
 }
