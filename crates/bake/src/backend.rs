@@ -42,9 +42,9 @@
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::SystemTime;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, SystemTime};
 
 /// Listing metadata of one stored entry blob — everything pruning needs
 /// (age + size) without reading any payload.
@@ -119,6 +119,126 @@ pub trait StoreBackend: Send + Sync + std::fmt::Debug {
 
     /// One-line human-readable description (for logs and reports).
     fn describe(&self) -> String;
+
+    /// Resilience counters for layered backends ([`SharedBackend`] retries,
+    /// degradation, local-layer faults). Simple backends have nothing to
+    /// report; decorators forward to their inner backend.
+    fn resilience(&self) -> ResilienceStats {
+        ResilienceStats::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resilience: retry policy, remote health, counters
+// ---------------------------------------------------------------------------
+
+/// Bounded-retry policy for remote-side store operations.
+///
+/// Applied by [`SharedBackend`] to *transient* remote errors (timeouts,
+/// connection resets and friends — see [`RetryPolicy::is_transient`]):
+/// a failing call is re-attempted up to `max_attempts` total tries with a
+/// doubling `backoff` between tries. `NotFound` is a normal answer, never
+/// retried; non-transient kinds fail fast. When the attempts are exhausted
+/// the backend trips its circuit breaker and degrades to local-only service
+/// (see [`RemoteHealth`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total tries per logical operation (1 = no retries). Clamped to ≥ 1.
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles on each further retry.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three tries with a 1 ms initial backoff — enough to ride out blips
+    /// without stalling a build on a genuinely dead remote.
+    fn default() -> Self {
+        Self { max_attempts: 3, backoff: Duration::from_millis(1) }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with the given attempt bound and initial backoff.
+    pub fn new(max_attempts: u32, backoff: Duration) -> Self {
+        Self { max_attempts, backoff }
+    }
+
+    /// No retries: every remote error is final.
+    pub fn none() -> Self {
+        Self { max_attempts: 1, backoff: Duration::ZERO }
+    }
+
+    /// Whether an error kind is worth retrying: the transport may recover
+    /// on the next attempt. Semantic errors (`NotFound`, `InvalidInput`,
+    /// permission failures, full disks) are not transient.
+    pub fn is_transient(kind: io::ErrorKind) -> bool {
+        matches!(
+            kind,
+            io::ErrorKind::TimedOut
+                | io::ErrorKind::Interrupted
+                | io::ErrorKind::WouldBlock
+                | io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::ConnectionRefused
+                | io::ErrorKind::BrokenPipe
+                | io::ErrorKind::UnexpectedEof
+        )
+    }
+}
+
+/// Circuit-breaker state of a layered backend's remote side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoteHealth {
+    /// Remote operations are attempted (with retries) as usual.
+    Healthy,
+    /// The remote failed persistently; operations are served local-only and
+    /// the remote is re-probed periodically.
+    Degraded,
+}
+
+/// Resilience counters surfaced through [`StoreBackend::resilience`] and
+/// merged into `StoreStats` by the store layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Logical remote operations attempted (each may span several tries).
+    pub remote_ops: usize,
+    /// Remote operations that failed after exhausting their retry budget
+    /// (or failed a degraded-mode probe).
+    pub remote_errors: usize,
+    /// Individual retries performed on transient remote errors.
+    pub retries: usize,
+    /// Operations short-circuited to local-only because the remote was
+    /// degraded at the time.
+    pub degraded_ops: usize,
+    /// Local-layer errors other than `NotFound` observed on the read path
+    /// (a corrupt or unreadable local entry hidden behind a remote
+    /// fallback).
+    pub local_errors: usize,
+    /// Whether the remote is currently degraded.
+    pub degraded: bool,
+}
+
+impl ResilienceStats {
+    /// The circuit-breaker state this snapshot was taken in.
+    pub fn health(&self) -> RemoteHealth {
+        if self.degraded {
+            RemoteHealth::Degraded
+        } else {
+            RemoteHealth::Healthy
+        }
+    }
+
+    /// Merge another snapshot (summing counters; degraded if either is).
+    pub fn merge(&self, other: &ResilienceStats) -> ResilienceStats {
+        ResilienceStats {
+            remote_ops: self.remote_ops + other.remote_ops,
+            remote_errors: self.remote_errors + other.remote_errors,
+            retries: self.retries + other.retries,
+            degraded_ops: self.degraded_ops + other.degraded_ops,
+            local_errors: self.local_errors + other.local_errors,
+            degraded: self.degraded || other.degraded,
+        }
+    }
 }
 
 /// Process-unique suffix for in-flight temporary files. Unique per call,
@@ -273,7 +393,7 @@ impl MemBackend {
 
     /// Number of entries currently stored.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("mem backend poisoned").len()
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner).len()
     }
 
     /// `true` when no entries are stored.
@@ -354,30 +474,148 @@ impl StoreBackend for MemBackend {
 /// Entries are content-addressed and deterministic, so two machines racing
 /// to write one name write identical bytes — last-write-wins is correct by
 /// construction (see `docs/stores.md`).
+///
+/// # Resilience
+///
+/// Remote calls run under a [`RetryPolicy`]: transient errors are retried
+/// with doubling backoff; a call that exhausts its attempts (or fails with
+/// a non-transient kind) trips a circuit breaker and the backend degrades
+/// to **local-only** service ([`RemoteHealth::Degraded`]): listings show
+/// the local layer, reads that miss locally report the remote unavailable
+/// (the store rebuilds — correctness is preserved, sharing is not), and
+/// writes land locally only. Every [`REPROBE_INTERVAL`]-th remote-needing
+/// operation probes the remote once; a successful probe restores
+/// [`RemoteHealth::Healthy`]. `NotFound` from the remote is a normal
+/// answer — never retried, and it *clears* degradation on a probe (the
+/// remote responded). All of it is counted in [`ResilienceStats`] and
+/// surfaced through `StoreStats` (see `docs/faults.md`).
 #[derive(Debug, Clone)]
 pub struct SharedBackend {
     local: DirBackend,
     remote: Arc<dyn StoreBackend>,
+    policy: RetryPolicy,
+    state: Arc<ResilienceState>,
+}
+
+/// In degraded mode, every N-th remote-needing operation re-probes the
+/// remote instead of short-circuiting, so a recovered remote is picked up
+/// without an explicit reset.
+pub const REPROBE_INTERVAL: usize = 16;
+
+#[derive(Debug, Default)]
+struct ResilienceState {
+    degraded: AtomicBool,
+    probe_tick: AtomicUsize,
+    remote_ops: AtomicUsize,
+    remote_errors: AtomicUsize,
+    retries: AtomicUsize,
+    degraded_ops: AtomicUsize,
+    local_errors: AtomicUsize,
 }
 
 impl SharedBackend {
-    /// Layers `local` over `remote`.
+    /// Layers `local` over `remote` with the default [`RetryPolicy`].
     pub fn new(local: DirBackend, remote: Arc<dyn StoreBackend>) -> Self {
-        Self { local, remote }
+        Self { local, remote, policy: RetryPolicy::default(), state: Arc::default() }
+    }
+
+    /// Replaces the retry policy (builder style).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// The local layer's directory.
     pub fn local_dir(&self) -> &Path {
         self.local.dir()
     }
+
+    /// Current circuit-breaker state of the remote side.
+    pub fn remote_health(&self) -> RemoteHealth {
+        if self.state.degraded.load(Ordering::Relaxed) {
+            RemoteHealth::Degraded
+        } else {
+            RemoteHealth::Healthy
+        }
+    }
+
+    /// Runs one logical remote operation under the retry policy and the
+    /// circuit breaker. `NotFound` passes through untouched (a remote that
+    /// answers "no such entry" is healthy).
+    fn remote_call<T>(&self, op: &str, call: impl Fn() -> io::Result<T>) -> io::Result<T> {
+        let state = &self.state;
+        state.remote_ops.fetch_add(1, Ordering::Relaxed);
+        if state.degraded.load(Ordering::Relaxed) {
+            let tick = state.probe_tick.fetch_add(1, Ordering::Relaxed);
+            if !tick.is_multiple_of(REPROBE_INTERVAL) {
+                state.degraded_ops.fetch_add(1, Ordering::Relaxed);
+                return Err(io::Error::new(
+                    io::ErrorKind::NotConnected,
+                    format!("remote degraded; {op} served local-only"),
+                ));
+            }
+            return match call() {
+                Ok(value) => {
+                    state.degraded.store(false, Ordering::Relaxed);
+                    eprintln!("nerflex store: remote recovered; leaving local-only mode");
+                    Ok(value)
+                }
+                Err(err) if err.kind() == io::ErrorKind::NotFound => {
+                    // The remote responded — it is reachable again.
+                    state.degraded.store(false, Ordering::Relaxed);
+                    Err(err)
+                }
+                Err(err) => {
+                    state.remote_errors.fetch_add(1, Ordering::Relaxed);
+                    state.degraded_ops.fetch_add(1, Ordering::Relaxed);
+                    Err(err)
+                }
+            };
+        }
+        let attempts = self.policy.max_attempts.max(1);
+        let mut backoff = self.policy.backoff;
+        let mut attempt = 1;
+        loop {
+            match call() {
+                Ok(value) => return Ok(value),
+                Err(err) if err.kind() == io::ErrorKind::NotFound => return Err(err),
+                Err(err) => {
+                    if attempt < attempts && RetryPolicy::is_transient(err.kind()) {
+                        attempt += 1;
+                        state.retries.fetch_add(1, Ordering::Relaxed);
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                            backoff = backoff.saturating_mul(2);
+                        }
+                        continue;
+                    }
+                    state.remote_errors.fetch_add(1, Ordering::Relaxed);
+                    if !state.degraded.swap(true, Ordering::Relaxed) {
+                        state.probe_tick.store(1, Ordering::Relaxed);
+                        eprintln!(
+                            "nerflex store: remote {op} failed ({err}); degrading to \
+                             local-only with periodic re-probe"
+                        );
+                    }
+                    return Err(err);
+                }
+            }
+        }
+    }
 }
 
 impl StoreBackend for SharedBackend {
     fn list(&self) -> io::Result<Vec<EntryMeta>> {
         let mut entries = self.local.list()?;
+        // A degraded or failing remote shrinks the view to the local layer:
+        // entries the remote holds get rebuilt instead of shared, which
+        // costs time, never bits.
+        let Ok(remote) = self.remote_call("list", || self.remote.list()) else {
+            return Ok(entries);
+        };
         let seen: std::collections::HashSet<String> =
             entries.iter().map(|e| e.name.clone()).collect();
-        for meta in self.remote.list()? {
+        for meta in remote {
             if !seen.contains(&meta.name) {
                 entries.push(meta);
             }
@@ -391,20 +629,30 @@ impl StoreBackend for SharedBackend {
 
     fn read(&self, name: &str) -> io::Result<Vec<u8>> {
         match self.local.read(name) {
-            Ok(bytes) => Ok(bytes),
-            Err(_) => {
-                let bytes = self.remote.read(name)?;
-                // Populate the local layer so the next read stays local.
-                // Best-effort: a full local disk must not fail the lookup.
-                let _ = self.local.write_atomic(name, &bytes);
-                Ok(bytes)
+            Ok(bytes) => return Ok(bytes),
+            // Only a clean miss falls through silently; any other local
+            // error (permissions, corruption) is counted and reported, then
+            // the remote gets its chance to serve the entry anyway.
+            Err(err) if err.kind() == io::ErrorKind::NotFound => {}
+            Err(err) => {
+                self.state.local_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!("nerflex store: local read of {name:?} failed ({err}); trying remote");
             }
         }
+        let bytes = self.remote_call("read", || self.remote.read(name))?;
+        // Populate the local layer so the next read stays local.
+        // Best-effort: a full local disk must not fail the lookup.
+        let _ = self.local.write_atomic(name, &bytes);
+        Ok(bytes)
     }
 
     fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
         self.local.write_atomic(name, bytes)?;
-        self.remote.write_atomic(name, bytes)
+        // The local layer holds the entry; failing to propagate it to the
+        // remote degrades *sharing*, not correctness. The failure is
+        // counted (and trips the breaker), not raised.
+        let _ = self.remote_call("write", || self.remote.write_atomic(name, bytes));
+        Ok(())
     }
 
     fn remove(&self, name: &str) -> io::Result<()> {
@@ -416,7 +664,26 @@ impl StoreBackend for SharedBackend {
     }
 
     fn describe(&self) -> String {
-        format!("shared local={} remote=[{}]", self.local.dir().display(), self.remote.describe())
+        let health = match self.remote_health() {
+            RemoteHealth::Healthy => "",
+            RemoteHealth::Degraded => " (degraded)",
+        };
+        format!(
+            "shared local={} remote=[{}]{health}",
+            self.local.dir().display(),
+            self.remote.describe()
+        )
+    }
+
+    fn resilience(&self) -> ResilienceStats {
+        ResilienceStats {
+            remote_ops: self.state.remote_ops.load(Ordering::Relaxed),
+            remote_errors: self.state.remote_errors.load(Ordering::Relaxed),
+            retries: self.state.retries.load(Ordering::Relaxed),
+            degraded_ops: self.state.degraded_ops.load(Ordering::Relaxed),
+            local_errors: self.state.local_errors.load(Ordering::Relaxed),
+            degraded: self.state.degraded.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -477,6 +744,10 @@ impl StoreBackend for PrefixedBackend {
 
     fn describe(&self) -> String {
         format!("{}/{}", self.inner.describe(), self.prefix)
+    }
+
+    fn resilience(&self) -> ResilienceStats {
+        self.inner.resilience()
     }
 }
 
@@ -607,6 +878,108 @@ mod tests {
         shared.remove("new.nftest").expect("remove local");
         assert_eq!(remote.read("new.nftest").expect("remote survives"), b"baked here");
         assert_eq!(shared.read("new.nftest").expect("read-through again"), b"baked here");
+    }
+
+    #[test]
+    fn shared_backend_retries_transient_remote_faults() {
+        use crate::fault::{FaultMode, FaultOp, FaultPlan, FaultyBackend};
+        let tmp = TempDir::new("shared-retry");
+        let mem = Arc::new(MemBackend::new());
+        mem.write_atomic("warm.nftest", b"flaky but there").expect("seed remote");
+        let remote = Arc::new(FaultyBackend::new(
+            mem,
+            FaultPlan::none().fail_nth(
+                FaultOp::Read,
+                0,
+                FaultMode::Transient(io::ErrorKind::TimedOut),
+            ),
+        ));
+        let shared =
+            SharedBackend::new(DirBackend::create(&tmp.0, "nftest").expect("local"), remote)
+                .with_retry(RetryPolicy::new(3, Duration::ZERO));
+
+        assert_eq!(shared.read("warm.nftest").expect("retried read"), b"flaky but there");
+        let stats = shared.resilience();
+        assert_eq!(stats.retries, 1, "one transient fault, one retry");
+        assert_eq!(stats.remote_errors, 0);
+        assert_eq!(shared.remote_health(), RemoteHealth::Healthy);
+    }
+
+    #[test]
+    fn shared_backend_degrades_on_persistent_failure_and_reprobes_back() {
+        use crate::fault::{FaultMode, FaultOp, FaultPlan, FaultyBackend};
+        let tmp = TempDir::new("shared-degrade");
+        let mem = Arc::new(MemBackend::new());
+        mem.write_atomic("warm.nftest", b"behind the outage").expect("seed remote");
+        // A non-transient failure on the first remote read trips the breaker
+        // immediately; every read after that is served local-only until the
+        // re-probe window comes around and finds the remote recovered.
+        let remote = Arc::new(FaultyBackend::new(
+            mem,
+            FaultPlan::none().fail_nth(
+                FaultOp::Read,
+                0,
+                FaultMode::Transient(io::ErrorKind::PermissionDenied),
+            ),
+        ));
+        let shared =
+            SharedBackend::new(DirBackend::create(&tmp.0, "nftest").expect("local"), remote)
+                .with_retry(RetryPolicy::new(3, Duration::ZERO));
+
+        let err = shared.read("warm.nftest").expect_err("non-transient fault is final");
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        assert_eq!(shared.remote_health(), RemoteHealth::Degraded);
+        assert_eq!(shared.resilience().remote_errors, 1);
+        assert_eq!(shared.resilience().retries, 0, "non-transient kinds are not retried");
+
+        let mut served = None;
+        for _ in 0..=REPROBE_INTERVAL {
+            if let Ok(bytes) = shared.read("warm.nftest") {
+                served = Some(bytes);
+                break;
+            }
+        }
+        assert_eq!(served.as_deref(), Some(&b"behind the outage"[..]), "re-probe recovered");
+        assert_eq!(shared.remote_health(), RemoteHealth::Healthy);
+        let stats = shared.resilience();
+        assert!(stats.degraded_ops > 0, "local-only window was counted");
+        assert!(!stats.degraded);
+    }
+
+    #[test]
+    fn shared_backend_counts_local_errors_before_remote_fallback() {
+        let tmp = TempDir::new("shared-local-err");
+        let remote = Arc::new(MemBackend::new());
+        remote.write_atomic("hurt.nftest", b"remote copy").expect("seed remote");
+        let shared =
+            SharedBackend::new(DirBackend::create(&tmp.0, "nftest").expect("local"), remote);
+        // A directory squatting on the entry path makes the local read fail
+        // with a non-NotFound error: that must be *counted*, not conflated
+        // with a clean miss, and the remote still serves the entry.
+        std::fs::create_dir(tmp.0.join("hurt.nftest")).expect("squat");
+        assert_eq!(shared.read("hurt.nftest").expect("remote serves"), b"remote copy");
+        let stats = shared.resilience();
+        assert_eq!(stats.local_errors, 1, "local-layer fault surfaced in the counters");
+        assert_eq!(stats.remote_errors, 0);
+        assert_eq!(shared.remote_health(), RemoteHealth::Healthy);
+    }
+
+    #[test]
+    fn shared_backend_write_survives_a_dead_remote() {
+        use crate::fault::{FaultPlan, FaultyBackend};
+        let tmp = TempDir::new("shared-dead-write");
+        let remote = Arc::new(FaultyBackend::new(Arc::new(MemBackend::new()), FaultPlan::dead()));
+        let shared =
+            SharedBackend::new(DirBackend::create(&tmp.0, "nftest").expect("local"), remote)
+                .with_retry(RetryPolicy::new(2, Duration::ZERO));
+
+        shared.write_atomic("kept.nftest", b"local holds it").expect("write degrades, not fails");
+        assert_eq!(shared.read("kept.nftest").expect("local read"), b"local holds it");
+        let stats = shared.resilience();
+        assert!(stats.remote_errors >= 1);
+        assert!(stats.retries >= 1, "ConnectionRefused is transient; it was retried first");
+        assert_eq!(shared.remote_health(), RemoteHealth::Degraded);
+        assert!(shared.describe().contains("degraded"));
     }
 
     #[test]

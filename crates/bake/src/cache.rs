@@ -141,6 +141,16 @@ pub struct CacheStats {
     /// Entries indexed from the cache directory when the cache was opened
     /// (decoded lazily on first lookup; 0 for in-memory caches).
     pub loaded_from_disk: usize,
+    /// Logical remote operations attempted by a shared store's backend
+    /// (0 unless the cache is layered over a remote).
+    pub remote_ops: usize,
+    /// Remote operations that failed after exhausting their retries.
+    pub remote_errors: usize,
+    /// Retries performed on transient remote errors
+    /// ([`RetryPolicy`](crate::backend::RetryPolicy)).
+    pub retries: usize,
+    /// Lookups served local-only because the remote was degraded.
+    pub degraded_ops: usize,
 }
 
 impl CacheStats {
@@ -171,6 +181,10 @@ impl CacheStats {
             coalesced: self.coalesced - earlier.coalesced,
             entries: self.entries,
             loaded_from_disk: self.loaded_from_disk,
+            remote_ops: self.remote_ops - earlier.remote_ops,
+            remote_errors: self.remote_errors - earlier.remote_errors,
+            retries: self.retries - earlier.retries,
+            degraded_ops: self.degraded_ops - earlier.degraded_ops,
         }
     }
 }
@@ -186,7 +200,15 @@ impl std::fmt::Display for CacheStats {
             self.entries,
             self.loaded_from_disk,
             self.hit_ratio() * 100.0
-        )
+        )?;
+        if self.remote_errors + self.retries + self.degraded_ops > 0 {
+            write!(
+                f,
+                ", resilience: {} retries / {} remote errors / {} degraded ops",
+                self.retries, self.remote_errors, self.degraded_ops
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -300,13 +322,21 @@ impl BakeCache {
     ///
     /// # Errors
     ///
-    /// Returns the first I/O error encountered; entries flushed before the
-    /// failure stay flushed and are not re-written next time.
+    /// Returns the first I/O error encountered. Every dirty entry is still
+    /// attempted; the written ones stay flushed, the failed ones stay dirty
+    /// and are retried next flush.
     pub fn flush(&self) -> io::Result<usize> {
         self.store.flush()
     }
 
-    /// Current counters.
+    /// Like [`BakeCache::flush`], but attempts every dirty entry and
+    /// collects the per-entry failures instead of stopping at the first
+    /// (see [`KeyedStore::flush_report`]).
+    pub fn flush_report(&self) -> crate::store::FlushReport {
+        self.store.flush_report()
+    }
+
+    /// Current counters, including the shared store's resilience counters.
     pub fn stats(&self) -> CacheStats {
         let stats = self.store.stats();
         CacheStats {
@@ -316,6 +346,10 @@ impl BakeCache {
             coalesced: stats.coalesced,
             entries: stats.entries,
             loaded_from_disk: stats.indexed,
+            remote_ops: stats.remote_ops,
+            remote_errors: stats.remote_errors,
+            retries: stats.retries,
+            degraded_ops: stats.degraded_ops,
         }
     }
 

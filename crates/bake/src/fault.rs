@@ -1,0 +1,613 @@
+//! Deterministic fault injection for [`StoreBackend`] implementations.
+//!
+//! [`FaultyBackend`] wraps any backend and injects failures according to a
+//! seeded, fully deterministic [`FaultPlan`]: the same plan applied to the
+//! same sequence of store operations always injects the same faults. That
+//! makes chaos tests reproducible — a failing seed can be replayed exactly —
+//! and lets CI assert properties of a *specific* fault schedule (retry
+//! counts, degradation, fingerprint equality with the fault-free run).
+//!
+//! The plan speaks the same failure vocabulary as the resilience layer in
+//! [`SharedBackend`](crate::backend::SharedBackend):
+//!
+//! - **Transient** faults ([`FaultMode::Transient`]) fail one call with a
+//!   retryable [`io::ErrorKind`]; the next call may succeed. These exercise
+//!   the [`RetryPolicy`](crate::backend::RetryPolicy) path.
+//! - **Persistent** faults ([`FaultMode::Persistent`]) fail every call of an
+//!   operation from a given index onward — a dead remote or a full disk.
+//!   These exercise circuit-breaker degradation.
+//! - **Crash** faults ([`FaultMode::CrashAfterTmpWrite`]) simulate a process
+//!   dying between the temporary-file write and the atomic rename: a torn
+//!   `.tmp-` orphan is left behind for `sweep_tmp` to reclaim, and the write
+//!   reports failure. The orphan carries the standard temporary marker, so
+//!   it is invisible to `list` and removed by the next `sweep_tmp`.
+//! - **Panic** faults ([`FaultMode::Panic`]) unwind with a typed
+//!   [`StoreFaultPanic`] payload instead of returning an error, modelling
+//!   the worst case a backend can do to its caller. The service layer
+//!   downcasts this payload to convert the panic into a per-request failure.
+//!
+//! Determinism matters beyond replay: the store contract says faults change
+//! *who pays* (retries, recomputation), never *what is computed*. Any plan
+//! that permits completion must leave output bits identical to a fault-free
+//! run — `tests/chaos.rs` holds the system to that.
+
+use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use crate::backend::{EntryMeta, ResilienceStats, StoreBackend};
+
+/// Number of distinct faultable operations (size of the per-op tables).
+const OP_COUNT: usize = 5;
+
+/// A store operation that faults can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOp {
+    /// `StoreBackend::list`.
+    List,
+    /// `StoreBackend::read`.
+    Read,
+    /// `StoreBackend::write_atomic`.
+    WriteAtomic,
+    /// `StoreBackend::remove`.
+    Remove,
+    /// `StoreBackend::sweep_tmp`.
+    SweepTmp,
+}
+
+impl FaultOp {
+    fn index(self) -> usize {
+        match self {
+            FaultOp::List => 0,
+            FaultOp::Read => 1,
+            FaultOp::WriteAtomic => 2,
+            FaultOp::Remove => 3,
+            FaultOp::SweepTmp => 4,
+        }
+    }
+
+    /// Lowercase operation name as it appears in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultOp::List => "list",
+            FaultOp::Read => "read",
+            FaultOp::WriteAtomic => "write_atomic",
+            FaultOp::Remove => "remove",
+            FaultOp::SweepTmp => "sweep_tmp",
+        }
+    }
+}
+
+impl fmt::Display for FaultOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What an injected fault does to the intercepted call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Fail this one call with the given kind; later calls are unaffected.
+    Transient(io::ErrorKind),
+    /// Fail this call and every later call of the same operation.
+    Persistent(io::ErrorKind),
+    /// Simulate a crash between the temporary write and the rename: leave a
+    /// torn `.tmp-` orphan behind and report the write as failed. Only
+    /// meaningful on `write_atomic`; other operations treat it as a
+    /// transient `Interrupted` error.
+    CrashAfterTmpWrite,
+    /// Unwind with a typed [`StoreFaultPanic`] payload instead of returning.
+    Panic,
+}
+
+/// Typed panic payload raised by [`FaultMode::Panic`].
+///
+/// Callers that `catch_unwind` around store-touching work can downcast the
+/// payload to this type to distinguish an injected store fault from a
+/// genuine logic bug and degrade to a per-request error instead of dying.
+#[derive(Debug, Clone)]
+pub struct StoreFaultPanic {
+    /// The operation that was intercepted.
+    pub op: FaultOp,
+    /// The entry name the operation addressed (empty for `list`/`sweep_tmp`).
+    pub name: String,
+}
+
+impl fmt::Display for StoreFaultPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.name.is_empty() {
+            write!(f, "injected store fault: {} panicked", self.op)
+        } else {
+            write!(f, "injected store fault: {} of {:?} panicked", self.op, self.name)
+        }
+    }
+}
+
+/// A deterministic schedule of faults, keyed on per-operation call indices.
+///
+/// Three layers combine, checked in order for every intercepted call:
+///
+/// 1. **One-shot schedule** — `fail_nth(op, n, mode)` fires on exactly the
+///    `n`-th call (0-based) of `op`.
+/// 2. **Persistent window** — `persistent_from(op, n, kind)` fails every
+///    call of `op` with index ≥ `n`.
+/// 3. **Seeded transient noise** — `with_transient(op, percent)` fails
+///    roughly `percent`% of calls, chosen by a hash of `(seed, op, index)`.
+///    The same seed always picks the same call indices.
+///
+/// All layers are functions of the per-op call *index* only, so a plan's
+/// behaviour is independent of wall-clock time, thread interleaving of
+/// *other* operations, and machine state.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    latency: Option<Duration>,
+    transient_rate: [u8; OP_COUNT],
+    transient_kind: Option<io::ErrorKind>,
+    persistent_from: [Option<(usize, io::ErrorKind)>; OP_COUNT],
+    scheduled: Vec<(FaultOp, usize, FaultMode)>,
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything (the wrapped backend is passthrough).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A seeded plan injecting transient `TimedOut` faults on roughly 40% of
+    /// `list`/`read`/`write_atomic` calls — flaky-network noise. Any two
+    /// runs with the same seed and call sequence inject identically.
+    pub fn seeded(seed: u64) -> Self {
+        Self::default()
+            .with_seed(seed)
+            .with_transient(FaultOp::List, 40)
+            .with_transient(FaultOp::Read, 40)
+            .with_transient(FaultOp::WriteAtomic, 40)
+    }
+
+    /// A plan where every operation fails persistently with
+    /// `ConnectionRefused` from the first call — a dead remote.
+    pub fn dead() -> Self {
+        let mut plan = Self::default();
+        for slot in plan.persistent_from.iter_mut() {
+            *slot = Some((0, io::ErrorKind::ConnectionRefused));
+        }
+        plan
+    }
+
+    /// Set the seed for the transient-noise layer.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Inject transient faults on roughly `percent`% of `op` calls.
+    ///
+    /// The fault kind defaults to `TimedOut`; override with
+    /// [`with_transient_kind`](Self::with_transient_kind).
+    pub fn with_transient(mut self, op: FaultOp, percent: u8) -> Self {
+        self.transient_rate[op.index()] = percent.min(100);
+        self
+    }
+
+    /// Override the `io::ErrorKind` used by the seeded transient layer.
+    pub fn with_transient_kind(mut self, kind: io::ErrorKind) -> Self {
+        self.transient_kind = Some(kind);
+        self
+    }
+
+    /// Fail every call of `op` with index ≥ `from` (0-based) with `kind`.
+    pub fn persistent_from(mut self, op: FaultOp, from: usize, kind: io::ErrorKind) -> Self {
+        self.persistent_from[op.index()] = Some((from, kind));
+        self
+    }
+
+    /// Fire `mode` on exactly the `n`-th call (0-based) of `op`.
+    pub fn fail_nth(mut self, op: FaultOp, n: usize, mode: FaultMode) -> Self {
+        self.scheduled.push((op, n, mode));
+        self
+    }
+
+    /// Sleep `latency` before every intercepted call (simulated slow remote).
+    pub fn with_latency(mut self, latency: Duration) -> Self {
+        self.latency = Some(latency);
+        self
+    }
+
+    /// The fault (if any) this plan injects for call `index` of `op`.
+    fn decide(&self, op: FaultOp, index: usize) -> Option<FaultMode> {
+        for (sop, sn, mode) in &self.scheduled {
+            if *sop == op && *sn == index {
+                return Some(*mode);
+            }
+        }
+        if let Some((from, kind)) = self.persistent_from[op.index()] {
+            if index >= from {
+                return Some(FaultMode::Persistent(kind));
+            }
+        }
+        let rate = self.transient_rate[op.index()];
+        if rate > 0 && mix(self.seed, op.index() as u64, index as u64) % 100 < u64::from(rate) {
+            let kind = self.transient_kind.unwrap_or(io::ErrorKind::TimedOut);
+            return Some(FaultMode::Transient(kind));
+        }
+        None
+    }
+}
+
+/// SplitMix64-style bit mixer: the deterministic coin for transient noise.
+fn mix(seed: u64, op: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(op.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Injection counters for one operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpFaultStats {
+    /// Calls intercepted (faulted or not).
+    pub calls: usize,
+    /// Transient errors injected.
+    pub transient: usize,
+    /// Persistent errors injected.
+    pub persistent: usize,
+    /// Simulated crashes injected.
+    pub crashes: usize,
+    /// Panics injected.
+    pub panics: usize,
+}
+
+impl OpFaultStats {
+    /// Total faults injected on this operation.
+    pub fn injected(&self) -> usize {
+        self.transient + self.persistent + self.crashes + self.panics
+    }
+}
+
+/// Per-operation injection counters for a [`FaultyBackend`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Counters for `list`.
+    pub list: OpFaultStats,
+    /// Counters for `read`.
+    pub read: OpFaultStats,
+    /// Counters for `write_atomic`.
+    pub write_atomic: OpFaultStats,
+    /// Counters for `remove`.
+    pub remove: OpFaultStats,
+    /// Counters for `sweep_tmp`.
+    pub sweep_tmp: OpFaultStats,
+}
+
+impl FaultStats {
+    fn op_mut(&mut self, op: FaultOp) -> &mut OpFaultStats {
+        match op {
+            FaultOp::List => &mut self.list,
+            FaultOp::Read => &mut self.read,
+            FaultOp::WriteAtomic => &mut self.write_atomic,
+            FaultOp::Remove => &mut self.remove,
+            FaultOp::SweepTmp => &mut self.sweep_tmp,
+        }
+    }
+
+    /// Counters for one operation.
+    pub fn op(&self, op: FaultOp) -> OpFaultStats {
+        match op {
+            FaultOp::List => self.list,
+            FaultOp::Read => self.read,
+            FaultOp::WriteAtomic => self.write_atomic,
+            FaultOp::Remove => self.remove,
+            FaultOp::SweepTmp => self.sweep_tmp,
+        }
+    }
+
+    /// Total calls intercepted across all operations.
+    pub fn total_calls(&self) -> usize {
+        [self.list, self.read, self.write_atomic, self.remove, self.sweep_tmp]
+            .iter()
+            .map(|op| op.calls)
+            .sum()
+    }
+
+    /// Total faults injected across all operations.
+    pub fn total_injected(&self) -> usize {
+        [self.list, self.read, self.write_atomic, self.remove, self.sweep_tmp]
+            .iter()
+            .map(|op| op.injected())
+            .sum()
+    }
+}
+
+impl fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} faults over {} calls (read {}/{}, write {}/{}, list {}/{})",
+            self.total_injected(),
+            self.total_calls(),
+            self.read.injected(),
+            self.read.calls,
+            self.write_atomic.injected(),
+            self.write_atomic.calls,
+            self.list.injected(),
+            self.list.calls,
+        )
+    }
+}
+
+/// A [`StoreBackend`] decorator that injects faults from a [`FaultPlan`].
+///
+/// Call indices are counted per operation across the backend's lifetime, so
+/// a plan addresses "the 3rd read" regardless of interleaved writes. The
+/// wrapper is thread-safe; when multiple threads race on the same operation
+/// the *set* of faulted indices is still deterministic, though which thread
+/// draws a faulted index is not — plans used under concurrency should assert
+/// aggregate properties (counts, fingerprints), not per-thread ones.
+#[derive(Debug)]
+pub struct FaultyBackend {
+    inner: Arc<dyn StoreBackend>,
+    plan: FaultPlan,
+    counts: [AtomicUsize; OP_COUNT],
+    crash_seq: AtomicUsize,
+    stats: Mutex<FaultStats>,
+}
+
+impl FaultyBackend {
+    /// Wrap `inner`, injecting faults according to `plan`.
+    pub fn new(inner: Arc<dyn StoreBackend>, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            counts: Default::default(),
+            crash_seq: AtomicUsize::new(0),
+            stats: Mutex::new(FaultStats::default()),
+        }
+    }
+
+    /// Snapshot of the injection counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        *self.stats.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &Arc<dyn StoreBackend> {
+        &self.inner
+    }
+
+    /// Record the call, apply latency, and return the fault to inject (if
+    /// any). `CrashAfterTmpWrite` is only returned for `write_atomic`; on
+    /// other operations it downgrades to a transient `Interrupted`.
+    fn gate(&self, op: FaultOp, name: &str) -> Option<FaultMode> {
+        let index = self.counts[op.index()].fetch_add(1, Ordering::Relaxed);
+        if let Some(latency) = self.plan.latency {
+            std::thread::sleep(latency);
+        }
+        let mode = self.plan.decide(op, index);
+        let mode = match mode {
+            Some(FaultMode::CrashAfterTmpWrite) if op != FaultOp::WriteAtomic => {
+                Some(FaultMode::Transient(io::ErrorKind::Interrupted))
+            }
+            other => other,
+        };
+        {
+            let mut stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+            let counters = stats.op_mut(op);
+            counters.calls += 1;
+            match mode {
+                Some(FaultMode::Transient(_)) => counters.transient += 1,
+                Some(FaultMode::Persistent(_)) => counters.persistent += 1,
+                Some(FaultMode::CrashAfterTmpWrite) => counters.crashes += 1,
+                Some(FaultMode::Panic) => counters.panics += 1,
+                None => {}
+            }
+        }
+        if let Some(FaultMode::Panic) = mode {
+            std::panic::panic_any(StoreFaultPanic { op, name: name.to_string() });
+        }
+        mode
+    }
+
+    /// Render `mode` as the error the intercepted call returns.
+    fn fail<T>(&self, op: FaultOp, name: &str, mode: FaultMode) -> io::Result<T> {
+        let (kind, flavor) = match mode {
+            FaultMode::Transient(kind) => (kind, "transient"),
+            FaultMode::Persistent(kind) => (kind, "persistent"),
+            // Handled by the callers; kept total for safety.
+            FaultMode::CrashAfterTmpWrite => (io::ErrorKind::Interrupted, "crash"),
+            FaultMode::Panic => (io::ErrorKind::Other, "panic"),
+        };
+        Err(io::Error::new(kind, format!("injected {flavor} fault on {op} of {name:?}")))
+    }
+}
+
+impl StoreBackend for FaultyBackend {
+    fn list(&self) -> io::Result<Vec<EntryMeta>> {
+        match self.gate(FaultOp::List, "") {
+            None => self.inner.list(),
+            Some(mode) => self.fail(FaultOp::List, "", mode),
+        }
+    }
+
+    fn list_prunable(&self) -> io::Result<Vec<EntryMeta>> {
+        // Pruning is local maintenance; faults target the data-path contract,
+        // so the prunable listing passes through un-gated.
+        self.inner.list_prunable()
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        match self.gate(FaultOp::Read, name) {
+            None => self.inner.read(name),
+            Some(mode) => self.fail(FaultOp::Read, name, mode),
+        }
+    }
+
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        match self.gate(FaultOp::WriteAtomic, name) {
+            None => self.inner.write_atomic(name, bytes),
+            Some(FaultMode::CrashAfterTmpWrite) => {
+                // The crash happened after the temporary was (partially)
+                // written but before the rename: leave a torn orphan that
+                // carries the `.tmp-` sweep marker, then report failure.
+                let seq = self.crash_seq.fetch_add(1, Ordering::Relaxed);
+                let orphan = format!("{name}.tmp-crash{seq}");
+                let torn = &bytes[..bytes.len() / 2];
+                let _ = self.inner.write_atomic(&orphan, torn);
+                Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    format!("injected crash between tmp write and rename of {name:?}"),
+                ))
+            }
+            Some(mode) => self.fail(FaultOp::WriteAtomic, name, mode),
+        }
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        match self.gate(FaultOp::Remove, name) {
+            None => self.inner.remove(name),
+            Some(mode) => self.fail(FaultOp::Remove, name, mode),
+        }
+    }
+
+    fn sweep_tmp(&self) -> io::Result<()> {
+        match self.gate(FaultOp::SweepTmp, "") {
+            None => self.inner.sweep_tmp(),
+            Some(mode) => self.fail(FaultOp::SweepTmp, "", mode),
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("faulty({})", self.inner.describe())
+    }
+
+    fn resilience(&self) -> ResilienceStats {
+        self.inner.resilience()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    fn faulty(plan: FaultPlan) -> FaultyBackend {
+        FaultyBackend::new(Arc::new(MemBackend::new()), plan)
+    }
+
+    #[test]
+    fn none_plan_is_passthrough() {
+        let backend = faulty(FaultPlan::none());
+        backend.write_atomic("a.bin", b"payload").expect("write");
+        assert_eq!(backend.read("a.bin").expect("read"), b"payload");
+        assert_eq!(backend.list().expect("list").len(), 1);
+        assert_eq!(backend.fault_stats().total_injected(), 0);
+        assert_eq!(backend.fault_stats().total_calls(), 3);
+    }
+
+    #[test]
+    fn fail_nth_hits_exactly_the_scheduled_call() {
+        let plan = FaultPlan::none().fail_nth(
+            FaultOp::Read,
+            1,
+            FaultMode::Transient(io::ErrorKind::TimedOut),
+        );
+        let backend = faulty(plan);
+        backend.write_atomic("a.bin", b"x").expect("write");
+        assert!(backend.read("a.bin").is_ok(), "read 0 passes");
+        let err = backend.read("a.bin").expect_err("read 1 faulted");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(backend.read("a.bin").is_ok(), "read 2 passes again");
+        assert_eq!(backend.fault_stats().read.transient, 1);
+    }
+
+    #[test]
+    fn persistent_window_fails_everything_from_its_start() {
+        let plan =
+            FaultPlan::none().persistent_from(FaultOp::Read, 2, io::ErrorKind::ConnectionRefused);
+        let backend = faulty(plan);
+        backend.write_atomic("a.bin", b"x").expect("write");
+        assert!(backend.read("a.bin").is_ok());
+        assert!(backend.read("a.bin").is_ok());
+        for _ in 0..3 {
+            let err = backend.read("a.bin").expect_err("persistent window");
+            assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        }
+        assert_eq!(backend.fault_stats().read.persistent, 3);
+    }
+
+    #[test]
+    fn seeded_noise_is_deterministic_and_roughly_at_rate() {
+        let run = |seed: u64| -> Vec<bool> {
+            let backend =
+                faulty(FaultPlan::none().with_seed(seed).with_transient(FaultOp::Read, 40));
+            (0..100)
+                .map(|_| {
+                    backend.read("missing.bin").is_err_and(|e| e.kind() == io::ErrorKind::TimedOut)
+                })
+                .collect()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same seed, same schedule");
+        let faulted = a.iter().filter(|hit| **hit).count();
+        assert!((20..=60).contains(&faulted), "~40% of 100 calls should fault, got {faulted}");
+        let c = run(8);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn dead_plan_fails_every_operation() {
+        let backend = faulty(FaultPlan::dead());
+        assert!(backend.list().is_err());
+        assert!(backend.read("a.bin").is_err());
+        assert!(backend.write_atomic("a.bin", b"x").is_err());
+        assert!(backend.remove("a.bin").is_err());
+        assert!(backend.sweep_tmp().is_err());
+        assert_eq!(backend.fault_stats().total_injected(), 5);
+    }
+
+    #[test]
+    fn crash_mode_leaves_a_torn_tmp_orphan_and_fails_the_write() {
+        let plan =
+            FaultPlan::none().fail_nth(FaultOp::WriteAtomic, 0, FaultMode::CrashAfterTmpWrite);
+        let backend = faulty(plan);
+        let err = backend.write_atomic("entry.bin", b"0123456789").expect_err("crashed");
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        // The entry itself never landed; only a torn orphan carrying the
+        // `.tmp-` sweep marker exists on the inner backend.
+        assert_eq!(
+            backend.inner().read("entry.bin").expect_err("torn").kind(),
+            io::ErrorKind::NotFound
+        );
+        assert_eq!(backend.inner().read("entry.bin.tmp-crash0").expect("orphan"), b"01234");
+        assert_eq!(backend.fault_stats().write_atomic.crashes, 1);
+        // Retrying the write succeeds (the crash was one-shot).
+        backend.write_atomic("entry.bin", b"0123456789").expect("retry lands");
+    }
+
+    #[test]
+    fn panic_mode_unwinds_with_a_typed_payload() {
+        let plan = FaultPlan::none().fail_nth(FaultOp::Read, 0, FaultMode::Panic);
+        let backend = faulty(plan);
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = backend.read("entry.bin");
+        }))
+        .expect_err("panic fault unwinds");
+        let fault = payload.downcast::<StoreFaultPanic>().expect("typed payload");
+        assert_eq!(fault.op, FaultOp::Read);
+        assert_eq!(fault.name, "entry.bin");
+        assert_eq!(backend.fault_stats().read.panics, 1);
+    }
+
+    #[test]
+    fn latency_is_applied_without_changing_results() {
+        let plan = FaultPlan::none().with_latency(Duration::from_millis(1));
+        let backend = faulty(plan);
+        backend.write_atomic("a.bin", b"x").expect("write");
+        assert_eq!(backend.read("a.bin").expect("read"), b"x");
+    }
+}

@@ -32,6 +32,7 @@ pub mod backend;
 pub mod cache;
 pub mod config;
 pub mod disk;
+pub mod fault;
 pub mod mesh;
 pub mod mlp;
 pub mod pool;
@@ -40,13 +41,18 @@ pub mod voxel;
 
 pub use asset::{bake_object, bake_placed, bake_scene, BakedAsset, Placement};
 pub use atlas::TextureAtlas;
-pub use backend::{DirBackend, EntryMeta, MemBackend, SharedBackend, StoreBackend};
+pub use backend::{
+    DirBackend, EntryMeta, MemBackend, RemoteHealth, ResilienceStats, RetryPolicy, SharedBackend,
+    StoreBackend,
+};
 pub use cache::{model_fingerprint, BakeCache, CacheStats};
 pub use config::BakeConfig;
 pub use disk::CACHE_FORMAT_VERSION;
+pub use fault::{FaultMode, FaultOp, FaultPlan, FaultStats, FaultyBackend, StoreFaultPanic};
 pub use mesh::QuadMesh;
 pub use mlp::TinyMlp;
 pub use store::{
-    EntryCodec, KeyedStore, PruneReport, StoreLimits, StoreLocation, StoreOptions, StoreStats,
+    EntryCodec, FlushReport, KeyedStore, PruneReport, StoreLimits, StoreLocation, StoreOptions,
+    StoreStats,
 };
 pub use voxel::VoxelGrid;

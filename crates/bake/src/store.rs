@@ -28,13 +28,28 @@
 //! store API and the sharing semantics; `docs/determinism.md` states the
 //! repo-wide contract.
 
-use crate::backend::{DirBackend, EntryMeta, PrefixedBackend, SharedBackend, StoreBackend};
+use crate::backend::{
+    DirBackend, EntryMeta, PrefixedBackend, RetryPolicy, SharedBackend, StoreBackend,
+};
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering from poisoning.
+///
+/// Every mutex in this module guards state that is valid between operations
+/// by construction: slots are inserted and removed in single statements,
+/// builds and decodes run *outside* the entry lock, and the pending-cell
+/// flag is a bare bool. A peer that panicked while holding one of these
+/// locks therefore cannot have left the data torn — propagating the poison
+/// would turn one panicked builder into a failure of every later lookup,
+/// so we take the data and keep serving.
+fn lock_valid<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 // ---------------------------------------------------------------------------
 // Retention limits + pruning
@@ -204,6 +219,10 @@ pub enum StoreLocation {
         /// The remote shared by the fleet.
         remote: Remote,
     },
+    /// Any backend implementation used directly, without a local layer —
+    /// test doubles, fault-injection wrappers
+    /// ([`crate::fault::FaultyBackend`]), future object-store adapters.
+    Custom(Arc<dyn StoreBackend>),
 }
 
 /// The remote half of a [`StoreLocation::Shared`] layering.
@@ -247,6 +266,10 @@ pub struct StoreOptions {
     /// building. The deployment service turns this on so a burst of
     /// duplicate requests pays for each bake exactly once.
     pub coalesce: bool,
+    /// Bounded retry + circuit-breaker policy applied to the remote side of
+    /// a [`StoreLocation::Shared`] store (see
+    /// [`crate::backend::RetryPolicy`]). Purely local stores ignore it.
+    pub retry: RetryPolicy,
 }
 
 impl StoreOptions {
@@ -287,9 +310,23 @@ impl StoreOptions {
         }
     }
 
+    /// A store over any backend implementation, used directly — the seam
+    /// for fault-injection wrappers and object-store adapters.
+    pub fn backend(backend: Arc<dyn StoreBackend>) -> Self {
+        Self { location: StoreLocation::Custom(backend), ..Self::default() }
+    }
+
     /// Returns the options with the given retention limits.
     pub fn with_limits(mut self, limits: StoreLimits) -> Self {
         self.limits = limits;
+        self
+    }
+
+    /// Returns the options with the given remote retry policy (see
+    /// [`StoreOptions::retry`]). Nested stores ([`StoreOptions::subdir`])
+    /// inherit it.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -319,6 +356,7 @@ impl StoreOptions {
             StoreLocation::InMemory => None,
             StoreLocation::Dir(path) => Some(path),
             StoreLocation::Shared { local, .. } => Some(local),
+            StoreLocation::Custom(_) => None,
         }
     }
 
@@ -339,12 +377,16 @@ impl StoreOptions {
                     }
                 },
             },
+            StoreLocation::Custom(backend) => {
+                StoreLocation::Custom(Arc::new(PrefixedBackend::new(Arc::clone(backend), name)))
+            }
         };
         StoreOptions {
             location,
             limits: self.limits,
             read_only: self.read_only,
             coalesce: self.coalesce,
+            retry: self.retry,
         }
     }
 
@@ -361,6 +403,7 @@ impl StoreOptions {
                     Remote::Backend(backend) => backend.describe(),
                 }
             ),
+            StoreLocation::Custom(backend) => format!("custom [{}]", backend.describe()),
         };
         if self.read_only {
             format!("{base} (read-only)")
@@ -380,8 +423,9 @@ impl StoreOptions {
                     Remote::Dir(path) => Arc::new(DirBackend::create(path, extension)?),
                     Remote::Backend(backend) => Arc::clone(backend),
                 };
-                Ok(Some(Arc::new(SharedBackend::new(local, remote))))
+                Ok(Some(Arc::new(SharedBackend::new(local, remote).with_retry(self.retry))))
             }
+            StoreLocation::Custom(backend) => Ok(Some(Arc::clone(backend))),
         }
     }
 }
@@ -440,6 +484,19 @@ pub struct StoreStats {
     /// Entries indexed from the backend when the store was opened (decoded
     /// lazily on first lookup; 0 for in-memory stores).
     pub indexed: usize,
+    /// Logical remote operations attempted by a layered backend (each may
+    /// span several tries under the [`crate::backend::RetryPolicy`]).
+    pub remote_ops: usize,
+    /// Remote operations that failed after exhausting their retries.
+    pub remote_errors: usize,
+    /// Individual retries performed on transient remote errors.
+    pub retries: usize,
+    /// Operations served local-only because the remote was degraded
+    /// ([`crate::backend::RemoteHealth::Degraded`]).
+    pub degraded_ops: usize,
+    /// Local-layer read errors other than `NotFound` (reported, then hidden
+    /// behind the remote fallback).
+    pub local_errors: usize,
 }
 
 /// One stored value plus its persistence bookkeeping.
@@ -475,14 +532,14 @@ impl PendingCell {
     /// store in return (its build runs outside the entry lock and pool
     /// dispatchers drive their own batches), so this wait cannot deadlock.
     fn wait(&self) {
-        let mut done = self.done.lock().expect("pending cell poisoned");
+        let mut done = lock_valid(&self.done);
         while !*done {
-            done = self.cond.wait(done).expect("pending cell poisoned");
+            done = self.cond.wait(done).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     fn complete(&self) {
-        *self.done.lock().expect("pending cell poisoned") = true;
+        *lock_valid(&self.done) = true;
         self.cond.notify_all();
     }
 }
@@ -512,7 +569,7 @@ impl<C: EntryCodec> Drop for PendingGuard<'_, C> {
         if !self.armed {
             return;
         }
-        let mut entries = self.store.entries.lock().expect("store poisoned");
+        let mut entries = lock_valid(&self.store.entries);
         if matches!(entries.get(&self.key), Some(Slot::Pending(_))) {
             if self.restore_indexed {
                 entries.insert(self.key, Slot::Indexed);
@@ -628,29 +685,36 @@ impl<C: EntryCodec> KeyedStore<C> {
         self.backend.as_ref()
     }
 
-    /// Current counters.
+    /// Current counters, including the backend's resilience counters.
     pub fn stats(&self) -> StoreStats {
+        let resilience =
+            self.backend.as_ref().map(|backend| backend.resilience()).unwrap_or_default();
         StoreStats {
             hits: self.hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
-            entries: self.entries.lock().expect("store poisoned").len(),
+            entries: lock_valid(&self.entries).len(),
             indexed: self.indexed,
+            remote_ops: resilience.remote_ops,
+            remote_errors: resilience.remote_errors,
+            retries: resilience.retries,
+            degraded_ops: resilience.degraded_ops,
+            local_errors: resilience.local_errors,
         }
     }
 
     /// Total wall-clock time spent building missed values. Exactly zero
     /// when every lookup was a hit.
     pub fn build_time(&self) -> Duration {
-        *self.build_time.lock().expect("store poisoned")
+        *lock_valid(&self.build_time)
     }
 
     /// `true` when the key is already built or indexed on the backend. For
     /// a not-yet-decoded entry this is optimistic: a damaged entry is only
     /// discovered (and transparently rebuilt) at lookup.
     pub fn contains(&self, key: &C::Key) -> bool {
-        self.entries.lock().expect("store poisoned").contains_key(key)
+        lock_valid(&self.entries).contains_key(key)
     }
 
     /// Returns the value for `key`, building and storing it on first
@@ -674,7 +738,7 @@ impl<C: EntryCodec> KeyedStore<C> {
     ) -> Arc<C::Value> {
         let mut counted_coalesced = false;
         let (indexed, pending) = loop {
-            let mut entries = self.entries.lock().expect("store poisoned");
+            let mut entries = lock_valid(&self.entries);
             let indexed = match entries.get(&key) {
                 Some(Slot::Memory { value, from_disk, .. }) => {
                     let counter = if *from_disk { &self.disk_hits } else { &self.hits };
@@ -723,7 +787,7 @@ impl<C: EntryCodec> KeyedStore<C> {
             if let Some(value) = decoded {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
                 let shared = {
-                    let mut entries = self.entries.lock().expect("store poisoned");
+                    let mut entries = lock_valid(&self.entries);
                     match entries.get(&key) {
                         // A concurrent lookup decoded (or rebuilt) it first —
                         // keep that copy, the content is identical either way.
@@ -753,9 +817,9 @@ impl<C: EntryCodec> KeyedStore<C> {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
         let value = Arc::new(build());
-        *self.build_time.lock().expect("store poisoned") += started.elapsed();
+        *lock_valid(&self.build_time) += started.elapsed();
         let shared = {
-            let mut entries = self.entries.lock().expect("store poisoned");
+            let mut entries = lock_valid(&self.entries);
             match entries.get(&key) {
                 // A concurrent lookup finished first — keep its copy
                 // (identical content) so every caller shares one allocation
@@ -785,16 +849,28 @@ impl<C: EntryCodec> KeyedStore<C> {
     ///
     /// # Errors
     ///
-    /// Returns the first I/O error encountered; entries flushed before the
-    /// failure stay flushed and are not re-written next time.
+    /// Returns the first I/O error encountered. Every dirty entry is still
+    /// attempted ([`KeyedStore::flush_report`] is the underlying pass):
+    /// entries that flushed stay flushed and are not re-written next time,
+    /// and the failed ones stay dirty for the next flush.
     pub fn flush(&self) -> io::Result<usize> {
-        let Some(backend) = &self.backend else { return Ok(0) };
+        self.flush_report().into_result()
+    }
+
+    /// Like [`KeyedStore::flush`], but attempts **every** dirty entry and
+    /// collects the per-entry failures instead of stopping at the first:
+    /// one unwritable entry (a full disk, a vanished directory) cannot
+    /// block its siblings from persisting. Successfully written entries are
+    /// marked clean; failed ones stay dirty and are retried next flush.
+    pub fn flush_report(&self) -> FlushReport {
+        let mut report = FlushReport::default();
+        let Some(backend) = &self.backend else { return report };
         if self.options.read_only {
-            return Ok(0);
+            return report;
         }
         // Snapshot the dirty entries (an Arc clone each) under the lock…
         let dirty: Vec<(C::Key, Arc<C::Value>)> = {
-            let entries = self.entries.lock().expect("store poisoned");
+            let entries = lock_valid(&self.entries);
             entries
                 .iter()
                 .filter_map(|(&key, slot)| match slot {
@@ -806,27 +882,63 @@ impl<C: EntryCodec> KeyedStore<C> {
         // …then write without it. Values are immutable once built, so the
         // snapshot cannot go stale.
         let mut written = Vec::with_capacity(dirty.len());
-        let mut failure = None;
         for (key, value) in dirty {
             let bytes = C::encode(&key, &value);
-            match backend.write_atomic(&C::file_name(&key), &bytes) {
+            let name = C::file_name(&key);
+            match backend.write_atomic(&name, &bytes) {
                 Ok(()) => written.push(key),
-                Err(err) => {
-                    failure = Some(err);
-                    break;
-                }
+                Err(err) => report.failures.push((name, err)),
             }
         }
-        let mut entries = self.entries.lock().expect("store poisoned");
+        let mut entries = lock_valid(&self.entries);
         for key in &written {
             if let Some(Slot::Memory { dirty, .. }) = entries.get_mut(key) {
                 *dirty = false;
             }
         }
-        match failure {
-            Some(err) => Err(err),
-            None => Ok(written.len()),
+        report.written = written.len();
+        report
+    }
+}
+
+/// What a [`KeyedStore::flush_report`] pass did: how many entries landed
+/// and which failed (entry file name + error). Failed entries stay dirty
+/// and are retried by the next flush.
+#[derive(Debug, Default)]
+pub struct FlushReport {
+    /// Entries written (and marked clean).
+    pub written: usize,
+    /// Entries whose write failed, with the failing entry's file name.
+    pub failures: Vec<(String, io::Error)>,
+}
+
+impl FlushReport {
+    /// `true` when every dirty entry was written.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Collapses the report into the classic `flush` result: the written
+    /// count, or the first per-entry error.
+    ///
+    /// # Errors
+    ///
+    /// The first recorded per-entry failure, when there is one.
+    pub fn into_result(self) -> io::Result<usize> {
+        match self.failures.into_iter().next() {
+            Some((_, err)) => Err(err),
+            None => Ok(self.written),
         }
+    }
+}
+
+impl std::fmt::Display for FlushReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} entries written", self.written)?;
+        if !self.failures.is_empty() {
+            write!(f, ", {} failed", self.failures.len())?;
+        }
+        Ok(())
     }
 }
 
@@ -1275,6 +1387,142 @@ mod tests {
         assert_eq!((stats.disk_hits, stats.misses), (0, 1), "stale index costs one rebuild");
         assert_eq!(live.flush().expect("repair"), 1, "next flush repairs the pruned file");
         assert!(tmp.0.join(TestCodec::file_name(&11)).exists());
+    }
+
+    #[test]
+    fn a_poisoned_lock_recovers_instead_of_cascading() {
+        // A thread dying while holding the entries lock poisons it; the
+        // guarded map is still valid (slots are inserted atomically), so
+        // later lookups must recover and keep serving.
+        let store = Arc::new(TestStore::in_memory());
+        let _ = store.get_or_build(1, (), || payload(1));
+        let poisoner = Arc::clone(&store);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.entries.lock().expect("not yet poisoned");
+            panic!("die holding the entries lock");
+        })
+        .join();
+        assert!(store.entries.is_poisoned(), "precondition: the lock is poisoned");
+        let served = store.get_or_build(1, (), || panic!("value must be resident"));
+        assert_eq!(*served, payload(1));
+        let _ = store.get_or_build(2, (), || payload(2));
+        assert_eq!(store.stats().entries, 2);
+        assert_eq!(store.flush().expect("flush still works"), 0);
+    }
+
+    #[test]
+    fn flush_report_attempts_every_entry_and_collects_failures() {
+        use crate::fault::{FaultOp, FaultPlan, FaultyBackend};
+        // Writes fail persistently from the second one on (a disk that
+        // filled up mid-flush): the report must keep going and collect
+        // every failure, not abort at the first.
+        let backend: Arc<dyn StoreBackend> = Arc::new(FaultyBackend::new(
+            Arc::new(MemBackend::new()),
+            FaultPlan::none().persistent_from(
+                FaultOp::WriteAtomic,
+                1,
+                io::ErrorKind::PermissionDenied,
+            ),
+        ));
+        let store = TestStore::open(StoreOptions::backend(backend)).expect("open");
+        for key in 1u64..=3 {
+            let _ = store.get_or_build(key, (), || payload(key as u8));
+        }
+        let report = store.flush_report();
+        assert_eq!(report.written, 1, "the one allowed write landed");
+        assert_eq!(report.failures.len(), 2, "every failure collected, not just the first");
+        assert!(report.failures.iter().all(|(_, e)| e.kind() == io::ErrorKind::PermissionDenied));
+        assert!(!report.is_clean());
+        assert!(report.to_string().contains("2 failed"));
+
+        // The written entry went clean; the failed ones stay dirty and are
+        // retried (and fail again under this plan).
+        let again = store.flush_report();
+        assert_eq!((again.written, again.failures.len()), (0, 2));
+        assert!(store.flush().is_err(), "flush() surfaces the first per-entry failure");
+    }
+
+    #[test]
+    fn custom_backend_location_round_trips_and_nests() {
+        let mem: Arc<MemBackend> = Arc::new(MemBackend::new());
+        let opts = StoreOptions::backend(mem.clone());
+        assert!(opts.is_persistent());
+        assert_eq!(opts.primary_dir(), None);
+        assert!(opts.describe().contains("custom"));
+
+        let store = TestStore::open(&opts).expect("open");
+        let built = store.get_or_build(6, (), || payload(6));
+        store.flush().expect("flush");
+        let reopened = TestStore::open(&opts).expect("reopen over the same backend");
+        assert_eq!(reopened.stats().indexed, 1);
+        let loaded = reopened.get_or_build(6, (), || panic!("must decode"));
+        assert_eq!(*built, *loaded);
+
+        // Nesting goes through a name prefix, like backend remotes.
+        let nested = TestStore::open(opts.subdir("ground-truth")).expect("open nested");
+        let _ = nested.get_or_build(1, (), || payload(1));
+        nested.flush().expect("flush nested");
+        assert!(mem
+            .list()
+            .expect("list")
+            .iter()
+            .any(|e| e.name == format!("ground-truth/{}", TestCodec::file_name(&1))));
+    }
+
+    #[test]
+    fn retry_policy_rides_through_subdir_into_the_shared_backend() {
+        use crate::backend::RemoteHealth;
+        use crate::fault::{FaultMode, FaultOp, FaultPlan, FaultyBackend};
+        let tmp = TempDir::new("retry-subdir");
+        // The remote times out once on the first read; the store's retry
+        // policy (propagated through subdir) must absorb it.
+        let mem = Arc::new(MemBackend::new());
+        let faulty = Arc::new(FaultyBackend::new(
+            mem,
+            FaultPlan::none().fail_nth(
+                FaultOp::Read,
+                0,
+                FaultMode::Transient(io::ErrorKind::TimedOut),
+            ),
+        ));
+        let root = StoreOptions::shared_with(&tmp.0, faulty)
+            .with_retry(RetryPolicy::new(3, Duration::ZERO));
+        let nested = root.subdir("ground-truth");
+        assert_eq!(nested.retry, root.retry, "subdir inherits the retry policy");
+
+        let store = TestStore::open(nested).expect("open");
+        let _ = store.get_or_build(2, (), || payload(2));
+        store.flush().expect("flush");
+        // Force a remote read by reopening with a fresh (cold) local dir.
+        let tmp_b = TempDir::new("retry-subdir-b");
+        drop(store);
+        let faulty_b = {
+            let mem_b = Arc::new(MemBackend::new());
+            // Re-seed a remote carrying the entry, faulting its first read.
+            let seeder = TestStore::open(StoreOptions::backend(mem_b.clone())).expect("seed");
+            let _ = seeder.get_or_build(2, (), || payload(2));
+            seeder.flush().expect("seed flush");
+            Arc::new(FaultyBackend::new(
+                mem_b,
+                FaultPlan::none().fail_nth(
+                    FaultOp::Read,
+                    0,
+                    FaultMode::Transient(io::ErrorKind::TimedOut),
+                ),
+            ))
+        };
+        let cold = TestStore::open(
+            StoreOptions::shared_with(&tmp_b.0, faulty_b)
+                .with_retry(RetryPolicy::new(3, Duration::ZERO)),
+        )
+        .expect("open cold");
+        let served = cold.get_or_build(2, (), || panic!("retried remote read must serve"));
+        assert_eq!(*served, payload(2));
+        let stats = cold.stats();
+        assert_eq!(stats.retries, 1, "the transient timeout cost exactly one retry");
+        assert_eq!(stats.remote_errors, 0);
+        let backend = cold.backend().expect("backend");
+        assert_eq!(backend.resilience().health(), RemoteHealth::Healthy);
     }
 
     #[test]

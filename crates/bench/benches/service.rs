@@ -78,11 +78,20 @@ fn burst_devices() -> Vec<DeviceSpec> {
         .collect()
 }
 
-/// One burst through a fresh service. Returns fingerprints per
-/// (scene, device), the coalesced count and the bake misses paid.
-fn service_burst(
-    scenes: &[(Arc<Scene>, Arc<Dataset>); 2],
-) -> (BTreeMap<(usize, String), u64>, u64, usize) {
+/// Everything one burst through a fresh service reports back.
+struct BurstOutcome {
+    /// Deployment fingerprint per (scene, device).
+    fingerprints: BTreeMap<(usize, String), u64>,
+    coalesced: u64,
+    failed: u64,
+    bake_misses: usize,
+    remote_errors: usize,
+    retries: usize,
+    degraded_ops: usize,
+}
+
+/// One burst through a fresh service.
+fn service_burst(scenes: &[(Arc<Scene>, Arc<Dataset>); 2]) -> BurstOutcome {
     let service = DeployService::new(ServiceOptions::inline(options()));
     let devices = burst_devices();
     let mut scene_of_ticket = BTreeMap::new();
@@ -100,13 +109,21 @@ fn service_burst(
     let mut fingerprints = BTreeMap::new();
     for outcome in service.drain() {
         let scene_idx = scene_of_ticket[&outcome.ticket.id()];
-        fingerprints.insert(
-            (scene_idx, outcome.deployment.device.name.clone()),
-            outcome.deployment_fingerprint,
-        );
+        let done = outcome.into_success().expect("no faults injected: every request succeeds");
+        fingerprints
+            .insert((scene_idx, done.deployment.device.name.clone()), done.deployment_fingerprint);
     }
     let stats = service.stats();
-    (fingerprints, stats.coalesced, service.cache_stats().misses)
+    let cache = service.cache_stats();
+    BurstOutcome {
+        fingerprints,
+        coalesced: stats.coalesced,
+        failed: stats.failed,
+        bake_misses: cache.misses,
+        remote_errors: cache.remote_errors,
+        retries: cache.retries,
+        degraded_ops: cache.degraded_ops,
+    }
 }
 
 /// The independent path: every request handled alone by the blocking
@@ -149,12 +166,15 @@ fn bench_service(c: &mut Criterion) {
 
     // Sanity before timing: coalescing happened, nothing baked twice, and
     // the outputs are byte-identical to the sequential deploy_fleet path.
-    let (fingerprints, coalesced, service_bakes) = service_burst(&scenes);
+    let burst = service_burst(&scenes);
+    let coalesced = burst.coalesced;
+    let service_bakes = burst.bake_misses;
     assert!(coalesced > 0, "a duplicate-heavy burst must coalesce");
+    assert_eq!(burst.failed, 0, "no faults injected: nothing may fail");
     let duplicate_bakes = service_bakes.saturating_sub(reference_bakes);
     assert_eq!(duplicate_bakes, 0, "the service must not re-bake what the reference bakes once");
     let fingerprint_mismatches =
-        reference.iter().filter(|(key, fp)| fingerprints.get(*key) != Some(fp)).count();
+        reference.iter().filter(|(key, fp)| burst.fingerprints.get(*key) != Some(fp)).count();
     assert_eq!(
         fingerprint_mismatches, 0,
         "service deployments must be byte-identical to deploy_fleet"
@@ -166,7 +186,7 @@ fn bench_service(c: &mut Criterion) {
     let mut group = c.benchmark_group("service");
     group.sample_size(samples(10));
     group.bench_function(format!("burst_{requests}req_service_{workers}workers"), |bench| {
-        bench.iter(|| service_burst(&scenes).0.len());
+        bench.iter(|| service_burst(&scenes).fingerprints.len());
         service_mean = bench.mean;
     });
     group.bench_function(format!("burst_{requests}req_independent_{workers}workers"), |bench| {
@@ -203,6 +223,10 @@ fn bench_service(c: &mut Criterion) {
             .int_field("fingerprint_mismatches", fingerprint_mismatches as u64)
             .int_field("service_bakes", service_bakes as u64)
             .int_field("reference_bakes", reference_bakes as u64)
+            .int_field("failed", burst.failed)
+            .int_field("remote_errors", burst.remote_errors as u64)
+            .int_field("retries", burst.retries as u64)
+            .int_field("degraded_ops", burst.degraded_ops as u64)
             .float_field("service_ms", service_mean.as_secs_f64() * 1e3)
             .float_field("independent_ms", independent_mean.as_secs_f64() * 1e3)
             .float_field("speedup", speedup);

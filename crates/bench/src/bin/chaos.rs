@@ -1,0 +1,225 @@
+//! Chaos smoke — seeded fault injection through the deployment service.
+//!
+//! Runs the same duplicate-heavy 8-request burst three ways and checks that
+//! faults change **who pays, never what comes out**:
+//!
+//! 1. fault-free blocking `try_deploy_fleet` — the reference fingerprints;
+//! 2. a flaky remote (seeded transient faults + one scheduled timeout on
+//!    the first remote write) behind a [`RetryPolicy`] — every request must
+//!    complete with `retries > 0` and byte-identical fingerprints;
+//! 3. a dead remote ([`FaultPlan::dead`]) — the shared store must trip its
+//!    breaker (`degraded_ops > 0`) and recompute locally, again with
+//!    byte-identical fingerprints.
+//!
+//! ```bash
+//! cargo run --release -p nerflex-bench --bin chaos -- [--seed N] [--json PATH]
+//! ```
+//!
+//! The CI `chaos-smoke` job runs this across several seeds and asserts
+//! `retries > 0`, `degraded_ops > 0` and `fingerprints_equal == 1` on the
+//! JSON.
+
+use nerflex_bake::disk::deployment_fingerprint;
+use nerflex_bake::{FaultMode, FaultOp, FaultPlan, FaultyBackend, MemBackend, RetryPolicy};
+use nerflex_bake::{StoreBackend, StoreOptions};
+use nerflex_bench::{json_path_from_args, seed_from_args, JsonReport};
+use nerflex_core::pipeline::{NerflexPipeline, PipelineOptions};
+use nerflex_core::report::Table;
+use nerflex_core::service::{DeployRequest, DeployService, ServiceOptions};
+use nerflex_device::DeviceSpec;
+use nerflex_scene::dataset::Dataset;
+use nerflex_scene::object::CanonicalObject;
+use nerflex_scene::scene::Scene;
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn two_scenes() -> [(Arc<Scene>, Arc<Dataset>); 2] {
+    let a = Scene::with_objects(&[CanonicalObject::Hotdog, CanonicalObject::Chair], 21);
+    let dataset_a = Dataset::generate(&a, 2, 1, 32, 32);
+    let b = Scene::with_objects(&[CanonicalObject::Lego], 4);
+    let dataset_b = Dataset::generate(&b, 2, 1, 32, 32);
+    [(Arc::new(a), Arc::new(dataset_a)), (Arc::new(b), Arc::new(dataset_b))]
+}
+
+/// 8 requests over 2 distinct scenes × 2 devices, each pair twice.
+const BURST: [usize; 8] = [0, 0, 1, 1, 0, 0, 1, 1];
+
+fn options() -> PipelineOptions {
+    PipelineOptions::quick().with_worker_threads(2)
+}
+
+/// What one faulted burst reports back to the table/JSON.
+struct BurstReport {
+    fingerprints: BTreeMap<(usize, String), u64>,
+    completed: u64,
+    failed: u64,
+    remote_ops: usize,
+    remote_errors: usize,
+    retries: usize,
+    degraded_ops: usize,
+}
+
+fn run_burst(store: StoreOptions) -> BurstReport {
+    let scenes = two_scenes();
+    let service = DeployService::new(ServiceOptions::inline(options().with_store(store)));
+    let mut scene_of_ticket = BTreeMap::new();
+    for (slot, &scene_idx) in BURST.iter().enumerate() {
+        let (scene, dataset) = &scenes[scene_idx];
+        let device = if slot % 2 == 0 { DeviceSpec::iphone_13() } else { DeviceSpec::pixel_4() };
+        let ticket = service
+            .submit(DeployRequest::new(Arc::clone(scene), Arc::clone(dataset), device))
+            .expect("valid request");
+        scene_of_ticket.insert(ticket.id(), scene_idx);
+    }
+    let mut fingerprints = BTreeMap::new();
+    for outcome in service.drain() {
+        let scene_idx = scene_of_ticket[&outcome.ticket.id()];
+        if let Ok(done) = outcome.into_success() {
+            fingerprints.insert(
+                (scene_idx, done.deployment.device.name.clone()),
+                done.deployment_fingerprint,
+            );
+        }
+    }
+    let stats = service.stats();
+    service.shutdown(); // flush-time store traffic lands in the counters
+    let cache = service.cache_stats();
+    let gt = service.ground_truth_stats();
+    BurstReport {
+        fingerprints,
+        completed: stats.completed,
+        failed: stats.failed,
+        remote_ops: cache.remote_ops + gt.remote_ops,
+        remote_errors: cache.remote_errors + gt.remote_errors,
+        retries: cache.retries + gt.retries,
+        degraded_ops: cache.degraded_ops + gt.degraded_ops,
+    }
+}
+
+/// A throwaway local-layer directory (the remote is the faulty part).
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        Self(std::env::temp_dir().join(format!("nerflex-chaos-bin-{tag}-{}", std::process::id())))
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn main() {
+    let seed = seed_from_args();
+    println!("chaos smoke — seeded store-fault injection (seed {seed})\n");
+
+    // Reference: the fault-free blocking fleet path.
+    let scenes = two_scenes();
+    let devices = [DeviceSpec::iphone_13(), DeviceSpec::pixel_4()];
+    let pipeline = NerflexPipeline::new(options());
+    let mut reference = BTreeMap::new();
+    for (scene_idx, (scene, dataset)) in scenes.iter().enumerate() {
+        let fleet = pipeline.try_deploy_fleet(scene, dataset, &devices).expect("fleet deploy");
+        for deployment in &fleet.deployments {
+            reference.insert(
+                (scene_idx, deployment.device.name.clone()),
+                deployment_fingerprint(&deployment.assets),
+            );
+        }
+    }
+
+    // Flaky remote: seeded transient noise, plus one scheduled timeout on
+    // the first remote write so every seed provably retries.
+    let policy = RetryPolicy::new(4, Duration::from_micros(50));
+    let transient = {
+        let local = TempDir::new("transient");
+        let remote: Arc<dyn StoreBackend> = Arc::new(FaultyBackend::new(
+            Arc::new(MemBackend::new()),
+            FaultPlan::seeded(seed).fail_nth(
+                FaultOp::WriteAtomic,
+                0,
+                FaultMode::Transient(io::ErrorKind::TimedOut),
+            ),
+        ));
+        run_burst(StoreOptions::shared_with(&local.0, remote).with_retry(policy))
+    };
+
+    // Dead remote: every remote op refused; the breaker must trip and the
+    // burst must be served from local recomputation.
+    let dead = {
+        let local = TempDir::new("dead");
+        let remote: Arc<dyn StoreBackend> =
+            Arc::new(FaultyBackend::new(Arc::new(MemBackend::new()), FaultPlan::dead()));
+        run_burst(
+            StoreOptions::shared_with(&local.0, remote)
+                .with_retry(RetryPolicy::new(2, Duration::ZERO)),
+        )
+    };
+
+    let transient_equal = transient.fingerprints == reference;
+    let dead_equal = dead.fingerprints == reference;
+    let retry_bound = transient.remote_ops * (policy.max_attempts as usize - 1);
+
+    let mut table = Table::new(
+        "chaos: 8-request burst under injected store faults",
+        &["scenario", "completed", "failed", "retries", "remote errors", "degraded ops", "output"],
+    );
+    for (label, report, equal) in
+        [("flaky remote", &transient, transient_equal), ("dead remote", &dead, dead_equal)]
+    {
+        table.push_row(vec![
+            label.to_string(),
+            format!("{}/{}", report.completed, BURST.len()),
+            report.failed.to_string(),
+            report.retries.to_string(),
+            report.remote_errors.to_string(),
+            report.degraded_ops.to_string(),
+            if equal { "bit-identical".to_string() } else { "MISMATCH".to_string() },
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "retry bound: {} retries <= {} remote ops x {} extra attempts",
+        transient.retries,
+        transient.remote_ops,
+        policy.max_attempts - 1
+    );
+
+    let fingerprints_equal = transient_equal
+        && dead_equal
+        && transient.failed == 0
+        && dead.failed == 0
+        && transient.completed == BURST.len() as u64
+        && dead.completed == BURST.len() as u64
+        && transient.retries <= retry_bound;
+
+    if let Some(path) = json_path_from_args() {
+        let mut report = JsonReport::new();
+        report
+            .str_field("bench", "chaos")
+            .int_field("seed", seed)
+            .int_field("requests", BURST.len() as u64)
+            .int_field("completed", transient.completed)
+            .int_field("failed", transient.failed)
+            .int_field("retries", transient.retries as u64)
+            .int_field("remote_ops", transient.remote_ops as u64)
+            .int_field("remote_errors", transient.remote_errors as u64)
+            .int_field("retry_bound", retry_bound as u64)
+            .int_field("dead_completed", dead.completed)
+            .int_field("dead_failed", dead.failed)
+            .int_field("degraded_ops", dead.degraded_ops as u64)
+            .int_field("dead_remote_errors", dead.remote_errors as u64)
+            .int_field("fingerprints_equal", u64::from(fingerprints_equal));
+        match report.write(&path) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(err) => eprintln!("chaos: writing {} failed: {err}", path.display()),
+        }
+    }
+
+    assert!(fingerprints_equal, "chaos run violated the determinism contract");
+    println!("\nall scenarios completed with byte-identical fingerprints");
+}

@@ -153,6 +153,16 @@ fn main() {
             "disabled (in-memory cache)".to_string()
         },
     ]);
+    engine.push_row(vec![
+        "store resilience".to_string(),
+        format!(
+            "{} remote ops, {} retries, {} remote errors, {} degraded ops",
+            run_cache.remote_ops,
+            run_cache.retries,
+            run_cache.remote_errors,
+            run_cache.degraded_ops
+        ),
+    ]);
     println!("{engine}");
     println!("whole-run bake cache: {run_cache}");
 
@@ -201,7 +211,11 @@ fn main() {
             .int_field("cache_served", run_cache.total_hits() as u64)
             .int_field("cache_misses", run_cache.misses as u64)
             .int_field("cache_entries", run_cache.entries as u64)
-            .int_field("cache_loaded_from_disk", run_cache.loaded_from_disk as u64);
+            .int_field("cache_loaded_from_disk", run_cache.loaded_from_disk as u64)
+            .int_field("remote_ops", run_cache.remote_ops as u64)
+            .int_field("remote_errors", run_cache.remote_errors as u64)
+            .int_field("retries", run_cache.retries as u64)
+            .int_field("degraded_ops", run_cache.degraded_ops as u64);
         match report.write(&path) {
             Ok(()) => println!("wrote {}", path.display()),
             Err(err) => eprintln!("fig9: writing {} failed: {err}", path.display()),

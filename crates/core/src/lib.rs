@@ -51,7 +51,8 @@
 //!         .expect("valid request");
 //! }
 //! for outcome in service.drain() {
-//!     println!("#{} -> {:016x}", outcome.ticket.id(), outcome.deployment_fingerprint);
+//!     let done = outcome.into_success().expect("no store faults injected");
+//!     println!("-> {:016x}", done.deployment_fingerprint);
 //! }
 //! ```
 
@@ -72,5 +73,6 @@ pub use pipeline::{
     PipelineOptions, StageTimings,
 };
 pub use service::{
-    DeployOutcome, DeployRequest, DeployService, DeployTicket, ServiceOptions, ServiceStats,
+    CompletedDeploy, DeployOutcome, DeployRequest, DeployService, DeployTicket, ServiceOptions,
+    ServiceStats,
 };

@@ -49,7 +49,7 @@ use std::time::{Duration, Instant};
 /// (`"cannot deploy an empty scene"`, `"need training views"`, `"need at
 /// least one device"`), so the deprecated panicking wrappers keep their
 /// observable behaviour.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PipelineError {
     /// The scene has no objects.
     EmptyScene,
@@ -62,6 +62,19 @@ pub enum PipelineError {
         /// The budget that was requested.
         requested_mb: f64,
     },
+    /// A persistent-store fault took down the deployment mid-build (a
+    /// [`nerflex_bake::StoreFaultPanic`] unwound out of the bake or
+    /// ground-truth store). Transient remote faults are retried and a
+    /// degraded remote is recomputed around, so this only fires for faults
+    /// the store layer deliberately escalates — the deployment service
+    /// reports it as a failed [`crate::service::DeployOutcome`] instead of
+    /// dying.
+    Store {
+        /// The store entry name the faulting operation targeted.
+        entry: String,
+        /// Human-readable description of the fault.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -72,6 +85,9 @@ impl std::fmt::Display for PipelineError {
             Self::EmptyFleet => write!(f, "need at least one device to deploy a fleet"),
             Self::InvalidBudget { requested_mb } => {
                 write!(f, "invalid memory budget: {requested_mb} MB (must be positive and finite)")
+            }
+            Self::Store { entry, message } => {
+                write!(f, "store fault on entry {entry:?}: {message}")
             }
         }
     }
@@ -814,7 +830,8 @@ impl NerflexPipeline {
     /// # Errors
     ///
     /// Returns a [`PipelineError`] when the scene, dataset or device list is
-    /// empty.
+    /// empty, or a [`PipelineError::Store`] when a store fault escalated out
+    /// of one of the per-device builds.
     pub fn try_deploy_fleet(
         &self,
         scene: &Scene,
@@ -844,15 +861,19 @@ impl NerflexPipeline {
         let stats = service.stats();
         let cache = service.cache_stats();
         service.shutdown();
+        let mut deployments = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            deployments.push(outcome.into_success()?.deployment);
+        }
         Ok(FleetDeployment {
             stage_runs: FleetStageRuns {
                 segmentation: stats.shared_stage_runs,
                 profiling: stats.shared_stage_runs,
-                selection: outcomes.len(),
-                baking: outcomes.len(),
+                selection: deployments.len(),
+                baking: deployments.len(),
             },
             cache,
-            deployments: outcomes.into_iter().map(|outcome| outcome.deployment).collect(),
+            deployments,
         })
     }
 
@@ -1124,7 +1145,7 @@ mod tests {
                     .with_budget_mb(budget_mb),
                 )
                 .expect("valid request");
-            service.next_outcome().expect("one outcome").deployment
+            service.next_outcome().expect("one outcome").into_success().expect("success").deployment
         };
         let d_tight = deploy_at(6.0);
         let d_generous = deploy_at(200.0);
@@ -1217,6 +1238,12 @@ mod tests {
         assert!(err.to_string().contains("-3"));
         let dynamic: &dyn std::error::Error = &err;
         assert!(!dynamic.to_string().is_empty());
+        let store = PipelineError::Store {
+            entry: "0000.nfbake".to_string(),
+            message: "injected write fault".to_string(),
+        };
+        assert!(store.to_string().contains("store fault"));
+        assert!(store.to_string().contains("0000.nfbake"));
     }
 
     #[test]

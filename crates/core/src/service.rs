@@ -23,6 +23,13 @@
 //!   priority first, prefers requests whose scene's shared stages are
 //!   already resident (they complete without paying the expensive stages),
 //!   and breaks ties by admission order.
+//! * **Graceful store-fault degradation** — transient remote store errors
+//!   are retried ([`nerflex_bake::RetryPolicy`]), a persistently failing
+//!   remote degrades the shared store to local-only recomputation, and a
+//!   store fault that still escalates ([`nerflex_bake::StoreFaultPanic`])
+//!   fails only its own request — a failed [`DeployOutcome`] counted in
+//!   [`ServiceStats::failed`] — never the service. `docs/faults.md` states
+//!   the full resilience contract.
 //!
 //! **Determinism:** given the same request set, the deployments (assets,
 //! selections, `deployment_fingerprint`s) are bit-identical regardless of
@@ -162,11 +169,46 @@ impl DeployTicket {
     }
 }
 
-/// One completed request: the deployment plus its service-level metadata.
+/// One finished request: the ticket plus either the completed deployment
+/// or the [`PipelineError`] that stopped it. A request only fails when a
+/// store fault deliberately escalated out of its build
+/// ([`nerflex_bake::StoreFaultPanic`] → [`PipelineError::Store`]); transient
+/// remote faults are retried and a degraded remote is recomputed around, so
+/// those never surface here.
 #[derive(Debug, Clone)]
 pub struct DeployOutcome {
     /// The ticket [`DeployService::submit`] returned for this request.
     pub ticket: DeployTicket,
+    /// The completed deployment, or why this request failed. One failed
+    /// request never takes down the service or its siblings in a burst.
+    pub result: Result<CompletedDeploy, PipelineError>,
+}
+
+impl DeployOutcome {
+    /// `true` when the request completed with a deployment.
+    pub fn is_success(&self) -> bool {
+        self.result.is_ok()
+    }
+
+    /// The completed deployment, when the request succeeded.
+    pub fn success(&self) -> Option<&CompletedDeploy> {
+        self.result.as_ref().ok()
+    }
+
+    /// Consumes the outcome into its completed deployment or error.
+    pub fn into_success(self) -> Result<CompletedDeploy, PipelineError> {
+        self.result
+    }
+
+    /// The error that failed the request, when it did fail.
+    pub fn error(&self) -> Option<&PipelineError> {
+        self.result.as_ref().err()
+    }
+}
+
+/// The successful half of a [`DeployOutcome`].
+#[derive(Debug, Clone)]
+pub struct CompletedDeploy {
     /// The finished deployment (identical to what the blocking engine path
     /// produces for the same inputs).
     pub deployment: NerflexDeployment,
@@ -191,8 +233,11 @@ pub struct ServiceStats {
     pub admitted: u64,
     /// Requests rejected at admission (empty scene/dataset, bad budget).
     pub rejected: u64,
-    /// Requests completed (outcomes produced).
+    /// Requests completed successfully (deployments produced).
     pub completed: u64,
+    /// Requests that finished with a failed outcome (a store fault escalated
+    /// as [`PipelineError::Store`]). Not counted in `completed`.
+    pub failed: u64,
     /// Completed requests that reused another request's shared-stage run.
     pub coalesced: u64,
     /// Segmentation + profiling runs actually paid for — one per distinct
@@ -215,7 +260,7 @@ impl std::fmt::Display for ServiceStats {
         write!(
             f,
             "{} admitted / {} completed ({} coalesced onto {} shared-stage runs), {} queued, \
-             {} in flight, store dedup {} bakes / {} ground truths, {} rejected",
+             {} in flight, store dedup {} bakes / {} ground truths, {} failed, {} rejected",
             self.admitted,
             self.completed,
             self.coalesced,
@@ -224,6 +269,7 @@ impl std::fmt::Display for ServiceStats {
             self.in_flight,
             self.bake_coalesced,
             self.ground_truth_coalesced,
+            self.failed,
             self.rejected,
         )
     }
@@ -337,8 +383,24 @@ struct ServiceShared {
     admitted: AtomicU64,
     rejected: AtomicU64,
     completed: AtomicU64,
+    failed: AtomicU64,
     coalesced: AtomicU64,
     shared_stage_runs: AtomicUsize,
+}
+
+/// Classifies an unwound request panic: a typed store-fault payload
+/// ([`nerflex_bake::StoreFaultPanic`] — preserved verbatim even through the
+/// worker pool's panic re-raise) becomes a [`PipelineError::Store`] carried
+/// in a failed outcome, so one broken store entry cannot take down the
+/// service or the rest of a burst. Any other payload is handed back for
+/// re-raising — an unknown panic is a bug, not a fault to absorb.
+fn classify_panic(payload: Box<dyn Any + Send>) -> Result<PipelineError, Box<dyn Any + Send>> {
+    match payload.downcast::<nerflex_bake::StoreFaultPanic>() {
+        Ok(fault) => {
+            Ok(PipelineError::Store { entry: fault.name.clone(), message: fault.to_string() })
+        }
+        Err(payload) => Err(payload),
+    }
 }
 
 impl ServiceShared {
@@ -442,7 +504,10 @@ impl ServiceShared {
             self.coalesced.fetch_add(1, Ordering::Relaxed);
         }
         self.completed.fetch_add(1, Ordering::Relaxed);
-        DeployOutcome { ticket: job.ticket, deployment, coalesced, deployment_fingerprint }
+        DeployOutcome {
+            ticket: job.ticket,
+            result: Ok(CompletedDeploy { deployment, coalesced, deployment_fingerprint }),
+        }
     }
 
     fn pool(&self) -> &'static WorkerPool {
@@ -470,9 +535,16 @@ impl ServiceShared {
             q.in_flight -= 1;
             match outcome {
                 Ok(outcome) => q.completed.push_back(outcome),
-                Err(payload) => {
-                    self.panics.lock().expect("panic list poisoned").push(payload);
-                }
+                Err(payload) => match classify_panic(payload) {
+                    Ok(error) => {
+                        self.failed.fetch_add(1, Ordering::Relaxed);
+                        q.completed
+                            .push_back(DeployOutcome { ticket: job.ticket, result: Err(error) });
+                    }
+                    Err(payload) => {
+                        self.panics.lock().expect("panic list poisoned").push(payload);
+                    }
+                },
             }
             drop(q);
             self.done.notify_all();
@@ -625,6 +697,7 @@ impl DeployService {
             admitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             shared_stage_runs: AtomicUsize::new(0),
         });
@@ -697,7 +770,16 @@ impl DeployService {
                     self.shared.done.notify_all();
                     match outcome {
                         Ok(outcome) => return Some(outcome),
-                        Err(payload) => resume_unwind(payload),
+                        Err(payload) => match classify_panic(payload) {
+                            Ok(error) => {
+                                self.shared.failed.fetch_add(1, Ordering::Relaxed);
+                                return Some(DeployOutcome {
+                                    ticket: job.ticket,
+                                    result: Err(error),
+                                });
+                            }
+                            Err(payload) => resume_unwind(payload),
+                        },
                     }
                 }
                 if q.in_flight == 0 {
@@ -732,6 +814,7 @@ impl DeployService {
             admitted: self.shared.admitted.load(Ordering::Relaxed),
             rejected: self.shared.rejected.load(Ordering::Relaxed),
             completed: self.shared.completed.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Relaxed),
             coalesced: self.shared.coalesced.load(Ordering::Relaxed),
             shared_stage_runs: self.shared.shared_stage_runs.load(Ordering::Relaxed),
             in_flight,
@@ -769,11 +852,19 @@ impl DeployService {
         for handle in self.handles.lock().expect("service handles poisoned").drain(..) {
             let _ = handle.join();
         }
-        if let Err(err) = self.shared.cache.flush() {
-            eprintln!("nerflex service: bake-store flush failed ({err}); next start is colder");
+        // flush_report attempts every dirty entry: one unwritable entry
+        // cannot block its siblings from persisting.
+        for (entry, err) in &self.shared.cache.flush_report().failures {
+            eprintln!(
+                "nerflex service: bake-store flush of {entry:?} failed ({err}); next start is \
+                 colder"
+            );
         }
-        if let Err(err) = self.shared.ground_truth.flush() {
-            eprintln!("nerflex service: ground-truth flush failed ({err}); next start re-renders");
+        for (entry, err) in &self.shared.ground_truth.flush_report().failures {
+            eprintln!(
+                "nerflex service: ground-truth flush of {entry:?} failed ({err}); next start \
+                 re-renders"
+            );
         }
     }
 }

@@ -220,6 +220,14 @@ pub struct GroundTruthStats {
     /// Entries indexed from the store directory when the cache was opened
     /// (decoded lazily on first lookup; 0 for in-memory caches).
     pub indexed_from_disk: usize,
+    /// Remote operations attempted by a shared backend (0 otherwise).
+    pub remote_ops: usize,
+    /// Remote operations that failed after exhausting their retry budget.
+    pub remote_errors: usize,
+    /// Transient remote errors that were retried.
+    pub retries: usize,
+    /// Remote operations skipped because the remote was degraded.
+    pub degraded_ops: usize,
 }
 
 /// A thread-safe, content-addressed store of object ground truths, shared by
@@ -276,6 +284,10 @@ impl GroundTruthCache {
             coalesced: stats.coalesced,
             entries: stats.entries,
             indexed_from_disk: stats.indexed,
+            remote_ops: stats.remote_ops,
+            remote_errors: stats.remote_errors,
+            retries: stats.retries,
+            degraded_ops: stats.degraded_ops,
         }
     }
 
@@ -318,6 +330,12 @@ impl GroundTruthCache {
     /// failure stay flushed.
     pub fn flush(&self) -> io::Result<usize> {
         self.store.flush()
+    }
+
+    /// Like [`GroundTruthCache::flush`], but attempts **every** dirty entry
+    /// and collects per-entry failures instead of stopping at the first one.
+    pub fn flush_report(&self) -> nerflex_bake::FlushReport {
+        self.store.flush_report()
     }
 }
 

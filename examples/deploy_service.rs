@@ -75,12 +75,14 @@ fn main() {
         &["ticket", "request", "coalesced", "size (MB)", "fingerprint"],
     );
     for outcome in service.drain() {
+        let ticket = outcome.ticket;
+        let done = outcome.into_success().expect("no store faults in this demo");
         table.push_row(vec![
-            outcome.ticket.id().to_string(),
-            labels[&outcome.ticket.id()].clone(),
-            if outcome.coalesced { "yes" } else { "no (paid the stages)" }.to_string(),
-            format!("{:.1}", outcome.deployment.workload().data_size_mb),
-            format!("{:016x}", outcome.deployment_fingerprint),
+            ticket.id().to_string(),
+            labels[&ticket.id()].clone(),
+            if done.coalesced { "yes" } else { "no (paid the stages)" }.to_string(),
+            format!("{:.1}", done.deployment.workload().data_size_mb),
+            format!("{:016x}", done.deployment_fingerprint),
         ]);
     }
     println!("{}", table.render());

@@ -1,0 +1,340 @@
+//! Chaos suite for the resilience layer (ISSUE 8): seeded, fully
+//! deterministic fault injection ([`FaultPlan`] / [`FaultyBackend`]) driven
+//! through the store and service layers.
+//!
+//! The invariant every scenario pins: **faults change who pays, never what
+//! comes out.** Under any fault schedule that permits completion —
+//! transient remote faults (retried), a persistently dead remote (degraded
+//! to local-only recomputation), a fully faulty local layer (flush failures
+//! collected, requests unaffected) — an 8-request burst through
+//! [`DeployService`] completes every request with deployment fingerprints
+//! byte-identical to the fault-free blocking `try_deploy_fleet` path, with
+//! zero torn entries and retries bounded by [`RetryPolicy::max_attempts`].
+//! Only a fault the store layer deliberately escalates
+//! ([`FaultMode::Panic`]) fails a request — and then exactly that request,
+//! never the burst.
+
+use nerflex::bake::disk::deployment_fingerprint;
+use nerflex::bake::{
+    BakeCache, BakeConfig, CacheStats, DirBackend, FaultMode, FaultOp, FaultPlan, FaultyBackend,
+    MemBackend, RetryPolicy, StoreBackend, StoreOptions,
+};
+use nerflex::core::pipeline::{NerflexPipeline, PipelineError, PipelineOptions};
+use nerflex::core::service::{DeployRequest, DeployService, ServiceOptions};
+use nerflex::device::DeviceSpec;
+use nerflex::profile::GroundTruthStats;
+use nerflex::scene::dataset::Dataset;
+use nerflex::scene::object::CanonicalObject;
+use nerflex::scene::scene::Scene;
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A unique, self-cleaning temporary directory per test.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        Self(std::env::temp_dir().join(format!(
+            "nerflex-chaos-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        )))
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn two_scenes() -> [(Arc<Scene>, Arc<Dataset>); 2] {
+    let a = Scene::with_objects(&[CanonicalObject::Hotdog, CanonicalObject::Chair], 21);
+    let dataset_a = Dataset::generate(&a, 2, 1, 32, 32);
+    let b = Scene::with_objects(&[CanonicalObject::Lego], 4);
+    let dataset_b = Dataset::generate(&b, 2, 1, 32, 32);
+    [(Arc::new(a), Arc::new(dataset_a)), (Arc::new(b), Arc::new(dataset_b))]
+}
+
+/// The burst: 8 requests over 2 distinct scenes × 2 devices, each
+/// (scene, device) pair requested twice — so even when one request of a
+/// pair fails, its duplicate still covers the pair's fingerprint.
+const BURST: [usize; 8] = [0, 0, 1, 1, 0, 0, 1, 1];
+
+fn burst_devices() -> [DeviceSpec; 8] {
+    let iphone = DeviceSpec::iphone_13;
+    let pixel = DeviceSpec::pixel_4;
+    [iphone(), pixel(), iphone(), pixel(), iphone(), pixel(), iphone(), pixel()]
+}
+
+/// Everything one burst through a service reports back.
+struct BurstReport {
+    /// Deployment fingerprint per completed (scene, device) pair.
+    fingerprints: BTreeMap<(usize, String), u64>,
+    completed: u64,
+    failed: u64,
+    errors: Vec<PipelineError>,
+    /// Bake-store counters, captured after shutdown so flush-time store
+    /// traffic (and its faults) is included.
+    cache: CacheStats,
+    ground_truth: GroundTruthStats,
+}
+
+/// Runs the 8-request burst through a fresh inline service over `store`.
+fn run_burst(store: StoreOptions) -> BurstReport {
+    let scenes = two_scenes();
+    let devices = burst_devices();
+    let service = DeployService::new(ServiceOptions::inline(
+        PipelineOptions::quick().with_worker_threads(2).with_store(store),
+    ));
+    let mut scene_of_ticket = BTreeMap::new();
+    for (slot, &scene_idx) in BURST.iter().enumerate() {
+        let (scene, dataset) = &scenes[scene_idx];
+        let ticket = service
+            .submit(DeployRequest::new(
+                Arc::clone(scene),
+                Arc::clone(dataset),
+                devices[slot].clone(),
+            ))
+            .expect("valid request");
+        scene_of_ticket.insert(ticket.id(), scene_idx);
+    }
+    let outcomes = service.drain();
+    assert_eq!(outcomes.len(), BURST.len(), "every admitted request yields an outcome");
+    let mut fingerprints = BTreeMap::new();
+    let mut errors = Vec::new();
+    for outcome in outcomes {
+        let scene_idx = scene_of_ticket[&outcome.ticket.id()];
+        match outcome.into_success() {
+            Ok(done) => {
+                fingerprints.insert(
+                    (scene_idx, done.deployment.device.name.clone()),
+                    done.deployment_fingerprint,
+                );
+            }
+            Err(err) => errors.push(err),
+        }
+    }
+    let stats = service.stats();
+    // Shutdown flushes the stores — flush-time faults land in the counters
+    // (and must not panic or abort the remaining entries).
+    service.shutdown();
+    BurstReport {
+        fingerprints,
+        completed: stats.completed,
+        failed: stats.failed,
+        errors,
+        cache: service.cache_stats(),
+        ground_truth: service.ground_truth_stats(),
+    }
+}
+
+/// The fault-free reference: the blocking `try_deploy_fleet` path, one
+/// fleet per distinct scene, in-memory stores.
+fn reference_fingerprints() -> BTreeMap<(usize, String), u64> {
+    let scenes = two_scenes();
+    let devices = [DeviceSpec::iphone_13(), DeviceSpec::pixel_4()];
+    let pipeline = NerflexPipeline::new(PipelineOptions::quick().with_worker_threads(2));
+    let mut reference = BTreeMap::new();
+    for (scene_idx, (scene, dataset)) in scenes.iter().enumerate() {
+        let fleet = pipeline.try_deploy_fleet(scene, dataset, &devices).expect("fleet deploy");
+        for deployment in &fleet.deployments {
+            reference.insert(
+                (scene_idx, deployment.device.name.clone()),
+                deployment_fingerprint(&deployment.assets),
+            );
+        }
+    }
+    reference
+}
+
+#[test]
+fn transient_remote_faults_retry_and_complete_bit_identically() {
+    let reference = reference_fingerprints();
+    let policy = RetryPolicy::new(4, Duration::ZERO);
+    for seed in [1u64, 7, 42] {
+        let local = TempDir::new("transient");
+        // Seeded transient noise on the remote's list/read/write paths,
+        // plus one scheduled transient on the very first remote write so
+        // every seed provably exercises the retry loop.
+        let remote: Arc<dyn StoreBackend> = Arc::new(FaultyBackend::new(
+            Arc::new(MemBackend::new()),
+            FaultPlan::seeded(seed).fail_nth(
+                FaultOp::WriteAtomic,
+                0,
+                FaultMode::Transient(io::ErrorKind::TimedOut),
+            ),
+        ));
+        let report = run_burst(StoreOptions::shared_with(&local.0, remote).with_retry(policy));
+        assert_eq!(
+            report.failed, 0,
+            "transient remote faults must never fail a request (seed {seed}): {:?}",
+            report.errors
+        );
+        assert_eq!(report.completed, BURST.len() as u64, "seed {seed}");
+        assert_eq!(
+            report.fingerprints, reference,
+            "fingerprints must be byte-identical to the fault-free blocking path (seed {seed})"
+        );
+        let retries = report.cache.retries + report.ground_truth.retries;
+        assert!(retries > 0, "the schedule injects at least one retried fault (seed {seed})");
+        // Each remote operation retries at most max_attempts - 1 times.
+        let bound = (report.cache.remote_ops + report.ground_truth.remote_ops)
+            * (policy.max_attempts as usize - 1);
+        assert!(
+            retries <= bound,
+            "retries must stay bounded by the policy (seed {seed}): {retries} > {bound}"
+        );
+    }
+}
+
+#[test]
+fn a_dead_remote_degrades_to_local_recomputation() {
+    let reference = reference_fingerprints();
+    let local = TempDir::new("dead-remote");
+    // Every remote operation fails persistently from the start: the shared
+    // store must trip its breaker and keep serving builds from the local
+    // layer instead of failing the run.
+    let remote: Arc<dyn StoreBackend> =
+        Arc::new(FaultyBackend::new(Arc::new(MemBackend::new()), FaultPlan::dead()));
+    let report = run_burst(
+        StoreOptions::shared_with(&local.0, remote).with_retry(RetryPolicy::new(2, Duration::ZERO)),
+    );
+    assert_eq!(report.failed, 0, "a dead remote degrades, it does not fail: {:?}", report.errors);
+    assert_eq!(report.completed, BURST.len() as u64);
+    assert_eq!(
+        report.fingerprints, reference,
+        "local-only recomputation must be byte-identical to the fault-free path"
+    );
+    assert!(
+        report.cache.remote_errors + report.ground_truth.remote_errors >= 1,
+        "the dead remote surfaces as counted remote errors: {:?}",
+        report.cache
+    );
+    assert!(
+        report.cache.degraded_ops + report.ground_truth.degraded_ops > 0,
+        "after the breaker trips, remote ops are skipped and counted: {:?}",
+        report.cache
+    );
+}
+
+#[test]
+fn a_fully_faulty_local_layer_collects_flush_failures_without_failing_requests() {
+    let reference = reference_fingerprints();
+    // Every write to the store's (only) layer fails persistently — the
+    // flush report collects the failures entry by entry; the requests
+    // themselves never touch an error because builds recompute.
+    let faulty = Arc::new(FaultyBackend::new(
+        Arc::new(MemBackend::new()),
+        FaultPlan::none().persistent_from(FaultOp::WriteAtomic, 0, io::ErrorKind::PermissionDenied),
+    ));
+    let report = run_burst(StoreOptions::backend(faulty.clone() as Arc<dyn StoreBackend>));
+    assert_eq!(
+        report.failed, 0,
+        "write faults are flush-time; they never fail a request: {:?}",
+        report.errors
+    );
+    assert_eq!(report.completed, BURST.len() as u64);
+    assert_eq!(report.fingerprints, reference);
+    let stats = faulty.fault_stats();
+    assert!(
+        stats.op(FaultOp::WriteAtomic).injected() > 0,
+        "shutdown flushed into the faulty layer and was refused: {stats}"
+    );
+}
+
+#[test]
+fn a_crashed_write_leaves_no_torn_entry_and_reopen_sweeps_the_orphan() {
+    let tmp = TempDir::new("crash");
+    let dir = Arc::new(DirBackend::create(&tmp.0, "nfbake").expect("create backend"));
+    // The first write dies between writing its temporary and renaming it
+    // into place — the classic torn-write crash window.
+    let faulty = Arc::new(FaultyBackend::new(
+        Arc::clone(&dir) as Arc<dyn StoreBackend>,
+        FaultPlan::none().fail_nth(FaultOp::WriteAtomic, 0, FaultMode::CrashAfterTmpWrite),
+    ));
+    let cache = BakeCache::open(StoreOptions::backend(faulty as Arc<dyn StoreBackend>))
+        .expect("open over faulty backend");
+    let model_a = CanonicalObject::Hotdog.build();
+    let model_b = CanonicalObject::Lego.build();
+    let config = BakeConfig::new(16, 4);
+    let asset_a = cache.get_or_bake(&model_a, config);
+    let asset_b = cache.get_or_bake(&model_b, config);
+    let report = cache.flush_report();
+    assert_eq!(report.written, 1, "the non-crashed entry persists: {report}");
+    assert_eq!(report.failures.len(), 1, "the crashed write is reported: {report}");
+
+    let orphans = || -> Vec<String> {
+        std::fs::read_dir(&tmp.0)
+            .map(|listing| {
+                listing
+                    .flatten()
+                    .filter_map(|f| f.file_name().to_str().map(str::to_string))
+                    .filter(|name| name.contains(".tmp-"))
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    // The crash left a half-written `.tmp-` orphan on disk…
+    assert_eq!(orphans().len(), 1, "the crash leaves its torn temporary behind");
+    // …which the listing never exposes as an entry (no torn decode, ever).
+    let listed = dir.list().expect("list");
+    assert!(listed.iter().all(|entry| !entry.name.contains(".tmp-")));
+    assert_eq!(listed.len(), 1, "only the cleanly renamed entry is listed");
+
+    // Reopening the plain directory sweeps the orphan (KeyedStore::open
+    // runs sweep_tmp), indexes only the clean entry, and re-bakes the lost
+    // one to byte-identical output.
+    drop(cache);
+    let reopened = BakeCache::open(StoreOptions::dir(tmp.0.clone())).expect("reopen");
+    assert!(orphans().is_empty(), "open sweeps crash orphans");
+    assert_eq!(reopened.stats().loaded_from_disk, 1);
+    let again_a = reopened.get_or_bake(&model_a, config);
+    let again_b = reopened.get_or_bake(&model_b, config);
+    assert_eq!(
+        deployment_fingerprint(std::slice::from_ref(&*again_a)),
+        deployment_fingerprint(std::slice::from_ref(&*asset_a)),
+        "recovered and rebuilt assets are byte-identical"
+    );
+    assert_eq!(
+        deployment_fingerprint(std::slice::from_ref(&*again_b)),
+        deployment_fingerprint(std::slice::from_ref(&*asset_b)),
+    );
+    let stats = reopened.stats();
+    assert_eq!(stats.disk_hits, 1, "the surviving entry decodes from disk");
+    assert_eq!(stats.misses, 1, "the crashed entry costs exactly one re-bake");
+}
+
+#[test]
+fn a_store_panic_fails_exactly_one_request_not_the_burst() {
+    let reference = reference_fingerprints();
+    let mem = Arc::new(MemBackend::new());
+    // Warm run: populate the store so the faulty run has entries to read.
+    let warm = run_burst(StoreOptions::backend(Arc::clone(&mem) as Arc<dyn StoreBackend>));
+    assert_eq!(warm.failed, 0);
+    assert_eq!(warm.fingerprints, reference);
+
+    // The first read of the warmed store panics with a typed payload — the
+    // one fault mode the layers below deliberately escalate.
+    let faulty = Arc::new(FaultyBackend::new(
+        Arc::clone(&mem) as Arc<dyn StoreBackend>,
+        FaultPlan::none().fail_nth(FaultOp::Read, 0, FaultMode::Panic),
+    ));
+    let report = run_burst(StoreOptions::backend(faulty as Arc<dyn StoreBackend>));
+    assert_eq!(report.failed, 1, "exactly the scheduled panic fails: {:?}", report.errors);
+    assert_eq!(report.completed, BURST.len() as u64 - 1);
+    assert_eq!(report.errors.len(), 1);
+    assert!(
+        matches!(&report.errors[0], PipelineError::Store { .. }),
+        "the store fault is classified as a value, not re-panicked: {:?}",
+        report.errors
+    );
+    // Each (scene, device) pair was requested twice, so the failed
+    // request's duplicate still covers its pair — every fingerprint
+    // present and byte-identical to the fault-free path.
+    assert_eq!(report.fingerprints, reference);
+}

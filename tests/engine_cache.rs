@@ -34,7 +34,8 @@ fn quick_pipeline_reports_cache_hits_for_profiled_selections() {
             .with_budget_mb(500.0),
         )
         .expect("valid request");
-    let deployment = service.next_outcome().expect("one outcome").deployment;
+    let deployment =
+        service.next_outcome().expect("one outcome").into_success().expect("success").deployment;
 
     let profiled: Vec<BakeConfig> =
         deployment.profiles.iter().flat_map(|p| p.samples.iter().map(|s| s.config)).collect();

@@ -85,7 +85,7 @@ fn tighter_budgets_never_increase_predicted_quality() {
             .expect("valid request");
         let outcome = service.next_outcome().expect("one outcome per request");
         assert_eq!(outcome.ticket, ticket);
-        outcome.deployment.selection.total_quality
+        outcome.into_success().expect("success").deployment.selection.total_quality
     };
     let generous = quality_at(120.0);
     let medium = quality_at(30.0);

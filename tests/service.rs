@@ -84,20 +84,21 @@ fn run_burst(
     let mut fingerprints = BTreeMap::new();
     for outcome in &outcomes {
         let slot = ticket_to_slot[&outcome.ticket.id()];
+        let done = outcome.success().expect("no faults injected: every request succeeds");
         assert_eq!(
-            deployment_fingerprint(&outcome.deployment.assets),
-            outcome.deployment_fingerprint,
+            deployment_fingerprint(&done.deployment.assets),
+            done.deployment_fingerprint,
             "outcome fingerprint must be the canonical asset fingerprint"
         );
-        let key = (BURST[slot], outcome.deployment.device.name.clone());
+        let key = (BURST[slot], done.deployment.device.name.clone());
         // Duplicate (scene, device) requests must agree with each other.
         if let Some(&prior) = fingerprints.get(&key) {
             assert_eq!(
-                prior, outcome.deployment_fingerprint,
+                prior, done.deployment_fingerprint,
                 "duplicate requests must produce identical deployments: {key:?}"
             );
         }
-        fingerprints.insert(key, outcome.deployment_fingerprint);
+        fingerprints.insert(key, done.deployment_fingerprint);
     }
     (fingerprints, stats.coalesced, service.cache_stats().misses)
 }
@@ -198,7 +199,7 @@ fn priority_and_warm_scenes_order_the_queue() {
         .expect("valid");
     let third = service.next_outcome().expect("outcome");
     assert_eq!(third.ticket, warm, "warm-scene request must jump the cold one");
-    assert!(third.coalesced, "warm request rides the resident stages");
+    assert!(third.success().expect("success").coalesced, "warm request rides the resident stages");
     let fourth = service.next_outcome().expect("outcome");
     assert_eq!(fourth.ticket, cold);
     assert!(service.next_outcome().is_none(), "service is idle");
@@ -244,8 +245,9 @@ fn admission_rejects_bad_requests_without_stopping_the_service() {
         .submit(DeployRequest::new(Arc::clone(&scenes[1].0), Arc::clone(&scenes[1].1), device))
         .expect("valid request after rejections");
     let outcome = service.next_outcome().expect("outcome");
-    assert!(!outcome.coalesced);
+    assert!(!outcome.success().expect("success").coalesced);
     assert_eq!(service.stats().completed, 1);
+    assert_eq!(service.stats().failed, 0);
 }
 
 #[test]
@@ -267,7 +269,10 @@ fn per_request_budgets_flow_through_the_service() {
     }
     let outcomes = service.drain();
     assert_eq!(outcomes.len(), 2);
-    let by_ticket = |id: u64| &outcomes.iter().find(|o| o.ticket.id() == id).unwrap().deployment;
+    let by_ticket = |id: u64| {
+        let outcome = outcomes.iter().find(|o| o.ticket.id() == id).unwrap();
+        &outcome.success().expect("success").deployment
+    };
     let tight = by_ticket(0);
     let generous = by_ticket(1);
     assert_eq!(tight.budget_mb, 6.0);
