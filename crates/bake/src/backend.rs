@@ -489,12 +489,33 @@ impl StoreBackend for MemBackend {
 /// answer — never retried, and it *clears* degradation on a probe (the
 /// remote responded). All of it is counted in [`ResilienceStats`] and
 /// surfaced through `StoreStats` (see `docs/faults.md`).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SharedBackend {
     local: DirBackend,
     remote: Arc<dyn StoreBackend>,
     policy: RetryPolicy,
     state: Arc<ResilienceState>,
+    /// Degraded-mode re-probe cadence, counted per *handle*: each clone
+    /// probes on every [`REPROBE_INTERVAL`]-th of its own degraded
+    /// operations. The counter deliberately lives outside the shared
+    /// [`ResilienceState`] — with a shared counter, a busy clone could
+    /// consume all the probe slots and starve a quiet one (or hand it a
+    /// probe on its very first operation).
+    probe_tick: AtomicUsize,
+}
+
+impl Clone for SharedBackend {
+    fn clone(&self) -> Self {
+        Self {
+            local: self.local.clone(),
+            remote: Arc::clone(&self.remote),
+            policy: self.policy,
+            state: Arc::clone(&self.state),
+            // Breaker state and counters are shared; the probe cadence
+            // starts fresh so the clone probes on its own 16th degraded op.
+            probe_tick: AtomicUsize::new(1),
+        }
+    }
 }
 
 /// In degraded mode, every N-th remote-needing operation re-probes the
@@ -505,7 +526,6 @@ pub const REPROBE_INTERVAL: usize = 16;
 #[derive(Debug, Default)]
 struct ResilienceState {
     degraded: AtomicBool,
-    probe_tick: AtomicUsize,
     remote_ops: AtomicUsize,
     remote_errors: AtomicUsize,
     retries: AtomicUsize,
@@ -516,7 +536,13 @@ struct ResilienceState {
 impl SharedBackend {
     /// Layers `local` over `remote` with the default [`RetryPolicy`].
     pub fn new(local: DirBackend, remote: Arc<dyn StoreBackend>) -> Self {
-        Self { local, remote, policy: RetryPolicy::default(), state: Arc::default() }
+        Self {
+            local,
+            remote,
+            policy: RetryPolicy::default(),
+            state: Arc::default(),
+            probe_tick: AtomicUsize::new(1),
+        }
     }
 
     /// Replaces the retry policy (builder style).
@@ -546,7 +572,7 @@ impl SharedBackend {
         let state = &self.state;
         state.remote_ops.fetch_add(1, Ordering::Relaxed);
         if state.degraded.load(Ordering::Relaxed) {
-            let tick = state.probe_tick.fetch_add(1, Ordering::Relaxed);
+            let tick = self.probe_tick.fetch_add(1, Ordering::Relaxed);
             if !tick.is_multiple_of(REPROBE_INTERVAL) {
                 state.degraded_ops.fetch_add(1, Ordering::Relaxed);
                 return Err(io::Error::new(
@@ -591,7 +617,7 @@ impl SharedBackend {
                     }
                     state.remote_errors.fetch_add(1, Ordering::Relaxed);
                     if !state.degraded.swap(true, Ordering::Relaxed) {
-                        state.probe_tick.store(1, Ordering::Relaxed);
+                        self.probe_tick.store(1, Ordering::Relaxed);
                         eprintln!(
                             "nerflex store: remote {op} failed ({err}); degrading to \
                              local-only with periodic re-probe"

@@ -125,29 +125,127 @@ impl fmt::Display for StoreFaultPanic {
     }
 }
 
-/// A deterministic schedule of faults, keyed on per-operation call indices.
+/// A deterministic fault schedule over `N` numbered operations, generic in
+/// the fault mode `M` it injects — the machinery shared by every fault
+/// domain, not just stores. [`FaultPlan`] instantiates it over the five
+/// store operations with [`FaultMode`]; `nerflex_core`'s `StageFaultPlan`
+/// instantiates it over the four pipeline stages.
 ///
 /// Three layers combine, checked in order for every intercepted call:
 ///
-/// 1. **One-shot schedule** — `fail_nth(op, n, mode)` fires on exactly the
-///    `n`-th call (0-based) of `op`.
-/// 2. **Persistent window** — `persistent_from(op, n, kind)` fails every
-///    call of `op` with index ≥ `n`.
-/// 3. **Seeded transient noise** — `with_transient(op, percent)` fails
-///    roughly `percent`% of calls, chosen by a hash of `(seed, op, index)`.
+/// 1. **One-shot schedule** — [`fail_nth`](Self::fail_nth) fires on exactly
+///    the `n`-th call (0-based) of an operation.
+/// 2. **Persistent window** — [`persistent_from`](Self::persistent_from)
+///    fires on every call of an operation with index ≥ `from`.
+/// 3. **Seeded noise** — [`with_noise`](Self::with_noise) fires on roughly
+///    `percent`% of calls, chosen by a hash of `(seed, op, index)`; the
+///    injected mode is set once with [`with_noise_mode`](Self::with_noise_mode).
 ///    The same seed always picks the same call indices.
 ///
-/// All layers are functions of the per-op call *index* only, so a plan's
+/// All layers are functions of the per-op call *index* only, so a schedule's
 /// behaviour is independent of wall-clock time, thread interleaving of
 /// *other* operations, and machine state.
-#[derive(Debug, Clone, Default)]
-pub struct FaultPlan {
+#[derive(Debug, Clone)]
+pub struct FaultSchedule<M: Copy, const N: usize> {
     seed: u64,
+    noise_rate: [u8; N],
+    noise_mode: Option<M>,
+    persistent_from: [Option<(usize, M)>; N],
+    scheduled: Vec<(usize, usize, M)>,
+}
+
+impl<M: Copy, const N: usize> FaultSchedule<M, N> {
+    /// A schedule that never injects anything.
+    pub fn new() -> Self {
+        Self {
+            seed: 0,
+            noise_rate: [0; N],
+            noise_mode: None,
+            persistent_from: [None; N],
+            scheduled: Vec::new(),
+        }
+    }
+
+    /// Set the seed for the noise layer.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Inject noise-layer faults on roughly `percent`% of calls of
+    /// operation `op` (an index < `N`).
+    pub fn with_noise(mut self, op: usize, percent: u8) -> Self {
+        self.noise_rate[op] = percent.min(100);
+        self
+    }
+
+    /// The mode the noise layer injects when it fires (one mode for all
+    /// operations; the rates are per-operation).
+    pub fn with_noise_mode(mut self, mode: M) -> Self {
+        self.noise_mode = Some(mode);
+        self
+    }
+
+    /// Fire `mode` on every call of operation `op` with index ≥ `from`.
+    pub fn persistent_from(mut self, op: usize, from: usize, mode: M) -> Self {
+        self.persistent_from[op] = Some((from, mode));
+        self
+    }
+
+    /// Fire `mode` on exactly the `n`-th call (0-based) of operation `op`.
+    pub fn fail_nth(mut self, op: usize, n: usize, mode: M) -> Self {
+        self.scheduled.push((op, n, mode));
+        self
+    }
+
+    /// The fault (if any) this schedule injects for call `index` of `op` —
+    /// one-shot schedule first, then the persistent window, then seeded
+    /// noise.
+    pub fn decide(&self, op: usize, index: usize) -> Option<M> {
+        for (sop, sn, mode) in &self.scheduled {
+            if *sop == op && *sn == index {
+                return Some(*mode);
+            }
+        }
+        if let Some((from, mode)) = self.persistent_from[op] {
+            if index >= from {
+                return Some(mode);
+            }
+        }
+        let rate = self.noise_rate[op];
+        if rate > 0 && mix(self.seed, op as u64, index as u64) % 100 < u64::from(rate) {
+            return self.noise_mode;
+        }
+        None
+    }
+}
+
+impl<M: Copy, const N: usize> Default for FaultSchedule<M, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A deterministic schedule of store faults, keyed on per-operation call
+/// indices — [`FaultSchedule`] instantiated over the five [`FaultOp`]s,
+/// plus an optional per-call latency. See [`FaultSchedule`] for the
+/// layering (one-shot → persistent window → seeded transient noise).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
     latency: Option<Duration>,
-    transient_rate: [u8; OP_COUNT],
-    transient_kind: Option<io::ErrorKind>,
-    persistent_from: [Option<(usize, io::ErrorKind)>; OP_COUNT],
-    scheduled: Vec<(FaultOp, usize, FaultMode)>,
+    schedule: FaultSchedule<FaultMode, OP_COUNT>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        // The transient-noise layer defaults to `TimedOut` — flaky-network
+        // noise — until `with_transient_kind` overrides it.
+        Self {
+            latency: None,
+            schedule: FaultSchedule::new()
+                .with_noise_mode(FaultMode::Transient(io::ErrorKind::TimedOut)),
+        }
+    }
 }
 
 impl FaultPlan {
@@ -171,15 +269,19 @@ impl FaultPlan {
     /// `ConnectionRefused` from the first call — a dead remote.
     pub fn dead() -> Self {
         let mut plan = Self::default();
-        for slot in plan.persistent_from.iter_mut() {
-            *slot = Some((0, io::ErrorKind::ConnectionRefused));
+        for op in 0..OP_COUNT {
+            plan.schedule = plan.schedule.persistent_from(
+                op,
+                0,
+                FaultMode::Persistent(io::ErrorKind::ConnectionRefused),
+            );
         }
         plan
     }
 
     /// Set the seed for the transient-noise layer.
     pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.schedule = self.schedule.with_seed(seed);
         self
     }
 
@@ -188,25 +290,26 @@ impl FaultPlan {
     /// The fault kind defaults to `TimedOut`; override with
     /// [`with_transient_kind`](Self::with_transient_kind).
     pub fn with_transient(mut self, op: FaultOp, percent: u8) -> Self {
-        self.transient_rate[op.index()] = percent.min(100);
+        self.schedule = self.schedule.with_noise(op.index(), percent);
         self
     }
 
     /// Override the `io::ErrorKind` used by the seeded transient layer.
     pub fn with_transient_kind(mut self, kind: io::ErrorKind) -> Self {
-        self.transient_kind = Some(kind);
+        self.schedule = self.schedule.with_noise_mode(FaultMode::Transient(kind));
         self
     }
 
     /// Fail every call of `op` with index ≥ `from` (0-based) with `kind`.
     pub fn persistent_from(mut self, op: FaultOp, from: usize, kind: io::ErrorKind) -> Self {
-        self.persistent_from[op.index()] = Some((from, kind));
+        self.schedule =
+            self.schedule.persistent_from(op.index(), from, FaultMode::Persistent(kind));
         self
     }
 
     /// Fire `mode` on exactly the `n`-th call (0-based) of `op`.
     pub fn fail_nth(mut self, op: FaultOp, n: usize, mode: FaultMode) -> Self {
-        self.scheduled.push((op, n, mode));
+        self.schedule = self.schedule.fail_nth(op.index(), n, mode);
         self
     }
 
@@ -218,22 +321,7 @@ impl FaultPlan {
 
     /// The fault (if any) this plan injects for call `index` of `op`.
     fn decide(&self, op: FaultOp, index: usize) -> Option<FaultMode> {
-        for (sop, sn, mode) in &self.scheduled {
-            if *sop == op && *sn == index {
-                return Some(*mode);
-            }
-        }
-        if let Some((from, kind)) = self.persistent_from[op.index()] {
-            if index >= from {
-                return Some(FaultMode::Persistent(kind));
-            }
-        }
-        let rate = self.transient_rate[op.index()];
-        if rate > 0 && mix(self.seed, op.index() as u64, index as u64) % 100 < u64::from(rate) {
-            let kind = self.transient_kind.unwrap_or(io::ErrorKind::TimedOut);
-            return Some(FaultMode::Transient(kind));
-        }
-        None
+        self.schedule.decide(op.index(), index)
     }
 }
 
@@ -601,6 +689,35 @@ mod tests {
         assert_eq!(fault.op, FaultOp::Read);
         assert_eq!(fault.name, "entry.bin");
         assert_eq!(backend.fault_stats().read.panics, 1);
+    }
+
+    #[test]
+    fn generic_schedule_layers_fire_in_order_for_any_mode_type() {
+        // A three-operation domain with a custom mode type: the schedule
+        // machinery is not store-specific.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        enum Mode {
+            Boom,
+            Slow,
+        }
+        let schedule: FaultSchedule<Mode, 3> = FaultSchedule::new()
+            .with_seed(7)
+            .with_noise(2, 40)
+            .with_noise_mode(Mode::Slow)
+            .persistent_from(1, 5, Mode::Slow)
+            .fail_nth(1, 2, Mode::Boom);
+        // One-shot beats the layers below it; the persistent window opens at
+        // its index and never closes.
+        assert_eq!(schedule.decide(1, 2), Some(Mode::Boom));
+        assert_eq!(schedule.decide(1, 4), None);
+        assert_eq!(schedule.decide(1, 5), Some(Mode::Slow));
+        assert_eq!(schedule.decide(1, 500), Some(Mode::Slow));
+        // Noise is seeded and per-op: op 0 has no rate, op 2 fires at ~40%.
+        assert!((0..100).all(|i| schedule.decide(0, i).is_none()));
+        let fired = (0..100).filter(|&i| schedule.decide(2, i) == Some(Mode::Slow)).count();
+        assert!((20..=60).contains(&fired), "~40% of 100 calls, got {fired}");
+        let replay = (0..100).filter(|&i| schedule.decide(2, i) == Some(Mode::Slow)).count();
+        assert_eq!(fired, replay, "same seed, same schedule");
     }
 
     #[test]

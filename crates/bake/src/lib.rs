@@ -48,7 +48,9 @@ pub use backend::{
 pub use cache::{model_fingerprint, BakeCache, CacheStats};
 pub use config::BakeConfig;
 pub use disk::CACHE_FORMAT_VERSION;
-pub use fault::{FaultMode, FaultOp, FaultPlan, FaultStats, FaultyBackend, StoreFaultPanic};
+pub use fault::{
+    FaultMode, FaultOp, FaultPlan, FaultSchedule, FaultStats, FaultyBackend, StoreFaultPanic,
+};
 pub use mesh::QuadMesh;
 pub use mlp::TinyMlp;
 pub use store::{

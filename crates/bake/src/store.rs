@@ -1526,6 +1526,91 @@ mod tests {
     }
 
     #[test]
+    fn degraded_reprobe_cadence_is_per_handle_not_shared_across_clones() {
+        use crate::backend::{RemoteHealth, REPROBE_INTERVAL};
+        use std::sync::atomic::AtomicBool;
+
+        /// A remote that can be switched dead/alive: dead refuses every
+        /// operation, alive delegates to an in-memory backend.
+        #[derive(Debug)]
+        struct FlipBackend {
+            inner: MemBackend,
+            alive: AtomicBool,
+        }
+
+        impl FlipBackend {
+            fn gate(&self) -> io::Result<()> {
+                if self.alive.load(Ordering::Relaxed) {
+                    Ok(())
+                } else {
+                    Err(io::Error::new(io::ErrorKind::ConnectionRefused, "remote down"))
+                }
+            }
+        }
+
+        impl StoreBackend for FlipBackend {
+            fn list(&self) -> io::Result<Vec<EntryMeta>> {
+                self.gate()?;
+                self.inner.list()
+            }
+            fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+                self.gate()?;
+                self.inner.read(name)
+            }
+            fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+                self.gate()?;
+                self.inner.write_atomic(name, bytes)
+            }
+            fn remove(&self, name: &str) -> io::Result<()> {
+                self.gate()?;
+                self.inner.remove(name)
+            }
+            fn sweep_tmp(&self) -> io::Result<()> {
+                self.gate()?;
+                self.inner.sweep_tmp()
+            }
+            fn describe(&self) -> String {
+                "flip".to_string()
+            }
+        }
+
+        let tmp = TempDir::new("per-handle-probe");
+        let flip =
+            Arc::new(FlipBackend { inner: MemBackend::new(), alive: AtomicBool::new(false) });
+        flip.inner.write_atomic("warm.nftest", b"behind the outage").expect("seed");
+        let original =
+            SharedBackend::new(DirBackend::create(&tmp.0, "nftest").expect("local"), flip.clone())
+                .with_retry(RetryPolicy::new(1, Duration::ZERO));
+
+        // Trip the breaker on the original handle, then bring the remote
+        // back: recovery now only needs a probe to fire.
+        assert!(original.read("warm.nftest").is_err());
+        assert_eq!(original.remote_health(), RemoteHealth::Degraded);
+        flip.alive.store(true, Ordering::Relaxed);
+
+        // A busy clone burns one op short of its own probe window. The
+        // breaker is shared, so both handles see Degraded throughout.
+        let busy = original.clone();
+        for _ in 0..REPROBE_INTERVAL - 1 {
+            assert!(busy.read("warm.nftest").is_err());
+        }
+        assert_eq!(busy.remote_health(), RemoteHealth::Degraded);
+
+        // With the historic *shared* tick, the clone's traffic advanced the
+        // original's cadence: its very next op would draw the probe slot.
+        // Per-handle, the original probes on its own 16th op — no earlier.
+        for i in 0..REPROBE_INTERVAL - 1 {
+            assert!(original.read("warm.nftest").is_err(), "op {i} must not probe early");
+            assert_eq!(original.remote_health(), RemoteHealth::Degraded);
+        }
+        assert_eq!(
+            original.read("warm.nftest").expect("16th op probes and recovers"),
+            b"behind the outage"
+        );
+        assert_eq!(original.remote_health(), RemoteHealth::Healthy);
+    }
+
+    #[test]
     fn store_options_describe_and_froms() {
         assert_eq!(StoreOptions::in_memory().describe(), "in-memory");
         assert!(StoreOptions::dir("/a/b").describe().contains("/a/b"));

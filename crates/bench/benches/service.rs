@@ -88,6 +88,10 @@ struct BurstOutcome {
     remote_errors: usize,
     retries: usize,
     degraded_ops: usize,
+    cancelled: u64,
+    deadline_exceeded: u64,
+    shed: u64,
+    watchdog_trips: u64,
 }
 
 /// One burst through a fresh service.
@@ -123,6 +127,10 @@ fn service_burst(scenes: &[(Arc<Scene>, Arc<Dataset>); 2]) -> BurstOutcome {
         remote_errors: cache.remote_errors,
         retries: cache.retries,
         degraded_ops: cache.degraded_ops,
+        cancelled: stats.cancelled,
+        deadline_exceeded: stats.deadline_exceeded,
+        shed: stats.shed,
+        watchdog_trips: stats.watchdog_trips,
     }
 }
 
@@ -227,6 +235,10 @@ fn bench_service(c: &mut Criterion) {
             .int_field("remote_errors", burst.remote_errors as u64)
             .int_field("retries", burst.retries as u64)
             .int_field("degraded_ops", burst.degraded_ops as u64)
+            .int_field("cancelled", burst.cancelled)
+            .int_field("deadline_exceeded", burst.deadline_exceeded)
+            .int_field("shed", burst.shed)
+            .int_field("watchdog_trips", burst.watchdog_trips)
             .float_field("service_ms", service_mean.as_secs_f64() * 1e3)
             .float_field("independent_ms", independent_mean.as_secs_f64() * 1e3)
             .float_field("speedup", speedup);

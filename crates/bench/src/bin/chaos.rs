@@ -1,7 +1,8 @@
 //! Chaos smoke — seeded fault injection through the deployment service.
 //!
-//! Runs the same duplicate-heavy 8-request burst three ways and checks that
-//! faults change **who pays, never what comes out**:
+//! Runs the same duplicate-heavy 8-request burst several ways and checks
+//! that faults and lifecycle decisions change **who pays (or whether a
+//! request completes), never what comes out**:
 //!
 //! 1. fault-free blocking `try_deploy_fleet` — the reference fingerprints;
 //! 2. a flaky remote (seeded transient faults + one scheduled timeout on
@@ -9,20 +10,27 @@
 //!    complete with `retries > 0` and byte-identical fingerprints;
 //! 3. a dead remote ([`FaultPlan::dead`]) — the shared store must trip its
 //!    breaker (`degraded_ops > 0`) and recompute locally, again with
-//!    byte-identical fingerprints.
+//!    byte-identical fingerprints;
+//! 4. a lifecycle burst — bounded admission (queue limit 6), one mid-burst
+//!    cancellation, one expired deadline, and seeded compute-stage faults
+//!    ([`StageFaultPlan`]) — `shed`, `cancelled` and `deadline_exceeded`
+//!    each settle exactly one ticket, and every request that still
+//!    completes is byte-identical to the reference.
 //!
 //! ```bash
 //! cargo run --release -p nerflex-bench --bin chaos -- [--seed N] [--json PATH]
 //! ```
 //!
 //! The CI `chaos-smoke` job runs this across several seeds and asserts
-//! `retries > 0`, `degraded_ops > 0` and `fingerprints_equal == 1` on the
-//! JSON.
+//! `retries > 0`, `degraded_ops > 0`, `shed > 0`, `cancelled > 0` and
+//! `fingerprints_equal == 1` on the JSON.
 
 use nerflex_bake::disk::deployment_fingerprint;
 use nerflex_bake::{FaultMode, FaultOp, FaultPlan, FaultyBackend, MemBackend, RetryPolicy};
 use nerflex_bake::{StoreBackend, StoreOptions};
 use nerflex_bench::{json_path_from_args, seed_from_args, JsonReport};
+use nerflex_core::clock::{Clock, TestClock};
+use nerflex_core::fault::{StageFaultMode, StageFaultPlan, StageOp};
 use nerflex_core::pipeline::{NerflexPipeline, PipelineOptions};
 use nerflex_core::report::Table;
 use nerflex_core::service::{DeployRequest, DeployService, ServiceOptions};
@@ -98,6 +106,77 @@ fn run_burst(store: StoreOptions) -> BurstReport {
     }
 }
 
+/// What the lifecycle burst reports back to the table/JSON.
+struct LifecycleReport {
+    fingerprints: BTreeMap<(usize, String), u64>,
+    completed: u64,
+    failed: u64,
+    cancelled: u64,
+    shed: u64,
+    deadline_exceeded: u64,
+}
+
+/// The lifecycle burst: queue limit 6, one expired deadline, one mid-burst
+/// cancellation, seeded compute-stage fault noise. Deterministic per seed
+/// (inline mode is sequential): exactly one ticket sheds, one cancels, one
+/// misses its deadline; the rest complete or fail on injected stage faults.
+fn run_lifecycle(seed: u64) -> LifecycleReport {
+    let scenes = two_scenes();
+    let clock = Arc::new(TestClock::at(100));
+    let plan = StageFaultPlan::none()
+        .with_seed(seed)
+        .with_noise(StageOp::Profiling, 15, StageFaultMode::Fail)
+        .with_noise(StageOp::Baking, 10, StageFaultMode::Fail);
+    let service = DeployService::new(
+        ServiceOptions::inline(options().with_stage_faults(plan))
+            .with_queue_limit(6)
+            .with_clock(clock as Arc<dyn Clock>),
+    );
+    let mut scene_of_ticket = BTreeMap::new();
+    let mut cancel_me = None;
+    for (slot, &scene_idx) in BURST.iter().enumerate() {
+        let (scene, dataset) = &scenes[scene_idx];
+        let device = if slot % 2 == 0 { DeviceSpec::iphone_13() } else { DeviceSpec::pixel_4() };
+        let mut request = DeployRequest::new(Arc::clone(scene), Arc::clone(dataset), device);
+        if slot == 1 {
+            // Already expired (clock is at 100): settles at admission.
+            request = request.with_deadline(50);
+        }
+        if slot >= 6 {
+            // The late high-priority pair evicts a queued victim when the
+            // queue is at its limit.
+            request = request.with_priority(1);
+        }
+        let ticket =
+            service.submit(request).expect("admitted (evicts a lower-priority victim when full)");
+        if slot == 2 {
+            cancel_me = Some(ticket);
+        }
+        scene_of_ticket.insert(ticket.id(), scene_idx);
+    }
+    let victim = cancel_me.expect("slot 2 was admitted");
+    assert!(service.cancel(victim), "a queued request accepts cancellation");
+    let mut fingerprints = BTreeMap::new();
+    for outcome in service.drain() {
+        let scene_idx = scene_of_ticket[&outcome.ticket.id()];
+        if let Ok(done) = outcome.into_success() {
+            fingerprints.insert(
+                (scene_idx, done.deployment.device.name.clone()),
+                done.deployment_fingerprint,
+            );
+        }
+    }
+    let stats = service.stats();
+    LifecycleReport {
+        fingerprints,
+        completed: stats.completed,
+        failed: stats.failed,
+        cancelled: stats.cancelled,
+        shed: stats.shed,
+        deadline_exceeded: stats.deadline_exceeded,
+    }
+}
+
 /// A throwaway local-layer directory (the remote is the faulty part).
 struct TempDir(std::path::PathBuf);
 
@@ -160,9 +239,24 @@ fn main() {
         )
     };
 
+    // Lifecycle burst: bounded admission + cancellation + deadline +
+    // seeded stage faults over in-memory stores.
+    let lifecycle = run_lifecycle(seed);
+
     let transient_equal = transient.fingerprints == reference;
     let dead_equal = dead.fingerprints == reference;
     let retry_bound = transient.remote_ops * (policy.max_attempts as usize - 1);
+    // Lifecycle decisions shrink the completion set, never the bytes: every
+    // request that did complete must match the reference for its pair.
+    let lifecycle_equal = lifecycle
+        .fingerprints
+        .iter()
+        .all(|(key, fingerprint)| reference.get(key) == Some(fingerprint));
+    let lifecycle_ok = lifecycle_equal
+        && lifecycle.cancelled == 1
+        && lifecycle.shed == 1
+        && lifecycle.deadline_exceeded == 1
+        && lifecycle.completed + lifecycle.failed == BURST.len() as u64 - 3;
 
     let mut table = Table::new(
         "chaos: 8-request burst under injected store faults",
@@ -189,8 +283,23 @@ fn main() {
         policy.max_attempts - 1
     );
 
+    let mut lifecycle_table = Table::new(
+        "chaos: lifecycle burst (queue limit 6, 1 cancel, 1 expired deadline, stage-fault noise)",
+        &["completed", "failed", "cancelled", "shed", "past deadline", "output"],
+    );
+    lifecycle_table.push_row(vec![
+        format!("{}/{}", lifecycle.completed, BURST.len()),
+        lifecycle.failed.to_string(),
+        lifecycle.cancelled.to_string(),
+        lifecycle.shed.to_string(),
+        lifecycle.deadline_exceeded.to_string(),
+        if lifecycle_ok { "bit-identical".to_string() } else { "MISMATCH".to_string() },
+    ]);
+    println!("{lifecycle_table}");
+
     let fingerprints_equal = transient_equal
         && dead_equal
+        && lifecycle_ok
         && transient.failed == 0
         && dead.failed == 0
         && transient.completed == BURST.len() as u64
@@ -213,6 +322,11 @@ fn main() {
             .int_field("dead_failed", dead.failed)
             .int_field("degraded_ops", dead.degraded_ops as u64)
             .int_field("dead_remote_errors", dead.remote_errors as u64)
+            .int_field("lifecycle_completed", lifecycle.completed)
+            .int_field("lifecycle_failed", lifecycle.failed)
+            .int_field("cancelled", lifecycle.cancelled)
+            .int_field("shed", lifecycle.shed)
+            .int_field("deadline_exceeded", lifecycle.deadline_exceeded)
             .int_field("fingerprints_equal", u64::from(fingerprints_equal));
         match report.write(&path) {
             Ok(()) => println!("wrote {}", path.display()),
@@ -221,5 +335,5 @@ fn main() {
     }
 
     assert!(fingerprints_equal, "chaos run violated the determinism contract");
-    println!("\nall scenarios completed with byte-identical fingerprints");
+    println!("\nall scenarios settled every ticket; every completing request was byte-identical");
 }

@@ -163,6 +163,44 @@ fn main() {
             run_cache.degraded_ops
         ),
     ]);
+    // Request-lifecycle demo (zero extra compute): a tiny service over the
+    // same options with a pinned virtual clock and a queue limit of 1 —
+    // one request expires at admission, one is shed by bounded admission,
+    // one is cancelled while queued. Nothing runs; every ticket settles.
+    let lifecycle = {
+        use nerflex_core::clock::{Clock, TestClock};
+        use nerflex_core::service::{DeployRequest, DeployService, ServiceOptions};
+        let clock: std::sync::Arc<dyn Clock> = std::sync::Arc::new(TestClock::at(100));
+        let service = DeployService::new(
+            ServiceOptions::inline(mode.pipeline_options()).with_queue_limit(1).with_clock(clock),
+        );
+        let scene = std::sync::Arc::new(built.scene.clone());
+        let dataset = std::sync::Arc::new(dataset.clone());
+        let request = || {
+            DeployRequest::new(
+                std::sync::Arc::clone(&scene),
+                std::sync::Arc::clone(&dataset),
+                iphone.clone(),
+            )
+        };
+        let queued = service.submit(request()).expect("fills the queue");
+        let _expired = service.submit(request().with_deadline(50)).expect("settles at admission");
+        assert!(service.submit(request()).is_err(), "bounded admission sheds the newest");
+        assert!(service.cancel(queued), "queued request cancels");
+        let settled = service.drain();
+        assert_eq!(settled.len(), 2, "every issued ticket settles exactly once");
+        service.stats()
+    };
+    engine.push_row(vec![
+        "request lifecycle (demo burst)".to_string(),
+        format!(
+            "{} cancelled, {} past deadline, {} shed, {} watchdog trips",
+            lifecycle.cancelled,
+            lifecycle.deadline_exceeded,
+            lifecycle.shed,
+            lifecycle.watchdog_trips
+        ),
+    ]);
     println!("{engine}");
     println!("whole-run bake cache: {run_cache}");
 
@@ -215,7 +253,11 @@ fn main() {
             .int_field("remote_ops", run_cache.remote_ops as u64)
             .int_field("remote_errors", run_cache.remote_errors as u64)
             .int_field("retries", run_cache.retries as u64)
-            .int_field("degraded_ops", run_cache.degraded_ops as u64);
+            .int_field("degraded_ops", run_cache.degraded_ops as u64)
+            .int_field("lifecycle_cancelled", lifecycle.cancelled)
+            .int_field("lifecycle_deadline_exceeded", lifecycle.deadline_exceeded)
+            .int_field("lifecycle_shed", lifecycle.shed)
+            .int_field("lifecycle_watchdog_trips", lifecycle.watchdog_trips);
         match report.write(&path) {
             Ok(()) => println!("wrote {}", path.display()),
             Err(err) => eprintln!("fig9: writing {} failed: {err}", path.display()),

@@ -1,0 +1,104 @@
+//! Virtual time for the deployment service.
+//!
+//! Request deadlines and the stall watchdog are defined in **ticks** of a
+//! [`Clock`], not in wall time, so every lifecycle decision the service
+//! makes can be reproduced exactly: a test pins a [`TestClock`] and
+//! advances it by hand, while production uses [`WallClock`] (1 tick =
+//! 1 millisecond). The clock only gates *whether* a request runs — never
+//! what it computes — so swapping clocks respects the determinism contract
+//! (`docs/determinism.md`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic source of virtual time, read at admission and at every
+/// pipeline stage boundary.
+///
+/// Implementations must be monotonic (ticks never decrease) and cheap —
+/// `now_ticks` is called on hot scheduling paths.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// The current time in ticks. The origin is implementation-defined;
+    /// only differences and orderings are meaningful.
+    fn now_ticks(&self) -> u64;
+}
+
+/// Production clock: milliseconds elapsed since the clock was created.
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose tick 0 is now.
+    pub fn new() -> Self {
+        Self { epoch: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ticks(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Deterministic test clock: time only moves when the test says so.
+///
+/// ```
+/// use nerflex_core::clock::{Clock, TestClock};
+///
+/// let clock = TestClock::at(100);
+/// assert_eq!(clock.now_ticks(), 100);
+/// clock.advance(50);
+/// assert_eq!(clock.now_ticks(), 150);
+/// ```
+#[derive(Debug, Default)]
+pub struct TestClock {
+    ticks: AtomicU64,
+}
+
+impl TestClock {
+    /// A test clock starting at `start` ticks.
+    pub fn at(start: u64) -> Self {
+        Self { ticks: AtomicU64::new(start) }
+    }
+
+    /// Advances the clock by `ticks`.
+    pub fn advance(&self, ticks: u64) {
+        self.ticks.fetch_add(ticks, Ordering::Relaxed);
+    }
+}
+
+impl Clock for TestClock {
+    fn now_ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_ticks_are_monotonic_milliseconds() {
+        let clock = WallClock::new();
+        let a = clock.now_ticks();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = clock.now_ticks();
+        assert!(b > a, "ticks advance with wall time ({a} -> {b})");
+    }
+
+    #[test]
+    fn test_clock_only_moves_on_advance() {
+        let clock = TestClock::at(7);
+        assert_eq!(clock.now_ticks(), 7);
+        assert_eq!(clock.now_ticks(), 7, "reads do not advance virtual time");
+        clock.advance(3);
+        assert_eq!(clock.now_ticks(), 10);
+    }
+}

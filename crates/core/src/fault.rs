@@ -1,0 +1,358 @@
+//! Deterministic fault injection for the pipeline's *compute* stages.
+//!
+//! PR 8 made storage failure a seeded, replayable input
+//! ([`nerflex_bake::FaultPlan`]); this module does the same for the four
+//! pipeline stages themselves. A [`StageFaultPlan`] reuses the generic
+//! [`FaultSchedule`] machinery — one-shot schedule, persistent window,
+//! seeded noise, all keyed on per-stage invocation indices — and a
+//! [`StageFaultInjector`] threaded through
+//! [`PipelineOptions`](crate::pipeline::PipelineOptions) gates every stage
+//! entry:
+//!
+//! - [`StageFaultMode::Panic`] and [`StageFaultMode::Fail`] unwind with a
+//!   typed [`StageFaultPanic`] payload. The service's panic classifier
+//!   downcasts it into a per-request
+//!   [`PipelineError::Stage`](crate::pipeline::PipelineError::Stage)
+//!   outcome — exercising the same `classify_panic`/stage-cell-rollback
+//!   paths a genuine stage crash would take, for non-store failures.
+//! - [`StageFaultMode::Delay`] sleeps before the stage runs, widening race
+//!   windows for cancellation and coalescing tests.
+//! - [`StageFaultMode::Stall`] parks the executing thread indefinitely —
+//!   the scenario the service's stall watchdog exists to detect.
+//!
+//! Faults change *who pays and who fails*, never what a completing request
+//! computes: any schedule that permits a request to finish leaves its
+//! deployment bit-identical to the fault-free run (`tests/chaos.rs` holds
+//! the system to that; see `docs/faults.md` for the full model).
+
+use nerflex_bake::FaultSchedule;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+/// Number of faultable pipeline stages (size of the per-stage tables).
+const STAGE_COUNT: usize = 4;
+
+/// A pipeline stage that faults can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageOp {
+    /// Detail-based scene segmentation.
+    Segmentation,
+    /// Lightweight per-object profiling.
+    Profiling,
+    /// DP configuration selection.
+    Selection,
+    /// Parallel baking of the selected configurations.
+    Baking,
+}
+
+impl StageOp {
+    fn index(self) -> usize {
+        match self {
+            StageOp::Segmentation => 0,
+            StageOp::Profiling => 1,
+            StageOp::Selection => 2,
+            StageOp::Baking => 3,
+        }
+    }
+
+    /// Lowercase stage name as it appears in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageOp::Segmentation => "segmentation",
+            StageOp::Profiling => "profiling",
+            StageOp::Selection => "selection",
+            StageOp::Baking => "baking",
+        }
+    }
+}
+
+impl fmt::Display for StageOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What an injected stage fault does to the intercepted stage entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageFaultMode {
+    /// Unwind with a typed [`StageFaultPanic`] payload — a stage crash.
+    Panic,
+    /// Unwind with a typed [`StageFaultPanic`] payload marked as a clean
+    /// failure rather than a crash. Classified identically; the message
+    /// distinguishes the flavors in logs and assertions.
+    Fail,
+    /// Sleep for the given duration before the stage runs. Results are
+    /// unchanged; only timing (and therefore race windows) moves.
+    Delay(Duration),
+    /// Park the executing thread indefinitely — a stage that will never
+    /// finish. Only the service's stall watchdog gets a request out of
+    /// this; the thread itself is abandoned.
+    Stall,
+}
+
+/// Typed panic payload raised by [`StageFaultMode::Panic`] /
+/// [`StageFaultMode::Fail`].
+///
+/// The service's panic classifier downcasts unwound payloads to this type
+/// to convert an injected stage fault into a per-request
+/// [`PipelineError::Stage`](crate::pipeline::PipelineError::Stage) outcome
+/// instead of dying.
+#[derive(Debug, Clone)]
+pub struct StageFaultPanic {
+    /// The stage that was intercepted.
+    pub stage: StageOp,
+    /// Per-stage invocation index (0-based) at which the fault fired.
+    pub index: usize,
+    /// `true` for [`StageFaultMode::Fail`], `false` for
+    /// [`StageFaultMode::Panic`].
+    pub clean: bool,
+}
+
+impl fmt::Display for StageFaultPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let flavor = if self.clean { "failed" } else { "panicked" };
+        write!(f, "injected stage fault: {} {flavor} (invocation {})", self.stage, self.index)
+    }
+}
+
+/// A deterministic schedule of compute-stage faults —
+/// [`FaultSchedule`] instantiated over the four [`StageOp`]s. The same
+/// plan applied to the same stage-invocation sequence always injects the
+/// same faults, so a failing seed replays exactly.
+#[derive(Debug, Clone, Default)]
+pub struct StageFaultPlan {
+    schedule: FaultSchedule<StageFaultMode, STAGE_COUNT>,
+}
+
+impl StageFaultPlan {
+    /// A plan that never injects anything.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Set the seed for the noise layer.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.schedule = self.schedule.with_seed(seed);
+        self
+    }
+
+    /// Inject noise-layer faults on roughly `percent`% of `stage`
+    /// invocations, firing `mode` (one mode shared by all stages).
+    pub fn with_noise(mut self, stage: StageOp, percent: u8, mode: StageFaultMode) -> Self {
+        self.schedule = self.schedule.with_noise(stage.index(), percent).with_noise_mode(mode);
+        self
+    }
+
+    /// Fire `mode` on every invocation of `stage` with index ≥ `from`.
+    pub fn persistent_from(mut self, stage: StageOp, from: usize, mode: StageFaultMode) -> Self {
+        self.schedule = self.schedule.persistent_from(stage.index(), from, mode);
+        self
+    }
+
+    /// Fire `mode` on exactly the `n`-th invocation (0-based) of `stage`.
+    pub fn fail_nth(mut self, stage: StageOp, n: usize, mode: StageFaultMode) -> Self {
+        self.schedule = self.schedule.fail_nth(stage.index(), n, mode);
+        self
+    }
+
+    /// The fault (if any) this plan injects for invocation `index` of
+    /// `stage`.
+    pub fn decide(&self, stage: StageOp, index: usize) -> Option<StageFaultMode> {
+        self.schedule.decide(stage.index(), index)
+    }
+}
+
+/// Injection counters for one stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageOpFaultStats {
+    /// Invocations intercepted (faulted or not).
+    pub calls: usize,
+    /// Panics injected ([`StageFaultMode::Panic`]).
+    pub panics: usize,
+    /// Clean failures injected ([`StageFaultMode::Fail`]).
+    pub failures: usize,
+    /// Delays injected.
+    pub delays: usize,
+    /// Stalls injected.
+    pub stalls: usize,
+}
+
+/// Per-stage injection counters for a [`StageFaultInjector`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageFaultStats {
+    /// Counters for segmentation.
+    pub segmentation: StageOpFaultStats,
+    /// Counters for profiling.
+    pub profiling: StageOpFaultStats,
+    /// Counters for selection.
+    pub selection: StageOpFaultStats,
+    /// Counters for baking.
+    pub baking: StageOpFaultStats,
+}
+
+impl StageFaultStats {
+    fn op_mut(&mut self, stage: StageOp) -> &mut StageOpFaultStats {
+        match stage {
+            StageOp::Segmentation => &mut self.segmentation,
+            StageOp::Profiling => &mut self.profiling,
+            StageOp::Selection => &mut self.selection,
+            StageOp::Baking => &mut self.baking,
+        }
+    }
+
+    /// Counters for one stage.
+    pub fn op(&self, stage: StageOp) -> StageOpFaultStats {
+        match stage {
+            StageOp::Segmentation => self.segmentation,
+            StageOp::Profiling => self.profiling,
+            StageOp::Selection => self.selection,
+            StageOp::Baking => self.baking,
+        }
+    }
+
+    /// Total faults injected across all stages.
+    pub fn total_injected(&self) -> usize {
+        [self.segmentation, self.profiling, self.selection, self.baking]
+            .iter()
+            .map(|op| op.panics + op.failures + op.delays + op.stalls)
+            .sum()
+    }
+}
+
+/// Applies a [`StageFaultPlan`] at pipeline stage entries, counting
+/// per-stage invocations across the pipeline's lifetime (so a plan
+/// addresses "the 3rd bake" regardless of which request triggers it).
+///
+/// Thread-safe with the same caveat as the store-side injector: under
+/// concurrency the *set* of faulted indices is deterministic, which thread
+/// draws one is not — concurrent tests assert aggregate properties.
+#[derive(Debug, Default)]
+pub struct StageFaultInjector {
+    plan: StageFaultPlan,
+    counts: [AtomicUsize; STAGE_COUNT],
+    stats: Mutex<StageFaultStats>,
+}
+
+impl StageFaultInjector {
+    /// An injector applying `plan`.
+    pub fn new(plan: StageFaultPlan) -> Self {
+        Self { plan, counts: Default::default(), stats: Mutex::new(StageFaultStats::default()) }
+    }
+
+    /// Snapshot of the injection counters.
+    pub fn stats(&self) -> StageFaultStats {
+        *self.stats.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Record one invocation of `stage` and apply the scheduled fault, if
+    /// any: delays sleep here, stalls never return, panics/failures unwind
+    /// with a [`StageFaultPanic`] payload.
+    ///
+    /// # Panics
+    ///
+    /// Deliberately, with a [`StageFaultPanic`] payload, when the plan
+    /// schedules [`StageFaultMode::Panic`] or [`StageFaultMode::Fail`] for
+    /// this invocation.
+    pub fn gate(&self, stage: StageOp) {
+        let index = self.counts[stage.index()].fetch_add(1, Ordering::Relaxed);
+        let mode = self.plan.decide(stage, index);
+        {
+            let mut stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+            let counters = stats.op_mut(stage);
+            counters.calls += 1;
+            match mode {
+                Some(StageFaultMode::Panic) => counters.panics += 1,
+                Some(StageFaultMode::Fail) => counters.failures += 1,
+                Some(StageFaultMode::Delay(_)) => counters.delays += 1,
+                Some(StageFaultMode::Stall) => counters.stalls += 1,
+                None => {}
+            }
+        }
+        match mode {
+            None => {}
+            Some(StageFaultMode::Delay(duration)) => std::thread::sleep(duration),
+            Some(StageFaultMode::Stall) => loop {
+                std::thread::park_timeout(Duration::from_millis(50));
+            },
+            Some(mode @ (StageFaultMode::Panic | StageFaultMode::Fail)) => {
+                std::panic::panic_any(StageFaultPanic {
+                    stage,
+                    index,
+                    clean: mode == StageFaultMode::Fail,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fail_nth_fires_on_exactly_the_scheduled_invocation() {
+        let injector = StageFaultInjector::new(StageFaultPlan::none().fail_nth(
+            StageOp::Profiling,
+            1,
+            StageFaultMode::Panic,
+        ));
+        injector.gate(StageOp::Profiling); // invocation 0 passes
+        injector.gate(StageOp::Segmentation); // other stages unaffected
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            injector.gate(StageOp::Profiling); // invocation 1 fires
+        }))
+        .expect_err("scheduled panic unwinds");
+        let fault = payload.downcast::<StageFaultPanic>().expect("typed payload");
+        assert_eq!(fault.stage, StageOp::Profiling);
+        assert_eq!(fault.index, 1);
+        assert!(!fault.clean);
+        assert!(fault.to_string().contains("profiling panicked"));
+        injector.gate(StageOp::Profiling); // invocation 2 passes again
+        let stats = injector.stats();
+        assert_eq!(stats.profiling.calls, 3);
+        assert_eq!(stats.profiling.panics, 1);
+        assert_eq!(stats.segmentation.calls, 1);
+        assert_eq!(stats.total_injected(), 1);
+    }
+
+    #[test]
+    fn fail_mode_unwinds_with_a_clean_payload_and_delay_only_sleeps() {
+        let injector = StageFaultInjector::new(
+            StageFaultPlan::none().fail_nth(StageOp::Baking, 0, StageFaultMode::Fail).fail_nth(
+                StageOp::Baking,
+                1,
+                StageFaultMode::Delay(Duration::from_millis(1)),
+            ),
+        );
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            injector.gate(StageOp::Baking);
+        }))
+        .expect_err("fail mode unwinds");
+        let fault = payload.downcast::<StageFaultPanic>().expect("typed payload");
+        assert!(fault.clean);
+        assert!(fault.to_string().contains("baking failed"));
+        injector.gate(StageOp::Baking); // the delay returns normally
+        assert_eq!(injector.stats().op(StageOp::Baking).delays, 1);
+        assert_eq!(injector.stats().op(StageOp::Baking).failures, 1);
+    }
+
+    #[test]
+    fn seeded_noise_replays_identically() {
+        let plan = StageFaultPlan::none().with_seed(42).with_noise(
+            StageOp::Selection,
+            30,
+            StageFaultMode::Fail,
+        );
+        let a: Vec<bool> = (0..100).map(|i| plan.decide(StageOp::Selection, i).is_some()).collect();
+        let b: Vec<bool> = (0..100).map(|i| plan.decide(StageOp::Selection, i).is_some()).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        let fired = a.iter().filter(|hit| **hit).count();
+        assert!((10..=50).contains(&fired), "~30% of 100 invocations, got {fired}");
+        assert!(
+            (0..100).all(|i| plan.decide(StageOp::Baking, i).is_none()),
+            "noise rates are per-stage"
+        );
+    }
+}

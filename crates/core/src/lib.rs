@@ -60,19 +60,25 @@
 #![warn(rust_2018_idioms)]
 
 pub mod baselines;
+pub mod clock;
 pub mod evaluation;
 pub mod experiments;
+pub mod fault;
 pub mod pipeline;
 pub mod report;
 pub mod service;
 
 pub use baselines::{BaselineMethod, BaselineResult};
+pub use clock::{Clock, TestClock, WallClock};
 pub use evaluation::{evaluate_deployment, DeploymentEvaluation};
+pub use fault::{
+    StageFaultInjector, StageFaultMode, StageFaultPanic, StageFaultPlan, StageFaultStats, StageOp,
+};
 pub use pipeline::{
     FleetDeployment, FleetStageRuns, NerflexDeployment, NerflexPipeline, PipelineError,
     PipelineOptions, StageTimings,
 };
 pub use service::{
-    CompletedDeploy, DeployOutcome, DeployRequest, DeployService, DeployTicket, ServiceOptions,
-    ServiceStats,
+    CompletedDeploy, DeployOutcome, DeployRequest, DeployService, DeployTicket, DrainPolicy,
+    ServiceOptions, ServiceStats,
 };

@@ -23,6 +23,7 @@
 //!   and only selection plus incremental baking run per device budget, with
 //!   all bakes shared through one cache.
 
+use crate::fault::{StageFaultInjector, StageOp};
 use crate::report::format_duration;
 use nerflex_bake::{BakeCache, BakeConfig, BakedAsset, CacheStats, StoreLimits, StoreOptions};
 use nerflex_device::{DeviceSpec, Workload};
@@ -75,6 +76,48 @@ pub enum PipelineError {
         /// Human-readable description of the fault.
         message: String,
     },
+    /// A compute stage crashed or failed mid-build (a
+    /// [`crate::fault::StageFaultPanic`] unwound out of segmentation,
+    /// profiling, selection, or baking). Like [`PipelineError::Store`],
+    /// this fails exactly one request, never the service.
+    Stage {
+        /// The stage that failed (`"segmentation"`, `"profiling"`,
+        /// `"selection"`, `"baking"`).
+        stage: &'static str,
+        /// Human-readable description of the failure.
+        message: String,
+    },
+    /// The request's deadline had passed — at admission, or at a stage
+    /// boundary while the request was in flight. The work already done for
+    /// a coalesced sibling is kept; only this request's outcome is dropped.
+    DeadlineExceeded {
+        /// The deadline, in service-clock ticks.
+        deadline: u64,
+        /// The clock reading that exceeded it.
+        now: u64,
+    },
+    /// The request was cancelled via
+    /// [`crate::service::DeployService::cancel`] — removed from the queue,
+    /// or stopped at the next stage boundary while in flight.
+    Cancelled,
+    /// Admission (or a queued request) was shed because the service's
+    /// bounded queue was full ([`crate::service::ServiceOptions::with_queue_limit`]),
+    /// the service was draining with a shedding policy, or the service shut
+    /// down with work still queued.
+    Overloaded {
+        /// Queue depth at the moment the request was shed.
+        queue_depth: usize,
+    },
+    /// The service's stall watchdog gave up on this request: its executor
+    /// made no observable progress for the configured number of virtual
+    /// ticks ([`crate::service::ServiceOptions::with_watchdog_ticks`]).
+    Stalled {
+        /// Ticks without progress when the watchdog fired.
+        idle_ticks: u64,
+    },
+    /// The request was refused because the service is draining or shut
+    /// down — admission is closed.
+    Draining,
 }
 
 impl std::fmt::Display for PipelineError {
@@ -89,6 +132,20 @@ impl std::fmt::Display for PipelineError {
             Self::Store { entry, message } => {
                 write!(f, "store fault on entry {entry:?}: {message}")
             }
+            Self::Stage { stage, message } => {
+                write!(f, "stage fault in {stage}: {message}")
+            }
+            Self::DeadlineExceeded { deadline, now } => {
+                write!(f, "deadline exceeded: tick {now} is past deadline {deadline}")
+            }
+            Self::Cancelled => write!(f, "request cancelled"),
+            Self::Overloaded { queue_depth } => {
+                write!(f, "service overloaded: request shed at queue depth {queue_depth}")
+            }
+            Self::Stalled { idle_ticks } => {
+                write!(f, "executor stalled: no progress for {idle_ticks} ticks (watchdog)")
+            }
+            Self::Draining => write!(f, "service is draining; admission is closed"),
         }
     }
 }
@@ -145,6 +202,13 @@ pub struct PipelineOptions {
     /// dispatch counters. Scheduling never changes output bits (see
     /// `docs/pool.md`).
     pub pool: &'static WorkerPool,
+    /// Deterministic compute-stage fault injection
+    /// ([`crate::fault::StageFaultInjector`]): when set, every stage entry
+    /// (segmentation, profiling, selection, baking) is gated through the
+    /// injector's seeded schedule. `None` (the default) costs nothing on
+    /// the stage paths. Chaos tests hold the injector `Arc` to assert on
+    /// its counters.
+    pub stage_faults: Option<Arc<StageFaultInjector>>,
 }
 
 impl std::fmt::Debug for PipelineOptions {
@@ -157,6 +221,7 @@ impl std::fmt::Debug for PipelineOptions {
             .field("worker_threads", &self.worker_threads)
             .field("store", &self.store)
             .field("pool_threads", &self.pool.threads())
+            .field("stage_faults", &self.stage_faults)
             .finish()
     }
 }
@@ -172,6 +237,7 @@ impl Default for PipelineOptions {
             worker_threads: 0,
             store: StoreOptions::default(),
             pool: WorkerPool::shared(),
+            stage_faults: None,
         }
     }
 }
@@ -261,6 +327,23 @@ impl PipelineOptions {
     /// (see [`PipelineOptions::store`]).
     pub fn with_cache_limits(mut self, limits: StoreLimits) -> Self {
         self.store.limits = limits;
+        self
+    }
+
+    /// Gates every stage entry through a deterministic
+    /// [`StageFaultPlan`](crate::fault::StageFaultPlan) (see
+    /// [`PipelineOptions::stage_faults`]). Sugar over
+    /// [`PipelineOptions::with_stage_fault_injector`] for callers that do
+    /// not need to hold the injector.
+    pub fn with_stage_faults(self, plan: crate::fault::StageFaultPlan) -> Self {
+        self.with_stage_fault_injector(Arc::new(StageFaultInjector::new(plan)))
+    }
+
+    /// Installs a pre-built stage-fault injector, letting the caller keep
+    /// the `Arc` to read [`StageFaultInjector::stats`] afterwards (see
+    /// [`PipelineOptions::stage_faults`]).
+    pub fn with_stage_fault_injector(mut self, injector: Arc<StageFaultInjector>) -> Self {
+        self.stage_faults = Some(injector);
         self
     }
 }
@@ -535,7 +618,16 @@ impl NerflexPipeline {
     }
 
     /// Stage 1: detail-based segmentation.
+    /// Applies the configured stage-fault injector (if any) at one stage
+    /// entry. With no injector this is a branch on a resident `Option`.
+    fn stage_gate(&self, stage: StageOp) {
+        if let Some(injector) = &self.options.stage_faults {
+            injector.gate(stage);
+        }
+    }
+
     fn stage_segmentation(&self, dataset: &Dataset) -> (SegmentationResult, Duration) {
+        self.stage_gate(StageOp::Segmentation);
         let t = Instant::now();
         let segmentation = segment(dataset, &self.options.segmentation);
         (segmentation, t.elapsed())
@@ -581,6 +673,7 @@ impl NerflexPipeline {
         cache: &BakeCache,
         ground_truth: &GroundTruthCache,
     ) -> (Vec<ObjectProfile>, SharedStages) {
+        self.stage_gate(StageOp::Profiling);
         let t = Instant::now();
         let workers = self.workers_for(scene.len());
         let sample_workers = (self.configured_workers() / workers).max(1);
@@ -646,6 +739,7 @@ impl NerflexPipeline {
         profiles: &[ObjectProfile],
         budget_mb: f64,
     ) -> (SelectionOutcome, Duration) {
+        self.stage_gate(StageOp::Selection);
         let t = Instant::now();
         let problem = SelectionProblem::from_profiles(profiles, &self.options.space, budget_mb);
         let selection = self.options.selector.select(&problem);
@@ -662,6 +756,7 @@ impl NerflexPipeline {
         selection: &SelectionOutcome,
         cache: &BakeCache,
     ) -> (Vec<BakedAsset>, Duration, CacheStats, usize) {
+        self.stage_gate(StageOp::Baking);
         let t = Instant::now();
         let before = cache.stats();
         let workers = self.workers_for(scene.len());
@@ -1258,7 +1353,8 @@ mod tests {
             .with_selector(Arc::clone(&default.selector))
             .with_worker_threads(default.worker_threads)
             .with_store(default.store.clone())
-            .with_pool(default.pool);
+            .with_pool(default.pool)
+            .with_stage_faults(crate::fault::StageFaultPlan::none());
         assert_eq!(rebuilt.profiler.range, default.profiler.range);
         assert_eq!(rebuilt.space.configurations().len(), default.space.configurations().len());
         assert_eq!(rebuilt.worker_threads, default.worker_threads);

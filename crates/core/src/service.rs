@@ -30,14 +30,28 @@
 //!   fails only its own request — a failed [`DeployOutcome`] counted in
 //!   [`ServiceStats::failed`] — never the service. `docs/faults.md` states
 //!   the full resilience contract.
+//! * **Request lifecycle** — per-request deadlines in virtual clock ticks
+//!   ([`DeployRequest::with_deadline`], [`crate::clock::Clock`]),
+//!   cooperative cancellation ([`DeployService::cancel`]), bounded
+//!   admission with deterministic load shedding
+//!   ([`ServiceOptions::with_queue_limit`]), graceful drain
+//!   ([`DeployService::drain`] closes admission, settles every ticket and
+//!   flushes the stores), and a stall watchdog
+//!   ([`ServiceOptions::with_watchdog_ticks`]) that converts a hung
+//!   executor into a failed outcome instead of a hung consumer. Compute
+//!   stages can be fault-injected deterministically through
+//!   [`PipelineOptions::with_stage_faults`]. `docs/service.md` states the
+//!   lifecycle state machine.
 //!
 //! **Determinism:** given the same request set, the deployments (assets,
 //! selections, `deployment_fingerprint`s) are bit-identical regardless of
 //! admission order, executor count, worker count, or which request happened
-//! to pay for a coalesced computation. Only the diagnostics (timings, who
-//! hit vs who built) depend on scheduling. `docs/service.md` states the
-//! full contract.
+//! to pay for a coalesced computation. Deadlines, cancellation and shedding
+//! decide *whether* a request completes, never what a completing request
+//! computes. Only the diagnostics (timings, who hit vs who built) depend on
+//! scheduling. `docs/service.md` states the full contract.
 
+use crate::clock::{Clock, WallClock};
 use crate::pipeline::{
     NerflexDeployment, NerflexPipeline, PipelineError, PipelineOptions, SharedStages,
 };
@@ -51,9 +65,10 @@ use nerflex_seg::SegmentationResult;
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 // ---------------------------------------------------------------------------
 // Requests and tickets
@@ -88,6 +103,7 @@ pub struct DeployRequest {
     device: DeviceSpec,
     budget_override_mb: Option<f64>,
     priority: i32,
+    deadline: Option<u64>,
 }
 
 impl DeployRequest {
@@ -106,6 +122,7 @@ impl DeployRequest {
             device,
             budget_override_mb: None,
             priority: 0,
+            deadline: None,
         }
     }
 
@@ -120,6 +137,18 @@ impl DeployRequest {
     /// Sets the scheduling priority (higher pops first; default 0).
     pub fn with_priority(mut self, priority: i32) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Sets an absolute deadline in ticks of the service's
+    /// [`Clock`](crate::clock::Clock) ([`ServiceOptions::with_clock`]).
+    /// A request whose deadline has already passed at admission settles
+    /// immediately as a failed outcome; a request whose deadline passes
+    /// mid-flight aborts at the next pipeline stage boundary. Either way the
+    /// outcome is [`PipelineError::DeadlineExceeded`], counted in
+    /// [`ServiceStats::deadline_exceeded`].
+    pub fn with_deadline(mut self, deadline_ticks: u64) -> Self {
+        self.deadline = Some(deadline_ticks);
         self
     }
 
@@ -146,6 +175,11 @@ impl DeployRequest {
     /// The scheduling priority.
     pub fn priority(&self) -> i32 {
         self.priority
+    }
+
+    /// The absolute deadline in clock ticks, when set.
+    pub fn deadline(&self) -> Option<u64> {
+        self.deadline
     }
 }
 
@@ -253,6 +287,18 @@ pub struct ServiceStats {
     /// Store-level dedup: ground-truth lookups that waited on another
     /// lookup's in-flight render.
     pub ground_truth_coalesced: usize,
+    /// Requests cancelled by [`DeployService::cancel`] — removed from the
+    /// queue outright or aborted at a stage boundary mid-flight.
+    pub cancelled: u64,
+    /// Requests that missed their [`DeployRequest::with_deadline`] — already
+    /// expired at admission or aborted at a stage boundary.
+    pub deadline_exceeded: u64,
+    /// Requests shed by bounded admission ([`ServiceOptions::with_queue_limit`]),
+    /// by a shedding drain, or by shutdown with work still queued.
+    pub shed: u64,
+    /// In-flight requests the stall watchdog gave up on
+    /// ([`ServiceOptions::with_watchdog_ticks`]).
+    pub watchdog_trips: u64,
 }
 
 impl std::fmt::Display for ServiceStats {
@@ -260,7 +306,8 @@ impl std::fmt::Display for ServiceStats {
         write!(
             f,
             "{} admitted / {} completed ({} coalesced onto {} shared-stage runs), {} queued, \
-             {} in flight, store dedup {} bakes / {} ground truths, {} failed, {} rejected",
+             {} in flight, store dedup {} bakes / {} ground truths, {} failed, {} rejected, \
+             {} cancelled, {} past deadline, {} shed, {} watchdog trips",
             self.admitted,
             self.completed,
             self.coalesced,
@@ -271,8 +318,25 @@ impl std::fmt::Display for ServiceStats {
             self.ground_truth_coalesced,
             self.failed,
             self.rejected,
+            self.cancelled,
+            self.deadline_exceeded,
+            self.shed,
+            self.watchdog_trips,
         )
     }
+}
+
+/// What [`DeployService::drain`] does with requests still queued when the
+/// drain starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DrainPolicy {
+    /// Finish everything already admitted before shutting down (default).
+    #[default]
+    Finish,
+    /// Shed everything still queued — each sheds as a
+    /// [`PipelineError::Overloaded`] outcome — and only finish what is
+    /// already in flight.
+    Shed,
 }
 
 /// How to run a [`DeployService`].
@@ -288,17 +352,79 @@ pub struct ServiceOptions {
     /// Inline mode with one caller is the bit-for-bit sequential reference
     /// path (and what [`NerflexPipeline::try_deploy_fleet`] uses).
     pub executors: usize,
+    /// Bounded admission: maximum queued (admitted, unclaimed) requests.
+    /// `None` (default) is unbounded. When a submit would exceed the limit
+    /// the lowest-priority-newest request is shed — see
+    /// [`ServiceOptions::with_queue_limit`].
+    pub queue_limit: Option<usize>,
+    /// What [`DeployService::drain`] does with still-queued requests.
+    pub drain_policy: DrainPolicy,
+    /// Stall watchdog: an in-flight request that makes no progress for this
+    /// many clock ticks is given up on — see
+    /// [`ServiceOptions::with_watchdog_ticks`]. `None` (default) disables
+    /// the watchdog.
+    pub watchdog_ticks: Option<u64>,
+    /// The virtual clock deadlines and the watchdog are measured against.
+    /// `None` (default) uses a [`WallClock`] started with the service.
+    pub clock: Option<Arc<dyn Clock>>,
 }
 
 impl ServiceOptions {
     /// Inline mode (no executor threads) over the given engine options.
     pub fn inline(pipeline: PipelineOptions) -> Self {
-        Self { pipeline, executors: 0 }
+        Self {
+            pipeline,
+            executors: 0,
+            queue_limit: None,
+            drain_policy: DrainPolicy::Finish,
+            watchdog_ticks: None,
+            clock: None,
+        }
     }
 
     /// Returns the options with `executors` background executor threads.
     pub fn with_executors(mut self, executors: usize) -> Self {
         self.executors = executors;
+        self
+    }
+
+    /// Bounds the queue to `limit` admitted-but-unclaimed requests. When a
+    /// submit finds the queue full, the lowest-priority request is shed —
+    /// newest first among equals, so older work of the same priority keeps
+    /// its place. If the incoming request itself is the lowest-priority-
+    /// newest, [`DeployService::submit`] returns
+    /// [`PipelineError::Overloaded`] and no ticket is issued; otherwise a
+    /// queued victim settles as an `Overloaded` outcome and the incoming
+    /// request takes its place. Shedding is deterministic: it depends only
+    /// on queue contents, never on timing.
+    pub fn with_queue_limit(mut self, limit: usize) -> Self {
+        self.queue_limit = Some(limit);
+        self
+    }
+
+    /// Sets what [`DeployService::drain`] does with still-queued requests.
+    pub fn with_drain_policy(mut self, policy: DrainPolicy) -> Self {
+        self.drain_policy = policy;
+        self
+    }
+
+    /// Enables the stall watchdog: an in-flight request with no progress
+    /// (admission, stage boundary, shared-stage completion) for `ticks`
+    /// clock ticks settles as a [`PipelineError::Stalled`] outcome, so a
+    /// hung executor becomes a failed request instead of a hung consumer.
+    /// The watchdog runs on consumer threads ([`DeployService::next_outcome`]),
+    /// so it needs executor threads to be useful: in inline mode the consumer
+    /// *is* the (potentially stalled) processor.
+    pub fn with_watchdog_ticks(mut self, ticks: u64) -> Self {
+        self.watchdog_ticks = Some(ticks);
+        self
+    }
+
+    /// Pins the service to an explicit clock (e.g. a
+    /// [`TestClock`](crate::clock::TestClock) for deterministic deadline
+    /// tests). Defaults to a [`WallClock`] started with the service.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = Some(clock);
         self
     }
 }
@@ -356,11 +482,31 @@ struct Queued {
     request: DeployRequest,
 }
 
+/// Lifecycle flags for one claimed (in-flight) request, shared between the
+/// processing thread and [`DeployService::cancel`] / the watchdog.
+struct InFlightState {
+    ticket: DeployTicket,
+    /// Set by `cancel`; observed cooperatively at stage boundaries.
+    cancelled: AtomicBool,
+    /// Clock tick of the last observed progress (claim, stage boundary,
+    /// shared-stage handoff). The watchdog measures staleness against this.
+    last_progress: AtomicU64,
+    /// Set by the watchdog when it gives up on this request. The processing
+    /// thread, should it ever finish, discards its outcome — the consumer
+    /// already received a [`PipelineError::Stalled`] one.
+    tripped: AtomicBool,
+}
+
 /// Queue + completion state behind one mutex.
 struct QueueState {
     queued: Vec<Queued>,
     completed: VecDeque<DeployOutcome>,
     in_flight: usize,
+    /// id → lifecycle flags for every claimed request.
+    inflight: HashMap<u64, Arc<InFlightState>>,
+    /// Admission closed by `drain`; submits fail with
+    /// [`PipelineError::Draining`].
+    draining: bool,
     shutdown: bool,
 }
 
@@ -386,18 +532,39 @@ struct ServiceShared {
     failed: AtomicU64,
     coalesced: AtomicU64,
     shared_stage_runs: AtomicUsize,
+    cancelled: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    shed: AtomicU64,
+    watchdog_trips: AtomicU64,
+    /// Virtual time source for deadlines and the watchdog.
+    clock: Arc<dyn Clock>,
+    queue_limit: Option<usize>,
+    drain_policy: DrainPolicy,
+    watchdog_ticks: Option<u64>,
 }
 
 /// Classifies an unwound request panic: a typed store-fault payload
 /// ([`nerflex_bake::StoreFaultPanic`] — preserved verbatim even through the
-/// worker pool's panic re-raise) becomes a [`PipelineError::Store`] carried
-/// in a failed outcome, so one broken store entry cannot take down the
-/// service or the rest of a burst. Any other payload is handed back for
-/// re-raising — an unknown panic is a bug, not a fault to absorb.
+/// worker pool's panic re-raise) becomes a [`PipelineError::Store`], and a
+/// typed stage-fault payload ([`crate::fault::StageFaultPanic`], thrown by a
+/// [`crate::fault::StageFaultInjector`] gate) becomes a
+/// [`PipelineError::Stage`] — either way a failed outcome, so one broken
+/// entry or injected stage fault cannot take down the service or the rest of
+/// a burst. Any other payload is handed back for re-raising — an unknown
+/// panic is a bug, not a fault to absorb.
 fn classify_panic(payload: Box<dyn Any + Send>) -> Result<PipelineError, Box<dyn Any + Send>> {
-    match payload.downcast::<nerflex_bake::StoreFaultPanic>() {
+    let payload = match payload.downcast::<nerflex_bake::StoreFaultPanic>() {
         Ok(fault) => {
-            Ok(PipelineError::Store { entry: fault.name.clone(), message: fault.to_string() })
+            return Ok(PipelineError::Store {
+                entry: fault.name.clone(),
+                message: fault.to_string(),
+            })
+        }
+        Err(payload) => payload,
+    };
+    match payload.downcast::<crate::fault::StageFaultPanic>() {
+        Ok(fault) => {
+            Ok(PipelineError::Stage { stage: fault.stage.name(), message: fault.to_string() })
         }
         Err(payload) => Err(payload),
     }
@@ -423,9 +590,72 @@ impl ServiceShared {
         Some(q.queued.remove(best))
     }
 
+    /// Claims the best queued request: registers its lifecycle flags and
+    /// counts it in flight. Caller holds the queue lock.
+    fn claim(&self, q: &mut QueueState) -> Option<(Queued, Arc<InFlightState>)> {
+        let job = self.pop_best(q)?;
+        q.in_flight += 1;
+        let flight = Arc::new(InFlightState {
+            ticket: job.ticket,
+            cancelled: AtomicBool::new(false),
+            last_progress: AtomicU64::new(self.clock.now_ticks()),
+            tripped: AtomicBool::new(false),
+        });
+        q.inflight.insert(job.ticket.id, Arc::clone(&flight));
+        Some((job, flight))
+    }
+
+    /// `true` when the request's deadline (if any) has passed.
+    fn deadline_passed(&self, job: &Queued) -> bool {
+        job.request.deadline.is_some_and(|deadline| self.clock.now_ticks() >= deadline)
+    }
+
+    /// The cooperative lifecycle gate, checked at every stage boundary:
+    /// cancellation wins over deadline, and passing the gate records
+    /// progress for the watchdog.
+    fn lifecycle_check(&self, job: &Queued, flight: &InFlightState) -> Result<(), PipelineError> {
+        if flight.cancelled.load(Ordering::Relaxed) {
+            return Err(PipelineError::Cancelled);
+        }
+        let now = self.clock.now_ticks();
+        if let Some(deadline) = job.request.deadline {
+            if now >= deadline {
+                return Err(PipelineError::DeadlineExceeded { deadline, now });
+            }
+        }
+        flight.last_progress.store(now, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Builds a lifecycle-failure outcome and bumps the matching counter.
+    fn lifecycle_outcome(&self, ticket: DeployTicket, error: PipelineError) -> DeployOutcome {
+        match &error {
+            PipelineError::Cancelled => {
+                self.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            PipelineError::DeadlineExceeded { .. } => {
+                self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        DeployOutcome { ticket, result: Err(error) }
+    }
+
     /// Runs (or reuses) the shared stages for one scene key. Returns the
-    /// outputs plus whether this request coalesced onto another's run.
-    fn acquire_stages(&self, job: &Queued) -> (SharedOutputs, bool) {
+    /// outputs plus whether this request coalesced onto another's run, or a
+    /// lifecycle error if the request was cancelled / missed its deadline
+    /// while waiting.
+    ///
+    /// Lifecycle aborts leave the cell in a consistent state: a *waiter*
+    /// that gives up never touched the cell, so the builder (and every
+    /// other waiter) is unaffected; a *claimant* that aborts before
+    /// building rolls the cell back to Idle and wakes the waiters so one of
+    /// them re-claims, exactly like the panic path.
+    fn acquire_stages(
+        &self,
+        job: &Queued,
+        flight: &InFlightState,
+    ) -> Result<(SharedOutputs, bool), PipelineError> {
         let cell = {
             let mut stages = self.stages.lock().expect("stage map poisoned");
             Arc::clone(
@@ -433,10 +663,11 @@ impl ServiceShared {
             )
         };
         loop {
+            self.lifecycle_check(job, flight)?;
             {
                 let mut state = cell.state.lock().expect("stage cell poisoned");
                 match &*state {
-                    StageState::Ready(outputs) => return (outputs.clone(), true),
+                    StageState::Ready(outputs) => return Ok((outputs.clone(), true)),
                     StageState::Idle => {
                         *state = StageState::Building;
                         break;
@@ -448,14 +679,31 @@ impl ServiceShared {
             // instead of sleeping (WorkerPool::wait_until), then re-check.
             // The builder never waits on this request in return, so the
             // wait hierarchy (stage cell → store entries → pool batches) is
-            // acyclic and cannot deadlock.
+            // acyclic and cannot deadlock. Cancellation and deadlines are
+            // part of the predicate so an abandoned waiter leaves promptly
+            // — without touching the cell.
             self.pool().wait_until(|| {
-                !matches!(*cell.state.lock().expect("stage cell poisoned"), StageState::Building)
+                flight.cancelled.load(Ordering::Relaxed)
+                    || self.deadline_passed(job)
+                    || !matches!(
+                        *cell.state.lock().expect("stage cell poisoned"),
+                        StageState::Building
+                    )
             });
         }
 
-        // This request claimed the build. A panic rolls the cell back to
-        // Idle and wakes the waiters so one of them re-claims.
+        // This request claimed the build. Re-check the lifecycle gate first:
+        // aborting here must roll the cell back so a coalesced waiter
+        // re-claims instead of waiting forever on a build nobody is running.
+        if let Err(error) = self.lifecycle_check(job, flight) {
+            let mut state = cell.state.lock().expect("stage cell poisoned");
+            *state = StageState::Idle;
+            drop(state);
+            cell.cond.notify_all();
+            return Err(error);
+        }
+        // A panic likewise rolls the cell back to Idle and wakes the
+        // waiters so one of them re-claims.
         let built = catch_unwind(AssertUnwindSafe(|| {
             self.pipeline.shared_stages_with(
                 &job.request.scene,
@@ -472,7 +720,7 @@ impl ServiceShared {
                 drop(state);
                 cell.cond.notify_all();
                 self.shared_stage_runs.fetch_add(1, Ordering::Relaxed);
-                (outputs, false)
+                Ok((outputs, false))
             }
             Err(payload) => {
                 *state = StageState::Idle;
@@ -483,9 +731,19 @@ impl ServiceShared {
         }
     }
 
-    /// Processes one claimed request end to end.
-    fn process(&self, job: &Queued) -> DeployOutcome {
-        let (outputs, coalesced) = self.acquire_stages(job);
+    /// Processes one claimed request end to end, observing the cooperative
+    /// lifecycle gates at stage boundaries.
+    fn process(&self, job: &Queued, flight: &InFlightState) -> DeployOutcome {
+        if let Err(error) = self.lifecycle_check(job, flight) {
+            return self.lifecycle_outcome(job.ticket, error);
+        }
+        let (outputs, coalesced) = match self.acquire_stages(job, flight) {
+            Ok(acquired) => acquired,
+            Err(error) => return self.lifecycle_outcome(job.ticket, error),
+        };
+        if let Err(error) = self.lifecycle_check(job, flight) {
+            return self.lifecycle_outcome(job.ticket, error);
+        }
         let budget_mb = self
             .pipeline
             .resolve_budget_mb(job.request.budget_override_mb, &job.request.device)
@@ -514,25 +772,99 @@ impl ServiceShared {
         self.pipeline.options().pool
     }
 
+    /// Sheds every queued request as an [`PipelineError::Overloaded`]
+    /// outcome. Caller holds the queue lock and must notify `done`.
+    fn shed_queued(&self, q: &mut QueueState) {
+        let depth = q.queued.len();
+        for job in q.queued.drain(..) {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            q.completed.push_back(DeployOutcome {
+                ticket: job.ticket,
+                result: Err(PipelineError::Overloaded { queue_depth: depth }),
+            });
+        }
+    }
+
+    /// Watchdog sweep (no-op unless [`ServiceOptions::with_watchdog_ticks`]
+    /// is set): any in-flight request whose `last_progress` is at least the
+    /// configured number of ticks stale is given up on — its slot is
+    /// released and a [`PipelineError::Stalled`] outcome settles its ticket,
+    /// so the consumer is never hung on a stalled executor. The stalled
+    /// thread itself is left alone; if it ever finishes, `finish_job`
+    /// discards its outcome.
+    fn watchdog_scan(&self) {
+        let Some(limit) = self.watchdog_ticks else { return };
+        let now = self.clock.now_ticks();
+        let mut q = self.queue.lock().expect("service queue poisoned");
+        let mut tripped_any = false;
+        let stalled: Vec<Arc<InFlightState>> = q
+            .inflight
+            .values()
+            .filter(|flight| {
+                !flight.tripped.load(Ordering::Relaxed)
+                    && now.saturating_sub(flight.last_progress.load(Ordering::Relaxed)) >= limit
+            })
+            .map(Arc::clone)
+            .collect();
+        for flight in stalled {
+            flight.tripped.store(true, Ordering::Relaxed);
+            let idle_ticks = now.saturating_sub(flight.last_progress.load(Ordering::Relaxed));
+            q.in_flight -= 1;
+            self.watchdog_trips.fetch_add(1, Ordering::Relaxed);
+            q.completed.push_back(DeployOutcome {
+                ticket: flight.ticket,
+                result: Err(PipelineError::Stalled { idle_ticks }),
+            });
+            tripped_any = true;
+        }
+        drop(q);
+        if tripped_any {
+            self.done.notify_all();
+        }
+    }
+
+    /// Settles a finished job: unregisters its lifecycle flags and, unless
+    /// the watchdog already gave up on it, releases its in-flight slot and
+    /// publishes the outcome. Returns the outcome if it should be surfaced.
+    fn finish_job(
+        &self,
+        job: &Queued,
+        flight: &InFlightState,
+        outcome: Result<DeployOutcome, Box<dyn Any + Send>>,
+    ) -> Option<Result<DeployOutcome, Box<dyn Any + Send>>> {
+        let mut q = self.queue.lock().expect("service queue poisoned");
+        q.inflight.remove(&job.ticket.id);
+        if flight.tripped.load(Ordering::Relaxed) {
+            // The watchdog already settled this ticket with a Stalled
+            // outcome and released the slot; this late result is dropped so
+            // the consumer never sees two outcomes for one ticket.
+            drop(q);
+            self.done.notify_all();
+            return None;
+        }
+        q.in_flight -= 1;
+        drop(q);
+        Some(outcome)
+    }
+
     /// Executor thread body: claim → process → publish, until shutdown.
     fn executor_loop(&self) {
         loop {
-            let job = {
+            let (job, flight) = {
                 let mut q = self.queue.lock().expect("service queue poisoned");
                 loop {
                     if q.shutdown {
                         return;
                     }
-                    if let Some(job) = self.pop_best(&mut q) {
-                        q.in_flight += 1;
-                        break job;
+                    if let Some(claimed) = self.claim(&mut q) {
+                        break claimed;
                     }
                     q = self.work.wait(q).expect("service queue poisoned");
                 }
             };
-            let outcome = catch_unwind(AssertUnwindSafe(|| self.process(&job)));
+            let outcome = catch_unwind(AssertUnwindSafe(|| self.process(&job, &flight)));
+            let Some(outcome) = self.finish_job(&job, &flight, outcome) else { continue };
             let mut q = self.queue.lock().expect("service queue poisoned");
-            q.in_flight -= 1;
             match outcome {
                 Ok(outcome) => q.completed.push_back(outcome),
                 Err(payload) => match classify_panic(payload) {
@@ -687,6 +1019,8 @@ impl DeployService {
                 queued: Vec::new(),
                 completed: VecDeque::new(),
                 in_flight: 0,
+                inflight: HashMap::new(),
+                draining: false,
                 shutdown: false,
             }),
             work: Condvar::new(),
@@ -700,6 +1034,14 @@ impl DeployService {
             failed: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             shared_stage_runs: AtomicUsize::new(0),
+            cancelled: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            watchdog_trips: AtomicU64::new(0),
+            clock: options.clock.unwrap_or_else(|| Arc::new(WallClock::new())),
+            queue_limit: options.queue_limit,
+            drain_policy: options.drain_policy,
+            watchdog_ticks: options.watchdog_ticks,
         });
         let handles = (0..options.executors)
             .map(|_| {
@@ -713,11 +1055,21 @@ impl DeployService {
     /// Admits one request, returning its ticket. Validation happens here —
     /// a bad request is rejected as a value and the service keeps running.
     ///
+    /// A request whose [`DeployRequest::with_deadline`] has already passed
+    /// is admitted but settles immediately as a
+    /// [`PipelineError::DeadlineExceeded`] outcome: its ticket still gets
+    /// exactly one outcome, it just never runs.
+    ///
     /// # Errors
     ///
     /// [`PipelineError::EmptyScene`] / [`PipelineError::EmptyDataset`] for
     /// empty inputs, [`PipelineError::InvalidBudget`] for a budget override
-    /// that is not positive and finite.
+    /// that is not positive and finite, [`PipelineError::Draining`] after
+    /// [`DeployService::drain`] or [`DeployService::shutdown`] closed
+    /// admission, and [`PipelineError::Overloaded`] when the queue is at its
+    /// [`ServiceOptions::with_queue_limit`] and the incoming request itself
+    /// is the lowest-priority-newest (no ticket is issued — the request was
+    /// never admitted).
     pub fn submit(&self, request: DeployRequest) -> Result<DeployTicket, PipelineError> {
         if let Err(err) = NerflexPipeline::validate_inputs(&request.scene, &request.dataset)
             .and_then(|()| {
@@ -730,23 +1082,115 @@ impl DeployService {
             self.shared.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(err);
         }
-        let ticket = DeployTicket {
-            id: self.shared.next_ticket.fetch_add(1, Ordering::Relaxed),
-            scene_key: scene_content_key(&request.scene, &request.dataset),
-        };
-        {
-            let mut q = self.shared.queue.lock().expect("service queue poisoned");
-            q.queued.push(Queued { ticket, request });
+        let scene_key = scene_content_key(&request.scene, &request.dataset);
+        let mut q = self.shared.queue.lock().expect("service queue poisoned");
+        if q.draining || q.shutdown {
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(PipelineError::Draining);
         }
+        // Reject-on-admission for an already-expired deadline: settle the
+        // ticket right away instead of queueing doomed work. An expired
+        // request never occupies a queue slot, so this precedes the
+        // bounded-admission check.
+        let now = self.shared.clock.now_ticks();
+        if let Some(deadline) = request.deadline.filter(|&deadline| now >= deadline) {
+            let ticket = DeployTicket {
+                id: self.shared.next_ticket.fetch_add(1, Ordering::Relaxed),
+                scene_key,
+            };
+            self.shared.admitted.fetch_add(1, Ordering::Relaxed);
+            let outcome = self
+                .shared
+                .lifecycle_outcome(ticket, PipelineError::DeadlineExceeded { deadline, now });
+            q.completed.push_back(outcome);
+            drop(q);
+            self.shared.done.notify_all();
+            return Ok(ticket);
+        }
+        // Bounded admission: at the limit, shed the lowest-priority request
+        // — newest first among equals. The incoming request (newest of all)
+        // loses that comparison unless it outranks a queued victim.
+        if let Some(limit) = self.shared.queue_limit {
+            if q.queued.len() >= limit {
+                let depth = q.queued.len();
+                let victim = q
+                    .queued
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, job)| (job.request.priority, std::cmp::Reverse(job.ticket.id)))
+                    .map(|(idx, job)| (idx, job.request.priority));
+                match victim {
+                    // `<=`: on equal priority the incoming request is the
+                    // newer one, so it is the victim.
+                    Some((_, victim_priority)) if request.priority <= victim_priority => {
+                        self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                        return Err(PipelineError::Overloaded { queue_depth: depth });
+                    }
+                    Some((idx, _)) => {
+                        let shed_job = q.queued.remove(idx);
+                        self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                        q.completed.push_back(DeployOutcome {
+                            ticket: shed_job.ticket,
+                            result: Err(PipelineError::Overloaded { queue_depth: depth }),
+                        });
+                    }
+                    // A zero-length limit with an empty queue: the incoming
+                    // request is the only candidate, so it is the victim.
+                    None => {
+                        self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                        return Err(PipelineError::Overloaded { queue_depth: depth });
+                    }
+                }
+            }
+        }
+        let ticket =
+            DeployTicket { id: self.shared.next_ticket.fetch_add(1, Ordering::Relaxed), scene_key };
         self.shared.admitted.fetch_add(1, Ordering::Relaxed);
+        q.queued.push(Queued { ticket, request });
+        drop(q);
         self.shared.work.notify_all();
+        self.shared.done.notify_all();
         Ok(ticket)
+    }
+
+    /// Cancels one admitted request. Returns `true` when the cancellation
+    /// took hold:
+    ///
+    /// * **Queued** — removed outright; its ticket settles immediately as a
+    ///   [`PipelineError::Cancelled`] outcome.
+    /// * **In flight** — the cooperative cancel flag is set and observed at
+    ///   the next pipeline stage boundary, where the request aborts as a
+    ///   `Cancelled` outcome. If it was already past its last gate it may
+    ///   still complete — cancellation never corrupts a result, and either
+    ///   way the ticket settles exactly once.
+    ///
+    /// Returns `false` when the ticket is unknown or already settled
+    /// (completing, completed, or consumed). Cancelling never disturbs
+    /// *other* requests: a cancelled waiter leaves a coalesced shared-stage
+    /// build untouched for its survivors.
+    pub fn cancel(&self, ticket: DeployTicket) -> bool {
+        let mut q = self.shared.queue.lock().expect("service queue poisoned");
+        if let Some(idx) = q.queued.iter().position(|job| job.ticket.id == ticket.id) {
+            let job = q.queued.remove(idx);
+            let outcome = self.shared.lifecycle_outcome(job.ticket, PipelineError::Cancelled);
+            q.completed.push_back(outcome);
+            drop(q);
+            self.shared.done.notify_all();
+            return true;
+        }
+        if let Some(flight) = q.inflight.get(&ticket.id) {
+            flight.cancelled.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
     }
 
     /// Returns the next completed outcome, blocking while work is queued or
     /// in flight; `None` once the service is idle (nothing queued, nothing
     /// in flight, nothing completed). In inline mode the calling thread
-    /// processes requests itself; with executors it only waits.
+    /// processes requests itself; with executors it only waits (and, when
+    /// [`ServiceOptions::with_watchdog_ticks`] is set, runs the stall
+    /// watchdog while waiting).
     ///
     /// Outcomes stream out in completion order, which scheduling determines
     /// — the outcome *contents* for a given ticket never depend on it.
@@ -755,18 +1199,21 @@ impl DeployService {
             if let Some(payload) = self.shared.panics.lock().expect("panic list poisoned").pop() {
                 resume_unwind(payload);
             }
+            self.shared.watchdog_scan();
             let mut q = self.shared.queue.lock().expect("service queue poisoned");
             if let Some(outcome) = q.completed.pop_front() {
                 return Some(outcome);
             }
             if self.executors == 0 {
-                if let Some(job) = self.shared.pop_best(&mut q) {
-                    q.in_flight += 1;
+                if let Some((job, flight)) = self.shared.claim(&mut q) {
                     drop(q);
-                    let outcome = catch_unwind(AssertUnwindSafe(|| self.shared.process(&job)));
-                    let mut q = self.shared.queue.lock().expect("service queue poisoned");
-                    q.in_flight -= 1;
-                    drop(q);
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(|| self.shared.process(&job, &flight)));
+                    let Some(outcome) = self.shared.finish_job(&job, &flight, outcome) else {
+                        // The watchdog settled this ticket while we worked;
+                        // its Stalled outcome is already queued.
+                        continue;
+                    };
                     self.shared.done.notify_all();
                     match outcome {
                         Ok(outcome) => return Some(outcome),
@@ -789,18 +1236,46 @@ impl DeployService {
                 return None;
             }
             // Work is in flight on another thread: wait for it to land.
-            let _unused = self.shared.done.wait(q).expect("service queue poisoned");
+            // With the watchdog enabled the wait is bounded so stalls are
+            // detected even though a stalled executor never signals.
+            if self.shared.watchdog_ticks.is_some() {
+                drop(q);
+                let _progressed = self.shared.pool().wait_until_for(
+                    || {
+                        let q = self.shared.queue.lock().expect("service queue poisoned");
+                        !q.completed.is_empty() || (q.queued.is_empty() && q.in_flight == 0)
+                    },
+                    Duration::from_millis(5),
+                );
+            } else {
+                let _unused = self.shared.done.wait(q).expect("service queue poisoned");
+            }
         }
     }
 
-    /// Consumes outcomes until the service is idle. Completion order is
+    /// Gracefully drains the service: closes admission (subsequent submits
+    /// fail with [`PipelineError::Draining`]), settles every admitted
+    /// ticket — finishing queued work or shedding it, per
+    /// [`ServiceOptions::with_drain_policy`] — then shuts down: joins the
+    /// executors and flushes the persistent stores.
+    ///
+    /// Returns every remaining outcome. Completion order is
     /// scheduling-dependent; sort by [`DeployTicket::id`] for admission
     /// order.
     pub fn drain(&self) -> Vec<DeployOutcome> {
+        {
+            let mut q = self.shared.queue.lock().expect("service queue poisoned");
+            q.draining = true;
+            if self.shared.drain_policy == DrainPolicy::Shed {
+                self.shared.shed_queued(&mut q);
+            }
+        }
+        self.shared.done.notify_all();
         let mut outcomes = Vec::new();
         while let Some(outcome) = self.next_outcome() {
             outcomes.push(outcome);
         }
+        self.shutdown();
         outcomes
     }
 
@@ -821,6 +1296,10 @@ impl DeployService {
             queue_depth,
             bake_coalesced: self.shared.cache.stats().coalesced,
             ground_truth_coalesced: self.shared.ground_truth.stats().coalesced,
+            cancelled: self.shared.cancelled.load(Ordering::Relaxed),
+            deadline_exceeded: self.shared.deadline_exceeded.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            watchdog_trips: self.shared.watchdog_trips.load(Ordering::Relaxed),
         }
     }
 
@@ -841,16 +1320,30 @@ impl DeployService {
         self.shared.pipeline.options()
     }
 
-    /// Stops the executors (queued-but-unclaimed requests are dropped) and
-    /// flushes the persistent stores. Called automatically on drop; idempotent.
+    /// Stops the service: closes admission, sheds any still-queued request
+    /// as a counted [`PipelineError::Overloaded`] outcome (consumable via
+    /// [`DeployService::next_outcome`] afterwards — no ticket is silently
+    /// dropped), stops the executors, and flushes the persistent stores.
+    /// Called automatically on drop; idempotent.
     pub fn shutdown(&self) {
-        {
+        let abandoned = {
             let mut q = self.shared.queue.lock().expect("service queue poisoned");
+            self.shared.shed_queued(&mut q);
+            q.draining = true;
             q.shutdown = true;
-        }
+            q.inflight.values().any(|flight| flight.tripped.load(Ordering::Relaxed))
+        };
         self.shared.work.notify_all();
-        for handle in self.handles.lock().expect("service handles poisoned").drain(..) {
-            let _ = handle.join();
+        self.shared.done.notify_all();
+        if abandoned {
+            // A watchdog-tripped executor may be stalled forever: joining it
+            // would hang shutdown. Its ticket was already settled; the
+            // thread is abandoned to process exit.
+            self.handles.lock().expect("service handles poisoned").clear();
+        } else {
+            for handle in self.handles.lock().expect("service handles poisoned").drain(..) {
+                let _ = handle.join();
+            }
         }
         // flush_report attempts every dirty entry: one unwritable entry
         // cannot block its siblings from persisting.
@@ -870,6 +1363,10 @@ impl DeployService {
 }
 
 impl Drop for DeployService {
+    /// Dropping the service runs [`DeployService::shutdown`]: still-queued
+    /// requests shed as counted [`PipelineError::Overloaded`] outcomes
+    /// (visible in [`ServiceStats::shed`]) rather than vanishing, in-flight
+    /// work finishes, and the stores flush.
     fn drop(&mut self) {
         self.shutdown();
     }
@@ -921,6 +1418,95 @@ mod tests {
         assert!(stats.to_string().contains("0 admitted"));
         service.shutdown();
         service.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn expired_deadline_settles_at_admission_without_running() {
+        let (scene, dataset) = scene_and_dataset(&[CanonicalObject::Hotdog], 7);
+        let clock = Arc::new(crate::clock::TestClock::at(100));
+        let service =
+            DeployService::new(ServiceOptions::inline(PipelineOptions::quick()).with_clock(clock));
+        let ticket = service
+            .submit(DeployRequest::new(scene, dataset, DeviceSpec::pixel_4()).with_deadline(50))
+            .expect("expired deadline still admits (and settles) the ticket");
+        let outcome = service.next_outcome().expect("exactly one outcome for the ticket");
+        assert_eq!(outcome.ticket, ticket);
+        assert!(
+            matches!(
+                outcome.error(),
+                Some(PipelineError::DeadlineExceeded { deadline: 50, now: 100 })
+            ),
+            "got {:?}",
+            outcome.result
+        );
+        assert!(service.next_outcome().is_none(), "the ticket settles exactly once");
+        let stats = service.stats();
+        assert_eq!(stats.deadline_exceeded, 1);
+        assert_eq!(stats.shared_stage_runs, 0, "the request never ran");
+    }
+
+    #[test]
+    fn cancelling_a_queued_request_settles_it_without_running() {
+        let (scene, dataset) = scene_and_dataset(&[CanonicalObject::Hotdog], 7);
+        let service = DeployService::new(ServiceOptions::inline(PipelineOptions::quick()));
+        let ticket = service
+            .submit(DeployRequest::new(scene, dataset, DeviceSpec::pixel_4()))
+            .expect("valid request");
+        assert!(service.cancel(ticket), "queued request cancels");
+        assert!(!service.cancel(ticket), "a settled ticket cannot cancel twice");
+        let outcome = service.next_outcome().expect("exactly one outcome for the ticket");
+        assert_eq!(outcome.ticket, ticket);
+        assert!(matches!(outcome.error(), Some(PipelineError::Cancelled)));
+        assert!(service.next_outcome().is_none());
+        let stats = service.stats();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.shared_stage_runs, 0, "the request never ran");
+    }
+
+    #[test]
+    fn queue_limit_sheds_lowest_priority_newest_first() {
+        let (scene, dataset) = scene_and_dataset(&[CanonicalObject::Hotdog], 7);
+        let (scene, dataset) = (Arc::new(scene), Arc::new(dataset));
+        let service = DeployService::new(
+            ServiceOptions::inline(PipelineOptions::quick()).with_queue_limit(2),
+        );
+        let request = |priority: i32| {
+            DeployRequest::new(Arc::clone(&scene), Arc::clone(&dataset), DeviceSpec::pixel_4())
+                .with_priority(priority)
+        };
+        let low_old = service.submit(request(0)).expect("fits");
+        let _high = service.submit(request(5)).expect("fits");
+        // Queue full. An incoming priority-0 request is the lowest-priority-
+        // newest candidate: it is shed without a ticket.
+        match service.submit(request(0)) {
+            Err(PipelineError::Overloaded { queue_depth: 2 }) => {}
+            other => panic!("incoming low-priority request must shed, got {other:?}"),
+        }
+        // An incoming higher-priority request evicts the queued priority-0
+        // victim instead, which settles as an Overloaded outcome.
+        let winner = service.submit(request(3)).expect("outranks the queued victim");
+        let outcome = service.next_outcome().expect("the victim's outcome is queued");
+        assert_eq!(outcome.ticket, low_old);
+        assert!(matches!(outcome.error(), Some(PipelineError::Overloaded { queue_depth: 2 })));
+        assert_eq!(service.stats().shed, 2);
+        // The survivors still complete, bit-for-bit.
+        let remaining = service.drain();
+        assert_eq!(remaining.len(), 2);
+        assert!(remaining.iter().all(DeployOutcome::is_success));
+        assert!(remaining.iter().any(|o| o.ticket == winner));
+        assert_eq!(service.stats().completed, 2);
+    }
+
+    #[test]
+    fn submit_after_drain_is_rejected_as_draining() {
+        let (scene, dataset) = scene_and_dataset(&[CanonicalObject::Hotdog], 7);
+        let service = DeployService::new(ServiceOptions::inline(PipelineOptions::quick()));
+        assert!(service.drain().is_empty());
+        match service.submit(DeployRequest::new(scene, dataset, DeviceSpec::pixel_4())) {
+            Err(PipelineError::Draining) => {}
+            other => panic!("admission must be closed after drain, got {other:?}"),
+        }
+        assert_eq!(service.stats().rejected, 1);
     }
 
     #[test]

@@ -252,6 +252,28 @@ impl WorkerPool {
         }
     }
 
+    /// Bounded [`WorkerPool::wait_until`]: helps and re-checks like the
+    /// unbounded form, but gives up once `timeout` elapses. Returns `true`
+    /// when `ready()` became true, `false` on timeout.
+    ///
+    /// This is the primitive behind the deployment service's stall
+    /// watchdog: a consumer waits on in-flight work *for a while*, then
+    /// regains control to check whether an executor has stopped making
+    /// progress — instead of blocking forever on work that will never
+    /// finish.
+    pub fn wait_until_for(&self, ready: impl Fn() -> bool, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while !ready() {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            if !self.try_help() {
+                std::thread::park_timeout(std::time::Duration::from_micros(200));
+            }
+        }
+        true
+    }
+
     /// Like [`WorkerPool::run`], but each participating worker builds one
     /// `scratch` value per dispatch (lazily, on its first claimed job) and
     /// reuses it across all the jobs it executes — the allocation-churn
@@ -598,6 +620,17 @@ mod tests {
         assert_eq!(out.len(), 64);
         flag.store(true, Ordering::Release);
         waiter.join().expect("waiter exits once ready() holds");
+    }
+
+    #[test]
+    fn wait_until_for_times_out_without_progress_and_returns_early_with_it() {
+        let pool = WorkerPool::new(2);
+        // Nothing ever flips the flag: the bounded wait must come back.
+        let start = std::time::Instant::now();
+        assert!(!pool.wait_until_for(|| false, std::time::Duration::from_millis(5)));
+        assert!(start.elapsed() >= std::time::Duration::from_millis(5));
+        // An already-true predicate returns immediately with `true`.
+        assert!(pool.wait_until_for(|| true, std::time::Duration::ZERO));
     }
 
     #[test]

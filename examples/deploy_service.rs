@@ -10,6 +10,11 @@
 //! what the blocking `try_deploy_fleet` path would produce for the same
 //! requests (`docs/service.md`).
 //!
+//! The demo also exercises the request lifecycle: a queue limit of ten
+//! sheds the two lowest-priority stragglers at admission, and one queued
+//! duplicate is cancelled before it runs — both settle as classified
+//! outcomes, never as lost tickets.
+//!
 //! ```bash
 //! cargo run --release --example deploy_service
 //! # with background executor threads instead of inline processing:
@@ -43,12 +48,17 @@ fn main() {
     let devices = [DeviceSpec::iphone_13(), DeviceSpec::pixel_4(), kiosk];
 
     let service = DeployService::new(
-        ServiceOptions::inline(PipelineOptions::quick()).with_executors(executors),
+        ServiceOptions::inline(PipelineOptions::quick())
+            .with_executors(executors)
+            .with_queue_limit(10),
     );
 
     // The burst: every (scene, device) pair twice, late requests marked
-    // urgent so they jump the queue.
+    // urgent so they jump the queue. The queue limit of ten sheds the two
+    // lowest-priority stragglers at admission.
     let mut labels = std::collections::BTreeMap::new();
+    let mut first_ticket = None;
+    let mut shed_at_admission = 0usize;
     for round in 0..2 {
         for (scene_idx, (dataset, scene)) in scenes.iter().enumerate() {
             for device in &devices {
@@ -56,18 +66,36 @@ fn main() {
                 let request =
                     DeployRequest::new(Arc::clone(scene), Arc::clone(dataset), device.clone())
                         .with_priority(priority);
-                let ticket = service.submit(request).expect("valid request");
-                labels.insert(
-                    ticket.id(),
-                    format!("scene {} on {} (prio {priority})", scene_idx + 1, device.name),
-                );
+                match service.submit(request) {
+                    Ok(ticket) => {
+                        first_ticket.get_or_insert(ticket);
+                        labels.insert(
+                            ticket.id(),
+                            format!("scene {} on {} (prio {priority})", scene_idx + 1, device.name),
+                        );
+                    }
+                    Err(err) => {
+                        shed_at_admission += 1;
+                        println!(
+                            "shed at admission: scene {} on {} (prio {priority}): {err}",
+                            scene_idx + 1,
+                            device.name
+                        );
+                    }
+                }
             }
         }
     }
+    // Cancel one queued duplicate before anything runs: it settles as a
+    // `Cancelled` outcome and its (scene, device) twin still deploys.
+    let cancelled_ticket = first_ticket.expect("first request admitted");
+    assert!(service.cancel(cancelled_ticket), "queued request cancels");
     println!(
-        "admitted {} requests over {} distinct scenes, executors={executors}\n",
+        "\nadmitted {} requests over {} distinct scenes ({shed_at_admission} shed), \
+         cancelled ticket {}, executors={executors}\n",
         labels.len(),
-        scenes.len()
+        scenes.len(),
+        cancelled_ticket.id()
     );
 
     let mut table = Table::new(
@@ -76,14 +104,22 @@ fn main() {
     );
     for outcome in service.drain() {
         let ticket = outcome.ticket;
-        let done = outcome.into_success().expect("no store faults in this demo");
-        table.push_row(vec![
-            ticket.id().to_string(),
-            labels[&ticket.id()].clone(),
-            if done.coalesced { "yes" } else { "no (paid the stages)" }.to_string(),
-            format!("{:.1}", done.deployment.workload().data_size_mb),
-            format!("{:016x}", done.deployment_fingerprint),
-        ]);
+        match outcome.into_success() {
+            Ok(done) => table.push_row(vec![
+                ticket.id().to_string(),
+                labels[&ticket.id()].clone(),
+                if done.coalesced { "yes" } else { "no (paid the stages)" }.to_string(),
+                format!("{:.1}", done.deployment.workload().data_size_mb),
+                format!("{:016x}", done.deployment_fingerprint),
+            ]),
+            Err(err) => table.push_row(vec![
+                ticket.id().to_string(),
+                labels[&ticket.id()].clone(),
+                "-".to_string(),
+                "-".to_string(),
+                format!("{err}"),
+            ]),
+        }
     }
     println!("{}", table.render());
 
@@ -95,5 +131,7 @@ fn main() {
         cache.misses, cache.hits, stats.bake_coalesced
     );
     assert_eq!(stats.shared_stage_runs, scenes.len(), "one shared-stage run per distinct scene");
+    assert_eq!(stats.shed as usize, shed_at_admission, "both sheds happened at admission");
+    assert_eq!(stats.cancelled, 1, "exactly one request was cancelled");
     service.shutdown();
 }

@@ -1,24 +1,28 @@
-//! Chaos suite for the resilience layer (ISSUE 8): seeded, fully
-//! deterministic fault injection ([`FaultPlan`] / [`FaultyBackend`]) driven
-//! through the store and service layers.
+//! Chaos suite for the resilience layer (ISSUE 8) and the request
+//! lifecycle (ISSUE 9): seeded, fully deterministic fault injection
+//! ([`FaultPlan`] / [`FaultyBackend`] at the store layer,
+//! [`StageFaultPlan`] at the compute layer) driven through the store and
+//! service layers, plus deadlines, cancellation, bounded admission and the
+//! stall watchdog.
 //!
-//! The invariant every scenario pins: **faults change who pays, never what
-//! comes out.** Under any fault schedule that permits completion —
-//! transient remote faults (retried), a persistently dead remote (degraded
-//! to local-only recomputation), a fully faulty local layer (flush failures
-//! collected, requests unaffected) — an 8-request burst through
-//! [`DeployService`] completes every request with deployment fingerprints
-//! byte-identical to the fault-free blocking `try_deploy_fleet` path, with
-//! zero torn entries and retries bounded by [`RetryPolicy::max_attempts`].
-//! Only a fault the store layer deliberately escalates
-//! ([`FaultMode::Panic`]) fails a request — and then exactly that request,
-//! never the burst.
+//! The invariant every scenario pins: **faults and lifecycle decisions
+//! change who pays (or whether a request completes), never what comes
+//! out.** Under any fault schedule that permits completion — transient
+//! remote faults (retried), a persistently dead remote (degraded to
+//! local-only recomputation), a fully faulty local layer (flush failures
+//! collected, requests unaffected), seeded stage faults (failed requests
+//! re-claimed by their coalesced duplicates) — every request that completes
+//! does so with a deployment fingerprint byte-identical to the fault-free
+//! blocking `try_deploy_fleet` path, and every admitted ticket settles
+//! exactly once (never a hang, never a lost ticket).
 
 use nerflex::bake::disk::deployment_fingerprint;
 use nerflex::bake::{
     BakeCache, BakeConfig, CacheStats, DirBackend, FaultMode, FaultOp, FaultPlan, FaultyBackend,
     MemBackend, RetryPolicy, StoreBackend, StoreOptions,
 };
+use nerflex::core::clock::{Clock, TestClock};
+use nerflex::core::fault::{StageFaultMode, StageFaultPlan, StageOp};
 use nerflex::core::pipeline::{NerflexPipeline, PipelineError, PipelineOptions};
 use nerflex::core::service::{DeployRequest, DeployService, ServiceOptions};
 use nerflex::device::DeviceSpec;
@@ -86,11 +90,17 @@ struct BurstReport {
 
 /// Runs the 8-request burst through a fresh inline service over `store`.
 fn run_burst(store: StoreOptions) -> BurstReport {
+    run_burst_with(ServiceOptions::inline(
+        PipelineOptions::quick().with_worker_threads(2).with_store(store),
+    ))
+}
+
+/// Runs the 8-request burst through a fresh service with full control over
+/// the service options (stage faults, clocks, executors, …).
+fn run_burst_with(options: ServiceOptions) -> BurstReport {
     let scenes = two_scenes();
     let devices = burst_devices();
-    let service = DeployService::new(ServiceOptions::inline(
-        PipelineOptions::quick().with_worker_threads(2).with_store(store),
-    ));
+    let service = DeployService::new(options);
     let mut scene_of_ticket = BTreeMap::new();
     for (slot, &scene_idx) in BURST.iter().enumerate() {
         let (scene, dataset) = &scenes[scene_idx];
@@ -337,4 +347,229 @@ fn a_store_panic_fails_exactly_one_request_not_the_burst() {
     // request's duplicate still covers its pair — every fingerprint
     // present and byte-identical to the fault-free path.
     assert_eq!(report.fingerprints, reference);
+}
+
+// ---------------------------------------------------------------------------
+// Request lifecycle (ISSUE 9): stage faults, deadlines, cancellation,
+// bounded admission, watchdog
+// ---------------------------------------------------------------------------
+
+#[test]
+fn an_injected_stage_panic_fails_exactly_one_request_and_rolls_back_the_cell() {
+    let reference = reference_fingerprints();
+    // The very first profiling invocation panics mid-shared-stages: the
+    // building request fails, its stage cell rolls back to Idle, and a
+    // coalesced duplicate re-claims and completes the build.
+    let plan = StageFaultPlan::none().fail_nth(StageOp::Profiling, 0, StageFaultMode::Panic);
+    let report = run_burst_with(ServiceOptions::inline(
+        PipelineOptions::quick().with_worker_threads(2).with_stage_faults(plan),
+    ));
+    assert_eq!(report.failed, 1, "exactly the injected stage fault fails: {:?}", report.errors);
+    assert_eq!(report.completed, BURST.len() as u64 - 1);
+    assert!(
+        matches!(&report.errors[0], PipelineError::Stage { stage: "profiling", .. }),
+        "the stage fault is classified as a value, not re-panicked: {:?}",
+        report.errors
+    );
+    // The failed request's duplicate re-claimed the rolled-back cell, so
+    // every (scene, device) pair still lands, byte-identical.
+    assert_eq!(report.fingerprints, reference);
+}
+
+#[test]
+fn completions_under_seeded_stage_faults_are_bit_identical_and_replayable() {
+    let reference = reference_fingerprints();
+    for seed in [1u64, 7, 42] {
+        let run = |seed: u64| {
+            let plan = StageFaultPlan::none()
+                .with_seed(seed)
+                .with_noise(StageOp::Profiling, 20, StageFaultMode::Fail)
+                .with_noise(StageOp::Baking, 20, StageFaultMode::Fail);
+            run_burst_with(ServiceOptions::inline(
+                PipelineOptions::quick().with_worker_threads(2).with_stage_faults(plan),
+            ))
+        };
+        let report = run(seed);
+        assert_eq!(
+            report.completed + report.failed,
+            BURST.len() as u64,
+            "every ticket settles exactly once (seed {seed})"
+        );
+        for (key, fingerprint) in &report.fingerprints {
+            assert_eq!(
+                fingerprint, &reference[key],
+                "every completing request is byte-identical to the fault-free blocking path \
+                 (seed {seed}, {key:?})"
+            );
+        }
+        assert!(
+            report.errors.iter().all(|e| matches!(e, PipelineError::Stage { .. })),
+            "seed {seed}: {:?}",
+            report.errors
+        );
+        // Inline mode is sequential: the same seed replays the same run.
+        let replay = run(seed);
+        assert_eq!(replay.completed, report.completed, "seeded replay (seed {seed})");
+        assert_eq!(replay.failed, report.failed, "seeded replay (seed {seed})");
+        assert_eq!(replay.fingerprints, report.fingerprints, "seeded replay (seed {seed})");
+    }
+}
+
+#[test]
+fn deadlines_and_cancellation_settle_exactly_one_outcome_each() {
+    let scenes = two_scenes();
+    let reference = reference_fingerprints();
+    let clock = Arc::new(TestClock::at(100));
+    let service = DeployService::new(
+        ServiceOptions::inline(PipelineOptions::quick().with_worker_threads(2))
+            .with_clock(Arc::clone(&clock) as Arc<dyn Clock>),
+    );
+    let request = |scene_idx: usize, device: DeviceSpec| {
+        DeployRequest::new(
+            Arc::clone(&scenes[scene_idx].0),
+            Arc::clone(&scenes[scene_idx].1),
+            device,
+        )
+    };
+    // (1) Already expired at admission: settles immediately, never runs.
+    let expired = service
+        .submit(request(0, DeviceSpec::iphone_13()).with_deadline(50))
+        .expect("expired deadline still settles its ticket");
+    // (2) Cancelled while queued: removed outright.
+    let cancelled = service.submit(request(0, DeviceSpec::pixel_4())).expect("valid");
+    assert!(service.cancel(cancelled));
+    assert!(!service.cancel(cancelled), "a settled ticket cannot cancel twice");
+    // (3) Deadline passes between admission and processing: aborts at the
+    // first stage boundary.
+    let late =
+        service.submit(request(1, DeviceSpec::iphone_13()).with_deadline(200)).expect("valid");
+    // (4) A plain request: completes bit-identically despite the carnage.
+    let good = service.submit(request(1, DeviceSpec::pixel_4())).expect("valid");
+    clock.advance(150); // now 250: past `late`'s deadline of 200.
+    let outcomes = service.drain();
+    assert_eq!(outcomes.len(), 4, "all four tickets settle exactly once");
+    let of = |ticket| outcomes.iter().find(|o| o.ticket == ticket).expect("outcome");
+    assert!(matches!(
+        of(expired).error(),
+        Some(PipelineError::DeadlineExceeded { deadline: 50, now: 100 })
+    ));
+    assert!(matches!(of(cancelled).error(), Some(PipelineError::Cancelled)));
+    assert!(matches!(
+        of(late).error(),
+        Some(PipelineError::DeadlineExceeded { deadline: 200, now: 250 })
+    ));
+    let done = of(good).success().expect("the unconstrained request completes");
+    assert_eq!(done.deployment_fingerprint, reference[&(1usize, "Pixel 4".to_string())]);
+    let stats = service.stats();
+    assert_eq!(stats.deadline_exceeded, 2, "{stats}");
+    assert_eq!(stats.cancelled, 1, "{stats}");
+    assert_eq!(stats.completed, 1, "{stats}");
+    assert_eq!(stats.shared_stage_runs, 1, "only the surviving scene ran: {stats}");
+}
+
+#[test]
+fn a_queue_limit_burst_sheds_deterministically() {
+    let reference = reference_fingerprints();
+    let run = || {
+        let scenes = two_scenes();
+        let devices = burst_devices();
+        let service = DeployService::new(
+            ServiceOptions::inline(PipelineOptions::quick().with_worker_threads(2))
+                .with_queue_limit(4),
+        );
+        // First half priority 0, second half priority 1: once the queue is
+        // full, each late submit evicts the newest queued priority-0
+        // victim, deterministically — so every submit is admitted.
+        let mut slot_of = BTreeMap::new();
+        for (slot, &scene_idx) in BURST.iter().enumerate() {
+            let (scene, dataset) = &scenes[scene_idx];
+            let request =
+                DeployRequest::new(Arc::clone(scene), Arc::clone(dataset), devices[slot].clone())
+                    .with_priority(i32::from(slot >= 4));
+            let ticket = service.submit(request).expect("outranks every queued victim");
+            slot_of.insert(ticket.id(), slot);
+        }
+        let mut shed_ids = Vec::new();
+        let mut fingerprints = BTreeMap::new();
+        for outcome in service.drain() {
+            let slot = slot_of[&outcome.ticket.id()];
+            let ticket_id = outcome.ticket.id();
+            match outcome.into_success() {
+                Ok(done) => {
+                    fingerprints.insert(
+                        (BURST[slot], done.deployment.device.name.clone()),
+                        done.deployment_fingerprint,
+                    );
+                }
+                Err(PipelineError::Overloaded { queue_depth }) => {
+                    assert_eq!(queue_depth, 4, "sheds happen at the configured limit");
+                    shed_ids.push(ticket_id);
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        shed_ids.sort_unstable();
+        let stats = service.stats();
+        assert_eq!(stats.shed, 4, "{stats}");
+        assert_eq!(stats.completed, 4, "{stats}");
+        (shed_ids, fingerprints)
+    };
+    let (shed_a, fingerprints_a) = run();
+    // Lowest-priority-newest-first: the four priority-0 tickets shed, the
+    // four priority-1 survivors (scenes [0, 0, 1, 1] × both devices) cover
+    // every (scene, device) pair and reproduce the fault-free reference
+    // byte-for-byte.
+    assert_eq!(shed_a, vec![0, 1, 2, 3]);
+    assert_eq!(fingerprints_a, reference);
+    // The whole run replays identically: shedding depends only on queue
+    // contents, never on timing.
+    let (shed_b, fingerprints_b) = run();
+    assert_eq!(shed_a, shed_b, "shed set is deterministic");
+    assert_eq!(fingerprints_a, fingerprints_b, "surviving outputs are deterministic");
+}
+
+#[test]
+fn the_watchdog_converts_a_stalled_executor_into_a_failed_outcome() {
+    let scenes = two_scenes();
+    let clock = Arc::new(TestClock::at(0));
+    // The first selection invocation stalls forever — a hung executor, not
+    // a panic. The watchdog (10 virtual ticks without progress) must settle
+    // the ticket so the consumer is never hung.
+    let plan = StageFaultPlan::none().fail_nth(StageOp::Selection, 0, StageFaultMode::Stall);
+    let service = DeployService::new(
+        ServiceOptions::inline(
+            PipelineOptions::quick().with_worker_threads(2).with_stage_faults(plan),
+        )
+        .with_executors(1)
+        .with_watchdog_ticks(10)
+        .with_clock(Arc::clone(&clock) as Arc<dyn Clock>),
+    );
+    let ticket = service
+        .submit(DeployRequest::new(
+            Arc::clone(&scenes[0].0),
+            Arc::clone(&scenes[0].1),
+            DeviceSpec::pixel_4(),
+        ))
+        .expect("valid");
+    // Wait for the executor to claim the request, then let virtual time
+    // pass; the stalled stage never records progress.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while service.stats().in_flight < 1 {
+        assert!(std::time::Instant::now() < deadline, "executor never claimed the request");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    clock.advance(100);
+    let outcome = service.next_outcome().expect("the watchdog settles the stalled ticket");
+    assert_eq!(outcome.ticket, ticket);
+    assert!(
+        matches!(outcome.error(), Some(PipelineError::Stalled { idle_ticks }) if *idle_ticks >= 10),
+        "the stall is classified: {:?}",
+        outcome.result
+    );
+    assert!(service.next_outcome().is_none(), "the ticket settles exactly once");
+    let stats = service.stats();
+    assert_eq!(stats.watchdog_trips, 1, "{stats}");
+    assert_eq!(stats.in_flight, 0, "the stalled slot was released: {stats}");
+    // Shutdown must not join (and hang on) the abandoned executor.
+    service.shutdown();
 }

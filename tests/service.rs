@@ -5,6 +5,7 @@
 //! counts and worker counts.
 
 use nerflex::bake::disk::deployment_fingerprint;
+use nerflex::core::fault::{StageFaultMode, StageFaultPlan, StageOp};
 use nerflex::core::pipeline::{NerflexPipeline, PipelineError, PipelineOptions};
 use nerflex::core::service::{DeployRequest, DeployService, ServiceOptions};
 use nerflex::device::DeviceSpec;
@@ -13,6 +14,7 @@ use nerflex::scene::object::CanonicalObject;
 use nerflex::scene::scene::Scene;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn two_scenes() -> [(Arc<Scene>, Arc<Dataset>); 2] {
     let a = Scene::with_objects(&[CanonicalObject::Hotdog, CanonicalObject::Chair], 21);
@@ -248,6 +250,110 @@ fn admission_rejects_bad_requests_without_stopping_the_service() {
     assert!(!outcome.success().expect("success").coalesced);
     assert_eq!(service.stats().completed, 1);
     assert_eq!(service.stats().failed, 0);
+}
+
+/// Satellite: cancelling a request whose shared stages are claimed by (or
+/// shared with) another live request must never disturb the survivor. The
+/// build is slowed with an injected stage delay so the cancellation lands
+/// while both requests are in flight on the same scene; whichever of the
+/// two holds the stage cell at that instant, the survivor completes
+/// bit-for-bit and exactly one shared-stage run is paid.
+#[test]
+fn cancelling_a_coalesced_request_leaves_the_survivor_intact() {
+    let scenes = two_scenes();
+    let reference = {
+        let pipeline = NerflexPipeline::new(PipelineOptions::quick());
+        let fleet = pipeline
+            .try_deploy_fleet(&scenes[0].0, &scenes[0].1, &[DeviceSpec::iphone_13()])
+            .expect("fleet deploy");
+        deployment_fingerprint(&fleet.deployments[0].assets)
+    };
+    // Each of the (at most two) segmentation entries sleeps 300 ms, holding
+    // the requests in flight long enough for the cancel to land mid-build.
+    let plan = StageFaultPlan::none()
+        .fail_nth(StageOp::Segmentation, 0, StageFaultMode::Delay(Duration::from_millis(300)))
+        .fail_nth(StageOp::Segmentation, 1, StageFaultMode::Delay(Duration::from_millis(300)));
+    let service = DeployService::new(
+        ServiceOptions::inline(PipelineOptions::quick().with_stage_faults(plan)).with_executors(2),
+    );
+    let request = |device: DeviceSpec| {
+        DeployRequest::new(Arc::clone(&scenes[0].0), Arc::clone(&scenes[0].1), device)
+    };
+    let survivor = service.submit(request(DeviceSpec::iphone_13())).expect("valid");
+    let victim = service.submit(request(DeviceSpec::pixel_4())).expect("valid");
+    // Wait until both executors picked their requests up, then cancel one.
+    // The 300 ms injected delays hold the build open far longer than the
+    // executors need to claim; the deadline only guards a broken service.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while service.stats().in_flight < 2 {
+        assert!(std::time::Instant::now() < deadline, "executors never claimed the burst");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(service.cancel(victim), "an in-flight request accepts the cancel flag");
+    let outcomes = service.drain();
+    assert_eq!(outcomes.len(), 2, "both tickets settle exactly once");
+    let of = |ticket| outcomes.iter().find(|o| o.ticket == ticket).expect("outcome");
+    assert!(
+        matches!(of(victim).error(), Some(PipelineError::Cancelled)),
+        "the cancelled request settles as Cancelled: {:?}",
+        of(victim).result
+    );
+    let done = of(survivor).success().expect("the survivor must complete untouched");
+    assert_eq!(
+        done.deployment_fingerprint, reference,
+        "the survivor's deployment is byte-identical to the blocking path"
+    );
+    let stats = service.stats();
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(
+        stats.shared_stage_runs, 1,
+        "the cancellation must not roll back or duplicate the survivor's stage cell: {stats}"
+    );
+}
+
+/// Satellite: dropping (or shutting down) a service with work still queued
+/// sheds that work as counted, consumable outcomes — tickets never vanish.
+#[test]
+fn shutdown_sheds_queued_work_as_counted_outcomes() {
+    let scenes = two_scenes();
+    let service = DeployService::new(ServiceOptions::inline(PipelineOptions::quick()));
+    let tickets: Vec<_> = (0..2)
+        .map(|idx| {
+            service
+                .submit(DeployRequest::new(
+                    Arc::clone(&scenes[idx].0),
+                    Arc::clone(&scenes[idx].1),
+                    DeviceSpec::pixel_4(),
+                ))
+                .expect("valid")
+        })
+        .collect();
+    service.shutdown();
+    let stats = service.stats();
+    assert_eq!(stats.shed, 2, "queued work sheds on shutdown: {stats}");
+    assert_eq!(stats.completed, 0);
+    for expected in &tickets {
+        let outcome = service.next_outcome().expect("shed outcomes remain consumable");
+        assert_eq!(outcome.ticket, *expected);
+        assert!(
+            matches!(outcome.error(), Some(PipelineError::Overloaded { queue_depth: 2 })),
+            "shed work settles as Overloaded: {:?}",
+            outcome.result
+        );
+    }
+    assert!(service.next_outcome().is_none());
+    assert!(
+        matches!(
+            service.submit(DeployRequest::new(
+                Arc::clone(&scenes[0].0),
+                Arc::clone(&scenes[0].1),
+                DeviceSpec::pixel_4(),
+            )),
+            Err(PipelineError::Draining)
+        ),
+        "admission stays closed after shutdown"
+    );
 }
 
 #[test]
