@@ -2,9 +2,10 @@
 //! device, with exact size accounting.
 
 use crate::atlas::TextureAtlas;
-use crate::config::BakeConfig;
+use crate::config::{BakeConfig, BakeFamily};
 use crate::mesh::QuadMesh;
 use crate::mlp::TinyMlp;
+use crate::splat::SplatCloud;
 use crate::voxel::VoxelGrid;
 use nerflex_math::{Aabb, Vec3};
 use nerflex_scene::object::ObjectModel;
@@ -46,27 +47,33 @@ impl Placement {
 }
 
 /// The baked multi-modal representation of one object: quad mesh, texture
-/// atlas, deferred-shading MLP, and the configuration it was baked with.
+/// atlas, deferred-shading MLP — or, for the splat family, a gaussian
+/// splat cloud — and the configuration it was baked with.
 ///
-/// The mesh and atlas — the megabytes — live behind [`Arc`]s: cloning an
-/// asset to restamp its identity and placement (what every cache hit does)
-/// copies two reference counts, not the payload. All read paths are
-/// unchanged (`Arc` derefs transparently); only construction sites wrap.
+/// The mesh, atlas and splat cloud — the megabytes — live behind [`Arc`]s:
+/// cloning an asset to restamp its identity and placement (what every
+/// cache hit does) copies reference counts, not the payload. All read
+/// paths are unchanged (`Arc` derefs transparently); only construction
+/// sites wrap.
 #[derive(Debug, Clone)]
 pub struct BakedAsset {
     /// Human-readable object name.
     pub name: String,
     /// Instance id of the source object within its scene (0 for standalone bakes).
     pub object_id: usize,
-    /// The configuration pair θ = (g, p) used for baking.
+    /// The configuration used for baking.
     pub config: BakeConfig,
     /// Extracted quad mesh (local space), shared across placement-stamped
-    /// copies of the same bake.
+    /// copies of the same bake. Empty for splat-family assets.
     pub mesh: Arc<QuadMesh>,
     /// Baked texture atlas, shared across placement-stamped copies.
+    /// Empty for splat-family assets.
     pub atlas: Arc<TextureAtlas>,
     /// Optional deferred-shading MLP (a shared few-KB network).
     pub mlp: Option<TinyMlp>,
+    /// Gaussian splat cloud — the entire payload of splat-family assets,
+    /// `None` for mesh-family assets.
+    pub splats: Option<Arc<SplatCloud>>,
     /// Placement of the local frame in the scene.
     pub placement: Placement,
 }
@@ -90,10 +97,33 @@ impl BakedAsset {
         self.atlas.size_bytes()
     }
 
-    /// Total baked-data size in bytes (mesh + texture + MLP).
+    /// Splat payload size in bytes (0 for mesh-family assets).
+    pub fn splat_size_bytes(&self) -> usize {
+        self.splats.as_ref().map_or(0, |cloud| cloud.size_bytes())
+    }
+
+    /// Size of the deferred-shading MLP in bytes (0 for splat-family
+    /// assets, which ship no shading network).
+    pub fn mlp_size_bytes(&self) -> usize {
+        if self.splats.is_some() {
+            return 0;
+        }
+        self.mlp.as_ref().map_or(DEFAULT_MLP_BYTES, TinyMlp::size_bytes)
+    }
+
+    /// Total baked-data size in bytes (mesh + texture + MLP for the mesh
+    /// family; exactly the splat payload for the splat family).
     pub fn size_bytes(&self) -> usize {
-        let mlp = self.mlp.as_ref().map_or(DEFAULT_MLP_BYTES, TinyMlp::size_bytes);
-        self.mesh_size_bytes() + self.texture_size_bytes() + mlp
+        self.mesh_size_bytes()
+            + self.texture_size_bytes()
+            + self.splat_size_bytes()
+            + self.mlp_size_bytes()
+    }
+
+    /// Number of device-side primitives: mesh quads plus splats. This is
+    /// the load the device FPS model charges for rasterisation.
+    pub fn primitive_count(&self) -> usize {
+        self.mesh.quad_count() + self.splats.as_ref().map_or(0, |cloud| cloud.len())
     }
 
     /// Total baked-data size in megabytes.
@@ -101,9 +131,16 @@ impl BakedAsset {
         self.size_bytes() as f64 / (1024.0 * 1024.0)
     }
 
-    /// Bounding box of the placed mesh in world space (conservative).
+    /// Bounding box of the placed asset in world space (conservative;
+    /// covers the mesh and the splat cloud's 3σ extents).
     pub fn world_bounding_box(&self) -> Aabb {
-        let local = self.mesh.bounding_box();
+        let mut local = self.mesh.bounding_box();
+        if let Some(cloud) = &self.splats {
+            local = local.union(&cloud.bounding_box());
+        }
+        if local.is_empty() {
+            return Aabb::empty();
+        }
         let mut bb = Aabb::empty();
         for corner in 0..8 {
             let p = Vec3::new(
@@ -142,6 +179,19 @@ fn bake_with_placement(
     placement: Placement,
     object_id: usize,
 ) -> BakedAsset {
+    if let BakeFamily::Splat { .. } = config.family {
+        let cloud = SplatCloud::extract(model, config);
+        return BakedAsset {
+            name: model.name.clone(),
+            object_id,
+            config,
+            mesh: Arc::new(QuadMesh::default()),
+            atlas: Arc::new(TextureAtlas::from_raw(config.patch, 0, vec![])),
+            mlp: None,
+            splats: Some(Arc::new(cloud)),
+            placement,
+        };
+    }
     let grid = VoxelGrid::from_sdf(&model.sdf, config.grid);
     let mesh = QuadMesh::extract(&grid, &model.sdf);
     // Highest texture frequency representable by the atlas: half the texel
@@ -156,6 +206,7 @@ fn bake_with_placement(
         mesh: Arc::new(mesh),
         atlas: Arc::new(atlas),
         mlp: None,
+        splats: None,
         placement,
     }
 }
@@ -193,6 +244,32 @@ mod tests {
         );
         assert!(asset.size_mb() > 0.0);
         assert_eq!(asset.name, "hotdog");
+    }
+
+    #[test]
+    fn splat_bakes_carry_only_the_cloud() {
+        let model = CanonicalObject::Hotdog.build();
+        let asset = bake_object(&model, BakeConfig::splat(20, 1024));
+        let cloud = asset.splats.as_ref().expect("splat family bakes a cloud");
+        assert!(!cloud.is_empty());
+        assert_eq!(asset.mesh.quad_count(), 0);
+        assert_eq!(asset.texture_size_bytes(), 0);
+        assert_eq!(asset.mlp_size_bytes(), 0, "splat assets ship no MLP");
+        assert_eq!(asset.size_bytes(), cloud.size_bytes(), "exact size accounting");
+        assert_eq!(asset.primitive_count(), cloud.len());
+        // The world bounding box comes from the cloud, never NaN.
+        let bb = asset.world_bounding_box();
+        assert!(!bb.is_empty());
+        assert!(bb.center().length().is_finite());
+    }
+
+    #[test]
+    fn splat_size_scales_with_the_count_axis() {
+        let model = CanonicalObject::Chair.build();
+        let small = bake_object(&model, BakeConfig::splat(24, 256));
+        let big = bake_object(&model, BakeConfig::splat(24, 4096));
+        assert!(big.size_bytes() > small.size_bytes());
+        assert!(big.size_bytes() < bake_object(&model, BakeConfig::new(24, 9)).size_bytes());
     }
 
     #[test]

@@ -30,10 +30,12 @@
 //! the choice of storage backend (one directory, or a local layer over a
 //! shared remote for cross-machine reuse) — is the shared [`KeyedStore`]
 //! machinery, configured through [`crate::StoreOptions`]. `docs/stores.md`
-//! documents the store API; the on-disk layout is unchanged from the
-//! pre-`KeyedStore` cache (`{fingerprint:016x}-g{g}-p{p}.nfbake`, format
-//! version [`crate::disk::CACHE_FORMAT_VERSION`]), so existing stores and
-//! CI cache keys keep working.
+//! documents the store API and the on-disk layout
+//! (`{fingerprint:016x}-g{g}-p{p}.nfbake` for mesh-family entries,
+//! `…-g{g}-s{count}.nfbake` for splat-family ones, format version
+//! [`crate::disk::CACHE_FORMAT_VERSION`]). Both families ride the same
+//! store path: splat extraction is cached, coalesced, shared cross-machine
+//! and fault-injectable exactly like mesh baking.
 //!
 //! [`CacheStats`] distinguishes where a hit's entry came from: `hits` counts
 //! lookups answered by an entry baked in this process, `disk_hits` lookups
@@ -131,6 +133,10 @@ pub struct CacheStats {
     pub disk_hits: usize,
     /// Lookups that had to bake.
     pub misses: usize,
+    /// Misses that ran a splat-family extraction (a subset of `misses`).
+    /// The CI bench-smoke warm-run assertion keys on this: a second run
+    /// over a warm store must report zero re-extractions.
+    pub splat_extractions: usize,
     /// Lookups that waited on another lookup's in-flight bake of the same
     /// asset instead of duplicating it (0 unless the cache was opened with
     /// [`StoreOptions::coalesce`] — the deployment service does).
@@ -178,6 +184,7 @@ impl CacheStats {
             hits: self.hits - earlier.hits,
             disk_hits: self.disk_hits - earlier.disk_hits,
             misses: self.misses - earlier.misses,
+            splat_extractions: self.splat_extractions - earlier.splat_extractions,
             coalesced: self.coalesced - earlier.coalesced,
             entries: self.entries,
             loaded_from_disk: self.loaded_from_disk,
@@ -213,8 +220,9 @@ impl std::fmt::Display for CacheStats {
 }
 
 /// The bake store's [`EntryCodec`]: `{fingerprint:016x}-g{g}-p{p}.nfbake`
-/// file names and the [`crate::disk`] framing. This is the *entire*
-/// store-specific surface of the bake cache's persistence.
+/// (mesh) / `…-g{g}-s{count}.nfbake` (splat) file names and the
+/// [`crate::disk`] framing. This is the *entire* store-specific surface of
+/// the bake cache's persistence.
 #[derive(Debug)]
 pub struct BakeEntryCodec;
 
@@ -260,6 +268,9 @@ impl EntryCodec for BakeEntryCodec {
 #[derive(Debug, Default)]
 pub struct BakeCache {
     store: KeyedStore<BakeEntryCodec>,
+    /// Splat-family extractions actually run (misses only; hits and
+    /// coalesced waiters never extract).
+    splat_extractions: std::sync::atomic::AtomicUsize,
 }
 
 impl BakeCache {
@@ -301,7 +312,10 @@ impl BakeCache {
     /// Returns the underlying error when the backing store cannot be
     /// created or listed.
     pub fn open(options: impl Into<StoreOptions>) -> io::Result<Self> {
-        Ok(Self { store: KeyedStore::open(options)? })
+        Ok(Self {
+            store: KeyedStore::open(options)?,
+            splat_extractions: std::sync::atomic::AtomicUsize::new(0),
+        })
     }
 
     /// The primary local directory of a persistent cache (`None` when
@@ -343,6 +357,7 @@ impl BakeCache {
             hits: stats.hits,
             disk_hits: stats.disk_hits,
             misses: stats.misses,
+            splat_extractions: self.splat_extractions.load(std::sync::atomic::Ordering::Relaxed),
             coalesced: stats.coalesced,
             entries: stats.entries,
             loaded_from_disk: stats.indexed,
@@ -371,7 +386,14 @@ impl BakeCache {
     /// copy is kept.
     pub fn get_or_bake(&self, model: &ObjectModel, config: BakeConfig) -> Arc<BakedAsset> {
         let key = (model_fingerprint(model), config);
-        self.store.get_or_build(key, (), || bake_object(model, config))
+        self.store.get_or_build(key, (), || {
+            // The builder only runs on a real miss, so this counts actual
+            // extractions — hits, disk hits and coalesced waiters skip it.
+            if config.splat_count().is_some() {
+                self.splat_extractions.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            bake_object(model, config)
+        })
     }
 
     /// Cache-aware replacement for [`crate::asset::bake_placed`]: the
@@ -441,6 +463,34 @@ mod tests {
         assert!((stats.hit_ratio() - 0.4).abs() < 1e-12);
         let earlier = CacheStats { hits: 1, misses: 1, ..CacheStats::default() };
         assert_eq!(stats.since(&earlier).hits, 1);
+    }
+
+    #[test]
+    fn splat_extractions_are_counted_and_cached() {
+        let tmp = TempDir::new("splat-count");
+        let model = CanonicalObject::Hotdog.build();
+        let config = BakeConfig::splat(16, 256);
+
+        let cache = BakeCache::open(&tmp.0).expect("open");
+        let first = cache.get_or_bake(&model, config);
+        let again = cache.get_or_bake(&model, config);
+        let _ = cache.get_or_bake(&model, BakeConfig::new(10, 3));
+        let stats = cache.stats();
+        assert_eq!(stats.splat_extractions, 1, "one extraction per distinct splat config");
+        assert_eq!(stats.misses, 2, "mesh miss does not count as an extraction");
+        assert_eq!(first.splats, again.splats);
+        cache.flush().expect("flush");
+
+        // A warm store serves the cloud from disk: zero re-extractions —
+        // the acceptance criterion the CI bench-smoke run pins.
+        let warm = BakeCache::open(&tmp.0).expect("reopen");
+        let loaded = warm.get_or_bake(&model, config);
+        let stats = warm.stats();
+        assert_eq!((stats.disk_hits, stats.splat_extractions), (1, 0));
+        assert_eq!(
+            loaded.splats.as_deref().expect("cloud"),
+            first.splats.as_deref().expect("cloud")
+        );
     }
 
     #[test]

@@ -1,16 +1,67 @@
-//! The baking configuration pair θ = (g, p).
+//! The baking configuration pair θ = (g, p) and the representation family.
 
 use serde::{Deserialize, Serialize};
 
-/// The two controlling knobs of the baked representation (paper §III-B):
-/// the voxel-grid granularity per axis `g` and the one-dimensional texture
-/// patch size `p` allocated to each quad face.
+/// The baked-representation family a configuration selects (ISSUE 10).
+///
+/// The paper's Stage-3 selection picks, per object and per device budget,
+/// the cheapest baked representation that clears the quality bar. The
+/// classic MobileNeRF-style family ([`BakeFamily::Mesh`]) pairs a quad mesh
+/// with a texture atlas and a tiny MLP; the gaussian-splat family
+/// ([`BakeFamily::Splat`]) replaces all three with a cloud of oriented
+/// anisotropic gaussians extracted from the SDF surface — far cheaper at
+/// tight budgets and better on soft geometry, at the cost of crispness.
+///
+/// The variant order is load-bearing: it is the **fixed cross-family
+/// tie-break order** used by the selector when two configurations from
+/// different families score equal quality at equal size (`Mesh` wins; see
+/// `docs/determinism.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BakeFamily {
+    /// Quad mesh + texture atlas + deferred-shading MLP (paper §III-B).
+    Mesh,
+    /// Oriented anisotropic gaussian splats; `count` is the family's
+    /// quality axis (requested splat budget — extraction may produce fewer
+    /// when the surface has fewer seed cells).
+    Splat {
+        /// Requested number of splats.
+        count: u32,
+    },
+}
+
+impl BakeFamily {
+    /// Stable one-byte tag used by the on-disk codec and the tie-break key.
+    pub fn tag(self) -> u8 {
+        match self {
+            BakeFamily::Mesh => 0,
+            BakeFamily::Splat { .. } => 1,
+        }
+    }
+
+    /// Short human-readable family name (used by fig9's breakdown table).
+    pub fn name(self) -> &'static str {
+        match self {
+            BakeFamily::Mesh => "mesh",
+            BakeFamily::Splat { .. } => "splat",
+        }
+    }
+}
+
+/// The controlling knobs of the baked representation (paper §III-B), plus
+/// the representation family (ISSUE 10): the voxel-grid granularity per
+/// axis `g`, the one-dimensional texture patch size `p` allocated to each
+/// quad face, and — for the splat family — the splat count replacing `p`
+/// as the quality axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct BakeConfig {
-    /// Voxel grid cells per axis (mesh granularity level).
+    /// Voxel grid cells per axis (mesh granularity level; for splats the
+    /// seed-point resolution).
     pub grid: u32,
-    /// Texture patch side length in texels.
+    /// Texture patch side length in texels (pinned to [`Self::MIN_PATCH`]
+    /// for splat configurations, which carry no atlas).
     pub patch: u32,
+    /// The representation family this configuration bakes.
+    pub family: BakeFamily,
 }
 
 impl BakeConfig {
@@ -22,34 +73,91 @@ impl BakeConfig {
     pub const MIN_PATCH: u32 = 3;
     /// Largest texture patch side evaluated in the paper (Fig. 3 sweeps to ~45).
     pub const MAX_PATCH: u32 = 45;
+    /// Smallest splat budget worth extracting.
+    pub const MIN_SPLATS: u32 = 64;
+    /// Largest splat budget enumerated by the configuration space.
+    pub const MAX_SPLATS: u32 = 65_536;
 
     /// The configuration recommended by the MobileNeRF paper and used for the
     /// Single-NeRF and Block-NeRF baselines: `(g, p) = (128, 17)`.
-    pub const MOBILENERF_DEFAULT: BakeConfig = BakeConfig { grid: 128, patch: 17 };
+    pub const MOBILENERF_DEFAULT: BakeConfig =
+        BakeConfig { grid: 128, patch: 17, family: BakeFamily::Mesh };
 
-    /// Creates a configuration.
+    /// Creates a mesh-family configuration.
     ///
     /// # Panics
     ///
     /// Panics when either knob is zero.
     pub fn new(grid: u32, patch: u32) -> Self {
         assert!(grid > 0 && patch > 0, "configuration knobs must be positive");
-        Self { grid, patch }
+        Self { grid, patch, family: BakeFamily::Mesh }
     }
 
-    /// Clamps both knobs into the supported range
-    /// (`[MIN_GRID, MAX_GRID] × [MIN_PATCH, MAX_PATCH]`).
+    /// Creates a splat-family configuration: seed grid `g` and requested
+    /// splat `count` (the family's quality axis). The unused patch knob is
+    /// pinned to [`Self::MIN_PATCH`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when either knob is zero.
+    pub fn splat(grid: u32, count: u32) -> Self {
+        assert!(grid > 0 && count > 0, "configuration knobs must be positive");
+        Self { grid, patch: Self::MIN_PATCH, family: BakeFamily::Splat { count } }
+    }
+
+    /// Clamps every knob into the supported range
+    /// (`[MIN_GRID, MAX_GRID] × [MIN_PATCH, MAX_PATCH]`, splat counts into
+    /// `[MIN_SPLATS, MAX_SPLATS]`).
     pub fn clamped(self) -> Self {
         Self {
             grid: self.grid.clamp(Self::MIN_GRID, Self::MAX_GRID),
             patch: self.patch.clamp(Self::MIN_PATCH, Self::MAX_PATCH),
+            family: match self.family {
+                BakeFamily::Mesh => BakeFamily::Mesh,
+                BakeFamily::Splat { count } => {
+                    BakeFamily::Splat { count: count.clamp(Self::MIN_SPLATS, Self::MAX_SPLATS) }
+                }
+            },
         }
     }
 
-    /// `true` when both knobs lie within the supported range.
+    /// `true` when every knob lies within the supported range.
     pub fn is_in_range(&self) -> bool {
         (Self::MIN_GRID..=Self::MAX_GRID).contains(&self.grid)
             && (Self::MIN_PATCH..=Self::MAX_PATCH).contains(&self.patch)
+            && match self.family {
+                BakeFamily::Mesh => true,
+                BakeFamily::Splat { count } => {
+                    (Self::MIN_SPLATS..=Self::MAX_SPLATS).contains(&count)
+                }
+            }
+    }
+
+    /// The requested splat count (`None` for mesh-family configurations).
+    pub fn splat_count(&self) -> Option<u32> {
+        match self.family {
+            BakeFamily::Mesh => None,
+            BakeFamily::Splat { count } => Some(count),
+        }
+    }
+
+    /// The family-specific second knob: patch side for meshes, splat count
+    /// for splats. Together with `grid` and the family tag this identifies
+    /// the configuration (used by the on-disk entry naming).
+    pub fn axis2(&self) -> u32 {
+        match self.family {
+            BakeFamily::Mesh => self.patch,
+            BakeFamily::Splat { count } => count,
+        }
+    }
+
+    /// The deterministic cross-family tie-break key: family tag first
+    /// (`Mesh` < `Splat` — the fixed family order of `docs/determinism.md`),
+    /// then the knobs. When the selector scores two candidates equal in
+    /// quality at equal size it keeps the one with the *smaller* key,
+    /// independent of enumeration order.
+    pub fn tie_break_key(&self) -> (u8, u32, u32) {
+        (self.family.tag(), self.grid, self.axis2())
     }
 }
 
@@ -61,7 +169,10 @@ impl Default for BakeConfig {
 
 impl std::fmt::Display for BakeConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "(g={}, p={})", self.grid, self.patch)
+        match self.family {
+            BakeFamily::Mesh => write!(f, "(g={}, p={})", self.grid, self.patch),
+            BakeFamily::Splat { count } => write!(f, "(g={}, s={})", self.grid, count),
+        }
     }
 }
 
@@ -74,6 +185,7 @@ mod tests {
         let c = BakeConfig::default();
         assert_eq!(c.grid, 128);
         assert_eq!(c.patch, 17);
+        assert_eq!(c.family, BakeFamily::Mesh);
         assert!(c.is_in_range());
     }
 
@@ -87,13 +199,58 @@ mod tests {
     }
 
     #[test]
+    fn splat_clamping_bounds_the_count() {
+        let c = BakeConfig::splat(20, 1).clamped();
+        assert_eq!(c.splat_count(), Some(BakeConfig::MIN_SPLATS));
+        assert!(c.is_in_range());
+        let c = BakeConfig::splat(20, u32::MAX).clamped();
+        assert_eq!(c.splat_count(), Some(BakeConfig::MAX_SPLATS));
+        assert!(!BakeConfig::splat(20, 1).is_in_range());
+    }
+
+    #[test]
     fn display_is_readable() {
         assert_eq!(BakeConfig::new(64, 9).to_string(), "(g=64, p=9)");
+        assert_eq!(BakeConfig::splat(24, 2048).to_string(), "(g=24, s=2048)");
+    }
+
+    #[test]
+    fn tie_break_orders_mesh_before_splat() {
+        // The fixed family order of docs/determinism.md: at equal knobs a
+        // mesh configuration always has the smaller key.
+        let mesh = BakeConfig::new(24, 5);
+        let splat = BakeConfig::splat(24, 2048);
+        assert!(mesh.tie_break_key() < splat.tie_break_key());
+        // Within a family the key orders by grid, then the second axis.
+        assert!(BakeConfig::new(16, 9).tie_break_key() < BakeConfig::new(24, 3).tie_break_key());
+        assert!(
+            BakeConfig::splat(24, 512).tie_break_key() < BakeConfig::splat(24, 513).tie_break_key()
+        );
+    }
+
+    #[test]
+    fn splat_accessors_expose_the_count() {
+        let c = BakeConfig::splat(20, 4096);
+        assert_eq!(c.splat_count(), Some(4096));
+        assert_eq!(c.axis2(), 4096);
+        assert_eq!(c.family.tag(), 1);
+        assert_eq!(c.family.name(), "splat");
+        let m = BakeConfig::new(20, 7);
+        assert_eq!(m.splat_count(), None);
+        assert_eq!(m.axis2(), 7);
+        assert_eq!(m.family.tag(), 0);
+        assert_eq!(m.family.name(), "mesh");
     }
 
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_knob_panics() {
         let _ = BakeConfig::new(0, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_splat_count_panics() {
+        let _ = BakeConfig::splat(20, 0);
     }
 }

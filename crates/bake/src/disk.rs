@@ -10,14 +10,21 @@
 //! Every entry file is self-contained and self-validating:
 //!
 //! ```text
-//! magic "NFBC" | version u32 | fingerprint u64 | grid u32 | patch u32
+//! magic "NFBC" | version u32 | fingerprint u64
+//! family u8 (0 = mesh, 1 = splat) | grid u32 | axis2 u32
+//!   (axis2 is the family's second knob: patch side for meshes, splat
+//!    count for splats)
 //! name (u32 len + UTF-8 bytes)
-//! mesh:  vertex count u32, quad count u32,
-//!        positions [3×f32]*, normals [3×f32]*,
-//!        quads [4×u32 indices + 3×f32 face normal]*
-//! atlas: patch u32, quad count u64, texel count u64, texels [3×u8]*
-//! mlp:   present u8, then per layer: rows u32 × cols u32 + row-major f32
-//!        weights, and the bias vectors
+//! family 0 payload:
+//!   mesh:  vertex count u32, quad count u32,
+//!          positions [3×f32]*, normals [3×f32]*,
+//!          quads [4×u32 indices + 3×f32 face normal]*
+//!   atlas: patch u32, quad count u64, texel count u64, texels [3×u8]*
+//!   mlp:   present u8, then per layer: rows u32 × cols u32 + row-major
+//!          f32 weights, and the bias vectors
+//! family 1 payload:
+//!   splat count u64, then per splat: position 3×f32, scale 3×f32,
+//!   rotation_y f32, rgb 3×u8, opacity u8 (32 bytes)
 //! checksum: FNV-1a u64 over every preceding byte
 //! ```
 //!
@@ -27,16 +34,19 @@
 
 use crate::asset::{BakedAsset, Placement};
 use crate::atlas::TextureAtlas;
-use crate::config::BakeConfig;
+use crate::config::{BakeConfig, BakeFamily};
 use crate::mesh::{Quad, QuadMesh};
 use crate::mlp::TinyMlp;
+use crate::splat::{Splat, SplatCloud, SPLAT_BYTES};
 use nerflex_math::Vec3;
 use std::sync::Arc;
 
 /// Version of the on-disk entry format. Bump on ANY layout change: readers
 /// reject foreign versions (no migration — entries are a cache, re-baking is
 /// always correct), so a bump simply invalidates persisted entries.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+/// Version 2 added the representation-family tag and the splat payload
+/// (ISSUE 10).
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// Magic bytes identifying a NeRFlex bake-cache entry file.
 pub const MAGIC: [u8; 4] = *b"NFBC";
@@ -120,11 +130,30 @@ pub fn encode_entry(fingerprint: u64, asset: &BakedAsset) -> Vec<u8> {
     out.extend_from_slice(&MAGIC);
     put_u32(&mut out, CACHE_FORMAT_VERSION);
     put_u64(&mut out, fingerprint);
+    out.push(asset.config.family.tag());
     put_u32(&mut out, asset.config.grid);
-    put_u32(&mut out, asset.config.patch);
+    put_u32(&mut out, asset.config.axis2());
 
     put_u32(&mut out, asset.name.len() as u32);
     out.extend_from_slice(asset.name.as_bytes());
+
+    // Splat-family entries carry only the cloud — no mesh/atlas/MLP
+    // sections at all.
+    if let BakeFamily::Splat { .. } = asset.config.family {
+        let cloud = asset.splats.as_deref();
+        let splats = cloud.map_or(&[][..], SplatCloud::splats);
+        put_u64(&mut out, splats.len() as u64);
+        for s in splats {
+            put_vec3(&mut out, s.position);
+            put_vec3(&mut out, s.scale);
+            put_f32(&mut out, s.rotation_y);
+            out.extend_from_slice(&s.color);
+            out.push(s.opacity);
+        }
+        let checksum = fnv1a(&out);
+        put_u64(&mut out, checksum);
+        return out;
+    }
 
     // Mesh.
     let mesh = &asset.mesh;
@@ -256,17 +285,59 @@ pub fn decode_entry(bytes: &[u8]) -> Result<(u64, BakeConfig, Arc<BakedAsset>), 
     let mut cursor = Cursor { bytes: &bytes[..body_len], pos: cursor.pos };
 
     let fingerprint = cursor.u64()?;
+    let family_tag = cursor.take(1)?[0];
     let grid = cursor.u32()?;
-    let patch = cursor.u32()?;
-    if grid == 0 || patch == 0 {
+    let axis2 = cursor.u32()?;
+    if grid == 0 || axis2 == 0 {
         return Err(DecodeError::Malformed("zero configuration knob"));
     }
-    let config = BakeConfig::new(grid, patch);
+    let config = match family_tag {
+        0 => BakeConfig::new(grid, axis2),
+        1 => BakeConfig::splat(grid, axis2),
+        _ => return Err(DecodeError::Malformed("unknown representation family")),
+    };
 
     let name_len = cursor.u32()? as usize;
     let name = std::str::from_utf8(cursor.take(name_len)?)
         .map_err(|_| DecodeError::Malformed("name is not UTF-8"))?
         .to_string();
+
+    // Splat payload: the cloud is the entire asset.
+    if family_tag == 1 {
+        let stored = cursor.u64()? as usize;
+        if stored > axis2 as usize {
+            return Err(DecodeError::Malformed("more splats than the configured count"));
+        }
+        cursor.expect_elements(stored, SPLAT_BYTES)?;
+        let mut splats = Vec::with_capacity(stored);
+        for _ in 0..stored {
+            let position = cursor.vec3()?;
+            let scale = cursor.vec3()?;
+            let rotation_y = cursor.f32()?;
+            let rgba = cursor.take(4)?;
+            splats.push(Splat {
+                position,
+                scale,
+                rotation_y,
+                color: [rgba[0], rgba[1], rgba[2]],
+                opacity: rgba[3],
+            });
+        }
+        if cursor.pos != body_len {
+            return Err(DecodeError::Malformed("trailing bytes after payload"));
+        }
+        let asset = BakedAsset {
+            name,
+            object_id: 0,
+            config,
+            mesh: Arc::new(QuadMesh::default()),
+            atlas: Arc::new(TextureAtlas::from_raw(config.patch, 0, vec![])),
+            mlp: None,
+            splats: Some(Arc::new(SplatCloud::from_splats(splats))),
+            placement: Placement::default(),
+        };
+        return Ok((fingerprint, config, Arc::new(asset)));
+    }
 
     // Mesh.
     let vertex_count = cursor.u32()? as usize;
@@ -373,14 +444,24 @@ pub fn decode_entry(bytes: &[u8]) -> Result<(u64, BakeConfig, Arc<BakedAsset>), 
         mesh: Arc::new(mesh),
         atlas: Arc::new(atlas),
         mlp,
+        splats: None,
         placement: Placement::default(),
     };
     Ok((fingerprint, config, Arc::new(asset)))
 }
 
-/// The canonical file name of an entry: `"{fingerprint:016x}-g{g}-p{p}.nfbake"`.
+/// The canonical file name of an entry:
+/// `"{fingerprint:016x}-g{g}-p{p}.nfbake"` for the mesh family,
+/// `"{fingerprint:016x}-g{g}-s{count}.nfbake"` for the splat family.
 pub fn entry_file_name(fingerprint: u64, config: BakeConfig) -> String {
-    format!("{fingerprint:016x}-g{}-p{}.{ENTRY_EXTENSION}", config.grid, config.patch)
+    match config.family {
+        BakeFamily::Mesh => {
+            format!("{fingerprint:016x}-g{}-p{}.{ENTRY_EXTENSION}", config.grid, config.patch)
+        }
+        BakeFamily::Splat { count } => {
+            format!("{fingerprint:016x}-g{}-s{count}.{ENTRY_EXTENSION}", config.grid)
+        }
+    }
 }
 
 /// Parses an [`entry_file_name`] back into its `(fingerprint, config)` key.
@@ -392,13 +473,22 @@ pub fn parse_entry_file_name(name: &str) -> Option<(u64, BakeConfig)> {
     let mut parts = stem.split('-');
     let fingerprint = u64::from_str_radix(parts.next()?, 16).ok()?;
     let grid: u32 = parts.next()?.strip_prefix('g')?.parse().ok()?;
-    let patch: u32 = parts.next()?.strip_prefix('p')?.parse().ok()?;
-    // Reject zero knobs here: `BakeConfig::new` asserts positivity, and a
-    // foreign `-g0-`/`-p0-` file name must be ignored, not a panic.
-    if grid == 0 || patch == 0 || parts.next().is_some() {
+    // The third part's prefix selects the family: `p` = mesh patch,
+    // `s` = splat count.
+    let axis2 = parts.next()?;
+    let (splat, axis2) = match axis2.strip_prefix('p') {
+        Some(rest) => (false, rest),
+        None => (true, axis2.strip_prefix('s')?),
+    };
+    let axis2: u32 = axis2.parse().ok()?;
+    // Reject zero knobs here: the config constructors assert positivity,
+    // and a foreign `-g0-`/`-p0-`/`-s0-` file name must be ignored, not a
+    // panic.
+    if grid == 0 || axis2 == 0 || parts.next().is_some() {
         return None;
     }
-    Some((fingerprint, BakeConfig::new(grid, patch)))
+    let config = if splat { BakeConfig::splat(grid, axis2) } else { BakeConfig::new(grid, axis2) };
+    Some((fingerprint, config))
 }
 
 /// The canonical byte representation of one *placed* asset: its entry
@@ -448,6 +538,18 @@ mod tests {
         asset
     }
 
+    fn splat_asset() -> BakedAsset {
+        let model = CanonicalObject::Hotdog.build();
+        bake_object(&model, BakeConfig::splat(16, 512))
+    }
+
+    /// Offset of the first payload count field (mesh vertex count / stored
+    /// splat count): the fixed header (magic, version, fingerprint, family
+    /// tag, grid, axis2, name length) plus the name bytes.
+    fn payload_count_offset(asset: &BakedAsset) -> usize {
+        MAGIC.len() + 4 + 8 + 1 + 4 + 4 + 4 + asset.name.len()
+    }
+
     #[test]
     fn round_trip_preserves_every_field() {
         for with_mlp in [false, true] {
@@ -468,36 +570,79 @@ mod tests {
     }
 
     #[test]
+    fn splat_round_trip_preserves_every_field() {
+        let asset = splat_asset();
+        let bytes = encode_entry(0xfeed_f00d, &asset);
+        let (fp, config, decoded) = decode_entry(&bytes).expect("decodes");
+        assert_eq!(fp, 0xfeed_f00d);
+        assert_eq!(config, asset.config);
+        assert_eq!(config.splat_count(), Some(512));
+        assert_eq!(decoded.name, asset.name);
+        assert_eq!(
+            decoded.splats.as_deref().expect("cloud survives"),
+            asset.splats.as_deref().expect("cloud baked")
+        );
+        assert_eq!(decoded.size_bytes(), asset.size_bytes());
+        assert_eq!(decoded.mesh.quad_count(), 0);
+        assert_eq!(decoded.placement, Placement::default());
+        // Re-encoding a decoded entry is byte-identical: cached and fresh
+        // assets produce the same `placed_asset_bytes`.
+        assert_eq!(encode_entry(0xfeed_f00d, &decoded), bytes);
+    }
+
+    #[test]
     fn truncation_is_detected_at_every_length() {
-        let bytes = encode_entry(1, &sample_asset(false));
-        // Every strict prefix must fail cleanly (checksum or truncation),
-        // never panic.
-        for len in (0..bytes.len()).step_by(97).chain([bytes.len() - 1]) {
-            assert!(decode_entry(&bytes[..len]).is_err(), "prefix of {len} bytes decoded");
+        for asset in [sample_asset(false), splat_asset()] {
+            let bytes = encode_entry(1, &asset);
+            // Every strict prefix must fail cleanly (checksum or
+            // truncation), never panic.
+            for len in (0..bytes.len()).step_by(97).chain([bytes.len() - 1]) {
+                assert!(decode_entry(&bytes[..len]).is_err(), "prefix of {len} bytes decoded");
+            }
         }
     }
 
     #[test]
     fn bit_flips_fail_the_checksum() {
-        let bytes = encode_entry(1, &sample_asset(false));
-        for pos in [MAGIC.len() + 4, bytes.len() / 2, bytes.len() - 9] {
-            let mut corrupt = bytes.clone();
-            corrupt[pos] ^= 0x40;
-            assert!(decode_entry(&corrupt).is_err(), "bit flip at {pos} not detected");
+        for asset in [sample_asset(false), splat_asset()] {
+            let bytes = encode_entry(1, &asset);
+            for pos in [MAGIC.len() + 4, bytes.len() / 2, bytes.len() - 9] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= 0x40;
+                assert!(decode_entry(&corrupt).is_err(), "bit flip at {pos} not detected");
+            }
         }
     }
 
     #[test]
     fn foreign_versions_are_rejected_not_misread() {
-        let mut bytes = encode_entry(1, &sample_asset(false));
-        bytes[4..8].copy_from_slice(&(CACHE_FORMAT_VERSION + 1).to_le_bytes());
-        // Fix up the checksum so only the version differs.
+        for asset in [sample_asset(false), splat_asset()] {
+            let mut bytes = encode_entry(1, &asset);
+            bytes[4..8].copy_from_slice(&(CACHE_FORMAT_VERSION + 1).to_le_bytes());
+            // Fix up the checksum so only the version differs.
+            let body = bytes.len() - 8;
+            let sum = fnv1a(&bytes[..body]);
+            bytes[body..].copy_from_slice(&sum.to_le_bytes());
+            assert_eq!(
+                decode_entry(&bytes).err(),
+                Some(DecodeError::VersionMismatch { found: CACHE_FORMAT_VERSION + 1 })
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_family_tags_are_rejected() {
+        let asset = sample_asset(false);
+        let mut bytes = encode_entry(1, &asset);
+        let family_offset = MAGIC.len() + 4 + 8;
+        assert_eq!(bytes[family_offset], 0, "offset arithmetic drifted from the format");
+        bytes[family_offset] = 9;
         let body = bytes.len() - 8;
         let sum = fnv1a(&bytes[..body]);
         bytes[body..].copy_from_slice(&sum.to_le_bytes());
         assert_eq!(
             decode_entry(&bytes).err(),
-            Some(DecodeError::VersionMismatch { found: CACHE_FORMAT_VERSION + 1 })
+            Some(DecodeError::Malformed("unknown representation family"))
         );
     }
 
@@ -509,7 +654,7 @@ mod tests {
         let asset = sample_asset(false);
         let bytes = encode_entry(1, &asset);
         // vertex_count sits right after the fixed header and the name.
-        let vertex_count_offset = MAGIC.len() + 4 + 8 + 4 + 4 + 4 + asset.name.len();
+        let vertex_count_offset = payload_count_offset(&asset);
         assert_eq!(
             u32::from_le_bytes(
                 bytes[vertex_count_offset..vertex_count_offset + 4].try_into().expect("4")
@@ -524,6 +669,32 @@ mod tests {
         let sum = fnv1a(&hostile[..body]);
         hostile[body..].copy_from_slice(&sum.to_le_bytes());
         assert_eq!(decode_entry(&hostile).err(), Some(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn checksum_consistent_absurd_splat_counts_are_rejected() {
+        // Same guard for the splat payload: an inflated stored-splat count
+        // is caught by the configured-count bound, never allocated.
+        let asset = splat_asset();
+        let bytes = encode_entry(1, &asset);
+        let count_offset = payload_count_offset(&asset);
+        let stored =
+            u64::from_le_bytes(bytes[count_offset..count_offset + 8].try_into().expect("8"))
+                as usize;
+        assert_eq!(
+            stored,
+            asset.splats.as_deref().expect("cloud").len(),
+            "offset arithmetic drifted from the format"
+        );
+        let mut hostile = bytes.clone();
+        hostile[count_offset..count_offset + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let body = hostile.len() - 8;
+        let sum = fnv1a(&hostile[..body]);
+        hostile[body..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            decode_entry(&hostile).err(),
+            Some(DecodeError::Malformed("more splats than the configured count"))
+        );
     }
 
     #[test]
@@ -542,19 +713,31 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert!(a.ends_with(".nfbake"));
+        // The family is part of the name: a splat entry with the same grid
+        // and numeric second knob never collides with a mesh entry.
+        let s = entry_file_name(7, BakeConfig::splat(10, 3));
+        assert_ne!(a, s);
+        assert!(s.contains("-s3."));
     }
 
     #[test]
     fn entry_file_names_parse_back_to_their_key() {
         let key = (0x2f1c_66aa_0194_5f10u64, BakeConfig::new(30, 6));
         assert_eq!(parse_entry_file_name(&entry_file_name(key.0, key.1)), Some(key));
+        let splat_key = (0x2f1c_66aa_0194_5f10u64, BakeConfig::splat(24, 2048));
+        assert_eq!(
+            parse_entry_file_name(&entry_file_name(splat_key.0, splat_key.1)),
+            Some(splat_key)
+        );
         assert_eq!(parse_entry_file_name("garbage.nfbake"), None);
         assert_eq!(parse_entry_file_name("0123-g10.nfbake"), None);
         assert_eq!(parse_entry_file_name("0123-g10-p3-extra.nfbake"), None);
         assert_eq!(parse_entry_file_name("0123-g10-p3.other"), None);
         assert_eq!(parse_entry_file_name("zz-g10-p3.nfbake"), None);
-        // Zero knobs must be ignored, not panic via BakeConfig::new.
+        assert_eq!(parse_entry_file_name("0123-g10-q3.nfbake"), None);
+        // Zero knobs must be ignored, not panic via the config constructors.
         assert_eq!(parse_entry_file_name("0123-g0-p3.nfbake"), None);
         assert_eq!(parse_entry_file_name("0123-g10-p0.nfbake"), None);
+        assert_eq!(parse_entry_file_name("0123-g10-s0.nfbake"), None);
     }
 }

@@ -36,6 +36,7 @@ pub mod fault;
 pub mod mesh;
 pub mod mlp;
 pub mod pool;
+pub mod splat;
 pub mod store;
 pub mod voxel;
 
@@ -46,13 +47,14 @@ pub use backend::{
     StoreBackend,
 };
 pub use cache::{model_fingerprint, BakeCache, CacheStats};
-pub use config::BakeConfig;
+pub use config::{BakeConfig, BakeFamily};
 pub use disk::CACHE_FORMAT_VERSION;
 pub use fault::{
     FaultMode, FaultOp, FaultPlan, FaultSchedule, FaultStats, FaultyBackend, StoreFaultPanic,
 };
 pub use mesh::QuadMesh;
 pub use mlp::TinyMlp;
+pub use splat::{Splat, SplatCloud, SPLAT_BYTES};
 pub use store::{
     EntryCodec, FlushReport, KeyedStore, PruneReport, StoreLimits, StoreLocation, StoreOptions,
     StoreStats,

@@ -99,10 +99,26 @@ fn bench_mlp_vs_analytic_shading(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_deferred_shading");
     group.sample_size(10);
     group.bench_function("analytic", |b| {
-        b.iter(|| render_assets(&assets, &pose, 64, 64, &RenderOptions { use_mlp_shading: false }))
+        b.iter(|| {
+            render_assets(
+                &assets,
+                &pose,
+                64,
+                64,
+                &RenderOptions { use_mlp_shading: false, ..RenderOptions::default() },
+            )
+        })
     });
     group.bench_function("tiny_mlp", |b| {
-        b.iter(|| render_assets(&assets, &pose, 64, 64, &RenderOptions { use_mlp_shading: true }))
+        b.iter(|| {
+            render_assets(
+                &assets,
+                &pose,
+                64,
+                64,
+                &RenderOptions { use_mlp_shading: true, ..RenderOptions::default() },
+            )
+        })
     });
     group.finish();
 }

@@ -17,10 +17,18 @@
 //! the CI two-store run asserts it). `--json` writes a machine-readable
 //! summary of the timings and cache counters; `--smoke` further reduces the
 //! quick scale for CI while keeping the cache keys identical.
+//!
+//! `--splats` enables the gaussian-splat representation family: the profiler
+//! samples the splat count axis, the configuration space gains splat
+//! candidates, and the device budget is tightened (`--budget-mb MB`,
+//! default 0.35 with `--splats`) so the selector actually reaches for the
+//! compact family. The JSON gains a per-family byte breakdown plus the
+//! `splat_assets` / `splat_extractions` counters the CI splat scenario
+//! asserts on (second warm run: zero extractions, identical fingerprint).
 
 use nerflex_bench::{
-    json_path_from_args, print_header, seed_from_args, smoke_from_args, store_options_from_args,
-    ExperimentMode, JsonReport,
+    arg_value, json_path_from_args, print_header, seed_from_args, smoke_from_args,
+    store_options_from_args, ExperimentMode, JsonReport,
 };
 use nerflex_core::baselines::{bake_block_nerf, bake_single_nerf};
 use nerflex_core::experiments::EvaluationScene;
@@ -31,6 +39,7 @@ fn main() {
     let mode = ExperimentMode::from_args();
     let seed = seed_from_args();
     let smoke = smoke_from_args();
+    let splats = std::env::args().any(|a| a == "--splats");
     print_header("Fig. 9 — overhead analysis (20 training images)", mode, seed);
 
     let built = EvaluationScene::RealWorld.build(seed);
@@ -43,10 +52,26 @@ fn main() {
     let dataset = built.dataset(train_views, 2, resolution);
     let single = bake_single_nerf(&built.scene, mode.baseline_config());
     let block = bake_block_nerf(&built.scene, mode.baseline_config());
-    let (iphone, _) = mode.devices(&single, &block);
+    let (mut iphone, _) = mode.devices(&single, &block);
 
     let mut options = mode.pipeline_options();
     options.store = store_options_from_args();
+    if splats {
+        // Splat scenario: profile the splat count axis, offer splat
+        // candidates to the selector, and tighten the budget so the compact
+        // family actually wins for at least one object. The splat sample
+        // grid (24) matches the candidate grid so every candidate count is
+        // an interpolation of the fitted curves, never an extrapolation.
+        options.profiler = options.profiler.with_splats(nerflex_profile::SplatSampleRange::quick());
+        options.space = options.space.clone().with_splats(24, vec![128, 256, 512, 1024]);
+        // 0.35 MB sits between "everything fits as mesh" and "everything
+        // must go splat" at smoke/quick scale, so the deployment mixes
+        // families — the story the splat scenario exists to tell.
+        let budget_mb =
+            arg_value("--budget-mb").and_then(|s| s.parse::<f64>().ok()).unwrap_or(0.35);
+        iphone.recommended_budget_mb = budget_mb;
+        println!("splat family enabled: budget tightened to {budget_mb} MB\n");
+    }
     let pipeline = NerflexPipeline::new(options);
     // Hold the cache for the whole run so the report can distinguish what
     // this process baked from what a previous process left on disk.
@@ -141,6 +166,13 @@ fn main() {
         ),
     ]);
     engine.push_row(vec![
+        "splat-cloud extractions (baking stage)".to_string(),
+        format!(
+            "{} this deploy, {} whole-run (0 on a warm cache)",
+            t.splat_extractions, run_cache.splat_extractions
+        ),
+    ]);
+    engine.push_row(vec![
         "persistent store".to_string(),
         if pipeline.options().store.is_persistent() {
             format!(
@@ -204,6 +236,46 @@ fn main() {
     println!("{engine}");
     println!("whole-run bake cache: {run_cache}");
 
+    // Per-family byte breakdown of the deployed assets: where the deployed
+    // megabytes actually live (mesh quads, texture atlas, deferred-shading
+    // MLP, gaussian splat clouds) and which representation family each
+    // object ended up with. The CI splat scenario asserts `splat_assets ≥ 1`
+    // from the JSON mirror of this table.
+    let fmt_kib = |bytes: usize| format!("{:.1} KiB", bytes as f64 / 1024.0);
+    let mut breakdown = Table::new(
+        "Deployed bytes by representation family",
+        &["object", "family", "mesh", "atlas", "mlp", "splats", "total"],
+    );
+    let (mut mesh_bytes, mut atlas_bytes, mut mlp_bytes, mut splat_bytes) = (0, 0, 0, 0);
+    let mut splat_assets = 0usize;
+    for asset in &deployment.assets {
+        mesh_bytes += asset.mesh_size_bytes();
+        atlas_bytes += asset.texture_size_bytes();
+        mlp_bytes += asset.mlp_size_bytes();
+        splat_bytes += asset.splat_size_bytes();
+        splat_assets += usize::from(asset.splats.is_some());
+        breakdown.push_row(vec![
+            asset.name.clone(),
+            asset.config.family.name().to_string(),
+            fmt_kib(asset.mesh_size_bytes()),
+            fmt_kib(asset.texture_size_bytes()),
+            fmt_kib(asset.mlp_size_bytes()),
+            fmt_kib(asset.splat_size_bytes()),
+            fmt_kib(asset.size_bytes()),
+        ]);
+    }
+    let total_bytes = mesh_bytes + atlas_bytes + mlp_bytes + splat_bytes;
+    breakdown.push_row(vec![
+        "total".to_string(),
+        format!("{splat_assets} splat / {} mesh", deployment.assets.len() - splat_assets),
+        fmt_kib(mesh_bytes),
+        fmt_kib(atlas_bytes),
+        fmt_kib(mlp_bytes),
+        fmt_kib(splat_bytes),
+        fmt_kib(total_bytes),
+    ]);
+    println!("{breakdown}");
+
     // Byte-level fingerprint of the deployment output: every baked asset's
     // canonical entry encoding plus its placement bits. Two processes (or
     // machines) that really produced identical output agree on this value —
@@ -244,6 +316,15 @@ fn main() {
             .int_field("stage_cache_hits", t.cache_hits as u64)
             .int_field("stage_cache_disk_hits", t.cache_disk_hits as u64)
             .int_field("stage_cache_misses", t.cache_misses as u64)
+            .int_field("splat_extractions", t.splat_extractions as u64)
+            .int_field("cache_splat_extractions", run_cache.splat_extractions as u64)
+            .int_field("splat_assets", splat_assets as u64)
+            .int_field("mesh_assets", (deployment.assets.len() - splat_assets) as u64)
+            .int_field("bytes_mesh", mesh_bytes as u64)
+            .int_field("bytes_atlas", atlas_bytes as u64)
+            .int_field("bytes_mlp", mlp_bytes as u64)
+            .int_field("bytes_splat", splat_bytes as u64)
+            .int_field("bytes_total", total_bytes as u64)
             .int_field("cache_hits", run_cache.hits as u64)
             .int_field("cache_disk_hits", run_cache.disk_hits as u64)
             .int_field("cache_served", run_cache.total_hits() as u64)

@@ -82,6 +82,7 @@ impl ExperimentMode {
                     resolution: 96,
                     ..MeasurementSettings::default()
                 },
+                ..ProfilerOptions::default()
             },
         }
     }

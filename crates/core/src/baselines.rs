@@ -97,6 +97,7 @@ pub fn bake_single_nerf(scene: &Scene, config: BakeConfig) -> BaselineResult {
         mesh: std::sync::Arc::new(mesh),
         atlas: std::sync::Arc::new(atlas),
         mlp: None,
+        splats: None,
         placement: Placement::default(),
     };
     let workload = Workload { data_size_mb: asset.size_mb(), total_quads: asset.mesh.quad_count() };

@@ -403,6 +403,10 @@ pub struct StageTimings {
     pub cache_disk_hits: usize,
     /// Final-bake requests that actually had to bake.
     pub cache_misses: usize,
+    /// Splat-cloud extractions the baking stage performed (a subset of
+    /// `cache_misses`: splat-family misses). Zero on a warm cache — the CI
+    /// bench-smoke asserts this for the second run of the splat scenario.
+    pub splat_extractions: usize,
     /// Worker-pool dispatches (batches entered, including inline sequential
     /// runs) during the profiling stage — the scheduling cost the batched
     /// whole-profile dispatch drives down (see `docs/pool.md`).
@@ -511,11 +515,12 @@ pub struct NerflexDeployment {
 }
 
 impl NerflexDeployment {
-    /// The on-device workload implied by the baked assets.
+    /// The on-device workload implied by the baked assets. Quads and splats
+    /// both count as device-side primitives.
     pub fn workload(&self) -> Workload {
         Workload {
             data_size_mb: self.assets.iter().map(BakedAsset::size_mb).sum(),
-            total_quads: self.assets.iter().map(|a| a.mesh.quad_count()).sum(),
+            total_quads: self.assets.iter().map(BakedAsset::primitive_count).sum(),
         }
     }
 
@@ -1037,6 +1042,7 @@ impl NerflexPipeline {
                 cache_hits: cache_delta.hits,
                 cache_disk_hits: cache_delta.disk_hits,
                 cache_misses: cache_delta.misses,
+                splat_extractions: cache_delta.splat_extractions,
             },
         }
     }

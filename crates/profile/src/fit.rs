@@ -6,7 +6,7 @@
 //! function so the same machinery fits both the size and the quality model.
 
 use crate::measurement::Measurement;
-use crate::model::{QualityModel, SizeModel};
+use crate::model::{QualityModel, SizeModel, SplatModels, SplatQualityModel, SplatSizeModel};
 use nerflex_math::stats::solve_normal_equations;
 
 /// A single fitting observation: configuration knobs and target value.
@@ -152,6 +152,65 @@ pub fn fit_quality_model(measurements: &[Measurement]) -> QualityModel {
     QualityModel::from_params(&best.expect("at least one start").0)
 }
 
+/// Fits the splat-family models `S(n) = k·n + m` and `Q(n) = q∞ − k/(n+a)`
+/// to the splat-family measurements in `measurements` (mesh-family samples
+/// are ignored). Returns `None` when there are no splat samples — the object
+/// then has no splat profile and the selectors skip splat candidates for it.
+///
+/// The same Levenberg–Marquardt machinery fits these one-knob curves: the
+/// splat count rides in the observation's `g` slot and `p` is unused.
+pub fn fit_splat_models(measurements: &[Measurement]) -> Option<SplatModels> {
+    let size_obs: Vec<Observation> = measurements
+        .iter()
+        .filter_map(|m| {
+            m.config.splat_count().map(|n| Observation { g: n, p: 1, target: m.size_mb })
+        })
+        .collect();
+    if size_obs.is_empty() {
+        return None;
+    }
+    let quality_obs: Vec<Observation> = measurements
+        .iter()
+        .filter_map(|m| m.config.splat_count().map(|n| Observation { g: n, p: 1, target: m.ssim }))
+        .collect();
+
+    // Size: linear in the count, so a single start converges immediately.
+    let k0 =
+        size_obs.iter().map(|o| o.target / o.g.max(1) as f64).sum::<f64>() / size_obs.len() as f64;
+    let (size_params, _) = fit_least_squares(
+        vec![k0, 0.0],
+        &size_obs,
+        |p, n, _| SplatSizeModel::from_params(p).predict(n),
+        |p| SplatSizeModel::from_params(p).params(),
+        80,
+    );
+
+    // Quality: multi-start over the count offset (non-convex in `a`).
+    let q_max = quality_obs.iter().map(|o| o.target).fold(0.0f64, f64::max);
+    let q_min = quality_obs.iter().map(|o| o.target).fold(1.0f64, f64::min);
+    let n_min = quality_obs.iter().map(|o| o.g).min().unwrap_or(64);
+    let k0 = ((q_max - q_min).max(1e-3)) * n_min as f64;
+    let mut best: Option<(Vec<f64>, f64)> = None;
+    for &a0 in &[0.0, n_min as f64 * 0.5, n_min as f64, n_min as f64 * 4.0] {
+        for &k_scale in &[1.0, 2.0, 4.0] {
+            let (params, err) = fit_least_squares(
+                vec![(q_max + 0.02).min(1.0), k0 * k_scale, a0],
+                &quality_obs,
+                |p, n, _| SplatQualityModel::from_params(p).predict(n),
+                |p| SplatQualityModel::from_params(p).params(),
+                150,
+            );
+            if best.as_ref().is_none_or(|(_, e)| err < *e) {
+                best = Some((params, err));
+            }
+        }
+    }
+    Some(SplatModels {
+        size: SplatSizeModel::from_params(&size_params),
+        quality: SplatQualityModel::from_params(&best.expect("at least one start").0),
+    })
+}
+
 /// Fallback minimum knobs used only when the observation list is empty of
 /// ordering information (never in practice).
 struct BakeConfigMin;
@@ -262,5 +321,55 @@ mod tests {
     #[should_panic(expected = "at least one observation")]
     fn empty_observations_panic() {
         let _ = fit_least_squares(vec![1.0], &[], |p, _, _| p[0], |p| p.to_vec(), 5);
+    }
+
+    fn synthetic_splat_measurements(
+        size: SplatSizeModel,
+        quality: SplatQualityModel,
+    ) -> Vec<Measurement> {
+        [128u32, 512, 2048, 8192, 32768]
+            .iter()
+            .map(|&n| Measurement {
+                config: BakeConfig::splat(24, n),
+                size_mb: size.predict(n),
+                ssim: quality.predict(n),
+                quad_count: n as usize,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_noiseless_splat_models() {
+        let truth_size = SplatSizeModel { k: 32.0 / (1024.0 * 1024.0), m: 0.002 };
+        let truth_quality = SplatQualityModel { q_inf: 0.82, k: 60.0, a: 50.0 };
+        let fitted = fit_splat_models(&synthetic_splat_measurements(truth_size, truth_quality))
+            .expect("splat samples present");
+        for &n in &[256u32, 1024, 4096, 16384] {
+            let ts = truth_size.predict(n);
+            let fs = fitted.predict_size(n);
+            assert!((ts - fs).abs() < 0.05 * ts.max(0.01), "size({n}): {ts} vs {fs}");
+            let tq = truth_quality.predict(n);
+            let fq = fitted.predict_quality(n);
+            assert!((tq - fq).abs() < 0.02, "quality({n}): {tq} vs {fq}");
+        }
+    }
+
+    #[test]
+    fn splat_fit_ignores_mesh_samples_and_needs_splat_ones() {
+        // Mesh-only measurements produce no splat models.
+        let mesh_only = synthetic_measurements(
+            SizeModel { k: 2e-8, a: 0.0, b: 0.0, m: 0.5 },
+            QualityModel { q_inf: 0.9, k: 1e4, a: 0.0, b: 0.0 },
+            0.0,
+        );
+        assert!(fit_splat_models(&mesh_only).is_none());
+        // Mixing mesh samples in does not perturb the splat fit.
+        let truth_size = SplatSizeModel { k: 3.0e-5, m: 0.001 };
+        let truth_quality = SplatQualityModel { q_inf: 0.8, k: 45.0, a: 20.0 };
+        let mut mixed = synthetic_splat_measurements(truth_size, truth_quality);
+        mixed.extend(mesh_only);
+        let fitted = fit_splat_models(&mixed).expect("splat samples present");
+        assert!((fitted.predict_size(1024) - truth_size.predict(1024)).abs() < 0.01);
+        assert!((fitted.predict_quality(1024) - truth_quality.predict(1024)).abs() < 0.05);
     }
 }

@@ -109,6 +109,109 @@ impl QualityModel {
     }
 }
 
+/// Splat-family size model `S(n) = k·n + m` (megabytes).
+///
+/// A splat cloud is a flat array of fixed-size records, so its baked size is
+/// exactly linear in the splat count `n` plus a constant envelope (codec
+/// header + checksum) — no cubic voxel term, no texel term.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplatSizeModel {
+    /// Megabytes per splat.
+    pub k: f64,
+    /// Constant overhead (codec envelope).
+    pub m: f64,
+}
+
+impl SplatSizeModel {
+    /// Evaluates the model for a splat count.
+    pub fn predict(&self, count: u32) -> f64 {
+        (self.k * count as f64 + self.m).max(0.0)
+    }
+
+    /// The model parameters as a flat vector `[k, m]` (fitting order).
+    pub fn params(&self) -> Vec<f64> {
+        vec![self.k, self.m]
+    }
+
+    /// Rebuilds the model from the flat parameter vector, projecting the
+    /// parameters into their physically valid ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `params.len() != 2`.
+    pub fn from_params(params: &[f64]) -> Self {
+        assert_eq!(params.len(), 2, "splat size model has 2 parameters");
+        Self { k: params[0].max(0.0), m: params[1].clamp(0.0, 1024.0) }
+    }
+}
+
+/// Splat-family quality model `Q(n) = q∞ − k / (n + a)` (SSIM, saturating).
+///
+/// Quality saturates in the splat count the same way the mesh family
+/// saturates in `(g, p)`: each extra splat refines the surface coverage with
+/// diminishing returns.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplatQualityModel {
+    /// Asymptotic quality as the splat count grows.
+    pub q_inf: f64,
+    /// Scale of the deficit term.
+    pub k: f64,
+    /// Count offset.
+    pub a: f64,
+}
+
+impl SplatQualityModel {
+    /// Evaluates the model; the result is clamped into `[0, 1]`.
+    pub fn predict(&self, count: u32) -> f64 {
+        let n = (count as f64 + self.a).max(1e-6);
+        (self.q_inf - self.k / n).clamp(0.0, 1.0)
+    }
+
+    /// The model parameters as a flat vector `[q_inf, k, a]` (fitting order).
+    pub fn params(&self) -> Vec<f64> {
+        vec![self.q_inf, self.k, self.a]
+    }
+
+    /// Rebuilds the model from the flat parameter vector, projecting the
+    /// parameters into their physically valid ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `params.len() != 3`.
+    pub fn from_params(params: &[f64]) -> Self {
+        assert_eq!(params.len(), 3, "splat quality model has 3 parameters");
+        Self {
+            q_inf: params[0].clamp(0.0, 1.0),
+            k: params[1].max(0.0),
+            a: params[2].clamp(-32.0, 1e6),
+        }
+    }
+}
+
+/// The paired splat-family size + quality models, fitted per object when
+/// splat profiling is enabled ([`crate::ProfilerOptions`]). Both are
+/// functions of the splat count alone — the extraction grid is fixed per
+/// sample range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplatModels {
+    /// Fitted linear size model.
+    pub size: SplatSizeModel,
+    /// Fitted saturating quality model.
+    pub quality: SplatQualityModel,
+}
+
+impl SplatModels {
+    /// Predicted baked-data size in MB for a splat count.
+    pub fn predict_size(&self, count: u32) -> f64 {
+        self.size.predict(count)
+    }
+
+    /// Predicted rendering quality (SSIM) for a splat count.
+    pub fn predict_quality(&self, count: u32) -> f64 {
+        self.quality.predict(count)
+    }
+}
+
 /// A paired size + quality model, the full per-object profile the selectors
 /// consume.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -193,5 +296,46 @@ mod tests {
     #[should_panic(expected = "only predicts size")]
     fn size_model_alone_cannot_predict_quality() {
         let _ = size_model().predict_quality(10, 10);
+    }
+
+    #[test]
+    fn splat_size_is_linear_in_the_count() {
+        let m = SplatSizeModel { k: 32.0 / (1024.0 * 1024.0), m: 0.001 };
+        let step = m.predict(2048) - m.predict(1024);
+        let step2 = m.predict(3072) - m.predict(2048);
+        assert!((step - step2).abs() < 1e-12, "linear model must have constant slope");
+        assert!(m.predict(4096) > m.predict(64));
+    }
+
+    #[test]
+    fn splat_quality_saturates_in_the_count() {
+        let m = SplatQualityModel { q_inf: 0.85, k: 40.0, a: 10.0 };
+        assert!(m.predict(4096) > m.predict(256));
+        let low_gain = m.predict(512) - m.predict(256);
+        let high_gain = m.predict(8192) - m.predict(4096);
+        assert!(high_gain < low_gain);
+        assert!(m.predict(1_000_000) <= m.q_inf);
+        assert!(m.predict(1) >= 0.0);
+    }
+
+    #[test]
+    fn splat_parameter_roundtrip_preserves_predictions() {
+        let s = SplatSizeModel { k: 3.0e-5, m: 0.01 };
+        let s2 = SplatSizeModel::from_params(&s.params());
+        assert!((s.predict(777) - s2.predict(777)).abs() < 1e-12);
+        let q = SplatQualityModel { q_inf: 0.9, k: 55.0, a: 3.0 };
+        let q2 = SplatQualityModel::from_params(&q.params());
+        assert!((q.predict(777) - q2.predict(777)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn splat_from_params_projects_invalid_values() {
+        let s = SplatSizeModel::from_params(&[-1.0, -5.0]);
+        assert_eq!(s.k, 0.0);
+        assert_eq!(s.m, 0.0);
+        let q = SplatQualityModel::from_params(&[1.4, -2.0, -1e9]);
+        assert_eq!(q.q_inf, 1.0);
+        assert_eq!(q.k, 0.0);
+        assert!(q.a >= -32.0);
     }
 }

@@ -75,6 +75,81 @@ pub fn sample_configurations(range: &SampleRange) -> Vec<BakeConfig> {
     gs.iter().flat_map(|&g| ps.iter().map(move |&p| BakeConfig::new(g, p))).collect()
 }
 
+/// The splat-family sample axis: a fixed extraction grid and a geometric
+/// ladder of splat counts. `steps == 0` (the default) disables splat
+/// profiling entirely — the sample plan then contains only mesh-family
+/// configurations and the object gets no splat models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplatSampleRange {
+    /// Extraction grid used for every splat sample.
+    pub grid: u32,
+    /// Minimum splat count.
+    pub count_min: u32,
+    /// Maximum splat count.
+    pub count_max: u32,
+    /// Number of sampled counts (0 disables the splat axis).
+    pub steps: u32,
+}
+
+impl Default for SplatSampleRange {
+    fn default() -> Self {
+        Self {
+            grid: 32,
+            count_min: BakeConfig::MIN_SPLATS,
+            count_max: BakeConfig::MAX_SPLATS,
+            steps: 0,
+        }
+    }
+}
+
+impl SplatSampleRange {
+    /// A reduced-cost enabled preset matching [`SampleRange`]'s quick
+    /// bounds: a small extraction grid and three geometrically spaced
+    /// counts. The top count stays below a typical object's boundary-seed
+    /// budget at this grid, so extraction never saturates and the linear
+    /// size fit sees truly linear samples.
+    pub fn quick() -> Self {
+        Self { grid: 24, count_min: 128, count_max: 1024, steps: 3 }
+    }
+}
+
+/// The splat-count sample values: `steps` points spaced geometrically from
+/// `count_min` to `count_max` (both anchored exactly), deduplicated. Empty
+/// when `steps == 0`. Quality saturates in the count like it does in `(g,
+/// p)`, so a geometric ladder concentrates samples where the curve bends —
+/// the same reasoning as the variable-step grid search.
+///
+/// # Panics
+///
+/// Panics when the range is inverted or `count_min` is zero (and `steps > 0`).
+pub fn splat_count_samples(range: &SplatSampleRange) -> Vec<u32> {
+    if range.steps == 0 {
+        return Vec::new();
+    }
+    assert!(range.count_min > 0 && range.count_min <= range.count_max, "invalid splat count range");
+    if range.steps == 1 || range.count_min == range.count_max {
+        return vec![range.count_max];
+    }
+    let ratio =
+        (range.count_max as f64 / range.count_min as f64).powf(1.0 / (range.steps - 1) as f64);
+    let mut out: Vec<u32> = (0..range.steps)
+        .map(|i| (range.count_min as f64 * ratio.powi(i as i32)).round() as u32)
+        .collect();
+    *out.first_mut().expect("steps > 0") = range.count_min;
+    *out.last_mut().expect("steps > 0") = range.count_max;
+    out.dedup();
+    out
+}
+
+/// The splat-family sample configurations for a range (empty when the axis
+/// is disabled).
+pub fn splat_sample_configurations(range: &SplatSampleRange) -> Vec<BakeConfig> {
+    splat_count_samples(range)
+        .into_iter()
+        .map(|count| BakeConfig::splat(range.grid, count))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +194,59 @@ mod tests {
     #[should_panic(expected = "invalid grid range")]
     fn inverted_grid_range_panics() {
         let _ = grid_samples(&SampleRange { g_min: 64, g_max: 32, p_min: 3, p_max: 5 });
+    }
+
+    #[test]
+    fn splat_axis_is_disabled_by_default() {
+        assert_eq!(SplatSampleRange::default().steps, 0);
+        assert!(splat_count_samples(&SplatSampleRange::default()).is_empty());
+        assert!(splat_sample_configurations(&SplatSampleRange::default()).is_empty());
+    }
+
+    #[test]
+    fn splat_counts_are_geometric_and_anchored() {
+        let range = SplatSampleRange { grid: 24, count_min: 64, count_max: 16384, steps: 5 };
+        let counts = splat_count_samples(&range);
+        assert_eq!(counts.len(), 5);
+        assert_eq!(*counts.first().unwrap(), 64);
+        assert_eq!(*counts.last().unwrap(), 16384);
+        // Geometric spacing: each step multiplies by ~the same ratio.
+        for window in counts.windows(2) {
+            let ratio = window[1] as f64 / window[0] as f64;
+            assert!(ratio > 3.0 && ratio < 5.0, "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn splat_sample_configurations_carry_the_range_grid() {
+        let range = SplatSampleRange::quick();
+        let configs = splat_sample_configurations(&range);
+        assert_eq!(configs.len(), 3);
+        for config in &configs {
+            assert_eq!(config.grid, range.grid);
+            assert!(config.splat_count().is_some());
+            assert!(config.is_in_range());
+        }
+        assert_eq!(configs[0].splat_count(), Some(128));
+        assert_eq!(configs[2].splat_count(), Some(1024));
+    }
+
+    #[test]
+    fn degenerate_splat_ranges_collapse_cleanly() {
+        let one = SplatSampleRange { grid: 20, count_min: 512, count_max: 512, steps: 4 };
+        assert_eq!(splat_count_samples(&one), vec![512]);
+        let single = SplatSampleRange { grid: 20, count_min: 64, count_max: 4096, steps: 1 };
+        assert_eq!(splat_count_samples(&single), vec![4096]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid splat count range")]
+    fn inverted_splat_range_panics() {
+        let _ = splat_count_samples(&SplatSampleRange {
+            grid: 24,
+            count_min: 4096,
+            count_max: 64,
+            steps: 3,
+        });
     }
 }

@@ -69,6 +69,22 @@ impl Framebuffer {
         self.depth[y * self.width() + x]
     }
 
+    /// The colour image (row-major, read-only).
+    pub fn color(&self) -> &Image {
+        &self.color
+    }
+
+    /// Mutable access to the colour image — colour-only passes (the splat
+    /// compositor) blend over drawn pixels without touching depth.
+    pub fn color_mut(&mut self) -> &mut Image {
+        &mut self.color
+    }
+
+    /// The depth buffer, row-major (`f32::INFINITY` where nothing drew).
+    pub fn depth(&self) -> &[f32] {
+        &self.depth
+    }
+
     /// Fills untouched pixels using a background function of pixel coordinates.
     pub fn fill_background(&mut self, mut f: impl FnMut(usize, usize) -> Color) {
         for y in 0..self.height() {

@@ -28,7 +28,9 @@ pub mod compare;
 pub mod framebuffer;
 pub mod raster;
 pub mod renderer;
+pub mod splat;
 
 pub use compare::{compare_against_ground_truth, QualityReport};
 pub use framebuffer::Framebuffer;
 pub use renderer::{render_assets, RenderOptions, RenderStats};
+pub use splat::composite_splats;

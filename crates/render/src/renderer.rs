@@ -9,12 +9,19 @@ use nerflex_math::Vec2;
 use nerflex_scene::camera_path::CameraPose;
 use nerflex_scene::raymarch::{background, shade};
 
-/// Options controlling how baked assets are shaded.
+/// Options controlling how baked assets are shaded and composited.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RenderOptions {
     /// Shade fragments with the asset's deferred MLP (when present) instead
     /// of the analytic shading model. Used by the MLP ablation benchmark.
     pub use_mlp_shading: bool,
+    /// Worker count for the row-parallel splat compositor (0 = one worker
+    /// per available core). Never changes output bits
+    /// (`docs/determinism.md`).
+    pub splat_workers: usize,
+    /// Lane width for the compositor's per-pixel gaussian evaluation.
+    /// Never changes output bits.
+    pub splat_lanes: nerflex_math::simd::LaneWidth,
 }
 
 /// Workload statistics for one rendered frame, consumed by the device FPS
@@ -27,6 +34,8 @@ pub struct RenderStats {
     pub triangles_rasterized: usize,
     /// Fragments that passed the depth test and were shaded.
     pub fragments_shaded: usize,
+    /// Splats projected into the viewport and composited.
+    pub splats_submitted: usize,
 }
 
 /// Renders a set of baked assets from `pose` into a `width × height` image.
@@ -97,12 +106,18 @@ pub fn render_assets(
         let ray = nerflex_scene::raymarch::primary_ray(pose, x, y, width, height);
         background(ray.direction)
     });
+    // Splat-family assets composite after the background fill: they blend
+    // over sky and rasterised geometry alike, occluded per pixel by the
+    // z-buffer (see crate::splat for the determinism contract).
+    stats.splats_submitted =
+        crate::splat::composite_splats(assets, &camera, &mut framebuffer, options);
     (framebuffer.into_image(), stats)
 }
 
 /// Convenience wrapper: world-space eye-to-target distance heuristic for
 /// whether an asset is in front of the camera at all (used by the device
 /// session simulator to estimate per-frame workload without shading).
+/// Counts device-side primitives — mesh quads plus splats.
 pub fn visible_quads(assets: &[BakedAsset], pose: &CameraPose) -> usize {
     assets
         .iter()
@@ -111,7 +126,7 @@ pub fn visible_quads(assets: &[BakedAsset], pose: &CameraPose) -> usize {
             let to_center = (bb.center() - pose.eye).normalized();
             let view_dir = (pose.target - pose.eye).normalized();
             if to_center.dot(view_dir) > 0.0 {
-                asset.mesh.quad_count()
+                asset.primitive_count()
             } else {
                 0
             }
@@ -184,10 +199,15 @@ mod tests {
             &pose,
             48,
             48,
-            &RenderOptions { use_mlp_shading: false },
+            &RenderOptions { use_mlp_shading: false, ..RenderOptions::default() },
         );
-        let (mlp, _) =
-            render_assets(&[asset], &pose, 48, 48, &RenderOptions { use_mlp_shading: true });
+        let (mlp, _) = render_assets(
+            &[asset],
+            &pose,
+            48,
+            48,
+            &RenderOptions { use_mlp_shading: true, ..RenderOptions::default() },
+        );
         let ssim = metrics::ssim(&analytic, &mlp);
         assert!(ssim > 0.8, "MLP shading diverges from analytic shading: SSIM {ssim}");
     }

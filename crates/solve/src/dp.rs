@@ -110,7 +110,22 @@ impl ConfigSelector for DpSelector {
                     }
                     if j >= s && reachable[j - s] {
                         let candidate = value[j - s] + option.quality;
-                        if !next_reachable[j] || candidate > next_value[j] {
+                        let replace = if !next_reachable[j] {
+                            true
+                        } else if candidate != next_value[j] {
+                            candidate > next_value[j]
+                        } else {
+                            // Exact quality tie at the same quantised size:
+                            // deterministic cross-family tie-break. The
+                            // smaller (family, grid, count-or-patch) key
+                            // wins, so mesh beats splat and coarser knobs
+                            // beat finer ones — independent of candidate
+                            // order (docs/determinism.md).
+                            let prev: usize =
+                                layer_choice[j].expect("reachable state has a choice");
+                            option.config.tie_break_key() < obj.options[prev].config.tie_break_key()
+                        };
+                        if replace {
                             next_value[j] = candidate;
                             next_reachable[j] = true;
                             layer_choice[j] = Some(t);
@@ -218,6 +233,62 @@ mod tests {
         let problem = tiny_problem(86.0);
         let outcome = DpSelector::with_quantization(5.0).select(&problem);
         assert!(outcome.total_size_mb <= 86.0 + 1e-9);
+    }
+
+    #[test]
+    fn cross_family_ties_break_deterministically_toward_mesh() {
+        // One object, two candidates with *identical* predicted size and
+        // quality — one splat, one mesh. The pick must be the mesh config
+        // (smaller tie-break key) regardless of candidate order.
+        for flip in [false, true] {
+            let mut options = vec![
+                CandidateConfig { config: BakeConfig::splat(24, 512), size_mb: 12.0, quality: 0.8 },
+                CandidateConfig { config: BakeConfig::new(20, 5), size_mb: 12.0, quality: 0.8 },
+            ];
+            if flip {
+                options.reverse();
+            }
+            let problem = SelectionProblem {
+                objects: vec![ObjectChoices {
+                    object_id: 0,
+                    name: "tie".into(),
+                    options,
+                    models: None,
+                }],
+                budget_mb: 50.0,
+            };
+            let outcome = DpSelector::default().select(&problem);
+            assert_eq!(
+                outcome.assignments[0].config,
+                BakeConfig::new(20, 5),
+                "mesh must win the family tie (flip={flip})"
+            );
+        }
+    }
+
+    #[test]
+    fn within_family_ties_break_toward_the_coarser_knobs() {
+        // Two equal splat candidates: the smaller count wins deterministically.
+        for flip in [false, true] {
+            let mut options = vec![
+                CandidateConfig { config: BakeConfig::splat(24, 2048), size_mb: 8.0, quality: 0.7 },
+                CandidateConfig { config: BakeConfig::splat(24, 512), size_mb: 8.0, quality: 0.7 },
+            ];
+            if flip {
+                options.reverse();
+            }
+            let problem = SelectionProblem {
+                objects: vec![ObjectChoices {
+                    object_id: 0,
+                    name: "tie".into(),
+                    options,
+                    models: None,
+                }],
+                budget_mb: 40.0,
+            };
+            let outcome = DpSelector::default().select(&problem);
+            assert_eq!(outcome.assignments[0].config, BakeConfig::splat(24, 512), "flip={flip}");
+        }
     }
 
     /// Builds a pseudo-random 3-object, 4-option instance from an LCG seed.

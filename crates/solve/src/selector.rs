@@ -56,20 +56,24 @@ pub struct SelectionProblem {
 impl SelectionProblem {
     /// Builds the problem from fitted profiles and a configuration space: the
     /// candidate list of every object is the whole space with that object's
-    /// predicted size and quality attached.
+    /// predicted size and quality attached. Predictions are family-aware:
+    /// splat candidates are dropped for objects whose profile carries no
+    /// splat models (the profiler never sampled that axis for them), so
+    /// every retained candidate has a real prediction behind it.
     pub fn from_profiles(profiles: &[ObjectProfile], space: &ConfigSpace, budget_mb: f64) -> Self {
         let objects = profiles
             .iter()
             .map(|profile| {
-                let options = space
-                    .configurations()
-                    .into_iter()
-                    .map(|config| CandidateConfig {
-                        config,
-                        size_mb: profile.predict_size(config.grid, config.patch),
-                        quality: profile.predict_quality(config.grid, config.patch),
-                    })
-                    .collect();
+                let options =
+                    space
+                        .configurations()
+                        .into_iter()
+                        .filter_map(|config| {
+                            profile.predict_config(&config).map(|(size_mb, quality)| {
+                                CandidateConfig { config, size_mb, quality }
+                            })
+                        })
+                        .collect();
                 ObjectChoices {
                     object_id: profile.object_id,
                     name: profile.name.clone(),

@@ -4,17 +4,25 @@ use nerflex_bake::BakeConfig;
 use serde::{Deserialize, Serialize};
 
 /// A discrete configuration space: the cross product of candidate mesh
-/// granularities and patch sizes.
+/// granularities and patch sizes, optionally widened with a splat-family
+/// axis (candidate splat counts at a fixed extraction grid).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ConfigSpace {
     /// Candidate mesh granularities.
     pub g_values: Vec<u32>,
     /// Candidate patch sizes.
     pub p_values: Vec<u32>,
+    /// Extraction grid for the splat-family candidates (unused when
+    /// `splat_counts` is empty).
+    pub splat_grid: u32,
+    /// Candidate splat counts. Empty (the default, including
+    /// [`ConfigSpace::quick`] and [`ConfigSpace::paper_default`]) means the
+    /// space is mesh-only; widen it with [`ConfigSpace::with_splats`].
+    pub splat_counts: Vec<u32>,
 }
 
 impl ConfigSpace {
-    /// Creates a space from explicit candidate lists.
+    /// Creates a mesh-only space from explicit candidate lists.
     ///
     /// # Panics
     ///
@@ -28,7 +36,22 @@ impl ConfigSpace {
             g_values.iter().chain(&p_values).all(|&v| v > 0),
             "configuration knobs must be positive"
         );
-        Self { g_values, p_values }
+        Self { g_values, p_values, splat_grid: 32, splat_counts: Vec::new() }
+    }
+
+    /// Widens the space with splat-family candidates: one configuration per
+    /// count, all extracted at `grid`. Selectors mix families per object —
+    /// a splat candidate competes against every mesh candidate on predicted
+    /// size and quality.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `grid` is zero or any count is zero.
+    pub fn with_splats(mut self, grid: u32, counts: Vec<u32>) -> Self {
+        assert!(grid > 0 && counts.iter().all(|&c| c > 0), "configuration knobs must be positive");
+        self.splat_grid = grid;
+        self.splat_counts = counts;
+        self
     }
 
     /// The space used by the full-scale experiments: granularities 16…128 in
@@ -43,17 +66,21 @@ impl ConfigSpace {
         Self::new(vec![10, 20, 30, 40], vec![3, 6, 9])
     }
 
-    /// All configurations in the space (row-major over g then p).
+    /// All configurations in the space: the mesh cross product (row-major
+    /// over g then p) followed by the splat candidates in count order. Mesh
+    /// before splat matches the selector's cross-family tie-break
+    /// (`docs/determinism.md`).
     pub fn configurations(&self) -> Vec<BakeConfig> {
         self.g_values
             .iter()
             .flat_map(|&g| self.p_values.iter().map(move |&p| BakeConfig::new(g, p)))
+            .chain(self.splat_counts.iter().map(|&c| BakeConfig::splat(self.splat_grid, c)))
             .collect()
     }
 
     /// Number of configurations.
     pub fn len(&self) -> usize {
-        self.g_values.len() * self.p_values.len()
+        self.g_values.len() * self.p_values.len() + self.splat_counts.len()
     }
 
     /// `true` when the space is empty (never, by construction).
@@ -63,7 +90,8 @@ impl ConfigSpace {
 
     /// The configuration in the space nearest to the continuous point
     /// `(g, p)` (Euclidean distance in knob space) — used when rounding the
-    /// SLSQP relaxation back onto the grid.
+    /// SLSQP relaxation back onto the grid. The relaxation is over the mesh
+    /// knobs only, so splat candidates are never returned here.
     pub fn nearest(&self, g: f64, p: f64) -> BakeConfig {
         let nearest_g = *self
             .g_values
@@ -132,5 +160,33 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_space_panics() {
         let _ = ConfigSpace::new(vec![], vec![3]);
+    }
+
+    #[test]
+    fn default_spaces_are_mesh_only() {
+        assert!(ConfigSpace::quick().splat_counts.is_empty());
+        assert!(ConfigSpace::paper_default().splat_counts.is_empty());
+        assert!(ConfigSpace::quick().configurations().iter().all(|c| c.splat_count().is_none()));
+    }
+
+    #[test]
+    fn with_splats_appends_splat_candidates_after_the_mesh_block() {
+        let space = ConfigSpace::quick().with_splats(24, vec![256, 1024, 4096]);
+        assert_eq!(space.len(), 4 * 3 + 3);
+        let configs = space.configurations();
+        assert_eq!(configs.len(), space.len());
+        // The mesh cross product comes first, then splats in count order.
+        assert!(configs[..12].iter().all(|c| c.splat_count().is_none()));
+        assert_eq!(configs[12], BakeConfig::splat(24, 256));
+        assert_eq!(configs[14], BakeConfig::splat(24, 4096));
+        // Mesh-only queries are unaffected by the splat axis.
+        assert_eq!(space.bounds(), (10, 40, 3, 9));
+        assert_eq!(space.nearest(22.0, 7.2), BakeConfig::new(20, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_splat_count_panics() {
+        let _ = ConfigSpace::quick().with_splats(24, vec![256, 0]);
     }
 }

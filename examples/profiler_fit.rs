@@ -26,6 +26,7 @@ fn main() {
             resolution: 72,
             ..MeasurementSettings::default()
         },
+        ..ProfilerOptions::default()
     };
 
     println!("profiling object '{}' with the variable-step sampling strategy ...", object.name());

@@ -26,10 +26,11 @@ use nerflex::core::fault::{StageFaultMode, StageFaultPlan, StageOp};
 use nerflex::core::pipeline::{NerflexPipeline, PipelineError, PipelineOptions};
 use nerflex::core::service::{DeployRequest, DeployService, ServiceOptions};
 use nerflex::device::DeviceSpec;
-use nerflex::profile::GroundTruthStats;
+use nerflex::profile::{GroundTruthStats, ProfilerOptions};
 use nerflex::scene::dataset::Dataset;
 use nerflex::scene::object::CanonicalObject;
 use nerflex::scene::scene::Scene;
+use nerflex::solve::ConfigSpace;
 use std::collections::BTreeMap;
 use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -347,6 +348,69 @@ fn a_store_panic_fails_exactly_one_request_not_the_burst() {
     // request's duplicate still covers its pair — every fingerprint
     // present and byte-identical to the fault-free path.
     assert_eq!(report.fingerprints, reference);
+}
+
+#[test]
+fn a_splat_heavy_scene_survives_transient_store_faults_bit_identically() {
+    // The splat family rides the same store/codec/resilience machinery as
+    // the mesh family (ISSUE 10): a splat-enabled space at a budget only
+    // splats can satisfy, deployed over a remote with seeded transient
+    // faults, must retry to completion with a fingerprint byte-identical
+    // to the fault-free in-memory run.
+    let options = || {
+        PipelineOptions::quick()
+            .with_worker_threads(2)
+            .with_profiler(ProfilerOptions::quick_with_splats())
+            .with_space(
+                ConfigSpace::new(vec![40], vec![9]).with_splats(24, vec![128, 256, 512, 1024]),
+            )
+    };
+    let run = |store: StoreOptions| {
+        let scene =
+            Arc::new(Scene::with_objects(&[CanonicalObject::Hotdog, CanonicalObject::Chair], 21));
+        let dataset = Arc::new(Dataset::generate(&scene, 2, 1, 32, 32));
+        let service = DeployService::new(ServiceOptions::inline(options().with_store(store)));
+        // 0.1 MB: far below any (40, 9) mesh pair, comfortably above two
+        // splat clouds — only splat-bearing assignments are feasible.
+        let ticket = service
+            .submit(DeployRequest::new(scene, dataset, DeviceSpec::pixel_4()).with_budget_mb(0.1))
+            .expect("valid request");
+        let outcomes = service.drain();
+        assert_eq!(outcomes.len(), 1);
+        let outcome = outcomes.into_iter().next().expect("one outcome");
+        assert_eq!(outcome.ticket, ticket);
+        let done = outcome.into_success().expect("the splat scene deploys");
+        let splat_assets =
+            done.deployment.assets.iter().filter(|asset| asset.splats.is_some()).count();
+        service.shutdown();
+        (done.deployment_fingerprint, splat_assets, service.cache_stats())
+    };
+
+    let (reference_fingerprint, reference_splats, _) = run(StoreOptions::in_memory());
+    assert!(
+        reference_splats >= 1,
+        "the 0.1 MB budget must hand at least one object to the splat family"
+    );
+    let policy = RetryPolicy::new(4, Duration::ZERO);
+    for seed in [1u64, 7, 42] {
+        let local = TempDir::new("splat-transient");
+        let remote: Arc<dyn StoreBackend> = Arc::new(FaultyBackend::new(
+            Arc::new(MemBackend::new()),
+            FaultPlan::seeded(seed).fail_nth(
+                FaultOp::WriteAtomic,
+                0,
+                FaultMode::Transient(io::ErrorKind::TimedOut),
+            ),
+        ));
+        let (fingerprint, splat_assets, cache) =
+            run(StoreOptions::shared_with(&local.0, remote).with_retry(policy));
+        assert_eq!(
+            fingerprint, reference_fingerprint,
+            "splat deployments under transient faults must be byte-identical (seed {seed})"
+        );
+        assert_eq!(splat_assets, reference_splats, "same family mix (seed {seed})");
+        assert!(cache.retries > 0, "the schedule injects at least one retried fault (seed {seed})");
+    }
 }
 
 // ---------------------------------------------------------------------------
